@@ -1,0 +1,26 @@
+// Figure 11a (and the §9.2 testbed Experiment 1 for INet2): burst-update
+// verification time of Tulkun vs the centralized baselines, with
+// acceleration ratios.
+#include "common.hpp"
+
+int main(int argc, char** argv) {
+  using namespace tulkun;
+  const auto args = bench::Args::parse(argc, argv);
+
+  std::vector<eval::Harness::Result> results;
+  for (const auto& spec : args.datasets()) {
+    eval::Harness h(spec, args.harness_options());
+    std::cout << "running " << spec.name << " (" << h.topology().device_count()
+              << " devices, " << h.total_rules() << " rules, "
+              << h.destinations().size() << " destinations)..." << std::endl;
+    results.push_back(h.run(/*with_baselines=*/true, /*n_updates=*/0));
+  }
+  eval::print_burst_table(std::cout, results);
+
+  std::cout << "\nplanner time (not on the verification path):\n";
+  for (const auto& r : results) {
+    std::cout << "  " << r.dataset << ": "
+              << format_duration(r.tulkun_plan_seconds) << "\n";
+  }
+  return 0;
+}

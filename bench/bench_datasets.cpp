@@ -1,0 +1,14 @@
+// Figure 10: dataset statistics (name, kind, devices, links, rules).
+#include "common.hpp"
+
+int main(int argc, char** argv) {
+  using namespace tulkun;
+  const auto args = bench::Args::parse(argc, argv);
+  eval::print_dataset_table(std::cout,
+                            args.full ? eval::all_datasets()
+                                      : args.datasets(),
+                            args.harness_options());
+  std::cout << "\n(rule counts are scaled-down synthetics; see DESIGN.md "
+               "for per-dataset notes)\n";
+  return 0;
+}

@@ -1,0 +1,25 @@
+// Figure 14 (§9.4): on-device initialization overhead — per-device total
+// time, maximal memory, and CPU load CDFs, under the four switch-CPU
+// profiles (Mellanox / UfiSpace / Edgecore x86, Centec ARM).
+#include "common.hpp"
+
+int main(int argc, char** argv) {
+  using namespace tulkun;
+  const auto args = bench::Args::parse(argc, argv);
+
+  std::cout << "\n== Figure 14: initialization overhead CDFs ==\n";
+  for (const auto& spec : args.wan_datasets()) {
+    eval::Harness h(spec, args.harness_options());
+    std::cout << "\n-- dataset " << spec.name << " --\n";
+    for (const auto& profile : eval::switch_profiles()) {
+      const auto oh = h.measure_overhead(profile, /*n_updates=*/0);
+      eval::print_cdf(std::cout, profile.name + " init time      ",
+                      oh.init_seconds, /*as_duration=*/true);
+      eval::print_cdf(std::cout, profile.name + " init memory    ",
+                      oh.init_memory, /*as_duration=*/false);
+      std::cout << profile.name << " init CPU load  : max="
+                << oh.init_cpu.max() << "\n";
+    }
+  }
+  return 0;
+}

@@ -1,0 +1,27 @@
+// Figure 15 (§9.4): DVM UPDATE message processing overhead — per-device
+// total time, memory, CPU load, and per-message processing time CDFs,
+// replaying the evaluation's message trace under each switch profile.
+#include "common.hpp"
+
+int main(int argc, char** argv) {
+  using namespace tulkun;
+  const auto args = bench::Args::parse(argc, argv);
+
+  std::cout << "\n== Figure 15: DVM UPDATE processing overhead CDFs ==\n";
+  for (const auto& spec : args.wan_datasets()) {
+    eval::Harness h(spec, args.harness_options());
+    std::cout << "\n-- dataset " << spec.name << " --\n";
+    for (const auto& profile : eval::switch_profiles()) {
+      const auto oh = h.measure_overhead(profile, args.updates);
+      eval::print_cdf(std::cout, profile.name + " msg total time ",
+                      oh.msg_seconds, /*as_duration=*/true);
+      eval::print_cdf(std::cout, profile.name + " msg memory     ",
+                      oh.msg_memory, /*as_duration=*/false);
+      eval::print_cdf(std::cout, profile.name + " per-message    ",
+                      oh.per_message_seconds, /*as_duration=*/true);
+      std::cout << profile.name << " msg CPU load   : max="
+                << oh.msg_cpu.max() << "\n";
+    }
+  }
+  return 0;
+}

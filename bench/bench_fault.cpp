@@ -1,0 +1,27 @@
+// Figure 12a/b/c (§9.3.4): fault scenes on WAN/LAN datasets — whole-network
+// verification per scene, and incremental updates under scenes.
+#include "common.hpp"
+
+int main(int argc, char** argv) {
+  using namespace tulkun;
+  const auto args = bench::Args::parse(argc, argv);
+
+  std::vector<eval::Harness::FaultResult> results;
+  for (const auto& spec : args.wan_datasets()) {
+    eval::Harness h(spec, args.harness_options());
+    std::cout << "running " << spec.name << " with " << args.fault_scenes
+              << " fault scenes..." << std::endl;
+    results.push_back(h.run_faults(args.fault_scenes,
+                                   std::max<std::size_t>(args.updates / 10, 3),
+                                   /*with_baselines=*/true));
+  }
+  eval::print_fault_tables(std::cout, results, 0.010, 0.80);
+
+  std::cout << "\nfault-tolerant planning time:\n";
+  for (const auto& r : results) {
+    std::cout << "  " << r.dataset << ": "
+              << format_duration(r.tulkun_plan_seconds) << " for "
+              << r.scenes << " sampled scenes\n";
+  }
+  return 0;
+}

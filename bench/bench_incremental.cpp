@@ -1,0 +1,19 @@
+// Figures 11b/11c (and §9.2 Experiment 2): incremental verification —
+// fraction under 10 ms and the 80% quantile, per tool per dataset.
+#include "common.hpp"
+
+int main(int argc, char** argv) {
+  using namespace tulkun;
+  const auto args = bench::Args::parse(argc, argv);
+
+  std::vector<eval::Harness::Result> results;
+  for (const auto& spec : args.datasets()) {
+    eval::Harness h(spec, args.harness_options());
+    std::cout << "running " << spec.name << " with " << args.updates
+              << " updates..." << std::endl;
+    results.push_back(h.run(/*with_baselines=*/true, args.updates));
+  }
+  eval::print_under_threshold_table(std::cout, results, 0.010);
+  eval::print_quantile_table(std::cout, results, 0.80);
+  return 0;
+}

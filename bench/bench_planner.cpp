@@ -1,0 +1,79 @@
+// Figure 13: planner latency to compute the k-link-failure-tolerant
+// DPVNets, k = 0..3 (k=3 only under --full; scene counts are capped and
+// flagged when the combinatorics exceed the cap, as discussed in
+// EXPERIMENTS.md).
+#include <chrono>
+
+#include "common.hpp"
+#include "spec/builtins.hpp"
+
+int main(int argc, char** argv) {
+  using namespace tulkun;
+  const auto args = bench::Args::parse(argc, argv);
+  const std::uint32_t max_k = args.full ? 3 : 2;
+  const std::size_t scene_cap = args.full ? 4096 : 512;
+
+  std::cout << "\n== Figure 13: DPVNet computation latency ==\n";
+  std::cout << "dataset     ";
+  for (std::uint32_t k = 0; k <= max_k; ++k) {
+    std::cout << "k=" << k << "            ";
+  }
+  std::cout << "\n";
+
+  for (const auto& spec : args.wan_datasets()) {
+    eval::Harness h(spec, args.harness_options());
+    (void)h.plan_latency(0, scene_cap);  // warm caches before timing
+    std::cout << spec.name;
+    for (std::size_t pad = spec.name.size(); pad < 12; ++pad) {
+      std::cout << ' ';
+    }
+    for (std::uint32_t k = 0; k <= max_k; ++k) {
+      const auto r = h.plan_latency(k, scene_cap);
+      std::cout << format_duration(r.seconds) << " (" << r.scenes
+                << (r.capped ? "* " : " ") << "sc)  " << std::flush;
+    }
+    std::cout << "\n";
+  }
+  std::cout << "(* scene cap hit: sampled scenes, see EXPERIMENTS.md)\n";
+
+  // Ablation ◆: §6 scene reuse on/off for k=2 (DESIGN.md decision list).
+  std::cout << "\n== Ablation: §6 subset-scene reuse (k=2) ==\n";
+  std::cout << "dataset     reuse-on       reuse-off\n";
+  for (const auto& spec : args.wan_datasets()) {
+    packet::PacketSpace space;
+    const auto topo = eval::build_topology(spec);
+    spec::Builtins b(topo, space);
+    auto pkt = space.none();
+    for (const auto& p : topo.prefixes(0)) pkt |= space.dst_prefix(p);
+    auto inv = b.shortest_plus_reachability(
+        pkt, std::min<DeviceId>(1, static_cast<DeviceId>(
+                                       topo.device_count() - 1)),
+        0, 2);
+    inv.faults.any_k = 2;
+
+    std::cout << spec.name;
+    for (std::size_t pad = spec.name.size(); pad < 12; ++pad) std::cout << ' ';
+    for (const bool reuse : {true, false}) {
+      dpvnet::BuildOptions opts;
+      opts.max_scenes = scene_cap;
+      opts.scene_reuse = reuse;
+      dpvnet::BuildStats stats;
+      const auto t0 = std::chrono::steady_clock::now();
+      try {
+        (void)dpvnet::build_dpvnet(topo, inv, opts, &stats);
+        const double secs = std::chrono::duration<double>(
+                                std::chrono::steady_clock::now() - t0)
+                                .count();
+        char buf[48];
+        std::snprintf(buf, sizeof buf, "%s (%zu enum)",
+                      format_duration(secs).c_str(),
+                      stats.scenes_enumerated);
+        std::cout << buf << "  ";
+      } catch (const Error&) {
+        std::cout << "scene-cap     ";
+      }
+    }
+    std::cout << "\n";
+  }
+  return 0;
+}

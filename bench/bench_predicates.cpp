@@ -1,0 +1,136 @@
+// Ablation ◆: BDD predicates vs interval sets (DESIGN.md decision 1).
+//
+// Tulkun encodes packet sets as BDDs (like the paper); Delta-net-style
+// interval sets are the alternative. This microbenchmark compares the
+// operations DVM performs per message: intersect, union, subtract,
+// equality, and wire encoding.
+#include <benchmark/benchmark.h>
+
+#include "bdd/serialize.hpp"
+#include "core/interval_set.hpp"
+#include "core/rng.hpp"
+#include "packet/packet_set.hpp"
+
+namespace {
+
+using namespace tulkun;
+
+packet::Ipv4Prefix random_prefix(Rng& rng) {
+  const auto len = static_cast<std::uint8_t>(rng.uniform(8, 28));
+  const auto addr = static_cast<std::uint32_t>(rng.uniform(0, ~0u));
+  return packet::Ipv4Prefix(addr, len);
+}
+
+void BM_BddIntersect(benchmark::State& state) {
+  packet::PacketSpace space;
+  Rng rng(1);
+  std::vector<packet::PacketSet> sets;
+  for (int i = 0; i < 64; ++i) {
+    sets.push_back(space.dst_prefix(random_prefix(rng)));
+  }
+  std::size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(sets[i % 64] & sets[(i + 17) % 64]);
+    ++i;
+  }
+}
+BENCHMARK(BM_BddIntersect);
+
+void BM_IntervalIntersect(benchmark::State& state) {
+  Rng rng(1);
+  std::vector<IntervalSet> sets;
+  for (int i = 0; i < 64; ++i) {
+    const auto p = random_prefix(rng);
+    sets.push_back(IntervalSet(Interval{p.range_lo(), p.range_hi()}));
+  }
+  std::size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(sets[i % 64].intersect(sets[(i + 17) % 64]));
+    ++i;
+  }
+}
+BENCHMARK(BM_IntervalIntersect);
+
+void BM_BddUnionChain(benchmark::State& state) {
+  packet::PacketSpace space;
+  Rng rng(2);
+  std::vector<packet::PacketSet> sets;
+  for (int i = 0; i < 64; ++i) {
+    sets.push_back(space.dst_prefix(random_prefix(rng)));
+  }
+  for (auto _ : state) {
+    auto acc = space.none();
+    for (const auto& s : sets) acc |= s;
+    benchmark::DoNotOptimize(acc);
+  }
+}
+BENCHMARK(BM_BddUnionChain);
+
+void BM_IntervalUnionChain(benchmark::State& state) {
+  Rng rng(2);
+  std::vector<IntervalSet> sets;
+  for (int i = 0; i < 64; ++i) {
+    const auto p = random_prefix(rng);
+    sets.push_back(IntervalSet(Interval{p.range_lo(), p.range_hi()}));
+  }
+  for (auto _ : state) {
+    IntervalSet acc;
+    for (const auto& s : sets) acc = acc.unite(s);
+    benchmark::DoNotOptimize(acc);
+  }
+}
+BENCHMARK(BM_IntervalUnionChain);
+
+void BM_BddEquality(benchmark::State& state) {
+  // O(1) with hash-consing — the reason Tulkun stores predicates as BDDs.
+  packet::PacketSpace space;
+  Rng rng(3);
+  const auto a = space.dst_prefix(random_prefix(rng)) & space.dst_port(80);
+  const auto b = space.dst_port(80) & a;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(a == b);
+  }
+}
+BENCHMARK(BM_BddEquality);
+
+void BM_BddSerialize(benchmark::State& state) {
+  packet::PacketSpace space;
+  Rng rng(4);
+  auto acc = space.none();
+  for (int i = 0; i < 16; ++i) acc |= space.dst_prefix(random_prefix(rng));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(bdd::serialize(space.manager(), acc.ref()));
+  }
+}
+BENCHMARK(BM_BddSerialize);
+
+void BM_BddDeserialize(benchmark::State& state) {
+  packet::PacketSpace space;
+  Rng rng(4);
+  auto acc = space.none();
+  for (int i = 0; i < 16; ++i) acc |= space.dst_prefix(random_prefix(rng));
+  const auto bytes = bdd::serialize(space.manager(), acc.ref());
+  packet::PacketSpace target;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(bdd::deserialize(target.manager(), bytes));
+  }
+}
+BENCHMARK(BM_BddDeserialize);
+
+// Port-range predicates: expressible with BDDs, outside the interval
+// model's single dimension (the paper's argument against atom-only tools).
+void BM_BddPortRangeRefine(benchmark::State& state) {
+  packet::PacketSpace space;
+  Rng rng(5);
+  const auto base = space.dst_prefix(packet::Ipv4Prefix::parse("10.0.0.0/8"));
+  for (auto _ : state) {
+    const auto lo = static_cast<std::uint32_t>(rng.uniform(0, 60000));
+    benchmark::DoNotOptimize(
+        base & space.field_range(packet::Field::DstPort, lo, lo + 100));
+  }
+}
+BENCHMARK(BM_BddPortRangeRefine);
+
+}  // namespace
+
+BENCHMARK_MAIN();

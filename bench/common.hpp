@@ -1,0 +1,90 @@
+// Shared plumbing for the figure-reproduction bench binaries.
+//
+// Every binary accepts:
+//   --full           run all 13 datasets at full update counts (slow)
+//   --updates=N      incremental updates per dataset
+//   --max-dst=N      destination sample per dataset (0 = all)
+//   --seed=N
+//
+// The default (no flags) is a quick profile that finishes in minutes and
+// still reproduces the figures' *shapes*; EXPERIMENTS.md records both.
+#pragma once
+
+#include <cstring>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "eval/datasets.hpp"
+#include "eval/harness.hpp"
+#include "eval/report.hpp"
+
+namespace tulkun::bench {
+
+struct Args {
+  bool full = false;
+  std::size_t updates = 100;
+  std::size_t max_destinations = 4;
+  std::size_t fault_scenes = 8;
+  std::uint64_t seed = 42;
+
+  static Args parse(int argc, char** argv) {
+    Args a;
+    for (int i = 1; i < argc; ++i) {
+      const std::string arg = argv[i];
+      const auto value = [&](const char* prefix) -> const char* {
+        return arg.rfind(prefix, 0) == 0 ? arg.c_str() + std::strlen(prefix)
+                                         : nullptr;
+      };
+      if (arg == "--full") {
+        a.full = true;
+        a.updates = 1000;
+        a.max_destinations = 0;
+        a.fault_scenes = 50;
+      } else if (const char* v = value("--updates=")) {
+        a.updates = std::stoul(v);
+      } else if (const char* v = value("--max-dst=")) {
+        a.max_destinations = std::stoul(v);
+      } else if (const char* v = value("--scenes=")) {
+        a.fault_scenes = std::stoul(v);
+      } else if (const char* v = value("--seed=")) {
+        a.seed = std::stoull(v);
+      } else if (arg == "--help") {
+        std::cout << "flags: --full --updates=N --max-dst=N --scenes=N "
+                     "--seed=N\n";
+        std::exit(0);
+      }
+    }
+    return a;
+  }
+
+  [[nodiscard]] eval::HarnessOptions harness_options() const {
+    eval::HarnessOptions opts;
+    opts.seed = seed;
+    opts.max_destinations = max_destinations;
+    return opts;
+  }
+
+  /// Datasets for this run: the quick profile covers each network class;
+  /// --full runs the paper's 13.
+  [[nodiscard]] std::vector<eval::DatasetSpec> datasets() const {
+    if (full) return eval::all_datasets();
+    std::vector<eval::DatasetSpec> out;
+    for (const char* name :
+         {"INet2", "B4-13", "STFD", "AT1-1", "AT1-2", "FT-48", "NGDC"}) {
+      out.push_back(eval::dataset(name));
+    }
+    return out;
+  }
+
+  [[nodiscard]] std::vector<eval::DatasetSpec> wan_datasets() const {
+    if (full) return eval::wan_lan_datasets();
+    std::vector<eval::DatasetSpec> out;
+    for (const char* name : {"INet2", "B4-13", "STFD"}) {
+      out.push_back(eval::dataset(name));
+    }
+    return out;
+  }
+};
+
+}  // namespace tulkun::bench

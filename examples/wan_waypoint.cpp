@@ -1,0 +1,84 @@
+// WAN scenario: a synthesized Internet2-shaped WAN where traffic to one
+// site must traverse a scrubbing waypoint. Shows invariant specification
+// over a generated topology, burst verification, violation localization,
+// and incremental re-verification after a reroute.
+//
+// Run:  ./wan_waypoint
+#include <iostream>
+#include <limits>
+
+#include "eval/datasets.hpp"
+#include "eval/fib_synth.hpp"
+#include "runtime/event_sim.hpp"
+#include "spec/builtins.hpp"
+
+using namespace tulkun;
+
+int main() {
+  const auto& spec_ds = eval::dataset("INet2");
+  const auto topo = eval::build_topology(spec_ds);
+  auto net = eval::synthesize(topo, eval::SynthOptions{2, 0, 42});
+  std::cout << "WAN '" << spec_ds.name << "': " << topo.device_count()
+            << " devices, " << topo.link_count() << " links, "
+            << net.total_rules() << " rules\n";
+
+  // Traffic from site 0 to site 4 must pass the scrubber at site 2.
+  const DeviceId src = 0;
+  const DeviceId scrubber = 2;
+  const DeviceId dst = 4;
+  auto& space = net.space();
+  auto victim = space.none();
+  for (const auto& p : topo.prefixes(dst)) victim |= space.dst_prefix(p);
+
+  spec::Builtins b(topo, space);
+  const auto inv = b.waypoint(victim, src, scrubber, dst);
+
+  planner::Planner planner(topo, space);
+  const auto plan = planner.plan(inv);
+  std::cout << "DPVNet: " << plan.dag->node_count() << " nodes from "
+            << plan.stats.paths << " valid paths (planned in "
+            << plan.plan_seconds * 1e3 << " ms)\n";
+
+  runtime::EventSimulator sim(topo, {});
+  sim.make_devices(space);
+  sim.install(plan);
+  for (DeviceId d = 0; d < topo.device_count(); ++d) {
+    sim.post_initialize(d, net.table(d), 0.0);
+  }
+  double now = sim.run();
+  auto violations = sim.violations();
+  std::cout << "burst verification: " << now * 1e3 << " ms, "
+            << violations.size() << " violation(s)\n";
+  for (const auto& v : violations) {
+    std::cout << "  " << topo.name(v.device) << ": " << v.reason << "\n";
+  }
+
+  if (!violations.empty()) {
+    // Fix: pin the victim prefix hop-by-hop along the shortest chain from
+    // src to the scrubber; from the scrubber on, the existing shortest
+    // routes carry it to dst.
+    std::cout << "\npinning " << topo.name(src) << " -> "
+              << topo.name(scrubber) << " for the victim prefix...\n";
+    const auto hops_to_scrubber = topo.hop_distances_to(scrubber);
+    DeviceId cur = src;
+    while (cur != scrubber) {
+      DeviceId next = kNoDevice;
+      for (const auto& adj : topo.neighbors(cur)) {
+        if (hops_to_scrubber[adj.neighbor] + 1 == hops_to_scrubber[cur]) {
+          next = adj.neighbor;
+          break;
+        }
+      }
+      fib::Rule pin;
+      pin.priority = 500;
+      pin.dst_prefix = topo.prefixes(dst).front();
+      pin.action = fib::Action::forward(next);
+      sim.post_rule_update(cur, fib::FibUpdate::insert(cur, pin), now);
+      now = sim.run();
+      cur = next;
+    }
+    std::cout << "after pinning: " << sim.violations().size()
+              << " violation(s)\n";
+  }
+  return 0;
+}

@@ -1,0 +1,233 @@
+// AP [Yang & Lam, ICNP'13]: centralized verification with global atomic
+// predicates. Burst computes all LECs, refines the global atom set, labels
+// the forwarding graph, and checks every query. Incremental recomputes the
+// atoms from scratch after each update — the tool's known weakness the
+// paper leverages (§9.3.3).
+#include <chrono>
+
+#include "baseline/internal.hpp"
+
+namespace tulkun::baseline {
+
+namespace internal {
+
+namespace {
+double seconds_since(std::chrono::steady_clock::time_point t0) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+      .count();
+}
+}  // namespace
+
+DynBitset AtomFamily::memo_atoms_of(const packet::PacketSet& p) {
+  const auto it = atoms_of_memo_.find(p.ref());
+  if (it != atoms_of_memo_.end()) return it->second;
+  DynBitset out = atoms_->atoms_of(p);
+  atoms_of_memo_.emplace(p.ref(), out);
+  return out;
+}
+
+void AtomFamily::rebuild_all(fib::NetworkFib& net) {
+  space_ = &net.space();
+  const auto& topo = net.topology();
+
+  // Collect every LEC predicate; Flash processes the whole batch at once
+  // and can deduplicate identical predicates network-wide before the
+  // quadratic refinement, which is its batch-processing edge.
+  std::vector<packet::PacketSet> preds;
+  for (DeviceId d = 0; d < net.device_count(); ++d) {
+    for (const auto& e : lecs_[d].entries()) {
+      preds.push_back(e.pred);
+    }
+  }
+  if (dedupe_predicates_) {
+    std::sort(preds.begin(), preds.end(),
+              [](const packet::PacketSet& a, const packet::PacketSet& b) {
+                return a.ref() < b.ref();
+              });
+    preds.erase(std::unique(preds.begin(), preds.end()), preds.end());
+  }
+
+  atoms_ = std::make_unique<AtomTable>(*space_);
+  atoms_->rebuild(preds);
+  atoms_of_memo_.clear();
+
+  graph_ = std::make_unique<LabeledGraph>(topo, atoms_->size());
+  for (DeviceId d = 0; d < net.device_count(); ++d) {
+    rebuild_device_labels(net, d);
+  }
+}
+
+void AtomFamily::rebuild_device_labels(fib::NetworkFib& net, DeviceId device) {
+  for (auto& [to, label] : graph_->edges(device)) {
+    label = DynBitset(atoms_->size());
+  }
+  for (const auto& e : lecs_[device].entries()) {
+    if (e.action.type == fib::ActionType::Drop) continue;
+    const DynBitset members = memo_atoms_of(e.pred);
+    for (const DeviceId hop : e.action.next_hops) {
+      if (hop == fib::kExternalPort) continue;
+      if (!net.topology().has_link(device, hop)) continue;
+      graph_->label(device, hop) |= members;
+    }
+  }
+}
+
+std::vector<DeviceId> AtomFamily::affected_dsts(
+    const fib::NetworkFib& net, const QuerySet& queries,
+    const packet::PacketSet& region) const {
+  std::vector<DeviceId> out;
+  for (const auto& q : queries) {
+    if (!q.space.intersects(region)) continue;
+    if (std::find(out.begin(), out.end(), q.dst) == out.end()) {
+      out.push_back(q.dst);
+    }
+  }
+  (void)net;
+  return out;
+}
+
+void AtomFamily::verify_dsts(fib::NetworkFib& net, const QuerySet& queries,
+                             const std::vector<DeviceId>& dsts) {
+  for (const DeviceId dst : dsts) {
+    auto& vs = violations_by_dst_[dst];
+    vs.clear();
+    verify_dst_queries(net.topology(), *graph_, *atoms_, queries, dst, vs);
+  }
+  flat_violations_.clear();
+  for (const auto& [dst, vs] : violations_by_dst_) {
+    flat_violations_.insert(flat_violations_.end(), vs.begin(), vs.end());
+  }
+}
+
+double AtomFamily::burst(fib::NetworkFib& net, const QuerySet& queries) {
+  const auto t0 = std::chrono::steady_clock::now();
+  // Centralized LEC computation for every collected FIB.
+  fib::LecBuilder builder(net.space());
+  lecs_.clear();
+  lecs_.reserve(net.device_count());
+  for (DeviceId d = 0; d < net.device_count(); ++d) {
+    lecs_.push_back(builder.build(net.table(d)));
+  }
+  rebuild_all(net);
+
+  std::vector<DeviceId> dsts;
+  for (const auto& q : queries) {
+    if (std::find(dsts.begin(), dsts.end(), q.dst) == dsts.end()) {
+      dsts.push_back(q.dst);
+    }
+  }
+  violations_by_dst_.clear();
+  verify_dsts(net, queries, dsts);
+  return seconds_since(t0);
+}
+
+double AtomFamily::incremental(fib::NetworkFib& net,
+                               const fib::FibUpdate& update,
+                               const std::vector<fib::LecDelta>& deltas,
+                               const QuerySet& queries) {
+  const DeviceId device = update.device;
+  const auto t0 = std::chrono::steady_clock::now();
+  if (deltas.empty()) return seconds_since(t0);
+
+  // Patch the stored LEC of the updated device.
+  fib::LecBuilder builder(net.space());
+  packet::PacketSet region = net.space().none();
+  std::vector<fib::Lec> after;
+  for (const auto& d : deltas) {
+    region |= d.pred;
+    after.push_back(fib::Lec{d.pred, d.new_action});
+  }
+  lecs_[device] = builder.apply_patch(lecs_[device], region, after);
+
+  switch (strategy()) {
+    case IncStrategy::RebuildAtoms:
+      rebuild_all(net);
+      break;
+    case IncStrategy::RefineAtoms: {
+      for (const auto& d : deltas) {
+        const auto splits = atoms_->refine(d.pred);
+        graph_->apply_splits(splits);
+      }
+      atoms_of_memo_.clear();
+      // Only the updated device's labels change; flip membership for the
+      // delta regions.
+      for (const auto& d : deltas) {
+        const DynBitset members = memo_atoms_of(d.pred);
+        const auto flip = [&](const fib::Action& action, bool set) {
+          if (action.type == fib::ActionType::Drop) return;
+          for (const DeviceId hop : action.next_hops) {
+            if (hop == fib::kExternalPort) continue;
+            if (!net.topology().has_link(device, hop)) continue;
+            auto& label = graph_->label(device, hop);
+            members.for_each([&](std::size_t i) {
+              if (set) {
+                label.set(i);
+              } else {
+                label.reset(i);
+              }
+            });
+          }
+        };
+        flip(d.old_action, false);
+        flip(d.new_action, true);
+      }
+      break;
+    }
+    case IncStrategy::RefineRebuildDevice: {
+      for (const auto& d : deltas) {
+        const auto splits = atoms_->refine(d.pred);
+        graph_->apply_splits(splits);
+      }
+      atoms_of_memo_.clear();
+      rebuild_device_labels(net, device);
+      break;
+    }
+  }
+
+  verify_dsts(net, queries, affected_dsts(net, queries, region));
+  return seconds_since(t0);
+}
+
+double AtomFamily::reverify(fib::NetworkFib& net, const QuerySet& queries) {
+  const auto t0 = std::chrono::steady_clock::now();
+  std::vector<DeviceId> dsts;
+  for (const auto& q : queries) {
+    if (std::find(dsts.begin(), dsts.end(), q.dst) == dsts.end()) {
+      dsts.push_back(q.dst);
+    }
+  }
+  verify_dsts(net, queries, dsts);
+  return seconds_since(t0);
+}
+
+std::size_t AtomFamily::memory_bytes() const {
+  std::size_t bytes = atoms_ ? atoms_->memory_bytes() : 0;
+  if (graph_) bytes += graph_->memory_bytes();
+  for (const auto& lec : lecs_) {
+    for (const auto& e : lec.entries()) bytes += e.pred.bdd_nodes() * 16;
+  }
+  return bytes;
+}
+
+}  // namespace internal
+
+namespace {
+
+class ApVerifier final : public internal::AtomFamily {
+ public:
+  ApVerifier() : AtomFamily(/*dedupe_predicates=*/false) {}
+  [[nodiscard]] std::string name() const override { return "AP"; }
+
+ protected:
+  [[nodiscard]] IncStrategy strategy() const override {
+    return IncStrategy::RebuildAtoms;
+  }
+};
+
+}  // namespace
+
+std::unique_ptr<CentralizedVerifier> make_ap() {
+  return std::make_unique<ApVerifier>();
+}
+
+}  // namespace tulkun::baseline

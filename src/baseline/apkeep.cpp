@@ -1,0 +1,29 @@
+// APKeep [Zhang et al., NSDI'20]: real-time centralized verification that
+// maintains the atomic-predicate partition incrementally (the PPM model):
+// an update splits only the affected atoms and relabels only the updated
+// device's ports, so incremental verification avoids AP's global
+// recomputation.
+#include "baseline/internal.hpp"
+
+namespace tulkun::baseline {
+
+namespace {
+
+class ApKeepVerifier final : public internal::AtomFamily {
+ public:
+  ApKeepVerifier() : AtomFamily(/*dedupe_predicates=*/false) {}
+  [[nodiscard]] std::string name() const override { return "APKeep"; }
+
+ protected:
+  [[nodiscard]] IncStrategy strategy() const override {
+    return IncStrategy::RefineAtoms;
+  }
+};
+
+}  // namespace
+
+std::unique_ptr<CentralizedVerifier> make_apkeep() {
+  return std::make_unique<ApKeepVerifier>();
+}
+
+}  // namespace tulkun::baseline

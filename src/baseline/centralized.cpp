@@ -1,0 +1,354 @@
+#include "baseline/centralized.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "baseline/internal.hpp"
+
+namespace tulkun::baseline {
+
+QuerySet all_pair_queries(const topo::Topology& topo,
+                          packet::PacketSpace& space, std::uint32_t slack) {
+  QuerySet out;
+  for (DeviceId dst = 0; dst < topo.device_count(); ++dst) {
+    if (topo.prefixes(dst).empty()) continue;
+    packet::PacketSet p = space.none();
+    for (const auto& prefix : topo.prefixes(dst)) {
+      p |= space.dst_prefix(prefix);
+    }
+    const auto dist = topo.hop_distances_to(dst);
+    for (DeviceId ing = 0; ing < topo.device_count(); ++ing) {
+      if (ing == dst) continue;
+      if (dist[ing] == topo::Topology::kUnreachable) continue;
+      out.push_back(Query{ing, dst, p, dist[ing] + slack});
+    }
+  }
+  return out;
+}
+
+double collection_latency(const topo::Topology& topo, DeviceId verifier) {
+  const auto dist = topo.latency_distances_to(verifier);
+  double worst = 0.0;
+  for (const double d : dist) {
+    if (std::isfinite(d)) worst = std::max(worst, d);
+  }
+  return worst;
+}
+
+double update_latency(const topo::Topology& topo, DeviceId verifier,
+                      DeviceId from) {
+  return topo.latency_distances_to(verifier)[from];
+}
+
+std::vector<std::unique_ptr<CentralizedVerifier>> make_all_baselines() {
+  std::vector<std::unique_ptr<CentralizedVerifier>> out;
+  out.push_back(make_ap());
+  out.push_back(make_apkeep());
+  out.push_back(make_deltanet());
+  out.push_back(make_veriflow());
+  out.push_back(make_flash());
+  return out;
+}
+
+namespace internal {
+
+AtomTable::AtomTable(packet::PacketSpace& space) : space_(&space) {}
+
+void AtomTable::rebuild(const std::vector<packet::PacketSet>& predicates) {
+  atoms_.clear();
+  atoms_.push_back(space_->all());
+  for (const auto& p : predicates) {
+    (void)refine(p);
+  }
+}
+
+std::vector<AtomTable::Split> AtomTable::refine(const packet::PacketSet& p) {
+  std::vector<Split> splits;
+  if (p.empty() || p.is_all()) return splits;
+  const std::size_t n = atoms_.size();
+  for (std::size_t i = 0; i < n; ++i) {
+    const auto inside = atoms_[i] & p;
+    if (inside.empty() || inside == atoms_[i]) continue;
+    const auto outside = atoms_[i] - p;
+    atoms_[i] = inside;  // inside keeps the old id
+    atoms_.push_back(outside);
+    splits.push_back(Split{i, i, atoms_.size() - 1});
+  }
+  return splits;
+}
+
+DynBitset AtomTable::atoms_of(const packet::PacketSet& p) const {
+  DynBitset out(atoms_.size());
+  for (std::size_t i = 0; i < atoms_.size(); ++i) {
+    if (atoms_[i].intersects(p)) out.set(i);
+  }
+  return out;
+}
+
+std::size_t AtomTable::memory_bytes() const {
+  std::size_t bytes = 0;
+  for (const auto& a : atoms_) bytes += a.bdd_nodes() * 16 + sizeof(a);
+  return bytes;
+}
+
+LabeledGraph::LabeledGraph(const topo::Topology& topo, std::size_t n_atoms)
+    : adj_(topo.device_count()) {
+  for (DeviceId d = 0; d < topo.device_count(); ++d) {
+    for (const auto& a : topo.neighbors(d)) {
+      adj_[d].emplace_back(a.neighbor, DynBitset(n_atoms));
+    }
+  }
+}
+
+void LabeledGraph::resize_atoms(std::size_t n_atoms) {
+  for (auto& edges : adj_) {
+    for (auto& [to, label] : edges) {
+      DynBitset fresh(n_atoms);
+      label.for_each([&](std::size_t i) { fresh.set(i); });
+      label = std::move(fresh);
+    }
+  }
+}
+
+DynBitset& LabeledGraph::label(DeviceId from, DeviceId to) {
+  for (auto& [t, l] : adj_[from]) {
+    if (t == to) return l;
+  }
+  throw Error("LabeledGraph: no edge");
+}
+
+const DynBitset& LabeledGraph::label(DeviceId from, DeviceId to) const {
+  for (const auto& [t, l] : adj_[from]) {
+    if (t == to) return l;
+  }
+  throw Error("LabeledGraph: no edge");
+}
+
+void LabeledGraph::apply_splits(const std::vector<AtomTable::Split>& splits) {
+  if (splits.empty()) return;
+  std::size_t new_size = 0;
+  for (const auto& s : splits) {
+    new_size = std::max(new_size, std::max(s.inside_id, s.outside_id) + 1);
+  }
+  for (auto& edges : adj_) {
+    for (auto& [to, label] : edges) {
+      if (label.size() < new_size) {
+        DynBitset fresh(new_size);
+        label.for_each([&](std::size_t i) { fresh.set(i); });
+        label = std::move(fresh);
+      }
+      for (const auto& s : splits) {
+        // Both halves of a split atom inherit membership from the parent
+        // (the parent was wholly inside or outside each edge predicate).
+        if (label.test(s.old_id)) {
+          label.set(s.inside_id);
+          label.set(s.outside_id);
+        }
+      }
+    }
+  }
+}
+
+std::size_t LabeledGraph::memory_bytes() const {
+  std::size_t bytes = 0;
+  for (const auto& edges : adj_) {
+    for (const auto& [to, label] : edges) {
+      bytes += label.size() / 8 + sizeof(to);
+    }
+  }
+  return bytes;
+}
+
+std::vector<DynBitset> atoms_reaching(const topo::Topology& topo,
+                                      const LabeledGraph& graph, DeviceId dst,
+                                      const std::vector<std::uint32_t>& max_hops,
+                                      std::size_t n_atoms) {
+  std::uint32_t horizon = 0;
+  for (const auto h : max_hops) {
+    if (h != topo::Topology::kUnreachable) horizon = std::max(horizon, h);
+  }
+
+  // frontier[dev] = atoms reaching dst in <= h hops; result captures each
+  // device's bitset at its own hop bound.
+  std::vector<DynBitset> reach(topo.device_count(), DynBitset(n_atoms));
+  std::vector<DynBitset> result(topo.device_count(), DynBitset(n_atoms));
+  reach[dst].set_all();
+  if (max_hops[dst] != topo::Topology::kUnreachable) {
+    result[dst] = reach[dst];
+  }
+
+  for (std::uint32_t h = 1; h <= horizon; ++h) {
+    std::vector<DynBitset> next = reach;
+    for (DeviceId u = 0; u < topo.device_count(); ++u) {
+      for (const auto& [v, label] : graph.edges(u)) {
+        DynBitset through = label;
+        through &= reach[v];
+        next[u] |= through;
+      }
+    }
+    reach = std::move(next);
+    for (DeviceId u = 0; u < topo.device_count(); ++u) {
+      if (max_hops[u] == h) result[u] = reach[u];
+    }
+  }
+  // Devices whose bound exceeds the horizon (or is zero) take the final /
+  // initial state.
+  for (DeviceId u = 0; u < topo.device_count(); ++u) {
+    if (max_hops[u] != topo::Topology::kUnreachable && max_hops[u] > horizon) {
+      result[u] = reach[u];
+    }
+  }
+  return result;
+}
+
+void verify_dst_queries(const topo::Topology& topo, const LabeledGraph& graph,
+                        const AtomTable& atoms, const QuerySet& queries,
+                        DeviceId dst, std::vector<BaselineViolation>& out) {
+  std::vector<std::uint32_t> max_hops(topo.device_count(),
+                                      topo::Topology::kUnreachable);
+  bool any = false;
+  for (const auto& q : queries) {
+    if (q.dst != dst) continue;
+    max_hops[q.ingress] = std::max(
+        max_hops[q.ingress] == topo::Topology::kUnreachable ? 0 : max_hops[q.ingress],
+        q.max_hops);
+    any = true;
+  }
+  if (!any) return;
+  max_hops[dst] = 0;
+
+  const auto reach = atoms_reaching(topo, graph, dst, max_hops, atoms.size());
+  for (const auto& q : queries) {
+    if (q.dst != dst) continue;
+    DynBitset want = atoms.atoms_of(q.space);
+    DynBitset missing = want;
+    missing.subtract(reach[q.ingress]);
+    if (missing.any()) {
+      out.push_back(BaselineViolation{q.ingress, q.dst, q.space});
+    }
+  }
+}
+
+void IntervalAtoms::rebuild(const fib::NetworkFib& net) {
+  boundaries_.clear();
+  boundaries_.push_back(0);
+  boundaries_.push_back(1ULL << 32);
+  for (DeviceId d = 0; d < net.device_count(); ++d) {
+    for (const fib::Rule* r : net.table(d).all()) {
+      boundaries_.push_back(r->dst_prefix.range_lo());
+      boundaries_.push_back(r->dst_prefix.range_hi());
+    }
+  }
+  std::sort(boundaries_.begin(), boundaries_.end());
+  boundaries_.erase(std::unique(boundaries_.begin(), boundaries_.end()),
+                    boundaries_.end());
+}
+
+bool IntervalAtoms::ensure_boundaries(std::uint64_t lo, std::uint64_t hi) {
+  bool inserted = false;
+  for (const std::uint64_t b : {lo, hi}) {
+    const auto it = std::lower_bound(boundaries_.begin(), boundaries_.end(), b);
+    if (it == boundaries_.end() || *it != b) {
+      boundaries_.insert(it, b);
+      inserted = true;
+    }
+  }
+  return inserted;
+}
+
+std::pair<std::size_t, std::size_t> IntervalAtoms::range(std::uint64_t lo,
+                                                         std::uint64_t hi)
+    const {
+  const auto first = static_cast<std::size_t>(
+      std::lower_bound(boundaries_.begin(), boundaries_.end(), lo) -
+      boundaries_.begin());
+  const auto last = static_cast<std::size_t>(
+      std::lower_bound(boundaries_.begin(), boundaries_.end(), hi) -
+      boundaries_.begin());
+  return {first, last};
+}
+
+std::vector<const fib::Rule*> IntervalAtoms::assignment(
+    const fib::FibTable& fib, std::size_t first, std::size_t last) const {
+  std::vector<const fib::Rule*> out(last - first, nullptr);
+  // Highest priority first: claim unowned atoms in the rule's range.
+  for (const fib::Rule* r : fib.ordered()) {
+    const auto [rf, rl] = range(r->dst_prefix.range_lo(),
+                                r->dst_prefix.range_hi());
+    const std::size_t from = std::max(rf, first);
+    const std::size_t to = std::min(rl, last);
+    for (std::size_t i = from; i < to; ++i) {
+      if (out[i - first] == nullptr) out[i - first] = r;
+    }
+  }
+  return out;
+}
+
+std::size_t IntervalAtoms::memory_bytes() const {
+  return boundaries_.size() * sizeof(std::uint64_t);
+}
+
+void IntervalPlane::rebuild(const fib::NetworkFib& net,
+                            const IntervalAtoms& atoms) {
+  assign_.assign(net.device_count(),
+                 std::vector<const fib::Rule*>(atoms.size(), nullptr));
+  for (DeviceId d = 0; d < net.device_count(); ++d) {
+    set_range(net, atoms, d, 0, atoms.size());
+  }
+}
+
+void IntervalPlane::set_range(const fib::NetworkFib& net,
+                              const IntervalAtoms& atoms, DeviceId device,
+                              std::size_t first, std::size_t last) {
+  auto fresh = atoms.assignment(net.table(device), first, last);
+  for (std::size_t i = first; i < last; ++i) {
+    assign_[device][i] = fresh[i - first];
+  }
+}
+
+std::size_t IntervalPlane::memory_bytes() const {
+  std::size_t bytes = 0;
+  for (const auto& row : assign_) bytes += row.size() * sizeof(void*);
+  return bytes;
+}
+
+void verify_dst_interval(const topo::Topology& topo,
+                         const LabeledGraph& graph, const IntervalAtoms& atoms,
+                         const QuerySet& queries, DeviceId dst,
+                         std::vector<BaselineViolation>& out) {
+  std::vector<std::uint32_t> max_hops(topo.device_count(),
+                                      topo::Topology::kUnreachable);
+  bool any = false;
+  for (const auto& q : queries) {
+    if (q.dst != dst) continue;
+    const std::uint32_t cur =
+        max_hops[q.ingress] == topo::Topology::kUnreachable
+            ? 0
+            : max_hops[q.ingress];
+    max_hops[q.ingress] = std::max(cur, q.max_hops);
+    any = true;
+  }
+  if (!any) return;
+  max_hops[dst] = 0;
+
+  const auto reach = atoms_reaching(topo, graph, dst, max_hops, atoms.size());
+
+  // The query space of a dst is its attached prefixes; use interval ids.
+  DynBitset want(atoms.size());
+  for (const auto& prefix : topo.prefixes(dst)) {
+    const auto [f, l] = atoms.range(prefix.range_lo(), prefix.range_hi());
+    for (std::size_t i = f; i < l; ++i) want.set(i);
+  }
+  for (const auto& q : queries) {
+    if (q.dst != dst) continue;
+    DynBitset missing = want;
+    missing.subtract(reach[q.ingress]);
+    if (missing.any()) {
+      out.push_back(BaselineViolation{q.ingress, q.dst, q.space});
+    }
+  }
+}
+
+}  // namespace internal
+
+}  // namespace tulkun::baseline

@@ -1,0 +1,97 @@
+// Shared substrate for the centralized DPV baselines (AP, APKeep,
+// Delta-net, VeriFlow, Flash).
+//
+// Each baseline re-implements the core algorithm of the corresponding tool
+// (global atomic predicates, incremental atoms, dstIP interval atoms,
+// prefix-trie equivalence classes, batched EC computation). All consume the
+// same NetworkFib and the same query set Tulkun verifies, so the comparison
+// isolates the architectural difference the paper studies. Collection cost
+// is modeled per §9.3.1: devices ship their data planes to a randomly
+// placed verifier along lowest-latency paths.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "fib/update_stream.hpp"
+#include "packet/packet_set.hpp"
+#include "topo/topology.hpp"
+
+namespace tulkun::baseline {
+
+/// One reachability-style requirement: every packet of `space` entering at
+/// `ingress` must reach `dst` within `max_hops` hops (loop- and
+/// blackhole-freeness follow from the hop bound).
+struct Query {
+  DeviceId ingress = kNoDevice;
+  DeviceId dst = kNoDevice;
+  packet::PacketSet space;
+  std::uint32_t max_hops = 0;
+};
+
+using QuerySet = std::vector<Query>;
+
+/// All-pair queries: for every device owning a prefix, from every other
+/// device, within (shortest + slack) hops — the §9.2/§9.3 invariant.
+[[nodiscard]] QuerySet all_pair_queries(const topo::Topology& topo,
+                                        packet::PacketSpace& space,
+                                        std::uint32_t slack);
+
+/// A violation found by a baseline (for cross-checking against Tulkun).
+struct BaselineViolation {
+  DeviceId ingress = kNoDevice;
+  DeviceId dst = kNoDevice;
+  packet::PacketSet space;
+};
+
+/// Latency until the last device's data plane reaches the verifier.
+[[nodiscard]] double collection_latency(const topo::Topology& topo,
+                                        DeviceId verifier);
+
+/// Latency for one device's rule update to reach the verifier.
+[[nodiscard]] double update_latency(const topo::Topology& topo,
+                                    DeviceId verifier, DeviceId from);
+
+/// Interface of every centralized baseline. burst()/incremental() return
+/// host-measured compute seconds; the harness adds collection latency.
+class CentralizedVerifier {
+ public:
+  virtual ~CentralizedVerifier() = default;
+
+  [[nodiscard]] virtual std::string name() const = 0;
+
+  /// Ingests the full data plane and verifies all queries.
+  virtual double burst(fib::NetworkFib& net, const QuerySet& queries) = 0;
+
+  /// Applies one already-applied update (rule form and LEC-delta form) and
+  /// re-verifies what the tool's data structures say is affected. The
+  /// update has already been applied to `net`. Call only after burst().
+  virtual double incremental(fib::NetworkFib& net, const fib::FibUpdate& update,
+                             const std::vector<fib::LecDelta>& deltas,
+                             const QuerySet& queries) = 0;
+
+  /// Re-checks every query against the existing equivalence-class state
+  /// WITHOUT recomputing it (what a centralized tool does when the
+  /// topology changes but no rule does — the §9.3.4 scene verification).
+  virtual double reverify(fib::NetworkFib& net, const QuerySet& queries) = 0;
+
+  [[nodiscard]] virtual const std::vector<BaselineViolation>& violations()
+      const = 0;
+
+  /// Peak auxiliary memory estimate in bytes (reproduces Delta-net's
+  /// memory-out behaviour on large DCs).
+  [[nodiscard]] virtual std::size_t memory_bytes() const = 0;
+};
+
+/// Factory helpers.
+std::unique_ptr<CentralizedVerifier> make_ap();
+std::unique_ptr<CentralizedVerifier> make_apkeep();
+std::unique_ptr<CentralizedVerifier> make_deltanet();
+std::unique_ptr<CentralizedVerifier> make_veriflow();
+std::unique_ptr<CentralizedVerifier> make_flash();
+
+/// All five, in the paper's comparison order.
+std::vector<std::unique_ptr<CentralizedVerifier>> make_all_baselines();
+
+}  // namespace tulkun::baseline

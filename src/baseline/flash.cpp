@@ -1,0 +1,30 @@
+// Flash [Guo et al., SIGCOMM'22]: consistent verification for large-scale
+// networks via batch processing. Its burst-mode edge is processing all
+// collected rules as one batch — network-wide predicate deduplication
+// before equivalence-class computation. Incremental updates still pay for
+// re-deriving the updated device's labels (the paper finds Flash slow on
+// single-rule updates, §1/§9.3.3).
+#include "baseline/internal.hpp"
+
+namespace tulkun::baseline {
+
+namespace {
+
+class FlashVerifier final : public internal::AtomFamily {
+ public:
+  FlashVerifier() : AtomFamily(/*dedupe_predicates=*/true) {}
+  [[nodiscard]] std::string name() const override { return "Flash"; }
+
+ protected:
+  [[nodiscard]] IncStrategy strategy() const override {
+    return IncStrategy::RefineRebuildDevice;
+  }
+};
+
+}  // namespace
+
+std::unique_ptr<CentralizedVerifier> make_flash() {
+  return std::make_unique<FlashVerifier>();
+}
+
+}  // namespace tulkun::baseline

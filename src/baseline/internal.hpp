@@ -1,0 +1,193 @@
+// Shared machinery for the centralized baselines.
+//
+//  * AtomTable / edge labels / per-destination hop DP: the atomic-predicate
+//    family (AP, APKeep, Flash).
+//  * IntervalAtoms: the dstIP-interval family (Delta-net, VeriFlow).
+#pragma once
+
+#include <map>
+#include <unordered_map>
+#include <vector>
+
+#include "baseline/centralized.hpp"
+#include "core/bitset.hpp"
+#include "core/interval_set.hpp"
+#include "fib/lec.hpp"
+
+namespace tulkun::baseline::internal {
+
+/// Global atomic predicates: the coarsest partition refining every
+/// registered predicate [Yang & Lam, ICNP'13].
+class AtomTable {
+ public:
+  explicit AtomTable(packet::PacketSpace& space);
+
+  /// Rebuilds from scratch by refining {true} with each predicate.
+  void rebuild(const std::vector<packet::PacketSet>& predicates);
+
+  /// Incrementally refines with one predicate (APKeep-style). Returns the
+  /// splits performed as (old_id, inside_id, outside_id); inside/outside
+  /// reuse old_id for one half to keep ids dense.
+  struct Split {
+    std::size_t old_id;
+    std::size_t inside_id;   // atom ∩ p
+    std::size_t outside_id;  // atom − p
+  };
+  std::vector<Split> refine(const packet::PacketSet& p);
+
+  [[nodiscard]] std::size_t size() const { return atoms_.size(); }
+  [[nodiscard]] const packet::PacketSet& atom(std::size_t i) const {
+    return atoms_[i];
+  }
+
+  /// Atoms intersecting `p` (exact membership when atoms refine p).
+  [[nodiscard]] DynBitset atoms_of(const packet::PacketSet& p) const;
+
+  [[nodiscard]] std::size_t memory_bytes() const;
+
+ private:
+  packet::PacketSpace* space_;
+  std::vector<packet::PacketSet> atoms_;
+};
+
+/// Directed forwarding graph labeled with atom sets.
+class LabeledGraph {
+ public:
+  LabeledGraph(const topo::Topology& topo, std::size_t n_atoms);
+
+  void resize_atoms(std::size_t n_atoms);
+  [[nodiscard]] DynBitset& label(DeviceId from, DeviceId to);
+  [[nodiscard]] const DynBitset& label(DeviceId from, DeviceId to) const;
+
+  /// Applies an atom split to every edge label (both halves inherit).
+  void apply_splits(const std::vector<AtomTable::Split>& splits);
+
+  /// Per-device list of (neighbor, label) for traversal.
+  [[nodiscard]] const std::vector<std::pair<DeviceId, DynBitset>>& edges(
+      DeviceId from) const {
+    return adj_[from];
+  }
+  [[nodiscard]] std::vector<std::pair<DeviceId, DynBitset>>& edges(
+      DeviceId from) {
+    return adj_[from];
+  }
+
+  [[nodiscard]] std::size_t memory_bytes() const;
+
+ private:
+  std::vector<std::vector<std::pair<DeviceId, DynBitset>>> adj_;
+};
+
+/// Per-destination minimum hop counts per atom:
+/// result[dev] = bitset of atoms reaching `dst` within `max_hops[dev]`.
+/// Computed by layered reverse propagation up to the largest bound.
+[[nodiscard]] std::vector<DynBitset> atoms_reaching(
+    const topo::Topology& topo, const LabeledGraph& graph, DeviceId dst,
+    const std::vector<std::uint32_t>& max_hops, std::size_t n_atoms);
+
+/// Runs the query set for one destination and appends violations.
+void verify_dst_queries(const topo::Topology& topo, const LabeledGraph& graph,
+                        const AtomTable& atoms, const QuerySet& queries,
+                        DeviceId dst, std::vector<BaselineViolation>& out);
+
+/// dstIP interval atoms (Delta-net's "atoms", VeriFlow's trie ECs).
+class IntervalAtoms {
+ public:
+  /// Rebuilds boundaries from every rule range in the network.
+  void rebuild(const fib::NetworkFib& net);
+
+  /// Ensures boundaries exist for [lo, hi); returns true when new
+  /// boundaries were inserted (atom ids shift — callers rebuild labels).
+  bool ensure_boundaries(std::uint64_t lo, std::uint64_t hi);
+
+  [[nodiscard]] std::size_t size() const {
+    return boundaries_.empty() ? 0 : boundaries_.size() - 1;
+  }
+  [[nodiscard]] Interval atom(std::size_t i) const {
+    return Interval{boundaries_[i], boundaries_[i + 1]};
+  }
+  /// Atom ids covering [lo, hi) (requires aligned boundaries).
+  [[nodiscard]] std::pair<std::size_t, std::size_t> range(
+      std::uint64_t lo, std::uint64_t hi) const;
+
+  /// Per-device effective next-hop assignment: for each atom in [first,
+  /// last), the action of the highest-priority covering rule.
+  [[nodiscard]] std::vector<const fib::Rule*> assignment(
+      const fib::FibTable& fib, std::size_t first, std::size_t last) const;
+
+  [[nodiscard]] std::size_t memory_bytes() const;
+
+ private:
+  std::vector<std::uint64_t> boundaries_;  // sorted; atoms are consecutive
+};
+
+/// Per-device, per-interval-atom effective rule (the Delta-net edge-label
+/// substrate / VeriFlow trie-lookup result).
+class IntervalPlane {
+ public:
+  void rebuild(const fib::NetworkFib& net, const IntervalAtoms& atoms);
+  void set_range(const fib::NetworkFib& net, const IntervalAtoms& atoms,
+                 DeviceId device, std::size_t first, std::size_t last);
+  [[nodiscard]] const fib::Rule* rule_at(DeviceId device,
+                                         std::size_t atom) const {
+    return assign_[device][atom];
+  }
+  [[nodiscard]] std::size_t memory_bytes() const;
+
+ private:
+  std::vector<std::vector<const fib::Rule*>> assign_;
+};
+
+/// Interval-atom analogue of verify_dst_queries: checks all queries with
+/// destination `dst` against the labeled graph and appends violations.
+void verify_dst_interval(const topo::Topology& topo, const LabeledGraph& graph,
+                         const IntervalAtoms& atoms, const QuerySet& queries,
+                         DeviceId dst, std::vector<BaselineViolation>& out);
+
+/// Common engine of the atomic-predicate family. Subclasses pick the
+/// incremental strategy (the architectural difference between AP, APKeep,
+/// and Flash).
+class AtomFamily : public CentralizedVerifier {
+ public:
+  explicit AtomFamily(bool dedupe_predicates)
+      : dedupe_predicates_(dedupe_predicates) {}
+
+  double burst(fib::NetworkFib& net, const QuerySet& queries) override;
+  double incremental(fib::NetworkFib& net, const fib::FibUpdate& update,
+                     const std::vector<fib::LecDelta>& deltas,
+                     const QuerySet& queries) override;
+  double reverify(fib::NetworkFib& net, const QuerySet& queries) override;
+  [[nodiscard]] const std::vector<BaselineViolation>& violations()
+      const override {
+    return flat_violations_;
+  }
+  [[nodiscard]] std::size_t memory_bytes() const override;
+
+ protected:
+  enum class IncStrategy {
+    RebuildAtoms,   // AP: global atom recomputation per update
+    RefineAtoms,    // APKeep: split only affected atoms
+    RefineRebuildDevice,  // Flash: refine atoms, rebuild device labels
+  };
+  [[nodiscard]] virtual IncStrategy strategy() const = 0;
+
+  void rebuild_all(fib::NetworkFib& net);
+  void rebuild_device_labels(fib::NetworkFib& net, DeviceId device);
+  void verify_dsts(fib::NetworkFib& net, const QuerySet& queries,
+                   const std::vector<DeviceId>& dsts);
+  [[nodiscard]] std::vector<DeviceId> affected_dsts(
+      const fib::NetworkFib& net, const QuerySet& queries,
+      const packet::PacketSet& region) const;
+  [[nodiscard]] DynBitset memo_atoms_of(const packet::PacketSet& p);
+
+  bool dedupe_predicates_;
+  packet::PacketSpace* space_ = nullptr;
+  std::vector<fib::LecTable> lecs_;
+  std::unique_ptr<AtomTable> atoms_;
+  std::unique_ptr<LabeledGraph> graph_;
+  std::unordered_map<bdd::NodeRef, DynBitset> atoms_of_memo_;
+  std::map<DeviceId, std::vector<BaselineViolation>> violations_by_dst_;
+  std::vector<BaselineViolation> flat_violations_;
+};
+
+}  // namespace tulkun::baseline::internal

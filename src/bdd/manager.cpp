@@ -1,0 +1,210 @@
+#include "bdd/manager.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace tulkun::bdd {
+
+namespace {
+constexpr std::size_t kApplyCacheSize = 1 << 18;  // 256K entries, lossy
+constexpr std::size_t kNegateCacheSize = 1 << 16;
+
+std::uint64_t pack_apply_key(Op op, NodeRef a, NodeRef b) {
+  // 2 bits op, 31 bits each operand: sufficient for our arena sizes.
+  return (static_cast<std::uint64_t>(op) << 62) |
+         (static_cast<std::uint64_t>(a) << 31) | b;
+}
+}  // namespace
+
+Manager::Manager(std::uint32_t num_vars)
+    : num_vars_(num_vars),
+      apply_cache_(kApplyCacheSize),
+      negate_cache_(kNegateCacheSize) {
+  // Terminals occupy slots 0 and 1; their contents are never read.
+  nodes_.resize(2);
+}
+
+void Manager::reset() {
+  nodes_.clear();
+  nodes_.resize(2);
+  unique_.clear();
+  std::fill(apply_cache_.begin(), apply_cache_.end(), ApplyEntry{});
+  std::fill(negate_cache_.begin(), negate_cache_.end(), NegateEntry{});
+}
+
+NodeRef Manager::mk(std::uint32_t v, NodeRef low, NodeRef high) {
+  TULKUN_ASSERT(v < num_vars_);
+  if (low == high) return low;  // reduction rule
+  const UniqueKey key{v, low, high};
+  const auto it = unique_.find(key);
+  if (it != unique_.end()) return it->second;
+  const auto ref = static_cast<NodeRef>(nodes_.size());
+  nodes_.push_back(Node{v, low, high});
+  unique_.emplace(key, ref);
+  return ref;
+}
+
+NodeRef Manager::var(std::uint32_t v) { return mk(v, kFalse, kTrue); }
+
+NodeRef Manager::nvar(std::uint32_t v) { return mk(v, kTrue, kFalse); }
+
+NodeRef Manager::apply(Op op, NodeRef a, NodeRef b) {
+  return apply_rec(op, a, b);
+}
+
+NodeRef Manager::apply_rec(Op op, NodeRef a, NodeRef b) {
+  // Terminal cases.
+  switch (op) {
+    case Op::And:
+      if (a == kFalse || b == kFalse) return kFalse;
+      if (a == kTrue) return b;
+      if (b == kTrue) return a;
+      if (a == b) return a;
+      break;
+    case Op::Or:
+      if (a == kTrue || b == kTrue) return kTrue;
+      if (a == kFalse) return b;
+      if (b == kFalse) return a;
+      if (a == b) return a;
+      break;
+    case Op::Xor:
+      if (a == kFalse) return b;
+      if (b == kFalse) return a;
+      if (a == b) return kFalse;
+      if (a == kTrue) return negate(b);
+      if (b == kTrue) return negate(a);
+      break;
+    case Op::Diff:
+      if (a == kFalse || b == kTrue) return kFalse;
+      if (a == b) return kFalse;
+      if (b == kFalse) return a;
+      if (a == kTrue) return negate(b);
+      break;
+  }
+
+  // Canonicalize commutative operand order for better cache hit rates.
+  NodeRef ca = a;
+  NodeRef cb = b;
+  if ((op == Op::And || op == Op::Or || op == Op::Xor) && cb < ca) {
+    std::swap(ca, cb);
+  }
+  const std::uint64_t key = pack_apply_key(op, ca, cb);
+  ApplyEntry& slot = apply_cache_[key % kApplyCacheSize];
+  if (slot.key == key) return slot.result;
+
+  const std::uint32_t va = var_of(ca);
+  const std::uint32_t vb = var_of(cb);
+  const std::uint32_t v = std::min(va, vb);
+  const NodeRef a_lo = va == v ? nodes_[ca].low : ca;
+  const NodeRef a_hi = va == v ? nodes_[ca].high : ca;
+  const NodeRef b_lo = vb == v ? nodes_[cb].low : cb;
+  const NodeRef b_hi = vb == v ? nodes_[cb].high : cb;
+
+  const NodeRef lo = apply_rec(op, a_lo, b_lo);
+  const NodeRef hi = apply_rec(op, a_hi, b_hi);
+  const NodeRef result = mk(v, lo, hi);
+
+  slot = ApplyEntry{key, result};
+  return result;
+}
+
+NodeRef Manager::negate(NodeRef a) {
+  if (a == kFalse) return kTrue;
+  if (a == kTrue) return kFalse;
+  NegateEntry& slot = negate_cache_[a % kNegateCacheSize];
+  if (slot.key == a) return slot.result;
+  const Node n = nodes_[a];
+  const NodeRef result = mk(n.var, negate(n.low), negate(n.high));
+  negate_cache_[a % kNegateCacheSize] = NegateEntry{a, result};
+  return result;
+}
+
+NodeRef Manager::ite(NodeRef f, NodeRef g, NodeRef h) {
+  // ite(f,g,h) = (f AND g) OR (NOT f AND h); fine for our usage patterns.
+  return lor(land(f, g), land(negate(f), h));
+}
+
+NodeRef Manager::exists_range(NodeRef a, std::uint32_t lo_var,
+                              std::uint32_t hi_var) {
+  std::unordered_map<NodeRef, NodeRef> memo;
+  return exists_rec(a, lo_var, hi_var, memo);
+}
+
+NodeRef Manager::exists_rec(NodeRef a, std::uint32_t lo_var,
+                            std::uint32_t hi_var,
+                            std::unordered_map<NodeRef, NodeRef>& memo) {
+  if (a < 2) return a;
+  const std::uint32_t v = nodes_[a].var;
+  if (v >= hi_var) return a;  // all quantified vars are above this node
+  const auto it = memo.find(a);
+  if (it != memo.end()) return it->second;
+  const Node n = nodes_[a];
+  const NodeRef lo = exists_rec(n.low, lo_var, hi_var, memo);
+  const NodeRef hi = exists_rec(n.high, lo_var, hi_var, memo);
+  const NodeRef result =
+      (v >= lo_var && v < hi_var) ? lor(lo, hi) : mk(v, lo, hi);
+  memo.emplace(a, result);
+  return result;
+}
+
+double Manager::sat_count(NodeRef a) {
+  std::unordered_map<NodeRef, double> memo;
+  // sat_count_rec counts over variables [var_of(a), num_vars); variables
+  // above the root are unconstrained and scale the count.
+  return sat_count_rec(a, memo) *
+         std::pow(2.0, static_cast<double>(var_of(a)));
+}
+
+double Manager::sat_count_rec(NodeRef a,
+                              std::unordered_map<NodeRef, double>& memo) {
+  // Returns the count over variables [var_of(a), num_vars).
+  if (a == kFalse) return 0.0;
+  if (a == kTrue) return 1.0;
+  const auto it = memo.find(a);
+  if (it != memo.end()) return it->second;
+  const Node& n = nodes_[a];
+  const double lo = sat_count_rec(n.low, memo);
+  const double hi = sat_count_rec(n.high, memo);
+  const double lo_scale =
+      std::pow(2.0, static_cast<double>(var_of(n.low) - n.var - 1));
+  const double hi_scale =
+      std::pow(2.0, static_cast<double>(var_of(n.high) - n.var - 1));
+  const double count = lo * lo_scale + hi * hi_scale;
+  memo.emplace(a, count);
+  return count;
+}
+
+std::size_t Manager::node_count(NodeRef a) const {
+  if (a < 2) return 0;
+  std::vector<bool> seen(nodes_.size(), false);
+  std::size_t count = 0;
+  node_count_rec(a, seen, count);
+  return count;
+}
+
+void Manager::node_count_rec(NodeRef a, std::vector<bool>& seen,
+                             std::size_t& count) const {
+  if (a < 2 || seen[a]) return;
+  seen[a] = true;
+  ++count;
+  node_count_rec(nodes_[a].low, seen, count);
+  node_count_rec(nodes_[a].high, seen, count);
+}
+
+std::vector<std::pair<std::uint32_t, bool>> Manager::any_sat(NodeRef a) const {
+  TULKUN_ASSERT(a != kFalse);
+  std::vector<std::pair<std::uint32_t, bool>> path;
+  while (a != kTrue) {
+    const Node& n = nodes_[a];
+    if (n.high != kFalse) {
+      path.emplace_back(n.var, true);
+      a = n.high;
+    } else {
+      path.emplace_back(n.var, false);
+      a = n.low;
+    }
+  }
+  return path;
+}
+
+}  // namespace tulkun::bdd

@@ -1,0 +1,156 @@
+// From-scratch ROBDD engine.
+//
+// Tulkun encodes packet sets (LEC predicates, DVM message payloads) as
+// reduced ordered binary decision diagrams, mirroring the paper's choice of
+// BDDs (it used the Java JDD library; we implement our own).
+//
+// Design:
+//  - Nodes live in a growable arena; a NodeRef is an index into it.
+//    Refs 0 and 1 are the FALSE and TRUE terminals.
+//  - A hash-consing unique table guarantees canonicity: structural equality
+//    is pointer (index) equality, so packet-set equality checks are O(1).
+//  - Binary operations are memoized in a lossy direct-mapped cache.
+//  - No garbage collection: verification sessions are bounded and the arena
+//    is compact (16 bytes/node); managers are per-session and can be reset.
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "core/error.hpp"
+#include "core/ids.hpp"
+
+namespace tulkun::bdd {
+
+/// Index of a BDD node within its Manager. 0 = FALSE, 1 = TRUE.
+using NodeRef = std::uint32_t;
+
+inline constexpr NodeRef kFalse = 0;
+inline constexpr NodeRef kTrue = 1;
+
+/// Binary boolean operations supported by apply().
+enum class Op : std::uint8_t { And, Or, Xor, Diff };
+
+/// A decision node: branch on `var`; `low` = var=0 branch, `high` = var=1.
+struct Node {
+  std::uint32_t var = 0;
+  NodeRef low = kFalse;
+  NodeRef high = kFalse;
+};
+
+/// Owns the node arena, unique table, and operation caches for one BDD space.
+/// All NodeRefs are only meaningful relative to their Manager.
+class Manager {
+ public:
+  /// num_vars: number of boolean variables; variable 0 is the topmost in
+  /// the decision order.
+  explicit Manager(std::uint32_t num_vars);
+
+  Manager(const Manager&) = delete;
+  Manager& operator=(const Manager&) = delete;
+
+  [[nodiscard]] std::uint32_t num_vars() const { return num_vars_; }
+
+  /// Total nodes allocated (including the two terminals).
+  [[nodiscard]] std::size_t arena_size() const { return nodes_.size(); }
+
+  /// BDD for a single variable (true iff var v is 1).
+  [[nodiscard]] NodeRef var(std::uint32_t v);
+
+  /// BDD for the negation of a single variable.
+  [[nodiscard]] NodeRef nvar(std::uint32_t v);
+
+  /// The canonical node for (v, low, high); reduces when low == high.
+  [[nodiscard]] NodeRef mk(std::uint32_t v, NodeRef low, NodeRef high);
+
+  [[nodiscard]] NodeRef apply(Op op, NodeRef a, NodeRef b);
+  [[nodiscard]] NodeRef land(NodeRef a, NodeRef b) { return apply(Op::And, a, b); }
+  [[nodiscard]] NodeRef lor(NodeRef a, NodeRef b) { return apply(Op::Or, a, b); }
+  [[nodiscard]] NodeRef lxor(NodeRef a, NodeRef b) { return apply(Op::Xor, a, b); }
+  /// a AND NOT b.
+  [[nodiscard]] NodeRef diff(NodeRef a, NodeRef b) { return apply(Op::Diff, a, b); }
+  [[nodiscard]] NodeRef negate(NodeRef a);
+  /// if-then-else: f ? g : h.
+  [[nodiscard]] NodeRef ite(NodeRef f, NodeRef g, NodeRef h);
+
+  /// True iff a => b (a AND NOT b is empty).
+  [[nodiscard]] bool implies(NodeRef a, NodeRef b) {
+    return diff(a, b) == kFalse;
+  }
+
+  /// Existentially quantifies all variables in [lo_var, hi_var):
+  /// result is true for an assignment iff some setting of those variables
+  /// satisfies `a`. Used to compute rewrite images of packet sets.
+  [[nodiscard]] NodeRef exists_range(NodeRef a, std::uint32_t lo_var,
+                                     std::uint32_t hi_var);
+
+  /// Number of satisfying assignments over all num_vars() variables.
+  /// Returned as double: may exceed 2^53 for wide packet spaces, where an
+  /// approximate count is acceptable (used only for stats/workload sizing).
+  [[nodiscard]] double sat_count(NodeRef a);
+
+  /// Number of decision nodes reachable from `a` (terminals excluded).
+  [[nodiscard]] std::size_t node_count(NodeRef a) const;
+
+  /// One satisfying assignment as (var -> bool) pairs along a path to TRUE.
+  /// Unconstrained variables are omitted. Requires a != kFalse.
+  [[nodiscard]] std::vector<std::pair<std::uint32_t, bool>> any_sat(
+      NodeRef a) const;
+
+  /// Access a decision node. Requires r >= 2.
+  [[nodiscard]] const Node& node(NodeRef r) const {
+    TULKUN_ASSERT(r >= 2 && r < nodes_.size());
+    return nodes_[r];
+  }
+
+  /// Drops all nodes and caches, keeping only terminals. Invalidates every
+  /// outstanding NodeRef; callers own that hazard (used between bench runs).
+  void reset();
+
+ private:
+  struct UniqueKey {
+    std::uint32_t var;
+    NodeRef low;
+    NodeRef high;
+    friend bool operator==(const UniqueKey&, const UniqueKey&) = default;
+  };
+  struct UniqueKeyHash {
+    std::size_t operator()(const UniqueKey& k) const noexcept {
+      std::size_t seed = k.var;
+      hash_combine(seed, k.low);
+      hash_combine(seed, k.high);
+      return seed;
+    }
+  };
+
+  // Lossy direct-mapped cache for apply(); collisions overwrite.
+  struct ApplyEntry {
+    std::uint64_t key = ~0ULL;  // packed (op, a, b)
+    NodeRef result = kFalse;
+  };
+  struct NegateEntry {
+    NodeRef key = ~0U;
+    NodeRef result = kFalse;
+  };
+
+  [[nodiscard]] std::uint32_t var_of(NodeRef r) const {
+    // Terminals sort below all variables.
+    return r < 2 ? num_vars_ : nodes_[r].var;
+  }
+
+  NodeRef apply_rec(Op op, NodeRef a, NodeRef b);
+  NodeRef exists_rec(NodeRef a, std::uint32_t lo_var, std::uint32_t hi_var,
+                     std::unordered_map<NodeRef, NodeRef>& memo);
+  double sat_count_rec(NodeRef a, std::unordered_map<NodeRef, double>& memo);
+  void node_count_rec(NodeRef a, std::vector<bool>& seen,
+                      std::size_t& count) const;
+
+  std::uint32_t num_vars_;
+  std::vector<Node> nodes_;
+  std::unordered_map<UniqueKey, NodeRef, UniqueKeyHash> unique_;
+  std::vector<ApplyEntry> apply_cache_;
+  std::vector<NegateEntry> negate_cache_;
+};
+
+}  // namespace tulkun::bdd

@@ -1,0 +1,100 @@
+#include "bdd/serialize.hpp"
+
+#include <cstring>
+#include <unordered_map>
+
+namespace tulkun::bdd {
+
+namespace {
+
+void put_u32(std::vector<std::uint8_t>& out, std::uint32_t v) {
+  out.push_back(static_cast<std::uint8_t>(v));
+  out.push_back(static_cast<std::uint8_t>(v >> 8));
+  out.push_back(static_cast<std::uint8_t>(v >> 16));
+  out.push_back(static_cast<std::uint8_t>(v >> 24));
+}
+
+std::uint32_t get_u32(std::span<const std::uint8_t> bytes, std::size_t& pos) {
+  if (pos + 4 > bytes.size()) {
+    throw Error("bdd deserialize: truncated buffer");
+  }
+  const std::uint32_t v = static_cast<std::uint32_t>(bytes[pos]) |
+                          (static_cast<std::uint32_t>(bytes[pos + 1]) << 8) |
+                          (static_cast<std::uint32_t>(bytes[pos + 2]) << 16) |
+                          (static_cast<std::uint32_t>(bytes[pos + 3]) << 24);
+  pos += 4;
+  return v;
+}
+
+// Post-order collection: children appear before parents, so local indices
+// in the output always reference already-emitted nodes.
+void collect_postorder(const Manager& mgr, NodeRef r,
+                       std::unordered_map<NodeRef, std::uint32_t>& local,
+                       std::vector<NodeRef>& order) {
+  if (r < 2 || local.contains(r)) return;
+  const Node& n = mgr.node(r);
+  collect_postorder(mgr, n.low, local, order);
+  collect_postorder(mgr, n.high, local, order);
+  local.emplace(r, static_cast<std::uint32_t>(order.size()) + 2);
+  order.push_back(r);
+}
+
+std::uint32_t local_ref(
+    const std::unordered_map<NodeRef, std::uint32_t>& local, NodeRef r) {
+  if (r < 2) return r;
+  return local.at(r);
+}
+
+}  // namespace
+
+std::vector<std::uint8_t> serialize(const Manager& mgr, NodeRef root) {
+  std::unordered_map<NodeRef, std::uint32_t> local;
+  std::vector<NodeRef> order;
+  collect_postorder(mgr, root, local, order);
+
+  std::vector<std::uint8_t> out;
+  out.reserve(8 + order.size() * 12);
+  put_u32(out, static_cast<std::uint32_t>(order.size()));
+  put_u32(out, local_ref(local, root));
+  for (const NodeRef r : order) {
+    const Node& n = mgr.node(r);
+    put_u32(out, n.var);
+    put_u32(out, local_ref(local, n.low));
+    put_u32(out, local_ref(local, n.high));
+  }
+  return out;
+}
+
+std::size_t serialized_size(const Manager& mgr, NodeRef root) {
+  return 8 + mgr.node_count(root) * 12;
+}
+
+NodeRef deserialize(Manager& mgr, std::span<const std::uint8_t> bytes) {
+  std::size_t pos = 0;
+  const std::uint32_t n_nodes = get_u32(bytes, pos);
+  const std::uint32_t root_local = get_u32(bytes, pos);
+
+  std::vector<NodeRef> refs;  // local index i+2 -> manager ref
+  refs.reserve(n_nodes);
+  const auto resolve = [&](std::uint32_t local) -> NodeRef {
+    if (local < 2) return local;
+    const std::uint32_t idx = local - 2;
+    if (idx >= refs.size()) {
+      throw Error("bdd deserialize: forward reference");
+    }
+    return refs[idx];
+  };
+
+  for (std::uint32_t i = 0; i < n_nodes; ++i) {
+    const std::uint32_t var = get_u32(bytes, pos);
+    const std::uint32_t lo = get_u32(bytes, pos);
+    const std::uint32_t hi = get_u32(bytes, pos);
+    if (var >= mgr.num_vars()) {
+      throw Error("bdd deserialize: variable out of range");
+    }
+    refs.push_back(mgr.mk(var, resolve(lo), resolve(hi)));
+  }
+  return resolve(root_local);
+}
+
+}  // namespace tulkun::bdd

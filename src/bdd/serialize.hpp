@@ -1,0 +1,30 @@
+// Wire (de)serialization of BDDs.
+//
+// DVM UPDATE messages carry predicates between devices; the paper adapted
+// JDD + Protobuf for this. We use a compact custom format: a topologically
+// ordered node list with local indices, so the receiver can rebuild the
+// predicate in its own manager with hash-consing intact.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "bdd/manager.hpp"
+
+namespace tulkun::bdd {
+
+/// Serializes the BDD rooted at `root` into a self-contained byte buffer.
+[[nodiscard]] std::vector<std::uint8_t> serialize(const Manager& mgr,
+                                                  NodeRef root);
+
+/// Rebuilds a serialized BDD inside `mgr`. Throws Error on malformed input.
+/// The manager may differ from the serializing one as long as it has at
+/// least as many variables.
+[[nodiscard]] NodeRef deserialize(Manager& mgr,
+                                  std::span<const std::uint8_t> bytes);
+
+/// Size in bytes that serialize() would produce (for message accounting).
+[[nodiscard]] std::size_t serialized_size(const Manager& mgr, NodeRef root);
+
+}  // namespace tulkun::bdd

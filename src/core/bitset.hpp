@@ -1,0 +1,88 @@
+// A simple dynamic bitset used by the centralized baselines to label
+// forwarding-graph edges with equivalence-class (atom) sets.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace tulkun {
+
+class DynBitset {
+ public:
+  DynBitset() = default;
+  explicit DynBitset(std::size_t n) : n_(n), words_((n + 63) / 64, 0) {}
+
+  [[nodiscard]] std::size_t size() const { return n_; }
+
+  void set(std::size_t i) { words_[i / 64] |= (1ULL << (i % 64)); }
+  void reset(std::size_t i) { words_[i / 64] &= ~(1ULL << (i % 64)); }
+  [[nodiscard]] bool test(std::size_t i) const {
+    return (words_[i / 64] >> (i % 64)) & 1ULL;
+  }
+
+  void set_all() {
+    for (auto& w : words_) w = ~0ULL;
+    trim();
+  }
+
+  [[nodiscard]] bool any() const {
+    for (const auto w : words_) {
+      if (w != 0) return true;
+    }
+    return false;
+  }
+
+  [[nodiscard]] std::size_t count() const {
+    std::size_t c = 0;
+    for (const auto w : words_) c += static_cast<std::size_t>(__builtin_popcountll(w));
+    return c;
+  }
+
+  DynBitset& operator&=(const DynBitset& o) {
+    for (std::size_t i = 0; i < words_.size(); ++i) words_[i] &= o.words_[i];
+    return *this;
+  }
+  DynBitset& operator|=(const DynBitset& o) {
+    for (std::size_t i = 0; i < words_.size(); ++i) words_[i] |= o.words_[i];
+    return *this;
+  }
+  /// this &= ~o
+  DynBitset& subtract(const DynBitset& o) {
+    for (std::size_t i = 0; i < words_.size(); ++i) words_[i] &= ~o.words_[i];
+    return *this;
+  }
+
+  [[nodiscard]] bool intersects(const DynBitset& o) const {
+    for (std::size_t i = 0; i < words_.size(); ++i) {
+      if (words_[i] & o.words_[i]) return true;
+    }
+    return false;
+  }
+
+  /// Calls f(i) for every set bit.
+  template <typename F>
+  void for_each(F&& f) const {
+    for (std::size_t w = 0; w < words_.size(); ++w) {
+      std::uint64_t bits = words_[w];
+      while (bits != 0) {
+        const auto b = static_cast<std::size_t>(__builtin_ctzll(bits));
+        f(w * 64 + b);
+        bits &= bits - 1;
+      }
+    }
+  }
+
+  friend bool operator==(const DynBitset&, const DynBitset&) = default;
+
+ private:
+  void trim() {
+    if (n_ % 64 != 0 && !words_.empty()) {
+      words_.back() &= (1ULL << (n_ % 64)) - 1;
+    }
+  }
+
+  std::size_t n_ = 0;
+  std::vector<std::uint64_t> words_;
+};
+
+}  // namespace tulkun

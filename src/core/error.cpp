@@ -1,0 +1,10 @@
+#include "core/error.hpp"
+
+namespace tulkun {
+
+void throw_internal(const char* file, int line, const char* expr) {
+  throw InternalError(std::string(file) + ":" + std::to_string(line) +
+                      ": assertion failed: " + expr);
+}
+
+}  // namespace tulkun

@@ -1,0 +1,58 @@
+// Error types for the Tulkun library.
+//
+// All user-facing failures (malformed specs, inconsistent invariants,
+// dataset problems) throw tulkun::Error; internal invariant violations use
+// TULKUN_ASSERT which throws tulkun::InternalError so tests can observe them.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+namespace tulkun {
+
+/// Base class for all errors raised by the library on invalid user input.
+class Error : public std::runtime_error {
+ public:
+  explicit Error(const std::string& what) : std::runtime_error(what) {}
+};
+
+/// Raised when parsing an invariant specification fails.
+class SpecError : public Error {
+ public:
+  explicit SpecError(const std::string& what) : Error("spec error: " + what) {}
+};
+
+/// Raised when parsing a regular expression over devices fails.
+class RegexError : public Error {
+ public:
+  explicit RegexError(const std::string& what)
+      : Error("regex error: " + what) {}
+};
+
+/// Raised for malformed topologies or datasets.
+class TopologyError : public Error {
+ public:
+  explicit TopologyError(const std::string& what)
+      : Error("topology error: " + what) {}
+};
+
+/// Raised when an internal invariant is violated (a library bug).
+class InternalError : public Error {
+ public:
+  explicit InternalError(const std::string& what)
+      : Error("internal error: " + what) {}
+};
+
+[[noreturn]] void throw_internal(const char* file, int line, const char* expr);
+
+}  // namespace tulkun
+
+/// Checks an internal invariant; throws InternalError when violated.
+/// Active in all build types: verification correctness beats raw speed here,
+/// and the checks are on cold paths.
+#define TULKUN_ASSERT(expr)                            \
+  do {                                                 \
+    if (!(expr)) {                                     \
+      ::tulkun::throw_internal(__FILE__, __LINE__, #expr); \
+    }                                                  \
+  } while (false)

@@ -1,0 +1,55 @@
+// Strongly typed identifiers used across the Tulkun library.
+//
+// Devices, links, DPVNet nodes, and invariants all use small integer
+// identifiers internally; distinct wrapper types keep them from being mixed
+// up at call sites while compiling down to plain integers.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <limits>
+
+namespace tulkun {
+
+/// Index of a device (switch/router) within a Topology.
+using DeviceId = std::uint32_t;
+
+/// Index of a node within a DPVNet.
+using NodeId = std::uint32_t;
+
+/// Index of an invariant within a planner session.
+using InvariantId = std::uint32_t;
+
+/// Sentinel for "no device".
+inline constexpr DeviceId kNoDevice = std::numeric_limits<DeviceId>::max();
+
+/// Sentinel for "no node".
+inline constexpr NodeId kNoNode = std::numeric_limits<NodeId>::max();
+
+/// A directed link between two devices, identified by endpoint device ids.
+struct LinkId {
+  DeviceId from = kNoDevice;
+  DeviceId to = kNoDevice;
+
+  friend bool operator==(const LinkId&, const LinkId&) = default;
+  friend auto operator<=>(const LinkId&, const LinkId&) = default;
+
+  /// The opposite direction of this link.
+  [[nodiscard]] LinkId reversed() const { return LinkId{to, from}; }
+};
+
+/// Combines a new value into a running hash seed (boost-style).
+inline void hash_combine(std::size_t& seed, std::size_t value) {
+  seed ^= value + 0x9e3779b97f4a7c15ULL + (seed << 6) + (seed >> 2);
+}
+
+}  // namespace tulkun
+
+template <>
+struct std::hash<tulkun::LinkId> {
+  std::size_t operator()(const tulkun::LinkId& l) const noexcept {
+    std::size_t seed = std::hash<tulkun::DeviceId>{}(l.from);
+    tulkun::hash_combine(seed, std::hash<tulkun::DeviceId>{}(l.to));
+    return seed;
+  }
+};

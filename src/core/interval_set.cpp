@@ -1,0 +1,114 @@
+#include "core/interval_set.hpp"
+
+#include <algorithm>
+
+namespace tulkun {
+
+IntervalSet::IntervalSet(Interval iv) {
+  if (!iv.empty()) ivs_.push_back(iv);
+}
+
+IntervalSet::IntervalSet(std::initializer_list<Interval> ivs) {
+  for (const auto& iv : ivs) {
+    if (!iv.empty()) ivs_.push_back(iv);
+  }
+  normalize();
+}
+
+std::uint64_t IntervalSet::size() const {
+  std::uint64_t total = 0;
+  for (const auto& iv : ivs_) total += iv.size();
+  return total;
+}
+
+void IntervalSet::insert(Interval iv) {
+  if (iv.empty()) return;
+  ivs_.push_back(iv);
+  normalize();
+}
+
+void IntervalSet::normalize() {
+  if (ivs_.empty()) return;
+  std::sort(ivs_.begin(), ivs_.end(),
+            [](const Interval& a, const Interval& b) { return a.lo < b.lo; });
+  std::vector<Interval> merged;
+  merged.reserve(ivs_.size());
+  for (const auto& iv : ivs_) {
+    if (iv.empty()) continue;
+    if (!merged.empty() && iv.lo <= merged.back().hi) {
+      merged.back().hi = std::max(merged.back().hi, iv.hi);
+    } else {
+      merged.push_back(iv);
+    }
+  }
+  ivs_ = std::move(merged);
+}
+
+bool IntervalSet::contains(std::uint64_t x) const {
+  auto it = std::upper_bound(
+      ivs_.begin(), ivs_.end(), x,
+      [](std::uint64_t v, const Interval& iv) { return v < iv.lo; });
+  if (it == ivs_.begin()) return false;
+  --it;
+  return x >= it->lo && x < it->hi;
+}
+
+bool IntervalSet::intersects(const IntervalSet& other) const {
+  auto a = ivs_.begin();
+  auto b = other.ivs_.begin();
+  while (a != ivs_.end() && b != other.ivs_.end()) {
+    if (a->hi <= b->lo) {
+      ++a;
+    } else if (b->hi <= a->lo) {
+      ++b;
+    } else {
+      return true;
+    }
+  }
+  return false;
+}
+
+IntervalSet IntervalSet::unite(const IntervalSet& other) const {
+  IntervalSet out;
+  out.ivs_ = ivs_;
+  out.ivs_.insert(out.ivs_.end(), other.ivs_.begin(), other.ivs_.end());
+  out.normalize();
+  return out;
+}
+
+IntervalSet IntervalSet::intersect(const IntervalSet& other) const {
+  IntervalSet out;
+  auto a = ivs_.begin();
+  auto b = other.ivs_.begin();
+  while (a != ivs_.end() && b != other.ivs_.end()) {
+    const std::uint64_t lo = std::max(a->lo, b->lo);
+    const std::uint64_t hi = std::min(a->hi, b->hi);
+    if (lo < hi) out.ivs_.push_back(Interval{lo, hi});
+    if (a->hi < b->hi) {
+      ++a;
+    } else {
+      ++b;
+    }
+  }
+  return out;  // already sorted and disjoint
+}
+
+IntervalSet IntervalSet::subtract(const IntervalSet& other) const {
+  IntervalSet out;
+  auto b = other.ivs_.begin();
+  for (const auto& iv : ivs_) {
+    std::uint64_t lo = iv.lo;
+    while (b != other.ivs_.end() && b->hi <= lo) ++b;
+    auto bb = b;
+    while (bb != other.ivs_.end() && bb->lo < iv.hi) {
+      if (bb->lo > lo) out.ivs_.push_back(Interval{lo, bb->lo});
+      lo = std::max(lo, bb->hi);
+      if (lo >= iv.hi) break;
+      ++bb;
+    }
+    if (lo < iv.hi) out.ivs_.push_back(Interval{lo, iv.hi});
+  }
+  return out;
+}
+
+}  // namespace tulkun

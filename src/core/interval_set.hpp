@@ -1,0 +1,51 @@
+// A set of disjoint, sorted half-open integer intervals [lo, hi).
+//
+// Used by the Delta-net baseline (dstIP "atoms") and by the predicate
+// ablation bench as the interval-based alternative to BDD predicates.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace tulkun {
+
+/// A half-open interval [lo, hi) over 64-bit unsigned integers.
+struct Interval {
+  std::uint64_t lo = 0;
+  std::uint64_t hi = 0;  // exclusive
+
+  [[nodiscard]] bool empty() const { return lo >= hi; }
+  [[nodiscard]] std::uint64_t size() const { return empty() ? 0 : hi - lo; }
+
+  friend bool operator==(const Interval&, const Interval&) = default;
+};
+
+/// A canonical set of disjoint, sorted, non-adjacent intervals.
+class IntervalSet {
+ public:
+  IntervalSet() = default;
+  explicit IntervalSet(Interval iv);
+  IntervalSet(std::initializer_list<Interval> ivs);
+
+  [[nodiscard]] bool empty() const { return ivs_.empty(); }
+  [[nodiscard]] std::uint64_t size() const;  // total covered points
+  [[nodiscard]] const std::vector<Interval>& intervals() const { return ivs_; }
+
+  void insert(Interval iv);
+
+  [[nodiscard]] bool contains(std::uint64_t x) const;
+  [[nodiscard]] bool intersects(const IntervalSet& other) const;
+
+  [[nodiscard]] IntervalSet unite(const IntervalSet& other) const;
+  [[nodiscard]] IntervalSet intersect(const IntervalSet& other) const;
+  [[nodiscard]] IntervalSet subtract(const IntervalSet& other) const;
+
+  friend bool operator==(const IntervalSet&, const IntervalSet&) = default;
+
+ private:
+  void normalize();
+
+  std::vector<Interval> ivs_;  // sorted, disjoint, non-adjacent, non-empty
+};
+
+}  // namespace tulkun

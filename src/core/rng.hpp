@@ -1,0 +1,40 @@
+// Deterministic random number generation for workloads and benchmarks.
+//
+// Every randomized component takes an explicit seed so that datasets,
+// update workloads, and fault scenes are reproducible run-to-run.
+#pragma once
+
+#include <cstdint>
+#include <random>
+
+namespace tulkun {
+
+/// Deterministic RNG wrapper. A thin facade over std::mt19937_64 with
+/// convenience helpers; all Tulkun randomness flows through this type.
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed) : gen_(seed) {}
+
+  /// Uniform integer in [lo, hi] (inclusive).
+  std::uint64_t uniform(std::uint64_t lo, std::uint64_t hi) {
+    return std::uniform_int_distribution<std::uint64_t>(lo, hi)(gen_);
+  }
+
+  /// Uniform index in [0, n). Requires n > 0.
+  std::size_t index(std::size_t n) {
+    return static_cast<std::size_t>(uniform(0, n - 1));
+  }
+
+  /// Uniform real in [0, 1).
+  double real() { return std::uniform_real_distribution<double>(0.0, 1.0)(gen_); }
+
+  /// Bernoulli trial with probability p of true.
+  bool chance(double p) { return real() < p; }
+
+  std::mt19937_64& engine() { return gen_; }
+
+ private:
+  std::mt19937_64 gen_;
+};
+
+}  // namespace tulkun

@@ -1,0 +1,102 @@
+#include "core/stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <numeric>
+
+#include "core/error.hpp"
+
+namespace tulkun {
+
+void Samples::add(double v) {
+  values_.push_back(v);
+  sorted_ = false;
+}
+
+void Samples::ensure_sorted() const {
+  if (!sorted_) {
+    auto& mut = const_cast<std::vector<double>&>(values_);
+    std::sort(mut.begin(), mut.end());
+    const_cast<bool&>(sorted_) = true;
+  }
+}
+
+double Samples::quantile(double q) const {
+  TULKUN_ASSERT(!values_.empty());
+  TULKUN_ASSERT(q >= 0.0 && q <= 1.0);
+  ensure_sorted();
+  if (values_.size() == 1) return values_.front();
+  const double pos = q * static_cast<double>(values_.size() - 1);
+  const auto lo = static_cast<std::size_t>(std::floor(pos));
+  const auto hi = std::min(lo + 1, values_.size() - 1);
+  const double frac = pos - static_cast<double>(lo);
+  return values_[lo] * (1.0 - frac) + values_[hi] * frac;
+}
+
+double Samples::min() const {
+  TULKUN_ASSERT(!values_.empty());
+  ensure_sorted();
+  return values_.front();
+}
+
+double Samples::max() const {
+  TULKUN_ASSERT(!values_.empty());
+  ensure_sorted();
+  return values_.back();
+}
+
+double Samples::mean() const {
+  TULKUN_ASSERT(!values_.empty());
+  const double sum = std::accumulate(values_.begin(), values_.end(), 0.0);
+  return sum / static_cast<double>(values_.size());
+}
+
+double Samples::fraction_below(double threshold) const {
+  if (values_.empty()) return 0.0;
+  ensure_sorted();
+  const auto it = std::lower_bound(values_.begin(), values_.end(), threshold);
+  return static_cast<double>(it - values_.begin()) /
+         static_cast<double>(values_.size());
+}
+
+std::vector<std::pair<double, double>> Samples::cdf(std::size_t n_points) const {
+  TULKUN_ASSERT(n_points >= 2);
+  std::vector<std::pair<double, double>> out;
+  if (values_.empty()) return out;
+  out.reserve(n_points);
+  for (std::size_t i = 0; i < n_points; ++i) {
+    const double q =
+        static_cast<double>(i) / static_cast<double>(n_points - 1);
+    out.emplace_back(quantile(q), q);
+  }
+  return out;
+}
+
+std::string format_duration(double seconds) {
+  char buf[64];
+  if (seconds < 1e-6) {
+    std::snprintf(buf, sizeof buf, "%.0fns", seconds * 1e9);
+  } else if (seconds < 1e-3) {
+    std::snprintf(buf, sizeof buf, "%.2fus", seconds * 1e6);
+  } else if (seconds < 1.0) {
+    std::snprintf(buf, sizeof buf, "%.2fms", seconds * 1e3);
+  } else {
+    std::snprintf(buf, sizeof buf, "%.2fs", seconds);
+  }
+  return buf;
+}
+
+std::string format_bytes(double bytes) {
+  char buf[64];
+  if (bytes < 1024.0) {
+    std::snprintf(buf, sizeof buf, "%.0fB", bytes);
+  } else if (bytes < 1024.0 * 1024.0) {
+    std::snprintf(buf, sizeof buf, "%.1fKB", bytes / 1024.0);
+  } else {
+    std::snprintf(buf, sizeof buf, "%.1fMB", bytes / (1024.0 * 1024.0));
+  }
+  return buf;
+}
+
+}  // namespace tulkun

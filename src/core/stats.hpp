@@ -1,0 +1,51 @@
+// Summary statistics used by the evaluation harness: quantiles, CDFs, means.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace tulkun {
+
+/// Accumulates samples and answers quantile/CDF queries.
+/// Samples are stored; queries sort lazily. Suitable for evaluation-scale
+/// sample counts (up to a few million).
+class Samples {
+ public:
+  void add(double v);
+  void reserve(std::size_t n) { values_.reserve(n); }
+
+  [[nodiscard]] std::size_t size() const { return values_.size(); }
+  [[nodiscard]] bool empty() const { return values_.empty(); }
+
+  /// q in [0,1]; linear interpolation between order statistics.
+  /// Requires at least one sample.
+  [[nodiscard]] double quantile(double q) const;
+
+  [[nodiscard]] double min() const;
+  [[nodiscard]] double max() const;
+  [[nodiscard]] double mean() const;
+
+  /// Fraction of samples strictly below `threshold`.
+  [[nodiscard]] double fraction_below(double threshold) const;
+
+  /// Evenly spaced CDF points (value at k/(n_points-1) quantiles).
+  [[nodiscard]] std::vector<std::pair<double, double>> cdf(
+      std::size_t n_points = 11) const;
+
+  [[nodiscard]] const std::vector<double>& values() const { return values_; }
+
+ private:
+  void ensure_sorted() const;
+
+  std::vector<double> values_;
+  mutable bool sorted_ = true;
+};
+
+/// Formats seconds with an adaptive unit (ns/us/ms/s) for table output.
+std::string format_duration(double seconds);
+
+/// Formats a byte count with an adaptive unit (B/KB/MB).
+std::string format_bytes(double bytes);
+
+}  // namespace tulkun

@@ -1,0 +1,167 @@
+#include "count/count_set.hpp"
+
+#include <algorithm>
+
+#include "core/error.hpp"
+
+namespace tulkun::count {
+
+CountSet CountSet::singleton(CountVec v) {
+  CountSet s;
+  s.elems_.push_back(std::move(v));
+  return s;
+}
+
+CountSet CountSet::zeros(std::size_t arity) {
+  return singleton(CountVec(arity, 0));
+}
+
+CountSet CountSet::unit(std::size_t arity, std::size_t task_index) {
+  TULKUN_ASSERT(task_index < arity);
+  CountVec v(arity, 0);
+  v[task_index] = 1;
+  return singleton(std::move(v));
+}
+
+void CountSet::insert(CountVec v) {
+  elems_.push_back(std::move(v));
+  normalize();
+}
+
+void CountSet::normalize() {
+  std::sort(elems_.begin(), elems_.end());
+  elems_.erase(std::unique(elems_.begin(), elems_.end()), elems_.end());
+}
+
+CountSet CountSet::cross_sum(const CountSet& o) const {
+  if (elems_.empty()) return o;
+  if (o.elems_.empty()) return *this;
+  CountSet out;
+  out.truncated_ = truncated_ || o.truncated_;
+  out.elems_.reserve(elems_.size() * o.elems_.size());
+  for (const auto& a : elems_) {
+    for (const auto& b : o.elems_) {
+      TULKUN_ASSERT(a.size() == b.size());
+      CountVec sum(a.size());
+      for (std::size_t i = 0; i < a.size(); ++i) sum[i] = a[i] + b[i];
+      out.elems_.push_back(std::move(sum));
+    }
+  }
+  out.normalize();
+  return out;
+}
+
+CountSet CountSet::unite(const CountSet& o) const {
+  CountSet out;
+  out.truncated_ = truncated_ || o.truncated_;
+  out.elems_ = elems_;
+  out.elems_.insert(out.elems_.end(), o.elems_.begin(), o.elems_.end());
+  out.normalize();
+  return out;
+}
+
+CountSet CountSet::minimized(const spec::CountExpr& cmp) const {
+  if (arity() != 1 || elems_.size() <= 1) return *this;
+  CountSet out;
+  out.truncated_ = truncated_;
+  switch (cmp.cmp) {
+    case spec::CountExpr::Cmp::Ge:
+    case spec::CountExpr::Cmp::Gt:
+      // Upstream only needs the worst case from below: the minimum.
+      out.elems_.push_back(elems_.front());
+      break;
+    case spec::CountExpr::Cmp::Le:
+    case spec::CountExpr::Cmp::Lt:
+      out.elems_.push_back(elems_.back());
+      break;
+    case spec::CountExpr::Cmp::Eq:
+      // Two distinct counts already prove a violation at the source; keep
+      // the two smallest (min(|c|,2) elements, Prop. 1).
+      out.elems_.push_back(elems_[0]);
+      out.elems_.push_back(elems_[1]);
+      break;
+  }
+  return out;
+}
+
+void CountSet::truncate(std::size_t max_elems) {
+  if (elems_.size() > max_elems) {
+    elems_.resize(max_elems);
+    truncated_ = true;
+  }
+}
+
+bool evaluate_behavior(const spec::Behavior& b,
+                       const std::vector<const spec::Behavior*>& atoms,
+                       const CountVec& tuple) {
+  switch (b.kind) {
+    case spec::BehaviorKind::Atom: {
+      const auto it = std::find(atoms.begin(), atoms.end(), &b);
+      TULKUN_ASSERT(it != atoms.end());
+      const auto idx = static_cast<std::size_t>(it - atoms.begin());
+      TULKUN_ASSERT(idx < tuple.size());
+      // Subset counts as (exist >= 1); the rest of its semantics is the
+      // local only-check. Equal never reaches count evaluation.
+      TULKUN_ASSERT(b.op != spec::MatchOpKind::Equal);
+      const spec::CountExpr ce =
+          b.op == spec::MatchOpKind::Exist
+              ? b.count
+              : spec::CountExpr{spec::CountExpr::Cmp::Ge, 1};
+      return ce.satisfied(tuple[idx]);
+    }
+    case spec::BehaviorKind::Not:
+      return !evaluate_behavior(b.children.front(), atoms, tuple);
+    case spec::BehaviorKind::And:
+      return std::all_of(b.children.begin(), b.children.end(),
+                         [&](const spec::Behavior& c) {
+                           return evaluate_behavior(c, atoms, tuple);
+                         });
+    case spec::BehaviorKind::Or:
+      return std::any_of(b.children.begin(), b.children.end(),
+                         [&](const spec::Behavior& c) {
+                           return evaluate_behavior(c, atoms, tuple);
+                         });
+  }
+  return false;
+}
+
+bool CountSet::all_satisfy(
+    const spec::Behavior& b,
+    const std::vector<const spec::Behavior*>& atoms) const {
+  TULKUN_ASSERT(!elems_.empty());
+  return std::all_of(elems_.begin(), elems_.end(), [&](const CountVec& v) {
+    return evaluate_behavior(b, atoms, v);
+  });
+}
+
+std::vector<CountVec> CountSet::violations(
+    const spec::Behavior& b,
+    const std::vector<const spec::Behavior*>& atoms) const {
+  std::vector<CountVec> out;
+  for (const auto& v : elems_) {
+    if (!evaluate_behavior(b, atoms, v)) out.push_back(v);
+  }
+  return out;
+}
+
+std::string CountSet::to_string() const {
+  std::string out = "{";
+  for (std::size_t i = 0; i < elems_.size(); ++i) {
+    if (i > 0) out += ",";
+    if (elems_[i].size() == 1) {
+      out += std::to_string(elems_[i][0]);
+    } else {
+      out += "(";
+      for (std::size_t j = 0; j < elems_[i].size(); ++j) {
+        if (j > 0) out += ",";
+        out += std::to_string(elems_[i][j]);
+      }
+      out += ")";
+    }
+  }
+  out += "}";
+  if (truncated_) out += "~";
+  return out;
+}
+
+}  // namespace tulkun::count

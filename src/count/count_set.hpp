@@ -1,0 +1,90 @@
+// Per-universe counting (§4.2, Algorithm 1, Equations 1-2).
+//
+// A CountVec is the tuple of copy-counts for one universe, one entry per
+// counting task (= per regex atom of a compound invariant; arity 1 for
+// simple invariants). A CountSet is the set of distinct CountVecs across
+// universes:
+//   ⊗ (cross_sum) combines ALL-type branches: every universe pair sums;
+//   ⊕ (unite)     combines ANY-type branches: either universe may occur.
+//
+// Proposition 1 (minimal counting information) prunes what a node must send
+// upstream: min for (>= / >), max for (<= / <), and the two smallest
+// elements for (==).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "spec/ast.hpp"
+
+namespace tulkun::count {
+
+using CountVec = std::vector<std::uint32_t>;
+
+/// A canonical (sorted, deduplicated) set of per-universe count tuples.
+class CountSet {
+ public:
+  CountSet() = default;
+
+  /// The set {v}.
+  static CountSet singleton(CountVec v);
+  /// The set {(0,...,0)} of the given arity.
+  static CountSet zeros(std::size_t arity);
+  /// The destination-node initial value {(..,1 at task_index,..)}.
+  static CountSet unit(std::size_t arity, std::size_t task_index);
+
+  [[nodiscard]] bool empty() const { return elems_.empty(); }
+  [[nodiscard]] std::size_t size() const { return elems_.size(); }
+  [[nodiscard]] const std::vector<CountVec>& elems() const { return elems_; }
+  [[nodiscard]] std::size_t arity() const {
+    return elems_.empty() ? 0 : elems_.front().size();
+  }
+
+  void insert(CountVec v);
+
+  /// ⊗: { a + b | a in this, b in o } (element-wise sums).
+  [[nodiscard]] CountSet cross_sum(const CountSet& o) const;
+
+  /// ⊕: this ∪ o.
+  [[nodiscard]] CountSet unite(const CountSet& o) const;
+
+  /// Proposition 1: the minimal subset that upstream nodes need, for a
+  /// single-atom invariant with the given comparator. Multi-atom sets are
+  /// returned unchanged (the proposition is proved per comparator on
+  /// scalar counts).
+  [[nodiscard]] CountSet minimized(const spec::CountExpr& cmp) const;
+
+  /// Keeps at most `max_elems` tuples (smallest first) — ablation only;
+  /// flags lossy truncation.
+  void truncate(std::size_t max_elems);
+  [[nodiscard]] bool truncated() const { return truncated_; }
+
+  /// True iff EVERY universe tuple satisfies `b` (atoms indexed by
+  /// position in `atoms`). Requires non-empty set.
+  [[nodiscard]] bool all_satisfy(
+      const spec::Behavior& b,
+      const std::vector<const spec::Behavior*>& atoms) const;
+
+  /// Tuples violating `b` (for error reporting).
+  [[nodiscard]] std::vector<CountVec> violations(
+      const spec::Behavior& b,
+      const std::vector<const spec::Behavior*>& atoms) const;
+
+  [[nodiscard]] std::string to_string() const;
+
+  friend bool operator==(const CountSet&, const CountSet&) = default;
+
+ private:
+  void normalize();
+
+  std::vector<CountVec> elems_;  // sorted lexicographically, unique
+  bool truncated_ = false;
+};
+
+/// Evaluates a behavior tree on one universe tuple.
+[[nodiscard]] bool evaluate_behavior(
+    const spec::Behavior& b, const std::vector<const spec::Behavior*>& atoms,
+    const CountVec& tuple);
+
+}  // namespace tulkun::count

@@ -1,0 +1,55 @@
+// DPVNet construction entry points (planner side).
+#pragma once
+
+#include <cstddef>
+
+#include "dpvnet/dpvnet.hpp"
+#include "regex/dfa.hpp"
+
+namespace tulkun::dpvnet {
+
+struct BuildOptions {
+  /// Hard cap on enumerated valid paths (across atoms/scenes); construction
+  /// throws Error beyond it rather than silently truncating.
+  std::size_t max_paths = 5'000'000;
+  /// Hard cap on concrete fault scenes expanded from `any k`.
+  std::size_t max_scenes = 4096;
+  /// §6 subset-scene reuse (ablation toggle: off forces a fresh
+  /// enumeration per scene).
+  bool scene_reuse = true;
+};
+
+struct BuildStats {
+  std::size_t scenes = 0;
+  std::size_t paths = 0;            // distinct valid paths (all scenes)
+  std::size_t trie_nodes = 0;
+  std::size_t dag_nodes = 0;
+  std::size_t scenes_enumerated = 0;  // scenes needing a fresh search
+  std::size_t scenes_reused = 0;      // scenes served by §6 reuse
+};
+
+/// Expands a FaultSpec into concrete scenes. Index 0 is always the
+/// no-failure scene; explicit scenes follow, then `any k` combinations of
+/// 1..k failed links (deduplicated), in ascending failure count.
+/// Throws Error when the expansion exceeds `max_scenes`.
+[[nodiscard]] std::vector<spec::FaultScene> expand_scenes(
+    const topo::Topology& topo, const spec::FaultSpec& faults,
+    std::size_t max_scenes);
+
+/// Builds the (fault-tolerant) DPVNet of `inv` over `topo`: enumerates the
+/// valid paths of every (atom, ingress, scene) with automaton/length
+/// pruning and §6 scene reuse, then compacts them into a minimal DAG.
+/// Throws Error when an exist/subset atom is unbounded or caps are hit.
+[[nodiscard]] DpvNet build_dpvnet(const topo::Topology& topo,
+                                  const spec::Invariant& inv,
+                                  const BuildOptions& opts = {},
+                                  BuildStats* stats = nullptr);
+
+/// Shortest hop count of a path from `ingress` accepted by `dfa` in the
+/// topology minus `failed` links; kUnreachable if none.
+inline constexpr std::uint32_t kUnreachableLen = ~0U;
+[[nodiscard]] std::uint32_t shortest_matching(
+    const topo::Topology& topo, const regex::Dfa& dfa, DeviceId ingress,
+    const std::unordered_set<LinkId>& failed);
+
+}  // namespace tulkun::dpvnet

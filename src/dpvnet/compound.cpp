@@ -1,0 +1,70 @@
+// Compound-invariant handling (§4.3).
+//
+// The paper's product construction needs two fixes for compound behaviors:
+// a single union DPVNet for regexes with different destinations, and
+// virtual destination devices for regexes sharing a destination. Our
+// enumeration-based construction achieves the same outcome uniformly: each
+// valid path is labeled with the set of atoms it matches, acceptance is
+// per-atom at DAG nodes, and counting propagates per-universe *tuples* of
+// per-atom counts, so counts of different path_exps never need to be
+// cross-multiplied at the source (the root cause of both §4.3 phantom
+// errors).
+#include "dpvnet/internal.hpp"
+
+#include <algorithm>
+
+#include "regex/nfa.hpp"
+
+namespace tulkun::dpvnet::internal {
+
+std::vector<AtomAutomaton> prepare_atoms(const spec::Invariant& inv) {
+  const auto atoms = inv.behavior.atoms();
+  if (atoms.empty()) {
+    throw Error("invariant '" + inv.name + "' has no behavior atoms");
+  }
+  if (atoms.size() > 64) {
+    throw Error("invariant '" + inv.name + "' has more than 64 atoms");
+  }
+
+  const bool has_local_op =
+      std::any_of(atoms.begin(), atoms.end(), [](const spec::Behavior* a) {
+        return a->op != spec::MatchOpKind::Exist;
+      });
+  if (has_local_op && atoms.size() > 1) {
+    throw Error(
+        "invariant '" + inv.name +
+        "': equal/subset operators verify locally and cannot be combined "
+        "with other atoms");
+  }
+
+  std::vector<AtomAutomaton> out;
+  out.reserve(atoms.size());
+  for (const spec::Behavior* atom : atoms) {
+    const spec::PathExpr& pe = atom->path;
+    if (!pe.bounded()) {
+      throw Error("invariant '" + inv.name + "': path expression '" +
+                  pe.regex_text +
+                  "' is unbounded (add loop_free or an upper length filter)");
+    }
+    AtomAutomaton aa;
+    aa.atom = atom;
+    aa.dfa = regex::Dfa::determinize(regex::build_nfa(pe.ast)).minimize();
+    aa.filters = pe.filters;
+    aa.loop_free = pe.loop_free;
+    aa.symbolic = std::any_of(
+        pe.filters.begin(), pe.filters.end(),
+        [](const spec::LengthFilter& f) { return f.symbolic(); });
+    out.push_back(std::move(aa));
+  }
+  return out;
+}
+
+std::unordered_set<LinkId> failed_set(const spec::FaultScene& scene) {
+  std::unordered_set<LinkId> out;
+  for (const auto& l : scene.failed) {
+    out.insert(l.from < l.to ? l : l.reversed());
+  }
+  return out;
+}
+
+}  // namespace tulkun::dpvnet::internal

@@ -1,0 +1,197 @@
+#include "dpvnet/dpvnet.hpp"
+
+#include <algorithm>
+#include <deque>
+#include <functional>
+#include <map>
+#include <unordered_map>
+
+namespace tulkun::dpvnet {
+
+bool SceneMask::any() const {
+  return std::any_of(bits_.begin(), bits_.end(),
+                     [](std::uint64_t b) { return b != 0; });
+}
+
+SceneMask& SceneMask::operator|=(const SceneMask& o) {
+  if (o.bits_.size() > bits_.size()) bits_.resize(o.bits_.size(), 0);
+  for (std::size_t i = 0; i < o.bits_.size(); ++i) bits_[i] |= o.bits_[i];
+  return *this;
+}
+
+std::size_t SceneMask::hash() const {
+  std::size_t seed = bits_.size();
+  for (const auto b : bits_) hash_combine(seed, std::hash<std::uint64_t>{}(b));
+  return seed;
+}
+
+NodeId DpvNet::add_node(DeviceId dev) {
+  const auto id = static_cast<NodeId>(nodes_.size());
+  DpvNode n;
+  n.dev = dev;
+  n.scenes = SceneMask(n_scenes_);
+  nodes_.push_back(std::move(n));
+  return id;
+}
+
+void DpvNet::add_edge(NodeId from, NodeId to, const SceneMask& scenes) {
+  TULKUN_ASSERT(from < nodes_.size() && to < nodes_.size());
+  for (auto& e : nodes_[from].down) {
+    if (e.to == to) {
+      e.scenes |= scenes;
+      return;
+    }
+  }
+  nodes_[from].down.push_back(DpvEdge{to, scenes});
+}
+
+std::string DpvNet::label(NodeId id) const {
+  const DpvNode& n = node(id);
+  return topo_->name(n.dev) + std::to_string(n.copy + 1);
+}
+
+std::vector<NodeId> DpvNet::reverse_topological() const {
+  // Kahn's algorithm on the reverse graph: start from nodes with no
+  // downstream edges (destinations).
+  std::vector<std::uint32_t> out_deg(nodes_.size(), 0);
+  for (NodeId i = 0; i < nodes_.size(); ++i) {
+    out_deg[i] = static_cast<std::uint32_t>(nodes_[i].down.size());
+  }
+  std::deque<NodeId> ready;
+  for (NodeId i = 0; i < nodes_.size(); ++i) {
+    if (out_deg[i] == 0) ready.push_back(i);
+  }
+  std::vector<NodeId> order;
+  order.reserve(nodes_.size());
+  while (!ready.empty()) {
+    const NodeId n = ready.front();
+    ready.pop_front();
+    order.push_back(n);
+    for (const NodeId u : nodes_[n].up) {
+      if (--out_deg[u] == 0) ready.push_back(u);
+    }
+  }
+  TULKUN_ASSERT(order.size() == nodes_.size());  // acyclic
+  return order;
+}
+
+std::vector<NodeId> DpvNet::nodes_of_device(DeviceId dev) const {
+  std::vector<NodeId> out;
+  for (NodeId i = 0; i < nodes_.size(); ++i) {
+    if (nodes_[i].dev == dev) out.push_back(i);
+  }
+  return out;
+}
+
+void DpvNet::finalize() {
+  // Assign per-device copy indices in node order.
+  std::unordered_map<DeviceId, std::uint32_t> copies;
+  for (auto& n : nodes_) {
+    n.copy = copies[n.dev]++;
+    n.up.clear();
+  }
+  for (NodeId i = 0; i < nodes_.size(); ++i) {
+    for (auto& e : nodes_[i].down) {
+      nodes_[e.to].up.push_back(i);
+    }
+  }
+  // Node scene mask: union of incident edge masks plus acceptance masks
+  // (covers single-node paths where ingress == destination).
+  for (NodeId i = 0; i < nodes_.size(); ++i) {
+    for (const auto& e : nodes_[i].down) {
+      nodes_[i].scenes |= e.scenes;
+      nodes_[e.to].scenes |= e.scenes;
+    }
+    for (const auto& m : nodes_[i].accept) {
+      nodes_[i].scenes |= m;
+    }
+  }
+  // Validates acyclicity as a side effect.
+  (void)reverse_topological();
+}
+
+std::vector<DeviceId> DpvNet::cut_devices(std::size_t scene) const {
+  // A device is a cut iff the number of valid paths through its nodes
+  // equals the total number of valid paths. Path counts via two DAG
+  // passes (doubles: counts can be astronomically large; equality of the
+  // exact integer counts degrades to a ratio check, which is fine for an
+  // advisory analysis).
+  const auto order = reverse_topological();
+
+  // b[n]: paths from n to an acceptance event, in this scene.
+  std::vector<double> b(nodes_.size(), 0.0);
+  for (const NodeId n : order) {  // destinations first
+    const DpvNode& node = nodes_[n];
+    double total = 0.0;
+    for (std::size_t atom = 0; atom < node.accept.size(); ++atom) {
+      if (node.accept[atom].test(scene)) {
+        total += 1.0;
+        break;  // one acceptance event per node/path end
+      }
+    }
+    for (const auto& e : node.down) {
+      if (e.scenes.test(scene)) total += b[e.to];
+    }
+    b[n] = total;
+  }
+
+  // f[n]: path starts reaching n (sources seed 1).
+  std::vector<double> f(nodes_.size(), 0.0);
+  for (const auto& [ingress, src] : sources_) {
+    if (src != kNoNode && nodes_[src].scenes.test(scene)) f[src] += 1.0;
+  }
+  for (auto it = order.rbegin(); it != order.rend(); ++it) {  // sources first
+    const NodeId n = *it;
+    for (const auto& e : nodes_[n].down) {
+      if (e.scenes.test(scene)) f[e.to] += f[n];
+    }
+  }
+
+  double total_paths = 0.0;
+  for (const auto& [ingress, src] : sources_) {
+    if (src != kNoNode) total_paths += b[src];
+  }
+  if (total_paths <= 0.0) return {};
+
+  // Paths through a device = sum over its nodes of (starts reaching the
+  // node) x (continuations) — counting each path once per visit; valid
+  // paths visit a device at most once (simple-path construction), so the
+  // sum equals the number of distinct paths through the device.
+  std::map<DeviceId, double> through;
+  for (NodeId n = 0; n < nodes_.size(); ++n) {
+    through[nodes_[n].dev] += f[n] * b[n];
+  }
+  std::vector<DeviceId> out;
+  for (const auto& [dev, count] : through) {
+    if (count >= total_paths * (1.0 - 1e-9)) out.push_back(dev);
+  }
+  return out;
+}
+
+std::vector<DpvNet::PathOut> DpvNet::all_paths(std::size_t scene) const {
+  std::vector<PathOut> out;
+  std::vector<DeviceId> cur;
+
+  const std::function<void(NodeId)> dfs = [&](NodeId id) {
+    const DpvNode& n = node(id);
+    cur.push_back(n.dev);
+    std::uint64_t mask = 0;
+    for (std::size_t atom = 0; atom < n.accept.size(); ++atom) {
+      if (n.accept[atom].test(scene)) mask |= (1ULL << atom);
+    }
+    if (mask != 0) {
+      out.push_back(PathOut{cur, mask});
+    }
+    for (const auto& e : n.down) {
+      if (e.scenes.test(scene)) dfs(e.to);
+    }
+    cur.pop_back();
+  };
+
+  for (const auto& [ingress, src] : sources_) {
+    if (src != kNoNode && node(src).scenes.test(scene)) dfs(src);
+  }
+  return out;
+}
+
+}  // namespace tulkun::dpvnet

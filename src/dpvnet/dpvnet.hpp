@@ -1,0 +1,154 @@
+// DPVNet (§4.1): a DAG compactly representing every valid path of an
+// invariant, with nodes mapped (1-to-many) onto network devices.
+//
+// Construction strategy. The paper multiplies the path regex's automaton
+// with the topology and minimizes; its planner enumerates valid paths per
+// fault scene (§6). We follow the enumeration formulation, which is exact
+// for every invariant this library accepts (delivered traces are always
+// simple paths — within one universe each device applies a single action,
+// so a revisited device loops forever): valid paths are enumerated with
+// DFA + length-filter pruning and compacted into a minimal DAG by suffix
+// sharing (DAWG minimization — the paper's "state minimization" step).
+// Nodes accepting for different regex atoms of a compound invariant carry
+// distinct acceptance masks, which subsumes the paper's virtual-destination
+// transformation (§4.3) without materializing virtual devices.
+//
+// Fault tolerance. Every edge carries a scene mask: the set of operator
+// fault scenes in which the edge lies on some valid path. Because the DAG
+// is built from the labeled path trie and suffix-merging keys on masks,
+// the scene-s subgraph's source-to-destination paths are exactly the valid
+// paths of scene s.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/ids.hpp"
+#include "spec/ast.hpp"
+#include "topo/topology.hpp"
+
+namespace tulkun::dpvnet {
+
+/// Dynamic bitset of fault scenes. Scene 0 is always "no failure".
+class SceneMask {
+ public:
+  SceneMask() = default;
+  explicit SceneMask(std::size_t n_scenes)
+      : bits_((n_scenes + 63) / 64, 0) {}
+
+  void set(std::size_t i) { bits_[i / 64] |= (1ULL << (i % 64)); }
+  [[nodiscard]] bool test(std::size_t i) const {
+    return i / 64 < bits_.size() && (bits_[i / 64] >> (i % 64)) & 1ULL;
+  }
+  [[nodiscard]] bool any() const;
+  SceneMask& operator|=(const SceneMask& o);
+
+  friend bool operator==(const SceneMask&, const SceneMask&) = default;
+
+  [[nodiscard]] std::size_t hash() const;
+
+ private:
+  std::vector<std::uint64_t> bits_;
+};
+
+/// A downstream edge of a DPVNet node.
+struct DpvEdge {
+  NodeId to = kNoNode;
+  SceneMask scenes;  // scenes in which this edge is on a valid path
+};
+
+struct DpvNode {
+  DeviceId dev = kNoDevice;
+  std::uint32_t copy = 0;       // disambiguates nodes of the same device
+  std::vector<DpvEdge> down;    // toward destinations
+  std::vector<NodeId> up;       // derived reverse edges
+  /// accept[i] = scenes in which some valid path of atom i ends here.
+  /// Empty vector when no path ends at this node.
+  std::vector<SceneMask> accept;
+  SceneMask scenes;             // scenes in which this node is on a valid path
+
+  [[nodiscard]] bool accepting() const { return !accept.empty(); }
+  [[nodiscard]] bool accepts(std::size_t atom, std::size_t scene) const {
+    return atom < accept.size() && accept[atom].test(scene);
+  }
+};
+
+/// The DAG. Node 0.. in topological order is NOT guaranteed; use
+/// reverse_topological() for counting.
+class DpvNet {
+ public:
+  DpvNet(const topo::Topology& topo, std::size_t arity, std::size_t n_scenes)
+      : topo_(&topo), arity_(arity), n_scenes_(n_scenes) {}
+
+  [[nodiscard]] const topo::Topology& topology() const { return *topo_; }
+  [[nodiscard]] std::size_t arity() const { return arity_; }
+  [[nodiscard]] std::size_t scene_count() const { return n_scenes_; }
+
+  [[nodiscard]] std::size_t node_count() const { return nodes_.size(); }
+  [[nodiscard]] const DpvNode& node(NodeId id) const {
+    TULKUN_ASSERT(id < nodes_.size());
+    return nodes_[id];
+  }
+  [[nodiscard]] DpvNode& node(NodeId id) {
+    TULKUN_ASSERT(id < nodes_.size());
+    return nodes_[id];
+  }
+
+  NodeId add_node(DeviceId dev);
+
+  /// Adds a downstream edge (from -> to), merging scene masks if present.
+  void add_edge(NodeId from, NodeId to, const SceneMask& scenes);
+
+  /// Source node for each ingress of the invariant (kNoNode when the
+  /// ingress has no valid path in any scene).
+  [[nodiscard]] const std::vector<std::pair<DeviceId, NodeId>>& sources()
+      const {
+    return sources_;
+  }
+  void add_source(DeviceId ingress, NodeId node) {
+    sources_.emplace_back(ingress, node);
+  }
+
+  /// Node label like "B2" (device name + copy index), as in Figure 2c.
+  [[nodiscard]] std::string label(NodeId id) const;
+
+  /// Node ids in reverse topological order (destinations first), i.e. a
+  /// node appears after all its downstream neighbors.
+  [[nodiscard]] std::vector<NodeId> reverse_topological() const;
+
+  /// Node ids mapped to a given device.
+  [[nodiscard]] std::vector<NodeId> nodes_of_device(DeviceId dev) const;
+
+  /// Recomputes up-edge lists and node scene masks from down edges and
+  /// validates acyclicity (throws InternalError on a cycle).
+  void finalize();
+
+  /// Every source-to-acceptance path in scene `scene`, as device
+  /// sequences with their atom acceptance masks (testing/debug; exponential
+  /// in general).
+  struct PathOut {
+    std::vector<DeviceId> devices;
+    std::uint64_t accept_mask = 0;
+  };
+  [[nodiscard]] std::vector<PathOut> all_paths(std::size_t scene) const;
+
+  /// Devices that lie on EVERY source-to-acceptance path of a scene — the
+  /// §7 condition under which an exist-operator invariant admits local
+  /// verification with empty minimal counting information (the device is a
+  /// cut of the valid-path set, like A in the Figure 2a example).
+  [[nodiscard]] std::vector<DeviceId> cut_devices(std::size_t scene) const;
+
+  /// Intolerable scenes discovered during construction (no valid path for
+  /// at least one ingress).
+  std::vector<std::pair<std::size_t, DeviceId>> intolerable;
+
+ private:
+  const topo::Topology* topo_;
+  std::size_t arity_;
+  std::size_t n_scenes_;
+  std::vector<DpvNode> nodes_;
+  std::vector<std::pair<DeviceId, NodeId>> sources_;
+};
+
+}  // namespace tulkun::dpvnet

@@ -1,0 +1,78 @@
+// Fault-scene expansion (§6): explicit scenes plus `any k` enumeration.
+#include <algorithm>
+
+#include "dpvnet/build.hpp"
+
+namespace tulkun::dpvnet {
+
+namespace {
+
+/// All bidirectional links of the topology, canonicalized from < to.
+std::vector<LinkId> all_links(const topo::Topology& topo) {
+  std::vector<LinkId> out;
+  for (DeviceId d = 0; d < topo.device_count(); ++d) {
+    for (const auto& a : topo.neighbors(d)) {
+      if (a.neighbor > d) out.push_back(LinkId{d, a.neighbor});
+    }
+  }
+  return out;
+}
+
+void combos(const std::vector<LinkId>& links, std::size_t k,
+            std::size_t start, std::vector<LinkId>& cur,
+            std::vector<spec::FaultScene>& out, std::size_t max_scenes) {
+  if (cur.size() == k) {
+    if (out.size() >= max_scenes) {
+      throw Error("fault scene expansion exceeds max_scenes cap (" +
+                  std::to_string(max_scenes) + "); narrow the fault spec");
+    }
+    out.push_back(spec::FaultScene::of(cur));
+    return;
+  }
+  for (std::size_t i = start; i < links.size(); ++i) {
+    cur.push_back(links[i]);
+    combos(links, k, i + 1, cur, out, max_scenes);
+    cur.pop_back();
+  }
+}
+
+}  // namespace
+
+std::vector<spec::FaultScene> expand_scenes(const topo::Topology& topo,
+                                            const spec::FaultSpec& faults,
+                                            std::size_t max_scenes) {
+  std::vector<spec::FaultScene> out;
+  out.push_back(spec::FaultScene{});  // scene 0: no failure
+
+  for (const auto& scene : faults.scenes) {
+    out.push_back(scene);
+  }
+  if (faults.any_k > 0) {
+    const auto links = all_links(topo);
+    for (std::size_t k = 1; k <= faults.any_k; ++k) {
+      std::vector<LinkId> cur;
+      combos(links, k, 0, cur, out, max_scenes);
+    }
+  }
+
+  // Deduplicate while preserving order (scene 0 first, then ascending size
+  // because explicit scenes come before generated ones of growing k).
+  std::vector<spec::FaultScene> dedup;
+  for (auto& s : out) {
+    if (std::find(dedup.begin(), dedup.end(), s) == dedup.end()) {
+      dedup.push_back(std::move(s));
+    }
+  }
+  // Stable-sort by failure count so §6 subset reuse sees smaller scenes
+  // first (scene 0 stays first).
+  std::stable_sort(dedup.begin(), dedup.end(),
+                   [](const spec::FaultScene& a, const spec::FaultScene& b) {
+                     return a.failed.size() < b.failed.size();
+                   });
+  if (dedup.size() > max_scenes) {
+    throw Error("fault scene expansion exceeds max_scenes cap");
+  }
+  return dedup;
+}
+
+}  // namespace tulkun::dpvnet

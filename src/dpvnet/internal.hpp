@@ -1,0 +1,31 @@
+// Internal declarations shared by the DPVNet construction units.
+#pragma once
+
+#include <unordered_set>
+
+#include "dpvnet/build.hpp"
+#include "regex/dfa.hpp"
+#include "spec/ast.hpp"
+
+namespace tulkun::dpvnet::internal {
+
+/// One counting task's compiled automaton.
+struct AtomAutomaton {
+  const spec::Behavior* atom = nullptr;  // the Atom behavior node
+  regex::Dfa dfa;                        // minimized
+  std::vector<spec::LengthFilter> filters;
+  bool loop_free = false;
+  bool symbolic = false;  // any filter depends on `shortest`
+};
+
+/// Compiles every atom of the invariant's behavior; validates boundedness
+/// and the equal/subset composition restriction (§4.3: `equal` verifies
+/// locally and must be the sole atom; same for `subset`).
+[[nodiscard]] std::vector<AtomAutomaton> prepare_atoms(
+    const spec::Invariant& inv);
+
+/// Normalized failed-link set of a scene (from < to).
+[[nodiscard]] std::unordered_set<LinkId> failed_set(
+    const spec::FaultScene& scene);
+
+}  // namespace tulkun::dpvnet::internal

@@ -1,0 +1,486 @@
+// DPVNet construction: per-(atom, ingress, scene) valid-path enumeration
+// with product-automaton pruning, §6 scene reuse, and DAWG compaction.
+#include <algorithm>
+#include <deque>
+#include <map>
+#include <unordered_map>
+
+#include "dpvnet/internal.hpp"
+#include "regex/nfa.hpp"
+
+namespace tulkun::dpvnet {
+
+namespace {
+
+using internal::AtomAutomaton;
+using Path = std::vector<DeviceId>;
+
+struct PathHash {
+  std::size_t operator()(const Path& p) const noexcept {
+    std::size_t seed = p.size();
+    for (const auto d : p) hash_combine(seed, d);
+    return seed;
+  }
+};
+
+bool link_failed(const std::unordered_set<LinkId>& failed, DeviceId a,
+                 DeviceId b) {
+  return failed.contains(a < b ? LinkId{a, b} : LinkId{b, a});
+}
+
+/// Admissible lower bound on remaining hops: for each product state
+/// (device, dfa state), the fewest further symbols to reach acceptance
+/// along existing, non-failed links.
+class ProductDistances {
+ public:
+  ProductDistances(const topo::Topology& topo, const regex::Dfa& dfa,
+                   const std::unordered_set<LinkId>& failed)
+      : nq_(static_cast<std::uint32_t>(dfa.state_count())),
+        dist_(topo.device_count() * nq_, kUnreachableLen) {
+    // Multi-source reverse BFS from accepting product states.
+    // Product node (dev, q): path consumed a prefix ending at dev, in q.
+    std::deque<std::pair<DeviceId, std::uint32_t>> work;
+    for (DeviceId dev = 0; dev < topo.device_count(); ++dev) {
+      for (std::uint32_t q = 0; q < nq_; ++q) {
+        if (dfa.accepting(q)) {
+          at(dev, q) = 0;
+          work.emplace_back(dev, q);
+        }
+      }
+    }
+    while (!work.empty()) {
+      const auto [dev, q] = work.front();
+      work.pop_front();
+      const std::uint32_t d = at(dev, q);
+      // Predecessors: (pd, pq) with a live link pd-dev and δ(pq, dev) == q.
+      for (const auto& adj : topo.neighbors(dev)) {
+        const DeviceId pd = adj.neighbor;
+        if (link_failed(failed, pd, dev)) continue;
+        for (std::uint32_t pq = 0; pq < nq_; ++pq) {
+          if (dfa.next(pq, dev) == q && at(pd, pq) == kUnreachableLen) {
+            at(pd, pq) = d + 1;
+            work.emplace_back(pd, pq);
+          }
+        }
+      }
+    }
+  }
+
+  [[nodiscard]] std::uint32_t get(DeviceId dev, std::uint32_t q) const {
+    return dist_[dev * nq_ + q];
+  }
+
+ private:
+  std::uint32_t& at(DeviceId dev, std::uint32_t q) {
+    return dist_[dev * nq_ + q];
+  }
+
+  std::uint32_t nq_;
+  std::vector<std::uint32_t> dist_;
+};
+
+/// DFS enumeration of valid paths from one ingress.
+class Enumerator {
+ public:
+  Enumerator(const topo::Topology& topo, const AtomAutomaton& atom,
+             const std::unordered_set<LinkId>& failed,
+             const ProductDistances& dist, std::uint32_t shortest,
+             std::size_t max_paths)
+      : topo_(topo),
+        atom_(atom),
+        failed_(failed),
+        dist_(dist),
+        shortest_(shortest),
+        max_paths_(max_paths),
+        visited_(topo.device_count(), false) {
+    // Max hops: tightest upper-bounding filter; simple paths bound the
+    // rest. prepare_atoms() guarantees at least one bound exists.
+    std::uint32_t maxlen =
+        atom.loop_free ? static_cast<std::uint32_t>(topo.device_count()) - 1
+                       : kUnreachableLen;
+    for (const auto& f : atom.filters) {
+      if (const auto ub = f.upper_bound(shortest)) {
+        maxlen = std::min(maxlen, *ub);
+      }
+    }
+    TULKUN_ASSERT(maxlen != kUnreachableLen);
+    maxlen_ = maxlen;
+  }
+
+  [[nodiscard]] std::vector<Path> run(DeviceId ingress) {
+    out_.clear();
+    if (atom_.dfa.start() == regex::Dfa::kDead) return std::move(out_);
+    const std::uint32_t q = atom_.dfa.next(atom_.dfa.start(), ingress);
+    if (q == regex::Dfa::kDead) return std::move(out_);
+    if (dist_.get(ingress, q) == kUnreachableLen) return std::move(out_);
+    cur_.clear();
+    cur_.push_back(ingress);
+    visited_[ingress] = true;
+    dfs(ingress, q);
+    visited_[ingress] = false;
+    return std::move(out_);
+  }
+
+ private:
+  [[nodiscard]] bool admits(std::uint32_t hops) const {
+    return std::all_of(
+        atom_.filters.begin(), atom_.filters.end(),
+        [&](const spec::LengthFilter& f) { return f.admits(hops, shortest_); });
+  }
+
+  void dfs(DeviceId dev, std::uint32_t q) {
+    const auto hops = static_cast<std::uint32_t>(cur_.size()) - 1;
+    if (atom_.dfa.accepting(q) && admits(hops)) {
+      if (out_.size() >= max_paths_) {
+        throw Error("valid-path enumeration exceeds max_paths cap");
+      }
+      out_.push_back(cur_);
+    }
+    if (hops == maxlen_) return;
+    for (const auto& adj : topo_.neighbors(dev)) {
+      const DeviceId nd = adj.neighbor;
+      if (link_failed(failed_, dev, nd)) continue;
+      if (atom_.loop_free && visited_[nd]) continue;
+      const std::uint32_t nq = atom_.dfa.next(q, nd);
+      if (nq == regex::Dfa::kDead) continue;
+      const std::uint32_t lb = dist_.get(nd, nq);
+      if (lb == kUnreachableLen || hops + 1 + lb > maxlen_) continue;
+      visited_[nd] = true;
+      cur_.push_back(nd);
+      dfs(nd, nq);
+      cur_.pop_back();
+      visited_[nd] = false;
+    }
+  }
+
+  const topo::Topology& topo_;
+  const AtomAutomaton& atom_;
+  const std::unordered_set<LinkId>& failed_;
+  const ProductDistances& dist_;
+  std::uint32_t shortest_;
+  std::size_t max_paths_;
+  std::uint32_t maxlen_ = 0;
+  std::vector<bool> visited_;
+  std::vector<Path> out_;
+  Path cur_;
+};
+
+/// Interns paths so scenes can share storage.
+class PathPool {
+ public:
+  std::uint32_t intern(Path p) {
+    const auto it = index_.find(p);
+    if (it != index_.end()) return it->second;
+    const auto id = static_cast<std::uint32_t>(paths_.size());
+    index_.emplace(p, id);
+    paths_.push_back(std::move(p));
+    return id;
+  }
+
+  [[nodiscard]] const Path& get(std::uint32_t id) const { return paths_[id]; }
+  [[nodiscard]] std::size_t size() const { return paths_.size(); }
+
+ private:
+  std::unordered_map<Path, std::uint32_t, PathHash> index_;
+  std::vector<Path> paths_;
+};
+
+/// Trie over valid paths, edge/accept scene masks attached.
+struct TrieNode {
+  DeviceId dev = kNoDevice;
+  std::map<DeviceId, std::uint32_t> children;
+  SceneMask edge_scenes;             // scenes of the edge INTO this node
+  std::vector<SceneMask> accept;     // per-atom acceptance scenes (or empty)
+};
+
+class Trie {
+ public:
+  Trie(std::size_t arity, std::size_t n_scenes)
+      : arity_(arity), n_scenes_(n_scenes) {
+    nodes_.push_back(TrieNode{});  // root
+  }
+
+  void insert(const Path& p, const std::vector<SceneMask>& atom_masks,
+              const SceneMask& any_mask) {
+    std::uint32_t cur = 0;
+    for (const DeviceId dev : p) {
+      const auto it = nodes_[cur].children.find(dev);
+      std::uint32_t next;
+      if (it == nodes_[cur].children.end()) {
+        next = static_cast<std::uint32_t>(nodes_.size());
+        TrieNode n;
+        n.dev = dev;
+        n.edge_scenes = SceneMask(n_scenes_);
+        nodes_.push_back(std::move(n));
+        nodes_[cur].children.emplace(dev, next);
+      } else {
+        next = it->second;
+      }
+      nodes_[next].edge_scenes |= any_mask;
+      cur = next;
+    }
+    TrieNode& leaf = nodes_[cur];
+    if (leaf.accept.empty()) {
+      leaf.accept.assign(arity_, SceneMask(n_scenes_));
+    }
+    for (std::size_t a = 0; a < arity_; ++a) {
+      leaf.accept[a] |= atom_masks[a];
+    }
+  }
+
+  [[nodiscard]] const std::vector<TrieNode>& nodes() const { return nodes_; }
+
+ private:
+  std::size_t arity_;
+  std::size_t n_scenes_;
+  std::vector<TrieNode> nodes_;
+};
+
+/// DAWG compaction: merges trie nodes with identical device, acceptance,
+/// and (child canonical id, edge mask) structure — the paper's state
+/// minimization, preserving the per-scene path language exactly.
+class Compactor {
+ public:
+  Compactor(const Trie& trie, DpvNet& dag) : trie_(&trie), dag_(&dag) {}
+
+  /// Returns trie-child-index -> canonical DAG node for the root's children.
+  std::map<DeviceId, NodeId> run() {
+    const auto& nodes = trie_->nodes();
+    canon_.assign(nodes.size(), kNoNode);
+    // Post-order over the tree: children before parents.
+    std::vector<std::uint32_t> order;
+    order.reserve(nodes.size());
+    std::vector<std::pair<std::uint32_t, bool>> stack{{0, false}};
+    while (!stack.empty()) {
+      auto [idx, expanded] = stack.back();
+      stack.pop_back();
+      if (expanded) {
+        order.push_back(idx);
+        continue;
+      }
+      stack.emplace_back(idx, true);
+      for (const auto& [dev, child] : nodes[idx].children) {
+        stack.emplace_back(child, false);
+      }
+    }
+
+    for (const std::uint32_t idx : order) {
+      if (idx == 0) continue;  // root is virtual
+      canon_[idx] = canonicalize(idx);
+    }
+
+    std::map<DeviceId, NodeId> sources;
+    for (const auto& [dev, child] : nodes[0].children) {
+      sources.emplace(dev, canon_[child]);
+    }
+    return sources;
+  }
+
+ private:
+  struct Key {
+    DeviceId dev;
+    std::vector<SceneMask> accept;
+    std::vector<std::pair<NodeId, SceneMask>> edges;  // sorted by NodeId
+    friend bool operator==(const Key&, const Key&) = default;
+  };
+  struct KeyHash {
+    std::size_t operator()(const Key& k) const noexcept {
+      std::size_t seed = k.dev;
+      for (const auto& m : k.accept) hash_combine(seed, m.hash());
+      for (const auto& [to, m] : k.edges) {
+        hash_combine(seed, to);
+        hash_combine(seed, m.hash());
+      }
+      return seed;
+    }
+  };
+
+  NodeId canonicalize(std::uint32_t idx) {
+    const TrieNode& n = trie_->nodes()[idx];
+    Key key;
+    key.dev = n.dev;
+    key.accept = n.accept;
+    for (const auto& [dev, child] : n.children) {
+      key.edges.emplace_back(canon_[child],
+                             trie_->nodes()[child].edge_scenes);
+    }
+    std::sort(key.edges.begin(), key.edges.end(),
+              [](const auto& a, const auto& b) { return a.first < b.first; });
+
+    const auto it = interned_.find(key);
+    if (it != interned_.end()) return it->second;
+
+    const NodeId id = dag_->add_node(n.dev);
+    dag_->node(id).accept = n.accept;
+    for (const auto& [to, mask] : key.edges) {
+      dag_->add_edge(id, to, mask);
+    }
+    interned_.emplace(std::move(key), id);
+    return id;
+  }
+
+  const Trie* trie_;
+  DpvNet* dag_;
+  std::vector<NodeId> canon_;
+  std::unordered_map<Key, NodeId, KeyHash> interned_;
+};
+
+}  // namespace
+
+std::uint32_t shortest_matching(const topo::Topology& topo,
+                                const regex::Dfa& dfa, DeviceId ingress,
+                                const std::unordered_set<LinkId>& failed) {
+  if (dfa.start() == regex::Dfa::kDead) return kUnreachableLen;
+  const std::uint32_t q0 = dfa.next(dfa.start(), ingress);
+  if (q0 == regex::Dfa::kDead) return kUnreachableLen;
+
+  const auto nq = static_cast<std::uint32_t>(dfa.state_count());
+  std::vector<std::uint32_t> dist(topo.device_count() * nq, kUnreachableLen);
+  std::deque<std::pair<DeviceId, std::uint32_t>> work;
+  dist[ingress * nq + q0] = 0;
+  work.emplace_back(ingress, q0);
+  if (dfa.accepting(q0)) return 0;
+  while (!work.empty()) {
+    const auto [dev, q] = work.front();
+    work.pop_front();
+    const std::uint32_t d = dist[dev * nq + q];
+    for (const auto& adj : topo.neighbors(dev)) {
+      const DeviceId nd = adj.neighbor;
+      if (link_failed(failed, dev, nd)) continue;
+      const std::uint32_t nqs = dfa.next(q, nd);
+      if (nqs == regex::Dfa::kDead) continue;
+      if (dist[nd * nq + nqs] != kUnreachableLen) continue;
+      dist[nd * nq + nqs] = d + 1;
+      if (dfa.accepting(nqs)) return d + 1;
+      work.emplace_back(nd, nqs);
+    }
+  }
+  return kUnreachableLen;
+}
+
+DpvNet build_dpvnet(const topo::Topology& topo, const spec::Invariant& inv,
+                    const BuildOptions& opts, BuildStats* stats) {
+  const auto atoms = internal::prepare_atoms(inv);
+  const std::size_t arity = atoms.size();
+  const auto scenes = expand_scenes(topo, inv.faults, opts.max_scenes);
+  const std::size_t n_scenes = scenes.size();
+
+  DpvNet dag(topo, arity, n_scenes);
+
+  PathPool pool;
+  // path id -> per-atom scene masks (ordered map: deterministic trie
+  // insertion order, hence deterministic node numbering).
+  std::map<std::uint32_t, std::vector<SceneMask>> atom_masks;
+  std::size_t scenes_enumerated = 0;
+  std::size_t scenes_reused = 0;
+
+  // Per (atom, ingress): results per processed scene, for §6 reuse.
+  struct SceneResult {
+    std::size_t scene = 0;
+    std::uint32_t shortest = 0;
+    std::vector<std::uint32_t> path_ids;
+  };
+
+  // Tracks (scene, ingress) pairs where no atom had a valid path.
+  std::map<std::pair<std::size_t, DeviceId>, std::size_t> empty_count;
+
+  for (std::size_t ai = 0; ai < arity; ++ai) {
+    const AtomAutomaton& atom = atoms[ai];
+    for (const DeviceId ingress : inv.ingress_set) {
+      std::vector<SceneResult> processed;
+      for (std::size_t si = 0; si < n_scenes; ++si) {
+        const auto failed = internal::failed_set(scenes[si]);
+        const std::uint32_t shortest =
+            shortest_matching(topo, atom.dfa, ingress, failed);
+
+        SceneResult result;
+        result.scene = si;
+        result.shortest = shortest;
+
+        if (shortest != kUnreachableLen) {
+          // §6 reuse: the largest processed subset scene whose filter
+          // values (i.e. `shortest`, when symbolic filters exist) match.
+          const SceneResult* best = nullptr;
+          if (opts.scene_reuse) {
+            for (const auto& prev : processed) {
+              if (!scenes[si].superset_of(scenes[prev.scene])) continue;
+              if (atom.symbolic && prev.shortest != shortest) continue;
+              if (best == nullptr || scenes[prev.scene].failed.size() >
+                                         scenes[best->scene].failed.size()) {
+                best = &prev;
+              }
+            }
+          }
+          if (best != nullptr) {
+            ++scenes_reused;
+            for (const std::uint32_t pid : best->path_ids) {
+              const Path& p = pool.get(pid);
+              bool ok = true;
+              for (std::size_t h = 0; h + 1 < p.size(); ++h) {
+                if (link_failed(failed, p[h], p[h + 1])) {
+                  ok = false;
+                  break;
+                }
+              }
+              if (ok) result.path_ids.push_back(pid);
+            }
+          } else {
+            ++scenes_enumerated;
+            const ProductDistances dist(topo, atom.dfa, failed);
+            Enumerator en(topo, atom, failed, dist, shortest,
+                          opts.max_paths);
+            for (auto& p : en.run(ingress)) {
+              result.path_ids.push_back(pool.intern(std::move(p)));
+            }
+            if (pool.size() > opts.max_paths) {
+              throw Error("valid-path pool exceeds max_paths cap");
+            }
+          }
+        }
+
+        if (result.path_ids.empty()) {
+          auto& cnt = empty_count[{si, ingress}];
+          ++cnt;
+          if (cnt == arity) dag.intolerable.emplace_back(si, ingress);
+        }
+
+        for (const std::uint32_t pid : result.path_ids) {
+          auto [it, inserted] = atom_masks.try_emplace(pid);
+          if (inserted) {
+            it->second.assign(arity, SceneMask(n_scenes));
+          }
+          it->second[ai].set(si);
+        }
+        processed.push_back(std::move(result));
+      }
+    }
+  }
+
+  // Compact all labeled paths into the DAG.
+  Trie trie(arity, n_scenes);
+  for (const auto& [pid, masks] : atom_masks) {
+    SceneMask any(n_scenes);
+    for (const auto& m : masks) any |= m;
+    trie.insert(pool.get(pid), masks, any);
+  }
+  Compactor compactor(trie, dag);
+  const auto sources = compactor.run();
+
+  for (const DeviceId ingress : inv.ingress_set) {
+    const auto it = sources.find(ingress);
+    dag.add_source(ingress, it == sources.end() ? kNoNode : it->second);
+  }
+  dag.finalize();
+
+  if (stats != nullptr) {
+    stats->scenes = n_scenes;
+    stats->paths = pool.size();
+    stats->trie_nodes = trie.nodes().size();
+    stats->dag_nodes = dag.node_count();
+    stats->scenes_enumerated = scenes_enumerated;
+    stats->scenes_reused = scenes_reused;
+  }
+  return dag;
+}
+
+}  // namespace tulkun::dpvnet

@@ -1,0 +1,67 @@
+#include "dvm/cib.hpp"
+
+#include <algorithm>
+
+namespace tulkun::dvm {
+
+void CibIn::apply(const std::vector<packet::PacketSet>& withdrawn,
+                  const std::vector<CountEntry>& results) {
+  if (!withdrawn.empty()) {
+    packet::PacketSet w = withdrawn.front();
+    for (std::size_t i = 1; i < withdrawn.size(); ++i) w |= withdrawn[i];
+    for (auto& e : entries_) e.pred -= w;
+    std::erase_if(entries_, [](const CountEntry& e) { return e.pred.empty(); });
+  }
+  for (const auto& r : results) {
+    if (r.pred.empty()) continue;
+    // Defensive disjointness: the protocol guarantees incoming results fall
+    // inside the withdrawn region, but a buggy/byzantine sender must not
+    // corrupt the table.
+    CountEntry clean = r;
+    for (const auto& e : entries_) clean.pred -= e.pred;
+    if (!clean.pred.empty()) entries_.push_back(std::move(clean));
+  }
+}
+
+std::vector<CountEntry> CibIn::lookup(const packet::PacketSet& region,
+                                      std::size_t arity) const {
+  std::vector<CountEntry> out;
+  packet::PacketSet remaining = region;
+  for (const auto& e : entries_) {
+    if (remaining.empty()) break;
+    const auto inter = remaining & e.pred;
+    if (!inter.empty()) {
+      out.push_back(CountEntry{inter, e.counts});
+      remaining -= inter;
+    }
+  }
+  if (!remaining.empty()) {
+    out.push_back(CountEntry{remaining, count::CountSet::zeros(arity)});
+  }
+  return out;
+}
+
+std::vector<CountEntry> merge_by_counts(const std::vector<LocEntry>& entries) {
+  std::vector<CountEntry> out;
+  for (const auto& e : entries) {
+    const auto it = std::find_if(out.begin(), out.end(),
+                                 [&](const CountEntry& o) {
+                                   return o.counts == e.counts;
+                                 });
+    if (it == out.end()) {
+      out.push_back(CountEntry{e.pred, e.counts});
+    } else {
+      it->pred |= e.pred;
+    }
+  }
+  return out;
+}
+
+packet::PacketSet pred_union(const std::vector<CountEntry>& entries,
+                             packet::PacketSet none) {
+  packet::PacketSet out = std::move(none);
+  for (const auto& e : entries) out |= e.pred;
+  return out;
+}
+
+}  // namespace tulkun::dvm

@@ -1,0 +1,54 @@
+// Counting information bases (§5.1): CIBIn, LocCIB, CIBOut.
+#pragma once
+
+#include <vector>
+
+#include "dvm/message.hpp"
+#include "fib/rule.hpp"
+
+namespace tulkun::dvm {
+
+/// CIBIn(v): the latest counting results received from downstream node v.
+/// Entries hold disjoint predicates; packets not covered by any entry have
+/// zero counts (nothing deliverable through v is known for them).
+class CibIn {
+ public:
+  /// Applies an UPDATE (step 1 of §5.2): withdrawn predicates are removed
+  /// from existing entries, then the incoming results are inserted.
+  void apply(const std::vector<packet::PacketSet>& withdrawn,
+             const std::vector<CountEntry>& results);
+
+  /// Splits `region` into disjoint (pred, counts) pieces; uncovered packets
+  /// appear with zero counts of the given arity.
+  [[nodiscard]] std::vector<CountEntry> lookup(
+      const packet::PacketSet& region, std::size_t arity) const;
+
+  [[nodiscard]] const std::vector<CountEntry>& entries() const {
+    return entries_;
+  }
+
+ private:
+  std::vector<CountEntry> entries_;
+};
+
+/// One LocCIB row: the predicate, its action at this device, the counts,
+/// and the downstream predicate consumed (the causality link; differs from
+/// `pred` only under packet transformations).
+struct LocEntry {
+  packet::PacketSet pred;
+  packet::PacketSet down_pred;
+  fib::Action action;
+  count::CountSet counts;
+};
+
+/// Merges entries with equal counts (CIBOut preparation, step 3 of §5.2:
+/// strip action/causality and merge by count value).
+[[nodiscard]] std::vector<CountEntry> merge_by_counts(
+    const std::vector<LocEntry>& entries);
+
+/// Union of entry predicates; `none` must be the empty set of the session's
+/// packet space (used as the fold seed).
+[[nodiscard]] packet::PacketSet pred_union(
+    const std::vector<CountEntry>& entries, packet::PacketSet none);
+
+}  // namespace tulkun::dvm

@@ -1,0 +1,222 @@
+#include "dvm/codec.hpp"
+
+#include "bdd/serialize.hpp"
+
+namespace tulkun::dvm {
+
+namespace {
+
+constexpr std::uint8_t kTagUpdate = 1;
+constexpr std::uint8_t kTagSubscribe = 2;
+constexpr std::uint8_t kTagLinkState = 3;
+constexpr std::uint8_t kTagPathSet = 4;
+
+class Writer {
+ public:
+  void u8(std::uint8_t v) { out_.push_back(v); }
+  void u32(std::uint32_t v) {
+    for (int i = 0; i < 4; ++i) out_.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+  }
+  void u64(std::uint64_t v) {
+    for (int i = 0; i < 8; ++i) out_.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+  }
+  void bytes(const std::vector<std::uint8_t>& b) {
+    u32(static_cast<std::uint32_t>(b.size()));
+    out_.insert(out_.end(), b.begin(), b.end());
+  }
+  void pred(const packet::PacketSet& p) {
+    bytes(bdd::serialize(*p.manager(), p.ref()));
+  }
+  void counts(const count::CountSet& c) {
+    u32(static_cast<std::uint32_t>(c.size()));
+    u32(static_cast<std::uint32_t>(c.arity()));
+    for (const auto& vec : c.elems()) {
+      for (const auto v : vec) u32(v);
+    }
+  }
+  [[nodiscard]] std::vector<std::uint8_t> take() { return std::move(out_); }
+
+ private:
+  std::vector<std::uint8_t> out_;
+};
+
+class Reader {
+ public:
+  Reader(std::span<const std::uint8_t> bytes, packet::PacketSpace& space)
+      : bytes_(bytes), space_(&space) {}
+
+  std::uint8_t u8() {
+    need(1);
+    return bytes_[pos_++];
+  }
+  std::uint32_t u32() {
+    need(4);
+    std::uint32_t v = 0;
+    for (int i = 0; i < 4; ++i) v |= static_cast<std::uint32_t>(bytes_[pos_++]) << (8 * i);
+    return v;
+  }
+  std::uint64_t u64() {
+    need(8);
+    std::uint64_t v = 0;
+    for (int i = 0; i < 8; ++i) v |= static_cast<std::uint64_t>(bytes_[pos_++]) << (8 * i);
+    return v;
+  }
+  packet::PacketSet pred() {
+    const std::uint32_t len = u32();
+    need(len);
+    const auto ref = bdd::deserialize(
+        space_->manager(), bytes_.subspan(pos_, len));
+    pos_ += len;
+    return space_->wrap(ref);
+  }
+  count::CountSet counts() {
+    const std::uint32_t n = u32();
+    const std::uint32_t arity = u32();
+    count::CountSet out;
+    for (std::uint32_t i = 0; i < n; ++i) {
+      count::CountVec vec(arity);
+      for (auto& v : vec) v = u32();
+      out.insert(std::move(vec));
+    }
+    return out;
+  }
+  void done() const {
+    if (pos_ != bytes_.size()) throw Error("dvm decode: trailing bytes");
+  }
+
+ private:
+  void need(std::size_t n) const {
+    if (pos_ + n > bytes_.size()) throw Error("dvm decode: truncated");
+  }
+  std::span<const std::uint8_t> bytes_;
+  packet::PacketSpace* space_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace
+
+std::vector<std::uint8_t> encode(const Envelope& env) {
+  Writer w;
+  w.u32(env.src);
+  w.u32(env.dst);
+  if (const auto* u = std::get_if<UpdateMessage>(&env.msg)) {
+    w.u8(kTagUpdate);
+    w.u32(u->invariant);
+    w.u32(u->up_node);
+    w.u32(u->down_node);
+    w.u32(static_cast<std::uint32_t>(u->withdrawn.size()));
+    for (const auto& p : u->withdrawn) w.pred(p);
+    w.u32(static_cast<std::uint32_t>(u->results.size()));
+    for (const auto& e : u->results) {
+      w.pred(e.pred);
+      w.counts(e.counts);
+    }
+  } else if (const auto* s = std::get_if<SubscribeMessage>(&env.msg)) {
+    w.u8(kTagSubscribe);
+    w.u32(s->invariant);
+    w.u32(s->up_node);
+    w.u32(s->down_node);
+    w.pred(s->original);
+    w.pred(s->rewritten);
+  } else if (const auto* p = std::get_if<PathSetUpdate>(&env.msg)) {
+    w.u8(kTagPathSet);
+    w.u32(p->session);
+    w.u32(p->up_node);
+    w.u32(p->down_node);
+    w.u8(p->side);
+    w.u32(static_cast<std::uint32_t>(p->withdrawn.size()));
+    for (const auto& pred : p->withdrawn) w.pred(pred);
+    w.u32(static_cast<std::uint32_t>(p->results.size()));
+    for (const auto& e : p->results) {
+      w.pred(e.pred);
+      w.u32(static_cast<std::uint32_t>(e.paths.size()));
+      for (const auto& path : e.paths) {
+        w.u32(static_cast<std::uint32_t>(path.size()));
+        for (const DeviceId d : path) w.u32(d);
+      }
+    }
+  } else {
+    const auto& l = std::get<LinkStateMessage>(env.msg);
+    w.u8(kTagLinkState);
+    w.u32(l.link.from);
+    w.u32(l.link.to);
+    w.u8(l.up ? 1 : 0);
+    w.u64(l.seq);
+    w.u32(l.origin);
+  }
+  return w.take();
+}
+
+Envelope decode(std::span<const std::uint8_t> bytes,
+                packet::PacketSpace& space) {
+  Reader r(bytes, space);
+  Envelope env;
+  env.src = r.u32();
+  env.dst = r.u32();
+  const std::uint8_t tag = r.u8();
+  if (tag == kTagUpdate) {
+    UpdateMessage u;
+    u.invariant = r.u32();
+    u.up_node = r.u32();
+    u.down_node = r.u32();
+    const std::uint32_t nw = r.u32();
+    for (std::uint32_t i = 0; i < nw; ++i) u.withdrawn.push_back(r.pred());
+    const std::uint32_t nr = r.u32();
+    for (std::uint32_t i = 0; i < nr; ++i) {
+      CountEntry e;
+      e.pred = r.pred();
+      e.counts = r.counts();
+      u.results.push_back(std::move(e));
+    }
+    env.msg = std::move(u);
+  } else if (tag == kTagSubscribe) {
+    SubscribeMessage s;
+    s.invariant = r.u32();
+    s.up_node = r.u32();
+    s.down_node = r.u32();
+    s.original = r.pred();
+    s.rewritten = r.pred();
+    env.msg = std::move(s);
+  } else if (tag == kTagPathSet) {
+    PathSetUpdate p;
+    p.session = r.u32();
+    p.up_node = r.u32();
+    p.down_node = r.u32();
+    p.side = r.u8();
+    const std::uint32_t nw = r.u32();
+    for (std::uint32_t i = 0; i < nw; ++i) p.withdrawn.push_back(r.pred());
+    const std::uint32_t nr = r.u32();
+    for (std::uint32_t i = 0; i < nr; ++i) {
+      PathSetUpdate::Entry e;
+      e.pred = r.pred();
+      const std::uint32_t np = r.u32();
+      for (std::uint32_t j = 0; j < np; ++j) {
+        std::vector<DeviceId> path(r.u32());
+        for (auto& d : path) d = r.u32();
+        e.paths.push_back(std::move(path));
+      }
+      p.results.push_back(std::move(e));
+    }
+    env.msg = std::move(p);
+  } else if (tag == kTagLinkState) {
+    LinkStateMessage l;
+    l.link.from = r.u32();
+    l.link.to = r.u32();
+    l.up = r.u8() != 0;
+    l.seq = r.u64();
+    l.origin = r.u32();
+    env.msg = l;
+  } else {
+    throw Error("dvm decode: unknown message tag");
+  }
+  r.done();
+  return env;
+}
+
+std::size_t encoded_size(const Envelope& env) {
+  // Exact by construction: re-encode and measure. Message sizes are small;
+  // benchmarks that need only the size of predicates use serialized_size.
+  return encode(env).size();
+}
+
+}  // namespace tulkun::dvm

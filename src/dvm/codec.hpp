@@ -1,0 +1,29 @@
+// Wire codec for DVM messages.
+//
+// The paper serializes BDD predicates (JDD + Protobuf) to ship them between
+// devices; we encode messages into a compact length-prefixed binary format
+// so message sizes measured in benchmarks are the real on-the-wire sizes,
+// and round-trip decoding is tested for fidelity.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "dvm/message.hpp"
+
+namespace tulkun::dvm {
+
+/// Serializes an envelope. Predicates are encoded as BDD node lists.
+[[nodiscard]] std::vector<std::uint8_t> encode(const Envelope& env);
+
+/// Decodes an envelope; predicates are rebuilt inside `space`.
+/// Throws Error on malformed input.
+[[nodiscard]] Envelope decode(std::span<const std::uint8_t> bytes,
+                              packet::PacketSpace& space);
+
+/// encode(env).size() without materializing the buffer contents
+/// (used for fast message accounting; exact).
+[[nodiscard]] std::size_t encoded_size(const Envelope& env);
+
+}  // namespace tulkun::dvm

@@ -1,0 +1,78 @@
+// DVM protocol messages (§5.2).
+//
+// UPDATE carries counting results along a DPVNet link in the upstream
+// direction, maintaining the protocol invariant that the union of withdrawn
+// predicates equals the union of the incoming results' predicates.
+// SUBSCRIBE supports packet transformations: it asks a downstream node to
+// report counts for the rewritten predicate. LINKSTATE implements the §6
+// failure-flooding used to synchronize fault scenes.
+#pragma once
+
+#include <cstdint>
+#include <variant>
+#include <vector>
+
+#include "count/count_set.hpp"
+#include "core/ids.hpp"
+#include "packet/packet_set.hpp"
+
+namespace tulkun::dvm {
+
+/// One (predicate, counts) pair as stored in CIBs and sent in UPDATEs.
+struct CountEntry {
+  packet::PacketSet pred;
+  count::CountSet counts;
+};
+
+struct UpdateMessage {
+  InvariantId invariant = 0;
+  NodeId up_node = kNoNode;    // u: the intended link is (u, v)
+  NodeId down_node = kNoNode;  // v: the sender's node
+  std::vector<packet::PacketSet> withdrawn;
+  std::vector<CountEntry> results;
+};
+
+struct SubscribeMessage {
+  InvariantId invariant = 0;
+  NodeId up_node = kNoNode;
+  NodeId down_node = kNoNode;
+  packet::PacketSet original;   // predicate1 (pre-rewrite)
+  packet::PacketSet rewritten;  // predicate2 (what v should report)
+};
+
+struct LinkStateMessage {
+  LinkId link;          // canonical from < to
+  bool up = false;
+  std::uint64_t seq = 0;  // per-origin sequence number
+  DeviceId origin = kNoDevice;
+};
+
+/// Path-collection update for the §7 multi-path extension: instead of
+/// counts, nodes propagate the *actual* downstream paths (device
+/// sequences) their packets may take, so user-defined comparisons (route
+/// symmetry, disjointness) can run on complete paths.
+struct PathSetUpdate {
+  InvariantId session = 0;
+  /// kNoNode: a report from a side's source node to the comparator device.
+  NodeId up_node = kNoNode;
+  NodeId down_node = kNoNode;
+  std::uint8_t side = 0;  // which PathQuery of the comparison (0 or 1)
+  std::vector<packet::PacketSet> withdrawn;
+  struct Entry {
+    packet::PacketSet pred;
+    std::vector<std::vector<DeviceId>> paths;  // sorted, unique
+  };
+  std::vector<Entry> results;
+};
+
+using Message = std::variant<UpdateMessage, SubscribeMessage,
+                             LinkStateMessage, PathSetUpdate>;
+
+/// A message addressed between devices (the runtime adds latency/ordering).
+struct Envelope {
+  DeviceId src = kNoDevice;
+  DeviceId dst = kNoDevice;
+  Message msg;
+};
+
+}  // namespace tulkun::dvm

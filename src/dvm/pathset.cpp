@@ -1,0 +1,323 @@
+#include "dvm/pathset.hpp"
+
+#include <algorithm>
+
+namespace tulkun::dvm {
+
+namespace {
+
+void normalize(spec::PathSet& paths) {
+  std::sort(paths.begin(), paths.end());
+  paths.erase(std::unique(paths.begin(), paths.end()), paths.end());
+}
+
+spec::PathSet prepend(DeviceId dev, const spec::PathSet& paths) {
+  spec::PathSet out;
+  out.reserve(paths.size());
+  for (const auto& p : paths) {
+    spec::CollectedPath np;
+    np.reserve(p.size() + 1);
+    np.push_back(dev);
+    np.insert(np.end(), p.begin(), p.end());
+    out.push_back(std::move(np));
+  }
+  return out;
+}
+
+}  // namespace
+
+PathSetEngine::PathSetEngine(DeviceId dev, const dpvnet::DpvNet& dag_a,
+                             const dpvnet::DpvNet& dag_b,
+                             const spec::MultiPathInvariant& inv,
+                             InvariantId session,
+                             packet::PacketSpace& space)
+    : dev_(dev), inv_(&inv), session_(session), space_(&space) {
+  sides_[0].dag = &dag_a;
+  sides_[0].query = &inv.a;
+  sides_[1].dag = &dag_b;
+  sides_[1].query = &inv.b;
+  is_comparator_ = inv.comparator == dev;
+
+  for (std::uint8_t s = 0; s < 2; ++s) {
+    Side& side = sides_[s];
+    for (const NodeId id : side.dag->nodes_of_device(dev)) {
+      NodeState ns;
+      ns.id = id;
+      ns.side = s;
+      side.node_index.emplace(id, side.nodes.size());
+      side.nodes.push_back(std::move(ns));
+    }
+    for (const auto& [ingress, src] : side.dag->sources()) {
+      if (ingress == side.query->ingress) {
+        side.source = src;
+        side.source_hosted_here =
+            src != kNoNode && side.dag->node(src).dev == dev;
+      }
+    }
+  }
+}
+
+std::vector<PathSetEngine::PathEntry> PathSetEngine::lookup(
+    const std::vector<PathEntry>& table, const packet::PacketSet& region,
+    packet::PacketSpace& space) {
+  std::vector<PathEntry> out;
+  packet::PacketSet remaining = region;
+  for (const auto& e : table) {
+    if (remaining.empty()) break;
+    const auto inter = remaining & e.pred;
+    if (!inter.empty()) {
+      out.push_back(PathEntry{inter, e.paths});
+      remaining -= inter;
+    }
+  }
+  if (!remaining.empty()) {
+    out.push_back(PathEntry{remaining, {}});
+  }
+  (void)space;
+  return out;
+}
+
+std::vector<PathSetEngine::PathEntry> PathSetEngine::compute_region(
+    Side& side, NodeState& ns, const packet::PacketSet& region) {
+  std::vector<PathEntry> result;
+  if (region.empty()) return result;
+  const dpvnet::DpvNode& node = side.dag->node(ns.id);
+  const bool accepting = node.accepting();
+
+  for (const auto& [pred, action] : lec_.partition(region)) {
+    // "Delivered here": pure destinations always terminate a path; other
+    // accepting nodes terminate one when they hand to an external port.
+    spec::PathSet base;
+    if (accepting &&
+        (node.down.empty() || action.forwards_to(fib::kExternalPort))) {
+      base.push_back(spec::CollectedPath{dev_});
+    }
+
+    std::vector<const dpvnet::DpvEdge*> relevant;
+    for (const auto& e : node.down) {
+      if (action.forwards_to(side.dag->node(e.to).dev)) {
+        relevant.push_back(&e);
+      }
+    }
+
+    // Possible-path semantics: ALL replication and ANY alternatives both
+    // contribute every branch; refine piecewise across children.
+    std::vector<PathEntry> pieces{PathEntry{pred, base}};
+    for (const auto* e : relevant) {
+      const auto& table = ns.pib_in[e->to];
+      std::vector<PathEntry> next;
+      for (auto& piece : pieces) {
+        for (auto& part : lookup(table, piece.pred, *space_)) {
+          PathEntry np;
+          np.pred = part.pred;
+          np.paths = piece.paths;
+          auto extended = prepend(dev_, part.paths);
+          np.paths.insert(np.paths.end(),
+                          std::make_move_iterator(extended.begin()),
+                          std::make_move_iterator(extended.end()));
+          normalize(np.paths);
+          next.push_back(std::move(np));
+        }
+      }
+      pieces = std::move(next);
+    }
+    for (auto& piece : pieces) {
+      result.push_back(std::move(piece));
+    }
+  }
+  return result;
+}
+
+void PathSetEngine::recompute(Side& side, NodeState& ns,
+                              const packet::PacketSet& region,
+                              std::vector<Envelope>& out) {
+  const packet::PacketSet scoped = region & side.query->space;
+  if (scoped.empty()) return;
+  std::vector<PathEntry> kept;
+  kept.reserve(ns.loc.size());
+  for (auto& e : ns.loc) {
+    e.pred -= scoped;
+    if (!e.pred.empty()) kept.push_back(std::move(e));
+  }
+  ns.loc = std::move(kept);
+  for (auto& fresh : compute_region(side, ns, scoped)) {
+    ns.loc.push_back(std::move(fresh));
+  }
+  emit(side, ns, out);
+}
+
+void PathSetEngine::emit(Side& side, NodeState& ns,
+                         std::vector<Envelope>& out) {
+  // Merge loc entries with identical path sets.
+  std::vector<PathEntry> merged;
+  for (const auto& e : ns.loc) {
+    const auto it =
+        std::find_if(merged.begin(), merged.end(), [&](const PathEntry& m) {
+          return m.paths == e.paths;
+        });
+    if (it == merged.end()) {
+      merged.push_back(e);
+    } else {
+      it->pred |= e.pred;
+    }
+  }
+
+  // Changed region vs. last transmission.
+  packet::PacketSet changed = space_->none();
+  for (const auto& o : ns.out_sent) {
+    for (const auto& n : merged) {
+      if (o.paths == n.paths) continue;
+      const auto inter = o.pred & n.pred;
+      if (!inter.empty()) changed |= inter;
+    }
+  }
+  auto cover = [&](const std::vector<PathEntry>& es) {
+    packet::PacketSet u = space_->none();
+    for (const auto& e : es) u |= e.pred;
+    return u;
+  };
+  const auto old_cover = cover(ns.out_sent);
+  const auto new_cover = cover(merged);
+  changed |= new_cover - old_cover;
+  changed |= old_cover - new_cover;
+  if (changed.empty()) return;
+  ns.out_sent = merged;
+
+  const dpvnet::DpvNode& node = side.dag->node(ns.id);
+  PathSetUpdate base;
+  base.session = session_;
+  base.down_node = ns.id;
+  base.side = ns.side;
+  base.withdrawn.push_back(changed);
+  for (const auto& e : merged) {
+    const auto inter = e.pred & changed;
+    if (!inter.empty()) {
+      base.results.push_back(PathSetUpdate::Entry{inter, e.paths});
+    }
+  }
+  for (const NodeId up : node.up) {
+    PathSetUpdate msg = base;
+    msg.up_node = up;
+    out.push_back(Envelope{dev_, side.dag->node(up).dev, std::move(msg)});
+  }
+  if (ns.id == side.source) {
+    report_to_comparator(side, ns, out);
+  }
+}
+
+void PathSetEngine::report_to_comparator(Side& side, const NodeState& ns,
+                                         std::vector<Envelope>& out) {
+  std::vector<PathSetUpdate::Entry> entries;
+  for (const auto& e : ns.out_sent) {
+    entries.push_back(PathSetUpdate::Entry{e.pred, e.paths});
+  }
+  if (inv_->comparator == dev_) {
+    absorb_report(ns.side, entries);
+    evaluate();
+    return;
+  }
+  PathSetUpdate report;
+  report.session = session_;
+  report.up_node = kNoNode;  // comparator report
+  report.down_node = ns.id;
+  report.side = ns.side;
+  report.results = std::move(entries);
+  out.push_back(Envelope{dev_, inv_->comparator, std::move(report)});
+}
+
+void PathSetEngine::absorb_report(
+    std::uint8_t side_idx, const std::vector<PathSetUpdate::Entry>& entries) {
+  spec::PathSet all;
+  for (const auto& e : entries) {
+    all.insert(all.end(), e.paths.begin(), e.paths.end());
+  }
+  normalize(all);
+  reported_[side_idx] = std::move(all);
+  have_report_[side_idx] = true;
+}
+
+void PathSetEngine::evaluate() {
+  violations_.clear();
+  if (!have_report_[0] || !have_report_[1]) return;
+  const auto reason =
+      spec::compare_path_sets(inv_->compare, reported_[0], reported_[1]);
+  if (!reason.empty()) {
+    violations_.push_back(Violation{
+        session_, dev_, kNoNode, space_->none(), {},
+        inv_->name + ": " + reason});
+  }
+}
+
+std::vector<Envelope> PathSetEngine::set_lec(fib::LecTable lec) {
+  lec_ = std::move(lec);
+  std::vector<Envelope> out;
+  for (auto& side : sides_) {
+    for (auto& ns : side.nodes) {
+      recompute(side, ns, side.query->space, out);
+    }
+  }
+  return out;
+}
+
+std::vector<Envelope> PathSetEngine::on_lec_deltas(
+    const std::vector<fib::LecDelta>& deltas, fib::LecTable lec) {
+  lec_ = std::move(lec);
+  std::vector<Envelope> out;
+  if (deltas.empty()) return out;
+  packet::PacketSet region = space_->none();
+  for (const auto& d : deltas) region |= d.pred;
+  for (auto& side : sides_) {
+    for (auto& ns : side.nodes) {
+      recompute(side, ns, region, out);
+    }
+  }
+  return out;
+}
+
+std::vector<Envelope> PathSetEngine::on_pathset(const PathSetUpdate& msg) {
+  std::vector<Envelope> out;
+  if (msg.session != session_) return out;
+
+  if (msg.up_node == kNoNode) {
+    // A comparator report.
+    if (is_comparator_) {
+      absorb_report(msg.side, msg.results);
+      evaluate();
+    }
+    return out;
+  }
+
+  Side& side = sides_[msg.side];
+  const auto it = side.node_index.find(msg.up_node);
+  if (it == side.node_index.end()) return out;
+  NodeState& ns = side.nodes[it->second];
+
+  auto& table = ns.pib_in[msg.down_node];
+  packet::PacketSet updated = space_->none();
+  for (const auto& w : msg.withdrawn) updated |= w;
+  for (auto& e : table) e.pred -= updated;
+  std::erase_if(table, [](const PathEntry& e) { return e.pred.empty(); });
+  for (const auto& r : msg.results) {
+    updated |= r.pred;
+    table.push_back(PathEntry{r.pred, r.paths});
+  }
+
+  packet::PacketSet region = space_->none();
+  for (const auto& e : ns.loc) {
+    if (e.pred.intersects(updated)) region |= e.pred;
+  }
+  // New coverage may not intersect any existing row yet.
+  region |= updated;
+  recompute(side, ns, region, out);
+  return out;
+}
+
+std::optional<std::pair<spec::PathSet, spec::PathSet>>
+PathSetEngine::comparator_view() const {
+  if (!is_comparator_ || !have_report_[0] || !have_report_[1]) {
+    return std::nullopt;
+  }
+  return std::make_pair(reported_[0], reported_[1]);
+}
+
+}  // namespace tulkun::dvm

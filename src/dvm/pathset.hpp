@@ -1,0 +1,96 @@
+// Path-collection engine for multi-path invariants (§7).
+//
+// Structure mirrors DeviceEngine, but nodes propagate *path sets* instead
+// of count sets: LocPIB maps packet predicates to the set of device
+// sequences packets may traverse from this node to the destination (the
+// possible-path semantics — ALL replication and ANY alternatives both
+// contribute every branch). Each side's source reports its collected
+// paths to the comparator device, which runs the user-defined comparison.
+#pragma once
+
+#include <map>
+#include <optional>
+
+#include "dpvnet/dpvnet.hpp"
+#include "dvm/engine.hpp"
+#include "spec/multipath.hpp"
+
+namespace tulkun::dvm {
+
+class PathSetEngine {
+ public:
+  PathSetEngine(DeviceId dev, const dpvnet::DpvNet& dag_a,
+                const dpvnet::DpvNet& dag_b,
+                const spec::MultiPathInvariant& inv, InvariantId session,
+                packet::PacketSpace& space);
+
+  std::vector<Envelope> set_lec(fib::LecTable lec);
+  std::vector<Envelope> on_lec_deltas(const std::vector<fib::LecDelta>& deltas,
+                                      fib::LecTable lec);
+  std::vector<Envelope> on_pathset(const PathSetUpdate& msg);
+
+  [[nodiscard]] const std::vector<Violation>& violations() const {
+    return violations_;
+  }
+
+  /// The comparator's current view (valid only on the comparator device):
+  /// per side, the union of collected paths over the side's packet space.
+  [[nodiscard]] std::optional<std::pair<spec::PathSet, spec::PathSet>>
+  comparator_view() const;
+
+  [[nodiscard]] InvariantId session() const { return session_; }
+
+ private:
+  struct PathEntry {
+    packet::PacketSet pred;
+    spec::PathSet paths;
+  };
+
+  struct NodeState {
+    NodeId id = kNoNode;
+    std::uint8_t side = 0;
+    std::map<NodeId, std::vector<PathEntry>> pib_in;  // per downstream node
+    std::vector<PathEntry> loc;
+    std::vector<PathEntry> out_sent;
+  };
+
+  struct Side {
+    const dpvnet::DpvNet* dag = nullptr;
+    const spec::PathQuery* query = nullptr;
+    std::vector<NodeState> nodes;
+    std::map<NodeId, std::size_t> node_index;
+    NodeId source = kNoNode;           // this side's source node
+    bool source_hosted_here = false;
+  };
+
+  /// Disjoint (pred, paths) cover of `region` from a child's table;
+  /// uncovered packets map to the empty path set.
+  [[nodiscard]] static std::vector<PathEntry> lookup(
+      const std::vector<PathEntry>& table, const packet::PacketSet& region,
+      packet::PacketSpace& space);
+
+  [[nodiscard]] std::vector<PathEntry> compute_region(
+      Side& side, NodeState& ns, const packet::PacketSet& region);
+  void recompute(Side& side, NodeState& ns, const packet::PacketSet& region,
+                 std::vector<Envelope>& out);
+  void emit(Side& side, NodeState& ns, std::vector<Envelope>& out);
+  void report_to_comparator(Side& side, const NodeState& ns,
+                            std::vector<Envelope>& out);
+  void absorb_report(std::uint8_t side_idx,
+                     const std::vector<PathSetUpdate::Entry>& entries);
+  void evaluate();
+
+  DeviceId dev_;
+  const spec::MultiPathInvariant* inv_;
+  InvariantId session_;
+  packet::PacketSpace* space_;
+  fib::LecTable lec_;
+  Side sides_[2];
+  bool is_comparator_ = false;
+  // Comparator state: per-side union of reported paths.
+  spec::PathSet reported_[2];
+  bool have_report_[2] = {false, false};
+  std::vector<Violation> violations_;
+};
+
+}  // namespace tulkun::dvm

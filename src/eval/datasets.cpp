@@ -1,0 +1,118 @@
+#include "eval/datasets.hpp"
+
+#include <algorithm>
+
+#include "topo/generators.hpp"
+
+namespace tulkun::eval {
+
+namespace {
+
+std::vector<DatasetSpec> make_registry() {
+  std::vector<DatasetSpec> out;
+  const auto wan = [&](std::string name, std::uint32_t devices,
+                       std::uint32_t links, std::uint64_t seed,
+                       std::uint32_t prefixes, std::uint32_t extra_rules,
+                       std::string notes) {
+    DatasetSpec s;
+    s.name = std::move(name);
+    s.kind = "WAN";
+    s.family = Family::Wan;
+    s.devices = devices;
+    s.links = links;
+    s.seed = seed;
+    s.prefixes_per_device = prefixes;
+    s.extra_rules = extra_rules;
+    s.notes = std::move(notes);
+    out.push_back(std::move(s));
+  };
+
+  wan("INet2", 9, 13, 0x1001, 24, 1,
+      "9-device Internet2 WAN shape (paper testbed, §9.2)");
+  wan("B4-13", 13, 19, 0x1002, 16, 1, "Google B4 (2013 paper) shape");
+  wan("STFD", 16, 30, 0x1003, 16, 2,
+      "Stanford campus backbone shape (16 routers)");
+  out.back().kind = "LAN";
+  wan("AT1-1", 25, 56, 0x1004, 8, 1, "Rocketfuel AS-shape, rule set 1");
+  wan("AT1-2", 25, 56, 0x1004, 8, 6,
+      "same topology as AT1-1, ~3.4x rules (rule-count sensitivity)");
+  wan("B4-18", 18, 31, 0x1005, 12, 1, "Google B4-and-after (2018) shape");
+  wan("BTNA", 36, 76, 0x1006, 6, 1, "BT North America shape");
+  wan("NTT", 47, 96, 0x1007, 4, 1, "NTT backbone shape");
+  wan("AT2-1", 60, 120, 0x1008, 3, 1,
+      "larger Rocketfuel AS-shape, rule set 1");
+  wan("AT2-2", 60, 120, 0x1008, 3, 23,
+      "same topology as AT2-1, ~12x rules (rule-count sensitivity)");
+  wan("OTEG", 93, 103, 0x1009, 2, 1,
+      "OTEGlobe shape (sparse, large diameter)");
+
+  DatasetSpec ft;
+  ft.name = "FT-48";
+  ft.kind = "DC";
+  ft.family = Family::FatTree;
+  ft.fattree_k = 8;  // paper: 48-ary (2880 switches); scaled to k=8 (80)
+  ft.seed = 0x2001;
+  ft.extra_rules = 0;
+  ft.notes = "48-ary fat-tree scaled to k=8 (80 switches); pass k=48 for "
+             "the full-size run";
+  out.push_back(ft);
+
+  DatasetSpec dc;
+  dc.name = "NGDC";
+  dc.kind = "DC";
+  dc.family = Family::Clos;
+  dc.clos_pods = 8;
+  dc.clos_spines = 4;
+  dc.clos_leaves = 8;
+  dc.clos_cores = 8;
+  dc.seed = 0x2002;
+  dc.extra_rules = 1;
+  dc.notes = "real Clos DC scaled to 8 pods x (4 spines + 8 ToRs) + 8 cores "
+             "= 104 switches";
+  out.push_back(dc);
+
+  return out;
+}
+
+}  // namespace
+
+const std::vector<DatasetSpec>& all_datasets() {
+  static const std::vector<DatasetSpec> registry = make_registry();
+  return registry;
+}
+
+const DatasetSpec& dataset(const std::string& name) {
+  const auto& all = all_datasets();
+  const auto it = std::find_if(
+      all.begin(), all.end(),
+      [&](const DatasetSpec& s) { return s.name == name; });
+  if (it == all.end()) {
+    throw Error("unknown dataset: " + name);
+  }
+  return *it;
+}
+
+std::vector<DatasetSpec> wan_lan_datasets() {
+  std::vector<DatasetSpec> out;
+  for (const auto& s : all_datasets()) {
+    if (s.kind != "DC") out.push_back(s);
+  }
+  return out;
+}
+
+topo::Topology build_topology(const DatasetSpec& spec) {
+  switch (spec.family) {
+    case Family::Wan:
+      return topo::synthetic_wan(spec.name + "_", spec.devices, spec.links,
+                                 spec.seed, spec.max_latency,
+                                 spec.prefixes_per_device);
+    case Family::FatTree:
+      return topo::fat_tree(spec.fattree_k);
+    case Family::Clos:
+      return topo::clos3(spec.clos_pods, spec.clos_spines, spec.clos_leaves,
+                         spec.clos_cores);
+  }
+  throw Error("unreachable dataset family");
+}
+
+}  // namespace tulkun::eval

@@ -1,0 +1,60 @@
+// Dataset registry mirroring the paper's Figure 10 (13 datasets:
+// WAN / LAN / DC). The paper uses four public datasets and synthesizes the
+// rest from public topologies; we synthesize all of them (seeded, so runs
+// are reproducible) with node/link counts shaped after the published
+// topologies and rule counts scaled down by a documented factor so that
+// benches finish in minutes. AT1-2/AT2-2 share topologies with
+// AT1-1/AT2-1 but carry ~3.4x / ~12x the rules, reproducing the paper's
+// rule-count sensitivity experiment.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "topo/topology.hpp"
+
+namespace tulkun::eval {
+
+enum class Family { Wan, FatTree, Clos };
+
+struct DatasetSpec {
+  std::string name;
+  std::string kind;  // "WAN", "LAN", "DC"
+  Family family = Family::Wan;
+
+  // WAN parameters.
+  std::uint32_t devices = 0;
+  std::uint32_t links = 0;
+  double max_latency = 0.040;
+  /// /24s announced per WAN device (rule-count scale knob).
+  std::uint32_t prefixes_per_device = 1;
+
+  // Fat-tree parameter.
+  std::uint32_t fattree_k = 0;
+
+  // Clos parameters.
+  std::uint32_t clos_pods = 0;
+  std::uint32_t clos_spines = 0;
+  std::uint32_t clos_leaves = 0;
+  std::uint32_t clos_cores = 0;
+
+  std::uint64_t seed = 0;
+  /// Extra more-specific rules per base route (rule-count inflation).
+  std::uint32_t extra_rules = 0;
+  std::string notes;  // approximation / scaling note
+};
+
+/// The 13 datasets in the paper's order:
+/// INet2, B4-13, STFD, AT1-1, AT1-2, B4-18, BTNA, NTT, AT2-1, AT2-2,
+/// OTEG, FT-48 (scaled to FT-8 by default), NGDC (scaled Clos).
+[[nodiscard]] const std::vector<DatasetSpec>& all_datasets();
+
+/// Lookup by name; throws Error if unknown.
+[[nodiscard]] const DatasetSpec& dataset(const std::string& name);
+
+/// WAN/LAN datasets only (the fault-tolerance experiments exclude DCs).
+[[nodiscard]] std::vector<DatasetSpec> wan_lan_datasets();
+
+[[nodiscard]] topo::Topology build_topology(const DatasetSpec& spec);
+
+}  // namespace tulkun::eval

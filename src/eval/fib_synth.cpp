@@ -1,0 +1,100 @@
+#include "eval/fib_synth.hpp"
+
+#include <algorithm>
+
+#include "core/rng.hpp"
+
+namespace tulkun::eval {
+
+namespace {
+
+/// Produces `count` DISTINCT more-specific children of `prefix`, taking 4
+/// children two bits deeper, then 16 four bits deeper, and so on — the
+/// rule-count inflation knob for the AT1-2/AT2-2 style datasets.
+std::vector<packet::Ipv4Prefix> more_specifics(
+    const packet::Ipv4Prefix& prefix, std::uint32_t count) {
+  std::vector<packet::Ipv4Prefix> out;
+  std::uint8_t extra_bits = 2;
+  while (out.size() < count && prefix.len + extra_bits <= 32) {
+    const auto child_len = static_cast<std::uint8_t>(prefix.len + extra_bits);
+    const std::uint32_t fanout = 1U << extra_bits;
+    for (std::uint32_t i = 0; i < fanout && out.size() < count; ++i) {
+      const std::uint32_t child = prefix.addr | (i << (32 - child_len));
+      out.emplace_back(child, child_len);
+    }
+    extra_bits += 2;
+  }
+  return out;
+}
+
+}  // namespace
+
+fib::NetworkFib synthesize(const topo::Topology& topo,
+                           const SynthOptions& opts) {
+  fib::NetworkFib net(topo);
+  Rng rng(opts.seed);
+
+  for (DeviceId dst = 0; dst < topo.device_count(); ++dst) {
+    const auto& prefixes = topo.prefixes(dst);
+    if (prefixes.empty()) continue;
+    const auto dist = topo.hop_distances_to(dst);
+
+    for (DeviceId dev = 0; dev < topo.device_count(); ++dev) {
+      if (dist[dev] == topo::Topology::kUnreachable) continue;
+
+      fib::Action action;
+      if (dev == dst) {
+        action = fib::Action::deliver();
+      } else {
+        // Hop-shortest next hops, up to the ECMP width.
+        std::vector<DeviceId> hops;
+        for (const auto& adj : topo.neighbors(dev)) {
+          if (dist[adj.neighbor] + 1 == dist[dev]) {
+            hops.push_back(adj.neighbor);
+          }
+        }
+        TULKUN_ASSERT(!hops.empty());
+        std::shuffle(hops.begin(), hops.end(), rng.engine());
+        if (hops.size() > opts.ecmp_width) hops.resize(opts.ecmp_width);
+        action = hops.size() == 1 ? fib::Action::forward(hops.front())
+                                  : fib::Action::forward_any(hops);
+      }
+
+      for (const auto& prefix : prefixes) {
+        fib::Rule base;
+        base.priority = 10;
+        base.dst_prefix = prefix;
+        base.action = action;
+        net.table(dev).insert(base);
+        for (const auto& child : more_specifics(prefix, opts.extra_rules)) {
+          fib::Rule extra;
+          extra.priority = 20;  // more specific wins
+          extra.dst_prefix = child;
+          extra.action = action;
+          net.table(dev).insert(extra);
+        }
+      }
+    }
+  }
+  return net;
+}
+
+void inject_blackhole(fib::NetworkFib& net, DeviceId at,
+                      const packet::Ipv4Prefix& prefix) {
+  fib::Rule r;
+  r.priority = 1000;
+  r.dst_prefix = prefix;
+  r.action = fib::Action::drop();
+  net.table(at).insert(r);
+}
+
+void inject_detour(fib::NetworkFib& net, DeviceId at, DeviceId towards,
+                   const packet::Ipv4Prefix& prefix) {
+  fib::Rule r;
+  r.priority = 1000;
+  r.dst_prefix = prefix;
+  r.action = fib::Action::forward(towards);
+  net.table(at).insert(r);
+}
+
+}  // namespace tulkun::eval

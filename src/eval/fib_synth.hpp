@@ -1,0 +1,42 @@
+// FIB synthesis: shortest-path routing with ECMP toward every attached
+// prefix, plus rule-count inflation and error injection.
+//
+// Substitution note (see DESIGN.md): the paper installs real FIB dumps; we
+// synthesize routes over the same topology shapes. Every DPV tool under
+// test sees cost driven by (#rules, #prefixes, topology, diameter), all of
+// which these FIBs reproduce.
+#pragma once
+
+#include "fib/update_stream.hpp"
+#include "topo/topology.hpp"
+
+namespace tulkun::eval {
+
+struct SynthOptions {
+  /// Maximum ECMP fan-out; >1 creates ANY-type next-hop groups.
+  std::uint32_t ecmp_width = 2;
+  /// Additional more-specific rules per base route (same action), to match
+  /// a dataset's rule-count scale.
+  std::uint32_t extra_rules = 0;
+  std::uint64_t seed = 1;
+};
+
+/// Builds the full network data plane: for each device with attached
+/// prefixes, every other device routes toward it along hop-shortest paths
+/// (up to ecmp_width next hops, ANY-type when more than one); the owner
+/// delivers externally.
+[[nodiscard]] fib::NetworkFib synthesize(const topo::Topology& topo,
+                                         const SynthOptions& opts);
+
+/// Error injection for functionality demos and violation-detection tests.
+
+/// Makes `at` drop packets destined to `prefix` (a blackhole).
+void inject_blackhole(fib::NetworkFib& net, DeviceId at,
+                      const packet::Ipv4Prefix& prefix);
+
+/// Makes `at` forward `prefix` back toward `towards` (creates a loop when
+/// `towards` routes through `at`).
+void inject_detour(fib::NetworkFib& net, DeviceId at, DeviceId towards,
+                   const packet::Ipv4Prefix& prefix);
+
+}  // namespace tulkun::eval

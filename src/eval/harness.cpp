@@ -1,0 +1,449 @@
+#include "eval/harness.hpp"
+
+#include <algorithm>
+#include <chrono>
+
+#include "core/rng.hpp"
+#include "spec/builtins.hpp"
+
+namespace tulkun::eval {
+
+namespace {
+
+double seconds_since(std::chrono::steady_clock::time_point t0) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+      .count();
+}
+
+regex::Ast any_to(DeviceId dst) {
+  return regex::Ast::concat(
+      {regex::Ast::star(regex::Ast::symbols_node(regex::SymbolSet::any())),
+       regex::Ast::symbols_node(regex::SymbolSet::single(dst))});
+}
+
+}  // namespace
+
+const std::vector<SwitchProfile>& switch_profiles() {
+  // §9.4: three x86 switch CPUs of increasing age and one ARM (Centec),
+  // which the paper finds markedly slower.
+  static const std::vector<SwitchProfile> profiles = {
+      {"Mellanox", 1.0},
+      {"UfiSpace", 1.2},
+      {"Edgecore", 1.45},
+      {"Centec", 3.0},
+  };
+  return profiles;
+}
+
+Harness::Harness(DatasetSpec spec, HarnessOptions opts)
+    : spec_(std::move(spec)), opts_(opts), topo_(build_topology(spec_)) {
+  for (DeviceId d = 0; d < topo_.device_count(); ++d) {
+    if (!topo_.prefixes(d).empty()) dsts_.push_back(d);
+  }
+  if (opts_.max_destinations > 0 && dsts_.size() > opts_.max_destinations) {
+    Rng rng(opts_.seed ^ 0xd57);
+    std::shuffle(dsts_.begin(), dsts_.end(), rng.engine());
+    dsts_.resize(opts_.max_destinations);
+    std::sort(dsts_.begin(), dsts_.end());
+  }
+}
+
+std::size_t Harness::total_rules() {
+  if (!rules_cache_) {
+    const auto net = synthesize(
+        topo_, SynthOptions{opts_.ecmp_width, spec_.extra_rules, opts_.seed});
+    rules_cache_ = net.total_rules();
+  }
+  return *rules_cache_;
+}
+
+spec::Invariant Harness::dst_invariant(packet::PacketSpace& space,
+                                       DeviceId dst) const {
+  spec::Invariant inv;
+  inv.name = "reach_" + topo_.name(dst);
+  inv.packet_space = space.none();
+  for (const auto& p : topo_.prefixes(dst)) {
+    inv.packet_space |= space.dst_prefix(p);
+  }
+  inv.packet_space_text = "prefixes(" + topo_.name(dst) + ")";
+  for (const DeviceId ing : dsts_.empty() ? topo_.all_devices() : dsts_) {
+    if (ing != dst) inv.ingress_set.push_back(ing);
+  }
+  // WAN/LAN invariant (§9.2): loop-free blackhole-free reachability within
+  // shortest+slack hops; DC (§9.3.1): all-ToR-pair shortest-path reach.
+  spec::PathExpr pe;
+  pe.regex_text = ".* " + topo_.name(dst);
+  pe.ast = any_to(dst);
+  pe.loop_free = true;
+  spec::LengthFilter f;
+  f.base = spec::LengthFilter::Base::Shortest;
+  if (spec_.kind == "DC") {
+    f.cmp = spec::LengthFilter::Cmp::Eq;
+    f.offset = 0;
+  } else {
+    f.cmp = spec::LengthFilter::Cmp::Le;
+    f.offset = static_cast<std::int32_t>(opts_.slack);
+  }
+  pe.filters.push_back(f);
+  inv.behavior = spec::Behavior::exist(
+      spec::CountExpr{spec::CountExpr::Cmp::Ge, 1}, std::move(pe));
+  return inv;
+}
+
+std::vector<planner::InvariantPlan> Harness::plan_all(
+    packet::PacketSpace& space, const planner::Planner& planner,
+    const spec::FaultSpec& faults, double* seconds) const {
+  const auto t0 = std::chrono::steady_clock::now();
+  std::vector<planner::InvariantPlan> plans;
+  plans.reserve(dsts_.size());
+  for (const DeviceId dst : dsts_) {
+    spec::Invariant inv = dst_invariant(space, dst);
+    inv.faults = faults;
+    plans.push_back(planner.plan(std::move(inv)));
+  }
+  if (seconds != nullptr) *seconds = seconds_since(t0);
+  return plans;
+}
+
+Harness::TulkunRun Harness::start_tulkun(const spec::FaultSpec& faults) {
+  TulkunRun tr;
+  tr.space = std::make_unique<packet::PacketSpace>();
+
+  planner::PlannerOptions popts;
+  planner::Planner planner(topo_, *tr.space, popts);
+  const auto plans = plan_all(*tr.space, planner, faults, &tr.plan_seconds);
+
+  runtime::SimConfig scfg;
+  scfg.cpu_scale = opts_.cpu_scale;
+  tr.sim = std::make_unique<runtime::EventSimulator>(topo_, scfg);
+  tr.sim->make_devices(*tr.space);
+  for (const auto& plan : plans) {
+    tr.sim->install(plan);
+  }
+
+  const auto net = synthesize(
+      topo_, SynthOptions{opts_.ecmp_width, spec_.extra_rules, opts_.seed});
+  for (DeviceId d = 0; d < topo_.device_count(); ++d) {
+    tr.sim->post_initialize(d, net.table(d), 0.0);
+  }
+  tr.burst_seconds = tr.sim->run();
+  tr.now = tr.burst_seconds;
+  return tr;
+}
+
+Harness::Result Harness::run(bool with_baselines, std::size_t n_updates) {
+  Result result;
+  result.dataset = spec_.name;
+  result.devices = topo_.device_count();
+  result.links = topo_.link_count();
+  result.rules = total_rules();
+
+  // ---- Tulkun ----
+  TulkunRun tr = start_tulkun(spec::FaultSpec{});
+  result.tulkun_plan_seconds = tr.plan_seconds;
+
+  ToolRow tulkun_row;
+  tulkun_row.tool = "Tulkun";
+  tulkun_row.burst_seconds = tr.burst_seconds;
+  tulkun_row.violations = tr.sim->violations().size();
+
+  {
+    auto scratch = synthesize(
+        topo_, SynthOptions{opts_.ecmp_width, spec_.extra_rules, opts_.seed});
+    auto plan = random_updates(topo_, scratch, n_updates, opts_.seed + 1);
+    std::vector<std::shared_ptr<const fib::FibUpdate>> handles(
+        plan.steps.size());
+    for (std::size_t i = 0; i < plan.steps.size(); ++i) {
+      auto& step = plan.steps[i];
+      fib::FibUpdate upd = step.update;
+      if (step.erase_of >= 0) {
+        upd.rule_id =
+            handles[static_cast<std::size_t>(step.erase_of)]->rule_id;
+      }
+      const double post_time = tr.now;
+      handles[i] = tr.sim->post_rule_update(upd.device, upd, post_time);
+      const double end = tr.sim->run();
+      tulkun_row.incremental_seconds.add(end - post_time);
+      tr.now = std::max(tr.now, end);
+    }
+  }
+  result.rows.push_back(std::move(tulkun_row));
+
+  if (!with_baselines) return result;
+
+  // ---- Centralized baselines ----
+  Rng loc_rng(opts_.seed ^ 0xbeef);
+  const auto verifier_loc =
+      static_cast<DeviceId>(loc_rng.index(topo_.device_count()));
+
+  for (auto& tool : baseline::make_all_baselines()) {
+    auto net = synthesize(
+        topo_, SynthOptions{opts_.ecmp_width, spec_.extra_rules, opts_.seed});
+    auto queries =
+        baseline::all_pair_queries(topo_, net.space(),
+                                   spec_.kind == "DC" ? 0 : opts_.slack);
+    std::erase_if(queries, [&](const baseline::Query& q) {
+      return std::find(dsts_.begin(), dsts_.end(), q.dst) == dsts_.end() ||
+             std::find(dsts_.begin(), dsts_.end(), q.ingress) == dsts_.end();
+    });
+
+    ToolRow row;
+    row.tool = tool->name();
+    row.burst_seconds = baseline::collection_latency(topo_, verifier_loc) +
+                        tool->burst(net, queries);
+    row.violations = tool->violations().size();
+    row.memory_out = tool->memory_bytes() > opts_.memory_budget;
+
+    if (!row.memory_out) {
+      auto plan = random_updates(topo_, net, n_updates, opts_.seed + 1);
+      std::vector<std::uint64_t> ids(plan.steps.size(), 0);
+      for (std::size_t i = 0; i < plan.steps.size(); ++i) {
+        auto& step = plan.steps[i];
+        fib::FibUpdate upd = step.update;
+        if (step.erase_of >= 0) {
+          upd.rule_id = ids[static_cast<std::size_t>(step.erase_of)];
+        }
+        const auto deltas = fib::apply_update(net, upd);
+        ids[i] = upd.rule_id;
+        const double compute = tool->incremental(net, upd, deltas, queries);
+        row.incremental_seconds.add(
+            baseline::update_latency(topo_, verifier_loc, upd.device) +
+            compute);
+      }
+    }
+    result.rows.push_back(std::move(row));
+  }
+  return result;
+}
+
+Harness::FaultResult Harness::run_faults(std::size_t n_scenes,
+                                         std::size_t updates_per_scene,
+                                         bool with_baselines) {
+  FaultResult result;
+  result.dataset = spec_.name;
+
+  const auto sampled =
+      sample_fault_scenes(topo_, n_scenes, 3, opts_.seed + 2);
+  spec::FaultSpec faults;
+  faults.scenes = with_subsets(sampled);
+  result.scenes = sampled.size();
+
+  // ---- Tulkun ----
+  TulkunRun tr = start_tulkun(faults);
+  result.tulkun_plan_seconds = tr.plan_seconds;
+
+  FaultToolRow tulkun_row;
+  tulkun_row.tool = "Tulkun";
+
+  std::uint64_t update_seed = opts_.seed + 3;
+  std::vector<UpdatePlan> scene_plans;  // replayed identically for baselines
+  {
+    auto scratch = synthesize(
+        topo_, SynthOptions{opts_.ecmp_width, spec_.extra_rules, opts_.seed});
+    for (std::size_t si = 0; si < sampled.size(); ++si) {
+      scene_plans.push_back(random_updates(topo_, scratch, updates_per_scene,
+                                           update_seed + si));
+    }
+  }
+
+  for (std::size_t si = 0; si < sampled.size(); ++si) {
+    const auto& scene = sampled[si];
+    // Fail the scene's links; measure recount convergence (Fig 12a).
+    const double fail_at = tr.now;
+    for (const auto& link : scene.failed) {
+      tr.sim->post_link_event(link, /*up=*/false, fail_at);
+    }
+    double end = tr.sim->run();
+    tulkun_row.scene_seconds.add(end - fail_at);
+    tr.now = std::max(tr.now, end);
+
+    // Incremental updates under the scene (Fig 12b/c).
+    std::vector<std::shared_ptr<const fib::FibUpdate>> handles(
+        scene_plans[si].steps.size());
+    for (std::size_t i = 0; i < scene_plans[si].steps.size(); ++i) {
+      auto& step = scene_plans[si].steps[i];
+      fib::FibUpdate upd = step.update;
+      if (step.erase_of >= 0) {
+        upd.rule_id =
+            handles[static_cast<std::size_t>(step.erase_of)]->rule_id;
+      }
+      const double post_time = tr.now;
+      handles[i] = tr.sim->post_rule_update(upd.device, upd, post_time);
+      end = tr.sim->run();
+      tulkun_row.incremental_seconds.add(end - post_time);
+      tr.now = std::max(tr.now, end);
+    }
+
+    // Restore the links and reconverge before the next scene.
+    for (const auto& link : scene.failed) {
+      tr.sim->post_link_event(link, /*up=*/true, tr.now);
+    }
+    end = tr.sim->run();
+    tr.now = std::max(tr.now, end);
+  }
+  result.rows.push_back(std::move(tulkun_row));
+
+  if (!with_baselines) return result;
+
+  Rng loc_rng(opts_.seed ^ 0xbeef);
+  const auto verifier_loc =
+      static_cast<DeviceId>(loc_rng.index(topo_.device_count()));
+
+  for (auto& tool : baseline::make_all_baselines()) {
+    auto net = synthesize(
+        topo_, SynthOptions{opts_.ecmp_width, spec_.extra_rules, opts_.seed});
+    auto queries =
+        baseline::all_pair_queries(topo_, net.space(),
+                                   spec_.kind == "DC" ? 0 : opts_.slack);
+    std::erase_if(queries, [&](const baseline::Query& q) {
+      return std::find(dsts_.begin(), dsts_.end(), q.dst) == dsts_.end() ||
+             std::find(dsts_.begin(), dsts_.end(), q.ingress) == dsts_.end();
+    });
+
+    FaultToolRow row;
+    row.tool = tool->name();
+    (void)tool->burst(net, queries);  // setup (not a Fig 12 number)
+    if (tool->memory_bytes() > opts_.memory_budget) {
+      result.rows.push_back(std::move(row));
+      continue;
+    }
+
+    for (std::size_t si = 0; si < sampled.size(); ++si) {
+      // Scene verification: link state must reach the verifier, then the
+      // tool re-checks every query on its existing EC structures.
+      double notify = 0.0;
+      for (const auto& link : sampled[si].failed) {
+        notify = std::max(
+            notify, baseline::update_latency(topo_, verifier_loc, link.from));
+      }
+      row.scene_seconds.add(notify + tool->reverify(net, queries));
+
+      std::vector<std::uint64_t> ids(scene_plans[si].steps.size(), 0);
+      for (std::size_t i = 0; i < scene_plans[si].steps.size(); ++i) {
+        auto& step = scene_plans[si].steps[i];
+        fib::FibUpdate upd = step.update;
+        if (step.erase_of >= 0) {
+          upd.rule_id = ids[static_cast<std::size_t>(step.erase_of)];
+        }
+        const auto deltas = fib::apply_update(net, upd);
+        ids[i] = upd.rule_id;
+        const double compute = tool->incremental(net, upd, deltas, queries);
+        row.incremental_seconds.add(
+            baseline::update_latency(topo_, verifier_loc, upd.device) +
+            compute);
+      }
+    }
+    result.rows.push_back(std::move(row));
+  }
+  return result;
+}
+
+Harness::DeviceOverhead Harness::measure_overhead(
+    const SwitchProfile& profile, std::size_t n_updates) {
+  DeviceOverhead out;
+  constexpr double kCores = 4.0;
+
+  // Phase 1 (Fig 14): per-device initialization, measured standalone.
+  auto space = std::make_unique<packet::PacketSpace>();
+  planner::Planner planner(topo_, *space);
+  double plan_seconds = 0.0;
+  const auto plans = plan_all(*space, planner, spec::FaultSpec{},
+                              &plan_seconds);
+  const auto net = synthesize(
+      topo_, SynthOptions{opts_.ecmp_width, spec_.extra_rules, opts_.seed});
+
+  std::vector<std::unique_ptr<verifier::OnDeviceVerifier>> devices;
+  std::vector<double> init_durations(topo_.device_count(), 0.0);
+  for (DeviceId d = 0; d < topo_.device_count(); ++d) {
+    auto dev = std::make_unique<verifier::OnDeviceVerifier>(d, topo_, *space);
+    for (const auto& plan : plans) dev->install(plan);
+    const auto t0 = std::chrono::steady_clock::now();
+    (void)dev->initialize(net.table(d));
+    const double dur = seconds_since(t0) * profile.cpu_scale;
+    init_durations[d] = dur;
+    out.init_seconds.add(dur);
+    out.init_memory.add(static_cast<double>(dev->memory_bytes()));
+    devices.push_back(std::move(dev));
+  }
+  const double init_makespan =
+      *std::max_element(init_durations.begin(), init_durations.end());
+  for (const double dur : init_durations) {
+    out.init_cpu.add(init_makespan > 0.0 ? dur / (init_makespan * kCores)
+                                         : 0.0);
+  }
+
+  // Phase 2 (Fig 15): run the full evaluation in the simulator, collecting
+  // the DVM message trace per device, then report processing costs.
+  runtime::SimConfig scfg;
+  scfg.cpu_scale = profile.cpu_scale;
+  runtime::EventSimulator sim(topo_, scfg);
+  sim.make_devices(*space);
+  for (const auto& plan : plans) sim.install(plan);
+  for (DeviceId d = 0; d < topo_.device_count(); ++d) {
+    sim.post_initialize(d, net.table(d), 0.0);
+  }
+  double now = sim.run();
+  {
+    auto scratch = synthesize(
+        topo_, SynthOptions{opts_.ecmp_width, spec_.extra_rules, opts_.seed});
+    auto plan = random_updates(topo_, scratch, n_updates, opts_.seed + 1);
+    std::vector<std::shared_ptr<const fib::FibUpdate>> handles(
+        plan.steps.size());
+    for (std::size_t i = 0; i < plan.steps.size(); ++i) {
+      auto& step = plan.steps[i];
+      fib::FibUpdate upd = step.update;
+      if (step.erase_of >= 0) {
+        upd.rule_id =
+            handles[static_cast<std::size_t>(step.erase_of)]->rule_id;
+      }
+      handles[i] = sim.post_rule_update(upd.device, upd, now);
+      now = std::max(now, sim.run());
+    }
+  }
+
+  for (const double s : sim.stats().per_message_seconds.values()) {
+    out.per_message_seconds.add(s);
+  }
+  for (DeviceId d = 0; d < topo_.device_count(); ++d) {
+    const double busy = sim.device_busy_seconds(d);
+    out.msg_seconds.add(busy);
+    out.msg_memory.add(static_cast<double>(sim.device(d).memory_bytes()));
+    out.msg_cpu.add(now > 0.0 ? busy / (now * kCores) : 0.0);
+  }
+  return out;
+}
+
+Harness::PlanLatency Harness::plan_latency(std::uint32_t k,
+                                           std::size_t max_scenes) {
+  PlanLatency out;
+  spec::FaultSpec faults;
+  if (k > 0) {
+    // Expand explicitly so we can cap deterministically.
+    spec::FaultSpec any;
+    any.any_k = k;
+    std::vector<spec::FaultScene> scenes;
+    try {
+      scenes = dpvnet::expand_scenes(topo_, any, max_scenes);
+    } catch (const Error&) {
+      // Too many k-combinations: fall back to a sampled scene set of the
+      // same failure sizes and report the run as capped.
+      out.capped = true;
+      const auto sampled =
+          sample_fault_scenes(topo_, max_scenes / 4 + 1, k, opts_.seed + 7);
+      scenes = with_subsets(sampled);
+      if (scenes.size() > max_scenes) scenes.resize(max_scenes);
+    }
+    // Scene 0 is implicit in planning; strip it from the explicit list.
+    std::erase_if(scenes,
+                  [](const spec::FaultScene& s) { return s.failed.empty(); });
+    faults.scenes = std::move(scenes);
+  }
+  out.scenes = faults.scenes.size() + 1;
+
+  packet::PacketSpace space;
+  planner::Planner planner(topo_, space);
+  (void)plan_all(space, planner, faults, &out.seconds);
+  return out;
+}
+
+}  // namespace tulkun::eval

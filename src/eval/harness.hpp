@@ -1,0 +1,134 @@
+// Evaluation harness: runs Tulkun and the centralized baselines on one
+// dataset under the paper's scenarios (§9.2-§9.4) and collects the rows
+// the figures report.
+#pragma once
+
+#include <memory>
+#include <optional>
+
+#include "baseline/centralized.hpp"
+#include "eval/datasets.hpp"
+#include "eval/workload.hpp"
+#include "planner/planner.hpp"
+#include "runtime/event_sim.hpp"
+
+namespace tulkun::eval {
+
+struct HarnessOptions {
+  /// WAN/LAN invariant: (<= shortest + slack)-hop loop-free, blackhole-free
+  /// all-pair reachability (§9.2). DC datasets use (== shortest).
+  std::uint32_t slack = 2;
+  std::uint32_t ecmp_width = 2;
+  std::uint64_t seed = 42;
+  double cpu_scale = 1.0;
+  /// Baseline auxiliary-memory budget: beyond it a tool reports memory-out
+  /// (reproduces Delta-net's NGDC behaviour at our scale).
+  std::size_t memory_budget = 1ull << 31;
+  /// Bound per-dataset work: verify at most this many destination devices
+  /// (0 = all). The same sample drives every tool.
+  std::size_t max_destinations = 0;
+};
+
+/// The §9.4 switch models, expressed as CPU slowdown factors relative to
+/// the host (x86 Mellanox/UfiSpace/Edgecore; ARM Centec is the slowest).
+struct SwitchProfile {
+  std::string name;
+  double cpu_scale;
+};
+[[nodiscard]] const std::vector<SwitchProfile>& switch_profiles();
+
+class Harness {
+ public:
+  Harness(DatasetSpec spec, HarnessOptions opts);
+
+  [[nodiscard]] const topo::Topology& topology() const { return topo_; }
+  [[nodiscard]] std::size_t total_rules();
+  [[nodiscard]] const std::vector<DeviceId>& destinations() const {
+    return dsts_;
+  }
+
+  struct ToolRow {
+    std::string tool;
+    double burst_seconds = 0.0;
+    bool memory_out = false;
+    std::size_t violations = 0;
+    Samples incremental_seconds;
+  };
+  struct Result {
+    std::string dataset;
+    std::size_t devices = 0;
+    std::size_t links = 0;
+    std::size_t rules = 0;
+    double tulkun_plan_seconds = 0.0;
+    std::vector<ToolRow> rows;  // Tulkun first, then baselines
+  };
+
+  /// Figure 11: burst verification, then `n_updates` incremental updates.
+  Result run(bool with_baselines, std::size_t n_updates);
+
+  struct FaultToolRow {
+    std::string tool;
+    Samples scene_seconds;        // Fig 12a: verify whole net per scene
+    Samples incremental_seconds;  // Fig 12b/c: updates under scenes
+  };
+  struct FaultResult {
+    std::string dataset;
+    std::size_t scenes = 0;
+    double tulkun_plan_seconds = 0.0;
+    std::vector<FaultToolRow> rows;
+  };
+
+  /// Figure 12: `n_scenes` sampled fault scenes (<= 3 links), each with
+  /// `updates_per_scene` incremental updates.
+  FaultResult run_faults(std::size_t n_scenes, std::size_t updates_per_scene,
+                         bool with_baselines);
+
+  struct DeviceOverhead {
+    Samples init_seconds;    // Fig 14: per-device initialization time
+    Samples init_memory;     // bytes
+    Samples init_cpu;        // CPU load in [0,1]
+    Samples msg_seconds;     // Fig 15: per-device total msg processing
+    Samples msg_memory;
+    Samples msg_cpu;
+    Samples per_message_seconds;
+  };
+  /// Figures 14/15: replays initialization and the DVM message trace,
+  /// measuring per-device cost under one switch profile.
+  DeviceOverhead measure_overhead(const SwitchProfile& profile,
+                                  std::size_t n_updates);
+
+  /// Figure 13: planner latency to compute the k-link-failure tolerant
+  /// DPVNets. Returns (seconds, scenes, capped?).
+  struct PlanLatency {
+    double seconds = 0.0;
+    std::size_t scenes = 0;
+    bool capped = false;
+  };
+  PlanLatency plan_latency(std::uint32_t k, std::size_t max_scenes);
+
+ private:
+  /// Per-destination invariant: all prefix-owning ingresses, regex
+  /// `.* <dst>`, loop-free, the dataset's length filter.
+  [[nodiscard]] spec::Invariant dst_invariant(packet::PacketSpace& space,
+                                              DeviceId dst) const;
+  [[nodiscard]] std::vector<planner::InvariantPlan> plan_all(
+      packet::PacketSpace& space, const planner::Planner& planner,
+      const spec::FaultSpec& faults, double* seconds) const;
+
+  struct TulkunRun {
+    std::unique_ptr<packet::PacketSpace> space;
+    std::unique_ptr<runtime::EventSimulator> sim;
+    double burst_seconds = 0.0;
+    double plan_seconds = 0.0;
+    double now = 0.0;  // virtual time reached
+  };
+  TulkunRun start_tulkun(const spec::FaultSpec& faults);
+
+  DatasetSpec spec_;
+  HarnessOptions opts_;
+  topo::Topology topo_;
+  std::vector<DeviceId> dsts_;
+  std::optional<std::size_t> rules_cache_;
+};
+
+}  // namespace tulkun::eval

@@ -1,0 +1,194 @@
+#include "eval/report.hpp"
+
+#include <iomanip>
+
+namespace tulkun::eval {
+
+namespace {
+
+void header(std::ostream& os, const std::string& title) {
+  os << "\n== " << title << " ==\n";
+}
+
+}  // namespace
+
+void print_dataset_table(std::ostream& os,
+                         const std::vector<DatasetSpec>& specs,
+                         const HarnessOptions& opts) {
+  header(os, "Figure 10: dataset statistics");
+  os << std::left << std::setw(8) << "name" << std::setw(6) << "kind"
+     << std::setw(10) << "devices" << std::setw(8) << "links"
+     << std::setw(10) << "rules" << "notes\n";
+  for (const auto& spec : specs) {
+    Harness h(spec, opts);
+    os << std::left << std::setw(8) << spec.name << std::setw(6) << spec.kind
+       << std::setw(10) << h.topology().device_count() << std::setw(8)
+       << h.topology().link_count() << std::setw(10) << h.total_rules()
+       << spec.notes << "\n";
+  }
+}
+
+void print_burst_table(std::ostream& os,
+                       const std::vector<Harness::Result>& results) {
+  header(os, "Figure 11a: burst verification time and acceleration ratio");
+  os << std::left << std::setw(8) << "dataset" << std::setw(12) << "Tulkun";
+  if (!results.empty()) {
+    for (std::size_t i = 1; i < results.front().rows.size(); ++i) {
+      os << std::setw(12) << (results.front().rows[i].tool + "/T");
+    }
+  }
+  os << "\n";
+  for (const auto& r : results) {
+    os << std::left << std::setw(8) << r.dataset << std::setw(12)
+       << format_duration(r.rows.front().burst_seconds);
+    for (std::size_t i = 1; i < r.rows.size(); ++i) {
+      const auto& row = r.rows[i];
+      if (row.memory_out) {
+        os << std::setw(12) << "MemOut";
+      } else {
+        char buf[32];
+        std::snprintf(buf, sizeof buf, "%.2fx",
+                      row.burst_seconds / r.rows.front().burst_seconds);
+        os << std::setw(12) << buf;
+      }
+    }
+    os << "\n";
+  }
+}
+
+void print_under_threshold_table(std::ostream& os,
+                                 const std::vector<Harness::Result>& results,
+                                 double threshold_seconds) {
+  header(os, "Figure 11b: % of incremental verifications < " +
+                 format_duration(threshold_seconds));
+  os << std::left << std::setw(8) << "dataset";
+  if (!results.empty()) {
+    for (const auto& row : results.front().rows) {
+      os << std::setw(12) << row.tool;
+    }
+  }
+  os << "\n";
+  for (const auto& r : results) {
+    os << std::left << std::setw(8) << r.dataset;
+    for (const auto& row : r.rows) {
+      if (row.memory_out || row.incremental_seconds.empty()) {
+        os << std::setw(12) << "-";
+      } else {
+        char buf[32];
+        std::snprintf(
+            buf, sizeof buf, "%.1f%%",
+            row.incremental_seconds.fraction_below(threshold_seconds) * 100);
+        os << std::setw(12) << buf;
+      }
+    }
+    os << "\n";
+  }
+}
+
+void print_quantile_table(std::ostream& os,
+                          const std::vector<Harness::Result>& results,
+                          double quantile) {
+  char title[64];
+  std::snprintf(title, sizeof title,
+                "Figure 11c: %.0f%% quantile of incremental time",
+                quantile * 100);
+  header(os, title);
+  os << std::left << std::setw(8) << "dataset";
+  if (!results.empty()) {
+    for (const auto& row : results.front().rows) {
+      os << std::setw(12) << row.tool;
+    }
+  }
+  os << "\n";
+  for (const auto& r : results) {
+    os << std::left << std::setw(8) << r.dataset;
+    for (const auto& row : r.rows) {
+      if (row.memory_out || row.incremental_seconds.empty()) {
+        os << std::setw(12) << "-";
+      } else {
+        os << std::setw(12)
+           << format_duration(row.incremental_seconds.quantile(quantile));
+      }
+    }
+    os << "\n";
+  }
+}
+
+void print_fault_tables(std::ostream& os,
+                        const std::vector<Harness::FaultResult>& results,
+                        double threshold_seconds, double quantile) {
+  header(os, "Figure 12a: average whole-network verification per fault scene");
+  os << std::left << std::setw(8) << "dataset";
+  if (!results.empty()) {
+    for (const auto& row : results.front().rows) {
+      os << std::setw(12) << row.tool;
+    }
+  }
+  os << "\n";
+  for (const auto& r : results) {
+    os << std::left << std::setw(8) << r.dataset;
+    for (const auto& row : r.rows) {
+      os << std::setw(12)
+         << (row.scene_seconds.empty()
+                 ? std::string("MemOut")
+                 : format_duration(row.scene_seconds.mean()));
+    }
+    os << "\n";
+  }
+
+  header(os, "Figure 12b: % of incremental verifications < " +
+                 format_duration(threshold_seconds) + " under fault scenes");
+  for (const auto& r : results) {
+    os << std::left << std::setw(8) << r.dataset;
+    for (const auto& row : r.rows) {
+      if (row.incremental_seconds.empty()) {
+        os << std::setw(12) << "-";
+      } else {
+        char buf[32];
+        std::snprintf(
+            buf, sizeof buf, "%.1f%%",
+            row.incremental_seconds.fraction_below(threshold_seconds) * 100);
+        os << std::setw(12) << buf;
+      }
+    }
+    os << "\n";
+  }
+
+  char title[80];
+  std::snprintf(title, sizeof title,
+                "Figure 12c: %.0f%% quantile of incremental time under "
+                "fault scenes",
+                quantile * 100);
+  header(os, title);
+  for (const auto& r : results) {
+    os << std::left << std::setw(8) << r.dataset;
+    for (const auto& row : r.rows) {
+      if (row.incremental_seconds.empty()) {
+        os << std::setw(12) << "-";
+      } else {
+        os << std::setw(12)
+           << format_duration(row.incremental_seconds.quantile(quantile));
+      }
+    }
+    os << "\n";
+  }
+}
+
+void print_cdf(std::ostream& os, const std::string& label,
+               const Samples& samples, bool as_duration) {
+  os << label << ": ";
+  if (samples.empty()) {
+    os << "(no samples)\n";
+    return;
+  }
+  for (const auto& [value, q] : samples.cdf(6)) {
+    char buf[64];
+    std::snprintf(buf, sizeof buf, "p%.0f=", q * 100);
+    os << buf
+       << (as_duration ? format_duration(value) : format_bytes(value))
+       << "  ";
+  }
+  os << "\n";
+}
+
+}  // namespace tulkun::eval

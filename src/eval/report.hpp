@@ -1,0 +1,40 @@
+// Table/CDF printers: one function per figure family, so every bench
+// binary prints the same rows/series the paper reports.
+#pragma once
+
+#include <ostream>
+
+#include "eval/harness.hpp"
+
+namespace tulkun::eval {
+
+/// Figure 10: dataset statistics table.
+void print_dataset_table(std::ostream& os,
+                         const std::vector<DatasetSpec>& specs,
+                         const HarnessOptions& opts);
+
+/// Figure 11a: Tulkun burst time per dataset + acceleration ratio of each
+/// centralized tool over Tulkun.
+void print_burst_table(std::ostream& os,
+                       const std::vector<Harness::Result>& results);
+
+/// Figure 11b: percentage of incremental verifications below `threshold`.
+void print_under_threshold_table(std::ostream& os,
+                                 const std::vector<Harness::Result>& results,
+                                 double threshold_seconds);
+
+/// Figure 11c: 80%-quantile incremental verification time.
+void print_quantile_table(std::ostream& os,
+                          const std::vector<Harness::Result>& results,
+                          double quantile);
+
+/// Figure 12a/b/c: fault-scene verification tables.
+void print_fault_tables(std::ostream& os,
+                        const std::vector<Harness::FaultResult>& results,
+                        double threshold_seconds, double quantile);
+
+/// Figures 14/15: one CDF line per profile.
+void print_cdf(std::ostream& os, const std::string& label,
+               const Samples& samples, bool as_duration);
+
+}  // namespace tulkun::eval

@@ -1,0 +1,123 @@
+#include "eval/workload.hpp"
+
+#include <algorithm>
+
+#include "core/rng.hpp"
+
+namespace tulkun::eval {
+
+UpdatePlan random_updates(const topo::Topology& topo, fib::NetworkFib& net,
+                          std::size_t count, std::uint64_t seed) {
+  Rng rng(seed);
+  UpdatePlan plan;
+
+  // Destinations that exist in the data plane.
+  std::vector<std::pair<DeviceId, packet::Ipv4Prefix>> dests =
+      topo.all_prefix_attachments();
+  if (dests.empty() || topo.device_count() < 2) return plan;
+
+  std::vector<std::int32_t> open_inserts;  // step indices not yet erased
+  for (std::size_t i = 0; i < count; ++i) {
+    const bool do_erase = !open_inserts.empty() && rng.chance(0.5);
+    UpdatePlan::Step step;
+    if (do_erase) {
+      const std::size_t pick = rng.index(open_inserts.size());
+      step.erase_of = open_inserts[pick];
+      open_inserts.erase(open_inserts.begin() +
+                         static_cast<std::ptrdiff_t>(pick));
+      step.update.kind = fib::FibUpdate::Kind::Erase;
+      step.update.device =
+          plan.steps[static_cast<std::size_t>(step.erase_of)].update.device;
+    } else {
+      const auto& [dst, prefix] = dests[rng.index(dests.size())];
+      DeviceId dev = dst;
+      while (dev == dst) {
+        dev = static_cast<DeviceId>(rng.index(topo.device_count()));
+      }
+      const auto dist = topo.hop_distances_to(dst);
+      // Prefer a neighbor that still makes progress toward the
+      // destination (benign reroute); occasionally pick any neighbor,
+      // which may create a detour or loop the verifier must flag.
+      const auto& neighbors = topo.neighbors(dev);
+      std::vector<DeviceId> good;
+      for (const auto& adj : neighbors) {
+        if (dist[adj.neighbor] != topo::Topology::kUnreachable &&
+            dist[adj.neighbor] < dist[dev]) {
+          good.push_back(adj.neighbor);
+        }
+      }
+      DeviceId hop;
+      if (!good.empty() && !rng.chance(0.05)) {
+        hop = good[rng.index(good.size())];
+      } else {
+        hop = neighbors[rng.index(neighbors.size())].neighbor;
+      }
+      fib::Rule r;
+      r.priority = 100 + static_cast<std::int32_t>(i % 10);
+      r.dst_prefix = prefix;
+      r.action = fib::Action::forward(hop);
+      step.update = fib::FibUpdate::insert(dev, std::move(r));
+      open_inserts.push_back(static_cast<std::int32_t>(plan.steps.size()));
+    }
+    plan.steps.push_back(std::move(step));
+  }
+  (void)net;
+  return plan;
+}
+
+std::vector<spec::FaultScene> sample_fault_scenes(const topo::Topology& topo,
+                                                  std::size_t count,
+                                                  std::uint32_t max_links,
+                                                  std::uint64_t seed) {
+  Rng rng(seed);
+  std::vector<LinkId> links;
+  for (DeviceId d = 0; d < topo.device_count(); ++d) {
+    for (const auto& adj : topo.neighbors(d)) {
+      if (adj.neighbor > d) links.push_back(LinkId{d, adj.neighbor});
+    }
+  }
+
+  std::vector<spec::FaultScene> out;
+  for (std::size_t i = 0; i < count && !links.empty(); ++i) {
+    // Paper §9.3.4: scene sizes follow Microsoft WAN failure statistics —
+    // single-link failures dominate.
+    const double roll = rng.real();
+    std::uint32_t size = roll < 0.70 ? 1 : (roll < 0.92 ? 2 : 3);
+    size = std::min(size, max_links);
+    std::vector<LinkId> failed;
+    while (failed.size() < size) {
+      const LinkId l = links[rng.index(links.size())];
+      if (std::find(failed.begin(), failed.end(), l) == failed.end()) {
+        failed.push_back(l);
+      }
+    }
+    auto scene = spec::FaultScene::of(std::move(failed));
+    if (std::find(out.begin(), out.end(), scene) == out.end()) {
+      out.push_back(std::move(scene));
+    }
+  }
+  return out;
+}
+
+std::vector<spec::FaultScene> with_subsets(
+    const std::vector<spec::FaultScene>& scenes) {
+  std::vector<spec::FaultScene> out;
+  const auto add_unique = [&](spec::FaultScene s) {
+    if (std::find(out.begin(), out.end(), s) == out.end()) {
+      out.push_back(std::move(s));
+    }
+  };
+  for (const auto& scene : scenes) {
+    const auto n = scene.failed.size();
+    for (std::size_t mask = 1; mask < (1ULL << n); ++mask) {
+      std::vector<LinkId> subset;
+      for (std::size_t b = 0; b < n; ++b) {
+        if (mask & (1ULL << b)) subset.push_back(scene.failed[b]);
+      }
+      add_unique(spec::FaultScene::of(std::move(subset)));
+    }
+  }
+  return out;
+}
+
+}  // namespace tulkun::eval

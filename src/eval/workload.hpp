@@ -1,0 +1,43 @@
+// Incremental-update and fault-scene workload generators (§9.2, §9.3.3,
+// §9.3.4).
+#pragma once
+
+#include "eval/fib_synth.hpp"
+#include "spec/ast.hpp"
+
+namespace tulkun::eval {
+
+/// One scripted update: insert a higher-priority reroute for an existing
+/// destination prefix at a random device, or remove a previously inserted
+/// reroute (roughly half each, like a route flap trace).
+struct UpdatePlan {
+  /// The update stream in application order. Erase entries reference the
+  /// i-th insert via `erase_of` (resolved to rule ids as inserts happen).
+  struct Step {
+    fib::FibUpdate update;
+    std::int32_t erase_of = -1;  // >= 0: erase the rule of that insert step
+  };
+  std::vector<Step> steps;
+};
+
+/// Generates `count` updates against the synthesized data plane. Reroutes
+/// point to a random neighbor (biased toward ones that still reach the
+/// destination, so most updates are benign — matching the paper's mostly
+/// error-free update streams).
+[[nodiscard]] UpdatePlan random_updates(const topo::Topology& topo,
+                                        fib::NetworkFib& net,
+                                        std::size_t count,
+                                        std::uint64_t seed);
+
+/// Samples `count` fault scenes with 1..max_links failed links (the paper
+/// samples 50 scenes of <= 3 links from Microsoft WAN failure statistics).
+[[nodiscard]] std::vector<spec::FaultScene> sample_fault_scenes(
+    const topo::Topology& topo, std::size_t count, std::uint32_t max_links,
+    std::uint64_t seed);
+
+/// Adds every non-empty subset of each scene (deduplicated), so that links
+/// failing one at a time always land on a precomputed scene.
+[[nodiscard]] std::vector<spec::FaultScene> with_subsets(
+    const std::vector<spec::FaultScene>& scenes);
+
+}  // namespace tulkun::eval

@@ -1,0 +1,157 @@
+#include "fib/fib_parser.hpp"
+
+#include <sstream>
+#include <vector>
+
+namespace tulkun::fib {
+
+namespace {
+
+[[noreturn]] void fail(int line, const std::string& why) {
+  throw Error("fib line " + std::to_string(line) + ": " + why);
+}
+
+}  // namespace
+
+void parse_fib(std::istream& in, NetworkFib& net) {
+  const topo::Topology& topo = net.topology();
+  std::string line;
+  int line_no = 0;
+  while (std::getline(in, line)) {
+    ++line_no;
+    if (const auto hash = line.find('#'); hash != std::string::npos) {
+      line.resize(hash);
+    }
+    std::istringstream ls(line);
+    std::vector<std::string> tok;
+    std::string t;
+    while (ls >> t) tok.push_back(t);
+    if (tok.empty()) continue;
+    if (tok[0] != "rule") fail(line_no, "expected 'rule'");
+    if (tok.size() < 6) fail(line_no, "truncated rule");
+
+    const auto dev = topo.find_device(tok[1]);
+    if (!dev) fail(line_no, "unknown device " + tok[1]);
+
+    Rule r;
+    r.dst_prefix = packet::Ipv4Prefix::parse(tok[2]);
+    std::size_t i = 3;
+    if (tok[i] != "prio" || i + 1 >= tok.size()) {
+      fail(line_no, "expected 'prio <n>'");
+    }
+    r.priority = std::stoi(tok[i + 1]);
+    i += 2;
+
+    std::optional<std::uint16_t> port;
+    std::optional<Rewrite> rewrite;
+    while (i < tok.size()) {
+      if (tok[i] == "port" && i + 1 < tok.size()) {
+        port = static_cast<std::uint16_t>(std::stoul(tok[i + 1]));
+        i += 2;
+      } else if (tok[i] == "rewrite-dst" && i + 1 < tok.size()) {
+        rewrite = Rewrite{packet::Field::DstIp,
+                          packet::parse_ipv4(tok[i + 1])};
+        i += 2;
+      } else {
+        break;
+      }
+    }
+    if (port) r.extra_match = net.space().dst_port(*port);
+
+    if (i >= tok.size()) fail(line_no, "missing action");
+    const std::string& action = tok[i++];
+    const auto hops = [&]() {
+      std::vector<DeviceId> out;
+      for (; i < tok.size(); ++i) {
+        const auto h = topo.find_device(tok[i]);
+        if (!h) fail(line_no, "unknown next hop " + tok[i]);
+        out.push_back(*h);
+      }
+      if (out.empty()) fail(line_no, "action needs next hops");
+      return out;
+    };
+    if (action == "drop") {
+      if (rewrite) fail(line_no, "drop cannot rewrite");
+      r.action = Action::drop();
+    } else if (action == "deliver") {
+      r.action = Action::deliver();
+    } else if (action == "fwd" || action == "fwd-all") {
+      r.action = Action::forward_all(hops(), rewrite);
+    } else if (action == "fwd-any") {
+      r.action = Action::forward_any(hops(), rewrite);
+    } else {
+      fail(line_no, "unknown action " + action);
+    }
+    if (i < tok.size()) fail(line_no, "trailing tokens");
+    net.table(*dev).insert(std::move(r));
+  }
+}
+
+void parse_fib(std::string_view text, NetworkFib& net) {
+  std::istringstream in{std::string(text)};
+  parse_fib(in, net);
+}
+
+std::string to_text(NetworkFib& net) {
+  const topo::Topology& topo = net.topology();
+  std::ostringstream out;
+  for (DeviceId d = 0; d < net.device_count(); ++d) {
+    for (const Rule* r : net.table(d).ordered()) {
+      out << "rule " << topo.name(d) << " " << r->dst_prefix.to_string()
+          << " prio " << r->priority;
+      if (r->extra_match) {
+        // Only an exact dst-port match is expressible in the format; a
+        // single-port predicate constrains exactly 16 of the header bits,
+        // so read the port back from a satisfying assignment and compare.
+        std::uint32_t port = 0;
+        for (const auto& [var, bit] : net.space().manager().any_sat(
+                 r->extra_match->ref())) {
+          if (bit && var >= packet::Layout::kDstPortOffset &&
+              var < packet::Layout::kDstPortOffset +
+                        packet::Layout::kDstPortWidth) {
+            port |= 1U << (packet::Layout::kDstPortWidth - 1 -
+                           (var - packet::Layout::kDstPortOffset));
+          }
+        }
+        if (*r->extra_match !=
+            net.space().dst_port(static_cast<std::uint16_t>(port))) {
+          throw Error("to_text: non-port match not expressible; rule id " +
+                      std::to_string(r->id));
+        }
+        out << " port " << port;
+      }
+      const auto& a = r->action;
+      if (a.rewrite) {
+        if (a.rewrite->field != packet::Field::DstIp) {
+          throw Error("to_text: only dstIP rewrites expressible");
+        }
+        out << " rewrite-dst " << packet::format_ipv4(a.rewrite->value);
+      }
+      switch (a.type) {
+        case ActionType::Drop:
+          out << " drop";
+          break;
+        case ActionType::All:
+        case ActionType::Any: {
+          if (a.next_hops.size() == 1 &&
+              a.next_hops[0] == kExternalPort) {
+            out << " deliver";
+            break;
+          }
+          out << (a.type == ActionType::All ? " fwd-all" : " fwd-any");
+          for (const DeviceId h : a.next_hops) {
+            if (h == kExternalPort) {
+              throw Error("to_text: mixed external+internal group");
+            }
+            out << " " << topo.name(h);
+          }
+          break;
+        }
+      }
+      out << "\n";
+    }
+  }
+  return out.str();
+}
+
+}  // namespace tulkun::fib

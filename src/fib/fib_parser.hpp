@@ -1,0 +1,31 @@
+// Plain-text FIB format, for the CLI and user-provided data planes:
+//
+//   # rule <device> <cidr> prio <n> [port <n>] [rewrite-dst <ip>] <action>
+//   rule S 10.0.0.0/23 prio 10 fwd A
+//   rule A 10.0.0.0/24 prio 10 fwd-all B W
+//   rule A 10.0.1.0/24 prio 20 port 80 fwd-any B W
+//   rule B 10.0.0.0/24 prio 10 drop
+//   rule D 10.0.0.0/23 prio 10 deliver
+//   rule N 10.0.9.0/24 prio 10 rewrite-dst 192.168.0.1 fwd D
+#pragma once
+
+#include <istream>
+#include <string_view>
+
+#include "fib/update_stream.hpp"
+
+namespace tulkun::fib {
+
+/// Parses the text format above into `net` (which supplies the topology
+/// for device-name resolution and the packet space for port matches).
+/// Throws Error with a line number on malformed input.
+void parse_fib(std::istream& in, NetworkFib& net);
+void parse_fib(std::string_view text, NetworkFib& net);
+
+/// Serializes a network FIB back to the text format (round-trips for
+/// rules expressible in it: prefix and exact-dst-port matches, dstIP
+/// rewrites; throws Error for anything else). Non-const: comparing a
+/// rule's extra match against port predicates builds BDDs in net's space.
+[[nodiscard]] std::string to_text(NetworkFib& net);
+
+}  // namespace tulkun::fib

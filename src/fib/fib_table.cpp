@@ -1,0 +1,93 @@
+#include "fib/fib_table.hpp"
+
+#include <algorithm>
+
+#include "core/error.hpp"
+
+namespace tulkun::fib {
+
+std::uint64_t FibTable::insert(Rule rule) {
+  rule.id = next_id_++;
+  const std::uint64_t id = rule.id;
+  by_id_.emplace(id, std::move(rule));
+  return id;
+}
+
+Rule FibTable::erase(std::uint64_t id) {
+  const auto it = by_id_.find(id);
+  if (it == by_id_.end()) {
+    throw Error("FibTable::erase: no rule with id " + std::to_string(id));
+  }
+  Rule out = std::move(it->second);
+  by_id_.erase(it);
+  return out;
+}
+
+bool FibTable::contains(std::uint64_t id) const { return by_id_.contains(id); }
+
+const Rule& FibTable::rule(std::uint64_t id) const {
+  const auto it = by_id_.find(id);
+  if (it == by_id_.end()) {
+    throw Error("FibTable::rule: no rule with id " + std::to_string(id));
+  }
+  return it->second;
+}
+
+std::vector<const Rule*> FibTable::ordered() const {
+  std::vector<const Rule*> out;
+  out.reserve(by_id_.size());
+  for (const auto& [id, r] : by_id_) out.push_back(&r);
+  std::stable_sort(out.begin(), out.end(), [](const Rule* a, const Rule* b) {
+    if (a->priority != b->priority) return a->priority > b->priority;
+    return a->id < b->id;
+  });
+  return out;
+}
+
+std::vector<const Rule*> FibTable::overlapping(
+    const packet::Ipv4Prefix& prefix) const {
+  std::vector<const Rule*> out;
+  for (const auto& [id, r] : by_id_) {
+    if (r.dst_prefix.covers(prefix) || prefix.covers(r.dst_prefix)) {
+      out.push_back(&r);
+    }
+  }
+  std::stable_sort(out.begin(), out.end(), [](const Rule* a, const Rule* b) {
+    if (a->priority != b->priority) return a->priority > b->priority;
+    return a->id < b->id;
+  });
+  return out;
+}
+
+std::vector<const Rule*> FibTable::all() const {
+  std::vector<const Rule*> out;
+  out.reserve(by_id_.size());
+  for (const auto& [id, r] : by_id_) out.push_back(&r);
+  return out;
+}
+
+packet::PacketSet rewrite_image(packet::PacketSpace& space,
+                                const packet::PacketSet& p,
+                                const Rewrite& rw) {
+  const std::uint32_t lo = packet::Layout::offset(rw.field);
+  const std::uint32_t hi = lo + packet::Layout::width(rw.field);
+  auto& mgr = space.manager();
+  const auto forgotten = space.wrap(mgr.exists_range(p.ref(), lo, hi));
+  const auto fixed = space.field_range(rw.field, rw.value, rw.value);
+  return forgotten & fixed;
+}
+
+packet::PacketSet rewrite_preimage(packet::PacketSpace& space,
+                                   const packet::PacketSet& p,
+                                   const Rewrite& rw) {
+  const std::uint32_t lo = packet::Layout::offset(rw.field);
+  const std::uint32_t hi = lo + packet::Layout::width(rw.field);
+  auto& mgr = space.manager();
+  const auto fixed = space.field_range(rw.field, rw.value, rw.value);
+  // Restrict p to the written value, then free the field: any original
+  // field value rewrites into that restriction.
+  const auto restricted = p & fixed;
+  return space.wrap(mgr.exists_range(restricted.ref(), lo, hi));
+}
+
+}  // namespace tulkun::fib

@@ -1,0 +1,58 @@
+// FibTable: the ordered match-action table of one device (§2.1), plus the
+// rewrite-image helper used for packet transformations.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <vector>
+
+#include "fib/rule.hpp"
+
+namespace tulkun::fib {
+
+/// One device's data plane: rules ordered by descending priority
+/// (ties: earliest-inserted first). Unmatched packets are dropped.
+class FibTable {
+ public:
+  /// Adds a rule; returns the rule id assigned (input id is ignored and
+  /// replaced to keep ids unique within the table).
+  std::uint64_t insert(Rule rule);
+
+  /// Removes a rule by id; returns the removed rule.
+  /// Throws Error if absent.
+  Rule erase(std::uint64_t id);
+
+  [[nodiscard]] bool contains(std::uint64_t id) const;
+  [[nodiscard]] const Rule& rule(std::uint64_t id) const;
+  [[nodiscard]] std::size_t size() const { return by_id_.size(); }
+
+  /// Rules in match order (descending priority, then insertion order).
+  /// Invalidated by insert/erase.
+  [[nodiscard]] std::vector<const Rule*> ordered() const;
+
+  /// Rules whose destination prefix overlaps `prefix` (either covers the
+  /// other). Used by incremental LEC recomputation to bound work.
+  [[nodiscard]] std::vector<const Rule*> overlapping(
+      const packet::Ipv4Prefix& prefix) const;
+
+  /// Iterates all rules in unspecified order.
+  [[nodiscard]] std::vector<const Rule*> all() const;
+
+ private:
+  std::map<std::uint64_t, Rule> by_id_;
+  std::uint64_t next_id_ = 1;
+};
+
+/// The image of `p` under rewrite `rw`: forget the rewritten field, then
+/// constrain it to the written value.
+[[nodiscard]] packet::PacketSet rewrite_image(packet::PacketSpace& space,
+                                              const packet::PacketSet& p,
+                                              const Rewrite& rw);
+
+/// The preimage of `p` under rewrite `rw`: all packets whose rewritten form
+/// lies in `p` (the rewritten field is unconstrained in the result).
+[[nodiscard]] packet::PacketSet rewrite_preimage(packet::PacketSpace& space,
+                                                 const packet::PacketSet& p,
+                                                 const Rewrite& rw);
+
+}  // namespace tulkun::fib

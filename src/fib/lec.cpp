@@ -1,0 +1,142 @@
+#include "fib/lec.hpp"
+
+#include <unordered_map>
+
+#include "core/error.hpp"
+
+namespace tulkun::fib {
+
+const Action& LecTable::action_of(const packet::PacketSet& p) const {
+  TULKUN_ASSERT(!p.empty());
+  for (const auto& lec : entries_) {
+    if (p.subset_of(lec.pred)) return lec.action;
+  }
+  // Unmatched space is implicit Drop when not materialized.
+  static const Action kDrop = Action::drop();
+  return kDrop;
+}
+
+std::vector<Lec> LecTable::partition(const packet::PacketSet& region) const {
+  std::vector<Lec> out;
+  packet::PacketSet remaining = region;
+  for (const auto& lec : entries_) {
+    if (remaining.empty()) break;
+    const packet::PacketSet inter = remaining & lec.pred;
+    if (!inter.empty()) {
+      out.push_back(Lec{inter, lec.action});
+      remaining -= inter;
+    }
+  }
+  if (!remaining.empty()) {
+    out.push_back(Lec{remaining, Action::drop()});
+  }
+  return out;
+}
+
+namespace {
+
+/// Walks `rules` in match order, splitting `scope` by effective action.
+/// Groups by action so the result is the minimal partition.
+std::vector<Lec> effective_partition(packet::PacketSpace& space,
+                                     const std::vector<const Rule*>& rules,
+                                     const packet::PacketSet& scope) {
+  std::unordered_map<Action, packet::PacketSet, ActionHash> by_action;
+  packet::PacketSet remaining = scope;
+  for (const Rule* r : rules) {
+    if (remaining.empty()) break;
+    const packet::PacketSet m = r->match(space) & remaining;
+    if (m.empty()) continue;
+    remaining -= m;
+    const auto it = by_action.find(r->action);
+    if (it == by_action.end()) {
+      by_action.emplace(r->action, m);
+    } else {
+      it->second |= m;
+    }
+  }
+  if (!remaining.empty()) {
+    const Action drop = Action::drop();
+    const auto it = by_action.find(drop);
+    if (it == by_action.end()) {
+      by_action.emplace(drop, remaining);
+    } else {
+      it->second |= remaining;
+    }
+  }
+  std::vector<Lec> out;
+  out.reserve(by_action.size());
+  for (auto& [action, pred] : by_action) {
+    out.push_back(Lec{pred, action});
+  }
+  return out;
+}
+
+}  // namespace
+
+LecTable LecBuilder::build(const FibTable& fib) const {
+  auto space_all = space_->all();
+  return LecTable(effective_partition(*space_, fib.ordered(), space_all));
+}
+
+std::vector<Lec> LecBuilder::effective_in_region(
+    const FibTable& fib, const packet::Ipv4Prefix& region_prefix,
+    const packet::PacketSet& region) const {
+  return effective_partition(*space_, fib.overlapping(region_prefix), region);
+}
+
+LecTable LecBuilder::apply_patch(const LecTable& before,
+                                 const packet::PacketSet& region,
+                                 const std::vector<Lec>& after_region) const {
+  std::vector<Lec> merged;
+  merged.reserve(before.size() + after_region.size());
+  for (const auto& e : before.entries()) {
+    const packet::PacketSet kept = e.pred - region;
+    if (!kept.empty()) merged.push_back(Lec{kept, e.action});
+  }
+  for (const auto& a : after_region) {
+    if (a.pred.empty()) continue;
+    bool absorbed = false;
+    for (auto& m : merged) {
+      if (m.action == a.action) {
+        m.pred |= a.pred;
+        absorbed = true;
+        break;
+      }
+    }
+    if (!absorbed) merged.push_back(a);
+  }
+  return LecTable(std::move(merged));
+}
+
+std::vector<LecDelta> LecBuilder::diff(const LecTable& before,
+                                       const LecTable& after) const {
+  std::vector<LecDelta> out;
+  for (const auto& b : before.entries()) {
+    for (const auto& a : after.entries()) {
+      if (b.action == a.action) continue;
+      const packet::PacketSet inter = b.pred & a.pred;
+      if (!inter.empty()) {
+        out.push_back(LecDelta{inter, b.action, a.action});
+      }
+    }
+  }
+  return out;
+}
+
+std::vector<LecDelta> LecBuilder::region_deltas(
+    const std::vector<Lec>& before_region,
+    const std::vector<Lec>& after_region) const {
+  std::vector<LecDelta> out;
+  for (const auto& b : before_region) {
+    for (const auto& a : after_region) {
+      if (b.action == a.action) continue;
+      const packet::PacketSet inter = b.pred & a.pred;
+      if (!inter.empty()) {
+        out.push_back(LecDelta{inter, b.action, a.action});
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace tulkun::fib

@@ -1,0 +1,90 @@
+// Local equivalence classes (LECs, §5.1): the minimal partition of the
+// packet space such that all packets in one class share the same action at
+// this device. LEC tables are what on-device verifiers consume, and LEC
+// *deltas* are what incremental verification propagates.
+#pragma once
+
+#include <vector>
+
+#include "fib/fib_table.hpp"
+#include "packet/packet_set.hpp"
+
+namespace tulkun::fib {
+
+/// One LEC: a packet predicate and the action every packet in it receives.
+struct Lec {
+  packet::PacketSet pred;
+  Action action;
+};
+
+/// A device's LEC table: disjoint predicates whose union is the full packet
+/// space (unmatched packets appear with the Drop action).
+class LecTable {
+ public:
+  LecTable() = default;
+  explicit LecTable(std::vector<Lec> entries) : entries_(std::move(entries)) {}
+
+  [[nodiscard]] const std::vector<Lec>& entries() const { return entries_; }
+  [[nodiscard]] std::size_t size() const { return entries_.size(); }
+
+  /// The action applied to every packet in `p`; requires p to be contained
+  /// in one LEC (true for predicates produced by partition()).
+  [[nodiscard]] const Action& action_of(const packet::PacketSet& p) const;
+
+  /// Splits `region` by action: returns disjoint (pred, action) pairs
+  /// covering region.
+  [[nodiscard]] std::vector<Lec> partition(
+      const packet::PacketSet& region) const;
+
+ private:
+  std::vector<Lec> entries_;
+};
+
+/// A change in the effective action of some packets.
+struct LecDelta {
+  packet::PacketSet pred;
+  Action old_action;
+  Action new_action;
+};
+
+/// Builds LEC tables and incremental deltas from a FibTable.
+class LecBuilder {
+ public:
+  explicit LecBuilder(packet::PacketSpace& space) : space_(&space) {}
+
+  /// Full LEC computation: walk rules in priority order, peeling each
+  /// rule's unmatched remainder; group resulting predicates by action.
+  [[nodiscard]] LecTable build(const FibTable& fib) const;
+
+  /// Effective-action partition of `region` only (bounded by the rules
+  /// overlapping `region`'s destination prefix). Used for incremental
+  /// updates: the caller passes the changed rule's match region.
+  [[nodiscard]] std::vector<Lec> effective_in_region(
+      const FibTable& fib, const packet::Ipv4Prefix& region_prefix,
+      const packet::PacketSet& region) const;
+
+  /// Incrementally patches a LEC table: predicates inside `region` take the
+  /// actions of `after_region` (a partition of region); everything else is
+  /// kept. O(|table| + |after|) BDD operations — the incremental
+  /// maintenance step that keeps per-update work device-local.
+  [[nodiscard]] LecTable apply_patch(const LecTable& before,
+                                     const packet::PacketSet& region,
+                                     const std::vector<Lec>& after_region)
+      const;
+
+  /// Deltas between two LEC tables (entries whose action changed).
+  [[nodiscard]] std::vector<LecDelta> diff(const LecTable& before,
+                                           const LecTable& after) const;
+
+  /// Deltas caused by one rule insertion/removal, computed against the
+  /// device's *current* FIB state (post-change) and the pre-change
+  /// effective actions within the affected region.
+  [[nodiscard]] std::vector<LecDelta> region_deltas(
+      const std::vector<Lec>& before_region,
+      const std::vector<Lec>& after_region) const;
+
+ private:
+  packet::PacketSpace* space_;
+};
+
+}  // namespace tulkun::fib

@@ -1,0 +1,86 @@
+#include "fib/rule.hpp"
+
+#include <algorithm>
+
+#include "core/error.hpp"
+
+namespace tulkun::fib {
+
+bool Action::forwards_to(DeviceId d) const {
+  return std::binary_search(next_hops.begin(), next_hops.end(), d);
+}
+
+std::string Action::to_string() const {
+  switch (type) {
+    case ActionType::Drop:
+      return "drop";
+    case ActionType::All:
+    case ActionType::Any: {
+      std::string out = type == ActionType::All ? "fwd(ALL,{" : "fwd(ANY,{";
+      for (std::size_t i = 0; i < next_hops.size(); ++i) {
+        if (i > 0) out += ",";
+        out += next_hops[i] == kExternalPort ? "ext"
+                                             : std::to_string(next_hops[i]);
+      }
+      out += "})";
+      if (rewrite) out += "+rw";
+      return out;
+    }
+  }
+  return "?";
+}
+
+Action Action::drop() { return Action{}; }
+
+namespace {
+std::vector<DeviceId> sorted_unique(std::vector<DeviceId> hops) {
+  std::sort(hops.begin(), hops.end());
+  hops.erase(std::unique(hops.begin(), hops.end()), hops.end());
+  if (hops.empty()) {
+    throw Error("forwarding action needs at least one next-hop");
+  }
+  return hops;
+}
+}  // namespace
+
+Action Action::forward_all(std::vector<DeviceId> hops,
+                           std::optional<Rewrite> rw) {
+  return Action{ActionType::All, sorted_unique(std::move(hops)),
+                std::move(rw)};
+}
+
+Action Action::forward_any(std::vector<DeviceId> hops,
+                           std::optional<Rewrite> rw) {
+  auto sorted = sorted_unique(std::move(hops));
+  // A one-element ANY group is deterministic; canonicalize to ALL so action
+  // equality (and therefore LEC identity) doesn't depend on the spelling.
+  const ActionType type =
+      sorted.size() == 1 ? ActionType::All : ActionType::Any;
+  return Action{type, std::move(sorted), std::move(rw)};
+}
+
+Action Action::forward(DeviceId hop, std::optional<Rewrite> rw) {
+  return forward_all({hop}, std::move(rw));
+}
+
+Action Action::deliver() { return forward_all({kExternalPort}); }
+
+packet::PacketSet Rule::match(packet::PacketSpace& space) const {
+  packet::PacketSet m = space.dst_prefix(dst_prefix);
+  if (extra_match) m &= *extra_match;
+  return m;
+}
+
+std::size_t ActionHash::operator()(const Action& a) const noexcept {
+  std::size_t seed = static_cast<std::size_t>(a.type);
+  for (const DeviceId d : a.next_hops) {
+    hash_combine(seed, d);
+  }
+  if (a.rewrite) {
+    hash_combine(seed, static_cast<std::size_t>(a.rewrite->field));
+    hash_combine(seed, a.rewrite->value);
+  }
+  return seed;
+}
+
+}  // namespace tulkun::fib

@@ -1,0 +1,84 @@
+// Match-action rules: the data plane model of §2.1.
+//
+// Each rule matches packets on header fields (dominated by destination
+// prefixes, optionally refined with port/proto constraints) and performs an
+// action: drop, forward to ALL next-hops of a group (multicast/replication),
+// or forward to ANY one next-hop of a group (ECMP — the selection is a
+// vendor black box, which is exactly what Tulkun's "universes" model).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/ids.hpp"
+#include "packet/packet_set.hpp"
+
+namespace tulkun::fib {
+
+/// Pseudo-device id meaning "deliver out of an external port".
+inline constexpr DeviceId kExternalPort = kNoDevice - 1;
+
+enum class ActionType : std::uint8_t {
+  Drop,  ///< empty next-hop group
+  All,   ///< forward a copy to every next-hop in the group
+  Any,   ///< forward to exactly one next-hop, selection unknown
+};
+
+/// Header rewrite applied before forwarding: overwrite one field with a
+/// fixed value (models NAT-style packet transformation, §5).
+struct Rewrite {
+  packet::Field field = packet::Field::DstIp;
+  std::uint32_t value = 0;
+
+  friend bool operator==(const Rewrite&, const Rewrite&) = default;
+};
+
+/// A forwarding action. Value type with structural equality (next-hops are
+/// kept sorted by the constructor helpers below).
+struct Action {
+  ActionType type = ActionType::Drop;
+  std::vector<DeviceId> next_hops;  // sorted ascending; empty iff Drop
+  std::optional<Rewrite> rewrite;
+
+  friend bool operator==(const Action&, const Action&) = default;
+
+  [[nodiscard]] bool forwards_to(DeviceId d) const;
+  [[nodiscard]] std::string to_string() const;
+
+  static Action drop();
+  static Action forward_all(std::vector<DeviceId> hops,
+                            std::optional<Rewrite> rw = std::nullopt);
+  static Action forward_any(std::vector<DeviceId> hops,
+                            std::optional<Rewrite> rw = std::nullopt);
+  /// Single next-hop unicast (ALL and ANY coincide).
+  static Action forward(DeviceId hop,
+                        std::optional<Rewrite> rw = std::nullopt);
+  /// Deliver out of an external port.
+  static Action deliver();
+};
+
+/// A prioritized match-action rule. Higher `priority` wins; ties broken by
+/// lower id (first inserted). `dst_prefix` is the destination-prefix part of
+/// the match; `extra_match` (optional) refines it with non-prefix fields.
+struct Rule {
+  std::uint64_t id = 0;
+  std::int32_t priority = 0;
+  packet::Ipv4Prefix dst_prefix;
+  std::optional<packet::PacketSet> extra_match;  // nullopt = prefix only
+  Action action;
+
+  /// Full match predicate (prefix AND extra).
+  [[nodiscard]] packet::PacketSet match(packet::PacketSpace& space) const;
+
+  /// True if the rule matches purely on the destination prefix.
+  [[nodiscard]] bool prefix_only() const { return !extra_match.has_value(); }
+};
+
+/// Hash of an Action, for grouping LECs by action.
+struct ActionHash {
+  std::size_t operator()(const Action& a) const noexcept;
+};
+
+}  // namespace tulkun::fib

@@ -1,0 +1,41 @@
+#include "fib/update_stream.hpp"
+
+namespace tulkun::fib {
+
+std::size_t NetworkFib::total_rules() const {
+  std::size_t total = 0;
+  for (const auto& t : tables_) total += t.size();
+  return total;
+}
+
+std::vector<LecDelta> apply_update(NetworkFib& net, FibUpdate& update) {
+  TULKUN_ASSERT(update.device < net.device_count());
+  FibTable& fib = net.table(update.device);
+  LecBuilder builder(net.space());
+
+  // The only packets whose effective action can change are those matching
+  // the inserted/removed rule; capture the old partition of that region,
+  // apply the change, and re-partition.
+  const packet::Ipv4Prefix region_prefix =
+      update.kind == FibUpdate::Kind::Insert
+          ? update.rule.dst_prefix
+          : fib.rule(update.rule_id).dst_prefix;
+  const packet::PacketSet region =
+      update.kind == FibUpdate::Kind::Insert
+          ? update.rule.match(net.space())
+          : fib.rule(update.rule_id).match(net.space());
+
+  const auto before =
+      builder.effective_in_region(fib, region_prefix, region);
+
+  if (update.kind == FibUpdate::Kind::Insert) {
+    update.rule_id = fib.insert(update.rule);
+  } else {
+    update.rule = fib.erase(update.rule_id);
+  }
+
+  const auto after = builder.effective_in_region(fib, region_prefix, region);
+  return builder.region_deltas(before, after);
+}
+
+}  // namespace tulkun::fib

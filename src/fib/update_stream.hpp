@@ -1,0 +1,71 @@
+// Network-wide data plane state and rule-update streams.
+//
+// NetworkFib owns one FibTable per device over a shared PacketSpace; it is
+// the "ground truth" both Tulkun's on-device verifiers and the centralized
+// baselines read. FibUpdate/UpdateStream model the incremental-verification
+// workloads of §9.2/§9.3.3.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "fib/fib_table.hpp"
+#include "fib/lec.hpp"
+#include "topo/topology.hpp"
+
+namespace tulkun::fib {
+
+/// The complete data plane of a network.
+class NetworkFib {
+ public:
+  explicit NetworkFib(const topo::Topology& topo)
+      : topo_(&topo), tables_(topo.device_count()) {}
+
+  [[nodiscard]] packet::PacketSpace& space() { return space_; }
+  [[nodiscard]] const topo::Topology& topology() const { return *topo_; }
+
+  [[nodiscard]] FibTable& table(DeviceId d) {
+    TULKUN_ASSERT(d < tables_.size());
+    return tables_[d];
+  }
+  [[nodiscard]] const FibTable& table(DeviceId d) const {
+    TULKUN_ASSERT(d < tables_.size());
+    return tables_[d];
+  }
+
+  [[nodiscard]] std::size_t device_count() const { return tables_.size(); }
+
+  /// Total rules across all devices.
+  [[nodiscard]] std::size_t total_rules() const;
+
+ private:
+  const topo::Topology* topo_;
+  packet::PacketSpace space_;
+  std::vector<FibTable> tables_;
+};
+
+/// One rule change at one device.
+struct FibUpdate {
+  enum class Kind : std::uint8_t { Insert, Erase };
+
+  DeviceId device = kNoDevice;
+  Kind kind = Kind::Insert;
+  /// Insert: the rule to add. Erase: filled with the removed rule when the
+  /// update is applied (so observers know the affected match region).
+  Rule rule;
+  std::uint64_t rule_id = 0;  // target for Erase; assigned id after Insert
+
+  static FibUpdate insert(DeviceId dev, Rule r) {
+    return FibUpdate{dev, Kind::Insert, std::move(r), 0};
+  }
+  static FibUpdate erase(DeviceId dev, std::uint64_t id) {
+    return FibUpdate{dev, Kind::Erase, Rule{}, id};
+  }
+};
+
+/// Applies `update` to `net`, returning the resulting LEC deltas at the
+/// updated device (empty when the change is shadowed by higher-priority
+/// rules). On Insert, the assigned rule id is written back to update.rule_id.
+std::vector<LecDelta> apply_update(NetworkFib& net, FibUpdate& update);
+
+}  // namespace tulkun::fib

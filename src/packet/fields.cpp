@@ -1,0 +1,85 @@
+#include "packet/fields.hpp"
+
+#include <charconv>
+
+#include "core/error.hpp"
+
+namespace tulkun::packet {
+
+namespace {
+
+std::uint32_t mask_for_len(std::uint8_t len) {
+  return len == 0 ? 0 : (~0U << (32 - len));
+}
+
+std::uint32_t parse_decimal(std::string_view text, std::uint32_t max_value,
+                            const char* what) {
+  std::uint32_t value = 0;
+  const auto [ptr, ec] =
+      std::from_chars(text.data(), text.data() + text.size(), value);
+  if (ec != std::errc{} || ptr != text.data() + text.size() ||
+      value > max_value) {
+    throw Error(std::string("malformed ") + what + ": '" +
+                std::string(text) + "'");
+  }
+  return value;
+}
+
+}  // namespace
+
+Ipv4Prefix::Ipv4Prefix(std::uint32_t address, std::uint8_t length)
+    : addr(address & mask_for_len(length)), len(length) {
+  if (length > 32) {
+    throw Error("prefix length out of range: " + std::to_string(length));
+  }
+}
+
+std::uint32_t parse_ipv4(std::string_view text) {
+  std::uint32_t addr = 0;
+  std::size_t start = 0;
+  for (int octet = 0; octet < 4; ++octet) {
+    const std::size_t dot = text.find('.', start);
+    const bool last = octet == 3;
+    if (last != (dot == std::string_view::npos)) {
+      throw Error("malformed IPv4 address: '" + std::string(text) + "'");
+    }
+    const std::string_view part =
+        last ? text.substr(start) : text.substr(start, dot - start);
+    addr = (addr << 8) | parse_decimal(part, 255, "IPv4 octet");
+    start = dot + 1;
+  }
+  return addr;
+}
+
+std::string format_ipv4(std::uint32_t addr) {
+  return std::to_string((addr >> 24) & 0xff) + "." +
+         std::to_string((addr >> 16) & 0xff) + "." +
+         std::to_string((addr >> 8) & 0xff) + "." +
+         std::to_string(addr & 0xff);
+}
+
+Ipv4Prefix Ipv4Prefix::parse(std::string_view text) {
+  const std::size_t slash = text.find('/');
+  if (slash == std::string_view::npos) {
+    // A bare address is a /32.
+    return Ipv4Prefix(parse_ipv4(text), 32);
+  }
+  const std::uint32_t addr = parse_ipv4(text.substr(0, slash));
+  const std::uint32_t len =
+      parse_decimal(text.substr(slash + 1), 32, "prefix length");
+  return Ipv4Prefix(addr, static_cast<std::uint8_t>(len));
+}
+
+std::string Ipv4Prefix::to_string() const {
+  return format_ipv4(addr) + "/" + std::to_string(len);
+}
+
+bool Ipv4Prefix::contains(std::uint32_t ip) const {
+  return (ip & mask_for_len(len)) == addr;
+}
+
+bool Ipv4Prefix::covers(const Ipv4Prefix& other) const {
+  return other.len >= len && contains(other.addr);
+}
+
+}  // namespace tulkun::packet

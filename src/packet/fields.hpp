@@ -1,0 +1,96 @@
+// Packet header model.
+//
+// Tulkun's data plane matches on a TCP/IP 5-tuple. Each header field maps to
+// a contiguous block of BDD variables (most-significant bit first), giving a
+// fixed global variable order:
+//
+//   dstIP[32] | srcIP[32] | dstPort[16] | srcPort[16] | proto[8]
+//
+// dstIP comes first because real FIBs are dominated by destination-prefix
+// rules; keeping those bits topmost keeps the BDDs shallow.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+namespace tulkun::packet {
+
+/// The five match fields, in variable-order position.
+enum class Field : std::uint8_t { DstIp, SrcIp, DstPort, SrcPort, Proto };
+
+/// Bit layout of the header within the BDD variable space.
+struct Layout {
+  static constexpr std::uint32_t kDstIpOffset = 0;
+  static constexpr std::uint32_t kDstIpWidth = 32;
+  static constexpr std::uint32_t kSrcIpOffset = 32;
+  static constexpr std::uint32_t kSrcIpWidth = 32;
+  static constexpr std::uint32_t kDstPortOffset = 64;
+  static constexpr std::uint32_t kDstPortWidth = 16;
+  static constexpr std::uint32_t kSrcPortOffset = 80;
+  static constexpr std::uint32_t kSrcPortWidth = 16;
+  static constexpr std::uint32_t kProtoOffset = 96;
+  static constexpr std::uint32_t kProtoWidth = 8;
+  static constexpr std::uint32_t kNumVars = 104;
+
+  static constexpr std::uint32_t offset(Field f) {
+    switch (f) {
+      case Field::DstIp: return kDstIpOffset;
+      case Field::SrcIp: return kSrcIpOffset;
+      case Field::DstPort: return kDstPortOffset;
+      case Field::SrcPort: return kSrcPortOffset;
+      case Field::Proto: return kProtoOffset;
+    }
+    return 0;
+  }
+
+  static constexpr std::uint32_t width(Field f) {
+    switch (f) {
+      case Field::DstIp: return kDstIpWidth;
+      case Field::SrcIp: return kSrcIpWidth;
+      case Field::DstPort: return kDstPortWidth;
+      case Field::SrcPort: return kSrcPortWidth;
+      case Field::Proto: return kProtoWidth;
+    }
+    return 0;
+  }
+};
+
+/// An IPv4 prefix such as 10.0.0.0/23. Host bits below the prefix length
+/// are required to be zero (enforced by parse/constructor normalization).
+struct Ipv4Prefix {
+  std::uint32_t addr = 0;  // network byte order conceptually; stored host u32
+  std::uint8_t len = 0;    // 0..32
+
+  Ipv4Prefix() = default;
+  Ipv4Prefix(std::uint32_t address, std::uint8_t length);
+
+  /// Parses dotted-quad "/len" notation, e.g. "10.0.0.0/23".
+  /// Throws Error on malformed input.
+  static Ipv4Prefix parse(std::string_view text);
+
+  [[nodiscard]] std::string to_string() const;
+
+  /// True iff `ip` falls inside this prefix.
+  [[nodiscard]] bool contains(std::uint32_t ip) const;
+
+  /// True iff `other` is fully contained in this prefix.
+  [[nodiscard]] bool covers(const Ipv4Prefix& other) const;
+
+  /// First / one-past-last covered address, as a half-open interval.
+  [[nodiscard]] std::uint64_t range_lo() const { return addr; }
+  [[nodiscard]] std::uint64_t range_hi() const {
+    return static_cast<std::uint64_t>(addr) + (1ULL << (32 - len));
+  }
+
+  friend bool operator==(const Ipv4Prefix&, const Ipv4Prefix&) = default;
+  friend auto operator<=>(const Ipv4Prefix&, const Ipv4Prefix&) = default;
+};
+
+/// Parses a dotted-quad IPv4 address. Throws Error on malformed input.
+std::uint32_t parse_ipv4(std::string_view text);
+
+/// Formats a host-order u32 as dotted quad.
+std::string format_ipv4(std::uint32_t addr);
+
+}  // namespace tulkun::packet

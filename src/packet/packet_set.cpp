@@ -1,0 +1,140 @@
+#include "packet/packet_set.hpp"
+
+#include <cmath>
+
+#include "core/error.hpp"
+
+namespace tulkun::packet {
+
+PacketSet PacketSpace::all() { return PacketSet(mgr_.get(), bdd::kTrue); }
+
+PacketSet PacketSpace::none() { return PacketSet(mgr_.get(), bdd::kFalse); }
+
+PacketSet PacketSpace::wrap(bdd::NodeRef ref) {
+  return PacketSet(mgr_.get(), ref);
+}
+
+bdd::NodeRef PacketSpace::exact_bits(std::uint32_t offset, std::uint32_t width,
+                                     std::uint32_t value) {
+  // Build bottom-up (LSB first) so each mk() call has its children ready
+  // and the chain is a single path through the BDD.
+  bdd::NodeRef acc = bdd::kTrue;
+  for (std::uint32_t i = 0; i < width; ++i) {
+    const std::uint32_t bit_index = width - 1 - i;  // LSB upward
+    const std::uint32_t var = offset + bit_index;
+    const bool bit = (value >> i) & 1U;
+    acc = bit ? mgr_->mk(var, bdd::kFalse, acc)
+              : mgr_->mk(var, acc, bdd::kFalse);
+  }
+  return acc;
+}
+
+PacketSet PacketSpace::dst_prefix(const Ipv4Prefix& prefix) {
+  // Only the top `len` bits are constrained.
+  const std::uint32_t value = prefix.len == 0 ? 0 : prefix.addr >> (32 - prefix.len);
+  return PacketSet(mgr_.get(),
+                   exact_bits(Layout::kDstIpOffset, prefix.len, value));
+}
+
+PacketSet PacketSpace::src_prefix(const Ipv4Prefix& prefix) {
+  const std::uint32_t value = prefix.len == 0 ? 0 : prefix.addr >> (32 - prefix.len);
+  return PacketSet(mgr_.get(),
+                   exact_bits(Layout::kSrcIpOffset, prefix.len, value));
+}
+
+PacketSet PacketSpace::dst_port(std::uint16_t port) {
+  return PacketSet(
+      mgr_.get(),
+      exact_bits(Layout::kDstPortOffset, Layout::kDstPortWidth, port));
+}
+
+PacketSet PacketSpace::src_port(std::uint16_t port) {
+  return PacketSet(
+      mgr_.get(),
+      exact_bits(Layout::kSrcPortOffset, Layout::kSrcPortWidth, port));
+}
+
+PacketSet PacketSpace::proto(std::uint8_t p) {
+  return PacketSet(mgr_.get(),
+                   exact_bits(Layout::kProtoOffset, Layout::kProtoWidth, p));
+}
+
+PacketSet PacketSpace::field_range(Field f, std::uint32_t lo,
+                                   std::uint32_t hi) {
+  TULKUN_ASSERT(lo <= hi);
+  const std::uint32_t offset = Layout::offset(f);
+  const std::uint32_t width = Layout::width(f);
+  TULKUN_ASSERT(width == 32 || hi < (1ULL << width));
+
+  // Decompose [lo, hi] into maximal aligned power-of-two blocks (prefixes)
+  // and OR their single-path BDDs; at most 2*width blocks.
+  bdd::NodeRef acc = bdd::kFalse;
+  std::uint64_t cur = lo;
+  const std::uint64_t end = static_cast<std::uint64_t>(hi) + 1;
+  while (cur < end) {
+    // Largest block size aligned at cur that fits in [cur, end).
+    std::uint32_t block_bits = 0;
+    while (block_bits < width) {
+      const std::uint64_t size = 1ULL << (block_bits + 1);
+      if ((cur & (size - 1)) != 0 || cur + size > end) break;
+      ++block_bits;
+    }
+    const std::uint32_t prefix_len = width - block_bits;
+    const auto value = static_cast<std::uint32_t>(cur >> block_bits);
+    acc = mgr_->lor(acc, exact_bits(offset, prefix_len, value));
+    cur += 1ULL << block_bits;
+  }
+  return PacketSet(mgr_.get(), acc);
+}
+
+namespace {
+bdd::Manager& same_manager(const PacketSet& a, const PacketSet& b) {
+  TULKUN_ASSERT(a.manager() != nullptr);
+  TULKUN_ASSERT(a.manager() == b.manager());
+  return *a.manager();
+}
+}  // namespace
+
+PacketSet PacketSet::operator&(const PacketSet& o) const {
+  auto& mgr = same_manager(*this, o);
+  return PacketSet(&mgr, mgr.land(ref_, o.ref_));
+}
+
+PacketSet PacketSet::operator|(const PacketSet& o) const {
+  auto& mgr = same_manager(*this, o);
+  return PacketSet(&mgr, mgr.lor(ref_, o.ref_));
+}
+
+PacketSet PacketSet::operator-(const PacketSet& o) const {
+  auto& mgr = same_manager(*this, o);
+  return PacketSet(&mgr, mgr.diff(ref_, o.ref_));
+}
+
+PacketSet PacketSet::operator~() const {
+  TULKUN_ASSERT(mgr_ != nullptr);
+  return PacketSet(mgr_, mgr_->negate(ref_));
+}
+
+bool PacketSet::subset_of(const PacketSet& o) const {
+  auto& mgr = same_manager(*this, o);
+  return mgr.implies(ref_, o.ref_);
+}
+
+double PacketSet::count() const {
+  TULKUN_ASSERT(mgr_ != nullptr);
+  return mgr_->sat_count(ref_);
+}
+
+double PacketSet::fraction() const {
+  TULKUN_ASSERT(mgr_ != nullptr);
+  const double total =
+      std::pow(2.0, static_cast<double>(mgr_->num_vars()));
+  return count() / total;
+}
+
+std::size_t PacketSet::bdd_nodes() const {
+  TULKUN_ASSERT(mgr_ != nullptr);
+  return mgr_->node_count(ref_);
+}
+
+}  // namespace tulkun::packet

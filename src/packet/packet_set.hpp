@@ -1,0 +1,124 @@
+// PacketSet: a value-semantic set of packet headers backed by a BDD.
+//
+// This is the predicate type used throughout Tulkun: LEC table keys, DVM
+// message payloads, invariant packet spaces. All sets sharing a
+// PacketSpace (one BDD manager) compose in O(BDD) time, and equality is
+// O(1) thanks to hash-consing.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "bdd/manager.hpp"
+#include "packet/fields.hpp"
+
+namespace tulkun::packet {
+
+class PacketSet;
+
+/// Owns the BDD manager for one verification session's packet universe and
+/// provides constructors for field-level predicates.
+class PacketSpace {
+ public:
+  PacketSpace() : mgr_(std::make_unique<bdd::Manager>(Layout::kNumVars)) {}
+
+  PacketSpace(const PacketSpace&) = delete;
+  PacketSpace& operator=(const PacketSpace&) = delete;
+  // Movable: the manager lives behind a stable pointer, so PacketSets
+  // remain valid across moves of their space.
+  PacketSpace(PacketSpace&&) = default;
+  PacketSpace& operator=(PacketSpace&&) = default;
+
+  [[nodiscard]] PacketSet all();
+  [[nodiscard]] PacketSet none();
+
+  /// Packets whose destination IP falls inside `prefix`.
+  [[nodiscard]] PacketSet dst_prefix(const Ipv4Prefix& prefix);
+  [[nodiscard]] PacketSet src_prefix(const Ipv4Prefix& prefix);
+
+  /// Packets with an exact field value.
+  [[nodiscard]] PacketSet dst_port(std::uint16_t port);
+  [[nodiscard]] PacketSet src_port(std::uint16_t port);
+  [[nodiscard]] PacketSet proto(std::uint8_t proto);
+
+  /// Packets whose field value lies in [lo, hi] (inclusive).
+  [[nodiscard]] PacketSet field_range(Field f, std::uint32_t lo,
+                                      std::uint32_t hi);
+
+  /// Wraps a raw BDD ref (used by the wire codec).
+  [[nodiscard]] PacketSet wrap(bdd::NodeRef ref);
+
+  [[nodiscard]] bdd::Manager& manager() { return *mgr_; }
+  [[nodiscard]] const bdd::Manager& manager() const { return *mgr_; }
+
+ private:
+  /// BDD with field bits equal to `value` over `width` bits at `offset`.
+  bdd::NodeRef exact_bits(std::uint32_t offset, std::uint32_t width,
+                          std::uint32_t value);
+
+  std::unique_ptr<bdd::Manager> mgr_;
+};
+
+/// An immutable set of packets. Cheap to copy (manager pointer + node ref).
+class PacketSet {
+ public:
+  PacketSet() = default;  // a detached, empty set usable only for reassignment
+
+  [[nodiscard]] bool valid() const { return mgr_ != nullptr; }
+  [[nodiscard]] bool empty() const { return ref_ == bdd::kFalse; }
+  [[nodiscard]] bool is_all() const { return ref_ == bdd::kTrue; }
+
+  [[nodiscard]] PacketSet operator&(const PacketSet& o) const;
+  [[nodiscard]] PacketSet operator|(const PacketSet& o) const;
+  /// Set difference: packets in *this but not in o.
+  [[nodiscard]] PacketSet operator-(const PacketSet& o) const;
+  [[nodiscard]] PacketSet operator~() const;
+
+  PacketSet& operator&=(const PacketSet& o) { return *this = *this & o; }
+  PacketSet& operator|=(const PacketSet& o) { return *this = *this | o; }
+  PacketSet& operator-=(const PacketSet& o) { return *this = *this - o; }
+
+  [[nodiscard]] bool intersects(const PacketSet& o) const {
+    return !(*this & o).empty();
+  }
+  [[nodiscard]] bool subset_of(const PacketSet& o) const;
+
+  /// O(1): canonical BDDs make structural equality reference equality.
+  friend bool operator==(const PacketSet& a, const PacketSet& b) {
+    return a.mgr_ == b.mgr_ && a.ref_ == b.ref_;
+  }
+
+  /// Number of headers in the set (approximate beyond 2^53).
+  [[nodiscard]] double count() const;
+
+  /// Fraction of the full header space covered, in [0,1].
+  [[nodiscard]] double fraction() const;
+
+  /// BDD node count (used for message-size accounting).
+  [[nodiscard]] std::size_t bdd_nodes() const;
+
+  [[nodiscard]] bdd::NodeRef ref() const { return ref_; }
+  [[nodiscard]] bdd::Manager* manager() const { return mgr_; }
+
+  /// Stable hash usable as an unordered_map key (manager-local).
+  [[nodiscard]] std::size_t hash() const {
+    return std::hash<bdd::NodeRef>{}(ref_);
+  }
+
+ private:
+  friend class PacketSpace;
+  PacketSet(bdd::Manager* mgr, bdd::NodeRef ref) : mgr_(mgr), ref_(ref) {}
+
+  bdd::Manager* mgr_ = nullptr;
+  bdd::NodeRef ref_ = bdd::kFalse;
+};
+
+/// Hash functor for using PacketSet as an unordered container key.
+struct PacketSetHash {
+  std::size_t operator()(const PacketSet& p) const noexcept {
+    return p.hash();
+  }
+};
+
+}  // namespace tulkun::packet

@@ -1,0 +1,201 @@
+#include "partition/partition.hpp"
+
+#include <algorithm>
+#include <deque>
+
+#include "core/rng.hpp"
+
+namespace tulkun::partition {
+
+std::vector<DeviceId> Partitioning::members(std::uint32_t c) const {
+  std::vector<DeviceId> out;
+  for (DeviceId d = 0; d < cluster_of.size(); ++d) {
+    if (cluster_of[d] == c) out.push_back(d);
+  }
+  return out;
+}
+
+Partitioning make_clusters(const topo::Topology& topo, std::uint32_t k,
+                           std::uint64_t seed) {
+  const auto n = static_cast<std::uint32_t>(topo.device_count());
+  TULKUN_ASSERT(k >= 1);
+  k = std::min(k, n);
+
+  // Greedy farthest-point seeds: start random, then repeatedly take the
+  // device with the largest hop distance to any chosen seed.
+  Rng rng(seed);
+  std::vector<DeviceId> seeds{static_cast<DeviceId>(rng.index(n))};
+  std::vector<std::uint32_t> best(n, topo::Topology::kUnreachable);
+  const auto absorb = [&](DeviceId s) {
+    const auto dist = topo.hop_distances_to(s);
+    for (DeviceId d = 0; d < n; ++d) {
+      best[d] = std::min(best[d], dist[d]);
+    }
+  };
+  absorb(seeds[0]);
+  while (seeds.size() < k) {
+    DeviceId far = 0;
+    for (DeviceId d = 1; d < n; ++d) {
+      if (best[d] != topo::Topology::kUnreachable &&
+          (best[far] == topo::Topology::kUnreachable ||
+           best[d] > best[far])) {
+        far = d;
+      }
+    }
+    seeds.push_back(far);
+    absorb(far);
+  }
+
+  // Multi-source BFS assignment.
+  Partitioning parts;
+  parts.clusters = static_cast<std::uint32_t>(seeds.size());
+  parts.cluster_of.assign(n, parts.clusters);
+  std::deque<DeviceId> work;
+  for (std::uint32_t c = 0; c < seeds.size(); ++c) {
+    parts.cluster_of[seeds[c]] = c;
+    work.push_back(seeds[c]);
+  }
+  while (!work.empty()) {
+    const DeviceId cur = work.front();
+    work.pop_front();
+    for (const auto& adj : topo.neighbors(cur)) {
+      if (parts.cluster_of[adj.neighbor] == parts.clusters) {
+        parts.cluster_of[adj.neighbor] = parts.cluster_of[cur];
+        work.push_back(adj.neighbor);
+      }
+    }
+  }
+  // Isolated devices (no links) become singleton members of cluster 0.
+  for (auto& c : parts.cluster_of) {
+    if (c == parts.clusters) c = 0;
+  }
+  return parts;
+}
+
+PartitionedVerifier::PartitionedVerifier(const fib::NetworkFib& net,
+                                         Partitioning parts)
+    : net_(&net), parts_(std::move(parts)) {
+  instances_.resize(parts_.clusters);
+  for (std::uint32_t c = 0; c < parts_.clusters; ++c) {
+    instances_[c].id = c;
+    for (const DeviceId d : parts_.members(c)) {
+      instances_[c].members.insert(d);
+    }
+  }
+}
+
+namespace {
+
+/// Longest-prefix-match winner for a representative address of `dst`'s
+/// first prefix (extra match fields are ignored: partitioned mode serves
+/// destination-prefix planes).
+const fib::Rule* lpm(const fib::FibTable& fib, std::uint32_t point) {
+  for (const fib::Rule* r : fib.ordered()) {
+    if (r->dst_prefix.contains(point)) return r;
+  }
+  return nullptr;
+}
+
+}  // namespace
+
+Reach PartitionedVerifier::resolve(Instance& inst, DeviceId device,
+                                   DeviceId dst,
+                                   std::set<DeviceId>& visiting,
+                                   std::set<DeviceId>& walked) {
+  ++stats_.intra_queries;
+  walked.insert(device);
+
+  if (device == dst) return Reach::Yes;  // delivery at the owner
+
+  const auto key = std::make_pair(device, dst);
+  if (const auto it = inst.memo.find(key); it != inst.memo.end()) {
+    ++stats_.cache_hits;
+    return it->second;
+  }
+  if (visiting.contains(device)) {
+    // Revisit: within one universe forwarding is deterministic, so the
+    // packet cycles forever — this chain never delivers.
+    return Reach::No;
+  }
+
+  const auto& prefixes = net_->topology().prefixes(dst);
+  TULKUN_ASSERT(!prefixes.empty());
+  const fib::Rule* rule =
+      lpm(net_->table(device), prefixes.front().addr);
+
+  Reach verdict = Reach::No;
+  if (rule != nullptr && rule->action.type != fib::ActionType::Drop) {
+    // External-port branches before dst's device are misdeliveries and are
+    // skipped below; only forwarding toward real devices can deliver.
+    const auto& action = rule->action;
+    visiting.insert(device);
+    bool any_yes = false;
+    bool all_yes = true;
+    bool has_branch = false;
+    for (const DeviceId hop : action.next_hops) {
+      if (hop == fib::kExternalPort) continue;
+      has_branch = true;
+      Reach branch;
+      const std::uint32_t hop_cluster = parts_.cluster_of[hop];
+      if (hop_cluster == inst.id) {
+        branch = resolve(inst, hop, dst, visiting, walked);
+      } else {
+        // Cross-border QUERY/ANSWER with the neighbor instance.
+        stats_.cross_messages += 2;
+        branch = resolve(instances_[hop_cluster], hop, dst, visiting,
+                         walked);
+      }
+      any_yes = any_yes || branch == Reach::Yes;
+      all_yes = all_yes && branch == Reach::Yes;
+    }
+    visiting.erase(device);
+    if (has_branch) {
+      // ALL replication delivers if any copy does; an ANY choice must
+      // deliver whichever branch the device picks.
+      verdict = (action.type == fib::ActionType::All ? any_yes : all_yes)
+                    ? Reach::Yes
+                    : Reach::No;
+    }
+  }
+
+  inst.memo.emplace(key, verdict);
+  inst.deps[key] = walked;
+  return verdict;
+}
+
+Reach PartitionedVerifier::query(DeviceId ingress, DeviceId dst) {
+  std::set<DeviceId> visiting;
+  std::set<DeviceId> walked;
+  Instance& inst = instances_[parts_.cluster_of[ingress]];
+  return resolve(inst, ingress, dst, visiting, walked);
+}
+
+std::vector<std::pair<DeviceId, DeviceId>>
+PartitionedVerifier::verify_all_pairs() {
+  std::vector<std::pair<DeviceId, DeviceId>> failures;
+  const auto& topo = net_->topology();
+  for (DeviceId dst = 0; dst < topo.device_count(); ++dst) {
+    if (topo.prefixes(dst).empty()) continue;
+    for (DeviceId ing = 0; ing < topo.device_count(); ++ing) {
+      if (ing == dst || topo.prefixes(ing).empty()) continue;
+      if (query(ing, dst) != Reach::Yes) {
+        failures.emplace_back(ing, dst);
+      }
+    }
+  }
+  return failures;
+}
+
+void PartitionedVerifier::invalidate(DeviceId device) {
+  for (auto& inst : instances_) {
+    std::erase_if(inst.memo, [&](const auto& kv) {
+      const auto dep = inst.deps.find(kv.first);
+      return dep != inst.deps.end() && dep->second.contains(device);
+    });
+    std::erase_if(inst.deps, [&](const auto& kv) {
+      return !inst.memo.contains(kv.first);
+    });
+  }
+}
+
+}  // namespace tulkun::partition

@@ -1,0 +1,75 @@
+#include "planner/planner.hpp"
+
+#include <chrono>
+
+#include "spec/check.hpp"
+
+namespace tulkun::planner {
+
+InvariantPlan Planner::plan(spec::Invariant inv) const {
+  const auto t0 = std::chrono::steady_clock::now();
+  spec::ensure_valid(inv, *topo_, *space_);
+
+  InvariantPlan out;
+  out.id = next_id_++;
+  out.scenes = dpvnet::expand_scenes(*topo_, inv.faults, opts_.build.max_scenes);
+  auto dag = std::make_shared<dpvnet::DpvNet>(
+      dpvnet::build_dpvnet(*topo_, inv, opts_.build, &out.stats));
+
+  // Static diagnostics: ingresses with no valid path in the base scene.
+  for (const auto& [ingress, src] : dag->sources()) {
+    if (src == kNoNode || !dag->node(src).scenes.test(0)) {
+      out.static_warnings.push_back(
+          "ingress " + topo_->name(ingress) +
+          " has no valid path in the failure-free topology");
+    }
+  }
+  for (const auto& [scene, ingress] : dag->intolerable) {
+    if (scene == 0) continue;  // already covered above
+    out.static_warnings.push_back(
+        "fault scene #" + std::to_string(scene) +
+        " is intolerable for ingress " + topo_->name(ingress));
+  }
+
+  out.inv = std::move(inv);
+  out.dag = std::move(dag);
+  out.plan_seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+          .count();
+  return out;
+}
+
+MultiPathPlan Planner::plan_multipath(spec::MultiPathInvariant inv) const {
+  if (inv.comparator == kNoDevice) inv.comparator = inv.a.ingress;
+
+  const auto build_side =
+      [&](const spec::PathQuery& q) -> std::shared_ptr<const dpvnet::DpvNet> {
+    // Wrap the query as a single-atom exist invariant so the standard
+    // construction (and its validation) applies.
+    spec::Invariant side;
+    side.name = inv.name;
+    side.packet_space = q.space;
+    side.ingress_set = {q.ingress};
+    side.behavior = spec::Behavior::exist(
+        spec::CountExpr{spec::CountExpr::Cmp::Ge, 1}, q.path);
+    spec::ensure_valid(side, *topo_, *space_);
+    auto dag = std::make_shared<dpvnet::DpvNet>(
+        dpvnet::build_dpvnet(*topo_, side, opts_.build));
+    for (const auto& [ingress, src] : dag->sources()) {
+      if (src == kNoNode) {
+        throw Error("multi-path invariant '" + inv.name + "': ingress " +
+                    topo_->name(ingress) + " has no valid path");
+      }
+    }
+    return dag;
+  };
+
+  MultiPathPlan out;
+  out.id = next_id_++;
+  out.dag_a = build_side(inv.a);
+  out.dag_b = build_side(inv.b);
+  out.inv = std::move(inv);
+  return out;
+}
+
+}  // namespace tulkun::planner

@@ -1,0 +1,87 @@
+// The verification planner (§4): validates invariants, computes DPVNets,
+// and decomposes verification into per-device counting tasks.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "dpvnet/build.hpp"
+#include "dvm/engine.hpp"
+#include "spec/ast.hpp"
+#include "spec/multipath.hpp"
+
+namespace tulkun::planner {
+
+struct PlannerOptions {
+  dpvnet::BuildOptions build;
+  dvm::EngineConfig engine;
+};
+
+/// Everything the planner derives for one invariant.
+struct InvariantPlan {
+  InvariantId id = 0;
+  spec::Invariant inv;
+  std::shared_ptr<const dpvnet::DpvNet> dag;
+  std::vector<spec::FaultScene> scenes;  // expanded; index 0 = no failure
+  dpvnet::BuildStats stats;
+  /// Problems detectable before any data plane exists, e.g. an ingress with
+  /// no valid path at all (an exist>=1 invariant can then never hold).
+  std::vector<std::string> static_warnings;
+  double plan_seconds = 0.0;  // wall time spent planning
+};
+
+/// The counting task shipped to one device (§4.2: "the planner sends u.dev
+/// the task of u and its lists of downstream and upstream neighbors").
+struct DeviceTask {
+  DeviceId device = kNoDevice;
+  struct NodeTask {
+    NodeId node = kNoNode;
+    std::vector<std::pair<NodeId, DeviceId>> downstream;  // (node, device)
+    std::vector<std::pair<NodeId, DeviceId>> upstream;
+    bool accepting = false;
+  };
+  std::vector<NodeTask> nodes;
+  bool is_ingress = false;
+};
+
+/// Plan for a §7 multi-path comparison: one DPVNet per side.
+struct MultiPathPlan {
+  InvariantId id = 0;
+  spec::MultiPathInvariant inv;
+  std::shared_ptr<const dpvnet::DpvNet> dag_a;
+  std::shared_ptr<const dpvnet::DpvNet> dag_b;
+};
+
+class Planner {
+ public:
+  Planner(const topo::Topology& topo, packet::PacketSpace& space,
+          PlannerOptions opts = {})
+      : topo_(&topo), space_(&space), opts_(opts) {}
+
+  /// Validates `inv` (spec::ensure_valid) and builds its plan.
+  [[nodiscard]] InvariantPlan plan(spec::Invariant inv) const;
+
+  /// Builds the two DPVNets of a multi-path comparison (§7). Throws Error
+  /// for unbounded path expressions or an ingress with no valid path.
+  [[nodiscard]] MultiPathPlan plan_multipath(
+      spec::MultiPathInvariant inv) const;
+
+  /// Task decomposition: one DeviceTask per participating device.
+  [[nodiscard]] static std::vector<DeviceTask> decompose(
+      const dpvnet::DpvNet& dag, const spec::Invariant& inv);
+
+  /// Human-readable task sheet (used by examples and docs).
+  [[nodiscard]] static std::string describe_tasks(
+      const dpvnet::DpvNet& dag, const std::vector<DeviceTask>& tasks);
+
+  [[nodiscard]] const PlannerOptions& options() const { return opts_; }
+
+ private:
+  const topo::Topology* topo_;
+  packet::PacketSpace* space_;
+  PlannerOptions opts_;
+  mutable InvariantId next_id_ = 1;
+};
+
+}  // namespace tulkun::planner

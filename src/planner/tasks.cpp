@@ -1,0 +1,58 @@
+#include "planner/planner.hpp"
+
+namespace tulkun::planner {
+
+std::vector<DeviceTask> Planner::decompose(const dpvnet::DpvNet& dag,
+                                           const spec::Invariant& inv) {
+  std::vector<DeviceTask> tasks(dag.topology().device_count());
+  for (DeviceId d = 0; d < tasks.size(); ++d) tasks[d].device = d;
+
+  for (NodeId id = 0; id < dag.node_count(); ++id) {
+    const auto& n = dag.node(id);
+    DeviceTask::NodeTask nt;
+    nt.node = id;
+    nt.accepting = n.accepting();
+    for (const auto& e : n.down) {
+      nt.downstream.emplace_back(e.to, dag.node(e.to).dev);
+    }
+    for (const NodeId up : n.up) {
+      nt.upstream.emplace_back(up, dag.node(up).dev);
+    }
+    tasks[n.dev].nodes.push_back(std::move(nt));
+  }
+  for (const DeviceId ing : inv.ingress_set) {
+    if (ing < tasks.size()) tasks[ing].is_ingress = true;
+  }
+  std::erase_if(tasks, [](const DeviceTask& t) {
+    return t.nodes.empty() && !t.is_ingress;
+  });
+  return tasks;
+}
+
+std::string Planner::describe_tasks(const dpvnet::DpvNet& dag,
+                                    const std::vector<DeviceTask>& tasks) {
+  std::string out;
+  for (const auto& t : tasks) {
+    out += "device " + dag.topology().name(t.device);
+    if (t.is_ingress) out += " (ingress)";
+    out += ":\n";
+    for (const auto& nt : t.nodes) {
+      out += "  node " + dag.label(nt.node);
+      if (nt.accepting) out += " [dest]";
+      out += "  down:{";
+      for (std::size_t i = 0; i < nt.downstream.size(); ++i) {
+        if (i > 0) out += ",";
+        out += dag.label(nt.downstream[i].first);
+      }
+      out += "}  up:{";
+      for (std::size_t i = 0; i < nt.upstream.size(); ++i) {
+        if (i > 0) out += ",";
+        out += dag.label(nt.upstream[i].first);
+      }
+      out += "}\n";
+    }
+  }
+  return out;
+}
+
+}  // namespace tulkun::planner

@@ -1,0 +1,20 @@
+// Human-readable dumps of automata, for debugging and the examples.
+#pragma once
+
+#include <functional>
+#include <string>
+
+#include "regex/dfa.hpp"
+
+namespace tulkun::regex {
+
+/// Names a symbol for output (topology device name or raw number).
+using SymbolNamer = std::function<std::string(Symbol)>;
+
+/// Multi-line state/transition listing.
+[[nodiscard]] std::string describe(const Dfa& dfa, const SymbolNamer& namer);
+
+/// Graphviz dot output.
+[[nodiscard]] std::string to_dot(const Dfa& dfa, const SymbolNamer& namer);
+
+}  // namespace tulkun::regex

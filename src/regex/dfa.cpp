@@ -1,0 +1,358 @@
+#include "regex/dfa.hpp"
+
+#include <algorithm>
+#include <deque>
+#include <map>
+#include <set>
+#include <tuple>
+
+#include "core/ids.hpp"
+
+namespace tulkun::regex {
+
+namespace {
+
+using StateSet = std::vector<std::uint32_t>;  // sorted NFA state ids
+
+void eps_close(const Nfa& nfa, StateSet& set) {
+  std::deque<std::uint32_t> work(set.begin(), set.end());
+  std::set<std::uint32_t> seen(set.begin(), set.end());
+  while (!work.empty()) {
+    const auto s = work.front();
+    work.pop_front();
+    for (const auto t : nfa.states[s].eps) {
+      if (seen.insert(t).second) work.push_back(t);
+    }
+  }
+  set.assign(seen.begin(), seen.end());
+}
+
+struct StateSetHash {
+  std::size_t operator()(const StateSet& s) const noexcept {
+    std::size_t seed = s.size();
+    for (const auto v : s) hash_combine(seed, v);
+    return seed;
+  }
+};
+
+}  // namespace
+
+Dfa Dfa::determinize(const Nfa& nfa) {
+  Dfa dfa;
+  std::unordered_map<StateSet, std::uint32_t, StateSetHash> index;
+  std::deque<StateSet> work;
+
+  const auto intern = [&](StateSet set) -> std::uint32_t {
+    if (set.empty()) return kDead;
+    const auto it = index.find(set);
+    if (it != index.end()) return it->second;
+    const auto id = static_cast<std::uint32_t>(dfa.states_.size());
+    dfa.states_.emplace_back();
+    dfa.states_.back().accepting =
+        std::binary_search(set.begin(), set.end(), nfa.accept);
+    index.emplace(set, id);
+    work.push_back(std::move(set));
+    return id;
+  };
+
+  StateSet start{nfa.start};
+  eps_close(nfa, start);
+  dfa.start_ = intern(std::move(start));
+
+  while (!work.empty()) {
+    const StateSet set = std::move(work.front());
+    work.pop_front();
+    const std::uint32_t id = index.at(set);
+
+    // Gather outgoing consuming edges of this subset.
+    std::vector<const NfaEdge*> edges;
+    for (const auto s : set) {
+      for (const auto& e : nfa.states[s].edges) edges.push_back(&e);
+    }
+
+    // Explicit symbols: every symbol named by any edge label.
+    std::set<Symbol> explicit_syms;
+    for (const auto* e : edges) {
+      explicit_syms.insert(e->on.syms.begin(), e->on.syms.end());
+    }
+
+    const auto target_for = [&](auto matches) -> std::uint32_t {
+      StateSet t;
+      for (const auto* e : edges) {
+        if (matches(*e)) t.push_back(e->to);
+      }
+      std::sort(t.begin(), t.end());
+      t.erase(std::unique(t.begin(), t.end()), t.end());
+      eps_close(nfa, t);
+      return intern(std::move(t));
+    };
+
+    // Any symbol not named anywhere matches exactly the negated labels.
+    const std::uint32_t otherwise = target_for(
+        [](const NfaEdge& e) { return e.on.negated; });
+
+    // Collect transitions before writing: intern() may reallocate the
+    // state vector, so no reference into it can be held across calls.
+    std::unordered_map<Symbol, std::uint32_t> trans;
+    for (const Symbol s : explicit_syms) {
+      const std::uint32_t t = target_for(
+          [s](const NfaEdge& e) { return e.on.matches(s); });
+      if (t != otherwise) trans.emplace(s, t);
+    }
+    dfa.states_[id].otherwise = otherwise;
+    dfa.states_[id].trans = std::move(trans);
+  }
+  return dfa;
+}
+
+std::uint32_t Dfa::next(std::uint32_t from, Symbol s) const {
+  if (from == kDead) return kDead;
+  TULKUN_ASSERT(from < states_.size());
+  const State& st = states_[from];
+  const auto it = st.trans.find(s);
+  return it != st.trans.end() ? it->second : st.otherwise;
+}
+
+bool Dfa::accepts(std::span<const Symbol> word) const {
+  std::uint32_t s = start_;
+  if (s == kDead) return false;
+  for (const Symbol sym : word) {
+    s = next(s, sym);
+    if (s == kDead) return false;
+  }
+  return accepting(s);
+}
+
+Dfa Dfa::totalized() const {
+  Dfa out = *this;
+  const auto sink = static_cast<std::uint32_t>(out.states_.size());
+  bool used = false;
+  for (auto& st : out.states_) {
+    for (auto& [sym, t] : st.trans) {
+      if (t == kDead) {
+        t = sink;
+        used = true;
+      }
+    }
+    if (st.otherwise == kDead) {
+      st.otherwise = sink;
+      used = true;
+    }
+  }
+  if (out.start_ == kDead) {
+    out.start_ = sink;
+    used = true;
+  }
+  if (used || out.states_.empty()) {
+    State s;
+    s.otherwise = sink;
+    out.states_.push_back(std::move(s));
+  }
+  out.accept_dist_.clear();
+  return out;
+}
+
+Dfa Dfa::complement() const {
+  Dfa out = totalized();
+  for (auto& st : out.states_) st.accepting = !st.accepting;
+  return out.minimize();
+}
+
+Dfa Dfa::product(const Dfa& a_in, const Dfa& b_in, bool intersect) {
+  const Dfa a = a_in.totalized();
+  const Dfa b = b_in.totalized();
+
+  Dfa out;
+  std::map<std::pair<std::uint32_t, std::uint32_t>, std::uint32_t> index;
+  std::deque<std::pair<std::uint32_t, std::uint32_t>> work;
+
+  const auto intern = [&](std::uint32_t sa, std::uint32_t sb) {
+    const auto key = std::make_pair(sa, sb);
+    const auto it = index.find(key);
+    if (it != index.end()) return it->second;
+    const auto id = static_cast<std::uint32_t>(out.states_.size());
+    out.states_.emplace_back();
+    out.states_.back().accepting =
+        intersect ? (a.accepting(sa) && b.accepting(sb))
+                  : (a.accepting(sa) || b.accepting(sb));
+    index.emplace(key, id);
+    work.push_back(key);
+    return id;
+  };
+
+  out.start_ = intern(a.start(), b.start());
+  while (!work.empty()) {
+    const auto [sa, sb] = work.front();
+    work.pop_front();
+    const std::uint32_t id = index.at({sa, sb});
+
+    std::set<Symbol> explicit_syms;
+    for (const auto& [sym, t] : a.state(sa).trans) explicit_syms.insert(sym);
+    for (const auto& [sym, t] : b.state(sb).trans) explicit_syms.insert(sym);
+
+    const std::uint32_t otherwise =
+        intern(a.state(sa).otherwise, b.state(sb).otherwise);
+    // Note: writing to out.states_[id] only after all intern() calls, since
+    // intern() may reallocate the state vector.
+    std::unordered_map<Symbol, std::uint32_t> trans;
+    for (const Symbol sym : explicit_syms) {
+      const std::uint32_t t = intern(a.next(sa, sym), b.next(sb, sym));
+      if (t != otherwise) trans.emplace(sym, t);
+    }
+    out.states_[id].otherwise = otherwise;
+    out.states_[id].trans = std::move(trans);
+  }
+  return out.minimize();
+}
+
+void Dfa::compute_accept_reach() {
+  // accept_dist_[s] = minimum symbols to reach an accepting state, over the
+  // reverse transition graph (explicit + otherwise edges).
+  accept_dist_.assign(states_.size(), kInfinity);
+  std::vector<std::vector<std::uint32_t>> rev(states_.size());
+  for (std::uint32_t s = 0; s < states_.size(); ++s) {
+    const State& st = states_[s];
+    if (st.otherwise != kDead) rev[st.otherwise].push_back(s);
+    for (const auto& [sym, t] : st.trans) {
+      if (t != kDead) rev[t].push_back(s);
+    }
+  }
+  std::deque<std::uint32_t> work;
+  for (std::uint32_t s = 0; s < states_.size(); ++s) {
+    if (states_[s].accepting) {
+      accept_dist_[s] = 0;
+      work.push_back(s);
+    }
+  }
+  while (!work.empty()) {
+    const auto s = work.front();
+    work.pop_front();
+    for (const auto p : rev[s]) {
+      if (accept_dist_[p] == kInfinity) {
+        accept_dist_[p] = accept_dist_[s] + 1;
+        work.push_back(p);
+      }
+    }
+  }
+}
+
+bool Dfa::can_accept(std::uint32_t state) const {
+  return min_steps_to_accept(state) != kInfinity;
+}
+
+std::uint32_t Dfa::min_steps_to_accept(std::uint32_t state) const {
+  if (state == kDead) return kInfinity;
+  if (accept_dist_.size() != states_.size()) {
+    const_cast<Dfa*>(this)->compute_accept_reach();
+  }
+  TULKUN_ASSERT(state < states_.size());
+  return accept_dist_[state];
+}
+
+Dfa Dfa::minimize() const {
+  if (states_.empty() || start_ == kDead) return Dfa{};
+
+  // Pre-pass: states that cannot reach acceptance behave like kDead.
+  Dfa pruned = *this;
+  pruned.compute_accept_reach();
+  const auto effective = [&](std::uint32_t t) {
+    return (t == kDead || pruned.accept_dist_[t] == kInfinity) ? kDead : t;
+  };
+  for (auto& st : pruned.states_) {
+    st.otherwise = effective(st.otherwise);
+    std::erase_if(st.trans, [&](const auto& kv) {
+      return effective(kv.second) == kDead && st.otherwise == kDead;
+    });
+    for (auto& [sym, t] : st.trans) t = effective(t);
+  }
+  if (effective(pruned.start_) == kDead) return Dfa{};
+
+  // Moore partition refinement. Class of kDead is a fixed sentinel.
+  constexpr std::uint32_t kDeadClass = ~0U;
+  const std::size_t n = pruned.states_.size();
+  std::vector<std::uint32_t> cls(n);
+  for (std::size_t s = 0; s < n; ++s) {
+    cls[s] = pruned.states_[s].accepting ? 1 : 0;
+  }
+
+  const auto cls_of = [&](std::uint32_t t) {
+    return t == kDead ? kDeadClass : cls[t];
+  };
+
+  while (true) {
+    // Signature: (old class, class(otherwise), per-symbol class deviations).
+    using Sig = std::tuple<std::uint32_t, std::uint32_t,
+                           std::vector<std::pair<Symbol, std::uint32_t>>>;
+    std::map<Sig, std::uint32_t> sig_to_class;
+    std::vector<std::uint32_t> next_cls(n);
+    for (std::size_t s = 0; s < n; ++s) {
+      const std::uint32_t otherwise_cls =
+          cls_of(pruned.states_[s].otherwise);
+      std::vector<std::pair<Symbol, std::uint32_t>> deviations;
+      for (const auto& [sym, t] : pruned.states_[s].trans) {
+        const std::uint32_t c = cls_of(t);
+        if (c != otherwise_cls) deviations.emplace_back(sym, c);
+      }
+      std::sort(deviations.begin(), deviations.end());
+      Sig sig{cls[s], otherwise_cls, std::move(deviations)};
+      const auto [it, inserted] = sig_to_class.emplace(
+          std::move(sig), static_cast<std::uint32_t>(sig_to_class.size()));
+      next_cls[s] = it->second;
+    }
+    bool changed = false;
+    for (std::size_t s = 0; s < n; ++s) {
+      if (next_cls[s] != cls[s]) {
+        changed = true;
+        break;
+      }
+    }
+    cls = std::move(next_cls);
+    if (!changed) break;
+  }
+
+  // Rebuild: one state per class reachable from the start class.
+  std::vector<std::uint32_t> rep_of_class;  // class -> representative state
+  {
+    std::uint32_t max_cls = 0;
+    for (const auto c : cls) max_cls = std::max(max_cls, c);
+    rep_of_class.assign(max_cls + 1, kDead);
+    for (std::uint32_t s = 0; s < n; ++s) {
+      if (rep_of_class[cls[s]] == kDead) rep_of_class[cls[s]] = s;
+    }
+  }
+
+  Dfa out;
+  std::unordered_map<std::uint32_t, std::uint32_t> class_to_new;
+  std::deque<std::uint32_t> work;
+  const auto intern_class = [&](std::uint32_t c) -> std::uint32_t {
+    if (c == kDeadClass) return kDead;
+    const auto it = class_to_new.find(c);
+    if (it != class_to_new.end()) return it->second;
+    const auto id = static_cast<std::uint32_t>(out.states_.size());
+    out.states_.emplace_back();
+    out.states_.back().accepting =
+        pruned.states_[rep_of_class[c]].accepting;
+    class_to_new.emplace(c, id);
+    work.push_back(c);
+    return id;
+  };
+
+  out.start_ = intern_class(cls[pruned.start_]);
+  while (!work.empty()) {
+    const auto c = work.front();
+    work.pop_front();
+    const std::uint32_t id = class_to_new.at(c);
+    const State& rep = pruned.states_[rep_of_class[c]];
+    const std::uint32_t otherwise = intern_class(cls_of(rep.otherwise));
+    std::unordered_map<Symbol, std::uint32_t> trans;
+    for (const auto& [sym, t] : rep.trans) {
+      const std::uint32_t nt = intern_class(cls_of(t));
+      if (nt != otherwise) trans.emplace(sym, nt);
+    }
+    out.states_[id].otherwise = otherwise;
+    out.states_[id].trans = std::move(trans);
+  }
+  return out;
+}
+
+}  // namespace tulkun::regex

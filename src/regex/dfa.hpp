@@ -1,0 +1,78 @@
+// DFA over the device alphabet, built by subset construction.
+//
+// Transitions are stored as an explicit (symbol -> state) map plus a
+// default target for all other symbols, so the alphabet never needs to be
+// materialized; kDead marks a missing transition.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <unordered_map>
+#include <vector>
+
+#include "regex/nfa.hpp"
+
+namespace tulkun::regex {
+
+class Dfa {
+ public:
+  /// Pseudo-state meaning "reject everything from here".
+  static constexpr std::uint32_t kDead = ~0U;
+
+  struct State {
+    std::unordered_map<Symbol, std::uint32_t> trans;
+    std::uint32_t otherwise = kDead;  // target for symbols not in trans
+    bool accepting = false;
+  };
+
+  /// Deterministic automaton of `nfa` (subset construction).
+  [[nodiscard]] static Dfa determinize(const Nfa& nfa);
+
+  /// Product automaton: accepts L(a) ∩ L(b) (intersect=true) or
+  /// L(a) ∪ L(b) (intersect=false).
+  [[nodiscard]] static Dfa product(const Dfa& a, const Dfa& b, bool intersect);
+
+  /// Complement (accepts exactly the rejected strings).
+  [[nodiscard]] Dfa complement() const;
+
+  /// Moore-refinement minimization; also drops unreachable and dead states.
+  [[nodiscard]] Dfa minimize() const;
+
+  /// One transition step; `from` may be kDead (stays dead).
+  [[nodiscard]] std::uint32_t next(std::uint32_t from, Symbol s) const;
+
+  [[nodiscard]] bool accepts(std::span<const Symbol> word) const;
+
+  /// True iff some accepting state is reachable from `state`
+  /// (kDead -> false). Precomputed; O(1) per query.
+  [[nodiscard]] bool can_accept(std::uint32_t state) const;
+
+  /// Minimum number of further symbols needed to reach acceptance from
+  /// `state` assuming any symbol is available; kInfinity if none.
+  /// Used as an admissible pruning bound during path enumeration.
+  static constexpr std::uint32_t kInfinity = ~0U;
+  [[nodiscard]] std::uint32_t min_steps_to_accept(std::uint32_t state) const;
+
+  [[nodiscard]] std::uint32_t start() const { return start_; }
+  [[nodiscard]] std::size_t state_count() const { return states_.size(); }
+  [[nodiscard]] const State& state(std::uint32_t i) const {
+    TULKUN_ASSERT(i < states_.size());
+    return states_[i];
+  }
+  [[nodiscard]] bool accepting(std::uint32_t i) const {
+    return i != kDead && states_[i].accepting;
+  }
+
+ private:
+  void compute_accept_reach();
+  /// Adds an explicit non-accepting sink and points every kDead edge at it,
+  /// making the automaton total (needed by complement/product).
+  [[nodiscard]] Dfa totalized() const;
+
+  std::vector<State> states_;
+  std::uint32_t start_ = kDead;  // kDead: the empty automaton
+  // min_steps_to_accept per state; computed lazily on first query.
+  mutable std::vector<std::uint32_t> accept_dist_;
+};
+
+}  // namespace tulkun::regex

@@ -1,0 +1,64 @@
+// Automaton describing/dot-dump helpers (the minimization algorithm itself
+// lives with the Dfa class in dfa.cpp).
+#include <algorithm>
+#include <sstream>
+#include <vector>
+
+#include "regex/describe.hpp"
+
+namespace tulkun::regex {
+
+namespace {
+
+std::vector<std::pair<Symbol, std::uint32_t>> sorted_trans(
+    const Dfa::State& st) {
+  std::vector<std::pair<Symbol, std::uint32_t>> out(st.trans.begin(),
+                                                    st.trans.end());
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+std::string target_name(std::uint32_t t) {
+  return t == Dfa::kDead ? "DEAD" : "q" + std::to_string(t);
+}
+
+}  // namespace
+
+std::string describe(const Dfa& dfa, const SymbolNamer& namer) {
+  std::ostringstream out;
+  out << "start: " << target_name(dfa.start()) << "\n";
+  for (std::uint32_t s = 0; s < dfa.state_count(); ++s) {
+    const auto& st = dfa.state(s);
+    out << "q" << s << (st.accepting ? " (accept)" : "") << ":\n";
+    for (const auto& [sym, t] : sorted_trans(st)) {
+      out << "  " << namer(sym) << " -> " << target_name(t) << "\n";
+    }
+    out << "  * -> " << target_name(st.otherwise) << "\n";
+  }
+  return out.str();
+}
+
+std::string to_dot(const Dfa& dfa, const SymbolNamer& namer) {
+  std::ostringstream out;
+  out << "digraph dfa {\n  rankdir=LR;\n";
+  if (dfa.start() != Dfa::kDead) {
+    out << "  __start [shape=point];\n  __start -> q" << dfa.start() << ";\n";
+  }
+  for (std::uint32_t s = 0; s < dfa.state_count(); ++s) {
+    const auto& st = dfa.state(s);
+    out << "  q" << s << " [shape="
+        << (st.accepting ? "doublecircle" : "circle") << "];\n";
+    for (const auto& [sym, t] : sorted_trans(st)) {
+      if (t == Dfa::kDead) continue;
+      out << "  q" << s << " -> q" << t << " [label=\"" << namer(sym)
+          << "\"];\n";
+    }
+    if (st.otherwise != Dfa::kDead) {
+      out << "  q" << s << " -> q" << st.otherwise << " [label=\"*\"];\n";
+    }
+  }
+  out << "}\n";
+  return out.str();
+}
+
+}  // namespace tulkun::regex

@@ -1,0 +1,97 @@
+#include "regex/nfa.hpp"
+
+namespace tulkun::regex {
+
+namespace {
+
+/// Incremental Thompson builder; each construct returns (start, accept).
+class Builder {
+ public:
+  std::pair<std::uint32_t, std::uint32_t> build(const Ast& ast) {
+    switch (ast.kind) {
+      case AstKind::Symbols: {
+        const auto s = new_state();
+        const auto t = new_state();
+        states_[s].edges.push_back(NfaEdge{ast.symbols, t});
+        return {s, t};
+      }
+      case AstKind::Epsilon: {
+        const auto s = new_state();
+        const auto t = new_state();
+        states_[s].eps.push_back(t);
+        return {s, t};
+      }
+      case AstKind::Concat: {
+        TULKUN_ASSERT(!ast.children.empty());
+        auto [s, t] = build(ast.children.front());
+        for (std::size_t i = 1; i < ast.children.size(); ++i) {
+          auto [s2, t2] = build(ast.children[i]);
+          states_[t].eps.push_back(s2);
+          t = t2;
+        }
+        return {s, t};
+      }
+      case AstKind::Union: {
+        TULKUN_ASSERT(!ast.children.empty());
+        const auto s = new_state();
+        const auto t = new_state();
+        for (const Ast& child : ast.children) {
+          auto [cs, ct] = build(child);
+          states_[s].eps.push_back(cs);
+          states_[ct].eps.push_back(t);
+        }
+        return {s, t};
+      }
+      case AstKind::Star: {
+        auto [is, it] = build(ast.children.front());
+        const auto s = new_state();
+        const auto t = new_state();
+        states_[s].eps.push_back(is);
+        states_[s].eps.push_back(t);
+        states_[it].eps.push_back(is);
+        states_[it].eps.push_back(t);
+        return {s, t};
+      }
+      case AstKind::Plus: {
+        auto [is, it] = build(ast.children.front());
+        const auto s = new_state();
+        const auto t = new_state();
+        states_[s].eps.push_back(is);
+        states_[it].eps.push_back(is);
+        states_[it].eps.push_back(t);
+        return {s, t};
+      }
+      case AstKind::Optional: {
+        auto [is, it] = build(ast.children.front());
+        const auto s = new_state();
+        const auto t = new_state();
+        states_[s].eps.push_back(is);
+        states_[s].eps.push_back(t);
+        states_[it].eps.push_back(t);
+        return {s, t};
+      }
+    }
+    TULKUN_ASSERT(false);
+    return {0, 0};
+  }
+
+  std::vector<NfaState> take_states() { return std::move(states_); }
+
+ private:
+  std::uint32_t new_state() {
+    states_.emplace_back();
+    return static_cast<std::uint32_t>(states_.size() - 1);
+  }
+
+  std::vector<NfaState> states_;
+};
+
+}  // namespace
+
+Nfa build_nfa(const Ast& ast) {
+  Builder b;
+  const auto [start, accept] = b.build(ast);
+  return Nfa{b.take_states(), start, accept};
+}
+
+}  // namespace tulkun::regex

@@ -1,0 +1,31 @@
+// Thompson construction: regex AST -> NFA with epsilon transitions.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "regex/parser.hpp"
+
+namespace tulkun::regex {
+
+struct NfaEdge {
+  SymbolSet on;
+  std::uint32_t to = 0;
+};
+
+struct NfaState {
+  std::vector<NfaEdge> edges;       // consuming transitions
+  std::vector<std::uint32_t> eps;   // epsilon transitions
+};
+
+/// NFA with a single start and a single accepting state (Thompson shape).
+struct Nfa {
+  std::vector<NfaState> states;
+  std::uint32_t start = 0;
+  std::uint32_t accept = 0;
+};
+
+/// Builds the Thompson NFA of `ast`.
+[[nodiscard]] Nfa build_nfa(const Ast& ast);
+
+}  // namespace tulkun::regex

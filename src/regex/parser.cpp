@@ -1,0 +1,205 @@
+#include "regex/parser.hpp"
+
+#include <algorithm>
+#include <cctype>
+
+namespace tulkun::regex {
+
+bool SymbolSet::matches(Symbol s) const {
+  const bool in = std::binary_search(syms.begin(), syms.end(), s);
+  return negated ? !in : in;
+}
+
+SymbolSet SymbolSet::of(std::vector<Symbol> ss) {
+  std::sort(ss.begin(), ss.end());
+  ss.erase(std::unique(ss.begin(), ss.end()), ss.end());
+  return SymbolSet{false, std::move(ss)};
+}
+
+SymbolSet SymbolSet::none_of(std::vector<Symbol> ss) {
+  std::sort(ss.begin(), ss.end());
+  ss.erase(std::unique(ss.begin(), ss.end()), ss.end());
+  return SymbolSet{true, std::move(ss)};
+}
+
+Ast Ast::symbols_node(SymbolSet s) {
+  Ast a;
+  a.kind = AstKind::Symbols;
+  a.symbols = std::move(s);
+  return a;
+}
+
+Ast Ast::epsilon() { return Ast{}; }
+
+Ast Ast::concat(std::vector<Ast> parts) {
+  if (parts.size() == 1) return std::move(parts.front());
+  Ast a;
+  a.kind = AstKind::Concat;
+  a.children = std::move(parts);
+  return a;
+}
+
+Ast Ast::alternation(std::vector<Ast> parts) {
+  if (parts.size() == 1) return std::move(parts.front());
+  Ast a;
+  a.kind = AstKind::Union;
+  a.children = std::move(parts);
+  return a;
+}
+
+namespace {
+Ast unary(AstKind kind, Ast inner) {
+  Ast a;
+  a.kind = kind;
+  a.children.push_back(std::move(inner));
+  return a;
+}
+}  // namespace
+
+Ast Ast::star(Ast inner) { return unary(AstKind::Star, std::move(inner)); }
+Ast Ast::plus(Ast inner) { return unary(AstKind::Plus, std::move(inner)); }
+Ast Ast::optional(Ast inner) {
+  return unary(AstKind::Optional, std::move(inner));
+}
+
+namespace {
+
+/// Recursive-descent parser over the grammar in the header.
+class Parser {
+ public:
+  Parser(std::string_view text, const NameResolver& resolve)
+      : text_(text), resolve_(resolve) {}
+
+  Ast run() {
+    Ast result = expr();
+    skip_ws();
+    if (pos_ != text_.size()) {
+      fail("unexpected trailing input");
+    }
+    return result;
+  }
+
+ private:
+  [[noreturn]] void fail(const std::string& why) const {
+    throw RegexError(why + " at offset " + std::to_string(pos_) + " in '" +
+                     std::string(text_) + "'");
+  }
+
+  void skip_ws() {
+    while (pos_ < text_.size() &&
+           std::isspace(static_cast<unsigned char>(text_[pos_]))) {
+      ++pos_;
+    }
+  }
+
+  [[nodiscard]] char peek() {
+    skip_ws();
+    return pos_ < text_.size() ? text_[pos_] : '\0';
+  }
+
+  char take() {
+    skip_ws();
+    if (pos_ >= text_.size()) fail("unexpected end of input");
+    return text_[pos_++];
+  }
+
+  [[nodiscard]] static bool is_ident_char(char c) {
+    return std::isalnum(static_cast<unsigned char>(c)) || c == '_' ||
+           c == '-' || c == ':';
+  }
+
+  std::string_view ident() {
+    skip_ws();
+    const std::size_t start = pos_;
+    while (pos_ < text_.size() && is_ident_char(text_[pos_])) ++pos_;
+    if (pos_ == start) fail("expected device name");
+    return text_.substr(start, pos_ - start);
+  }
+
+  Ast expr() {
+    std::vector<Ast> alts;
+    alts.push_back(concat());
+    while (peek() == '|') {
+      take();
+      alts.push_back(concat());
+    }
+    return Ast::alternation(std::move(alts));
+  }
+
+  Ast concat() {
+    std::vector<Ast> parts;
+    while (true) {
+      const char c = peek();
+      if (c == '\0' || c == ')' || c == '|') break;
+      parts.push_back(postfix());
+    }
+    if (parts.empty()) return Ast::epsilon();
+    return Ast::concat(std::move(parts));
+  }
+
+  Ast postfix() {
+    Ast a = atom();
+    while (true) {
+      const char c = peek();
+      if (c == '*') {
+        take();
+        a = Ast::star(std::move(a));
+      } else if (c == '+') {
+        take();
+        a = Ast::plus(std::move(a));
+      } else if (c == '?') {
+        take();
+        a = Ast::optional(std::move(a));
+      } else {
+        break;
+      }
+    }
+    return a;
+  }
+
+  Ast atom() {
+    const char c = peek();
+    if (c == '.') {
+      take();
+      return Ast::symbols_node(SymbolSet::any());
+    }
+    if (c == '(') {
+      take();
+      Ast inner = expr();
+      if (take() != ')') fail("expected ')'");
+      return inner;
+    }
+    if (c == '[') {
+      take();
+      bool negated = false;
+      if (peek() == '^') {
+        take();
+        negated = true;
+      }
+      std::vector<Symbol> syms;
+      while (peek() != ']') {
+        syms.push_back(resolve_(ident()));
+      }
+      take();  // ']'
+      if (syms.empty()) fail("empty character class");
+      return Ast::symbols_node(negated ? SymbolSet::none_of(std::move(syms))
+                                       : SymbolSet::of(std::move(syms)));
+    }
+    if (is_ident_char(c)) {
+      return Ast::symbols_node(SymbolSet::single(resolve_(ident())));
+    }
+    fail(std::string("unexpected character '") + c + "'");
+  }
+
+  std::string_view text_;
+  const NameResolver& resolve_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace
+
+Ast parse(std::string_view text, const NameResolver& resolve) {
+  return Parser(text, resolve).run();
+}
+
+}  // namespace tulkun::regex

@@ -1,0 +1,76 @@
+// Regular expressions over the set of network devices (§3, §4.1).
+//
+// Grammar (whitespace-insensitive; device names are identifiers):
+//
+//   expr    := concat ('|' concat)*
+//   concat  := postfix+
+//   postfix := atom ('*' | '+' | '?')*
+//   atom    := IDENT | '.' | '(' expr ')' | '[' '^'? IDENT+ ']'
+//
+// '.' matches any device; '[^X Y]' matches any device except X and Y.
+// Example from the paper: "S .* W .* D" (waypoint W between S and D).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string_view>
+#include <vector>
+
+#include "core/error.hpp"
+
+namespace tulkun::regex {
+
+/// A symbol is a device identifier (possibly a virtual device added by the
+/// planner for compound invariants).
+using Symbol = std::uint32_t;
+
+/// A set of symbols, possibly complemented — the label of one regex atom
+/// or NFA edge. Keeping labels symbolic avoids materializing the alphabet.
+struct SymbolSet {
+  bool negated = false;         // true: matches all symbols NOT in syms
+  std::vector<Symbol> syms;     // sorted ascending
+
+  [[nodiscard]] bool matches(Symbol s) const;
+
+  static SymbolSet any() { return SymbolSet{true, {}}; }
+  static SymbolSet single(Symbol s) { return SymbolSet{false, {s}}; }
+  static SymbolSet of(std::vector<Symbol> ss);
+  static SymbolSet none_of(std::vector<Symbol> ss);
+
+  friend bool operator==(const SymbolSet&, const SymbolSet&) = default;
+};
+
+enum class AstKind : std::uint8_t {
+  Symbols,   ///< one SymbolSet occurrence
+  Epsilon,   ///< the empty string (used by '?' desugaring)
+  Concat,
+  Union,
+  Star,
+  Plus,
+  Optional,
+};
+
+/// Regex abstract syntax tree. Plain recursive value type.
+struct Ast {
+  AstKind kind = AstKind::Epsilon;
+  SymbolSet symbols;           // valid when kind == Symbols
+  std::vector<Ast> children;   // operands for the composite kinds
+
+  static Ast symbols_node(SymbolSet s);
+  static Ast epsilon();
+  static Ast concat(std::vector<Ast> parts);
+  static Ast alternation(std::vector<Ast> parts);
+  static Ast star(Ast inner);
+  static Ast plus(Ast inner);
+  static Ast optional(Ast inner);
+};
+
+/// Maps a device identifier in regex text to its Symbol.
+/// Throws RegexError (or any Error) for unknown names.
+using NameResolver = std::function<Symbol(std::string_view)>;
+
+/// Parses regex text. Throws RegexError on syntax errors.
+[[nodiscard]] Ast parse(std::string_view text, const NameResolver& resolve);
+
+}  // namespace tulkun::regex

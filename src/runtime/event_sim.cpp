@@ -1,0 +1,151 @@
+#include "runtime/event_sim.hpp"
+
+#include <chrono>
+
+#include "dvm/codec.hpp"
+
+namespace tulkun::runtime {
+
+EventSimulator::EventSimulator(const topo::Topology& topo, SimConfig cfg)
+    : topo_(&topo),
+      cfg_(cfg),
+      busy_until_(topo.device_count(), 0.0),
+      busy_total_(topo.device_count(), 0.0) {}
+
+void EventSimulator::make_devices(packet::PacketSpace& space,
+                                  dvm::EngineConfig ecfg) {
+  devices_.clear();
+  devices_.reserve(topo_->device_count());
+  for (DeviceId d = 0; d < topo_->device_count(); ++d) {
+    devices_.push_back(std::make_unique<verifier::OnDeviceVerifier>(
+        d, *topo_, space, ecfg));
+  }
+}
+
+verifier::OnDeviceVerifier& EventSimulator::device(DeviceId d) {
+  TULKUN_ASSERT(d < devices_.size());
+  return *devices_[d];
+}
+
+void EventSimulator::install(const planner::InvariantPlan& plan) {
+  for (auto& dev : devices_) dev->install(plan);
+}
+
+void EventSimulator::install_multipath(const planner::MultiPathPlan& plan) {
+  for (auto& dev : devices_) dev->install_multipath(plan);
+}
+
+void EventSimulator::post(double t, std::shared_ptr<Work> work) {
+  queue_.push(Event{t, next_seq_++, std::move(work)});
+}
+
+void EventSimulator::post_initialize(DeviceId dev, fib::FibTable fib,
+                                     double t) {
+  auto w = std::make_shared<Work>();
+  w->kind = Work::Kind::Init;
+  w->dev = dev;
+  w->fib = std::move(fib);
+  post(t, std::move(w));
+}
+
+std::shared_ptr<const fib::FibUpdate> EventSimulator::post_rule_update(
+    DeviceId dev, fib::FibUpdate update, double t) {
+  auto w = std::make_shared<Work>();
+  w->kind = Work::Kind::Update;
+  w->dev = dev;
+  w->update = std::move(update);
+  std::shared_ptr<const fib::FibUpdate> handle(w, &w->update);
+  post(t, std::move(w));
+  return handle;
+}
+
+void EventSimulator::post_link_event(LinkId link, bool up, double t) {
+  // Both endpoints detect the event locally.
+  for (const DeviceId endpoint : {link.from, link.to}) {
+    auto w = std::make_shared<Work>();
+    w->kind = Work::Kind::LinkEvent;
+    w->dev = endpoint;
+    w->link = link;
+    w->link_up = up;
+    post(t, std::move(w));
+  }
+}
+
+void EventSimulator::dispatch_outgoing(DeviceId src, double t,
+                                       std::vector<dvm::Envelope> msgs) {
+  for (auto& env : msgs) {
+    TULKUN_ASSERT(env.src == src);
+    // DVM traffic flows between neighbors; comparator reports (§7) may
+    // cross several hops and pay the lowest-latency path.
+    const double latency =
+        (topo_->has_link(env.src, env.dst)
+             ? topo_->link_latency(env.src, env.dst)
+             : topo_->latency_distances_to(env.dst)[env.src]) +
+        2.0 * cfg_.proxy_latency;
+    if (cfg_.account_bytes) {
+      stats_.bytes += dvm::encoded_size(env);
+    }
+    ++stats_.messages;
+    auto w = std::make_shared<Work>();
+    w->kind = Work::Kind::Message;
+    w->dev = env.dst;
+    w->env = std::move(env);
+    post(t + latency, std::move(w));
+  }
+}
+
+double EventSimulator::run() {
+  double last_completion = 0.0;
+  while (!queue_.empty()) {
+    const Event ev = queue_.top();
+    queue_.pop();
+    Work& w = *ev.work;
+    verifier::OnDeviceVerifier& dev = device(w.dev);
+
+    const double start = std::max(ev.time, busy_until_[w.dev]);
+    const auto host_t0 = std::chrono::steady_clock::now();
+    std::vector<dvm::Envelope> out;
+    switch (w.kind) {
+      case Work::Kind::Init:
+        out = dev.initialize(std::move(w.fib));
+        break;
+      case Work::Kind::Update:
+        out = dev.apply_rule_update(w.update);
+        break;
+      case Work::Kind::Message:
+        out = dev.on_message(w.env);
+        break;
+      case Work::Kind::LinkEvent:
+        out = dev.on_local_link_event(w.link, w.link_up);
+        break;
+    }
+    const double host_dur =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                      host_t0)
+            .count();
+    const double dur = host_dur * cfg_.cpu_scale;
+    const double completion = start + dur;
+    busy_until_[w.dev] = completion;
+    busy_total_[w.dev] += dur;
+    last_completion = std::max(last_completion, completion);
+
+    ++stats_.events;
+    if (w.kind == Work::Kind::Message) {
+      stats_.per_message_seconds.add(dur);
+    }
+    dispatch_outgoing(w.dev, completion, std::move(out));
+  }
+  return last_completion;
+}
+
+std::vector<dvm::Violation> EventSimulator::violations() const {
+  std::vector<dvm::Violation> out;
+  for (const auto& dev : devices_) {
+    auto v = dev->violations();
+    out.insert(out.end(), std::make_move_iterator(v.begin()),
+               std::make_move_iterator(v.end()));
+  }
+  return out;
+}
+
+}  // namespace tulkun::runtime

@@ -1,0 +1,5 @@
+#include "runtime/metrics.hpp"
+
+// Currently header-only; kept as a translation unit anchor so the metrics
+// types have a home if they grow out-of-line members.
+namespace tulkun::runtime {}

@@ -1,0 +1,22 @@
+// Runtime measurement containers shared by the simulator, the thread
+// runtime, and the evaluation harness.
+#pragma once
+
+#include <cstdint>
+
+#include "core/stats.hpp"
+
+namespace tulkun::runtime {
+
+/// Aggregate counters of one run.
+struct RunStats {
+  std::uint64_t events = 0;        // handler invocations
+  std::uint64_t messages = 0;      // envelopes delivered
+  std::uint64_t bytes = 0;         // wire bytes (when accounting enabled)
+  Samples per_message_seconds;     // host-measured handler durations
+  Samples per_device_busy_seconds; // total busy time per device (filled at end)
+};
+
+/// Localizing helpers for distributed runtimes live in thread_runtime.hpp.
+
+}  // namespace tulkun::runtime

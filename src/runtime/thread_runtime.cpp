@@ -1,0 +1,210 @@
+#include "runtime/thread_runtime.hpp"
+
+#include "bdd/serialize.hpp"
+#include "dvm/codec.hpp"
+
+namespace tulkun::runtime {
+
+namespace {
+
+packet::PacketSet transfer(const packet::PacketSet& p,
+                           packet::PacketSpace& target) {
+  const auto bytes = bdd::serialize(*p.manager(), p.ref());
+  return target.wrap(bdd::deserialize(target.manager(), bytes));
+}
+
+}  // namespace
+
+spec::Invariant localize_invariant(const spec::Invariant& inv,
+                                   packet::PacketSpace& target) {
+  spec::Invariant out = inv;
+  out.packet_space = transfer(inv.packet_space, target);
+  return out;
+}
+
+fib::Rule localize_rule(const fib::Rule& rule, packet::PacketSpace& target) {
+  fib::Rule out = rule;
+  if (rule.extra_match) {
+    out.extra_match = transfer(*rule.extra_match, target);
+  }
+  return out;
+}
+
+fib::FibTable localize_fib(const fib::FibTable& fib,
+                           packet::PacketSpace& target) {
+  fib::FibTable out;
+  for (const fib::Rule* r : fib.ordered()) {
+    out.insert(localize_rule(*r, target));
+  }
+  return out;
+}
+
+ThreadRuntime::ThreadRuntime(const topo::Topology& topo,
+                             dvm::EngineConfig cfg)
+    : topo_(&topo), cfg_(cfg) {
+  workers_.reserve(topo.device_count());
+  for (DeviceId d = 0; d < topo.device_count(); ++d) {
+    auto w = std::make_unique<Worker>();
+    w->dev = d;
+    w->space = std::make_unique<packet::PacketSpace>();
+    w->verifier = std::make_unique<verifier::OnDeviceVerifier>(
+        d, topo, *w->space, cfg);
+    workers_.push_back(std::move(w));
+  }
+  for (auto& w : workers_) {
+    w->thread = std::thread([this, worker = w.get()] { worker_loop(*worker); });
+  }
+}
+
+ThreadRuntime::~ThreadRuntime() {
+  stopping_.store(true);
+  for (auto& w : workers_) {
+    std::lock_guard<std::mutex> lock(w->mu);
+    w->cv.notify_all();
+  }
+  for (auto& w : workers_) {
+    if (w->thread.joinable()) w->thread.join();
+  }
+}
+
+void ThreadRuntime::install(const planner::InvariantPlan& plan) {
+  // Installation happens before threads receive work; localize on the
+  // caller thread while each device space is otherwise untouched.
+  wait_quiescent();
+  for (auto& w : workers_) {
+    std::lock_guard<std::mutex> lock(w->mu);
+    planner::InvariantPlan local = plan;
+    local.inv = localize_invariant(plan.inv, *w->space);
+    w->verifier->install(local);
+  }
+}
+
+void ThreadRuntime::enqueue(DeviceId dev, Job job) {
+  {
+    std::lock_guard<std::mutex> lock(inflight_mu_);
+    ++inflight_;
+  }
+  Worker& w = *workers_[dev];
+  {
+    std::lock_guard<std::mutex> lock(w.mu);
+    w.queue.push_back(std::move(job));
+  }
+  w.cv.notify_one();
+}
+
+void ThreadRuntime::finish_one() {
+  std::lock_guard<std::mutex> lock(inflight_mu_);
+  --inflight_;
+  if (inflight_ == 0) inflight_cv_.notify_all();
+}
+
+ThreadRuntime::WireRule ThreadRuntime::to_wire(const fib::Rule& rule) {
+  WireRule out;
+  out.rule = rule;
+  if (rule.extra_match) {
+    out.extra_bytes =
+        bdd::serialize(*rule.extra_match->manager(), rule.extra_match->ref());
+    out.rule.extra_match.reset();
+  }
+  return out;
+}
+
+fib::Rule ThreadRuntime::from_wire(const WireRule& wire,
+                                   packet::PacketSpace& space) {
+  fib::Rule out = wire.rule;
+  if (!wire.extra_bytes.empty()) {
+    out.extra_match =
+        space.wrap(bdd::deserialize(space.manager(), wire.extra_bytes));
+  }
+  return out;
+}
+
+void ThreadRuntime::post_initialize(DeviceId dev, const fib::FibTable& fib) {
+  Job job;
+  job.kind = Job::Kind::Init;
+  // Flatten to wire form on the caller thread (reads only the caller's
+  // space); the device thread rebuilds rules in its own space.
+  for (const fib::Rule* r : fib.ordered()) job.rules.push_back(to_wire(*r));
+  enqueue(dev, std::move(job));
+}
+
+void ThreadRuntime::post_rule_update(DeviceId dev,
+                                     const fib::FibUpdate& update) {
+  Job job;
+  job.kind = Job::Kind::Update;
+  job.update = update;
+  if (update.kind == fib::FibUpdate::Kind::Insert) {
+    job.update_rule = to_wire(update.rule);
+    job.update.rule = fib::Rule{};
+  }
+  enqueue(dev, std::move(job));
+}
+
+void ThreadRuntime::wait_quiescent() {
+  std::unique_lock<std::mutex> lock(inflight_mu_);
+  inflight_cv_.wait(lock, [this] { return inflight_ == 0; });
+}
+
+std::vector<dvm::Violation> ThreadRuntime::violations() {
+  std::vector<dvm::Violation> out;
+  for (auto& w : workers_) {
+    std::lock_guard<std::mutex> lock(w->mu);  // memory barrier
+    auto v = w->verifier->violations();
+    out.insert(out.end(), std::make_move_iterator(v.begin()),
+               std::make_move_iterator(v.end()));
+  }
+  return out;
+}
+
+void ThreadRuntime::handle(Worker& w, Job& job) {
+  std::vector<dvm::Envelope> out;
+  switch (job.kind) {
+    case Job::Kind::Init: {
+      fib::FibTable local;
+      for (const auto& wr : job.rules) {
+        local.insert(from_wire(wr, *w.space));
+      }
+      out = w.verifier->initialize(std::move(local));
+      break;
+    }
+    case Job::Kind::Update: {
+      fib::FibUpdate local = job.update;
+      if (local.kind == fib::FibUpdate::Kind::Insert) {
+        local.rule = from_wire(job.update_rule, *w.space);
+      }
+      out = w.verifier->apply_rule_update(local);
+      break;
+    }
+    case Job::Kind::Bytes: {
+      const dvm::Envelope env = dvm::decode(job.bytes, *w.space);
+      out = w.verifier->on_message(env);
+      break;
+    }
+  }
+  // Encode outgoing envelopes in this thread (sender's space), then hand
+  // the bytes to the destination thread.
+  for (const auto& env : out) {
+    Job next;
+    next.kind = Job::Kind::Bytes;
+    next.bytes = dvm::encode(env);
+    enqueue(env.dst, std::move(next));
+  }
+}
+
+void ThreadRuntime::worker_loop(Worker& w) {
+  while (true) {
+    std::vector<Job> batch;
+    {
+      std::unique_lock<std::mutex> lock(w.mu);
+      w.cv.wait(lock, [&] { return stopping_.load() || !w.queue.empty(); });
+      if (stopping_.load() && w.queue.empty()) return;
+      batch.swap(w.queue);
+    }
+    for (auto& job : batch) {
+      handle(w, job);
+      finish_one();
+    }
+  }
+}
+
+}  // namespace tulkun::runtime

@@ -1,0 +1,182 @@
+#include "spec/ast.hpp"
+
+#include <algorithm>
+
+#include "core/error.hpp"
+
+namespace tulkun::spec {
+
+bool LengthFilter::admits(std::uint32_t len, std::uint32_t shortest) const {
+  const std::int64_t bound =
+      base == Base::Shortest
+          ? static_cast<std::int64_t>(shortest) + offset
+          : offset;
+  const auto l = static_cast<std::int64_t>(len);
+  switch (cmp) {
+    case Cmp::Eq: return l == bound;
+    case Cmp::Le: return l <= bound;
+    case Cmp::Lt: return l < bound;
+    case Cmp::Ge: return l >= bound;
+    case Cmp::Gt: return l > bound;
+  }
+  return false;
+}
+
+std::optional<std::uint32_t> LengthFilter::upper_bound(
+    std::uint32_t shortest) const {
+  const std::int64_t bound =
+      base == Base::Shortest
+          ? static_cast<std::int64_t>(shortest) + offset
+          : offset;
+  switch (cmp) {
+    case Cmp::Eq:
+    case Cmp::Le:
+      return bound < 0 ? 0 : static_cast<std::uint32_t>(bound);
+    case Cmp::Lt:
+      return bound <= 0 ? 0 : static_cast<std::uint32_t>(bound - 1);
+    case Cmp::Ge:
+    case Cmp::Gt:
+      return std::nullopt;
+  }
+  return std::nullopt;
+}
+
+std::string LengthFilter::to_string() const {
+  std::string out;
+  switch (cmp) {
+    case Cmp::Eq: out = "=="; break;
+    case Cmp::Le: out = "<="; break;
+    case Cmp::Lt: out = "<"; break;
+    case Cmp::Ge: out = ">="; break;
+    case Cmp::Gt: out = ">"; break;
+  }
+  out += " ";
+  if (base == Base::Shortest) {
+    out += "shortest";
+    if (offset > 0) out += "+" + std::to_string(offset);
+    if (offset < 0) out += std::to_string(offset);
+  } else {
+    out += std::to_string(offset);
+  }
+  return out;
+}
+
+bool PathExpr::bounded() const {
+  if (loop_free) return true;
+  return std::any_of(filters.begin(), filters.end(), [](const LengthFilter& f) {
+    // Any filter with a finite upper bound (for some shortest value) works;
+    // Ge/Gt never bound from above.
+    return f.cmp == LengthFilter::Cmp::Eq || f.cmp == LengthFilter::Cmp::Le ||
+           f.cmp == LengthFilter::Cmp::Lt;
+  });
+}
+
+bool CountExpr::satisfied(std::uint32_t count) const {
+  switch (cmp) {
+    case Cmp::Eq: return count == n;
+    case Cmp::Ge: return count >= n;
+    case Cmp::Gt: return count > n;
+    case Cmp::Le: return count <= n;
+    case Cmp::Lt: return count < n;
+  }
+  return false;
+}
+
+std::string CountExpr::to_string() const {
+  std::string out = "exist ";
+  switch (cmp) {
+    case Cmp::Eq: out += "=="; break;
+    case Cmp::Ge: out += ">="; break;
+    case Cmp::Gt: out += ">"; break;
+    case Cmp::Le: out += "<="; break;
+    case Cmp::Lt: out += "<"; break;
+  }
+  return out + " " + std::to_string(n);
+}
+
+Behavior Behavior::exist(CountExpr c, PathExpr p) {
+  Behavior b;
+  b.kind = BehaviorKind::Atom;
+  b.op = MatchOpKind::Exist;
+  b.count = c;
+  b.path = std::move(p);
+  return b;
+}
+
+Behavior Behavior::equal(PathExpr p) {
+  Behavior b;
+  b.kind = BehaviorKind::Atom;
+  b.op = MatchOpKind::Equal;
+  b.path = std::move(p);
+  return b;
+}
+
+Behavior Behavior::subset(PathExpr p) {
+  Behavior b;
+  b.kind = BehaviorKind::Atom;
+  b.op = MatchOpKind::Subset;
+  b.path = std::move(p);
+  return b;
+}
+
+Behavior Behavior::negate(Behavior inner) {
+  Behavior b;
+  b.kind = BehaviorKind::Not;
+  b.children.push_back(std::move(inner));
+  return b;
+}
+
+Behavior Behavior::conj(std::vector<Behavior> bs) {
+  TULKUN_ASSERT(!bs.empty());
+  if (bs.size() == 1) return std::move(bs.front());
+  Behavior b;
+  b.kind = BehaviorKind::And;
+  b.children = std::move(bs);
+  return b;
+}
+
+Behavior Behavior::disj(std::vector<Behavior> bs) {
+  TULKUN_ASSERT(!bs.empty());
+  if (bs.size() == 1) return std::move(bs.front());
+  Behavior b;
+  b.kind = BehaviorKind::Or;
+  b.children = std::move(bs);
+  return b;
+}
+
+namespace {
+void collect_atoms(const Behavior& b, std::vector<const Behavior*>& out) {
+  if (b.kind == BehaviorKind::Atom) {
+    out.push_back(&b);
+    return;
+  }
+  for (const auto& c : b.children) collect_atoms(c, out);
+}
+}  // namespace
+
+std::vector<const Behavior*> Behavior::atoms() const {
+  std::vector<const Behavior*> out;
+  collect_atoms(*this, out);
+  return out;
+}
+
+FaultScene FaultScene::of(std::vector<LinkId> links) {
+  for (auto& l : links) {
+    if (l.from > l.to) l = l.reversed();
+  }
+  std::sort(links.begin(), links.end());
+  links.erase(std::unique(links.begin(), links.end()), links.end());
+  return FaultScene{std::move(links)};
+}
+
+bool FaultScene::contains(LinkId l) const {
+  if (l.from > l.to) l = l.reversed();
+  return std::binary_search(failed.begin(), failed.end(), l);
+}
+
+bool FaultScene::superset_of(const FaultScene& other) const {
+  return std::includes(failed.begin(), failed.end(), other.failed.begin(),
+                       other.failed.end());
+}
+
+}  // namespace tulkun::spec

@@ -1,0 +1,133 @@
+// Invariant specification AST (§3, Figure 3).
+//
+// An invariant is (packet_space, ingress_set, behavior, [fault_scenes]).
+// A behavior is a boolean combination of (match_op, path_exp) atoms, where
+// path_exp is a device regex with optional length filters and a loop_free
+// flag, and match_op is `exist <cmp> N`, `equal`, or `subset`.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/ids.hpp"
+#include "packet/packet_set.hpp"
+#include "regex/parser.hpp"
+
+namespace tulkun::spec {
+
+/// A hop-count filter on valid paths, e.g. (<= shortest+1) or (< 5).
+/// Hop count = number of links = devices on path - 1.
+struct LengthFilter {
+  enum class Cmp : std::uint8_t { Eq, Le, Lt, Ge, Gt };
+  enum class Base : std::uint8_t { Const, Shortest };
+
+  Cmp cmp = Cmp::Le;
+  Base base = Base::Const;
+  std::int32_t offset = 0;  // Const: the bound itself; Shortest: the "+k"
+
+  /// True when the bound depends on the topology (== shortest etc.), so
+  /// fault scenes can change it (§6, Proposition 2).
+  [[nodiscard]] bool symbolic() const { return base == Base::Shortest; }
+
+  /// Does a path of `len` hops pass, given the current shortest length?
+  [[nodiscard]] bool admits(std::uint32_t len, std::uint32_t shortest) const;
+
+  /// Largest admissible hop count, or nullopt if unbounded above.
+  [[nodiscard]] std::optional<std::uint32_t> upper_bound(
+      std::uint32_t shortest) const;
+
+  [[nodiscard]] std::string to_string() const;
+
+  friend bool operator==(const LengthFilter&, const LengthFilter&) = default;
+};
+
+/// A regular path pattern with optional filters.
+struct PathExpr {
+  std::string regex_text;           // original text (for reporting)
+  regex::Ast ast;                   // parsed regex
+  std::vector<LengthFilter> filters;
+  bool loop_free = false;           // restrict to simple paths
+
+  /// True when the set of matching paths is finite: either simple paths
+  /// only, or an upper-bounding length filter exists. The planner requires
+  /// this for enumeration-based DPVNet construction.
+  [[nodiscard]] bool bounded() const;
+};
+
+/// The numeric comparison of an `exist` match operator.
+struct CountExpr {
+  enum class Cmp : std::uint8_t { Eq, Ge, Gt, Le, Lt };
+  Cmp cmp = Cmp::Ge;
+  std::uint32_t n = 1;
+
+  [[nodiscard]] bool satisfied(std::uint32_t count) const;
+  [[nodiscard]] std::string to_string() const;
+
+  friend bool operator==(const CountExpr&, const CountExpr&) = default;
+};
+
+enum class MatchOpKind : std::uint8_t {
+  Exist,   ///< per-universe trace count must satisfy the CountExpr
+  Equal,   ///< union of universes == all matching paths (RCDC-style)
+  Subset,  ///< traces are a non-empty subset of matching paths
+};
+
+enum class BehaviorKind : std::uint8_t { Atom, Not, And, Or };
+
+/// Behavior tree. An Atom pairs a match operator with a path expression.
+struct Behavior {
+  BehaviorKind kind = BehaviorKind::Atom;
+
+  // Atom payload:
+  MatchOpKind op = MatchOpKind::Exist;
+  CountExpr count;     // valid when op == Exist
+  PathExpr path;
+
+  // Not: 1 child. And/Or: >= 2 children.
+  std::vector<Behavior> children;
+
+  static Behavior exist(CountExpr c, PathExpr p);
+  static Behavior equal(PathExpr p);
+  static Behavior subset(PathExpr p);
+  static Behavior negate(Behavior b);
+  static Behavior conj(std::vector<Behavior> bs);
+  static Behavior disj(std::vector<Behavior> bs);
+
+  /// All Atom nodes, in dfs order (the planner assigns one counting task
+  /// per atom).
+  [[nodiscard]] std::vector<const Behavior*> atoms() const;
+};
+
+/// One fault scene: a set of failed (bidirectional) links.
+struct FaultScene {
+  std::vector<LinkId> failed;  // canonical: from < to, sorted
+
+  static FaultScene of(std::vector<LinkId> links);
+  [[nodiscard]] bool contains(LinkId l) const;
+  /// True iff every failed link of `other` is also failed here.
+  [[nodiscard]] bool superset_of(const FaultScene& other) const;
+
+  friend bool operator==(const FaultScene&, const FaultScene&) = default;
+};
+
+/// Fault tolerance request: explicit scenes and/or "any k link failures".
+struct FaultSpec {
+  std::vector<FaultScene> scenes;
+  std::uint32_t any_k = 0;  // any_k > 0: all scenes with <= any_k failures
+
+  [[nodiscard]] bool empty() const { return scenes.empty() && any_k == 0; }
+};
+
+/// A fully resolved invariant.
+struct Invariant {
+  std::string name;                 // optional label for reporting
+  packet::PacketSet packet_space;
+  std::string packet_space_text;
+  std::vector<DeviceId> ingress_set;
+  Behavior behavior;
+  FaultSpec faults;
+};
+
+}  // namespace tulkun::spec

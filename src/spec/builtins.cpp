@@ -1,0 +1,172 @@
+#include "spec/builtins.hpp"
+
+namespace tulkun::spec {
+
+namespace {
+
+regex::Ast sym(DeviceId d) {
+  return regex::Ast::symbols_node(regex::SymbolSet::single(d));
+}
+
+regex::Ast any_star() {
+  return regex::Ast::star(regex::Ast::symbols_node(regex::SymbolSet::any()));
+}
+
+Invariant make(std::string name, packet::PacketSet p,
+               std::vector<DeviceId> ingresses, Behavior b) {
+  Invariant inv;
+  inv.name = std::move(name);
+  inv.packet_space = std::move(p);
+  inv.ingress_set = std::move(ingresses);
+  inv.behavior = std::move(b);
+  return inv;
+}
+
+}  // namespace
+
+PathExpr Builtins::simple_paths(DeviceId from, DeviceId to,
+                                std::vector<LengthFilter> filters) const {
+  PathExpr pe;
+  pe.regex_text =
+      topo->name(from) + " .* " + topo->name(to);
+  pe.ast = regex::Ast::concat({sym(from), any_star(), sym(to)});
+  pe.filters = std::move(filters);
+  pe.loop_free = true;
+  return pe;
+}
+
+PathExpr Builtins::waypoint_paths(DeviceId from, DeviceId via,
+                                  DeviceId to) const {
+  PathExpr pe;
+  pe.regex_text = topo->name(from) + " .* " + topo->name(via) + " .* " +
+                  topo->name(to);
+  pe.ast = regex::Ast::concat(
+      {sym(from), any_star(), sym(via), any_star(), sym(to)});
+  pe.loop_free = true;
+  return pe;
+}
+
+Invariant Builtins::reachability(packet::PacketSet p, DeviceId s,
+                                 DeviceId d) const {
+  return make("reachability", std::move(p), {s},
+              Behavior::exist(CountExpr{CountExpr::Cmp::Ge, 1},
+                              simple_paths(s, d)));
+}
+
+Invariant Builtins::isolation(packet::PacketSet p, DeviceId s,
+                              DeviceId d) const {
+  return make("isolation", std::move(p), {s},
+              Behavior::exist(CountExpr{CountExpr::Cmp::Eq, 0},
+                              simple_paths(s, d)));
+}
+
+Invariant Builtins::waypoint(packet::PacketSet p, DeviceId s, DeviceId w,
+                             DeviceId d) const {
+  return make("waypoint", std::move(p), {s},
+              Behavior::exist(CountExpr{CountExpr::Cmp::Ge, 1},
+                              waypoint_paths(s, w, d)));
+}
+
+Invariant Builtins::bounded_reachability(packet::PacketSet p, DeviceId s,
+                                         DeviceId d,
+                                         std::uint32_t max_hops) const {
+  LengthFilter f;
+  f.cmp = LengthFilter::Cmp::Le;
+  f.base = LengthFilter::Base::Const;
+  f.offset = static_cast<std::int32_t>(max_hops);
+  return make("bounded_reachability", std::move(p), {s},
+              Behavior::exist(CountExpr{CountExpr::Cmp::Ge, 1},
+                              simple_paths(s, d, {f})));
+}
+
+Invariant Builtins::shortest_plus_reachability(packet::PacketSet p,
+                                               DeviceId s, DeviceId d,
+                                               std::uint32_t slack) const {
+  LengthFilter f;
+  f.cmp = LengthFilter::Cmp::Le;
+  f.base = LengthFilter::Base::Shortest;
+  f.offset = static_cast<std::int32_t>(slack);
+  return make("shortest_plus_reachability", std::move(p), {s},
+              Behavior::exist(CountExpr{CountExpr::Cmp::Ge, 1},
+                              simple_paths(s, d, {f})));
+}
+
+Invariant Builtins::multi_ingress_reachability(packet::PacketSet p,
+                                               std::vector<DeviceId> ingresses,
+                                               DeviceId d) const {
+  TULKUN_ASSERT(!ingresses.empty());
+  // One regex per ingress, unioned: (X .* D | Y .* D | ...).
+  std::vector<regex::Ast> alts;
+  std::string text;
+  for (const DeviceId ing : ingresses) {
+    alts.push_back(
+        regex::Ast::concat({sym(ing), any_star(), sym(d)}));
+    if (!text.empty()) text += " | ";
+    text += topo->name(ing) + " .* " + topo->name(d);
+  }
+  PathExpr pe;
+  pe.regex_text = std::move(text);
+  pe.ast = regex::Ast::alternation(std::move(alts));
+  pe.loop_free = true;
+  return make("multi_ingress_reachability", std::move(p), ingresses,
+              Behavior::exist(CountExpr{CountExpr::Cmp::Ge, 1},
+                              std::move(pe)));
+}
+
+Invariant Builtins::all_shortest_path(packet::PacketSet p, DeviceId s,
+                                      DeviceId d) const {
+  LengthFilter f;
+  f.cmp = LengthFilter::Cmp::Eq;
+  f.base = LengthFilter::Base::Shortest;
+  f.offset = 0;
+  return make("all_shortest_path", std::move(p), {s},
+              Behavior::equal(simple_paths(s, d, {f})));
+}
+
+Invariant Builtins::non_redundant_reachability(packet::PacketSet p, DeviceId s,
+                                               DeviceId d) const {
+  return make("non_redundant_reachability", std::move(p), {s},
+              Behavior::exist(CountExpr{CountExpr::Cmp::Eq, 1},
+                              simple_paths(s, d)));
+}
+
+Invariant Builtins::multicast(packet::PacketSet p, DeviceId s,
+                              std::vector<DeviceId> dests) const {
+  TULKUN_ASSERT(!dests.empty());
+  std::vector<Behavior> parts;
+  for (const DeviceId d : dests) {
+    parts.push_back(Behavior::exist(CountExpr{CountExpr::Cmp::Ge, 1},
+                                    simple_paths(s, d)));
+  }
+  return make("multicast", std::move(p), {s},
+              Behavior::conj(std::move(parts)));
+}
+
+Invariant Builtins::anycast(packet::PacketSet p, DeviceId s,
+                            std::vector<DeviceId> dests) const {
+  TULKUN_ASSERT(dests.size() >= 2);
+  // Exactly one destination receives the packet: for each i, the disjunct
+  // (exist >= 1 to dest_i) and (exist == 0 to all others).
+  std::vector<Behavior> disjuncts;
+  for (std::size_t i = 0; i < dests.size(); ++i) {
+    std::vector<Behavior> conjuncts;
+    for (std::size_t j = 0; j < dests.size(); ++j) {
+      const CountExpr c = i == j ? CountExpr{CountExpr::Cmp::Ge, 1}
+                                 : CountExpr{CountExpr::Cmp::Eq, 0};
+      conjuncts.push_back(Behavior::exist(c, simple_paths(s, dests[j])));
+    }
+    disjuncts.push_back(Behavior::conj(std::move(conjuncts)));
+  }
+  return make("anycast", std::move(p), {s},
+              Behavior::disj(std::move(disjuncts)));
+}
+
+packet::PacketSet Builtins::attached_packets(DeviceId d) const {
+  packet::PacketSet out = space->none();
+  for (const auto& prefix : topo->prefixes(d)) {
+    out |= space->dst_prefix(prefix);
+  }
+  return out;
+}
+
+}  // namespace tulkun::spec

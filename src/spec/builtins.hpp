@@ -1,0 +1,78 @@
+// Builtin invariant constructors: the Table 1 catalogue, programmatic form.
+//
+// Each helper returns a fully resolved Invariant over a topology and packet
+// space, matching the Tulkun-language specification listed in the paper:
+//
+//   reachability            (P, [S], (exist >= 1, S .* D))
+//   isolation               (P, [S], (exist == 0, S .* D))
+//   blackhole-free          == reachability on loop-free paths (see note)
+//   waypoint                (P, [S], (exist >= 1, S .* W .* D))
+//   bounded-length reach    (P, [S], (exist >= 1, S .* D ; length <= k))
+//   multi-ingress reach     (P, [X,Y], (exist >= 1, (X|Y) .* D))
+//   all-shortest-path       (P, [S], (equal, S .* D ; length == shortest))
+//   non-redundant reach     (P, [S], (exist == 1, S .* D))
+//   multicast               (P, [S], (exist >= 1, S.*D) and (exist >= 1, S.*E))
+//   anycast                 (P, [S], exactly one of D, E receives)
+//
+// Delivered traces are always simple paths (within one universe each device
+// applies one action, so a revisited device loops forever and never
+// delivers); the loop_free flag on these builtins therefore restricts the
+// DPVNet without excluding any deliverable trace, and loop/blackhole errors
+// both surface as count deficits against these invariants.
+#pragma once
+
+#include <vector>
+
+#include "spec/ast.hpp"
+#include "topo/topology.hpp"
+
+namespace tulkun::spec {
+
+/// Bundles what every builtin needs.
+struct Builtins {
+  const topo::Topology* topo;
+  packet::PacketSpace* space;
+
+  Builtins(const topo::Topology& t, packet::PacketSpace& s)
+      : topo(&t), space(&s) {}
+
+  /// Path expression `<from> .* <to>` with loop_free and optional filters.
+  [[nodiscard]] PathExpr simple_paths(DeviceId from, DeviceId to,
+                                      std::vector<LengthFilter> filters = {})
+      const;
+
+  /// Path expression `<from> .* <via> .* <to>`, loop-free.
+  [[nodiscard]] PathExpr waypoint_paths(DeviceId from, DeviceId via,
+                                        DeviceId to) const;
+
+  [[nodiscard]] Invariant reachability(packet::PacketSet p, DeviceId s,
+                                       DeviceId d) const;
+  [[nodiscard]] Invariant isolation(packet::PacketSet p, DeviceId s,
+                                    DeviceId d) const;
+  [[nodiscard]] Invariant waypoint(packet::PacketSet p, DeviceId s,
+                                   DeviceId w, DeviceId d) const;
+  [[nodiscard]] Invariant bounded_reachability(packet::PacketSet p, DeviceId s,
+                                               DeviceId d,
+                                               std::uint32_t max_hops) const;
+  /// Reachability along paths within `slack` hops of the shortest.
+  [[nodiscard]] Invariant shortest_plus_reachability(packet::PacketSet p,
+                                                     DeviceId s, DeviceId d,
+                                                     std::uint32_t slack)
+      const;
+  [[nodiscard]] Invariant multi_ingress_reachability(
+      packet::PacketSet p, std::vector<DeviceId> ingresses, DeviceId d) const;
+  [[nodiscard]] Invariant all_shortest_path(packet::PacketSet p, DeviceId s,
+                                            DeviceId d) const;
+  [[nodiscard]] Invariant non_redundant_reachability(packet::PacketSet p,
+                                                     DeviceId s,
+                                                     DeviceId d) const;
+  [[nodiscard]] Invariant multicast(packet::PacketSet p, DeviceId s,
+                                    std::vector<DeviceId> dests) const;
+  [[nodiscard]] Invariant anycast(packet::PacketSet p, DeviceId s,
+                                  std::vector<DeviceId> dests) const;
+
+  /// The packet space of a device's attached prefixes (union), or none().
+  [[nodiscard]] packet::PacketSet attached_packets(DeviceId d) const;
+};
+
+}  // namespace tulkun::spec

@@ -1,0 +1,147 @@
+#include "spec/check.hpp"
+
+#include <deque>
+#include <set>
+
+namespace tulkun::spec {
+
+namespace {
+
+/// Forward-reachable DFA states over an alphabet of `alphabet_size` symbols.
+std::set<std::uint32_t> reachable_states(const regex::Dfa& dfa,
+                                         std::size_t alphabet_size) {
+  std::set<std::uint32_t> seen;
+  if (dfa.start() == regex::Dfa::kDead) return seen;
+  std::deque<std::uint32_t> work{dfa.start()};
+  seen.insert(dfa.start());
+  while (!work.empty()) {
+    const auto q = work.front();
+    work.pop_front();
+    for (regex::Symbol s = 0; s < alphabet_size; ++s) {
+      const auto t = dfa.next(q, s);
+      if (t != regex::Dfa::kDead && seen.insert(t).second) {
+        work.push_back(t);
+      }
+    }
+  }
+  return seen;
+}
+
+}  // namespace
+
+std::vector<regex::Symbol> last_symbols(const regex::Dfa& dfa,
+                                        std::size_t alphabet_size) {
+  std::vector<regex::Symbol> out;
+  const auto states = reachable_states(dfa, alphabet_size);
+  for (regex::Symbol s = 0; s < alphabet_size; ++s) {
+    for (const auto q : states) {
+      if (dfa.accepting(dfa.next(q, s))) {
+        out.push_back(s);
+        break;
+      }
+    }
+  }
+  return out;
+}
+
+std::vector<regex::Symbol> first_symbols(const regex::Dfa& dfa,
+                                         std::size_t alphabet_size) {
+  std::vector<regex::Symbol> out;
+  if (dfa.start() == regex::Dfa::kDead) return out;
+  for (regex::Symbol s = 0; s < alphabet_size; ++s) {
+    const auto t = dfa.next(dfa.start(), s);
+    if (t != regex::Dfa::kDead && dfa.can_accept(t)) out.push_back(s);
+  }
+  return out;
+}
+
+std::vector<std::string> validate(const Invariant& inv,
+                                  const topo::Topology& topo,
+                                  packet::PacketSpace& space) {
+  std::vector<std::string> problems;
+  const std::size_t n = topo.device_count();
+
+  if (inv.ingress_set.empty()) {
+    problems.push_back("empty ingress set");
+  }
+  for (const DeviceId ing : inv.ingress_set) {
+    if (ing >= n) problems.push_back("ingress device id out of range");
+  }
+
+  for (const Behavior* atom : inv.behavior.atoms()) {
+    const PathExpr& pe = atom->path;
+    if ((atom->op == MatchOpKind::Exist || atom->op == MatchOpKind::Subset) &&
+        !pe.bounded()) {
+      problems.push_back("path expression '" + pe.regex_text +
+                         "' is unbounded: add loop_free or an upper length "
+                         "filter");
+      continue;
+    }
+    const regex::Dfa dfa =
+        regex::Dfa::determinize(regex::build_nfa(pe.ast)).minimize();
+    if (dfa.start() == regex::Dfa::kDead) {
+      problems.push_back("path expression '" + pe.regex_text +
+                         "' matches no path at all");
+      continue;
+    }
+
+    // Destination <-> packet-space consistency: some device that can end a
+    // matching path must own a prefix intersecting the packet space.
+    // Negative atoms (satisfied by zero matching traces, e.g. isolation's
+    // exist == 0) intentionally name destinations the packets must NOT
+    // reach, so the coverage requirement does not apply.
+    const bool zero_satisfiable =
+        atom->op == MatchOpKind::Exist && atom->count.satisfied(0);
+    const auto dests = last_symbols(dfa, n);
+    if (!dests.empty() && !zero_satisfiable) {
+      bool covered = false;
+      for (const auto dev : dests) {
+        for (const auto& prefix : topo.prefixes(dev)) {
+          if (inv.packet_space.intersects(space.dst_prefix(prefix))) {
+            covered = true;
+            break;
+          }
+        }
+        if (covered) break;
+      }
+      if (!covered) {
+        problems.push_back(
+            "packet space '" + inv.packet_space_text +
+            "' does not reach any prefix attached to the destinations of '" +
+            pe.regex_text + "'");
+      }
+    }
+
+    // Every ingress should be able to start a matching path.
+    const auto firsts = first_symbols(dfa, n);
+    for (const DeviceId ing : inv.ingress_set) {
+      if (ing < n &&
+          std::find(firsts.begin(), firsts.end(), ing) == firsts.end()) {
+        problems.push_back("ingress " + topo.name(ing) +
+                           " cannot start any path matching '" +
+                           pe.regex_text + "'");
+      }
+    }
+  }
+
+  for (const auto& scene : inv.faults.scenes) {
+    for (const auto& link : scene.failed) {
+      if (link.from >= n || link.to >= n ||
+          !topo.has_link(link.from, link.to)) {
+        problems.push_back("fault scene names a non-existent link");
+      }
+    }
+  }
+  return problems;
+}
+
+void ensure_valid(const Invariant& inv, const topo::Topology& topo,
+                  packet::PacketSpace& space) {
+  const auto problems = validate(inv, topo, space);
+  if (problems.empty()) return;
+  std::string msg = "invariant '" + inv.name + "' invalid:";
+  for (const auto& p : problems) msg += "\n  - " + p;
+  throw SpecError(msg);
+}
+
+}  // namespace tulkun::spec

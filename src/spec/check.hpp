@@ -1,0 +1,40 @@
+// Invariant consistency checks (§3 "Convenience features").
+//
+// Tulkun validates an invariant before planning:
+//  * every exist/subset atom's path expression must be bounded (loop_free
+//    or an upper length filter), so the valid-path set is finite;
+//  * the destination devices implied by each path regex must own prefixes
+//    consistent with the packet space's destination IPs;
+//  * every ingress must be a possible first device of some matching path;
+//  * explicit fault scenes may only name existing links.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "regex/dfa.hpp"
+#include "spec/ast.hpp"
+#include "topo/topology.hpp"
+
+namespace tulkun::spec {
+
+/// Devices that can END a path accepted by `dfa` (restricted to real
+/// devices of `topo`; virtual symbols >= device_count are included too when
+/// `alphabet_size` exceeds the device count).
+[[nodiscard]] std::vector<regex::Symbol> last_symbols(
+    const regex::Dfa& dfa, std::size_t alphabet_size);
+
+/// Devices that can START a path accepted by `dfa`.
+[[nodiscard]] std::vector<regex::Symbol> first_symbols(
+    const regex::Dfa& dfa, std::size_t alphabet_size);
+
+/// Collects human-readable problems; empty means the invariant is valid.
+[[nodiscard]] std::vector<std::string> validate(const Invariant& inv,
+                                                const topo::Topology& topo,
+                                                packet::PacketSpace& space);
+
+/// Throws SpecError listing all problems when validate() is non-empty.
+void ensure_valid(const Invariant& inv, const topo::Topology& topo,
+                  packet::PacketSpace& space);
+
+}  // namespace tulkun::spec

@@ -1,0 +1,113 @@
+#include "spec/multipath.hpp"
+
+#include <algorithm>
+#include <set>
+
+namespace tulkun::spec {
+
+namespace {
+
+std::string path_to_string(const CollectedPath& p) {
+  std::string out = "[";
+  for (std::size_t i = 0; i < p.size(); ++i) {
+    if (i > 0) out += " ";
+    out += std::to_string(p[i]);
+  }
+  return out + "]";
+}
+
+}  // namespace
+
+std::string compare_path_sets(PathCompareKind kind, const PathSet& a,
+                              const PathSet& b) {
+  switch (kind) {
+    case PathCompareKind::RouteSymmetry: {
+      PathSet reversed = b;
+      for (auto& p : reversed) std::reverse(p.begin(), p.end());
+      std::sort(reversed.begin(), reversed.end());
+      if (a != reversed) {
+        return "route asymmetry: forward paths differ from reversed "
+               "return paths";
+      }
+      return {};
+    }
+    case PathCompareKind::SamePaths:
+      if (a != b) return "path sets differ";
+      return {};
+    case PathCompareKind::NodeDisjoint: {
+      std::set<DeviceId> interior_a;
+      for (const auto& p : a) {
+        for (std::size_t i = 1; i + 1 < p.size(); ++i) {
+          interior_a.insert(p[i]);
+        }
+      }
+      for (const auto& p : b) {
+        for (std::size_t i = 1; i + 1 < p.size(); ++i) {
+          if (interior_a.contains(p[i])) {
+            return "paths share intermediate device " +
+                   std::to_string(p[i]) + " on " + path_to_string(p);
+          }
+        }
+      }
+      return {};
+    }
+    case PathCompareKind::LinkDisjoint: {
+      std::set<std::pair<DeviceId, DeviceId>> links_a;
+      for (const auto& p : a) {
+        for (std::size_t i = 0; i + 1 < p.size(); ++i) {
+          links_a.emplace(std::min(p[i], p[i + 1]),
+                          std::max(p[i], p[i + 1]));
+        }
+      }
+      for (const auto& p : b) {
+        for (std::size_t i = 0; i + 1 < p.size(); ++i) {
+          const auto key = std::make_pair(std::min(p[i], p[i + 1]),
+                                          std::max(p[i], p[i + 1]));
+          if (links_a.contains(key)) {
+            return "paths share link " + std::to_string(key.first) + "-" +
+                   std::to_string(key.second);
+          }
+        }
+      }
+      return {};
+    }
+  }
+  return "unknown comparison";
+}
+
+PathExpr MultiPathBuiltins::simple(DeviceId from, DeviceId to) const {
+  PathExpr pe;
+  pe.regex_text = topo->name(from) + " .* " + topo->name(to);
+  pe.ast = regex::Ast::concat(
+      {regex::Ast::symbols_node(regex::SymbolSet::single(from)),
+       regex::Ast::star(regex::Ast::symbols_node(regex::SymbolSet::any())),
+       regex::Ast::symbols_node(regex::SymbolSet::single(to))});
+  pe.loop_free = true;
+  return pe;
+}
+
+MultiPathInvariant MultiPathBuiltins::route_symmetry(
+    packet::PacketSet fwd_space, packet::PacketSet rev_space, DeviceId s,
+    DeviceId d) const {
+  MultiPathInvariant inv;
+  inv.name = "route_symmetry_" + topo->name(s) + "_" + topo->name(d);
+  inv.a = PathQuery{std::move(fwd_space), s, simple(s, d)};
+  inv.b = PathQuery{std::move(rev_space), d, simple(d, s)};
+  inv.compare = PathCompareKind::RouteSymmetry;
+  inv.comparator = s;
+  return inv;
+}
+
+MultiPathInvariant MultiPathBuiltins::node_disjoint(
+    packet::PacketSet space_a, DeviceId da, packet::PacketSet space_b,
+    DeviceId db, DeviceId s) const {
+  MultiPathInvariant inv;
+  inv.name = "node_disjoint_" + topo->name(da) + "_" + topo->name(db);
+  inv.a = PathQuery{std::move(space_a), s, simple(s, da)};
+  inv.b = PathQuery{std::move(space_b), s, simple(s, db)};
+  inv.compare = PathCompareKind::NodeDisjoint;
+  inv.comparator = s;
+  return inv;
+}
+
+}  // namespace tulkun::spec

@@ -1,0 +1,86 @@
+// Multi-path invariants (§7 "Multi-path comparison"): invariants that
+// compare the packet traces of two packet spaces — route symmetry, path
+// node-/link-disjointness. The paper sketches the mechanism: construct a
+// DPVNet per packet space, let on-device verifiers collect the actual
+// downstream paths and send them upstream, and run a user-defined
+// comparison on the collected complete paths.
+//
+// Semantics note: the collected set of a side is its *possible-path* set —
+// every path some universe may take (ANY-type choices contribute all
+// alternatives, ALL-type replication contributes every branch).
+#pragma once
+
+#include <functional>
+
+#include "spec/ast.hpp"
+#include "topo/topology.hpp"
+
+namespace tulkun::spec {
+
+/// One side of a comparison: packets of `space` entering at `ingress`,
+/// restricted to paths matching `path` (must be bounded).
+struct PathQuery {
+  packet::PacketSet space;
+  DeviceId ingress = kNoDevice;
+  PathExpr path;
+};
+
+enum class PathCompareKind : std::uint8_t {
+  /// Side A's possible paths == side B's possible paths reversed
+  /// (middlebox/route symmetry: S->D and D->S traverse the same chain).
+  RouteSymmetry,
+  /// No intermediate device is shared between the two sides' paths
+  /// (node-disjoint protection paths).
+  NodeDisjoint,
+  /// No (undirected) link is shared between the two sides' paths.
+  LinkDisjoint,
+  /// The two sides take exactly the same path sets.
+  SamePaths,
+};
+
+struct MultiPathInvariant {
+  std::string name;
+  PathQuery a;
+  PathQuery b;
+  PathCompareKind compare = PathCompareKind::RouteSymmetry;
+  /// Where the comparison runs; defaults to a.ingress.
+  DeviceId comparator = kNoDevice;
+};
+
+/// A path as collected by verifiers: the device sequence.
+using CollectedPath = std::vector<DeviceId>;
+using PathSet = std::vector<CollectedPath>;  // sorted, unique
+
+/// Evaluates a comparison on two collected path sets; returns an empty
+/// string on success, else a human-readable reason.
+[[nodiscard]] std::string compare_path_sets(PathCompareKind kind,
+                                            const PathSet& a,
+                                            const PathSet& b);
+
+/// Builders for the §7 examples.
+struct MultiPathBuiltins {
+  const topo::Topology* topo;
+  packet::PacketSpace* space;
+
+  MultiPathBuiltins(const topo::Topology& t, packet::PacketSpace& s)
+      : topo(&t), space(&s) {}
+
+  /// forward paths of `fwd_space` (S -> D) must be the reverse of the
+  /// return paths of `rev_space` (D -> S).
+  [[nodiscard]] MultiPathInvariant route_symmetry(
+      packet::PacketSet fwd_space, packet::PacketSet rev_space, DeviceId s,
+      DeviceId d) const;
+
+  /// Two services' paths from `s` must be node-disjoint between their
+  /// (distinct) destinations.
+  [[nodiscard]] MultiPathInvariant node_disjoint(packet::PacketSet space_a,
+                                                 DeviceId da,
+                                                 packet::PacketSet space_b,
+                                                 DeviceId db,
+                                                 DeviceId s) const;
+
+ private:
+  [[nodiscard]] PathExpr simple(DeviceId from, DeviceId to) const;
+};
+
+}  // namespace tulkun::spec

@@ -1,0 +1,470 @@
+#include "spec/parser.hpp"
+
+#include <cctype>
+#include <charconv>
+#include <sstream>
+
+namespace tulkun::spec {
+
+namespace {
+
+/// Minimal cursor over a string_view with whitespace skipping.
+class Cursor {
+ public:
+  explicit Cursor(std::string_view text) : text_(text) {}
+
+  void skip_ws() {
+    while (pos_ < text_.size() &&
+           std::isspace(static_cast<unsigned char>(text_[pos_]))) {
+      ++pos_;
+    }
+  }
+
+  [[nodiscard]] bool done() {
+    skip_ws();
+    return pos_ >= text_.size();
+  }
+
+  [[nodiscard]] char peek() {
+    skip_ws();
+    return pos_ < text_.size() ? text_[pos_] : '\0';
+  }
+
+  char take() {
+    skip_ws();
+    if (pos_ >= text_.size()) fail("unexpected end of input");
+    return text_[pos_++];
+  }
+
+  void expect(char c) {
+    const char got = take();
+    if (got != c) {
+      fail(std::string("expected '") + c + "', got '" + got + "'");
+    }
+  }
+
+  bool try_take(char c) {
+    if (peek() == c) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+
+  /// Consumes `word` if it appears next as a whole word.
+  bool try_word(std::string_view word) {
+    skip_ws();
+    if (text_.substr(pos_, word.size()) != word) return false;
+    const std::size_t after = pos_ + word.size();
+    if (after < text_.size() && is_word_char(text_[after])) return false;
+    pos_ = after;
+    return true;
+  }
+
+  [[nodiscard]] static bool is_word_char(char c) {
+    // '.' and '/' are word characters so CIDR notation ("10.0.0.0/23")
+    // parses as one word; ':' is a delimiter and must not be.
+    return std::isalnum(static_cast<unsigned char>(c)) || c == '_' ||
+           c == '.' || c == '/';
+  }
+
+  std::string_view word() {
+    skip_ws();
+    const std::size_t start = pos_;
+    while (pos_ < text_.size() && is_word_char(text_[pos_])) ++pos_;
+    if (pos_ == start) fail("expected identifier");
+    return text_.substr(start, pos_ - start);
+  }
+
+  std::uint32_t number() {
+    skip_ws();
+    std::uint32_t value = 0;
+    const auto* begin = text_.data() + pos_;
+    const auto* end = text_.data() + text_.size();
+    const auto [ptr, ec] = std::from_chars(begin, end, value);
+    if (ec != std::errc{} || ptr == begin) fail("expected number");
+    pos_ += static_cast<std::size_t>(ptr - begin);
+    return value;
+  }
+
+  /// Everything up to (not including) the next occurrence of `c` at depth 0
+  /// of nested braces/parens; consumes the terminator.
+  std::string_view until(char c) {
+    skip_ws();
+    const std::size_t start = pos_;
+    int depth = 0;
+    while (pos_ < text_.size()) {
+      const char ch = text_[pos_];
+      if (depth == 0 && ch == c) {
+        const auto out = text_.substr(start, pos_ - start);
+        ++pos_;
+        return out;
+      }
+      if (ch == '(' || ch == '{') ++depth;
+      if (ch == ')' || ch == '}') --depth;
+      ++pos_;
+    }
+    fail(std::string("expected '") + c + "'");
+  }
+
+  [[noreturn]] void fail(const std::string& why) const {
+    throw SpecError(why + " at offset " + std::to_string(pos_) + " in '" +
+                    std::string(text_) + "'");
+  }
+
+  [[nodiscard]] std::string_view rest() {
+    skip_ws();
+    return text_.substr(pos_);
+  }
+
+ private:
+  std::string_view text_;
+  std::size_t pos_ = 0;
+};
+
+CountExpr::Cmp parse_cmp(Cursor& c) {
+  if (c.try_take('=')) {
+    c.expect('=');
+    return CountExpr::Cmp::Eq;
+  }
+  if (c.try_take('>')) {
+    return c.try_take('=') ? CountExpr::Cmp::Ge : CountExpr::Cmp::Gt;
+  }
+  if (c.try_take('<')) {
+    return c.try_take('=') ? CountExpr::Cmp::Le : CountExpr::Cmp::Lt;
+  }
+  c.fail("expected comparison operator");
+}
+
+LengthFilter::Cmp to_length_cmp(CountExpr::Cmp cmp) {
+  switch (cmp) {
+    case CountExpr::Cmp::Eq: return LengthFilter::Cmp::Eq;
+    case CountExpr::Cmp::Ge: return LengthFilter::Cmp::Ge;
+    case CountExpr::Cmp::Gt: return LengthFilter::Cmp::Gt;
+    case CountExpr::Cmp::Le: return LengthFilter::Cmp::Le;
+    case CountExpr::Cmp::Lt: return LengthFilter::Cmp::Lt;
+  }
+  return LengthFilter::Cmp::Le;
+}
+
+/// Packet-space expression parser: | over & over unary over atoms.
+class PacketExprParser {
+ public:
+  PacketExprParser(packet::PacketSpace& space, std::string_view text)
+      : space_(&space), c_(text) {}
+
+  packet::PacketSet run() {
+    auto p = or_expr();
+    if (!c_.done()) c_.fail("unexpected trailing input in packet space");
+    return p;
+  }
+
+ private:
+  packet::PacketSet or_expr() {
+    auto p = and_expr();
+    while (c_.try_take('|')) p |= and_expr();
+    return p;
+  }
+
+  packet::PacketSet and_expr() {
+    auto p = unary();
+    while (c_.try_take('&')) p &= unary();
+    return p;
+  }
+
+  packet::PacketSet unary() {
+    if (c_.try_take('!')) return ~unary();
+    if (c_.try_take('(')) {
+      auto p = or_expr();
+      c_.expect(')');
+      return p;
+    }
+    if (c_.try_take('*')) return space_->all();
+    return atom();
+  }
+
+  packet::PacketSet atom() {
+    const auto field_and_value = c_.word();
+    // word() consumes '=' values too? No: '=' is not a word char.
+    const std::string field(field_and_value);
+    bool negate = false;
+    if (c_.try_take('!')) negate = true;
+    c_.expect('=');
+    auto p = field_value(field);
+    return negate ? ~p : p;
+  }
+
+  packet::PacketSet field_value(const std::string& field) {
+    if (field == "dstIP" || field == "srcIP") {
+      const auto prefix = packet::Ipv4Prefix::parse(c_.word());
+      return field == "dstIP" ? space_->dst_prefix(prefix)
+                              : space_->src_prefix(prefix);
+    }
+    if (field == "dstPort" || field == "srcPort" || field == "proto") {
+      const std::uint32_t lo = c_.number();
+      std::uint32_t hi = lo;
+      if (c_.try_take('-')) hi = c_.number();
+      if (field == "dstPort") {
+        return space_->field_range(packet::Field::DstPort, lo, hi);
+      }
+      if (field == "srcPort") {
+        return space_->field_range(packet::Field::SrcPort, lo, hi);
+      }
+      return space_->field_range(packet::Field::Proto, lo, hi);
+    }
+    c_.fail("unknown packet field: " + field);
+  }
+
+  packet::PacketSpace* space_;
+  Cursor c_;
+};
+
+}  // namespace
+
+packet::PacketSet SpecParser::parse_packets(std::string_view text) const {
+  return PacketExprParser(*space_, text).run();
+}
+
+PathExpr SpecParser::parse_path(std::string_view text) const {
+  // Split on ';' at top level: regex ; option ; option ...
+  PathExpr out;
+  Cursor c(text);
+  std::vector<std::string_view> parts;
+  std::string_view remaining = c.rest();
+  std::size_t start = 0;
+  int depth = 0;
+  for (std::size_t i = 0; i <= remaining.size(); ++i) {
+    if (i == remaining.size() || (remaining[i] == ';' && depth == 0)) {
+      parts.push_back(remaining.substr(start, i - start));
+      start = i + 1;
+      continue;
+    }
+    if (remaining[i] == '(' || remaining[i] == '{') ++depth;
+    if (remaining[i] == ')' || remaining[i] == '}') --depth;
+  }
+  if (parts.empty()) throw SpecError("empty path expression");
+
+  out.regex_text = std::string(parts[0]);
+  const auto resolver = [this](std::string_view name) -> regex::Symbol {
+    return topo_->device(std::string(name));
+  };
+  out.ast = regex::parse(parts[0], resolver);
+
+  for (std::size_t i = 1; i < parts.size(); ++i) {
+    Cursor oc(parts[i]);
+    if (oc.done()) continue;
+    if (oc.try_word("loop_free")) {
+      out.loop_free = true;
+    } else if (oc.try_word("length")) {
+      LengthFilter f;
+      f.cmp = to_length_cmp(parse_cmp(oc));
+      if (oc.try_word("shortest")) {
+        f.base = LengthFilter::Base::Shortest;
+        if (oc.try_take('+')) {
+          f.offset = static_cast<std::int32_t>(oc.number());
+        } else if (oc.try_take('-')) {
+          f.offset = -static_cast<std::int32_t>(oc.number());
+        }
+      } else {
+        f.base = LengthFilter::Base::Const;
+        f.offset = static_cast<std::int32_t>(oc.number());
+      }
+      out.filters.push_back(f);
+    } else {
+      throw SpecError("unknown path option: '" + std::string(parts[i]) + "'");
+    }
+    if (!oc.done()) {
+      throw SpecError("trailing input in path option: '" +
+                      std::string(parts[i]) + "'");
+    }
+  }
+  return out;
+}
+
+namespace {
+
+/// Behavior parser: or over and over unary over atoms.
+class BehaviorParser {
+ public:
+  BehaviorParser(const SpecParser& spec, std::string_view text)
+      : spec_(&spec), c_(text) {}
+
+  Behavior run() {
+    Behavior b = or_expr();
+    if (!c_.done()) c_.fail("unexpected trailing input in behavior");
+    return b;
+  }
+
+ private:
+  Behavior or_expr() {
+    std::vector<Behavior> parts;
+    parts.push_back(and_expr());
+    while (c_.try_word("or")) parts.push_back(and_expr());
+    return Behavior::disj(std::move(parts));
+  }
+
+  Behavior and_expr() {
+    std::vector<Behavior> parts;
+    parts.push_back(unary());
+    while (c_.try_word("and")) parts.push_back(unary());
+    return Behavior::conj(std::move(parts));
+  }
+
+  Behavior unary() {
+    if (c_.try_word("not")) return Behavior::negate(unary());
+    if (c_.try_take('(')) {
+      // Distinguish a grouped behavior from a parenthesized regex: groups
+      // start with an operator keyword, 'not', or another '('.
+      Behavior b = or_expr();
+      c_.expect(')');
+      return b;
+    }
+    return atom();
+  }
+
+  Behavior atom() {
+    if (c_.try_word("exist")) {
+      CountExpr count;
+      count.cmp = parse_cmp(c_);
+      count.n = c_.number();
+      c_.expect(':');
+      return Behavior::exist(count, braced_path());
+    }
+    if (c_.try_word("equal")) {
+      c_.expect(':');
+      return Behavior::equal(braced_path());
+    }
+    if (c_.try_word("subset")) {
+      c_.expect(':');
+      return Behavior::subset(braced_path());
+    }
+    c_.fail("expected 'exist', 'equal', 'subset', 'not', or '('");
+  }
+
+  PathExpr braced_path() {
+    c_.expect('{');
+    const auto body = c_.until('}');
+    return spec_->parse_path(body);
+  }
+
+  const SpecParser* spec_;
+  Cursor c_;
+};
+
+}  // namespace
+
+Behavior SpecParser::parse_behavior(std::string_view text) const {
+  return BehaviorParser(*this, text).run();
+}
+
+std::vector<DeviceId> SpecParser::parse_ingress(std::string_view text) const {
+  Cursor c(text);
+  std::vector<DeviceId> out;
+  if (c.try_take('*')) {
+    if (!c.done()) c.fail("unexpected input after '*'");
+    return topo_->all_devices();
+  }
+  while (!c.done()) {
+    out.push_back(topo_->device(std::string(c.word())));
+    if (!c.done()) c.expect(',');
+  }
+  if (out.empty()) throw SpecError("empty ingress set");
+  return out;
+}
+
+void SpecParser::parse_faults(std::string_view text, FaultSpec& out) const {
+  Cursor c(text);
+  if (c.try_word("any")) {
+    out.any_k = c.number();
+    if (!c.done()) c.fail("unexpected input after 'any k'");
+    return;
+  }
+  // Scenes separated by ';', each a ','-separated list of "(A,B)" links.
+  while (!c.done()) {
+    std::vector<LinkId> links;
+    while (true) {
+      c.expect('(');
+      const DeviceId a = topo_->device(std::string(c.word()));
+      c.expect(',');
+      const DeviceId b = topo_->device(std::string(c.word()));
+      c.expect(')');
+      links.push_back(LinkId{a, b});
+      if (!c.try_take(',')) break;
+    }
+    out.scenes.push_back(FaultScene::of(std::move(links)));
+    if (!c.done()) c.expect(';');
+  }
+}
+
+std::vector<Invariant> SpecParser::parse(std::string_view text) const {
+  std::vector<Invariant> out;
+  std::istringstream in{std::string(text)};
+  std::string line;
+  int line_no = 0;
+
+  Invariant cur;
+  bool in_invariant = false;
+  bool have_packets = false;
+  bool have_ingress = false;
+  bool have_behavior = false;
+
+  const auto finish = [&]() {
+    if (!in_invariant) return;
+    if (!have_packets || !have_ingress || !have_behavior) {
+      throw SpecError("invariant '" + cur.name +
+                      "' needs packets, ingress, and behavior");
+    }
+    out.push_back(std::move(cur));
+    cur = Invariant{};
+    in_invariant = false;
+    have_packets = have_ingress = have_behavior = false;
+  };
+
+  while (std::getline(in, line)) {
+    ++line_no;
+    if (const auto hash = line.find('#'); hash != std::string::npos) {
+      line.resize(hash);
+    }
+    Cursor c(line);
+    if (c.done()) continue;
+
+    const auto fail = [&](const std::string& why) -> void {
+      throw SpecError("line " + std::to_string(line_no) + ": " + why);
+    };
+
+    if (c.try_word("invariant")) {
+      finish();
+      in_invariant = true;
+      cur.name = std::string(c.word());
+      c.expect(':');
+      if (!c.done()) fail("unexpected input after invariant header");
+      continue;
+    }
+    if (!in_invariant) fail("expected 'invariant <name>:'");
+
+    if (c.try_word("packets")) {
+      c.expect(':');
+      cur.packet_space_text = std::string(c.rest());
+      cur.packet_space = parse_packets(cur.packet_space_text);
+      have_packets = true;
+    } else if (c.try_word("ingress")) {
+      c.expect(':');
+      cur.ingress_set = parse_ingress(c.rest());
+      have_ingress = true;
+    } else if (c.try_word("behavior")) {
+      c.expect(':');
+      cur.behavior = parse_behavior(c.rest());
+      have_behavior = true;
+    } else if (c.try_word("faults")) {
+      c.expect(':');
+      parse_faults(c.rest(), cur.faults);
+    } else {
+      fail("unknown key");
+    }
+  }
+  finish();
+  if (out.empty()) throw SpecError("no invariants in input");
+  return out;
+}
+
+}  // namespace tulkun::spec

@@ -1,0 +1,61 @@
+// Text parser for the invariant specification language.
+//
+// Concrete syntax (one or more invariants):
+//
+//   invariant waypoint_reach:
+//     packets: dstIP=10.0.0.0/23 & dstPort=80
+//     ingress: S, B            # or * for all devices
+//     behavior: exist >= 1 : { S .* W .* D ; loop_free ; length <= shortest+1 }
+//     faults: (A,B) ; (B,W),(B,D)
+//     faults: any 2
+//
+// Behaviors compose: `not (...)`, `(...) and (...)`, `(...) or (...)`.
+// Each atom is `exist <cmp> <n>`, `equal`, or `subset`, followed by
+// `: { regex [; loop_free] [; length <cmp> <bound>] }` where <bound> is an
+// integer or `shortest[+k]`.
+//
+// Packet-space atoms: dstIP=<cidr>, srcIP=<cidr>, dstPort=<n|lo-hi>,
+// srcPort=<n|lo-hi>, proto=<n>, `*`; combined with `&`, `|`, `!`, parens;
+// `field!=n` is sugar for `!(field=n)`.
+#pragma once
+
+#include <string_view>
+#include <vector>
+
+#include "spec/ast.hpp"
+#include "topo/topology.hpp"
+
+namespace tulkun::spec {
+
+/// Parses invariant text against a topology (device names) and packet
+/// space (predicates). Throws SpecError on malformed input.
+class SpecParser {
+ public:
+  SpecParser(const topo::Topology& topo, packet::PacketSpace& space)
+      : topo_(&topo), space_(&space) {}
+
+  /// Parses a whole document of `invariant NAME:` blocks.
+  [[nodiscard]] std::vector<Invariant> parse(std::string_view text) const;
+
+  /// Parses just a packet-space expression.
+  [[nodiscard]] packet::PacketSet parse_packets(std::string_view text) const;
+
+  /// Parses just a behavior expression.
+  [[nodiscard]] Behavior parse_behavior(std::string_view text) const;
+
+  /// Parses just a path expression body (the inside of `{ ... }`).
+  [[nodiscard]] PathExpr parse_path(std::string_view text) const;
+
+  /// Parses an ingress list ("S, B" or "*").
+  [[nodiscard]] std::vector<DeviceId> parse_ingress(
+      std::string_view text) const;
+
+  /// Parses a `faults:` value into an existing FaultSpec.
+  void parse_faults(std::string_view text, FaultSpec& out) const;
+
+ private:
+  const topo::Topology* topo_;
+  packet::PacketSpace* space_;
+};
+
+}  // namespace tulkun::spec

@@ -1,0 +1,206 @@
+#include "topo/generators.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <vector>
+
+#include "core/rng.hpp"
+
+namespace tulkun::topo {
+
+namespace {
+
+packet::Ipv4Prefix tor_prefix(std::uint32_t a, std::uint32_t b) {
+  // 10.a.b.0/24
+  const std::uint32_t addr =
+      (10U << 24) | ((a & 0xff) << 16) | ((b & 0xff) << 8);
+  return packet::Ipv4Prefix(addr, 24);
+}
+
+}  // namespace
+
+Topology fat_tree(std::uint32_t k) {
+  if (k < 2 || k % 2 != 0) {
+    throw TopologyError("fat-tree arity must be even and >= 2");
+  }
+  Topology t;
+  const std::uint32_t half = k / 2;
+
+  std::vector<std::vector<DeviceId>> core(half);  // core groups
+  for (std::uint32_t g = 0; g < half; ++g) {
+    for (std::uint32_t i = 0; i < half; ++i) {
+      core[g].push_back(
+          t.add_device("core" + std::to_string(g) + "_" + std::to_string(i)));
+    }
+  }
+
+  for (std::uint32_t p = 0; p < k; ++p) {
+    std::vector<DeviceId> aggs;
+    std::vector<DeviceId> edges;
+    for (std::uint32_t i = 0; i < half; ++i) {
+      aggs.push_back(
+          t.add_device("p" + std::to_string(p) + "_agg" + std::to_string(i)));
+    }
+    for (std::uint32_t i = 0; i < half; ++i) {
+      const DeviceId e =
+          t.add_device("p" + std::to_string(p) + "_tor" + std::to_string(i));
+      edges.push_back(e);
+      t.attach_prefix(e, tor_prefix(p, i));
+    }
+    for (std::uint32_t a = 0; a < half; ++a) {
+      for (std::uint32_t e = 0; e < half; ++e) {
+        t.add_link(aggs[a], edges[e], kDcLinkLatency);
+      }
+      // Aggregation switch a of every pod connects to core group a.
+      for (const DeviceId c : core[a]) {
+        t.add_link(aggs[a], c, kDcLinkLatency);
+      }
+    }
+  }
+  return t;
+}
+
+Topology clos3(std::uint32_t pods, std::uint32_t spines_per_pod,
+               std::uint32_t leaves_per_pod, std::uint32_t cores) {
+  if (pods == 0 || spines_per_pod == 0 || leaves_per_pod == 0 || cores == 0) {
+    throw TopologyError("clos3 dimensions must be positive");
+  }
+  Topology t;
+  std::vector<DeviceId> core_ids;
+  for (std::uint32_t c = 0; c < cores; ++c) {
+    core_ids.push_back(t.add_device("core" + std::to_string(c)));
+  }
+  for (std::uint32_t p = 0; p < pods; ++p) {
+    std::vector<DeviceId> spines;
+    for (std::uint32_t s = 0; s < spines_per_pod; ++s) {
+      const DeviceId sp =
+          t.add_device("p" + std::to_string(p) + "_sp" + std::to_string(s));
+      spines.push_back(sp);
+      // Stripe pod-spines over cores so each core has pod diversity.
+      for (std::uint32_t c = s; c < cores; c += spines_per_pod) {
+        t.add_link(sp, core_ids[c], kDcLinkLatency);
+      }
+    }
+    for (std::uint32_t l = 0; l < leaves_per_pod; ++l) {
+      const DeviceId leaf =
+          t.add_device("p" + std::to_string(p) + "_tor" + std::to_string(l));
+      t.attach_prefix(leaf, tor_prefix(p, l));
+      for (const DeviceId sp : spines) {
+        t.add_link(leaf, sp, kDcLinkLatency);
+      }
+    }
+  }
+  return t;
+}
+
+Topology synthetic_wan(const std::string& name_prefix, std::uint32_t n,
+                       std::uint32_t target_links, std::uint64_t seed,
+                       double max_latency,
+                       std::uint32_t prefixes_per_device) {
+  if (n < 2) {
+    throw TopologyError("synthetic WAN needs at least 2 devices");
+  }
+  if (n > 255 || prefixes_per_device > 255) {
+    throw TopologyError("synthetic WAN prefix scheme needs n, P <= 255");
+  }
+  const std::uint32_t min_links = n - 1;
+  const std::uint32_t max_links = n * (n - 1) / 2;
+  const std::uint32_t links = std::clamp(target_links, min_links, max_links);
+
+  Rng rng(seed);
+  Topology t;
+  std::vector<std::pair<double, double>> pos;
+  pos.reserve(n);
+  for (std::uint32_t i = 0; i < n; ++i) {
+    t.add_device(name_prefix + std::to_string(i));
+    pos.emplace_back(rng.real(), rng.real());
+    // Device i announces 10.i.j.0/24 for j in [0, prefixes_per_device).
+    for (std::uint32_t j = 0; j < prefixes_per_device; ++j) {
+      t.attach_prefix(
+          i, packet::Ipv4Prefix((10U << 24) | (i << 16) | (j << 8), 24));
+    }
+  }
+
+  const auto dist = [&](std::uint32_t a, std::uint32_t b) {
+    const double dx = pos[a].first - pos[b].first;
+    const double dy = pos[a].second - pos[b].second;
+    return std::sqrt(dx * dx + dy * dy);
+  };
+  const auto latency = [&](std::uint32_t a, std::uint32_t b) {
+    // Scale by the unit-square diagonal; floor at 100us so no WAN link is
+    // effectively free.
+    return std::max(1e-4, max_latency * dist(a, b) / std::sqrt(2.0));
+  };
+
+  // Prim's MST for guaranteed connectivity over realistic (short) edges.
+  std::vector<bool> in_tree(n, false);
+  std::vector<double> best(n, std::numeric_limits<double>::infinity());
+  std::vector<std::uint32_t> parent(n, 0);
+  in_tree[0] = true;
+  for (std::uint32_t v = 1; v < n; ++v) {
+    best[v] = dist(0, v);
+  }
+  for (std::uint32_t added = 1; added < n; ++added) {
+    std::uint32_t pick = 0;
+    double pick_d = std::numeric_limits<double>::infinity();
+    for (std::uint32_t v = 0; v < n; ++v) {
+      if (!in_tree[v] && best[v] < pick_d) {
+        pick = v;
+        pick_d = best[v];
+      }
+    }
+    in_tree[pick] = true;
+    t.add_link(parent[pick], pick, latency(parent[pick], pick));
+    for (std::uint32_t v = 0; v < n; ++v) {
+      if (!in_tree[v] && dist(pick, v) < best[v]) {
+        best[v] = dist(pick, v);
+        parent[v] = pick;
+      }
+    }
+  }
+
+  // Add the shortest remaining candidate edges until the target link count.
+  struct Cand {
+    double d;
+    std::uint32_t a, b;
+  };
+  std::vector<Cand> cands;
+  cands.reserve(static_cast<std::size_t>(n) * (n - 1) / 2);
+  for (std::uint32_t a = 0; a < n; ++a) {
+    for (std::uint32_t b = a + 1; b < n; ++b) {
+      if (!t.has_link(a, b)) cands.push_back(Cand{dist(a, b), a, b});
+    }
+  }
+  std::sort(cands.begin(), cands.end(),
+            [](const Cand& x, const Cand& y) { return x.d < y.d; });
+  std::size_t next = 0;
+  while (t.link_count() < links && next < cands.size()) {
+    const Cand& c = cands[next++];
+    t.add_link(c.a, c.b, latency(c.a, c.b));
+  }
+  return t;
+}
+
+Topology figure2_network() {
+  Topology t;
+  const DeviceId s = t.add_device("S");
+  const DeviceId a = t.add_device("A");
+  const DeviceId b = t.add_device("B");
+  const DeviceId w = t.add_device("W");
+  const DeviceId d = t.add_device("D");
+  const DeviceId c = t.add_device("C");
+  const double lat = 1e-3;
+  t.add_link(s, a, lat);
+  t.add_link(a, b, lat);
+  t.add_link(a, w, lat);
+  t.add_link(b, w, lat);
+  t.add_link(b, d, lat);
+  t.add_link(w, d, lat);
+  t.add_link(b, c, lat);
+  t.attach_prefix(d, packet::Ipv4Prefix::parse("10.0.0.0/23"));
+  t.attach_prefix(c, packet::Ipv4Prefix::parse("10.0.2.0/24"));
+  return t;
+}
+
+}  // namespace tulkun::topo

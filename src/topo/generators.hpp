@@ -1,0 +1,50 @@
+// Topology generators: data-center fabrics (fat-tree, 3-stage Clos) and
+// seeded synthetic WANs shaped like the paper's datasets.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "topo/topology.hpp"
+
+namespace tulkun::topo {
+
+/// Latency assigned to every DC link (the paper uses 10us for LAN/DC).
+inline constexpr double kDcLinkLatency = 10e-6;
+
+/// k-ary fat-tree [Al-Fares et al., SIGCOMM'08]: (k/2)^2 core switches,
+/// k pods of k/2 aggregation + k/2 edge switches. Each edge (ToR) switch
+/// gets an external /24 prefix 10.<pod>.<edge>.0/24.
+/// Requires k even, k >= 2.
+[[nodiscard]] Topology fat_tree(std::uint32_t k);
+
+/// 3-stage Clos datacenter (the paper's NGDC is "a real, Clos-based DC"):
+/// `pods` pods, each with `leaves_per_pod` ToRs fully meshed to
+/// `spines_per_pod` pod-spines; pod-spines connect to `cores` core switches.
+/// Each ToR gets an external /24 prefix.
+[[nodiscard]] Topology clos3(std::uint32_t pods, std::uint32_t spines_per_pod,
+                             std::uint32_t leaves_per_pod,
+                             std::uint32_t cores);
+
+/// Seeded synthetic WAN: `n` devices placed uniformly in a unit square,
+/// connected by a Euclidean minimum spanning tree plus the shortest
+/// remaining candidate edges until `target_links` links exist. Link latency
+/// is proportional to distance (max_latency at the square diagonal).
+/// Every device announces `prefixes_per_device` external /24s (WAN routers
+/// carry many prefixes; this is the dataset rule-count knob).
+/// Deterministic in `seed`.
+[[nodiscard]] Topology synthetic_wan(const std::string& name_prefix,
+                                     std::uint32_t n,
+                                     std::uint32_t target_links,
+                                     std::uint64_t seed,
+                                     double max_latency = 0.040,
+                                     std::uint32_t prefixes_per_device = 1);
+
+/// The five-switch example network of the paper's Figure 2a:
+/// S-A, A-B, A-W, B-W, B-D, W-D, plus C attached to B (used by the §9.1
+/// multicast/all-shortest-path demos). D owns 10.0.0.0/23, B owns
+/// 10.0.1.0/24 externally in the paper's example; prefix attachment here
+/// follows the figure: D is the destination for 10.0.0.0/23.
+[[nodiscard]] Topology figure2_network();
+
+}  // namespace tulkun::topo

@@ -1,0 +1,103 @@
+#include "topo/parser.hpp"
+
+#include <charconv>
+#include <sstream>
+#include <vector>
+
+namespace tulkun::topo {
+
+double parse_latency(std::string_view text) {
+  double scale = 1.0;
+  std::string_view num = text;
+  const auto ends_with = [&](std::string_view suffix) {
+    return text.size() > suffix.size() &&
+           text.substr(text.size() - suffix.size()) == suffix;
+  };
+  if (ends_with("ns")) {
+    scale = 1e-9;
+    num = text.substr(0, text.size() - 2);
+  } else if (ends_with("us")) {
+    scale = 1e-6;
+    num = text.substr(0, text.size() - 2);
+  } else if (ends_with("ms")) {
+    scale = 1e-3;
+    num = text.substr(0, text.size() - 2);
+  } else if (ends_with("s")) {
+    scale = 1.0;
+    num = text.substr(0, text.size() - 1);
+  }
+  double value = 0.0;
+  const auto [ptr, ec] =
+      std::from_chars(num.data(), num.data() + num.size(), value);
+  if (ec != std::errc{} || ptr != num.data() + num.size() || value < 0.0) {
+    throw TopologyError("malformed latency: '" + std::string(text) + "'");
+  }
+  return value * scale;
+}
+
+Topology parse_topology(std::istream& in) {
+  Topology t;
+  std::string line;
+  int line_no = 0;
+  const auto fail = [&](const std::string& why) -> void {
+    throw TopologyError("line " + std::to_string(line_no) + ": " + why);
+  };
+  while (std::getline(in, line)) {
+    ++line_no;
+    // Strip comments.
+    if (const auto hash = line.find('#'); hash != std::string::npos) {
+      line.resize(hash);
+    }
+    std::istringstream ls(line);
+    std::vector<std::string> tokens;
+    std::string tok;
+    while (ls >> tok) tokens.push_back(tok);
+    if (tokens.empty()) continue;
+
+    const std::string& kind = tokens[0];
+    if (kind == "device") {
+      if (tokens.size() != 2) fail("expected: device <name>");
+      t.add_device(tokens[1]);
+    } else if (kind == "link") {
+      if (tokens.size() != 4) fail("expected: link <a> <b> <latency>");
+      const auto a = t.find_device(tokens[1]);
+      const auto b = t.find_device(tokens[2]);
+      if (!a || !b) fail("link references unknown device");
+      t.add_link(*a, *b, parse_latency(tokens[3]));
+    } else if (kind == "prefix") {
+      if (tokens.size() != 3) fail("expected: prefix <device> <cidr>");
+      const auto d = t.find_device(tokens[1]);
+      if (!d) fail("prefix references unknown device");
+      t.attach_prefix(*d, packet::Ipv4Prefix::parse(tokens[2]));
+    } else {
+      fail("unknown directive: " + kind);
+    }
+  }
+  return t;
+}
+
+Topology parse_topology(std::string_view text) {
+  std::istringstream in{std::string(text)};
+  return parse_topology(in);
+}
+
+std::string to_text(const Topology& t) {
+  std::ostringstream out;
+  for (DeviceId d = 0; d < t.device_count(); ++d) {
+    out << "device " << t.name(d) << "\n";
+  }
+  for (DeviceId d = 0; d < t.device_count(); ++d) {
+    for (const auto& a : t.neighbors(d)) {
+      if (a.neighbor > d) {  // emit each bidirectional link once
+        out << "link " << t.name(d) << " " << t.name(a.neighbor) << " "
+            << a.latency_s * 1e6 << "us\n";
+      }
+    }
+  }
+  for (const auto& [d, p] : t.all_prefix_attachments()) {
+    out << "prefix " << t.name(d) << " " << p.to_string() << "\n";
+  }
+  return out.str();
+}
+
+}  // namespace tulkun::topo

@@ -1,0 +1,30 @@
+// Plain-text topology format, for examples and user-provided datasets:
+//
+//   # comment
+//   device S
+//   device A
+//   link S A 5ms        # latency suffix: ns / us / ms / s
+//   prefix S 10.0.0.0/24
+#pragma once
+
+#include <istream>
+#include <string_view>
+
+#include "topo/topology.hpp"
+
+namespace tulkun::topo {
+
+/// Parses the text format above. Throws TopologyError with a line number on
+/// malformed input.
+[[nodiscard]] Topology parse_topology(std::istream& in);
+
+/// Convenience overload for in-memory text.
+[[nodiscard]] Topology parse_topology(std::string_view text);
+
+/// Parses a duration like "5ms", "10us", "1s", "250ns" into seconds.
+[[nodiscard]] double parse_latency(std::string_view text);
+
+/// Serializes a topology back to the text format (round-trips with parse).
+[[nodiscard]] std::string to_text(const Topology& t);
+
+}  // namespace tulkun::topo

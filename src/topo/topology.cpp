@@ -1,0 +1,156 @@
+#include "topo/topology.hpp"
+
+#include <algorithm>
+#include <deque>
+#include <limits>
+#include <queue>
+
+namespace tulkun::topo {
+
+DeviceId Topology::add_device(const std::string& name) {
+  if (name.empty()) {
+    throw TopologyError("device name must be non-empty");
+  }
+  if (by_name_.contains(name)) {
+    throw TopologyError("duplicate device name: " + name);
+  }
+  const auto id = static_cast<DeviceId>(names_.size());
+  names_.push_back(name);
+  by_name_.emplace(name, id);
+  adj_.emplace_back();
+  prefixes_.emplace_back();
+  return id;
+}
+
+void Topology::add_link(DeviceId a, DeviceId b, double latency_s) {
+  TULKUN_ASSERT(a < names_.size() && b < names_.size());
+  if (a == b) {
+    throw TopologyError("self-loop link on device " + names_[a]);
+  }
+  if (has_link(a, b)) {
+    throw TopologyError("duplicate link " + names_[a] + "-" + names_[b]);
+  }
+  if (latency_s < 0.0) {
+    throw TopologyError("negative link latency");
+  }
+  adj_[a].push_back(Adjacency{b, latency_s});
+  adj_[b].push_back(Adjacency{a, latency_s});
+}
+
+void Topology::attach_prefix(DeviceId dev, const packet::Ipv4Prefix& prefix) {
+  TULKUN_ASSERT(dev < names_.size());
+  prefixes_[dev].push_back(prefix);
+}
+
+std::size_t Topology::link_count() const {
+  std::size_t total = 0;
+  for (const auto& a : adj_) total += a.size();
+  return total / 2;
+}
+
+DeviceId Topology::device(const std::string& name) const {
+  const auto it = by_name_.find(name);
+  if (it == by_name_.end()) {
+    throw TopologyError("unknown device: " + name);
+  }
+  return it->second;
+}
+
+std::optional<DeviceId> Topology::find_device(const std::string& name) const {
+  const auto it = by_name_.find(name);
+  if (it == by_name_.end()) return std::nullopt;
+  return it->second;
+}
+
+bool Topology::has_link(DeviceId a, DeviceId b) const {
+  TULKUN_ASSERT(a < adj_.size());
+  return std::any_of(adj_[a].begin(), adj_[a].end(),
+                     [b](const Adjacency& x) { return x.neighbor == b; });
+}
+
+double Topology::link_latency(DeviceId a, DeviceId b) const {
+  TULKUN_ASSERT(a < adj_.size());
+  for (const auto& x : adj_[a]) {
+    if (x.neighbor == b) return x.latency_s;
+  }
+  throw TopologyError("no link " + names_[a] + "-" + names_[b]);
+}
+
+std::vector<std::pair<DeviceId, packet::Ipv4Prefix>>
+Topology::all_prefix_attachments() const {
+  std::vector<std::pair<DeviceId, packet::Ipv4Prefix>> out;
+  for (DeviceId d = 0; d < prefixes_.size(); ++d) {
+    for (const auto& p : prefixes_[d]) out.emplace_back(d, p);
+  }
+  return out;
+}
+
+std::vector<DeviceId> Topology::devices_covering(
+    const packet::Ipv4Prefix& prefix) const {
+  std::vector<DeviceId> out;
+  for (DeviceId d = 0; d < prefixes_.size(); ++d) {
+    for (const auto& p : prefixes_[d]) {
+      if (p.covers(prefix) || prefix.covers(p)) {
+        out.push_back(d);
+        break;
+      }
+    }
+  }
+  return out;
+}
+
+std::vector<std::uint32_t> Topology::hop_distances_to(
+    DeviceId to, const std::unordered_set<LinkId>& failed) const {
+  TULKUN_ASSERT(to < adj_.size());
+  std::vector<std::uint32_t> dist(names_.size(), kUnreachable);
+  std::deque<DeviceId> queue;
+  dist[to] = 0;
+  queue.push_back(to);
+  while (!queue.empty()) {
+    const DeviceId cur = queue.front();
+    queue.pop_front();
+    for (const auto& a : adj_[cur]) {
+      // Walking backwards from `to`: the forwarding link is neighbor->cur.
+      if (failed.contains(LinkId{a.neighbor, cur}) ||
+          failed.contains(LinkId{cur, a.neighbor})) {
+        continue;
+      }
+      if (dist[a.neighbor] == kUnreachable) {
+        dist[a.neighbor] = dist[cur] + 1;
+        queue.push_back(a.neighbor);
+      }
+    }
+  }
+  return dist;
+}
+
+std::vector<double> Topology::latency_distances_to(DeviceId to) const {
+  TULKUN_ASSERT(to < adj_.size());
+  constexpr double kInf = std::numeric_limits<double>::infinity();
+  std::vector<double> dist(names_.size(), kInf);
+  using Entry = std::pair<double, DeviceId>;
+  std::priority_queue<Entry, std::vector<Entry>, std::greater<>> pq;
+  dist[to] = 0.0;
+  pq.emplace(0.0, to);
+  while (!pq.empty()) {
+    const auto [d, cur] = pq.top();
+    pq.pop();
+    if (d > dist[cur]) continue;
+    for (const auto& a : adj_[cur]) {
+      const double nd = d + a.latency_s;
+      if (nd < dist[a.neighbor]) {
+        dist[a.neighbor] = nd;
+        pq.emplace(nd, a.neighbor);
+      }
+    }
+  }
+  return dist;
+}
+
+std::vector<DeviceId> Topology::all_devices() const {
+  std::vector<DeviceId> out(names_.size());
+  for (DeviceId d = 0; d < names_.size(); ++d) out[d] = d;
+  return out;
+}
+
+}  // namespace tulkun::topo

@@ -1,0 +1,99 @@
+// Network topology: devices, bidirectional links with propagation latency,
+// and external prefix attachments (the paper's (device, IP_prefix) mapping
+// for devices with external ports).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "core/error.hpp"
+#include "core/ids.hpp"
+#include "packet/fields.hpp"
+
+namespace tulkun::topo {
+
+/// One directed adjacency entry.
+struct Adjacency {
+  DeviceId neighbor = kNoDevice;
+  double latency_s = 0.0;  // propagation latency of the link
+};
+
+/// A network topology. Links are stored as directed pairs; add_link()
+/// inserts both directions with the same latency (all paper topologies are
+/// symmetric).
+class Topology {
+ public:
+  /// Adds a device; name must be unique and non-empty. Returns its id.
+  DeviceId add_device(const std::string& name);
+
+  /// Adds a bidirectional link with the given propagation latency.
+  /// Duplicate links and self-loops are rejected.
+  void add_link(DeviceId a, DeviceId b, double latency_s);
+
+  /// Attaches an externally reachable prefix to a device (ToR/border port).
+  void attach_prefix(DeviceId dev, const packet::Ipv4Prefix& prefix);
+
+  [[nodiscard]] std::size_t device_count() const { return names_.size(); }
+  [[nodiscard]] std::size_t link_count() const;  // bidirectional link pairs
+
+  [[nodiscard]] const std::string& name(DeviceId d) const {
+    TULKUN_ASSERT(d < names_.size());
+    return names_[d];
+  }
+
+  /// Looks up a device by name; throws TopologyError if absent.
+  [[nodiscard]] DeviceId device(const std::string& name) const;
+
+  /// Looks up a device by name; nullopt if absent.
+  [[nodiscard]] std::optional<DeviceId> find_device(
+      const std::string& name) const;
+
+  [[nodiscard]] const std::vector<Adjacency>& neighbors(DeviceId d) const {
+    TULKUN_ASSERT(d < adj_.size());
+    return adj_[d];
+  }
+
+  [[nodiscard]] bool has_link(DeviceId a, DeviceId b) const;
+
+  /// Latency of link (a,b); throws TopologyError if absent.
+  [[nodiscard]] double link_latency(DeviceId a, DeviceId b) const;
+
+  [[nodiscard]] const std::vector<packet::Ipv4Prefix>& prefixes(
+      DeviceId d) const {
+    TULKUN_ASSERT(d < prefixes_.size());
+    return prefixes_[d];
+  }
+
+  /// All (device, prefix) attachments.
+  [[nodiscard]] std::vector<std::pair<DeviceId, packet::Ipv4Prefix>>
+  all_prefix_attachments() const;
+
+  /// Devices owning a prefix covering `prefix` (used by spec consistency
+  /// checks: which devices can be the destination of this packet space).
+  [[nodiscard]] std::vector<DeviceId> devices_covering(
+      const packet::Ipv4Prefix& prefix) const;
+
+  /// Hop-count shortest distance from every device to `to`
+  /// (kUnreachable when disconnected). `failed` links are excluded.
+  static constexpr std::uint32_t kUnreachable = ~0U;
+  [[nodiscard]] std::vector<std::uint32_t> hop_distances_to(
+      DeviceId to, const std::unordered_set<LinkId>& failed = {}) const;
+
+  /// Latency-weighted shortest distance from every device to `to`.
+  [[nodiscard]] std::vector<double> latency_distances_to(DeviceId to) const;
+
+  /// All device ids [0, device_count).
+  [[nodiscard]] std::vector<DeviceId> all_devices() const;
+
+ private:
+  std::vector<std::string> names_;
+  std::unordered_map<std::string, DeviceId> by_name_;
+  std::vector<std::vector<Adjacency>> adj_;
+  std::vector<std::vector<packet::Ipv4Prefix>> prefixes_;
+};
+
+}  // namespace tulkun::topo

@@ -1,0 +1,69 @@
+#include "verifier/flooding.hpp"
+
+namespace tulkun::verifier {
+
+namespace {
+LinkId canonical(LinkId l) { return l.from < l.to ? l : l.reversed(); }
+}  // namespace
+
+bool FloodingAgent::record(const dvm::LinkStateMessage& msg) {
+  const LinkId key = canonical(msg.link);
+  auto& rec = records_[key];
+  const bool newer = msg.seq > rec.seq ||
+                     (msg.seq == rec.seq && msg.origin < rec.origin &&
+                      rec.origin != kNoDevice);
+  if (!newer && rec.origin != kNoDevice) return false;
+  const bool state_changed = rec.up != msg.up || rec.origin == kNoDevice;
+  rec.seq = msg.seq;
+  rec.origin = msg.origin;
+  rec.up = msg.up;
+  return state_changed;
+}
+
+std::vector<dvm::Envelope> FloodingAgent::flood(
+    const dvm::LinkStateMessage& msg, DeviceId except) {
+  std::vector<dvm::Envelope> out;
+  for (const auto& adj : topo_->neighbors(dev_)) {
+    if (adj.neighbor == except) continue;
+    // Do not flood over the failed link itself.
+    if (!msg.up && canonical(msg.link) ==
+                       canonical(LinkId{dev_, adj.neighbor})) {
+      continue;
+    }
+    out.push_back(dvm::Envelope{dev_, adj.neighbor, msg});
+  }
+  return out;
+}
+
+std::vector<dvm::Envelope> FloodingAgent::local_event(LinkId link, bool up) {
+  dvm::LinkStateMessage msg;
+  msg.link = canonical(link);
+  msg.up = up;
+  msg.seq = next_seq_++;
+  msg.origin = dev_;
+  record(msg);
+  return flood(msg, kNoDevice);
+}
+
+std::vector<dvm::Envelope> FloodingAgent::on_message(
+    DeviceId from, const dvm::LinkStateMessage& msg, bool& changed) {
+  changed = false;
+  const auto seen_key = std::make_pair(msg.origin, canonical(msg.link));
+  const auto it = seen_.find(seen_key);
+  if (it != seen_.end() && it->second >= msg.seq) {
+    return {};  // already processed this (or a newer) announcement
+  }
+  seen_[seen_key] = msg.seq;
+  changed = record(msg);
+  return flood(msg, from);
+}
+
+std::vector<LinkId> FloodingAgent::failed_links() const {
+  std::vector<LinkId> out;
+  for (const auto& [link, rec] : records_) {
+    if (!rec.up) out.push_back(link);
+  }
+  return out;
+}
+
+}  // namespace tulkun::verifier

@@ -1,0 +1,58 @@
+// Link-state failure flooding (§6): when a fault scene happens, verifiers
+// detecting link failures flood them (Open/R- and OSPF-style) so every
+// device converges on the same failed-link set and can recount without
+// contacting the planner.
+#pragma once
+
+#include <map>
+#include <optional>
+#include <set>
+#include <vector>
+
+#include "dvm/message.hpp"
+#include "topo/topology.hpp"
+
+namespace tulkun::verifier {
+
+/// One device's flooding agent. Deduplicates by (origin, seq) and returns
+/// the neighbors to re-flood to.
+class FloodingAgent {
+ public:
+  FloodingAgent(DeviceId dev, const topo::Topology& topo)
+      : dev_(dev), topo_(&topo) {}
+
+  /// A locally detected link event (one endpoint is this device). Returns
+  /// the messages to originate.
+  std::vector<dvm::Envelope> local_event(LinkId link, bool up);
+
+  /// Handles a received LINKSTATE. Returns re-flood messages; sets
+  /// `changed` when the known failed-link set changed.
+  std::vector<dvm::Envelope> on_message(DeviceId from,
+                                        const dvm::LinkStateMessage& msg,
+                                        bool& changed);
+
+  /// Currently known failed links (canonical from < to, sorted).
+  [[nodiscard]] std::vector<LinkId> failed_links() const;
+
+ private:
+  std::vector<dvm::Envelope> flood(const dvm::LinkStateMessage& msg,
+                                   DeviceId except);
+  bool record(const dvm::LinkStateMessage& msg);
+
+  DeviceId dev_;
+  const topo::Topology* topo_;
+  std::uint64_t next_seq_ = 1;
+  // Per link: latest (seq, origin, up). Higher seq wins; ties by origin.
+  struct LinkRecord {
+    std::uint64_t seq = 0;
+    DeviceId origin = kNoDevice;
+    bool up = true;
+  };
+  std::map<LinkId, LinkRecord> records_;
+  // Flood dedup is per (origin, link): both endpoints may announce the
+  // same link with independent sequence spaces, and each announcement must
+  // be re-flooded at most once.
+  std::map<std::pair<DeviceId, LinkId>, std::uint64_t> seen_;
+};
+
+}  // namespace tulkun::verifier

@@ -1,0 +1,209 @@
+#include "verifier/verifier.hpp"
+
+#include <algorithm>
+
+namespace tulkun::verifier {
+
+OnDeviceVerifier::OnDeviceVerifier(DeviceId dev, const topo::Topology& topo,
+                                   packet::PacketSpace& space,
+                                   dvm::EngineConfig cfg)
+    : dev_(dev),
+      topo_(&topo),
+      space_(&space),
+      cfg_(cfg),
+      builder_(space),
+      flooding_(dev, topo) {}
+
+void OnDeviceVerifier::install(const planner::InvariantPlan& plan) {
+  Installed inst;
+  inst.id = plan.id;
+  inst.dag = plan.dag;
+  inst.inv = std::make_shared<spec::Invariant>(plan.inv);
+  inst.scenes = plan.scenes;
+  inst.engine = std::make_unique<dvm::DeviceEngine>(
+      dev_, *inst.dag, *inst.inv, inst.id, *space_, cfg_);
+  if (initialized_) {
+    // Late install: engines need the current LEC immediately.
+    (void)inst.engine->set_lec(lec_);
+  }
+  installed_.push_back(std::move(inst));
+}
+
+void OnDeviceVerifier::install_multipath(const planner::MultiPathPlan& plan) {
+  InstalledMultiPath inst;
+  inst.id = plan.id;
+  inst.dag_a = plan.dag_a;
+  inst.dag_b = plan.dag_b;
+  inst.inv = std::make_shared<spec::MultiPathInvariant>(plan.inv);
+  inst.engine = std::make_unique<dvm::PathSetEngine>(
+      dev_, *inst.dag_a, *inst.dag_b, *inst.inv, inst.id, *space_);
+  if (initialized_) {
+    (void)inst.engine->set_lec(lec_);
+  }
+  multipath_.push_back(std::move(inst));
+}
+
+std::optional<std::pair<spec::PathSet, spec::PathSet>>
+OnDeviceVerifier::multipath_view(InvariantId session) const {
+  for (const auto& inst : multipath_) {
+    if (inst.id == session) return inst.engine->comparator_view();
+  }
+  return std::nullopt;
+}
+
+std::vector<dvm::Envelope> OnDeviceVerifier::initialize(fib::FibTable fib) {
+  fib_ = std::move(fib);
+  lec_ = builder_.build(fib_);
+  ++stats_.lec_builds;
+  initialized_ = true;
+  std::vector<dvm::Envelope> out;
+  for (auto& inst : installed_) {
+    auto msgs = inst.engine->set_lec(lec_);
+    out.insert(out.end(), std::make_move_iterator(msgs.begin()),
+               std::make_move_iterator(msgs.end()));
+  }
+  for (auto& inst : multipath_) {
+    auto msgs = inst.engine->set_lec(lec_);
+    out.insert(out.end(), std::make_move_iterator(msgs.begin()),
+               std::make_move_iterator(msgs.end()));
+  }
+  return out;
+}
+
+std::vector<dvm::Envelope> OnDeviceVerifier::apply_rule_update(
+    fib::FibUpdate& update) {
+  TULKUN_ASSERT(initialized_);
+  TULKUN_ASSERT(update.device == dev_);
+
+  const packet::Ipv4Prefix region_prefix =
+      update.kind == fib::FibUpdate::Kind::Insert
+          ? update.rule.dst_prefix
+          : fib_.rule(update.rule_id).dst_prefix;
+  const packet::PacketSet region =
+      update.kind == fib::FibUpdate::Kind::Insert
+          ? update.rule.match(*space_)
+          : fib_.rule(update.rule_id).match(*space_);
+
+  const auto before =
+      builder_.effective_in_region(fib_, region_prefix, region);
+  if (update.kind == fib::FibUpdate::Kind::Insert) {
+    update.rule_id = fib_.insert(update.rule);
+  } else {
+    update.rule = fib_.erase(update.rule_id);
+  }
+  const auto after = builder_.effective_in_region(fib_, region_prefix, region);
+  const auto deltas = builder_.region_deltas(before, after);
+
+  std::vector<dvm::Envelope> out;
+  if (deltas.empty()) return out;  // shadowed update: nothing changed
+
+  lec_ = builder_.apply_patch(lec_, region, after);
+  ++stats_.lec_patches;
+  for (auto& inst : installed_) {
+    auto msgs = inst.engine->on_lec_deltas(deltas, lec_);
+    out.insert(out.end(), std::make_move_iterator(msgs.begin()),
+               std::make_move_iterator(msgs.end()));
+  }
+  for (auto& inst : multipath_) {
+    auto msgs = inst.engine->on_lec_deltas(deltas, lec_);
+    out.insert(out.end(), std::make_move_iterator(msgs.begin()),
+               std::make_move_iterator(msgs.end()));
+  }
+  return out;
+}
+
+std::vector<dvm::Envelope> OnDeviceVerifier::on_message(
+    const dvm::Envelope& env) {
+  TULKUN_ASSERT(env.dst == dev_);
+  ++stats_.messages_handled;
+  std::vector<dvm::Envelope> out;
+
+  if (const auto* u = std::get_if<dvm::UpdateMessage>(&env.msg)) {
+    for (auto& inst : installed_) {
+      if (inst.id != u->invariant) continue;
+      auto msgs = inst.engine->on_update(*u);
+      out.insert(out.end(), std::make_move_iterator(msgs.begin()),
+                 std::make_move_iterator(msgs.end()));
+    }
+  } else if (const auto* s = std::get_if<dvm::SubscribeMessage>(&env.msg)) {
+    for (auto& inst : installed_) {
+      if (inst.id != s->invariant) continue;
+      auto msgs = inst.engine->on_subscribe(*s);
+      out.insert(out.end(), std::make_move_iterator(msgs.begin()),
+                 std::make_move_iterator(msgs.end()));
+    }
+  } else if (const auto* p = std::get_if<dvm::PathSetUpdate>(&env.msg)) {
+    for (auto& inst : multipath_) {
+      if (inst.id != p->session) continue;
+      auto msgs = inst.engine->on_pathset(*p);
+      out.insert(out.end(), std::make_move_iterator(msgs.begin()),
+                 std::make_move_iterator(msgs.end()));
+    }
+  } else if (const auto* l = std::get_if<dvm::LinkStateMessage>(&env.msg)) {
+    bool changed = false;
+    auto refloods = flooding_.on_message(env.src, *l, changed);
+    out.insert(out.end(), std::make_move_iterator(refloods.begin()),
+               std::make_move_iterator(refloods.end()));
+    if (changed) resync_scenes(out);
+  }
+  return out;
+}
+
+std::vector<dvm::Envelope> OnDeviceVerifier::on_local_link_event(LinkId link,
+                                                                 bool up) {
+  auto out = flooding_.local_event(link, up);
+  resync_scenes(out);
+  return out;
+}
+
+void OnDeviceVerifier::resync_scenes(std::vector<dvm::Envelope>& out) {
+  const auto failed = flooding_.failed_links();
+  const spec::FaultScene current = spec::FaultScene::of(failed);
+  for (auto& inst : installed_) {
+    const auto it =
+        std::find(inst.scenes.begin(), inst.scenes.end(), current);
+    if (it == inst.scenes.end()) {
+      // §6: a scene the operator did not pre-specify — report to planner.
+      ++stats_.unknown_scene_reports;
+      continue;
+    }
+    const auto scene = static_cast<std::size_t>(it - inst.scenes.begin());
+    auto msgs = inst.engine->on_scene_change(scene);
+    out.insert(out.end(), std::make_move_iterator(msgs.begin()),
+               std::make_move_iterator(msgs.end()));
+  }
+}
+
+std::vector<dvm::Violation> OnDeviceVerifier::violations() const {
+  std::vector<dvm::Violation> out;
+  for (const auto& inst : installed_) {
+    const auto& v = inst.engine->violations();
+    out.insert(out.end(), v.begin(), v.end());
+  }
+  for (const auto& inst : multipath_) {
+    const auto& v = inst.engine->violations();
+    out.insert(out.end(), v.begin(), v.end());
+  }
+  return out;
+}
+
+std::vector<std::pair<DeviceId, std::vector<dvm::CountEntry>>>
+OnDeviceVerifier::source_results(InvariantId id) const {
+  for (const auto& inst : installed_) {
+    if (inst.id == id) return inst.engine->source_results();
+  }
+  return {};
+}
+
+std::size_t OnDeviceVerifier::memory_bytes() const {
+  // Predicates share the session BDD arena; attribute 16 bytes per BDD node
+  // per reference plus table bookkeeping. A proxy, but a consistent one.
+  std::size_t bytes = 0;
+  for (const auto& e : lec_.entries()) {
+    bytes += e.pred.bdd_nodes() * 16 + sizeof(fib::Lec);
+  }
+  bytes += fib_.size() * sizeof(fib::Rule);
+  return bytes;
+}
+
+}  // namespace tulkun::verifier

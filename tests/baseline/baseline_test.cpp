@@ -1,0 +1,132 @@
+#include "baseline/centralized.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "eval/fib_synth.hpp"
+#include "topo/generators.hpp"
+
+namespace tulkun::baseline {
+namespace {
+
+class BaselineTest : public ::testing::Test {
+ protected:
+  topo::Topology topo = topo::fat_tree(4);
+
+  fib::NetworkFib make_net() {
+    return eval::synthesize(topo, eval::SynthOptions{2, 0, 42});
+  }
+
+  QuerySet make_queries(fib::NetworkFib& net, std::uint32_t slack = 0) {
+    return all_pair_queries(topo, net.space(), slack);
+  }
+};
+
+TEST_F(BaselineTest, QueriesCoverAllTorPairs) {
+  auto net = make_net();
+  const auto queries = make_queries(net);
+  // fat_tree(4): 8 ToRs (prefix owners) as destinations; ingress = every
+  // other device that can reach them.
+  std::size_t tor_pairs = 0;
+  for (const auto& q : queries) {
+    EXPECT_NE(q.ingress, q.dst);
+    if (!topo.prefixes(q.ingress).empty()) ++tor_pairs;
+  }
+  EXPECT_EQ(tor_pairs, 8u * 7u);
+}
+
+TEST_F(BaselineTest, CollectionLatencyPositive) {
+  EXPECT_GT(collection_latency(topo, 0), 0.0);
+  EXPECT_GE(update_latency(topo, 0, 1), 0.0);
+  EXPECT_EQ(update_latency(topo, 0, 0), 0.0);
+}
+
+class EveryBaseline : public BaselineTest,
+                      public ::testing::WithParamInterface<int> {
+ protected:
+  std::unique_ptr<CentralizedVerifier> make_tool() {
+    switch (GetParam()) {
+      case 0: return make_ap();
+      case 1: return make_apkeep();
+      case 2: return make_deltanet();
+      case 3: return make_veriflow();
+      default: return make_flash();
+    }
+  }
+};
+
+TEST_P(EveryBaseline, CleanPlanePassesBurst) {
+  auto tool = make_tool();
+  auto net = make_net();
+  const auto queries = make_queries(net);
+  const double t = tool->burst(net, queries);
+  EXPECT_GE(t, 0.0);
+  EXPECT_TRUE(tool->violations().empty()) << tool->name();
+  EXPECT_GT(tool->memory_bytes(), 0u);
+}
+
+TEST_P(EveryBaseline, BlackholeDetectedInBurst) {
+  auto tool = make_tool();
+  auto net = make_net();
+  // Ingress-local blackhole: p1_tor0 drops traffic toward p0_tor0's
+  // prefix, so exactly that (ingress, dst) pair loses reachability.
+  eval::inject_blackhole(net, topo.device("p1_tor0"),
+                         packet::Ipv4Prefix::parse("10.0.0.0/24"));
+  const auto queries = make_queries(net);
+  (void)tool->burst(net, queries);
+  ASSERT_FALSE(tool->violations().empty()) << tool->name();
+  for (const auto& v : tool->violations()) {
+    EXPECT_EQ(v.dst, topo.device("p0_tor0")) << tool->name();
+    EXPECT_EQ(v.ingress, topo.device("p1_tor0")) << tool->name();
+  }
+}
+
+TEST_P(EveryBaseline, IncrementalDetectsAndClears) {
+  auto tool = make_tool();
+  auto net = make_net();
+  const auto queries = make_queries(net);
+  (void)tool->burst(net, queries);
+  ASSERT_TRUE(tool->violations().empty());
+
+  // Break p0_tor0 -> everything: drop its uplink traffic toward
+  // p1_tor0's prefix at the ToR itself.
+  fib::Rule bad;
+  bad.priority = 500;
+  bad.dst_prefix = packet::Ipv4Prefix::parse("10.1.0.0/24");
+  bad.action = fib::Action::drop();
+  auto upd = fib::FibUpdate::insert(topo.device("p0_tor0"), bad);
+  auto deltas = fib::apply_update(net, upd);
+  (void)tool->incremental(net, upd, deltas, queries);
+  EXPECT_FALSE(tool->violations().empty()) << tool->name();
+
+  auto erase = fib::FibUpdate::erase(topo.device("p0_tor0"), upd.rule_id);
+  deltas = fib::apply_update(net, erase);
+  (void)tool->incremental(net, erase, deltas, queries);
+  EXPECT_TRUE(tool->violations().empty()) << tool->name();
+}
+
+TEST_P(EveryBaseline, ReverifyIsConsistentWithBurst) {
+  auto tool = make_tool();
+  auto net = make_net();
+  eval::inject_blackhole(net, topo.device("p1_tor0"),
+                         packet::Ipv4Prefix::parse("10.0.0.0/24"));
+  const auto queries = make_queries(net);
+  (void)tool->burst(net, queries);
+  const auto after_burst = tool->violations().size();
+  (void)tool->reverify(net, queries);
+  EXPECT_EQ(tool->violations().size(), after_burst) << tool->name();
+}
+
+INSTANTIATE_TEST_SUITE_P(Tools, EveryBaseline, ::testing::Range(0, 5));
+
+TEST_F(BaselineTest, AllBaselinesHaveDistinctNames) {
+  const auto tools = make_all_baselines();
+  ASSERT_EQ(tools.size(), 5u);
+  std::set<std::string> names;
+  for (const auto& t : tools) names.insert(t->name());
+  EXPECT_EQ(names.size(), 5u);
+}
+
+}  // namespace
+}  // namespace tulkun::baseline

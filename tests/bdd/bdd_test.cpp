@@ -1,0 +1,198 @@
+#include "bdd/manager.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/rng.hpp"
+
+namespace tulkun::bdd {
+namespace {
+
+TEST(BddManager, TerminalsAreFixed) {
+  Manager m(8);
+  EXPECT_EQ(kFalse, 0u);
+  EXPECT_EQ(kTrue, 1u);
+  EXPECT_EQ(m.arena_size(), 2u);
+}
+
+TEST(BddManager, VarAndNegVar) {
+  Manager m(8);
+  const NodeRef x = m.var(3);
+  const NodeRef nx = m.nvar(3);
+  EXPECT_EQ(m.negate(x), nx);
+  EXPECT_EQ(m.negate(nx), x);
+  EXPECT_EQ(m.land(x, nx), kFalse);
+  EXPECT_EQ(m.lor(x, nx), kTrue);
+}
+
+TEST(BddManager, MkReducesEqualChildren) {
+  Manager m(8);
+  EXPECT_EQ(m.mk(2, kTrue, kTrue), kTrue);
+  EXPECT_EQ(m.mk(2, kFalse, kFalse), kFalse);
+}
+
+TEST(BddManager, HashConsingGivesCanonicalNodes) {
+  Manager m(8);
+  const NodeRef a = m.land(m.var(0), m.var(1));
+  const NodeRef b = m.land(m.var(1), m.var(0));
+  EXPECT_EQ(a, b);  // structural equality == reference equality
+}
+
+TEST(BddManager, AndOrXorTruthTable) {
+  Manager m(4);
+  const NodeRef x = m.var(0);
+  const NodeRef y = m.var(1);
+  EXPECT_EQ(m.land(x, kTrue), x);
+  EXPECT_EQ(m.land(x, kFalse), kFalse);
+  EXPECT_EQ(m.lor(x, kFalse), x);
+  EXPECT_EQ(m.lor(x, kTrue), kTrue);
+  EXPECT_EQ(m.lxor(x, x), kFalse);
+  EXPECT_EQ(m.lxor(x, kFalse), x);
+  EXPECT_EQ(m.lxor(x, kTrue), m.negate(x));
+  EXPECT_EQ(m.diff(x, y), m.land(x, m.negate(y)));
+}
+
+TEST(BddManager, DeMorgan) {
+  Manager m(6);
+  const NodeRef x = m.var(2);
+  const NodeRef y = m.var(4);
+  EXPECT_EQ(m.negate(m.land(x, y)), m.lor(m.negate(x), m.negate(y)));
+  EXPECT_EQ(m.negate(m.lor(x, y)), m.land(m.negate(x), m.negate(y)));
+}
+
+TEST(BddManager, IteMatchesDefinition) {
+  Manager m(6);
+  const NodeRef f = m.var(0);
+  const NodeRef g = m.var(1);
+  const NodeRef h = m.var(2);
+  const NodeRef expected =
+      m.lor(m.land(f, g), m.land(m.negate(f), h));
+  EXPECT_EQ(m.ite(f, g, h), expected);
+}
+
+TEST(BddManager, Implies) {
+  Manager m(4);
+  const NodeRef x = m.var(0);
+  const NodeRef xy = m.land(x, m.var(1));
+  EXPECT_TRUE(m.implies(xy, x));
+  EXPECT_FALSE(m.implies(x, xy));
+  EXPECT_TRUE(m.implies(kFalse, x));
+  EXPECT_TRUE(m.implies(x, kTrue));
+}
+
+TEST(BddManager, SatCountSingleVar) {
+  Manager m(4);
+  // One constrained variable out of 4: half the assignments satisfy.
+  EXPECT_DOUBLE_EQ(m.sat_count(m.var(0)), 8.0);
+  EXPECT_DOUBLE_EQ(m.sat_count(m.var(3)), 8.0);
+  EXPECT_DOUBLE_EQ(m.sat_count(kTrue), 16.0);
+  EXPECT_DOUBLE_EQ(m.sat_count(kFalse), 0.0);
+}
+
+TEST(BddManager, SatCountConjunction) {
+  Manager m(10);
+  NodeRef conj = kTrue;
+  for (std::uint32_t v = 0; v < 4; ++v) conj = m.land(conj, m.var(v));
+  EXPECT_DOUBLE_EQ(m.sat_count(conj), std::pow(2.0, 6));
+}
+
+TEST(BddManager, SatCountDisjointUnionAdds) {
+  Manager m(8);
+  const NodeRef a = m.land(m.var(0), m.var(1));
+  const NodeRef b = m.land(m.negate(m.var(0)), m.var(2));
+  EXPECT_DOUBLE_EQ(m.sat_count(m.lor(a, b)),
+                   m.sat_count(a) + m.sat_count(b));
+}
+
+TEST(BddManager, NodeCount) {
+  Manager m(8);
+  EXPECT_EQ(m.node_count(kTrue), 0u);
+  EXPECT_EQ(m.node_count(m.var(0)), 1u);
+  const NodeRef chain = m.land(m.land(m.var(0), m.var(1)), m.var(2));
+  EXPECT_EQ(m.node_count(chain), 3u);
+}
+
+TEST(BddManager, AnySatIsSatisfying) {
+  Manager m(8);
+  const NodeRef f =
+      m.lor(m.land(m.var(1), m.nvar(3)), m.land(m.var(2), m.var(5)));
+  const auto path = m.any_sat(f);
+  // Evaluate f under the returned partial assignment: walk manually.
+  NodeRef cur = f;
+  for (const auto& [var, val] : path) {
+    ASSERT_GE(cur, 2u);
+    const auto& n = m.node(cur);
+    ASSERT_EQ(n.var, var);
+    cur = val ? n.high : n.low;
+  }
+  EXPECT_EQ(cur, kTrue);
+}
+
+TEST(BddManager, ExistsRangeDropsConstraint) {
+  Manager m(8);
+  const NodeRef f = m.land(m.var(2), m.var(5));
+  // Quantifying out var 2 leaves just var 5.
+  EXPECT_EQ(m.exists_range(f, 2, 3), m.var(5));
+  // Quantifying everything yields TRUE (f is satisfiable).
+  EXPECT_EQ(m.exists_range(f, 0, 8), kTrue);
+  EXPECT_EQ(m.exists_range(kFalse, 0, 8), kFalse);
+}
+
+TEST(BddManager, ExistsRangeOfDisjunction) {
+  Manager m(8);
+  // f = x2 | x5; exists x2. f == TRUE.
+  const NodeRef f = m.lor(m.var(2), m.var(5));
+  EXPECT_EQ(m.exists_range(f, 2, 3), kTrue);
+}
+
+TEST(BddManager, ResetInvalidatesArena) {
+  Manager m(8);
+  (void)m.land(m.var(0), m.var(1));
+  const auto size_before = m.arena_size();
+  EXPECT_GT(size_before, 2u);
+  m.reset();
+  EXPECT_EQ(m.arena_size(), 2u);
+  // Rebuilt structures are canonical again.
+  EXPECT_EQ(m.land(m.var(0), m.var(1)), m.land(m.var(1), m.var(0)));
+}
+
+// Property test: random 3-term formulas obey boolean identities.
+class BddPropertyTest : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(BddPropertyTest, RandomFormulasSatisfyIdentities) {
+  Manager m(12);
+  Rng rng(GetParam());
+  const auto random_term = [&]() {
+    NodeRef t = kTrue;
+    for (int i = 0; i < 3; ++i) {
+      const auto v = static_cast<std::uint32_t>(rng.index(12));
+      t = m.land(t, rng.chance(0.5) ? m.var(v) : m.nvar(v));
+    }
+    return t;
+  };
+  const NodeRef a = random_term();
+  const NodeRef b = random_term();
+  const NodeRef c = random_term();
+
+  // Distributivity.
+  EXPECT_EQ(m.land(a, m.lor(b, c)), m.lor(m.land(a, b), m.land(a, c)));
+  // Absorption.
+  EXPECT_EQ(m.lor(a, m.land(a, b)), a);
+  // Double negation.
+  EXPECT_EQ(m.negate(m.negate(a)), a);
+  // Difference definition.
+  EXPECT_EQ(m.diff(a, b), m.land(a, m.negate(b)));
+  // Xor via or/and.
+  EXPECT_EQ(m.lxor(a, b), m.diff(m.lor(a, b), m.land(a, b)));
+  // Sat-count inclusion-exclusion.
+  EXPECT_DOUBLE_EQ(m.sat_count(m.lor(a, b)),
+                   m.sat_count(a) + m.sat_count(b) -
+                       m.sat_count(m.land(a, b)));
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, BddPropertyTest,
+                         ::testing::Range<std::uint64_t>(1, 21));
+
+}  // namespace
+}  // namespace tulkun::bdd

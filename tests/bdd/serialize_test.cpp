@@ -1,0 +1,90 @@
+#include "bdd/serialize.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/rng.hpp"
+
+namespace tulkun::bdd {
+namespace {
+
+TEST(BddSerialize, TerminalsRoundTrip) {
+  Manager m(8);
+  EXPECT_EQ(deserialize(m, serialize(m, kFalse)), kFalse);
+  EXPECT_EQ(deserialize(m, serialize(m, kTrue)), kTrue);
+}
+
+TEST(BddSerialize, SingleVarRoundTrip) {
+  Manager m(8);
+  const NodeRef x = m.var(5);
+  EXPECT_EQ(deserialize(m, serialize(m, x)), x);
+}
+
+TEST(BddSerialize, CrossManagerTransfer) {
+  Manager src(16);
+  Manager dst(16);
+  const NodeRef f =
+      src.lor(src.land(src.var(0), src.nvar(7)), src.var(12));
+  const NodeRef g = deserialize(dst, serialize(src, f));
+  // Same function: equal sat counts and same structure when re-serialized.
+  EXPECT_DOUBLE_EQ(src.sat_count(f), dst.sat_count(g));
+  EXPECT_EQ(serialize(src, f), serialize(dst, g));
+}
+
+TEST(BddSerialize, SizeMatchesFormula) {
+  Manager m(16);
+  const NodeRef f = m.land(m.var(0), m.land(m.var(1), m.var(2)));
+  EXPECT_EQ(serialize(m, f).size(), serialized_size(m, f));
+  EXPECT_EQ(serialized_size(m, f), 8 + 3 * 12);
+}
+
+TEST(BddSerialize, RejectsTruncatedBuffer) {
+  Manager m(8);
+  auto bytes = serialize(m, m.land(m.var(0), m.var(1)));
+  bytes.resize(bytes.size() - 1);
+  EXPECT_THROW((void)deserialize(m, bytes), Error);
+}
+
+TEST(BddSerialize, RejectsVariableOutOfRange) {
+  Manager big(32);
+  Manager small(4);
+  const auto bytes = serialize(big, big.var(20));
+  EXPECT_THROW((void)deserialize(small, bytes), Error);
+}
+
+TEST(BddSerialize, RejectsForwardReference) {
+  // Hand-craft a buffer whose node references a not-yet-defined node.
+  std::vector<std::uint8_t> bytes;
+  const auto put = [&](std::uint32_t v) {
+    for (int i = 0; i < 4; ++i) bytes.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+  };
+  put(1);  // one node
+  put(2);  // root = first node
+  put(0);  // var 0
+  put(3);  // low -> local ref 3 (node index 1): forward/dangling
+  put(1);  // high -> TRUE
+  Manager m(8);
+  EXPECT_THROW((void)deserialize(m, bytes), Error);
+}
+
+TEST(BddSerialize, RandomFormulaRoundTrips) {
+  Manager src(24);
+  Manager dst(24);
+  Rng rng(99);
+  for (int round = 0; round < 20; ++round) {
+    NodeRef f = kFalse;
+    for (int term = 0; term < 4; ++term) {
+      NodeRef t = kTrue;
+      for (int lit = 0; lit < 5; ++lit) {
+        const auto v = static_cast<std::uint32_t>(rng.index(24));
+        t = src.land(t, rng.chance(0.5) ? src.var(v) : src.nvar(v));
+      }
+      f = src.lor(f, t);
+    }
+    const NodeRef g = deserialize(dst, serialize(src, f));
+    EXPECT_EQ(serialize(src, f), serialize(dst, g));
+    EXPECT_DOUBLE_EQ(src.sat_count(f), dst.sat_count(g));
+  }
+}
+
+}  // namespace
+}  // namespace tulkun::bdd

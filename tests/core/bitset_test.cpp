@@ -1,0 +1,76 @@
+#include "core/bitset.hpp"
+
+#include <gtest/gtest.h>
+
+namespace tulkun {
+namespace {
+
+TEST(DynBitset, SetTestReset) {
+  DynBitset b(100);
+  EXPECT_FALSE(b.any());
+  b.set(0);
+  b.set(63);
+  b.set(64);
+  b.set(99);
+  EXPECT_TRUE(b.test(0));
+  EXPECT_TRUE(b.test(63));
+  EXPECT_TRUE(b.test(64));
+  EXPECT_TRUE(b.test(99));
+  EXPECT_FALSE(b.test(1));
+  EXPECT_EQ(b.count(), 4u);
+  b.reset(63);
+  EXPECT_FALSE(b.test(63));
+  EXPECT_EQ(b.count(), 3u);
+}
+
+TEST(DynBitset, SetAllRespectsSize) {
+  DynBitset b(70);
+  b.set_all();
+  EXPECT_EQ(b.count(), 70u);
+}
+
+TEST(DynBitset, AndOrSubtract) {
+  DynBitset a(128);
+  DynBitset b(128);
+  a.set(1);
+  a.set(100);
+  b.set(100);
+  b.set(2);
+
+  DynBitset and_ab = a;
+  and_ab &= b;
+  EXPECT_EQ(and_ab.count(), 1u);
+  EXPECT_TRUE(and_ab.test(100));
+
+  DynBitset or_ab = a;
+  or_ab |= b;
+  EXPECT_EQ(or_ab.count(), 3u);
+
+  DynBitset diff = a;
+  diff.subtract(b);
+  EXPECT_EQ(diff.count(), 1u);
+  EXPECT_TRUE(diff.test(1));
+}
+
+TEST(DynBitset, Intersects) {
+  DynBitset a(64);
+  DynBitset b(64);
+  a.set(5);
+  b.set(6);
+  EXPECT_FALSE(a.intersects(b));
+  b.set(5);
+  EXPECT_TRUE(a.intersects(b));
+}
+
+TEST(DynBitset, ForEachVisitsAllSetBits) {
+  DynBitset b(130);
+  for (std::size_t i = 0; i < 130; i += 13) b.set(i);
+  std::vector<std::size_t> seen;
+  b.for_each([&](std::size_t i) { seen.push_back(i); });
+  std::vector<std::size_t> expected;
+  for (std::size_t i = 0; i < 130; i += 13) expected.push_back(i);
+  EXPECT_EQ(seen, expected);
+}
+
+}  // namespace
+}  // namespace tulkun

@@ -1,0 +1,103 @@
+#include "core/interval_set.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/rng.hpp"
+
+namespace tulkun {
+namespace {
+
+TEST(IntervalSet, EmptyBehaviour) {
+  IntervalSet s;
+  EXPECT_TRUE(s.empty());
+  EXPECT_EQ(s.size(), 0u);
+  EXPECT_FALSE(s.contains(0));
+}
+
+TEST(IntervalSet, SingleInterval) {
+  IntervalSet s(Interval{10, 20});
+  EXPECT_EQ(s.size(), 10u);
+  EXPECT_TRUE(s.contains(10));
+  EXPECT_TRUE(s.contains(19));
+  EXPECT_FALSE(s.contains(20));
+  EXPECT_FALSE(s.contains(9));
+}
+
+TEST(IntervalSet, EmptyIntervalIgnored) {
+  IntervalSet s(Interval{5, 5});
+  EXPECT_TRUE(s.empty());
+}
+
+TEST(IntervalSet, InsertMergesAdjacent) {
+  IntervalSet s;
+  s.insert(Interval{0, 10});
+  s.insert(Interval{10, 20});
+  EXPECT_EQ(s.intervals().size(), 1u);
+  EXPECT_EQ(s.intervals().front(), (Interval{0, 20}));
+}
+
+TEST(IntervalSet, InsertMergesOverlap) {
+  IntervalSet s{Interval{0, 15}, Interval{10, 20}, Interval{30, 40}};
+  EXPECT_EQ(s.intervals().size(), 2u);
+  EXPECT_EQ(s.size(), 30u);
+}
+
+TEST(IntervalSet, UniteIntersectSubtract) {
+  const IntervalSet a{Interval{0, 10}, Interval{20, 30}};
+  const IntervalSet b{Interval{5, 25}};
+
+  const auto u = a.unite(b);
+  EXPECT_EQ(u, (IntervalSet{Interval{0, 30}}));
+
+  const auto i = a.intersect(b);
+  EXPECT_EQ(i, (IntervalSet{Interval{5, 10}, Interval{20, 25}}));
+
+  const auto d = a.subtract(b);
+  EXPECT_EQ(d, (IntervalSet{Interval{0, 5}, Interval{25, 30}}));
+}
+
+TEST(IntervalSet, IntersectsPredicate) {
+  const IntervalSet a{Interval{0, 10}};
+  EXPECT_TRUE(a.intersects(IntervalSet{Interval{9, 12}}));
+  EXPECT_FALSE(a.intersects(IntervalSet{Interval{10, 12}}));
+  EXPECT_FALSE(a.intersects(IntervalSet{}));
+}
+
+class IntervalSetProperty : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(IntervalSetProperty, SetAlgebraLaws) {
+  Rng rng(GetParam());
+  const auto random_set = [&]() {
+    IntervalSet s;
+    const int n = static_cast<int>(rng.uniform(1, 5));
+    for (int i = 0; i < n; ++i) {
+      const std::uint64_t lo = rng.uniform(0, 90);
+      s.insert(Interval{lo, lo + rng.uniform(1, 15)});
+    }
+    return s;
+  };
+  const auto a = random_set();
+  const auto b = random_set();
+
+  // Size arithmetic: |a| = |a∩b| + |a−b|.
+  EXPECT_EQ(a.size(), a.intersect(b).size() + a.subtract(b).size());
+  // |a∪b| = |a| + |b| − |a∩b|.
+  EXPECT_EQ(a.unite(b).size(), a.size() + b.size() - a.intersect(b).size());
+  // Commutativity.
+  EXPECT_EQ(a.intersect(b), b.intersect(a));
+  EXPECT_EQ(a.unite(b), b.unite(a));
+  // a − b never intersects b.
+  EXPECT_FALSE(a.subtract(b).intersects(b));
+  // Point membership agreement on a sample.
+  for (std::uint64_t x = 0; x < 110; x += 7) {
+    EXPECT_EQ(a.unite(b).contains(x), a.contains(x) || b.contains(x));
+    EXPECT_EQ(a.intersect(b).contains(x), a.contains(x) && b.contains(x));
+    EXPECT_EQ(a.subtract(b).contains(x), a.contains(x) && !b.contains(x));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, IntervalSetProperty,
+                         ::testing::Range<std::uint64_t>(1, 26));
+
+}  // namespace
+}  // namespace tulkun

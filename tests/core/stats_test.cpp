@@ -1,0 +1,76 @@
+#include "core/stats.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/error.hpp"
+
+namespace tulkun {
+namespace {
+
+TEST(Samples, QuantilesOfKnownSequence) {
+  Samples s;
+  for (int i = 1; i <= 100; ++i) s.add(i);
+  EXPECT_DOUBLE_EQ(s.quantile(0.0), 1.0);
+  EXPECT_DOUBLE_EQ(s.quantile(1.0), 100.0);
+  EXPECT_NEAR(s.quantile(0.5), 50.5, 1e-9);
+  EXPECT_NEAR(s.quantile(0.8), 80.2, 1e-9);
+}
+
+TEST(Samples, SingleSample) {
+  Samples s;
+  s.add(42.0);
+  EXPECT_DOUBLE_EQ(s.quantile(0.5), 42.0);
+  EXPECT_DOUBLE_EQ(s.min(), 42.0);
+  EXPECT_DOUBLE_EQ(s.max(), 42.0);
+  EXPECT_DOUBLE_EQ(s.mean(), 42.0);
+}
+
+TEST(Samples, FractionBelow) {
+  Samples s;
+  for (int i = 0; i < 10; ++i) s.add(i);  // 0..9
+  EXPECT_DOUBLE_EQ(s.fraction_below(5.0), 0.5);
+  EXPECT_DOUBLE_EQ(s.fraction_below(0.0), 0.0);
+  EXPECT_DOUBLE_EQ(s.fraction_below(100.0), 1.0);
+  EXPECT_DOUBLE_EQ(Samples{}.fraction_below(1.0), 0.0);
+}
+
+TEST(Samples, QuantileOnEmptyThrows) {
+  Samples s;
+  EXPECT_THROW((void)s.quantile(0.5), InternalError);
+}
+
+TEST(Samples, UnsortedInsertOrderIrrelevant) {
+  Samples a;
+  Samples b;
+  for (const double v : {5.0, 1.0, 3.0, 2.0, 4.0}) a.add(v);
+  for (const double v : {1.0, 2.0, 3.0, 4.0, 5.0}) b.add(v);
+  EXPECT_DOUBLE_EQ(a.quantile(0.5), b.quantile(0.5));
+  EXPECT_DOUBLE_EQ(a.min(), b.min());
+}
+
+TEST(Samples, CdfIsMonotone) {
+  Samples s;
+  for (int i = 0; i < 37; ++i) s.add((i * 7919) % 100);
+  const auto cdf = s.cdf(11);
+  ASSERT_EQ(cdf.size(), 11u);
+  for (std::size_t i = 1; i < cdf.size(); ++i) {
+    EXPECT_LE(cdf[i - 1].first, cdf[i].first);
+    EXPECT_LT(cdf[i - 1].second, cdf[i].second);
+  }
+}
+
+TEST(FormatDuration, PicksUnits) {
+  EXPECT_EQ(format_duration(5e-9), "5ns");
+  EXPECT_EQ(format_duration(1.5e-5), "15.00us");
+  EXPECT_EQ(format_duration(2.5e-3), "2.50ms");
+  EXPECT_EQ(format_duration(3.25), "3.25s");
+}
+
+TEST(FormatBytes, PicksUnits) {
+  EXPECT_EQ(format_bytes(512), "512B");
+  EXPECT_EQ(format_bytes(2048), "2.0KB");
+  EXPECT_EQ(format_bytes(3.5 * 1024 * 1024), "3.5MB");
+}
+
+}  // namespace
+}  // namespace tulkun

@@ -1,0 +1,203 @@
+#include "count/count_set.hpp"
+
+#include <gtest/gtest.h>
+
+namespace tulkun::count {
+namespace {
+
+CountSet set_of(std::initializer_list<std::uint32_t> scalars) {
+  CountSet s;
+  for (const auto v : scalars) s.insert(CountVec{v});
+  return s;
+}
+
+TEST(CountSet, Constructors) {
+  EXPECT_TRUE(CountSet{}.empty());
+  const auto z = CountSet::zeros(2);
+  EXPECT_EQ(z.size(), 1u);
+  EXPECT_EQ(z.elems().front(), (CountVec{0, 0}));
+  const auto u = CountSet::unit(3, 1);
+  EXPECT_EQ(u.elems().front(), (CountVec{0, 1, 0}));
+  EXPECT_EQ(u.arity(), 3u);
+}
+
+TEST(CountSet, InsertDedupesAndSorts) {
+  auto s = set_of({3, 1, 3, 2});
+  EXPECT_EQ(s.size(), 3u);
+  EXPECT_EQ(s.elems()[0], (CountVec{1}));
+  EXPECT_EQ(s.elems()[2], (CountVec{3}));
+}
+
+TEST(CountSet, CrossSumIsPaperOtimes) {
+  // Paper §4.2: c1 ⊗ c2 = {a+b | a in c1, b in c2}.
+  const auto a = set_of({0, 1});
+  const auto b = set_of({1, 2});
+  const auto c = a.cross_sum(b);
+  EXPECT_EQ(c, set_of({1, 2, 3}));
+}
+
+TEST(CountSet, CrossSumWithEmptyIsIdentity) {
+  const auto a = set_of({1, 2});
+  EXPECT_EQ(a.cross_sum(CountSet{}), a);
+  EXPECT_EQ(CountSet{}.cross_sum(a), a);
+}
+
+TEST(CountSet, UniteIsPaperOplus) {
+  const auto a = set_of({0});
+  const auto b = set_of({1});
+  // Figure 2c: A1's count for P3 is {0} ⊕ {1} = {0,1}.
+  EXPECT_EQ(a.unite(b), set_of({0, 1}));
+}
+
+TEST(CountSet, TupleCrossSumIsElementwise) {
+  CountSet a = CountSet::singleton(CountVec{1, 0});
+  CountSet b = CountSet::singleton(CountVec{0, 2});
+  EXPECT_EQ(a.cross_sum(b), CountSet::singleton(CountVec{1, 2}));
+}
+
+TEST(CountSet, MinimizedGe) {
+  // Prop. 1: for (>= N) only the minimum matters.
+  const auto s = set_of({2, 5, 9});
+  const auto m = s.minimized(spec::CountExpr{spec::CountExpr::Cmp::Ge, 1});
+  EXPECT_EQ(m, set_of({2}));
+}
+
+TEST(CountSet, MinimizedLe) {
+  const auto s = set_of({2, 5, 9});
+  const auto m = s.minimized(spec::CountExpr{spec::CountExpr::Cmp::Le, 3});
+  EXPECT_EQ(m, set_of({9}));
+}
+
+TEST(CountSet, MinimizedEqKeepsTwoSmallest) {
+  const auto s = set_of({2, 5, 9});
+  const auto m = s.minimized(spec::CountExpr{spec::CountExpr::Cmp::Eq, 2});
+  EXPECT_EQ(m, set_of({2, 5}));
+  // A single element stays.
+  EXPECT_EQ(set_of({4}).minimized(spec::CountExpr{spec::CountExpr::Cmp::Eq, 4}),
+            set_of({4}));
+}
+
+TEST(CountSet, MinimizedLeavesTuplesAlone) {
+  CountSet s;
+  s.insert(CountVec{0, 1});
+  s.insert(CountVec{1, 0});
+  EXPECT_EQ(s.minimized(spec::CountExpr{spec::CountExpr::Cmp::Ge, 1}), s);
+}
+
+// Proposition 1 soundness: minimization must not change the source-side
+// verdict, for any downstream continuation (modeled as ⊗ with arbitrary
+// sets and ⊕ unions).
+class Prop1Property : public ::testing::TestWithParam<int> {};
+
+TEST_P(Prop1Property, MinimizationPreservesVerdicts) {
+  const int seed = GetParam();
+  const auto mk = [&](int salt) {
+    CountSet s;
+    for (int i = 0; i < 3; ++i) {
+      s.insert(CountVec{static_cast<std::uint32_t>((seed * 7 + salt * 3 + i * 5) % 6)});
+    }
+    return s;
+  };
+  const CountSet down = mk(1);
+  const CountSet sibling = mk(2);
+
+  for (const auto cmp :
+       {spec::CountExpr::Cmp::Ge, spec::CountExpr::Cmp::Gt,
+        spec::CountExpr::Cmp::Le, spec::CountExpr::Cmp::Lt}) {
+    for (std::uint32_t n = 0; n <= 3; ++n) {
+      const spec::CountExpr ce{cmp, n};
+      const auto verdict = [&](const CountSet& d) {
+        // Upstream combines with a sibling branch (⊗) and checks all
+        // universes.
+        const auto at_source = d.cross_sum(sibling);
+        bool ok = true;
+        for (const auto& v : at_source.elems()) {
+          ok = ok && ce.satisfied(v[0]);
+        }
+        return ok;
+      };
+      EXPECT_EQ(verdict(down), verdict(down.minimized(ce)))
+          << "cmp=" << static_cast<int>(cmp) << " n=" << n;
+    }
+  }
+  // == N: two smallest elements are enough to preserve the verdict
+  // (two distinct values already prove violation).
+  for (std::uint32_t n = 0; n <= 3; ++n) {
+    const spec::CountExpr ce{spec::CountExpr::Cmp::Eq, n};
+    const auto verdict = [&](const CountSet& d) {
+      const auto at_source = d.cross_sum(sibling);
+      bool ok = true;
+      for (const auto& v : at_source.elems()) ok = ok && ce.satisfied(v[0]);
+      return ok;
+    };
+    EXPECT_EQ(verdict(down), verdict(down.minimized(ce)));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, Prop1Property, ::testing::Range(1, 40));
+
+TEST(CountSet, TruncateFlagsLoss) {
+  auto s = set_of({1, 2, 3, 4});
+  s.truncate(2);
+  EXPECT_EQ(s.size(), 2u);
+  EXPECT_TRUE(s.truncated());
+  auto t = set_of({1});
+  t.truncate(5);
+  EXPECT_FALSE(t.truncated());
+}
+
+TEST(BehaviorEval, AtomAndComposition) {
+  using namespace tulkun::spec;
+  PathExpr pe;  // empty regex fine for evaluation-only tests
+  auto atom1 = Behavior::exist(CountExpr{CountExpr::Cmp::Ge, 1}, pe);
+  auto atom2 = Behavior::exist(CountExpr{CountExpr::Cmp::Eq, 0}, pe);
+  auto b = Behavior::conj({std::move(atom1), std::move(atom2)});
+  const auto atoms = b.atoms();
+  ASSERT_EQ(atoms.size(), 2u);
+
+  EXPECT_TRUE(evaluate_behavior(b, atoms, CountVec{1, 0}));
+  EXPECT_FALSE(evaluate_behavior(b, atoms, CountVec{0, 0}));
+  EXPECT_FALSE(evaluate_behavior(b, atoms, CountVec{1, 1}));
+
+  const auto neg = Behavior::negate(b);
+  EXPECT_FALSE(evaluate_behavior(neg, neg.atoms(), CountVec{1, 0}));
+  EXPECT_TRUE(evaluate_behavior(neg, neg.atoms(), CountVec{0, 0}));
+}
+
+TEST(BehaviorEval, AnycastTupleSemantics) {
+  using namespace tulkun::spec;
+  PathExpr pe;
+  // (exist>=1 d1 and exist==0 d2) or (exist==0 d1 and exist>=1 d2)
+  auto d1_yes = Behavior::exist(CountExpr{CountExpr::Cmp::Ge, 1}, pe);
+  auto d2_no = Behavior::exist(CountExpr{CountExpr::Cmp::Eq, 0}, pe);
+  auto d1_no = Behavior::exist(CountExpr{CountExpr::Cmp::Eq, 0}, pe);
+  auto d2_yes = Behavior::exist(CountExpr{CountExpr::Cmp::Ge, 1}, pe);
+  // Atom order in dfs: d1_yes, d2_no, d1_no, d2_yes — 4 tasks.
+  auto b = Behavior::disj({Behavior::conj({std::move(d1_yes), std::move(d2_no)}),
+                           Behavior::conj({std::move(d1_no), std::move(d2_yes)})});
+  const auto atoms = b.atoms();
+  ASSERT_EQ(atoms.size(), 4u);
+  // Tuple: (countD, countE, countD, countE) per atom order.
+  EXPECT_TRUE(evaluate_behavior(b, atoms, CountVec{1, 0, 1, 0}));
+  EXPECT_TRUE(evaluate_behavior(b, atoms, CountVec{0, 1, 0, 1}));
+  EXPECT_FALSE(evaluate_behavior(b, atoms, CountVec{1, 1, 1, 1}));
+  EXPECT_FALSE(evaluate_behavior(b, atoms, CountVec{0, 0, 0, 0}));
+
+  CountSet universes;
+  universes.insert(CountVec{1, 0, 1, 0});
+  universes.insert(CountVec{0, 1, 0, 1});
+  EXPECT_TRUE(universes.all_satisfy(b, atoms));
+  universes.insert(CountVec{1, 1, 1, 1});
+  EXPECT_FALSE(universes.all_satisfy(b, atoms));
+  EXPECT_EQ(universes.violations(b, atoms).size(), 1u);
+}
+
+TEST(CountSet, ToString) {
+  EXPECT_EQ(set_of({0, 1}).to_string(), "{0,1}");
+  CountSet tup;
+  tup.insert(CountVec{1, 2});
+  EXPECT_EQ(tup.to_string(), "{(1,2)}");
+}
+
+}  // namespace
+}  // namespace tulkun::count

@@ -1,0 +1,288 @@
+#include "dpvnet/build.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+#include "spec/builtins.hpp"
+#include "testutil/figure2.hpp"
+
+namespace tulkun::dpvnet {
+namespace {
+
+using testutil::Figure2;
+
+std::set<std::vector<DeviceId>> path_set(const DpvNet& dag,
+                                         std::size_t scene = 0) {
+  std::set<std::vector<DeviceId>> out;
+  for (const auto& p : dag.all_paths(scene)) {
+    out.insert(p.devices);
+  }
+  return out;
+}
+
+TEST(BuildDpvnet, WaypointFigure2c) {
+  Figure2 fig;
+  spec::Builtins b(fig.topo, fig.space());
+  const auto inv = b.waypoint(fig.P1(), fig.S, fig.W, fig.D);
+
+  BuildStats stats;
+  const auto dag = build_dpvnet(fig.topo, inv, {}, &stats);
+
+  // Valid simple paths S..W..D in the Figure 2a topology:
+  // S A W D, S A B W D, S A W B D, S A B C? no (C is a stub).
+  const std::set<std::vector<DeviceId>> expected = {
+      {fig.S, fig.A, fig.W, fig.D},
+      {fig.S, fig.A, fig.B, fig.W, fig.D},
+      {fig.S, fig.A, fig.W, fig.B, fig.D},
+  };
+  EXPECT_EQ(path_set(dag), expected);
+  EXPECT_EQ(stats.paths, 3u);
+
+  // Figure 2c compaction: B appears twice (before/after the waypoint),
+  // W twice, S/A/D once.
+  const auto count_dev = [&](DeviceId d) {
+    return dag.nodes_of_device(d).size();
+  };
+  EXPECT_EQ(count_dev(fig.S), 1u);
+  EXPECT_EQ(count_dev(fig.A), 1u);
+  EXPECT_EQ(count_dev(fig.B), 2u);
+  EXPECT_EQ(count_dev(fig.W), 2u);
+  EXPECT_EQ(count_dev(fig.D), 1u);
+  EXPECT_EQ(dag.node_count(), 7u);
+
+  // The sole source is at S.
+  ASSERT_EQ(dag.sources().size(), 1u);
+  EXPECT_EQ(dag.sources()[0].first, fig.S);
+  EXPECT_EQ(dag.node(dag.sources()[0].second).dev, fig.S);
+}
+
+TEST(BuildDpvnet, AcceptingNodesAreAtDestination) {
+  Figure2 fig;
+  spec::Builtins b(fig.topo, fig.space());
+  const auto inv = b.reachability(fig.P1(), fig.S, fig.D);
+  const auto dag = build_dpvnet(fig.topo, inv);
+  for (NodeId id = 0; id < dag.node_count(); ++id) {
+    const auto& n = dag.node(id);
+    if (n.accepting()) {
+      EXPECT_EQ(n.dev, fig.D);
+      EXPECT_TRUE(n.accepts(0, 0));
+    }
+  }
+}
+
+TEST(BuildDpvnet, ReverseTopologicalOrderValid) {
+  Figure2 fig;
+  spec::Builtins b(fig.topo, fig.space());
+  const auto dag =
+      build_dpvnet(fig.topo, b.waypoint(fig.P1(), fig.S, fig.W, fig.D));
+  const auto order = dag.reverse_topological();
+  ASSERT_EQ(order.size(), dag.node_count());
+  std::vector<std::size_t> pos(dag.node_count());
+  for (std::size_t i = 0; i < order.size(); ++i) pos[order[i]] = i;
+  for (NodeId id = 0; id < dag.node_count(); ++id) {
+    for (const auto& e : dag.node(id).down) {
+      EXPECT_LT(pos[e.to], pos[id]) << "downstream must come first";
+    }
+  }
+}
+
+TEST(BuildDpvnet, UpEdgesMirrorDownEdges) {
+  Figure2 fig;
+  spec::Builtins b(fig.topo, fig.space());
+  const auto dag =
+      build_dpvnet(fig.topo, b.waypoint(fig.P1(), fig.S, fig.W, fig.D));
+  for (NodeId id = 0; id < dag.node_count(); ++id) {
+    for (const auto& e : dag.node(id).down) {
+      const auto& ups = dag.node(e.to).up;
+      EXPECT_NE(std::find(ups.begin(), ups.end(), id), ups.end());
+    }
+  }
+}
+
+TEST(BuildDpvnet, LengthFilterPrunesPaths) {
+  Figure2 fig;
+  spec::Builtins b(fig.topo, fig.space());
+  // Exactly-shortest: only S A W D (3 hops) survives for the waypoint...
+  // shortest S..D without waypoint is 3 hops (S A W D or S A B D).
+  const auto inv = b.shortest_plus_reachability(fig.P1(), fig.S, fig.D, 0);
+  const auto dag = build_dpvnet(fig.topo, inv);
+  const auto paths = path_set(dag);
+  const std::set<std::vector<DeviceId>> expected = {
+      {fig.S, fig.A, fig.W, fig.D},
+      {fig.S, fig.A, fig.B, fig.D},
+  };
+  EXPECT_EQ(paths, expected);
+}
+
+TEST(BuildDpvnet, SlackAdmitsLongerPaths) {
+  Figure2 fig;
+  spec::Builtins b(fig.topo, fig.space());
+  const auto inv = b.shortest_plus_reachability(fig.P1(), fig.S, fig.D, 1);
+  const auto dag = build_dpvnet(fig.topo, inv);
+  // Adds the 4-hop simple paths S A B W D and S A W B D.
+  EXPECT_EQ(path_set(dag).size(), 4u);
+}
+
+TEST(BuildDpvnet, MultiIngressSharesSuffixes) {
+  Figure2 fig;
+  spec::Builtins b(fig.topo, fig.space());
+  const auto inv = b.multi_ingress_reachability(
+      fig.P1(), {fig.S, fig.C}, fig.D);
+  const auto dag = build_dpvnet(fig.topo, inv);
+  ASSERT_EQ(dag.sources().size(), 2u);
+  // Both ingresses have at least one valid path.
+  for (const auto& [ingress, src] : dag.sources()) {
+    EXPECT_NE(src, kNoNode) << "ingress " << fig.topo.name(ingress);
+  }
+  // Paths from both sources end at D.
+  for (const auto& p : dag.all_paths(0)) {
+    EXPECT_EQ(p.devices.back(), fig.D);
+  }
+}
+
+TEST(BuildDpvnet, UnreachableIngressGetsNoSource) {
+  // Island device: no path to D.
+  topo::Topology t;
+  const auto s = t.add_device("S");
+  const auto d = t.add_device("D");
+  (void)t.add_device("island");
+  t.add_link(s, d, 1e-3);
+  t.attach_prefix(d, packet::Ipv4Prefix::parse("10.0.0.0/24"));
+
+  packet::PacketSpace space;
+  spec::Builtins b(t, space);
+  auto inv = b.reachability(
+      space.dst_prefix(packet::Ipv4Prefix::parse("10.0.0.0/24")),
+      t.device("island"), d);
+  const auto dag = build_dpvnet(t, inv);
+  ASSERT_EQ(dag.sources().size(), 1u);
+  EXPECT_EQ(dag.sources()[0].second, kNoNode);
+  // Reported as intolerable for scene 0.
+  ASSERT_EQ(dag.intolerable.size(), 1u);
+  EXPECT_EQ(dag.intolerable[0].first, 0u);
+}
+
+TEST(BuildDpvnet, SelfReachabilitySingleNode) {
+  // Ingress == destination: the one-node path [D].
+  topo::Topology t;
+  const auto d = t.add_device("D");
+  const auto x = t.add_device("X");
+  t.add_link(d, x, 1e-3);
+  t.attach_prefix(d, packet::Ipv4Prefix::parse("10.0.0.0/24"));
+  packet::PacketSpace space;
+
+  spec::Invariant inv;
+  inv.name = "self";
+  inv.packet_space = space.dst_prefix(packet::Ipv4Prefix::parse("10.0.0.0/24"));
+  inv.ingress_set = {d};
+  spec::PathExpr pe;
+  pe.regex_text = "D";
+  pe.ast = regex::Ast::symbols_node(regex::SymbolSet::single(d));
+  pe.loop_free = true;
+  inv.behavior = spec::Behavior::exist(
+      spec::CountExpr{spec::CountExpr::Cmp::Ge, 1}, std::move(pe));
+
+  const auto dag = build_dpvnet(t, inv);
+  ASSERT_EQ(dag.sources().size(), 1u);
+  const auto src = dag.sources()[0].second;
+  ASSERT_NE(src, kNoNode);
+  EXPECT_TRUE(dag.node(src).accepting());
+  EXPECT_TRUE(dag.node(src).down.empty());
+}
+
+TEST(BuildDpvnet, PathCapEnforced) {
+  Figure2 fig;
+  spec::Builtins b(fig.topo, fig.space());
+  const auto inv = b.waypoint(fig.P1(), fig.S, fig.W, fig.D);
+  BuildOptions opts;
+  opts.max_paths = 2;  // fewer than the 3 valid paths
+  EXPECT_THROW((void)build_dpvnet(fig.topo, inv, opts), Error);
+}
+
+TEST(BuildDpvnet, UnboundedAtomRejected) {
+  Figure2 fig;
+  spec::Builtins b(fig.topo, fig.space());
+  auto inv = b.reachability(fig.P1(), fig.S, fig.D);
+  inv.behavior.path.loop_free = false;
+  EXPECT_THROW((void)build_dpvnet(fig.topo, inv), Error);
+}
+
+TEST(BuildDpvnet, CutDevicesIdentified) {
+  // §7: A is a cut of the Figure 2a network for S->D traffic; every valid
+  // waypoint path is S A ... W ... D, so S, A, W, D are cuts and B is not.
+  Figure2 fig;
+  spec::Builtins b(fig.topo, fig.space());
+  const auto dag =
+      build_dpvnet(fig.topo, b.waypoint(fig.P1(), fig.S, fig.W, fig.D));
+  const auto cuts = dag.cut_devices(0);
+  EXPECT_NE(std::find(cuts.begin(), cuts.end(), fig.S), cuts.end());
+  EXPECT_NE(std::find(cuts.begin(), cuts.end(), fig.A), cuts.end());
+  EXPECT_NE(std::find(cuts.begin(), cuts.end(), fig.W), cuts.end());
+  EXPECT_NE(std::find(cuts.begin(), cuts.end(), fig.D), cuts.end());
+  EXPECT_EQ(std::find(cuts.begin(), cuts.end(), fig.B), cuts.end());
+}
+
+TEST(BuildDpvnet, CutDevicesPerScene) {
+  // Plain reachability S->D: both B and W provide alternatives, so only
+  // S, A, D are cuts. With A-B failed, every surviving path runs through
+  // W, which becomes a cut in that scene.
+  Figure2 fig;
+  spec::Builtins b(fig.topo, fig.space());
+  auto inv = b.reachability(fig.P1(), fig.S, fig.D);
+  inv.faults.scenes.push_back(
+      spec::FaultScene::of({LinkId{fig.A, fig.B}}));
+  const auto dag = build_dpvnet(fig.topo, inv);
+
+  const auto base = dag.cut_devices(0);
+  EXPECT_EQ(std::find(base.begin(), base.end(), fig.W), base.end());
+  EXPECT_NE(std::find(base.begin(), base.end(), fig.A), base.end());
+
+  const auto failed = dag.cut_devices(1);
+  EXPECT_NE(std::find(failed.begin(), failed.end(), fig.W), failed.end());
+}
+
+TEST(ShortestMatching, ComputesRegexAwareDistance) {
+  Figure2 fig;
+  const auto resolver = [&](std::string_view name) {
+    return fig.topo.device(std::string(name));
+  };
+  const auto dfa = regex::Dfa::determinize(regex::build_nfa(
+      regex::parse("S .* W .* D", resolver))).minimize();
+  // Shortest waypointed path S A W D = 3 hops.
+  EXPECT_EQ(shortest_matching(fig.topo, dfa, fig.S, {}), 3u);
+  // With A-W failed, shortest is S A B W D = 4 hops.
+  std::unordered_set<LinkId> failed{LinkId{std::min(fig.A, fig.W),
+                                           std::max(fig.A, fig.W)}};
+  EXPECT_EQ(shortest_matching(fig.topo, dfa, fig.S, failed), 4u);
+}
+
+TEST(ExpandScenes, ExplicitAndAnyK) {
+  Figure2 fig;
+  spec::FaultSpec faults;
+  faults.scenes.push_back(spec::FaultScene::of({LinkId{fig.A, fig.B}}));
+  const auto scenes = expand_scenes(fig.topo, faults, 100);
+  ASSERT_EQ(scenes.size(), 2u);
+  EXPECT_TRUE(scenes[0].failed.empty());  // scene 0 = no failure
+
+  spec::FaultSpec any1;
+  any1.any_k = 1;
+  const auto singles = expand_scenes(fig.topo, any1, 100);
+  // 7 links in Figure 2a (+C) => 1 + 7 scenes.
+  EXPECT_EQ(singles.size(), 1u + fig.topo.link_count());
+
+  spec::FaultSpec any2;
+  any2.any_k = 2;
+  const auto pairs = expand_scenes(fig.topo, any2, 100);
+  EXPECT_EQ(pairs.size(), 1u + 7u + 21u);
+  // Ascending failure-count order.
+  for (std::size_t i = 1; i < pairs.size(); ++i) {
+    EXPECT_LE(pairs[i - 1].failed.size(), pairs[i].failed.size());
+  }
+
+  EXPECT_THROW((void)expand_scenes(fig.topo, any2, 10), Error);
+}
+
+}  // namespace
+}  // namespace tulkun::dpvnet

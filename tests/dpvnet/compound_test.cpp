@@ -1,0 +1,141 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+#include "dpvnet/build.hpp"
+#include "spec/builtins.hpp"
+#include "testutil/figure2.hpp"
+
+namespace tulkun::dpvnet {
+namespace {
+
+using testutil::Figure2;
+
+TEST(CompoundDpvnet, AnycastUnionDag) {
+  // §4.3 different destinations: one DAG, per-atom acceptance.
+  Figure2 fig;
+  spec::Builtins b(fig.topo, fig.space());
+  const auto inv = b.anycast(fig.P1(), fig.S, {fig.D, fig.C});
+  const auto dag = build_dpvnet(fig.topo, inv);
+  EXPECT_EQ(dag.arity(), 4u);  // anycast over 2 dests => 4 atoms
+
+  // Acceptance masks: nodes at D accept the to-D atoms (0 and 2 in dfs
+  // order), nodes at C accept the to-C atoms (1 and 3).
+  bool saw_d = false;
+  bool saw_c = false;
+  for (NodeId id = 0; id < dag.node_count(); ++id) {
+    const auto& n = dag.node(id);
+    if (!n.accepting()) continue;
+    if (n.dev == fig.D) {
+      saw_d = true;
+      EXPECT_TRUE(n.accepts(0, 0));
+      EXPECT_TRUE(n.accepts(2, 0));
+      EXPECT_FALSE(n.accepts(1, 0));
+      EXPECT_FALSE(n.accepts(3, 0));
+    } else if (n.dev == fig.C) {
+      saw_c = true;
+      EXPECT_TRUE(n.accepts(1, 0));
+      EXPECT_TRUE(n.accepts(3, 0));
+      EXPECT_FALSE(n.accepts(0, 0));
+    } else {
+      ADD_FAILURE() << "unexpected accepting device "
+                    << fig.topo.name(n.dev);
+    }
+  }
+  EXPECT_TRUE(saw_d);
+  EXPECT_TRUE(saw_c);
+}
+
+TEST(CompoundDpvnet, SameDestinationAtomsStayDistinct) {
+  // §4.3 same destination: (exist >= 2 simple) or (exist >= 1 via W).
+  // Our construction labels each path with the set of atoms it matches,
+  // so no virtual destination devices are needed.
+  Figure2 fig;
+  spec::Builtins b(fig.topo, fig.space());
+  spec::Invariant inv;
+  inv.name = "same_dest";
+  inv.packet_space = fig.P1();
+  inv.packet_space_text = "dstIP=10.0.0.0/23";
+  inv.ingress_set = {fig.S};
+  inv.behavior = spec::Behavior::disj(
+      {spec::Behavior::exist(spec::CountExpr{spec::CountExpr::Cmp::Ge, 2},
+                             b.simple_paths(fig.S, fig.D)),
+       spec::Behavior::exist(spec::CountExpr{spec::CountExpr::Cmp::Ge, 1},
+                             b.waypoint_paths(fig.S, fig.W, fig.D))});
+  const auto dag = build_dpvnet(fig.topo, inv);
+  EXPECT_EQ(dag.arity(), 2u);
+
+  // Every waypointed path matches both atoms; S A B D matches only the
+  // first.
+  for (const auto& p : dag.all_paths(0)) {
+    const bool via_w = std::find(p.devices.begin(), p.devices.end(),
+                                 fig.W) != p.devices.end();
+    EXPECT_TRUE(p.accept_mask & 1u);  // every path is a simple S->D path
+    EXPECT_EQ((p.accept_mask >> 1) & 1u, via_w ? 1u : 0u);
+  }
+}
+
+TEST(CompoundDpvnet, MulticastHasBothDestinations) {
+  Figure2 fig;
+  spec::Builtins b(fig.topo, fig.space());
+  const auto inv = b.multicast(fig.P1(), fig.S, {fig.D, fig.C});
+  const auto dag = build_dpvnet(fig.topo, inv);
+  EXPECT_EQ(dag.arity(), 2u);
+  std::set<DeviceId> accept_devs;
+  for (NodeId id = 0; id < dag.node_count(); ++id) {
+    if (dag.node(id).accepting()) accept_devs.insert(dag.node(id).dev);
+  }
+  EXPECT_EQ(accept_devs, (std::set<DeviceId>{fig.D, fig.C}));
+}
+
+TEST(CompoundDpvnet, EqualCannotMixWithOtherAtoms) {
+  Figure2 fig;
+  spec::Builtins b(fig.topo, fig.space());
+  spec::Invariant inv = b.all_shortest_path(fig.P1(), fig.S, fig.D);
+  inv.behavior = spec::Behavior::conj(
+      {inv.behavior,
+       spec::Behavior::exist(spec::CountExpr{spec::CountExpr::Cmp::Ge, 1},
+                             b.simple_paths(fig.S, fig.D))});
+  EXPECT_THROW((void)build_dpvnet(fig.topo, inv), Error);
+}
+
+TEST(CompoundDpvnet, EqualAloneBuilds) {
+  Figure2 fig;
+  spec::Builtins b(fig.topo, fig.space());
+  const auto inv = b.all_shortest_path(fig.P1(), fig.S, fig.D);
+  const auto dag = build_dpvnet(fig.topo, inv);
+  EXPECT_GT(dag.node_count(), 0u);
+  // All shortest S->D paths: S A W D and S A B D.
+  EXPECT_EQ(dag.all_paths(0).size(), 2u);
+}
+
+TEST(CompoundDpvnet, InteriorAcceptanceForNestedDestinations) {
+  // Regex S .* (D | W): a path may end at W or continue through W to D,
+  // producing interior accepting nodes.
+  Figure2 fig;
+  spec::Invariant inv;
+  inv.name = "interior";
+  inv.packet_space = fig.P1();
+  inv.ingress_set = {fig.S};
+  spec::PathExpr pe;
+  pe.regex_text = "S .* (D|W)";
+  const auto resolver = [&](std::string_view name) {
+    return fig.topo.device(std::string(name));
+  };
+  pe.ast = regex::parse("S .* (D|W)", resolver);
+  pe.loop_free = true;
+  inv.behavior = spec::Behavior::exist(
+      spec::CountExpr{spec::CountExpr::Cmp::Ge, 1}, std::move(pe));
+
+  const auto dag = build_dpvnet(fig.topo, inv);
+  bool interior_accept = false;
+  for (NodeId id = 0; id < dag.node_count(); ++id) {
+    const auto& n = dag.node(id);
+    if (n.accepting() && !n.down.empty()) interior_accept = true;
+  }
+  EXPECT_TRUE(interior_accept);
+}
+
+}  // namespace
+}  // namespace tulkun::dpvnet

@@ -1,0 +1,158 @@
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "dpvnet/build.hpp"
+#include "spec/builtins.hpp"
+#include "testutil/figure2.hpp"
+
+namespace tulkun::dpvnet {
+namespace {
+
+using testutil::Figure2;
+
+std::set<std::vector<DeviceId>> path_set(const DpvNet& dag,
+                                         std::size_t scene) {
+  std::set<std::vector<DeviceId>> out;
+  for (const auto& p : dag.all_paths(scene)) out.insert(p.devices);
+  return out;
+}
+
+/// The paper's Figure 8 scenario: (<= shortest+1) reachability S -> D
+/// under 2-link-failure in the Figure 2a topology.
+class FaultTolerantDpvnet : public ::testing::Test {
+ protected:
+  Figure2 fig;
+  spec::Builtins b{fig.topo, fig.space()};
+
+  spec::Invariant make_invariant(std::uint32_t any_k) {
+    auto inv = b.shortest_plus_reachability(fig.P1(), fig.S, fig.D, 1);
+    inv.faults.any_k = any_k;
+    return inv;
+  }
+
+  std::size_t scene_index(const std::vector<spec::FaultScene>& scenes,
+                          std::initializer_list<LinkId> links) {
+    const auto target = spec::FaultScene::of(links);
+    for (std::size_t i = 0; i < scenes.size(); ++i) {
+      if (scenes[i] == target) return i;
+    }
+    ADD_FAILURE() << "scene not found";
+    return 0;
+  }
+};
+
+TEST_F(FaultTolerantDpvnet, BaseSceneMatchesNonFaultBuild) {
+  const auto plain = build_dpvnet(fig.topo, make_invariant(0));
+  const auto ft = build_dpvnet(fig.topo, make_invariant(2));
+  EXPECT_EQ(path_set(plain, 0), path_set(ft, 0));
+}
+
+TEST_F(FaultTolerantDpvnet, SceneRestrictsToSurvivingPaths) {
+  const auto inv = make_invariant(2);
+  const auto scenes = expand_scenes(fig.topo, inv.faults, 4096);
+  const auto dag = build_dpvnet(fig.topo, inv);
+
+  // Scene: A-W down. Shortest S->D becomes 3 via S A B D; +1 admits 4.
+  const auto si = scene_index(scenes, {LinkId{fig.A, fig.W}});
+  const auto paths = path_set(dag, si);
+  for (const auto& p : paths) {
+    for (std::size_t h = 0; h + 1 < p.size(); ++h) {
+      const bool uses_failed =
+          (p[h] == fig.A && p[h + 1] == fig.W) ||
+          (p[h] == fig.W && p[h + 1] == fig.A);
+      EXPECT_FALSE(uses_failed);
+    }
+  }
+  const std::set<std::vector<DeviceId>> expected = {
+      {fig.S, fig.A, fig.B, fig.D},
+      {fig.S, fig.A, fig.B, fig.W, fig.D},
+  };
+  EXPECT_EQ(paths, expected);
+}
+
+TEST_F(FaultTolerantDpvnet, SymbolicFilterLoosensUnderFailure) {
+  const auto inv = make_invariant(2);
+  const auto scenes = expand_scenes(fig.topo, inv.faults, 4096);
+  const auto dag = build_dpvnet(fig.topo, inv);
+
+  // Scene {A-W, B-D}: surviving S->D simple paths: S A B W D (4 hops).
+  // Shortest becomes 4, +1 admits up to 5.
+  const auto si = scene_index(
+      scenes, {LinkId{fig.A, fig.W}, LinkId{fig.B, fig.D}});
+  const std::set<std::vector<DeviceId>> expected = {
+      {fig.S, fig.A, fig.B, fig.W, fig.D},
+  };
+  EXPECT_EQ(path_set(dag, si), expected);
+}
+
+TEST_F(FaultTolerantDpvnet, IntolerableSceneRecorded) {
+  // Failing both A-B and A-W disconnects S from D entirely.
+  auto inv = make_invariant(0);
+  inv.faults.scenes.push_back(
+      spec::FaultScene::of({LinkId{fig.A, fig.B}, LinkId{fig.A, fig.W}}));
+  const auto dag = build_dpvnet(fig.topo, inv);
+  ASSERT_FALSE(dag.intolerable.empty());
+  EXPECT_EQ(dag.intolerable[0].second, fig.S);
+}
+
+TEST_F(FaultTolerantDpvnet, SceneReuseKicksIn) {
+  // Failing B-C never touches any S->D path: §6 reuse must serve that
+  // scene without a fresh enumeration.
+  auto inv = make_invariant(0);
+  inv.faults.scenes.push_back(spec::FaultScene::of({LinkId{fig.B, fig.C}}));
+  BuildStats stats;
+  const auto dag = build_dpvnet(fig.topo, inv, {}, &stats);
+  EXPECT_EQ(stats.scenes, 2u);
+  EXPECT_EQ(stats.scenes_enumerated, 1u);  // base scene only
+  EXPECT_EQ(stats.scenes_reused, 1u);
+  EXPECT_EQ(path_set(dag, 0), path_set(dag, 1));
+}
+
+TEST_F(FaultTolerantDpvnet, ConcreteFilterSharesPathsAcrossScenes) {
+  // A concrete (non-symbolic) filter: valid paths of a fault scene are a
+  // subset of the base scene's (Proposition 2, first case).
+  auto inv = b.bounded_reachability(fig.P1(), fig.S, fig.D, 4);
+  inv.faults.any_k = 1;
+  const auto scenes = expand_scenes(fig.topo, inv.faults, 4096);
+  const auto dag = build_dpvnet(fig.topo, inv);
+  const auto base = path_set(dag, 0);
+  for (std::size_t si = 1; si < scenes.size(); ++si) {
+    const auto scene_paths = path_set(dag, si);
+    for (const auto& p : scene_paths) {
+      EXPECT_TRUE(base.contains(p));
+    }
+  }
+}
+
+TEST_F(FaultTolerantDpvnet, EveryScenePathRespectsItsFilters) {
+  const auto inv = make_invariant(2);
+  const auto scenes = expand_scenes(fig.topo, inv.faults, 4096);
+  const auto dag = build_dpvnet(fig.topo, inv);
+  const auto resolver = [&](std::string_view name) {
+    return fig.topo.device(std::string(name));
+  };
+  const auto dfa = regex::Dfa::determinize(regex::build_nfa(
+      regex::parse("S .* D", resolver))).minimize();
+
+  for (std::size_t si = 0; si < scenes.size(); ++si) {
+    std::unordered_set<LinkId> failed;
+    for (const auto& l : scenes[si].failed) {
+      failed.insert(l.from < l.to ? l : l.reversed());
+    }
+    const auto shortest = shortest_matching(fig.topo, dfa, fig.S, failed);
+    for (const auto& p : dag.all_paths(si)) {
+      const auto hops = static_cast<std::uint32_t>(p.devices.size()) - 1;
+      EXPECT_LE(hops, shortest + 1) << "scene " << si;
+      // No failed link used.
+      for (std::size_t h = 0; h + 1 < p.devices.size(); ++h) {
+        const LinkId l{std::min(p.devices[h], p.devices[h + 1]),
+                       std::max(p.devices[h], p.devices[h + 1])};
+        EXPECT_FALSE(failed.contains(l));
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace tulkun::dpvnet

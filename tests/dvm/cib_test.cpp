@@ -1,0 +1,109 @@
+#include "dvm/cib.hpp"
+
+#include <gtest/gtest.h>
+
+namespace tulkun::dvm {
+namespace {
+
+class CibTest : public ::testing::Test {
+ protected:
+  packet::PacketSpace space;
+
+  packet::PacketSet prefix(const char* cidr) {
+    return space.dst_prefix(packet::Ipv4Prefix::parse(cidr));
+  }
+  static count::CountSet counts(std::initializer_list<std::uint32_t> vs) {
+    count::CountSet s;
+    for (const auto v : vs) s.insert(count::CountVec{v});
+    return s;
+  }
+};
+
+TEST_F(CibTest, ApplyInsertsAndWithdraws) {
+  CibIn cib;
+  cib.apply({}, {CountEntry{prefix("10.0.0.0/23"), counts({1})}});
+  ASSERT_EQ(cib.entries().size(), 1u);
+
+  // Withdraw half, insert new counts for it (the UPDATE principle).
+  cib.apply({prefix("10.0.0.0/24")},
+            {CountEntry{prefix("10.0.0.0/24"), counts({0})}});
+  ASSERT_EQ(cib.entries().size(), 2u);
+  const auto lookup = cib.lookup(prefix("10.0.0.0/23"), 1);
+  ASSERT_EQ(lookup.size(), 2u);
+  auto seen_one = space.none();
+  auto seen_zero = space.none();
+  for (const auto& e : lookup) {
+    if (e.counts == counts({1})) seen_one |= e.pred;
+    if (e.counts == counts({0})) seen_zero |= e.pred;
+  }
+  EXPECT_EQ(seen_zero, prefix("10.0.0.0/24"));
+  EXPECT_EQ(seen_one, prefix("10.0.1.0/24"));
+}
+
+TEST_F(CibTest, LookupFillsUncoveredWithZeros) {
+  CibIn cib;
+  cib.apply({}, {CountEntry{prefix("10.0.0.0/24"), counts({2})}});
+  const auto lookup = cib.lookup(prefix("10.0.0.0/23"), 1);
+  ASSERT_EQ(lookup.size(), 2u);
+  bool found_zero = false;
+  for (const auto& e : lookup) {
+    if (e.pred == prefix("10.0.1.0/24")) {
+      EXPECT_EQ(e.counts, count::CountSet::zeros(1));
+      found_zero = true;
+    }
+  }
+  EXPECT_TRUE(found_zero);
+}
+
+TEST_F(CibTest, LookupOfEmptyRegion) {
+  CibIn cib;
+  EXPECT_TRUE(cib.lookup(space.none(), 1).empty());
+  // Whole-region zero entry for an empty CIB.
+  const auto lookup = cib.lookup(prefix("10.0.0.0/24"), 2);
+  ASSERT_EQ(lookup.size(), 1u);
+  EXPECT_EQ(lookup[0].counts, count::CountSet::zeros(2));
+}
+
+TEST_F(CibTest, DefensiveAgainstOverlappingResults) {
+  CibIn cib;
+  cib.apply({}, {CountEntry{prefix("10.0.0.0/23"), counts({1})}});
+  // Incoming overlaps existing without withdrawal: table must stay
+  // disjoint (first writer wins for the overlap).
+  cib.apply({}, {CountEntry{prefix("10.0.0.0/24"), counts({5})}});
+  auto covered = space.none();
+  for (std::size_t i = 0; i < cib.entries().size(); ++i) {
+    for (std::size_t j = i + 1; j < cib.entries().size(); ++j) {
+      EXPECT_FALSE(
+          cib.entries()[i].pred.intersects(cib.entries()[j].pred));
+    }
+    covered |= cib.entries()[i].pred;
+  }
+  EXPECT_EQ(covered, prefix("10.0.0.0/23"));
+}
+
+TEST_F(CibTest, MergeByCounts) {
+  std::vector<LocEntry> loc;
+  loc.push_back(LocEntry{prefix("10.0.0.0/24"), prefix("10.0.0.0/24"),
+                         fib::Action::drop(), counts({1})});
+  loc.push_back(LocEntry{prefix("10.0.1.0/24"), prefix("10.0.1.0/24"),
+                         fib::Action::forward(3), counts({1})});
+  loc.push_back(LocEntry{prefix("10.0.2.0/24"), prefix("10.0.2.0/24"),
+                         fib::Action::drop(), counts({0, 1})});
+  const auto merged = merge_by_counts(loc);
+  ASSERT_EQ(merged.size(), 2u);
+  // The two count-1 rows merged regardless of differing actions (§5.2
+  // step 3 strips actions).
+  EXPECT_EQ(merged[0].pred, prefix("10.0.0.0/23"));
+}
+
+TEST_F(CibTest, PredUnion) {
+  std::vector<CountEntry> entries{
+      CountEntry{prefix("10.0.0.0/24"), counts({1})},
+      CountEntry{prefix("10.0.1.0/24"), counts({2})},
+  };
+  EXPECT_EQ(pred_union(entries, space.none()), prefix("10.0.0.0/23"));
+  EXPECT_TRUE(pred_union({}, space.none()).empty());
+}
+
+}  // namespace
+}  // namespace tulkun::dvm

@@ -1,0 +1,102 @@
+#include "dvm/codec.hpp"
+
+#include <gtest/gtest.h>
+
+namespace tulkun::dvm {
+namespace {
+
+class CodecTest : public ::testing::Test {
+ protected:
+  packet::PacketSpace src;
+  packet::PacketSpace dst;
+};
+
+TEST_F(CodecTest, UpdateRoundTrip) {
+  UpdateMessage u;
+  u.invariant = 7;
+  u.up_node = 3;
+  u.down_node = 9;
+  u.withdrawn.push_back(
+      src.dst_prefix(packet::Ipv4Prefix::parse("10.0.0.0/23")));
+  CountEntry e1;
+  e1.pred = src.dst_prefix(packet::Ipv4Prefix::parse("10.0.0.0/24"));
+  e1.counts = count::CountSet::singleton(count::CountVec{1});
+  CountEntry e2;
+  e2.pred = src.dst_prefix(packet::Ipv4Prefix::parse("10.0.1.0/24"));
+  count::CountSet cs;
+  cs.insert(count::CountVec{0});
+  cs.insert(count::CountVec{1});
+  e2.counts = cs;
+  u.results.push_back(std::move(e1));
+  u.results.push_back(std::move(e2));
+
+  const Envelope env{2, 5, std::move(u)};
+  const auto bytes = encode(env);
+  EXPECT_EQ(bytes.size(), encoded_size(env));
+
+  const Envelope back = decode(bytes, dst);
+  EXPECT_EQ(back.src, 2u);
+  EXPECT_EQ(back.dst, 5u);
+  const auto& bu = std::get<UpdateMessage>(back.msg);
+  EXPECT_EQ(bu.invariant, 7u);
+  EXPECT_EQ(bu.up_node, 3u);
+  EXPECT_EQ(bu.down_node, 9u);
+  ASSERT_EQ(bu.withdrawn.size(), 1u);
+  EXPECT_EQ(bu.withdrawn[0],
+            dst.dst_prefix(packet::Ipv4Prefix::parse("10.0.0.0/23")));
+  ASSERT_EQ(bu.results.size(), 2u);
+  EXPECT_EQ(bu.results[0].pred,
+            dst.dst_prefix(packet::Ipv4Prefix::parse("10.0.0.0/24")));
+  EXPECT_EQ(bu.results[0].counts,
+            count::CountSet::singleton(count::CountVec{1}));
+  EXPECT_EQ(bu.results[1].counts.size(), 2u);
+}
+
+TEST_F(CodecTest, SubscribeRoundTrip) {
+  SubscribeMessage s;
+  s.invariant = 1;
+  s.up_node = 4;
+  s.down_node = 6;
+  s.original = src.dst_prefix(packet::Ipv4Prefix::parse("10.0.0.0/24"));
+  s.rewritten = src.dst_prefix(packet::Ipv4Prefix::parse("192.168.0.1/32"));
+  const Envelope env{0, 1, std::move(s)};
+  const Envelope back = decode(encode(env), dst);
+  const auto& bs = std::get<SubscribeMessage>(back.msg);
+  EXPECT_EQ(bs.rewritten,
+            dst.dst_prefix(packet::Ipv4Prefix::parse("192.168.0.1/32")));
+  EXPECT_EQ(bs.up_node, 4u);
+}
+
+TEST_F(CodecTest, LinkStateRoundTrip) {
+  LinkStateMessage l;
+  l.link = LinkId{2, 7};
+  l.up = false;
+  l.seq = 0x123456789ABCULL;
+  l.origin = 2;
+  const Envelope env{2, 3, l};
+  const Envelope back = decode(encode(env), dst);
+  const auto& bl = std::get<LinkStateMessage>(back.msg);
+  EXPECT_EQ(bl.link, (LinkId{2, 7}));
+  EXPECT_FALSE(bl.up);
+  EXPECT_EQ(bl.seq, 0x123456789ABCULL);
+  EXPECT_EQ(bl.origin, 2u);
+}
+
+TEST_F(CodecTest, RejectsGarbage) {
+  std::vector<std::uint8_t> junk{1, 2, 3};
+  EXPECT_THROW((void)decode(junk, dst), Error);
+  // Unknown tag.
+  std::vector<std::uint8_t> bad(9, 0);
+  bad[8] = 99;
+  EXPECT_THROW((void)decode(bad, dst), Error);
+}
+
+TEST_F(CodecTest, EmptyUpdateIsSmall) {
+  UpdateMessage u;
+  const Envelope env{0, 1, std::move(u)};
+  // Envelope header + tag + ids + two zero-length lists.
+  EXPECT_LT(encode(env).size(), 32u);
+}
+
+}  // namespace
+}  // namespace tulkun::dvm

@@ -1,0 +1,192 @@
+// Additional DVM engine coverage: comparator families end-to-end,
+// randomized message delivery order (eventual consistency), port-based
+// rule updates, and bounded-length invariants.
+#include <gtest/gtest.h>
+
+#include <deque>
+
+#include "core/rng.hpp"
+#include "runtime/event_sim.hpp"
+#include "spec/builtins.hpp"
+#include "testutil/figure2.hpp"
+
+namespace tulkun::dvm {
+namespace {
+
+using testutil::Figure2;
+
+class EngineMoreTest : public ::testing::Test {
+ protected:
+  Figure2 fig;
+  spec::Builtins b{fig.topo, fig.space()};
+  planner::Planner planner{fig.topo, fig.space()};
+
+  runtime::EventSimulator run(const planner::InvariantPlan& plan) {
+    runtime::EventSimulator sim(fig.topo, {});
+    sim.make_devices(fig.space());
+    sim.install(plan);
+    for (DeviceId d = 0; d < fig.topo.device_count(); ++d) {
+      sim.post_initialize(d, fig.net.table(d), 0.0);
+    }
+    sim.run();
+    return sim;
+  }
+
+  bool clean(const spec::Invariant& inv) {
+    auto sim = run(planner.plan(inv));
+    return sim.violations().empty();
+  }
+};
+
+TEST_F(EngineMoreTest, IsolationEndToEnd) {
+  // C must not receive D-bound traffic: holds (nothing routes 10.0.0.0/23
+  // to C).
+  spec::Invariant iso = b.isolation(fig.P1(), fig.S, fig.C);
+  EXPECT_TRUE(clean(iso));
+
+  // Now leak: B forwards P2 to C, C delivers. Isolation breaks.
+  fib::Rule leak;
+  leak.priority = 500;
+  leak.dst_prefix = fig.p2;
+  leak.action = fib::Action::forward(fig.C);
+  fig.net.table(fig.B).insert(leak);
+  fib::Rule deliver;
+  deliver.priority = 500;
+  deliver.dst_prefix = fig.p2;
+  deliver.action = fib::Action::deliver();
+  fig.net.table(fig.C).insert(deliver);
+  EXPECT_FALSE(clean(iso));
+}
+
+TEST_F(EngineMoreTest, UpperBoundComparatorLe) {
+  // "At most 1 copy may reach D" — the initial plane satisfies it (all
+  // classes deliver exactly one copy; see ReachabilityCountsBothPaths).
+  spec::Invariant inv = b.reachability(fig.P1(), fig.S, fig.D);
+  inv.behavior.count = spec::CountExpr{spec::CountExpr::Cmp::Le, 1};
+  EXPECT_TRUE(clean(inv));
+
+  // Replicate P4 at A toward both B and W: 2 copies delivered.
+  fib::Rule rep;
+  rep.priority = 500;
+  rep.dst_prefix = fig.p34;
+  rep.action = fib::Action::forward_all({fig.B, fig.W});
+  fig.net.table(fig.A).insert(rep);
+  EXPECT_FALSE(clean(inv));
+}
+
+TEST_F(EngineMoreTest, StrictLessComparator) {
+  spec::Invariant inv = b.reachability(fig.P1(), fig.S, fig.D);
+  inv.behavior.count = spec::CountExpr{spec::CountExpr::Cmp::Lt, 1};
+  // Exactly one copy arrives: (< 1) is violated everywhere.
+  EXPECT_FALSE(clean(inv));
+}
+
+TEST_F(EngineMoreTest, BoundedLengthExcludesLongPath) {
+  // Reachability within 2 hops: S A W D and S A B D are 3 hops — fails.
+  EXPECT_FALSE(clean(b.bounded_reachability(fig.P1(), fig.S, fig.D, 2)));
+  EXPECT_TRUE(clean(b.bounded_reachability(fig.P1(), fig.S, fig.D, 3)));
+}
+
+TEST_F(EngineMoreTest, PortBasedRuleUpdate) {
+  // An update matching only dstPort 443 must split the LECs and affect
+  // only that slice of the packet space.
+  const auto plan = planner.plan(b.reachability(fig.P1(), fig.S, fig.D));
+  runtime::EventSimulator sim(fig.topo, {});
+  sim.make_devices(fig.space());
+  sim.install(plan);
+  for (DeviceId d = 0; d < fig.topo.device_count(); ++d) {
+    sim.post_initialize(d, fig.net.table(d), 0.0);
+  }
+  double now = sim.run();
+  ASSERT_TRUE(sim.violations().empty());
+
+  fib::Rule drop443;
+  drop443.priority = 700;
+  drop443.dst_prefix = fig.p1;
+  drop443.extra_match = fig.space().dst_port(443);
+  drop443.action = fib::Action::drop();
+  sim.post_rule_update(fig.W, fib::FibUpdate::insert(fig.W, drop443), now);
+  sim.run();
+
+  const auto violations = sim.violations();
+  ASSERT_FALSE(violations.empty());
+  const auto port443 = fig.space().dst_port(443);
+  for (const auto& v : violations) {
+    EXPECT_TRUE(v.pred.subset_of(port443));
+    // P3 (port 80 via ANY) is unaffected.
+    EXPECT_FALSE(v.pred.intersects(fig.P3()));
+  }
+}
+
+// Eventual consistency: the final verdict must not depend on message
+// delivery order. We drive raw engines with a randomized pump.
+class DeliveryOrderProperty : public ::testing::TestWithParam<std::uint64_t> {
+};
+
+TEST_P(DeliveryOrderProperty, VerdictIndependentOfOrder) {
+  Figure2 fig;
+  spec::Builtins b(fig.topo, fig.space());
+  const auto inv = b.waypoint(fig.P1(), fig.S, fig.W, fig.D);
+  const auto dag = dpvnet::build_dpvnet(fig.topo, inv);
+
+  std::vector<std::unique_ptr<DeviceEngine>> engines;
+  for (DeviceId d = 0; d < fig.topo.device_count(); ++d) {
+    engines.push_back(std::make_unique<DeviceEngine>(
+        d, dag, inv, 1, fig.space(), EngineConfig{}));
+  }
+  fib::LecBuilder builder(fig.space());
+
+  std::vector<Envelope> pending;
+  for (DeviceId d = 0; d < fig.topo.device_count(); ++d) {
+    auto msgs = engines[d]->set_lec(builder.build(fig.net.table(d)));
+    pending.insert(pending.end(), std::make_move_iterator(msgs.begin()),
+                   std::make_move_iterator(msgs.end()));
+  }
+
+  // Random-order pump. DVM assumes per-link FIFO; randomizing *across*
+  // links is legal, so shuffle among distinct (src,dst) pairs while
+  // keeping each pair's relative order.
+  Rng rng(GetParam());
+  std::deque<Envelope> queue(std::make_move_iterator(pending.begin()),
+                             std::make_move_iterator(pending.end()));
+  while (!queue.empty()) {
+    // Pick a random queue position whose (src,dst) pair has no earlier
+    // message in the queue.
+    std::vector<std::size_t> heads;
+    for (std::size_t i = 0; i < queue.size(); ++i) {
+      bool head = true;
+      for (std::size_t j = 0; j < i; ++j) {
+        if (queue[j].src == queue[i].src && queue[j].dst == queue[i].dst) {
+          head = false;
+          break;
+        }
+      }
+      if (head) heads.push_back(i);
+    }
+    const std::size_t pick = heads[rng.index(heads.size())];
+    Envelope env = std::move(queue[pick]);
+    queue.erase(queue.begin() + static_cast<std::ptrdiff_t>(pick));
+    std::vector<Envelope> out;
+    if (const auto* u = std::get_if<UpdateMessage>(&env.msg)) {
+      out = engines[env.dst]->on_update(*u);
+    }
+    for (auto& e : out) queue.push_back(std::move(e));
+  }
+
+  // Regardless of order: the P3 violation is present, P2/P4 are clean.
+  std::vector<Violation> violations;
+  for (const auto& e : engines) {
+    const auto& v = e->violations();
+    violations.insert(violations.end(), v.begin(), v.end());
+  }
+  ASSERT_FALSE(violations.empty());
+  auto flagged = fig.space().none();
+  for (const auto& v : violations) flagged |= v.pred;
+  EXPECT_EQ(flagged & fig.P1(), fig.P3());
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, DeliveryOrderProperty,
+                         ::testing::Range<std::uint64_t>(1, 16));
+
+}  // namespace
+}  // namespace tulkun::dvm

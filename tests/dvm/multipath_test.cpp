@@ -1,0 +1,234 @@
+// Multi-path invariants (§7): route symmetry and node-disjointness via
+// distributed path collection.
+#include <gtest/gtest.h>
+
+#include "runtime/event_sim.hpp"
+#include "spec/multipath.hpp"
+#include "testutil/figure2.hpp"
+
+namespace tulkun::dvm {
+namespace {
+
+using testutil::Figure2;
+
+TEST(ComparePathSets, RouteSymmetry) {
+  const spec::PathSet fwd = {{0, 1, 2}};
+  const spec::PathSet rev_ok = {{2, 1, 0}};
+  const spec::PathSet rev_bad = {{2, 3, 0}};
+  EXPECT_TRUE(spec::compare_path_sets(spec::PathCompareKind::RouteSymmetry,
+                                      fwd, rev_ok)
+                  .empty());
+  EXPECT_FALSE(spec::compare_path_sets(spec::PathCompareKind::RouteSymmetry,
+                                       fwd, rev_bad)
+                   .empty());
+}
+
+TEST(ComparePathSets, NodeAndLinkDisjoint) {
+  const spec::PathSet a = {{0, 1, 2, 5}};
+  const spec::PathSet share_node = {{0, 2, 6}};   // shares interior 2
+  const spec::PathSet disjoint = {{0, 3, 6}};
+  EXPECT_FALSE(spec::compare_path_sets(spec::PathCompareKind::NodeDisjoint,
+                                       a, share_node)
+                   .empty());
+  EXPECT_TRUE(spec::compare_path_sets(spec::PathCompareKind::NodeDisjoint, a,
+                                      disjoint)
+                  .empty());
+
+  const spec::PathSet share_link = {{9, 1, 2, 8}};  // shares link 1-2
+  EXPECT_FALSE(spec::compare_path_sets(spec::PathCompareKind::LinkDisjoint,
+                                       a, share_link)
+                   .empty());
+  EXPECT_TRUE(spec::compare_path_sets(spec::PathCompareKind::LinkDisjoint, a,
+                                      disjoint)
+                  .empty());
+}
+
+TEST(ComparePathSets, SamePaths) {
+  const spec::PathSet a = {{0, 1}, {0, 2}};
+  EXPECT_TRUE(
+      spec::compare_path_sets(spec::PathCompareKind::SamePaths, a, a).empty());
+  EXPECT_FALSE(spec::compare_path_sets(spec::PathCompareKind::SamePaths, a,
+                                       {{0, 1}})
+                   .empty());
+}
+
+class MultiPathTest : public ::testing::Test {
+ protected:
+  Figure2 fig;
+  spec::MultiPathBuiltins mb{fig.topo, fig.space()};
+  planner::Planner planner{fig.topo, fig.space()};
+
+  /// Adds a unicast route for `prefix` at each (device, next hop) pair.
+  void route(const packet::Ipv4Prefix& prefix,
+             std::initializer_list<std::pair<DeviceId, fib::Action>> rules) {
+    for (const auto& [dev, action] : rules) {
+      fib::Rule r;
+      r.priority = 50;
+      r.dst_prefix = prefix;
+      r.action = action;
+      fig.net.table(dev).insert(r);
+    }
+  }
+
+  runtime::EventSimulator run(const planner::MultiPathPlan& plan) {
+    runtime::EventSimulator sim(fig.topo, {});
+    sim.make_devices(fig.space());
+    sim.install_multipath(plan);
+    for (DeviceId d = 0; d < fig.topo.device_count(); ++d) {
+      sim.post_initialize(d, fig.net.table(d), 0.0);
+    }
+    sim.run();
+    return sim;
+  }
+};
+
+TEST_F(MultiPathTest, RouteSymmetryHoldsOnMirroredPlane) {
+  // Forward: packets to D's prefix (10.0.0.0/23). Return: packets to a
+  // prefix attached at S, routed back along the mirror path S A W D.
+  const auto s_prefix = packet::Ipv4Prefix::parse("10.0.7.0/24");
+  fig.topo.attach_prefix(fig.S, s_prefix);
+
+  // Forward path S A W D only (override A's multipath behaviour).
+  route(fig.p1, {{fig.S, fib::Action::forward(fig.A)},
+                 {fig.A, fib::Action::forward(fig.W)},
+                 {fig.W, fib::Action::forward(fig.D)},
+                 {fig.D, fib::Action::deliver()}});
+  // Return path D W A S.
+  route(s_prefix, {{fig.D, fib::Action::forward(fig.W)},
+                   {fig.W, fib::Action::forward(fig.A)},
+                   {fig.A, fib::Action::forward(fig.S)},
+                   {fig.S, fib::Action::deliver()}});
+
+  const auto inv = mb.route_symmetry(
+      fig.space().dst_prefix(fig.p1), fig.space().dst_prefix(s_prefix),
+      fig.S, fig.D);
+  const auto plan = planner.plan_multipath(inv);
+  auto sim = run(plan);
+  EXPECT_TRUE(sim.violations().empty());
+
+  const auto view = sim.device(fig.S).multipath_view(plan.id);
+  ASSERT_TRUE(view.has_value());
+  EXPECT_EQ(view->first,
+            (spec::PathSet{{fig.S, fig.A, fig.W, fig.D}}));
+  EXPECT_EQ(view->second,
+            (spec::PathSet{{fig.D, fig.W, fig.A, fig.S}}));
+}
+
+TEST_F(MultiPathTest, RouteAsymmetryDetected) {
+  const auto s_prefix = packet::Ipv4Prefix::parse("10.0.7.0/24");
+  fig.topo.attach_prefix(fig.S, s_prefix);
+
+  // Forward via W, return via B: asymmetric.
+  route(fig.p1, {{fig.S, fib::Action::forward(fig.A)},
+                 {fig.A, fib::Action::forward(fig.W)},
+                 {fig.W, fib::Action::forward(fig.D)},
+                 {fig.D, fib::Action::deliver()}});
+  route(s_prefix, {{fig.D, fib::Action::forward(fig.B)},
+                   {fig.B, fib::Action::forward(fig.A)},
+                   {fig.A, fib::Action::forward(fig.S)},
+                   {fig.S, fib::Action::deliver()}});
+
+  const auto inv = mb.route_symmetry(
+      fig.space().dst_prefix(fig.p1), fig.space().dst_prefix(s_prefix),
+      fig.S, fig.D);
+  auto sim = run(planner.plan_multipath(inv));
+  const auto violations = sim.violations();
+  ASSERT_FALSE(violations.empty());
+  EXPECT_NE(violations.front().reason.find("asymmetry"), std::string::npos);
+}
+
+TEST_F(MultiPathTest, EcmpAlternativesCollected) {
+  // ANY at A: both S A W D and S A B D are possible forward paths; the
+  // return plane mirrors only one of them -> asymmetric.
+  const auto s_prefix = packet::Ipv4Prefix::parse("10.0.7.0/24");
+  fig.topo.attach_prefix(fig.S, s_prefix);
+  route(fig.p1, {{fig.S, fib::Action::forward(fig.A)},
+                 {fig.A, fib::Action::forward_any({fig.B, fig.W})},
+                 {fig.W, fib::Action::forward(fig.D)},
+                 {fig.B, fib::Action::forward(fig.D)},
+                 {fig.D, fib::Action::deliver()}});
+  route(s_prefix, {{fig.D, fib::Action::forward(fig.W)},
+                   {fig.W, fib::Action::forward(fig.A)},
+                   {fig.A, fib::Action::forward(fig.S)},
+                   {fig.S, fib::Action::deliver()}});
+
+  const auto inv = mb.route_symmetry(
+      fig.space().dst_prefix(fig.p1), fig.space().dst_prefix(s_prefix),
+      fig.S, fig.D);
+  const auto plan = planner.plan_multipath(inv);
+  auto sim = run(plan);
+  EXPECT_FALSE(sim.violations().empty());
+
+  const auto view = sim.device(fig.S).multipath_view(plan.id);
+  ASSERT_TRUE(view.has_value());
+  // Both ECMP alternatives were collected.
+  EXPECT_EQ(view->first.size(), 2u);
+}
+
+TEST_F(MultiPathTest, NodeDisjointServices) {
+  // Service A: to D's prefix via W. Service B: to C's prefix via B.
+  // Interior devices {A, W} vs {A, B} share A -> not node-disjoint.
+  const auto c_prefix = packet::Ipv4Prefix::parse("10.0.2.0/24");
+  route(fig.p1, {{fig.S, fib::Action::forward(fig.A)},
+                 {fig.A, fib::Action::forward(fig.W)},
+                 {fig.W, fib::Action::forward(fig.D)},
+                 {fig.D, fib::Action::deliver()}});
+  route(c_prefix, {{fig.S, fib::Action::forward(fig.A)},
+                   {fig.A, fib::Action::forward(fig.B)},
+                   {fig.B, fib::Action::forward(fig.C)},
+                   {fig.C, fib::Action::deliver()}});
+
+  const auto inv = mb.node_disjoint(
+      fig.space().dst_prefix(fig.p1), fig.D,
+      fig.space().dst_prefix(c_prefix), fig.C, fig.S);
+  auto sim = run(planner.plan_multipath(inv));
+  const auto violations = sim.violations();
+  ASSERT_FALSE(violations.empty());
+  EXPECT_NE(violations.front().reason.find("share"), std::string::npos);
+}
+
+TEST_F(MultiPathTest, IncrementalUpdateReEvaluates) {
+  const auto s_prefix = packet::Ipv4Prefix::parse("10.0.7.0/24");
+  fig.topo.attach_prefix(fig.S, s_prefix);
+  route(fig.p1, {{fig.S, fib::Action::forward(fig.A)},
+                 {fig.A, fib::Action::forward(fig.W)},
+                 {fig.W, fib::Action::forward(fig.D)},
+                 {fig.D, fib::Action::deliver()}});
+  // Asymmetric return via B initially.
+  route(s_prefix, {{fig.D, fib::Action::forward(fig.B)},
+                   {fig.B, fib::Action::forward(fig.A)},
+                   {fig.A, fib::Action::forward(fig.S)},
+                   {fig.S, fib::Action::deliver()}});
+
+  const auto inv = mb.route_symmetry(
+      fig.space().dst_prefix(fig.p1), fig.space().dst_prefix(s_prefix),
+      fig.S, fig.D);
+  const auto plan = planner.plan_multipath(inv);
+  runtime::EventSimulator sim(fig.topo, {});
+  sim.make_devices(fig.space());
+  sim.install_multipath(plan);
+  for (DeviceId d = 0; d < fig.topo.device_count(); ++d) {
+    sim.post_initialize(d, fig.net.table(d), 0.0);
+  }
+  double now = sim.run();
+  EXPECT_FALSE(sim.violations().empty());
+
+  // Fix: D reroutes the return traffic via W.
+  fib::Rule fix;
+  fix.priority = 60;
+  fix.dst_prefix = s_prefix;
+  fix.action = fib::Action::forward(fig.W);
+  sim.post_rule_update(fig.D, fib::FibUpdate::insert(fig.D, fix), now);
+  now = sim.run();
+  // ...and W must carry it toward A.
+  fib::Rule w_fix;
+  w_fix.priority = 60;
+  w_fix.dst_prefix = s_prefix;
+  w_fix.action = fib::Action::forward(fig.A);
+  sim.post_rule_update(fig.W, fib::FibUpdate::insert(fig.W, w_fix), now);
+  sim.run();
+  EXPECT_TRUE(sim.violations().empty());
+}
+
+}  // namespace
+}  // namespace tulkun::dvm

@@ -1,0 +1,166 @@
+// Packet transformation end-to-end (§5 "Handling packet transformation"):
+// a NAT device rewrites the destination IP mid-path; the rewriting node
+// must SUBSCRIBE downstream for the rewritten predicate and pull counts
+// back through the preimage.
+#include <gtest/gtest.h>
+
+#include <deque>
+
+#include "dpvnet/build.hpp"
+#include "dvm/engine.hpp"
+#include "runtime/event_sim.hpp"
+#include "spec/builtins.hpp"
+
+namespace tulkun::dvm {
+namespace {
+
+/// S -- N (NAT) -- D: packets to 10.0.9.0/24 are rewritten at N to the
+/// server address 192.168.0.1 that D owns.
+struct NatNet {
+  topo::Topology topo;
+  DeviceId S, N, D;
+  fib::NetworkFib net;
+
+  NatNet()
+      : topo(make_topo()),
+        S(topo.device("S")),
+        N(topo.device("N")),
+        D(topo.device("D")),
+        net(topo) {
+    const auto vip = packet::Ipv4Prefix::parse("10.0.9.0/24");
+    const auto real = packet::Ipv4Prefix::parse("192.168.0.1/32");
+
+    fib::Rule s;
+    s.priority = 10;
+    s.dst_prefix = vip;
+    s.action = fib::Action::forward(N);
+    net.table(S).insert(s);
+
+    fib::Rule n;
+    n.priority = 10;
+    n.dst_prefix = vip;
+    n.action = fib::Action::forward(
+        D, fib::Rewrite{packet::Field::DstIp,
+                        packet::parse_ipv4("192.168.0.1")});
+    nat_rule = net.table(N).insert(n);
+
+    fib::Rule d;
+    d.priority = 10;
+    d.dst_prefix = real;
+    d.action = fib::Action::deliver();
+    net.table(D).insert(d);
+  }
+
+  static topo::Topology make_topo() {
+    topo::Topology t;
+    const auto s = t.add_device("S");
+    const auto n = t.add_device("N");
+    const auto d = t.add_device("D");
+    t.add_link(s, n, 1e-3);
+    t.add_link(n, d, 1e-3);
+    // The VIP is "reachable via" D for spec-consistency purposes.
+    t.attach_prefix(d, packet::Ipv4Prefix::parse("10.0.9.0/24"));
+    t.attach_prefix(d, packet::Ipv4Prefix::parse("192.168.0.1/32"));
+    return t;
+  }
+
+  std::uint64_t nat_rule = 0;
+};
+
+class TransformTest : public ::testing::Test {
+ protected:
+  NatNet nat;
+
+  spec::Invariant vip_reachability() {
+    spec::Builtins b(nat.topo, nat.net.space());
+    return b.reachability(
+        nat.net.space().dst_prefix(packet::Ipv4Prefix::parse("10.0.9.0/24")),
+        nat.S, nat.D);
+  }
+};
+
+TEST_F(TransformTest, SubscribePullsRewrittenCounts) {
+  const auto inv = vip_reachability();
+  planner::Planner planner(nat.topo, nat.net.space());
+  const auto plan = planner.plan(inv);
+
+  runtime::SimConfig cfg;
+  runtime::EventSimulator sim(nat.topo, cfg);
+  sim.make_devices(nat.net.space());
+  sim.install(plan);
+  for (DeviceId d = 0; d < nat.topo.device_count(); ++d) {
+    sim.post_initialize(d, nat.net.table(d), 0.0);
+  }
+  sim.run();
+  EXPECT_TRUE(sim.violations().empty());
+
+  // The source saw one delivered copy for the whole VIP space.
+  const auto results = sim.device(nat.S).source_results(plan.id);
+  ASSERT_EQ(results.size(), 1u);
+  ASSERT_FALSE(results[0].second.empty());
+  for (const auto& e : results[0].second) {
+    EXPECT_EQ(e.counts, count::CountSet::singleton(count::CountVec{1}));
+  }
+}
+
+TEST_F(TransformTest, RewriteToWrongAddressDetected) {
+  // NAT rewrites to an address D does not serve: D's FIB drops it, but the
+  // node at D still *accepts* (assume-delivery destination semantics), so
+  // detection needs the stricter config that ties acceptance to external
+  // delivery at non-pure destinations... here D remains pure-dest, so we
+  // instead break the invariant by making N rewrite and forward BACK to S
+  // (off the DPVNet): the count drops to zero.
+  auto& table = nat.net.table(nat.N);
+  (void)table.erase(nat.nat_rule);
+  fib::Rule wrong;
+  wrong.priority = 10;
+  wrong.dst_prefix = packet::Ipv4Prefix::parse("10.0.9.0/24");
+  wrong.action = fib::Action::forward(
+      nat.S, fib::Rewrite{packet::Field::DstIp,
+                          packet::parse_ipv4("192.168.0.1")});
+  table.insert(wrong);
+
+  const auto inv = vip_reachability();
+  planner::Planner planner(nat.topo, nat.net.space());
+  const auto plan = planner.plan(inv);
+  runtime::EventSimulator sim(nat.topo, {});
+  sim.make_devices(nat.net.space());
+  sim.install(plan);
+  for (DeviceId d = 0; d < nat.topo.device_count(); ++d) {
+    sim.post_initialize(d, nat.net.table(d), 0.0);
+  }
+  sim.run();
+  EXPECT_FALSE(sim.violations().empty());
+}
+
+TEST_F(TransformTest, NatUpdateReconverges) {
+  const auto inv = vip_reachability();
+  planner::Planner planner(nat.topo, nat.net.space());
+  const auto plan = planner.plan(inv);
+  runtime::EventSimulator sim(nat.topo, {});
+  sim.make_devices(nat.net.space());
+  sim.install(plan);
+  for (DeviceId d = 0; d < nat.topo.device_count(); ++d) {
+    sim.post_initialize(d, nat.net.table(d), 0.0);
+  }
+  double now = sim.run();
+  ASSERT_TRUE(sim.violations().empty());
+
+  // Break: N drops the VIP. Then fix again with the NAT rule.
+  fib::Rule drop;
+  drop.priority = 50;
+  drop.dst_prefix = packet::Ipv4Prefix::parse("10.0.9.0/24");
+  drop.action = fib::Action::drop();
+  const auto handle = sim.post_rule_update(
+      nat.N, fib::FibUpdate::insert(nat.N, drop), now);
+  now = sim.run();
+  EXPECT_FALSE(sim.violations().empty());
+
+  sim.post_rule_update(nat.N,
+                       fib::FibUpdate::erase(nat.N, handle->rule_id), now);
+  sim.run();
+  EXPECT_TRUE(sim.violations().empty());
+}
+
+}  // namespace
+}  // namespace tulkun::dvm

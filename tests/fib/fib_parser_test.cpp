@@ -1,0 +1,95 @@
+#include "fib/fib_parser.hpp"
+
+#include <gtest/gtest.h>
+
+#include "topo/generators.hpp"
+
+namespace tulkun::fib {
+namespace {
+
+class FibParserTest : public ::testing::Test {
+ protected:
+  topo::Topology topo = topo::figure2_network();
+  NetworkFib net{topo};
+};
+
+TEST_F(FibParserTest, ParsesAllActionKinds) {
+  parse_fib(
+      "# demo plane\n"
+      "rule S 10.0.0.0/23 prio 10 fwd A\n"
+      "rule A 10.0.0.0/24 prio 10 fwd-all B W\n"
+      "rule A 10.0.1.0/24 prio 20 port 80 fwd-any B W\n"
+      "rule B 10.0.0.0/24 prio 10 drop\n"
+      "rule D 10.0.0.0/23 prio 10 deliver\n",
+      net);
+  EXPECT_EQ(net.total_rules(), 5u);
+
+  const auto* s_rule = net.table(topo.device("S")).ordered().front();
+  EXPECT_EQ(s_rule->action, Action::forward(topo.device("A")));
+
+  const auto a_rules = net.table(topo.device("A")).ordered();
+  EXPECT_EQ(a_rules[0]->action.type, ActionType::Any);
+  ASSERT_TRUE(a_rules[0]->extra_match.has_value());
+  EXPECT_EQ(*a_rules[0]->extra_match, net.space().dst_port(80));
+  EXPECT_EQ(a_rules[1]->action.type, ActionType::All);
+
+  EXPECT_EQ(net.table(topo.device("B")).ordered().front()->action,
+            Action::drop());
+  EXPECT_TRUE(net.table(topo.device("D"))
+                  .ordered()
+                  .front()
+                  ->action.forwards_to(kExternalPort));
+}
+
+TEST_F(FibParserTest, ParsesRewrite) {
+  parse_fib("rule A 10.0.9.0/24 prio 10 rewrite-dst 192.168.0.1 fwd W\n",
+            net);
+  const auto* r = net.table(topo.device("A")).ordered().front();
+  ASSERT_TRUE(r->action.rewrite.has_value());
+  EXPECT_EQ(r->action.rewrite->field, packet::Field::DstIp);
+  EXPECT_EQ(r->action.rewrite->value, packet::parse_ipv4("192.168.0.1"));
+}
+
+TEST_F(FibParserTest, RejectsMalformed) {
+  EXPECT_THROW(parse_fib("frobnicate\n", net), Error);
+  EXPECT_THROW(parse_fib("rule Z 10.0.0.0/24 prio 1 fwd A\n", net), Error);
+  EXPECT_THROW(parse_fib("rule S 10.0.0.0/24 prio 1 fwd Z\n", net), Error);
+  EXPECT_THROW(parse_fib("rule S 10.0.0.0/24 prio 1 teleport A\n", net),
+               Error);
+  EXPECT_THROW(parse_fib("rule S 10.0.0.0/24 prio 1 fwd\n", net), Error);
+  EXPECT_THROW(parse_fib("rule S 10.0.0.0/24 prio 1 drop extra\n", net),
+               Error);
+  EXPECT_THROW(parse_fib("rule S 10.0.0.0/24 prio 1 rewrite-dst 1.2.3.4 "
+                         "drop\n",
+                         net),
+               Error);
+}
+
+TEST_F(FibParserTest, RoundTrips) {
+  const char* text =
+      "rule A 10.0.1.0/24 prio 20 port 80 fwd-any B W\n"
+      "rule A 10.0.1.0/24 prio 10 fwd-all W\n"
+      "rule B 10.0.0.0/24 prio 10 drop\n"
+      "rule D 10.0.0.0/23 prio 10 deliver\n"
+      "rule S 10.0.9.0/24 prio 10 rewrite-dst 192.168.0.1 fwd-all A\n";
+  parse_fib(text, net);
+  const auto emitted = to_text(net);
+
+  NetworkFib reparsed(topo);
+  parse_fib(emitted, reparsed);
+  EXPECT_EQ(reparsed.total_rules(), net.total_rules());
+  EXPECT_EQ(to_text(reparsed), emitted);
+}
+
+TEST_F(FibParserTest, ToTextRejectsInexpressibleMatch) {
+  fib::Rule r;
+  r.priority = 10;
+  r.dst_prefix = packet::Ipv4Prefix::parse("10.0.0.0/24");
+  r.extra_match = net.space().field_range(packet::Field::DstPort, 10, 20);
+  r.action = Action::forward(topo.device("A"));
+  net.table(topo.device("S")).insert(r);
+  EXPECT_THROW((void)to_text(net), Error);
+}
+
+}  // namespace
+}  // namespace tulkun::fib

@@ -1,0 +1,103 @@
+#include "fib/fib_table.hpp"
+
+#include <gtest/gtest.h>
+
+namespace tulkun::fib {
+namespace {
+
+Rule make_rule(const char* cidr, std::int32_t priority, DeviceId hop) {
+  Rule r;
+  r.priority = priority;
+  r.dst_prefix = packet::Ipv4Prefix::parse(cidr);
+  r.action = Action::forward(hop);
+  return r;
+}
+
+TEST(FibTable, InsertAssignsUniqueIds) {
+  FibTable t;
+  const auto a = t.insert(make_rule("10.0.0.0/24", 10, 1));
+  const auto b = t.insert(make_rule("10.0.1.0/24", 10, 2));
+  EXPECT_NE(a, b);
+  EXPECT_TRUE(t.contains(a));
+  EXPECT_EQ(t.size(), 2u);
+  EXPECT_EQ(t.rule(a).action, Action::forward(1));
+}
+
+TEST(FibTable, EraseReturnsRule) {
+  FibTable t;
+  const auto id = t.insert(make_rule("10.0.0.0/24", 10, 1));
+  const Rule r = t.erase(id);
+  EXPECT_EQ(r.dst_prefix.to_string(), "10.0.0.0/24");
+  EXPECT_FALSE(t.contains(id));
+  EXPECT_THROW((void)t.erase(id), Error);
+  EXPECT_THROW((void)t.rule(id), Error);
+}
+
+TEST(FibTable, OrderedByPriorityThenInsertion) {
+  FibTable t;
+  t.insert(make_rule("10.0.0.0/24", 10, 1));
+  t.insert(make_rule("10.0.0.0/25", 30, 2));
+  t.insert(make_rule("10.0.0.0/26", 30, 3));  // same prio, inserted later
+  t.insert(make_rule("0.0.0.0/0", 0, 4));
+  const auto ordered = t.ordered();
+  ASSERT_EQ(ordered.size(), 4u);
+  EXPECT_EQ(ordered[0]->action, Action::forward(2));
+  EXPECT_EQ(ordered[1]->action, Action::forward(3));
+  EXPECT_EQ(ordered[2]->action, Action::forward(1));
+  EXPECT_EQ(ordered[3]->action, Action::forward(4));
+}
+
+TEST(FibTable, OverlappingFiltersByPrefix) {
+  FibTable t;
+  t.insert(make_rule("10.0.0.0/24", 10, 1));
+  t.insert(make_rule("10.0.0.0/25", 10, 2));
+  t.insert(make_rule("10.0.1.0/24", 10, 3));
+  t.insert(make_rule("0.0.0.0/0", 0, 4));
+  const auto hits = t.overlapping(packet::Ipv4Prefix::parse("10.0.0.0/24"));
+  // /24 itself, the /25 inside it, and the default route cover/overlap it.
+  EXPECT_EQ(hits.size(), 3u);
+}
+
+TEST(RewriteImage, MapsPrefixOntoTarget) {
+  packet::PacketSpace space;
+  const auto src = space.dst_prefix(packet::Ipv4Prefix::parse("10.0.0.0/24"));
+  const Rewrite rw{packet::Field::DstIp,
+                   packet::parse_ipv4("192.168.0.1")};
+  const auto image = rewrite_image(space, src, rw);
+  EXPECT_EQ(image,
+            space.dst_prefix(packet::Ipv4Prefix::parse("192.168.0.1/32")));
+}
+
+TEST(RewriteImage, PreservesOtherFields) {
+  packet::PacketSpace space;
+  const auto src = space.dst_prefix(packet::Ipv4Prefix::parse("10.0.0.0/24")) &
+                   space.dst_port(80);
+  const Rewrite rw{packet::Field::DstIp,
+                   packet::parse_ipv4("192.168.0.1")};
+  const auto image = rewrite_image(space, src, rw);
+  EXPECT_EQ(image,
+            space.dst_prefix(packet::Ipv4Prefix::parse("192.168.0.1/32")) &
+                space.dst_port(80));
+}
+
+TEST(RewritePreimage, InvertsImage) {
+  packet::PacketSpace space;
+  const Rewrite rw{packet::Field::DstPort, 8080};
+  const auto target = space.dst_port(8080) &
+                      space.dst_prefix(packet::Ipv4Prefix::parse("10.0.0.0/8"));
+  const auto pre = rewrite_preimage(space, target, rw);
+  // Preimage frees the rewritten field but keeps other constraints.
+  EXPECT_EQ(pre, space.dst_prefix(packet::Ipv4Prefix::parse("10.0.0.0/8")));
+  // Image of the preimage lands back inside the target.
+  EXPECT_TRUE(rewrite_image(space, pre, rw).subset_of(target));
+}
+
+TEST(RewritePreimage, EmptyWhenTargetExcludesWrittenValue) {
+  packet::PacketSpace space;
+  const Rewrite rw{packet::Field::DstPort, 8080};
+  const auto target = space.dst_port(80);  // rewritten packets never match
+  EXPECT_TRUE(rewrite_preimage(space, target, rw).empty());
+}
+
+}  // namespace
+}  // namespace tulkun::fib

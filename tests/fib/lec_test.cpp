@@ -1,0 +1,160 @@
+#include "fib/lec.hpp"
+
+#include <gtest/gtest.h>
+
+#include "testutil/figure2.hpp"
+
+namespace tulkun::fib {
+namespace {
+
+Rule prefix_rule(const char* cidr, std::int32_t priority, Action action) {
+  Rule r;
+  r.priority = priority;
+  r.dst_prefix = packet::Ipv4Prefix::parse(cidr);
+  r.action = std::move(action);
+  return r;
+}
+
+TEST(LecBuilder, EmptyFibIsOneDropClass) {
+  packet::PacketSpace space;
+  FibTable fib;
+  const auto lec = LecBuilder(space).build(fib);
+  ASSERT_EQ(lec.size(), 1u);
+  EXPECT_TRUE(lec.entries().front().pred.is_all());
+  EXPECT_EQ(lec.entries().front().action, Action::drop());
+}
+
+TEST(LecBuilder, EntriesPartitionTheSpace) {
+  packet::PacketSpace space;
+  FibTable fib;
+  fib.insert(prefix_rule("10.0.0.0/24", 10, Action::forward(1)));
+  fib.insert(prefix_rule("10.0.0.0/25", 20, Action::forward(2)));
+  fib.insert(prefix_rule("10.0.1.0/24", 10, Action::forward(1)));
+  const auto lec = LecBuilder(space).build(fib);
+
+  // Disjoint and covering.
+  auto uni = space.none();
+  for (std::size_t i = 0; i < lec.size(); ++i) {
+    for (std::size_t j = i + 1; j < lec.size(); ++j) {
+      EXPECT_FALSE(lec.entries()[i].pred.intersects(lec.entries()[j].pred));
+    }
+    uni |= lec.entries()[i].pred;
+  }
+  EXPECT_TRUE(uni.is_all());
+}
+
+TEST(LecBuilder, MinimalClassesGroupedByAction) {
+  packet::PacketSpace space;
+  FibTable fib;
+  // Two prefixes with the same action must share one LEC.
+  fib.insert(prefix_rule("10.0.0.0/24", 10, Action::forward(1)));
+  fib.insert(prefix_rule("10.0.1.0/24", 10, Action::forward(1)));
+  const auto lec = LecBuilder(space).build(fib);
+  // forward(1) class + drop class.
+  EXPECT_EQ(lec.size(), 2u);
+  const auto fwd_pred =
+      space.dst_prefix(packet::Ipv4Prefix::parse("10.0.0.0/23"));
+  EXPECT_EQ(lec.action_of(fwd_pred), Action::forward(1));
+}
+
+TEST(LecBuilder, PriorityShadowingRespected) {
+  packet::PacketSpace space;
+  FibTable fib;
+  fib.insert(prefix_rule("10.0.0.0/24", 10, Action::forward(1)));
+  fib.insert(prefix_rule("10.0.0.0/24", 20, Action::forward(2)));  // wins
+  const auto lec = LecBuilder(space).build(fib);
+  const auto pred = space.dst_prefix(packet::Ipv4Prefix::parse("10.0.0.0/24"));
+  EXPECT_EQ(lec.action_of(pred), Action::forward(2));
+}
+
+TEST(LecBuilder, Figure2DevicesHaveExpectedClasses) {
+  testutil::Figure2 fig;
+  LecBuilder builder(fig.space());
+  const auto lec_a = builder.build(fig.net.table(fig.A));
+  // A: P2 -> ALL{B,W}; P3 -> ANY{B,W}; P4 -> W; rest -> drop.
+  EXPECT_EQ(lec_a.size(), 4u);
+  EXPECT_EQ(lec_a.action_of(fig.P2()),
+            Action::forward_all({fig.B, fig.W}));
+  EXPECT_EQ(lec_a.action_of(fig.P3()),
+            Action::forward_any({fig.B, fig.W}));
+  EXPECT_EQ(lec_a.action_of(fig.P4()), Action::forward(fig.W));
+
+  const auto lec_b = builder.build(fig.net.table(fig.B));
+  EXPECT_EQ(lec_b.action_of(fig.P3() | fig.P4()), Action::forward(fig.D));
+  EXPECT_EQ(lec_b.action_of(fig.P2()), Action::drop());
+}
+
+TEST(LecTable, PartitionSplitsRegionByAction) {
+  testutil::Figure2 fig;
+  LecBuilder builder(fig.space());
+  const auto lec_a = builder.build(fig.net.table(fig.A));
+  const auto parts = lec_a.partition(fig.P1());
+  // P1 = P2 ∪ P3 ∪ P4, three different actions at A.
+  EXPECT_EQ(parts.size(), 3u);
+  auto uni = fig.space().none();
+  for (const auto& part : parts) uni |= part.pred;
+  EXPECT_EQ(uni, fig.P1());
+}
+
+TEST(LecBuilder, DiffFindsChangedRegions) {
+  packet::PacketSpace space;
+  FibTable fib;
+  const auto id = fib.insert(prefix_rule("10.0.0.0/24", 10, Action::forward(1)));
+  LecBuilder builder(space);
+  const auto before = builder.build(fib);
+  (void)fib.erase(id);
+  fib.insert(prefix_rule("10.0.0.0/25", 10, Action::forward(2)));
+  const auto after = builder.build(fib);
+
+  const auto deltas = builder.diff(before, after);
+  // Changed: /25 flipped 1->2, and the other half of the /24 flipped 1->drop.
+  ASSERT_EQ(deltas.size(), 2u);
+  auto changed = space.none();
+  for (const auto& d : deltas) {
+    EXPECT_NE(d.old_action, d.new_action);
+    changed |= d.pred;
+  }
+  EXPECT_EQ(changed, space.dst_prefix(packet::Ipv4Prefix::parse("10.0.0.0/24")));
+}
+
+TEST(LecBuilder, ApplyPatchMatchesFullRebuild) {
+  packet::PacketSpace space;
+  FibTable fib;
+  fib.insert(prefix_rule("10.0.0.0/24", 10, Action::forward(1)));
+  fib.insert(prefix_rule("10.0.1.0/24", 10, Action::forward(2)));
+  LecBuilder builder(space);
+  const auto before = builder.build(fib);
+
+  // Insert a /25 override and patch only its region.
+  const auto rule = prefix_rule("10.0.0.0/25", 20, Action::forward(3));
+  const auto region = space.dst_prefix(rule.dst_prefix);
+  fib.insert(rule);
+  const auto after_region =
+      builder.effective_in_region(fib, rule.dst_prefix, region);
+  const auto patched = builder.apply_patch(before, region, after_region);
+  const auto rebuilt = builder.build(fib);
+
+  // Same partition: every point has the same action.
+  for (const auto& e : rebuilt.entries()) {
+    for (const auto& p : patched.partition(e.pred)) {
+      EXPECT_EQ(p.action, e.action);
+    }
+  }
+  EXPECT_EQ(patched.size(), rebuilt.size());
+}
+
+TEST(LecBuilder, RegionDeltasDetectShadowedUpdate) {
+  packet::PacketSpace space;
+  FibTable fib;
+  fib.insert(prefix_rule("10.0.0.0/24", 100, Action::forward(1)));
+  LecBuilder builder(space);
+  const auto rule = prefix_rule("10.0.0.0/25", 10, Action::forward(2));
+  const auto region = space.dst_prefix(rule.dst_prefix);
+  const auto before = builder.effective_in_region(fib, rule.dst_prefix, region);
+  fib.insert(rule);  // fully shadowed by the higher-priority /24
+  const auto after = builder.effective_in_region(fib, rule.dst_prefix, region);
+  EXPECT_TRUE(builder.region_deltas(before, after).empty());
+}
+
+}  // namespace
+}  // namespace tulkun::fib

@@ -1,0 +1,74 @@
+#include "fib/rule.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/error.hpp"
+
+namespace tulkun::fib {
+namespace {
+
+TEST(Action, DropIsEmpty) {
+  const auto d = Action::drop();
+  EXPECT_EQ(d.type, ActionType::Drop);
+  EXPECT_TRUE(d.next_hops.empty());
+  EXPECT_FALSE(d.forwards_to(0));
+  EXPECT_EQ(d.to_string(), "drop");
+}
+
+TEST(Action, ForwardAllSortsAndDedupes) {
+  const auto a = Action::forward_all({5, 2, 5, 9});
+  EXPECT_EQ(a.type, ActionType::All);
+  EXPECT_EQ(a.next_hops, (std::vector<DeviceId>{2, 5, 9}));
+  EXPECT_TRUE(a.forwards_to(5));
+  EXPECT_FALSE(a.forwards_to(3));
+}
+
+TEST(Action, SingletonAnyCanonicalizesToAll) {
+  // A one-element ANY group is deterministic; equality with the ALL
+  // spelling keeps LEC identity stable.
+  EXPECT_EQ(Action::forward_any({7}), Action::forward_all({7}));
+  EXPECT_EQ(Action::forward_any({7, 7}), Action::forward(7));
+}
+
+TEST(Action, AnyKeepsType) {
+  const auto a = Action::forward_any({1, 2});
+  EXPECT_EQ(a.type, ActionType::Any);
+}
+
+TEST(Action, EmptyGroupRejected) {
+  EXPECT_THROW((void)Action::forward_all({}), Error);
+  EXPECT_THROW((void)Action::forward_any({}), Error);
+}
+
+TEST(Action, DeliverUsesExternalPort) {
+  const auto d = Action::deliver();
+  EXPECT_TRUE(d.forwards_to(kExternalPort));
+  EXPECT_EQ(d.to_string(), "fwd(ALL,{ext})");
+}
+
+TEST(Action, EqualityIncludesRewrite) {
+  auto a = Action::forward(3);
+  auto b = Action::forward(3, Rewrite{packet::Field::DstIp, 42});
+  EXPECT_NE(a, b);
+  EXPECT_EQ(b, Action::forward(3, Rewrite{packet::Field::DstIp, 42}));
+  ActionHash h;
+  EXPECT_NE(h(a), h(b));
+}
+
+TEST(Rule, MatchCombinesPrefixAndExtra) {
+  packet::PacketSpace space;
+  Rule r;
+  r.dst_prefix = packet::Ipv4Prefix::parse("10.0.0.0/24");
+  r.extra_match = space.dst_port(80);
+  const auto m = r.match(space);
+  EXPECT_EQ(m, space.dst_prefix(r.dst_prefix) & space.dst_port(80));
+  EXPECT_FALSE(r.prefix_only());
+
+  Rule plain;
+  plain.dst_prefix = r.dst_prefix;
+  EXPECT_TRUE(plain.prefix_only());
+  EXPECT_EQ(plain.match(space), space.dst_prefix(r.dst_prefix));
+}
+
+}  // namespace
+}  // namespace tulkun::fib

@@ -1,0 +1,65 @@
+#include "fib/update_stream.hpp"
+
+#include <gtest/gtest.h>
+
+#include "testutil/figure2.hpp"
+
+namespace tulkun::fib {
+namespace {
+
+TEST(ApplyUpdate, InsertProducesDeltasAndAssignsId) {
+  testutil::Figure2 fig;
+  auto update = fig.b_reroute_to_w();
+  const auto deltas = apply_update(fig.net, update);
+  EXPECT_GT(update.rule_id, 0u);
+  ASSERT_EQ(deltas.size(), 1u);
+  EXPECT_EQ(deltas.front().old_action, Action::forward(fig.D));
+  EXPECT_EQ(deltas.front().new_action, Action::forward(fig.W));
+  EXPECT_EQ(deltas.front().pred, fig.P3() | fig.P4());
+}
+
+TEST(ApplyUpdate, EraseRestoresPreviousAction) {
+  testutil::Figure2 fig;
+  auto insert = fig.b_reroute_to_w();
+  (void)apply_update(fig.net, insert);
+
+  auto erase = FibUpdate::erase(fig.B, insert.rule_id);
+  const auto deltas = apply_update(fig.net, erase);
+  ASSERT_EQ(deltas.size(), 1u);
+  EXPECT_EQ(deltas.front().old_action, Action::forward(fig.W));
+  EXPECT_EQ(deltas.front().new_action, Action::forward(fig.D));
+  // The erased rule is reported back for observers.
+  EXPECT_EQ(erase.rule.dst_prefix, fig.p34);
+}
+
+TEST(ApplyUpdate, ShadowedInsertYieldsNoDeltas) {
+  testutil::Figure2 fig;
+  Rule r;
+  r.priority = 1;  // below B's existing rule
+  r.dst_prefix = fig.p34;
+  r.action = Action::forward(fig.W);
+  auto update = FibUpdate::insert(fig.B, std::move(r));
+  EXPECT_TRUE(apply_update(fig.net, update).empty());
+}
+
+TEST(ApplyUpdate, NewPrefixCarvesDropRegion) {
+  testutil::Figure2 fig;
+  Rule r;
+  r.priority = 10;
+  r.dst_prefix = packet::Ipv4Prefix::parse("10.0.2.0/24");  // C's prefix
+  r.action = Action::forward(fig.A);
+  auto update = FibUpdate::insert(fig.S, std::move(r));
+  const auto deltas = apply_update(fig.net, update);
+  ASSERT_EQ(deltas.size(), 1u);
+  EXPECT_EQ(deltas.front().old_action, Action::drop());
+  EXPECT_EQ(deltas.front().new_action, Action::forward(fig.A));
+}
+
+TEST(NetworkFib, CountsRules) {
+  testutil::Figure2 fig;
+  // S:1, A:3, B:1, W:1, D:1, C:0.
+  EXPECT_EQ(fig.net.total_rules(), 7u);
+}
+
+}  // namespace
+}  // namespace tulkun::fib

@@ -1,0 +1,83 @@
+#include "packet/fields.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/error.hpp"
+
+namespace tulkun::packet {
+namespace {
+
+TEST(Ipv4, ParseAndFormat) {
+  EXPECT_EQ(parse_ipv4("10.0.0.0"), 0x0A000000u);
+  EXPECT_EQ(parse_ipv4("255.255.255.255"), 0xFFFFFFFFu);
+  EXPECT_EQ(parse_ipv4("1.2.3.4"), 0x01020304u);
+  EXPECT_EQ(format_ipv4(0x0A000000u), "10.0.0.0");
+  EXPECT_EQ(format_ipv4(0x01020304u), "1.2.3.4");
+}
+
+TEST(Ipv4, ParseRejectsMalformed) {
+  EXPECT_THROW((void)parse_ipv4("10.0.0"), Error);
+  EXPECT_THROW((void)parse_ipv4("10.0.0.0.0"), Error);
+  EXPECT_THROW((void)parse_ipv4("10.0.0.256"), Error);
+  EXPECT_THROW((void)parse_ipv4("a.b.c.d"), Error);
+  EXPECT_THROW((void)parse_ipv4(""), Error);
+}
+
+TEST(Ipv4Prefix, ParseCidr) {
+  const auto p = Ipv4Prefix::parse("10.0.0.0/23");
+  EXPECT_EQ(p.addr, 0x0A000000u);
+  EXPECT_EQ(p.len, 23);
+  EXPECT_EQ(p.to_string(), "10.0.0.0/23");
+}
+
+TEST(Ipv4Prefix, BareAddressIsSlash32) {
+  const auto p = Ipv4Prefix::parse("192.168.1.1");
+  EXPECT_EQ(p.len, 32);
+  EXPECT_TRUE(p.contains(parse_ipv4("192.168.1.1")));
+  EXPECT_FALSE(p.contains(parse_ipv4("192.168.1.2")));
+}
+
+TEST(Ipv4Prefix, HostBitsNormalized) {
+  const Ipv4Prefix p(parse_ipv4("10.0.1.77"), 24);
+  EXPECT_EQ(p.addr, parse_ipv4("10.0.1.0"));
+}
+
+TEST(Ipv4Prefix, RejectsBadLength) {
+  EXPECT_THROW((void)Ipv4Prefix::parse("10.0.0.0/33"), Error);
+  EXPECT_THROW((void)Ipv4Prefix::parse("10.0.0.0/x"), Error);
+}
+
+TEST(Ipv4Prefix, Contains) {
+  const auto p = Ipv4Prefix::parse("10.0.0.0/23");
+  EXPECT_TRUE(p.contains(parse_ipv4("10.0.0.1")));
+  EXPECT_TRUE(p.contains(parse_ipv4("10.0.1.255")));
+  EXPECT_FALSE(p.contains(parse_ipv4("10.0.2.0")));
+}
+
+TEST(Ipv4Prefix, Covers) {
+  const auto wide = Ipv4Prefix::parse("10.0.0.0/23");
+  const auto narrow = Ipv4Prefix::parse("10.0.1.0/24");
+  const auto other = Ipv4Prefix::parse("10.0.2.0/24");
+  EXPECT_TRUE(wide.covers(narrow));
+  EXPECT_FALSE(narrow.covers(wide));
+  EXPECT_TRUE(wide.covers(wide));
+  EXPECT_FALSE(wide.covers(other));
+}
+
+TEST(Ipv4Prefix, RangeHalfOpen) {
+  const auto p = Ipv4Prefix::parse("10.0.0.0/23");
+  EXPECT_EQ(p.range_lo(), 0x0A000000u);
+  EXPECT_EQ(p.range_hi(), 0x0A000000u + 512u);
+  const auto all = Ipv4Prefix::parse("0.0.0.0/0");
+  EXPECT_EQ(all.range_hi(), 1ULL << 32);
+}
+
+TEST(Layout, FieldGeometry) {
+  EXPECT_EQ(Layout::offset(Field::DstIp), 0u);
+  EXPECT_EQ(Layout::width(Field::DstIp), 32u);
+  EXPECT_EQ(Layout::offset(Field::Proto) + Layout::width(Field::Proto),
+            Layout::kNumVars);
+}
+
+}  // namespace
+}  // namespace tulkun::packet

@@ -1,0 +1,122 @@
+#include "packet/packet_set.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/rng.hpp"
+
+namespace tulkun::packet {
+namespace {
+
+class PacketSetTest : public ::testing::Test {
+ protected:
+  PacketSpace space;
+};
+
+TEST_F(PacketSetTest, AllAndNone) {
+  EXPECT_TRUE(space.all().is_all());
+  EXPECT_TRUE(space.none().empty());
+  EXPECT_EQ(space.all().fraction(), 1.0);
+  EXPECT_EQ(space.none().fraction(), 0.0);
+}
+
+TEST_F(PacketSetTest, DstPrefixFraction) {
+  const auto p = space.dst_prefix(Ipv4Prefix::parse("10.0.0.0/8"));
+  // A /8 constrains 8 of 32 dstIP bits: 1/256 of the space.
+  EXPECT_DOUBLE_EQ(p.fraction(), 1.0 / 256.0);
+}
+
+TEST_F(PacketSetTest, PrefixContainment) {
+  const auto wide = space.dst_prefix(Ipv4Prefix::parse("10.0.0.0/23"));
+  const auto narrow = space.dst_prefix(Ipv4Prefix::parse("10.0.1.0/24"));
+  EXPECT_TRUE(narrow.subset_of(wide));
+  EXPECT_FALSE(wide.subset_of(narrow));
+  EXPECT_EQ(wide & narrow, narrow);
+  EXPECT_EQ(wide | narrow, wide);
+}
+
+TEST_F(PacketSetTest, DisjointPrefixes) {
+  const auto a = space.dst_prefix(Ipv4Prefix::parse("10.0.0.0/24"));
+  const auto b = space.dst_prefix(Ipv4Prefix::parse("10.0.1.0/24"));
+  EXPECT_FALSE(a.intersects(b));
+  EXPECT_TRUE((a | b).subset_of(space.dst_prefix(Ipv4Prefix::parse("10.0.0.0/23"))));
+  EXPECT_EQ(a | b, space.dst_prefix(Ipv4Prefix::parse("10.0.0.0/23")));
+}
+
+TEST_F(PacketSetTest, Figure2PacketSpaces) {
+  // The paper's P1..P4: P1 = P2 ∪ P3 ∪ P4, disjoint P2/P3/P4.
+  const auto p1 = space.dst_prefix(Ipv4Prefix::parse("10.0.0.0/23"));
+  const auto p2 = space.dst_prefix(Ipv4Prefix::parse("10.0.0.0/24"));
+  const auto p3 =
+      space.dst_prefix(Ipv4Prefix::parse("10.0.1.0/24")) & space.dst_port(80);
+  const auto p4 = space.dst_prefix(Ipv4Prefix::parse("10.0.1.0/24")) -
+                  space.dst_port(80);
+  EXPECT_EQ(p2 | p3 | p4, p1);
+  EXPECT_FALSE(p2.intersects(p3));
+  EXPECT_FALSE(p3.intersects(p4));
+  EXPECT_FALSE(p2.intersects(p4));
+}
+
+TEST_F(PacketSetTest, PortExactAndRange) {
+  const auto exact = space.dst_port(80);
+  const auto range = space.field_range(Field::DstPort, 80, 80);
+  EXPECT_EQ(exact, range);
+  const auto wide = space.field_range(Field::DstPort, 0, 65535);
+  EXPECT_TRUE(wide.is_all());
+}
+
+TEST_F(PacketSetTest, RangeCounts) {
+  const auto r = space.field_range(Field::DstPort, 10, 19);
+  // 10 of 65536 port values.
+  EXPECT_DOUBLE_EQ(r.fraction(), 10.0 / 65536.0);
+}
+
+TEST_F(PacketSetTest, RangeMembershipSweep) {
+  const auto r = space.field_range(Field::Proto, 6, 17);
+  for (std::uint32_t v = 0; v < 32; ++v) {
+    const auto point = space.proto(static_cast<std::uint8_t>(v));
+    EXPECT_EQ(point.subset_of(r), v >= 6 && v <= 17) << "proto " << v;
+  }
+}
+
+TEST_F(PacketSetTest, SetAlgebra) {
+  const auto a = space.dst_prefix(Ipv4Prefix::parse("10.0.0.0/9"));
+  const auto b = space.src_prefix(Ipv4Prefix::parse("192.168.0.0/16"));
+  EXPECT_EQ(~(a & b), ~a | ~b);
+  EXPECT_EQ(a - b, a & ~b);
+  EXPECT_EQ((a - b) | (a & b), a);
+}
+
+TEST_F(PacketSetTest, EqualityIsConstantTime) {
+  const auto a = space.dst_prefix(Ipv4Prefix::parse("10.1.0.0/16")) &
+                 space.dst_port(443);
+  const auto b = space.dst_port(443) &
+                 space.dst_prefix(Ipv4Prefix::parse("10.1.0.0/16"));
+  EXPECT_EQ(a, b);
+  EXPECT_EQ(a.ref(), b.ref());
+}
+
+class RangeProperty : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(RangeProperty, RandomRangesBehaveLikeIntervals) {
+  PacketSpace space;
+  Rng rng(GetParam());
+  const std::uint32_t lo = static_cast<std::uint32_t>(rng.uniform(0, 60000));
+  const std::uint32_t hi =
+      static_cast<std::uint32_t>(rng.uniform(lo, 65535));
+  const auto r = space.field_range(Field::DstPort, lo, hi);
+  EXPECT_DOUBLE_EQ(r.fraction(),
+                   static_cast<double>(hi - lo + 1) / 65536.0);
+  // Complement splits into the two remaining ranges.
+  auto rest = space.none();
+  if (lo > 0) rest |= space.field_range(Field::DstPort, 0, lo - 1);
+  if (hi < 65535) rest |= space.field_range(Field::DstPort, hi + 1, 65535);
+  EXPECT_EQ(~r, rest);
+  EXPECT_EQ(r | rest, space.all());
+  EXPECT_FALSE(r.intersects(rest));
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RangeProperty,
+                         ::testing::Range<std::uint64_t>(1, 16));
+
+}  // namespace
+}  // namespace tulkun::packet

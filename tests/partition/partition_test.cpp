@@ -1,0 +1,149 @@
+#include "partition/partition.hpp"
+
+#include <gtest/gtest.h>
+
+#include "eval/fib_synth.hpp"
+#include "topo/generators.hpp"
+
+namespace tulkun::partition {
+namespace {
+
+TEST(MakeClusters, CoversAllDevicesDeterministically) {
+  const auto topo = topo::synthetic_wan("w", 30, 50, 5);
+  const auto a = make_clusters(topo, 4, 9);
+  const auto b = make_clusters(topo, 4, 9);
+  EXPECT_EQ(a.cluster_of, b.cluster_of);
+  EXPECT_EQ(a.clusters, 4u);
+  std::size_t covered = 0;
+  for (std::uint32_t c = 0; c < a.clusters; ++c) {
+    const auto m = a.members(c);
+    EXPECT_FALSE(m.empty());
+    covered += m.size();
+  }
+  EXPECT_EQ(covered, topo.device_count());
+}
+
+TEST(MakeClusters, ClampsToDeviceCount) {
+  const auto topo = topo::figure2_network();
+  const auto p = make_clusters(topo, 100, 1);
+  EXPECT_EQ(p.clusters, topo.device_count());
+}
+
+TEST(MakeClusters, SingleCluster) {
+  const auto topo = topo::figure2_network();
+  const auto p = make_clusters(topo, 1, 1);
+  EXPECT_EQ(p.clusters, 1u);
+  EXPECT_EQ(p.members(0).size(), topo.device_count());
+}
+
+class PartitionedVerifierTest : public ::testing::Test {
+ protected:
+  topo::Topology topo = topo::synthetic_wan("w", 24, 40, 7);
+  fib::NetworkFib net = eval::synthesize(topo, eval::SynthOptions{2, 0, 7});
+};
+
+TEST_F(PartitionedVerifierTest, CleanPlanePassesAllPairs) {
+  PartitionedVerifier v(net, make_clusters(topo, 4, 3));
+  EXPECT_TRUE(v.verify_all_pairs().empty());
+  EXPECT_GT(v.stats().intra_queries, 0u);
+  EXPECT_GT(v.stats().cross_messages, 0u);  // borders were crossed
+}
+
+TEST_F(PartitionedVerifierTest, AgreesAcrossClusterCounts) {
+  eval::inject_blackhole(net, 5, topo.prefixes(17).front());
+  PartitionedVerifier flat(net, make_clusters(topo, 1, 3));
+  PartitionedVerifier split(net, make_clusters(topo, 6, 3));
+  EXPECT_EQ(flat.verify_all_pairs(), split.verify_all_pairs());
+}
+
+TEST_F(PartitionedVerifierTest, BlackholeLocalized) {
+  // Device 5 drops traffic toward device 17's prefix: the pair (5, 17)
+  // fails, as does any ingress whose only route runs through 5.
+  eval::inject_blackhole(net, 5, topo.prefixes(17).front());
+  PartitionedVerifier v(net, make_clusters(topo, 4, 3));
+  const auto failures = v.verify_all_pairs();
+  ASSERT_FALSE(failures.empty());
+  bool direct = false;
+  for (const auto& [ing, dst] : failures) {
+    EXPECT_EQ(dst, 17u);
+    if (ing == 5u) direct = true;
+  }
+  EXPECT_TRUE(direct);
+}
+
+TEST_F(PartitionedVerifierTest, MemoizationKicksIn) {
+  PartitionedVerifier v(net, make_clusters(topo, 4, 3));
+  (void)v.verify_all_pairs();
+  const auto hits_before = v.stats().cache_hits;
+  (void)v.query(0, 17);
+  EXPECT_GT(v.stats().cache_hits, hits_before);
+}
+
+TEST_F(PartitionedVerifierTest, InvalidationAfterUpdate) {
+  PartitionedVerifier v(net, make_clusters(topo, 4, 3));
+  ASSERT_EQ(v.query(0, 17), Reach::Yes);
+
+  // Drop at 17's sole announcer? Instead drop at ingress 0 directly.
+  eval::inject_blackhole(net, 0, topo.prefixes(17).front());
+  v.invalidate(0);
+  EXPECT_EQ(v.query(0, 17), Reach::No);
+}
+
+TEST_F(PartitionedVerifierTest, LoopDetected) {
+  // Force a loop across the first link that does not touch the
+  // destination: x -> y -> x for dst 17's prefix.
+  DeviceId x = kNoDevice;
+  DeviceId y = kNoDevice;
+  for (DeviceId d = 0; d < topo.device_count() && x == kNoDevice; ++d) {
+    if (d == 17) continue;
+    for (const auto& adj : topo.neighbors(d)) {
+      if (adj.neighbor != 17) {
+        x = d;
+        y = adj.neighbor;
+        break;
+      }
+    }
+  }
+  ASSERT_NE(x, kNoDevice);
+  fib::Rule a;
+  a.priority = 900;
+  a.dst_prefix = topo.prefixes(17).front();
+  a.action = fib::Action::forward(y);
+  net.table(x).insert(a);
+  fib::Rule b;
+  b.priority = 900;
+  b.dst_prefix = topo.prefixes(17).front();
+  b.action = fib::Action::forward(x);
+  net.table(y).insert(b);
+
+  PartitionedVerifier v(net, make_clusters(topo, 4, 3));
+  EXPECT_EQ(v.query(x, 17), Reach::No);
+  EXPECT_EQ(v.query(y, 17), Reach::No);
+}
+
+TEST_F(PartitionedVerifierTest, AnyRequiresEveryChoice) {
+  // Device 2 ANYs between a delivering neighbor-chain and a dropping one:
+  // some universe loses the packet, so delivery is not guaranteed.
+  const auto dst = DeviceId{17};
+  const auto prefix = topo.prefixes(dst).front();
+  // Pick two neighbors of device 2.
+  const auto& adj = topo.neighbors(2);
+  ASSERT_GE(adj.size(), 2u);
+  const DeviceId good = adj[0].neighbor;
+  const DeviceId bad = adj[1].neighbor;
+  if (bad == dst) GTEST_SKIP() << "blackhole target is the destination";
+  fib::Rule any;
+  any.priority = 900;
+  any.dst_prefix = prefix;
+  any.action = fib::Action::forward_any({good, bad});
+  net.table(2).insert(any);
+  eval::inject_blackhole(net, bad, prefix);
+
+  PartitionedVerifier v(net, make_clusters(topo, 4, 3));
+  if (good == dst || v.query(good, dst) == Reach::Yes) {
+    EXPECT_EQ(v.query(2, dst), Reach::No);  // the bad choice loses it
+  }
+}
+
+}  // namespace
+}  // namespace tulkun::partition

@@ -1,0 +1,128 @@
+#include "planner/planner.hpp"
+
+#include <gtest/gtest.h>
+
+#include "spec/builtins.hpp"
+#include "testutil/figure2.hpp"
+
+namespace tulkun::planner {
+namespace {
+
+using testutil::Figure2;
+
+class PlannerTest : public ::testing::Test {
+ protected:
+  Figure2 fig;
+  spec::Builtins b{fig.topo, fig.space()};
+  Planner planner{fig.topo, fig.space()};
+};
+
+TEST_F(PlannerTest, PlanProducesDagAndScenes) {
+  const auto plan = planner.plan(b.waypoint(fig.P1(), fig.S, fig.W, fig.D));
+  EXPECT_GT(plan.id, 0u);
+  ASSERT_NE(plan.dag, nullptr);
+  EXPECT_EQ(plan.dag->node_count(), 7u);
+  ASSERT_EQ(plan.scenes.size(), 1u);  // just the no-failure scene
+  EXPECT_TRUE(plan.static_warnings.empty());
+  EXPECT_GT(plan.plan_seconds, 0.0);
+}
+
+TEST_F(PlannerTest, PlanIdsIncrease) {
+  const auto p1 = planner.plan(b.reachability(fig.P1(), fig.S, fig.D));
+  const auto p2 = planner.plan(b.reachability(fig.P1(), fig.C, fig.D));
+  EXPECT_LT(p1.id, p2.id);
+}
+
+TEST_F(PlannerTest, InvalidInvariantRejected) {
+  const auto inv = b.reachability(
+      fig.space().dst_prefix(packet::Ipv4Prefix::parse("99.0.0.0/8")),
+      fig.S, fig.D);
+  EXPECT_THROW((void)planner.plan(inv), SpecError);
+}
+
+TEST_F(PlannerTest, StaticWarningForUnreachableIngress) {
+  // Make every S->D path impossible: fail both of A's uplinks in the
+  // fault-free scene by using a waypoint that is off-path.
+  // Simplest: island ingress in a custom topology.
+  topo::Topology t;
+  const auto s = t.add_device("S");
+  const auto d = t.add_device("D");
+  const auto i = t.add_device("I");
+  t.add_link(s, d, 1e-3);
+  (void)i;
+  t.attach_prefix(d, packet::Ipv4Prefix::parse("10.0.0.0/24"));
+  packet::PacketSpace space;
+  spec::Builtins bb(t, space);
+  Planner p(t, space);
+  auto inv = bb.multi_ingress_reachability(
+      space.dst_prefix(packet::Ipv4Prefix::parse("10.0.0.0/24")),
+      {s, t.device("I")}, d);
+  const auto plan = p.plan(std::move(inv));
+  ASSERT_FALSE(plan.static_warnings.empty());
+  EXPECT_NE(plan.static_warnings[0].find("no valid path"), std::string::npos);
+}
+
+TEST_F(PlannerTest, DecomposeCoversEveryNodeOnce) {
+  const auto plan = planner.plan(b.waypoint(fig.P1(), fig.S, fig.W, fig.D));
+  const auto tasks = Planner::decompose(*plan.dag, plan.inv);
+  std::size_t total_nodes = 0;
+  for (const auto& t : tasks) {
+    for (const auto& nt : t.nodes) {
+      EXPECT_EQ(plan.dag->node(nt.node).dev, t.device);
+      ++total_nodes;
+    }
+  }
+  EXPECT_EQ(total_nodes, plan.dag->node_count());
+}
+
+TEST_F(PlannerTest, TasksCarryNeighborLists) {
+  const auto plan = planner.plan(b.waypoint(fig.P1(), fig.S, fig.W, fig.D));
+  const auto tasks = Planner::decompose(*plan.dag, plan.inv);
+  for (const auto& t : tasks) {
+    for (const auto& nt : t.nodes) {
+      const auto& node = plan.dag->node(nt.node);
+      EXPECT_EQ(nt.downstream.size(), node.down.size());
+      EXPECT_EQ(nt.upstream.size(), node.up.size());
+      EXPECT_EQ(nt.accepting, node.accepting());
+      for (const auto& [nid, dev] : nt.downstream) {
+        EXPECT_EQ(plan.dag->node(nid).dev, dev);
+      }
+    }
+  }
+  // S is flagged as ingress.
+  bool s_is_ingress = false;
+  for (const auto& t : tasks) {
+    if (t.device == fig.S) s_is_ingress = t.is_ingress;
+  }
+  EXPECT_TRUE(s_is_ingress);
+}
+
+TEST_F(PlannerTest, NonParticipantsDropped) {
+  const auto plan = planner.plan(b.waypoint(fig.P1(), fig.S, fig.W, fig.D));
+  const auto tasks = Planner::decompose(*plan.dag, plan.inv);
+  for (const auto& t : tasks) {
+    EXPECT_TRUE(!t.nodes.empty() || t.is_ingress);
+    EXPECT_NE(t.device, fig.C);  // C is not on any waypointed path
+  }
+}
+
+TEST_F(PlannerTest, DescribeTasksMentionsLabels) {
+  const auto plan = planner.plan(b.waypoint(fig.P1(), fig.S, fig.W, fig.D));
+  const auto tasks = Planner::decompose(*plan.dag, plan.inv);
+  const auto text = Planner::describe_tasks(*plan.dag, tasks);
+  EXPECT_NE(text.find("device S"), std::string::npos);
+  EXPECT_NE(text.find("[dest]"), std::string::npos);
+  EXPECT_NE(text.find("B1"), std::string::npos);
+  EXPECT_NE(text.find("B2"), std::string::npos);
+}
+
+TEST_F(PlannerTest, FaultScenesExpandedInPlan) {
+  auto inv = b.shortest_plus_reachability(fig.P1(), fig.S, fig.D, 1);
+  inv.faults.any_k = 1;
+  const auto plan = planner.plan(std::move(inv));
+  EXPECT_EQ(plan.scenes.size(), 1u + fig.topo.link_count());
+  EXPECT_EQ(plan.dag->scene_count(), plan.scenes.size());
+}
+
+}  // namespace
+}  // namespace tulkun::planner

@@ -1,0 +1,52 @@
+#include "regex/describe.hpp"
+
+#include <gtest/gtest.h>
+
+#include "regex/nfa.hpp"
+#include "regex/parser.hpp"
+
+namespace tulkun::regex {
+namespace {
+
+Dfa waypoint_dfa() {
+  const NameResolver resolver = [](std::string_view name) -> Symbol {
+    if (name == "S") return 0;
+    if (name == "W") return 1;
+    if (name == "D") return 2;
+    throw RegexError("unknown");
+  };
+  return Dfa::determinize(build_nfa(parse("S .* W .* D", resolver)))
+      .minimize();
+}
+
+SymbolNamer namer() {
+  return [](Symbol s) -> std::string {
+    const char* names[] = {"S", "W", "D"};
+    return s < 3 ? names[s] : std::to_string(s);
+  };
+}
+
+TEST(Describe, ListsStatesAndTransitions) {
+  const auto text = describe(waypoint_dfa(), namer());
+  EXPECT_NE(text.find("start: q"), std::string::npos);
+  EXPECT_NE(text.find("(accept)"), std::string::npos);
+  EXPECT_NE(text.find("S ->"), std::string::npos);
+  EXPECT_NE(text.find("* -> "), std::string::npos);
+}
+
+TEST(Describe, DotOutputWellFormed) {
+  const auto dot = to_dot(waypoint_dfa(), namer());
+  EXPECT_EQ(dot.rfind("digraph dfa {", 0), 0u);
+  EXPECT_NE(dot.find("doublecircle"), std::string::npos);
+  EXPECT_NE(dot.find("__start ->"), std::string::npos);
+  EXPECT_EQ(dot.back(), '\n');
+}
+
+TEST(Describe, EmptyDfa) {
+  const Dfa empty;
+  EXPECT_NE(describe(empty, namer()).find("start: DEAD"), std::string::npos);
+  EXPECT_EQ(to_dot(empty, namer()).find("__start"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace tulkun::regex

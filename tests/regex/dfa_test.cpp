@@ -1,0 +1,193 @@
+#include "regex/dfa.hpp"
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <string>
+
+#include "core/rng.hpp"
+#include "regex/parser.hpp"
+
+namespace tulkun::regex {
+namespace {
+
+constexpr std::size_t kAlphabet = 5;  // S=0 A=1 B=2 W=3 D=4
+
+NameResolver resolver() {
+  return [](std::string_view name) -> Symbol {
+    static const std::map<std::string, Symbol, std::less<>> devices = {
+        {"S", 0}, {"A", 1}, {"B", 2}, {"W", 3}, {"D", 4}};
+    return devices.at(std::string(name));
+  };
+}
+
+Dfa compile(const char* pattern) {
+  return Dfa::determinize(build_nfa(parse(pattern, resolver()))).minimize();
+}
+
+bool accepts(const Dfa& dfa, std::initializer_list<Symbol> word) {
+  const std::vector<Symbol> w(word);
+  return dfa.accepts(w);
+}
+
+TEST(Dfa, WaypointLanguage) {
+  const auto dfa = compile("S .* W .* D");
+  EXPECT_TRUE(accepts(dfa, {0, 3, 4}));           // S W D
+  EXPECT_TRUE(accepts(dfa, {0, 1, 3, 2, 4}));     // S A W B D
+  EXPECT_FALSE(accepts(dfa, {0, 1, 4}));          // no W
+  EXPECT_FALSE(accepts(dfa, {1, 3, 4}));          // wrong start
+  EXPECT_FALSE(accepts(dfa, {0, 3}));             // no D
+  EXPECT_FALSE(accepts(dfa, {}));
+}
+
+TEST(Dfa, PaperFigure4AutomatonShape) {
+  // The minimized DFA of S.*W.*D has 4 live states (q0..q3 in Figure 4).
+  const auto dfa = compile("S .* W .* D");
+  EXPECT_EQ(dfa.state_count(), 4u);
+}
+
+TEST(Dfa, AlternationLanguage) {
+  const auto dfa = compile("S D | S . D");
+  EXPECT_TRUE(accepts(dfa, {0, 4}));
+  EXPECT_TRUE(accepts(dfa, {0, 2, 4}));
+  EXPECT_FALSE(accepts(dfa, {0, 1, 2, 4}));
+}
+
+TEST(Dfa, NegatedClass) {
+  const auto dfa = compile("S [^W]* D");
+  EXPECT_TRUE(accepts(dfa, {0, 1, 2, 4}));
+  EXPECT_FALSE(accepts(dfa, {0, 3, 4}));  // W forbidden in the middle
+  EXPECT_TRUE(accepts(dfa, {0, 4}));
+}
+
+TEST(Dfa, EmptyLanguageIsDeadStart) {
+  // Intersection of disjoint languages is empty.
+  const auto a = compile("S D");
+  const auto b = compile("S A D");
+  const auto both = Dfa::product(a, b, /*intersect=*/true);
+  EXPECT_EQ(both.start(), Dfa::kDead);
+  EXPECT_FALSE(accepts(both, {0, 4}));
+}
+
+TEST(Dfa, ProductIntersection) {
+  const auto reach = compile("S .* D");
+  const auto via_w = compile(". .* W .* .");  // any path via W, len >= 3
+  const auto inter = Dfa::product(reach, via_w, /*intersect=*/true);
+  EXPECT_TRUE(accepts(inter, {0, 3, 4}));
+  EXPECT_FALSE(accepts(inter, {0, 1, 4}));
+  // Equivalent to the waypoint regex on test words.
+  const auto direct = compile("S .* W .* D");
+  Rng rng(5);
+  for (int i = 0; i < 200; ++i) {
+    std::vector<Symbol> word;
+    const auto len = rng.uniform(0, 6);
+    for (std::uint64_t j = 0; j < len; ++j) {
+      word.push_back(static_cast<Symbol>(rng.index(kAlphabet)));
+    }
+    EXPECT_EQ(inter.accepts(word), direct.accepts(word));
+  }
+}
+
+TEST(Dfa, ProductUnion) {
+  const auto a = compile("S A D");
+  const auto b = compile("S B D");
+  const auto u = Dfa::product(a, b, /*intersect=*/false);
+  EXPECT_TRUE(accepts(u, {0, 1, 4}));
+  EXPECT_TRUE(accepts(u, {0, 2, 4}));
+  EXPECT_FALSE(accepts(u, {0, 3, 4}));
+}
+
+TEST(Dfa, ComplementFlipsMembership) {
+  const auto dfa = compile("S .* D");
+  const auto comp = dfa.complement();
+  Rng rng(7);
+  for (int i = 0; i < 300; ++i) {
+    std::vector<Symbol> word;
+    const auto len = rng.uniform(0, 5);
+    for (std::uint64_t j = 0; j < len; ++j) {
+      word.push_back(static_cast<Symbol>(rng.index(kAlphabet)));
+    }
+    EXPECT_NE(dfa.accepts(word), comp.accepts(word));
+  }
+}
+
+TEST(Dfa, MinimizeIsIdempotentAndLanguagePreserving) {
+  const auto dfa = compile("S (A | B)* W . D | S W D");
+  const auto min1 = dfa.minimize();
+  const auto min2 = min1.minimize();
+  EXPECT_EQ(min1.state_count(), min2.state_count());
+  Rng rng(11);
+  for (int i = 0; i < 300; ++i) {
+    std::vector<Symbol> word;
+    const auto len = rng.uniform(0, 7);
+    for (std::uint64_t j = 0; j < len; ++j) {
+      word.push_back(static_cast<Symbol>(rng.index(kAlphabet)));
+    }
+    EXPECT_EQ(dfa.accepts(word), min1.accepts(word));
+  }
+}
+
+TEST(Dfa, MinStepsToAccept) {
+  const auto dfa = compile("S .* W .* D");
+  // From the start: need S, W, D = 3 symbols.
+  EXPECT_EQ(dfa.min_steps_to_accept(dfa.start()), 3u);
+  EXPECT_TRUE(dfa.can_accept(dfa.start()));
+  EXPECT_FALSE(dfa.can_accept(Dfa::kDead));
+  EXPECT_EQ(dfa.min_steps_to_accept(Dfa::kDead), Dfa::kInfinity);
+  // After consuming S: 2 more.
+  const auto after_s = dfa.next(dfa.start(), 0);
+  EXPECT_EQ(dfa.min_steps_to_accept(after_s), 2u);
+}
+
+TEST(Dfa, StarAcceptsEmptyWord) {
+  const auto dfa = compile(".*");
+  EXPECT_TRUE(accepts(dfa, {}));
+  EXPECT_TRUE(accepts(dfa, {0, 1, 2}));
+}
+
+TEST(Dfa, PlusRequiresOne) {
+  const auto dfa = compile(".+");
+  EXPECT_FALSE(accepts(dfa, {}));
+  EXPECT_TRUE(accepts(dfa, {2}));
+}
+
+// Property: determinize+minimize preserves the NFA language on random
+// regexes built from the grammar.
+class DfaProperty : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(DfaProperty, RandomRegexMinimizationSound) {
+  Rng rng(GetParam());
+  // Random regex over {S,A,B}: depth-2 combinators.
+  const auto rand_atom = [&]() {
+    const auto r = rng.index(3);
+    if (r == 0) return std::string("S");
+    if (r == 1) return std::string("A");
+    return std::string(".");
+  };
+  std::string pattern = rand_atom();
+  for (int i = 0; i < 4; ++i) {
+    const auto op = rng.index(4);
+    if (op == 0) pattern += " " + rand_atom();
+    if (op == 1) pattern = "(" + pattern + ")*";
+    if (op == 2) pattern += " | " + rand_atom();
+    if (op == 3) pattern = "(" + pattern + ") " + rand_atom();
+  }
+  const auto full = Dfa::determinize(build_nfa(parse(pattern, resolver())));
+  const auto minimized = full.minimize();
+  EXPECT_LE(minimized.state_count(), full.state_count() + 1);
+  for (int i = 0; i < 200; ++i) {
+    std::vector<Symbol> word;
+    const auto len = rng.uniform(0, 6);
+    for (std::uint64_t j = 0; j < len; ++j) {
+      word.push_back(static_cast<Symbol>(rng.index(kAlphabet)));
+    }
+    EXPECT_EQ(full.accepts(word), minimized.accepts(word))
+        << "pattern: " << pattern;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, DfaProperty,
+                         ::testing::Range<std::uint64_t>(1, 31));
+
+}  // namespace
+}  // namespace tulkun::regex

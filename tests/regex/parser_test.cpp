@@ -1,0 +1,111 @@
+#include "regex/parser.hpp"
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <string>
+
+namespace tulkun::regex {
+namespace {
+
+NameResolver test_resolver() {
+  return [](std::string_view name) -> Symbol {
+    static const std::map<std::string, Symbol, std::less<>> devices = {
+        {"S", 0}, {"A", 1}, {"B", 2}, {"W", 3}, {"D", 4}, {"p0_tor1", 5}};
+    const auto it = devices.find(std::string(name));
+    if (it == devices.end()) {
+      throw RegexError("unknown device: " + std::string(name));
+    }
+    return it->second;
+  };
+}
+
+TEST(SymbolSet, Matching) {
+  EXPECT_TRUE(SymbolSet::any().matches(42));
+  EXPECT_TRUE(SymbolSet::single(3).matches(3));
+  EXPECT_FALSE(SymbolSet::single(3).matches(4));
+  const auto none_of = SymbolSet::none_of({1, 2});
+  EXPECT_FALSE(none_of.matches(1));
+  EXPECT_TRUE(none_of.matches(3));
+  const auto of = SymbolSet::of({5, 1, 5});
+  EXPECT_EQ(of.syms, (std::vector<Symbol>{1, 5}));
+}
+
+TEST(RegexParser, SingleSymbol) {
+  const auto ast = parse("S", test_resolver());
+  EXPECT_EQ(ast.kind, AstKind::Symbols);
+  EXPECT_EQ(ast.symbols, SymbolSet::single(0));
+}
+
+TEST(RegexParser, WaypointPattern) {
+  const auto ast = parse("S .* W .* D", test_resolver());
+  ASSERT_EQ(ast.kind, AstKind::Concat);
+  ASSERT_EQ(ast.children.size(), 5u);
+  EXPECT_EQ(ast.children[0].symbols, SymbolSet::single(0));
+  EXPECT_EQ(ast.children[1].kind, AstKind::Star);
+  EXPECT_EQ(ast.children[1].children[0].symbols, SymbolSet::any());
+  EXPECT_EQ(ast.children[2].symbols, SymbolSet::single(3));
+  EXPECT_EQ(ast.children[4].symbols, SymbolSet::single(4));
+}
+
+TEST(RegexParser, TightAndSpacedEquivalent) {
+  // Multi-character names require whitespace or operators as separators,
+  // but ".*" style from the paper parses fine.
+  const auto a = parse("S.*D", test_resolver());
+  const auto b = parse("S .* D", test_resolver());
+  ASSERT_EQ(a.kind, b.kind);
+  ASSERT_EQ(a.children.size(), b.children.size());
+}
+
+TEST(RegexParser, Alternation) {
+  const auto ast = parse("S A | S B", test_resolver());
+  ASSERT_EQ(ast.kind, AstKind::Union);
+  EXPECT_EQ(ast.children.size(), 2u);
+}
+
+TEST(RegexParser, PostfixOperators) {
+  EXPECT_EQ(parse("A*", test_resolver()).kind, AstKind::Star);
+  EXPECT_EQ(parse("A+", test_resolver()).kind, AstKind::Plus);
+  EXPECT_EQ(parse("A?", test_resolver()).kind, AstKind::Optional);
+  const auto nested = parse("A*+", test_resolver());
+  EXPECT_EQ(nested.kind, AstKind::Plus);
+}
+
+TEST(RegexParser, CharClass) {
+  const auto pos = parse("[A B]", test_resolver());
+  EXPECT_EQ(pos.symbols, SymbolSet::of({1, 2}));
+  const auto neg = parse("[^W]", test_resolver());
+  EXPECT_EQ(neg.symbols, SymbolSet::none_of({3}));
+}
+
+TEST(RegexParser, GroupingAndComplexPattern) {
+  // Limited-path-length reachability from Table 1: S D | S . D | S . . D
+  const auto ast = parse("S D | S . D | S . . D", test_resolver());
+  ASSERT_EQ(ast.kind, AstKind::Union);
+  EXPECT_EQ(ast.children.size(), 3u);
+  const auto grouped = parse("S (A | B) D", test_resolver());
+  ASSERT_EQ(grouped.kind, AstKind::Concat);
+  EXPECT_EQ(grouped.children[1].kind, AstKind::Union);
+}
+
+TEST(RegexParser, UnderscoreNames) {
+  const auto ast = parse("p0_tor1 .* D", test_resolver());
+  ASSERT_EQ(ast.kind, AstKind::Concat);
+  EXPECT_EQ(ast.children[0].symbols, SymbolSet::single(5));
+}
+
+TEST(RegexParser, SyntaxErrors) {
+  EXPECT_THROW((void)parse("S (A", test_resolver()), RegexError);
+  EXPECT_THROW((void)parse("S )", test_resolver()), RegexError);
+  EXPECT_THROW((void)parse("[ ]", test_resolver()), RegexError);
+  EXPECT_THROW((void)parse("S ] D", test_resolver()), RegexError);
+  EXPECT_THROW((void)parse("Q", test_resolver()), RegexError);  // unknown
+}
+
+TEST(RegexParser, EmptyIsEpsilon) {
+  EXPECT_EQ(parse("", test_resolver()).kind, AstKind::Epsilon);
+  EXPECT_EQ(parse("()", test_resolver()).kind, AstKind::Epsilon);
+}
+
+}  // namespace
+}  // namespace tulkun::regex

@@ -1,0 +1,155 @@
+#include "runtime/event_sim.hpp"
+
+#include <gtest/gtest.h>
+
+#include "spec/builtins.hpp"
+#include "testutil/figure2.hpp"
+
+namespace tulkun::runtime {
+namespace {
+
+using testutil::Figure2;
+
+class EventSimTest : public ::testing::Test {
+ protected:
+  Figure2 fig;
+  spec::Builtins b{fig.topo, fig.space()};
+  planner::Planner planner{fig.topo, fig.space()};
+
+  EventSimulator make_sim(const planner::InvariantPlan& plan,
+                          SimConfig cfg = {}) {
+    EventSimulator sim(fig.topo, cfg);
+    sim.make_devices(fig.space());
+    sim.install(plan);
+    return sim;
+  }
+
+  void post_burst(EventSimulator& sim) {
+    for (DeviceId d = 0; d < fig.topo.device_count(); ++d) {
+      sim.post_initialize(d, fig.net.table(d), 0.0);
+    }
+  }
+};
+
+TEST_F(EventSimTest, BurstConvergesAndDetectsViolation) {
+  const auto plan = planner.plan(b.waypoint(fig.P1(), fig.S, fig.W, fig.D));
+  auto sim = make_sim(plan);
+  post_burst(sim);
+  const double t = sim.run();
+  EXPECT_GT(t, 0.0);
+  EXPECT_FALSE(sim.violations().empty());
+  EXPECT_GT(sim.stats().messages, 0u);
+  EXPECT_GT(sim.stats().events, 0u);
+}
+
+TEST_F(EventSimTest, VerificationTimeIncludesPropagation) {
+  // Links are 1ms in the Figure 2 fixture; results must cross at least
+  // the S<-A<-{B,W}<-D chain, so >= 3ms of virtual time.
+  const auto plan = planner.plan(b.waypoint(fig.P1(), fig.S, fig.W, fig.D));
+  auto sim = make_sim(plan);
+  post_burst(sim);
+  EXPECT_GE(sim.run(), 3e-3);
+}
+
+TEST_F(EventSimTest, CpuScaleStretchesComputeOnly) {
+  const auto plan = planner.plan(b.waypoint(fig.P1(), fig.S, fig.W, fig.D));
+  SimConfig slow;
+  slow.cpu_scale = 50.0;
+  auto fast_sim = make_sim(plan);
+  auto slow_sim = make_sim(plan, slow);
+  post_burst(fast_sim);
+  post_burst(slow_sim);
+  const double fast_busy = [&] {
+    fast_sim.run();
+    double total = 0;
+    for (DeviceId d = 0; d < fig.topo.device_count(); ++d) {
+      total += fast_sim.device_busy_seconds(d);
+    }
+    return total;
+  }();
+  const double slow_busy = [&] {
+    slow_sim.run();
+    double total = 0;
+    for (DeviceId d = 0; d < fig.topo.device_count(); ++d) {
+      total += slow_sim.device_busy_seconds(d);
+    }
+    return total;
+  }();
+  // Slowdown should be roughly 50x on busy time (allow wide slack for
+  // host noise).
+  EXPECT_GT(slow_busy, fast_busy * 5.0);
+}
+
+TEST_F(EventSimTest, IncrementalUpdateRunsAfterBurst) {
+  const auto plan = planner.plan(b.waypoint(fig.P1(), fig.S, fig.W, fig.D));
+  auto sim = make_sim(plan);
+  post_burst(sim);
+  const double t0 = sim.run();
+  ASSERT_FALSE(sim.violations().empty());
+
+  auto handle = sim.post_rule_update(fig.B, fig.b_reroute_to_w(), t0);
+  const double t1 = sim.run();
+  EXPECT_GT(t1, t0);
+  EXPECT_GT(handle->rule_id, 0u);  // assigned id readable after run
+  EXPECT_TRUE(sim.violations().empty());
+}
+
+TEST_F(EventSimTest, EraseViaHandleRestoresViolation) {
+  const auto plan = planner.plan(b.waypoint(fig.P1(), fig.S, fig.W, fig.D));
+  auto sim = make_sim(plan);
+  post_burst(sim);
+  double now = sim.run();
+
+  auto insert = sim.post_rule_update(fig.B, fig.b_reroute_to_w(), now);
+  now = sim.run();
+  EXPECT_TRUE(sim.violations().empty());
+
+  auto erase = fib::FibUpdate::erase(fig.B, insert->rule_id);
+  sim.post_rule_update(fig.B, erase, now);
+  sim.run();
+  EXPECT_FALSE(sim.violations().empty());
+}
+
+TEST_F(EventSimTest, LinkEventTriggersRecount) {
+  auto inv = b.shortest_plus_reachability(fig.P1(), fig.S, fig.D, 1);
+  inv.faults.any_k = 1;
+  const auto plan = planner.plan(std::move(inv));
+  auto sim = make_sim(plan);
+  post_burst(sim);
+  double now = sim.run();
+  EXPECT_TRUE(sim.violations().empty());
+
+  sim.post_link_event(LinkId{fig.B, fig.D}, false, now);
+  sim.run();
+  EXPECT_FALSE(sim.violations().empty());
+}
+
+TEST_F(EventSimTest, ProxyLatencyModelsOffDeviceVerifiers) {
+  // §7 incremental deployment: moving verifiers into VMs adds two proxy
+  // hops per message, stretching verification time but not the verdict.
+  const auto plan = planner.plan(b.waypoint(fig.P1(), fig.S, fig.W, fig.D));
+  SimConfig proxied;
+  proxied.proxy_latency = 5e-3;
+  auto on_device = make_sim(plan);
+  auto off_device = make_sim(plan, proxied);
+  post_burst(on_device);
+  post_burst(off_device);
+  const double t_on = on_device.run();
+  const double t_off = off_device.run();
+  EXPECT_GT(t_off, t_on + 2 * 5e-3);
+  EXPECT_EQ(on_device.violations().empty(), off_device.violations().empty());
+}
+
+TEST_F(EventSimTest, ByteAccountingCountsWireBytes) {
+  const auto plan = planner.plan(b.reachability(fig.P1(), fig.S, fig.D));
+  SimConfig cfg;
+  cfg.account_bytes = true;
+  auto sim = make_sim(plan, cfg);
+  post_burst(sim);
+  sim.run();
+  EXPECT_GT(sim.stats().bytes, 0u);
+  EXPECT_GT(sim.stats().per_message_seconds.size(), 0u);
+}
+
+}  // namespace
+}  // namespace tulkun::runtime

@@ -1,0 +1,126 @@
+#include "spec/builtins.hpp"
+
+#include <gtest/gtest.h>
+
+#include "topo/generators.hpp"
+
+namespace tulkun::spec {
+namespace {
+
+class BuiltinsTest : public ::testing::Test {
+ protected:
+  topo::Topology topo = topo::figure2_network();
+  packet::PacketSpace space;
+  Builtins b{topo, space};
+  DeviceId S = topo.device("S");
+  DeviceId W = topo.device("W");
+  DeviceId D = topo.device("D");
+  DeviceId C = topo.device("C");
+};
+
+TEST_F(BuiltinsTest, ReachabilityShape) {
+  const auto inv = b.reachability(space.all(), S, D);
+  EXPECT_EQ(inv.ingress_set, (std::vector<DeviceId>{S}));
+  EXPECT_EQ(inv.behavior.kind, BehaviorKind::Atom);
+  EXPECT_EQ(inv.behavior.op, MatchOpKind::Exist);
+  EXPECT_EQ(inv.behavior.count, (CountExpr{CountExpr::Cmp::Ge, 1}));
+  EXPECT_TRUE(inv.behavior.path.loop_free);
+  EXPECT_TRUE(inv.behavior.path.bounded());
+}
+
+TEST_F(BuiltinsTest, IsolationCountsZero) {
+  const auto inv = b.isolation(space.all(), S, D);
+  EXPECT_EQ(inv.behavior.count, (CountExpr{CountExpr::Cmp::Eq, 0}));
+}
+
+TEST_F(BuiltinsTest, WaypointRegexMentionsAllThree) {
+  const auto inv = b.waypoint(space.all(), S, W, D);
+  EXPECT_NE(inv.behavior.path.regex_text.find("S"), std::string::npos);
+  EXPECT_NE(inv.behavior.path.regex_text.find("W"), std::string::npos);
+  EXPECT_NE(inv.behavior.path.regex_text.find("D"), std::string::npos);
+}
+
+TEST_F(BuiltinsTest, BoundedReachabilityFilter) {
+  const auto inv = b.bounded_reachability(space.all(), S, D, 3);
+  ASSERT_EQ(inv.behavior.path.filters.size(), 1u);
+  const auto& f = inv.behavior.path.filters[0];
+  EXPECT_EQ(f.cmp, LengthFilter::Cmp::Le);
+  EXPECT_EQ(f.base, LengthFilter::Base::Const);
+  EXPECT_EQ(f.offset, 3);
+  EXPECT_FALSE(f.symbolic());
+}
+
+TEST_F(BuiltinsTest, ShortestPlusFilterIsSymbolic) {
+  const auto inv = b.shortest_plus_reachability(space.all(), S, D, 2);
+  ASSERT_EQ(inv.behavior.path.filters.size(), 1u);
+  EXPECT_TRUE(inv.behavior.path.filters[0].symbolic());
+  EXPECT_EQ(inv.behavior.path.filters[0].offset, 2);
+}
+
+TEST_F(BuiltinsTest, AllShortestPathUsesEqual) {
+  const auto inv = b.all_shortest_path(space.all(), S, D);
+  EXPECT_EQ(inv.behavior.op, MatchOpKind::Equal);
+  ASSERT_EQ(inv.behavior.path.filters.size(), 1u);
+  EXPECT_EQ(inv.behavior.path.filters[0].cmp, LengthFilter::Cmp::Eq);
+  EXPECT_TRUE(inv.behavior.path.filters[0].symbolic());
+}
+
+TEST_F(BuiltinsTest, NonRedundantCountsExactlyOne) {
+  const auto inv = b.non_redundant_reachability(space.all(), S, D);
+  EXPECT_EQ(inv.behavior.count, (CountExpr{CountExpr::Cmp::Eq, 1}));
+}
+
+TEST_F(BuiltinsTest, MulticastIsConjunction) {
+  const auto inv = b.multicast(space.all(), S, {D, C});
+  EXPECT_EQ(inv.behavior.kind, BehaviorKind::And);
+  EXPECT_EQ(inv.behavior.atoms().size(), 2u);
+}
+
+TEST_F(BuiltinsTest, AnycastIsExclusiveDisjunction) {
+  const auto inv = b.anycast(space.all(), S, {D, C});
+  EXPECT_EQ(inv.behavior.kind, BehaviorKind::Or);
+  ASSERT_EQ(inv.behavior.children.size(), 2u);
+  for (const auto& disjunct : inv.behavior.children) {
+    EXPECT_EQ(disjunct.kind, BehaviorKind::And);
+    EXPECT_EQ(disjunct.children.size(), 2u);
+  }
+  EXPECT_EQ(inv.behavior.atoms().size(), 4u);
+}
+
+TEST_F(BuiltinsTest, MultiIngressUnionRegex) {
+  const auto inv = b.multi_ingress_reachability(
+      space.all(), {S, topo.device("B")}, D);
+  EXPECT_EQ(inv.ingress_set.size(), 2u);
+  EXPECT_EQ(inv.behavior.path.ast.kind, regex::AstKind::Union);
+}
+
+TEST_F(BuiltinsTest, AttachedPackets) {
+  const auto pd = b.attached_packets(D);
+  EXPECT_EQ(pd, space.dst_prefix(packet::Ipv4Prefix::parse("10.0.0.0/23")));
+  EXPECT_TRUE(b.attached_packets(S).empty());
+}
+
+TEST_F(BuiltinsTest, LengthFilterAdmits) {
+  LengthFilter le{LengthFilter::Cmp::Le, LengthFilter::Base::Shortest, 1};
+  EXPECT_TRUE(le.admits(3, 2));
+  EXPECT_FALSE(le.admits(4, 2));
+  EXPECT_EQ(le.upper_bound(2), 3u);
+
+  LengthFilter eq{LengthFilter::Cmp::Eq, LengthFilter::Base::Const, 4};
+  EXPECT_TRUE(eq.admits(4, 0));
+  EXPECT_FALSE(eq.admits(3, 0));
+  EXPECT_EQ(eq.upper_bound(0), 4u);
+
+  LengthFilter ge{LengthFilter::Cmp::Ge, LengthFilter::Base::Const, 2};
+  EXPECT_FALSE(ge.upper_bound(0).has_value());
+  EXPECT_TRUE(ge.admits(2, 0));
+  EXPECT_FALSE(ge.admits(1, 0));
+
+  LengthFilter lt{LengthFilter::Cmp::Lt, LengthFilter::Base::Shortest, 0};
+  EXPECT_EQ(lt.upper_bound(5), 4u);
+  EXPECT_EQ(lt.to_string(), "< shortest");
+  EXPECT_EQ(le.to_string(), "<= shortest+1");
+}
+
+}  // namespace
+}  // namespace tulkun::spec

@@ -1,0 +1,107 @@
+#include "spec/check.hpp"
+
+#include <gtest/gtest.h>
+
+#include "regex/nfa.hpp"
+#include "spec/builtins.hpp"
+#include "topo/generators.hpp"
+
+namespace tulkun::spec {
+namespace {
+
+class CheckTest : public ::testing::Test {
+ protected:
+  topo::Topology topo = topo::figure2_network();
+  packet::PacketSpace space;
+  Builtins b{topo, space};
+  DeviceId S = topo.device("S");
+  DeviceId W = topo.device("W");
+  DeviceId D = topo.device("D");
+
+  regex::Dfa compile(const PathExpr& pe) {
+    return regex::Dfa::determinize(regex::build_nfa(pe.ast)).minimize();
+  }
+};
+
+TEST_F(CheckTest, FirstAndLastSymbols) {
+  const auto pe = b.waypoint_paths(S, W, D);
+  const auto dfa = compile(pe);
+  const auto firsts = first_symbols(dfa, topo.device_count());
+  ASSERT_EQ(firsts.size(), 1u);
+  EXPECT_EQ(firsts[0], S);
+  const auto lasts = last_symbols(dfa, topo.device_count());
+  ASSERT_EQ(lasts.size(), 1u);
+  EXPECT_EQ(lasts[0], D);
+}
+
+TEST_F(CheckTest, ValidInvariantPasses) {
+  const auto inv =
+      b.reachability(space.dst_prefix(packet::Ipv4Prefix::parse(
+                         "10.0.0.0/23")),
+                     S, D);
+  EXPECT_TRUE(validate(inv, topo, space).empty());
+  EXPECT_NO_THROW(ensure_valid(inv, topo, space));
+}
+
+TEST_F(CheckTest, DestinationPrefixMismatchFlagged) {
+  // Packet space points at 99.0.0.0/8, but D owns 10.0.0.0/23: the paper's
+  // convenience check must raise an error.
+  const auto inv = b.reachability(
+      space.dst_prefix(packet::Ipv4Prefix::parse("99.0.0.0/8")), S, D);
+  const auto problems = validate(inv, topo, space);
+  ASSERT_FALSE(problems.empty());
+  EXPECT_NE(problems[0].find("does not reach any prefix"), std::string::npos);
+  EXPECT_THROW(ensure_valid(inv, topo, space), SpecError);
+}
+
+TEST_F(CheckTest, UnboundedPathFlagged) {
+  auto inv = b.reachability(
+      space.dst_prefix(packet::Ipv4Prefix::parse("10.0.0.0/23")), S, D);
+  inv.behavior.path.loop_free = false;  // now unbounded
+  const auto problems = validate(inv, topo, space);
+  ASSERT_FALSE(problems.empty());
+  EXPECT_NE(problems[0].find("unbounded"), std::string::npos);
+}
+
+TEST_F(CheckTest, WrongIngressFlagged) {
+  auto inv = b.reachability(
+      space.dst_prefix(packet::Ipv4Prefix::parse("10.0.0.0/23")), S, D);
+  inv.ingress_set = {W};  // regex requires paths to start at S
+  const auto problems = validate(inv, topo, space);
+  ASSERT_FALSE(problems.empty());
+  EXPECT_NE(problems[0].find("cannot start"), std::string::npos);
+}
+
+TEST_F(CheckTest, EmptyIngressFlagged) {
+  auto inv = b.reachability(
+      space.dst_prefix(packet::Ipv4Prefix::parse("10.0.0.0/23")), S, D);
+  inv.ingress_set.clear();
+  const auto problems = validate(inv, topo, space);
+  EXPECT_FALSE(problems.empty());
+}
+
+TEST_F(CheckTest, BadFaultSceneFlagged) {
+  auto inv = b.reachability(
+      space.dst_prefix(packet::Ipv4Prefix::parse("10.0.0.0/23")), S, D);
+  inv.faults.scenes.push_back(
+      FaultScene::of({LinkId{S, D}}));  // S-D link does not exist
+  const auto problems = validate(inv, topo, space);
+  ASSERT_FALSE(problems.empty());
+  EXPECT_NE(problems[0].find("non-existent link"), std::string::npos);
+}
+
+TEST_F(CheckTest, FaultSceneHelpers) {
+  const auto scene =
+      FaultScene::of({LinkId{3, 1}, LinkId{1, 3}, LinkId{0, 2}});
+  EXPECT_EQ(scene.failed.size(), 2u);  // deduped + canonicalized
+  EXPECT_TRUE(scene.contains(LinkId{3, 1}));
+  EXPECT_TRUE(scene.contains(LinkId{1, 3}));
+  EXPECT_FALSE(scene.contains(LinkId{0, 1}));
+  const auto sub = FaultScene::of({LinkId{1, 3}});
+  EXPECT_TRUE(scene.superset_of(sub));
+  EXPECT_FALSE(sub.superset_of(scene));
+  EXPECT_TRUE(scene.superset_of(FaultScene{}));
+}
+
+}  // namespace
+}  // namespace tulkun::spec

@@ -1,0 +1,147 @@
+#include "spec/parser.hpp"
+
+#include <gtest/gtest.h>
+
+#include "topo/generators.hpp"
+
+namespace tulkun::spec {
+namespace {
+
+class SpecParserTest : public ::testing::Test {
+ protected:
+  topo::Topology topo = topo::figure2_network();
+  packet::PacketSpace space;
+  SpecParser parser{topo, space};
+};
+
+TEST_F(SpecParserTest, PacketSpaceAtoms) {
+  EXPECT_EQ(parser.parse_packets("dstIP=10.0.0.0/23"),
+            space.dst_prefix(packet::Ipv4Prefix::parse("10.0.0.0/23")));
+  EXPECT_EQ(parser.parse_packets("dstPort=80"), space.dst_port(80));
+  EXPECT_EQ(parser.parse_packets("dstPort=10-20"),
+            space.field_range(packet::Field::DstPort, 10, 20));
+  EXPECT_EQ(parser.parse_packets("proto=6"), space.proto(6));
+  EXPECT_TRUE(parser.parse_packets("*").is_all());
+}
+
+TEST_F(SpecParserTest, PacketSpaceCombinators) {
+  const auto p = parser.parse_packets("dstIP=10.0.1.0/24 & dstPort!=80");
+  EXPECT_EQ(p, space.dst_prefix(packet::Ipv4Prefix::parse("10.0.1.0/24")) -
+                   space.dst_port(80));
+  const auto u =
+      parser.parse_packets("dstIP=10.0.0.0/24 | dstIP=10.0.1.0/24");
+  EXPECT_EQ(u, space.dst_prefix(packet::Ipv4Prefix::parse("10.0.0.0/23")));
+  const auto n = parser.parse_packets("!(dstPort=80)");
+  EXPECT_EQ(n, ~space.dst_port(80));
+  const auto grouped =
+      parser.parse_packets("(dstPort=80 | dstPort=443) & dstIP=10.0.0.0/8");
+  EXPECT_EQ(grouped,
+            (space.dst_port(80) | space.dst_port(443)) &
+                space.dst_prefix(packet::Ipv4Prefix::parse("10.0.0.0/8")));
+}
+
+TEST_F(SpecParserTest, PacketSpaceErrors) {
+  EXPECT_THROW((void)parser.parse_packets("badField=1"), SpecError);
+  EXPECT_THROW((void)parser.parse_packets("dstIP=10.0.0.0/23 &"), SpecError);
+  EXPECT_THROW((void)parser.parse_packets("dstPort=99999999"), Error);
+}
+
+TEST_F(SpecParserTest, PathExprWithOptions) {
+  const auto pe =
+      parser.parse_path("S .* W .* D ; loop_free ; length <= shortest+1");
+  EXPECT_TRUE(pe.loop_free);
+  ASSERT_EQ(pe.filters.size(), 1u);
+  EXPECT_EQ(pe.filters[0].cmp, LengthFilter::Cmp::Le);
+  EXPECT_EQ(pe.filters[0].base, LengthFilter::Base::Shortest);
+  EXPECT_EQ(pe.filters[0].offset, 1);
+  EXPECT_TRUE(pe.bounded());
+}
+
+TEST_F(SpecParserTest, PathExprConstFilter) {
+  const auto pe = parser.parse_path("S .* D ; length < 5");
+  ASSERT_EQ(pe.filters.size(), 1u);
+  EXPECT_EQ(pe.filters[0].cmp, LengthFilter::Cmp::Lt);
+  EXPECT_EQ(pe.filters[0].base, LengthFilter::Base::Const);
+  EXPECT_EQ(pe.filters[0].offset, 5);
+  EXPECT_FALSE(pe.loop_free);
+  EXPECT_TRUE(pe.bounded());
+}
+
+TEST_F(SpecParserTest, UnboundedPathDetected) {
+  const auto pe = parser.parse_path("S .* D");
+  EXPECT_FALSE(pe.bounded());
+  const auto lower_only = parser.parse_path("S .* D ; length >= 2");
+  EXPECT_FALSE(lower_only.bounded());
+}
+
+TEST_F(SpecParserTest, BehaviorAtoms) {
+  const auto b = parser.parse_behavior("exist >= 1 : { S .* D ; loop_free }");
+  EXPECT_EQ(b.kind, BehaviorKind::Atom);
+  EXPECT_EQ(b.op, MatchOpKind::Exist);
+  EXPECT_EQ(b.count, (CountExpr{CountExpr::Cmp::Ge, 1}));
+
+  const auto eq = parser.parse_behavior(
+      "equal : { S .* D ; length == shortest }");
+  EXPECT_EQ(eq.op, MatchOpKind::Equal);
+
+  const auto sub = parser.parse_behavior("subset : { S .* D ; loop_free }");
+  EXPECT_EQ(sub.op, MatchOpKind::Subset);
+}
+
+TEST_F(SpecParserTest, BehaviorComposition) {
+  const auto b = parser.parse_behavior(
+      "(exist >= 1 : { S .* D ; loop_free }) and "
+      "(exist == 0 : { S .* C ; loop_free }) or "
+      "not (exist > 2 : { S .* W ; loop_free })");
+  // 'and' binds tighter than 'or'.
+  ASSERT_EQ(b.kind, BehaviorKind::Or);
+  ASSERT_EQ(b.children.size(), 2u);
+  EXPECT_EQ(b.children[0].kind, BehaviorKind::And);
+  EXPECT_EQ(b.children[1].kind, BehaviorKind::Not);
+  EXPECT_EQ(b.atoms().size(), 3u);
+}
+
+TEST_F(SpecParserTest, FullDocument) {
+  const auto invs = parser.parse(
+      "# the paper's Figure 2b invariant\n"
+      "invariant waypoint:\n"
+      "  packets: dstIP=10.0.0.0/23\n"
+      "  ingress: S\n"
+      "  behavior: exist >= 1 : { S .* W .* D ; loop_free }\n"
+      "\n"
+      "invariant multi:\n"
+      "  packets: dstIP=10.0.0.0/24 & dstPort=80\n"
+      "  ingress: S, B\n"
+      "  behavior: exist >= 1 : { S .* D ; loop_free } or "
+      "exist >= 1 : { B .* D ; loop_free }\n"
+      "  faults: (A,B) ; (B,W),(B,D)\n"
+      "  faults: any 2\n");
+  ASSERT_EQ(invs.size(), 2u);
+  EXPECT_EQ(invs[0].name, "waypoint");
+  EXPECT_EQ(invs[0].ingress_set.size(), 1u);
+  EXPECT_EQ(invs[0].ingress_set[0], topo.device("S"));
+  EXPECT_TRUE(invs[0].faults.empty());
+
+  EXPECT_EQ(invs[1].ingress_set.size(), 2u);
+  EXPECT_EQ(invs[1].faults.scenes.size(), 2u);
+  EXPECT_EQ(invs[1].faults.any_k, 2u);
+  EXPECT_EQ(invs[1].faults.scenes[1].failed.size(), 2u);
+}
+
+TEST_F(SpecParserTest, IngressStar) {
+  const auto all = parser.parse_ingress("*");
+  EXPECT_EQ(all.size(), topo.device_count());
+}
+
+TEST_F(SpecParserTest, DocumentErrors) {
+  EXPECT_THROW((void)parser.parse(""), SpecError);
+  EXPECT_THROW((void)parser.parse("invariant x:\n  ingress: S\n"), SpecError);
+  EXPECT_THROW((void)parser.parse("packets: *\n"), SpecError);
+  EXPECT_THROW(
+      (void)parser.parse("invariant x:\n  packets: *\n  ingress: S\n"
+                         "  behavior: exist >= 1 : { Z .* D }\n"),
+      Error);  // unknown device Z
+}
+
+}  // namespace
+}  // namespace tulkun::spec

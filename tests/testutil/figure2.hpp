@@ -1,0 +1,124 @@
+// Shared fixture: the paper's running example (Figure 2).
+//
+// Topology: S-A, A-B, A-W, B-W, B-D, W-D (+ C attached to B for the §9.1
+// multicast demo). Data plane reconstructed from the §2.2 narrative so the
+// counting results match the paper exactly:
+//
+//   S: 10.0.0.0/23            -> A
+//   A: 10.0.0.0/24            -> ALL {B, W}     ("A forwards p to both")
+//      10.0.1.0/24 & port 80  -> ANY {B, W}     ("either B or W")
+//      10.0.1.0/24            -> W
+//   B: 10.0.1.0/24            -> D              (drops 10.0.0.0/24)
+//   W: 10.0.0.0/23            -> D
+//   D: 10.0.0.0/23            -> deliver
+//
+// Expected final counting at S1 for the waypoint invariant
+// (dstIP=10.0.0.0/23, [S], exist >= 1, S .* W .* D, loop_free):
+//   [(P2 ∪ P4, 1), (P3, {0,1})]   — a violation (§2.2.2).
+// After B reroutes 10.0.1.0/24 to W: [(P1, 1)] — satisfied (§2.2.3).
+#pragma once
+
+#include "eval/fib_synth.hpp"
+#include "fib/update_stream.hpp"
+#include "topo/generators.hpp"
+
+namespace tulkun::testutil {
+
+struct Figure2 {
+  topo::Topology topo = topo::figure2_network();
+  fib::NetworkFib net{topo};
+  DeviceId S = topo.device("S");
+  DeviceId A = topo.device("A");
+  DeviceId B = topo.device("B");
+  DeviceId W = topo.device("W");
+  DeviceId D = topo.device("D");
+  DeviceId C = topo.device("C");
+
+  packet::Ipv4Prefix p1 = packet::Ipv4Prefix::parse("10.0.0.0/23");
+  packet::Ipv4Prefix p2 = packet::Ipv4Prefix::parse("10.0.0.0/24");
+  packet::Ipv4Prefix p34 = packet::Ipv4Prefix::parse("10.0.1.0/24");
+
+  Figure2() { install_paper_data_plane(); }
+
+  packet::PacketSpace& space() { return net.space(); }
+
+  packet::PacketSet P1() { return space().dst_prefix(p1); }
+  packet::PacketSet P2() { return space().dst_prefix(p2); }
+  packet::PacketSet P3() {
+    return space().dst_prefix(p34) & space().dst_port(80);
+  }
+  packet::PacketSet P4() {
+    return space().dst_prefix(p34) - space().dst_port(80);
+  }
+
+  void install_paper_data_plane() {
+    // S
+    {
+      fib::Rule r;
+      r.priority = 10;
+      r.dst_prefix = p1;
+      r.action = fib::Action::forward(A);
+      net.table(S).insert(r);
+    }
+    // A
+    {
+      fib::Rule r;
+      r.priority = 10;
+      r.dst_prefix = p2;
+      r.action = fib::Action::forward_all({B, W});
+      net.table(A).insert(r);
+    }
+    {
+      fib::Rule r;
+      r.priority = 20;
+      r.dst_prefix = p34;
+      r.extra_match = space().dst_port(80);
+      r.action = fib::Action::forward_any({B, W});
+      net.table(A).insert(r);
+    }
+    {
+      fib::Rule r;
+      r.priority = 10;
+      r.dst_prefix = p34;
+      r.action = fib::Action::forward(W);
+      net.table(A).insert(r);
+    }
+    // B
+    b_rule_id = [&] {
+      fib::Rule r;
+      r.priority = 10;
+      r.dst_prefix = p34;
+      r.action = fib::Action::forward(D);
+      return net.table(B).insert(r);
+    }();
+    // W
+    {
+      fib::Rule r;
+      r.priority = 10;
+      r.dst_prefix = p1;
+      r.action = fib::Action::forward(D);
+      net.table(W).insert(r);
+    }
+    // D
+    {
+      fib::Rule r;
+      r.priority = 10;
+      r.dst_prefix = p1;
+      r.action = fib::Action::deliver();
+      net.table(D).insert(r);
+    }
+  }
+
+  /// The §2.2.3 incremental update: B reroutes 10.0.1.0/24 to W.
+  [[nodiscard]] fib::FibUpdate b_reroute_to_w() const {
+    fib::Rule r;
+    r.priority = 30;
+    r.dst_prefix = p34;
+    r.action = fib::Action::forward(W);
+    return fib::FibUpdate::insert(B, std::move(r));
+  }
+
+  std::uint64_t b_rule_id = 0;
+};
+
+}  // namespace tulkun::testutil

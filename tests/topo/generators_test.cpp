@@ -1,0 +1,108 @@
+#include "topo/generators.hpp"
+
+#include <gtest/gtest.h>
+
+namespace tulkun::topo {
+namespace {
+
+TEST(FatTree, K4Shape) {
+  const auto t = fat_tree(4);
+  // (k/2)^2 core + k pods * k switches = 4 + 16 = 20.
+  EXPECT_EQ(t.device_count(), 20u);
+  // Links: k pods * ((k/2)^2 edge-agg + (k/2)^2 agg-core) = 4*(4+4) = 32.
+  EXPECT_EQ(t.link_count(), 32u);
+  // Every ToR owns a prefix.
+  EXPECT_EQ(t.all_prefix_attachments().size(), 8u);
+}
+
+TEST(FatTree, RejectsOddArity) {
+  EXPECT_THROW((void)fat_tree(3), TopologyError);
+  EXPECT_THROW((void)fat_tree(0), TopologyError);
+}
+
+TEST(FatTree, TorToTorShortestIs4HopsAcrossPods) {
+  const auto t = fat_tree(4);
+  const auto src = t.device("p0_tor0");
+  const auto dst = t.device("p1_tor0");
+  EXPECT_EQ(t.hop_distances_to(dst)[src], 4u);
+  const auto same_pod = t.device("p0_tor1");
+  EXPECT_EQ(t.hop_distances_to(same_pod)[src], 2u);
+}
+
+TEST(Clos3, ShapeAndConnectivity) {
+  const auto t = clos3(4, 2, 4, 4);
+  // 4 cores + 4 pods * (2 spines + 4 ToRs) = 4 + 24 = 28.
+  EXPECT_EQ(t.device_count(), 28u);
+  EXPECT_EQ(t.all_prefix_attachments().size(), 16u);
+  // All ToR pairs reachable.
+  const auto dst = t.device("p3_tor3");
+  const auto dist = t.hop_distances_to(dst);
+  for (DeviceId d = 0; d < t.device_count(); ++d) {
+    EXPECT_NE(dist[d], Topology::kUnreachable) << t.name(d);
+  }
+}
+
+TEST(SyntheticWan, DeterministicInSeed) {
+  const auto a = synthetic_wan("w", 20, 35, 7);
+  const auto b = synthetic_wan("w", 20, 35, 7);
+  EXPECT_EQ(a.device_count(), b.device_count());
+  EXPECT_EQ(a.link_count(), b.link_count());
+  for (DeviceId d = 0; d < a.device_count(); ++d) {
+    ASSERT_EQ(a.neighbors(d).size(), b.neighbors(d).size());
+    for (std::size_t i = 0; i < a.neighbors(d).size(); ++i) {
+      EXPECT_EQ(a.neighbors(d)[i].neighbor, b.neighbors(d)[i].neighbor);
+      EXPECT_DOUBLE_EQ(a.neighbors(d)[i].latency_s,
+                       b.neighbors(d)[i].latency_s);
+    }
+  }
+}
+
+TEST(SyntheticWan, ConnectedWithRequestedLinks) {
+  const auto t = synthetic_wan("w", 30, 55, 11);
+  EXPECT_EQ(t.device_count(), 30u);
+  EXPECT_EQ(t.link_count(), 55u);
+  const auto dist = t.hop_distances_to(0);
+  for (DeviceId d = 0; d < t.device_count(); ++d) {
+    EXPECT_NE(dist[d], Topology::kUnreachable);
+  }
+  // One /24 per device.
+  EXPECT_EQ(t.all_prefix_attachments().size(), 30u);
+}
+
+TEST(SyntheticWan, ClampsLinkTargets) {
+  // Below spanning-tree minimum: clamped up to n-1.
+  const auto t = synthetic_wan("w", 10, 2, 3);
+  EXPECT_EQ(t.link_count(), 9u);
+  // Above complete-graph maximum: clamped down.
+  const auto full = synthetic_wan("w", 5, 100, 3);
+  EXPECT_EQ(full.link_count(), 10u);
+}
+
+TEST(SyntheticWan, LatenciesPositive) {
+  const auto t = synthetic_wan("w", 15, 25, 5, 0.04);
+  for (DeviceId d = 0; d < t.device_count(); ++d) {
+    for (const auto& adj : t.neighbors(d)) {
+      EXPECT_GE(adj.latency_s, 1e-4);
+      EXPECT_LE(adj.latency_s, 0.04);
+    }
+  }
+}
+
+TEST(Figure2Network, MatchesPaperTopology) {
+  const auto t = figure2_network();
+  EXPECT_EQ(t.device_count(), 6u);
+  EXPECT_TRUE(t.has_link(t.device("S"), t.device("A")));
+  EXPECT_TRUE(t.has_link(t.device("A"), t.device("B")));
+  EXPECT_TRUE(t.has_link(t.device("A"), t.device("W")));
+  EXPECT_TRUE(t.has_link(t.device("B"), t.device("W")));
+  EXPECT_TRUE(t.has_link(t.device("B"), t.device("D")));
+  EXPECT_TRUE(t.has_link(t.device("W"), t.device("D")));
+  EXPECT_FALSE(t.has_link(t.device("S"), t.device("D")));
+  const auto covering =
+      t.devices_covering(packet::Ipv4Prefix::parse("10.0.0.0/23"));
+  ASSERT_EQ(covering.size(), 1u);
+  EXPECT_EQ(covering[0], t.device("D"));
+}
+
+}  // namespace
+}  // namespace tulkun::topo

@@ -1,0 +1,68 @@
+#include "topo/parser.hpp"
+
+#include <gtest/gtest.h>
+
+#include "topo/generators.hpp"
+
+namespace tulkun::topo {
+namespace {
+
+TEST(TopoParser, ParsesBasicDocument) {
+  const auto t = parse_topology(
+      "# example\n"
+      "device S\n"
+      "device A\n"
+      "device D\n"
+      "link S A 5ms\n"
+      "link A D 10us # inline comment\n"
+      "prefix D 10.0.0.0/24\n");
+  EXPECT_EQ(t.device_count(), 3u);
+  EXPECT_DOUBLE_EQ(t.link_latency(t.device("S"), t.device("A")), 5e-3);
+  EXPECT_DOUBLE_EQ(t.link_latency(t.device("A"), t.device("D")), 10e-6);
+  EXPECT_EQ(t.prefixes(t.device("D")).size(), 1u);
+}
+
+TEST(TopoParser, LatencyUnits) {
+  EXPECT_DOUBLE_EQ(parse_latency("250ns"), 250e-9);
+  EXPECT_DOUBLE_EQ(parse_latency("10us"), 10e-6);
+  EXPECT_DOUBLE_EQ(parse_latency("5ms"), 5e-3);
+  EXPECT_DOUBLE_EQ(parse_latency("2s"), 2.0);
+  EXPECT_DOUBLE_EQ(parse_latency("1.5ms"), 1.5e-3);
+  EXPECT_DOUBLE_EQ(parse_latency("3"), 3.0);  // bare seconds
+}
+
+TEST(TopoParser, RejectsMalformed) {
+  EXPECT_THROW((void)parse_latency("abc"), TopologyError);
+  EXPECT_THROW((void)parse_latency("-5ms"), TopologyError);
+  EXPECT_THROW((void)parse_topology("device\n"), TopologyError);
+  EXPECT_THROW((void)parse_topology("link A B 5ms\n"), TopologyError);
+  EXPECT_THROW((void)parse_topology("device A\nfrobnicate A\n"),
+               TopologyError);
+  // Prefix parsing raises the packet layer's Error (not TopologyError).
+  EXPECT_THROW((void)parse_topology("device A\nprefix A not-an-ip\n"),
+               Error);
+}
+
+TEST(TopoParser, ErrorsCarryLineNumbers) {
+  try {
+    (void)parse_topology("device A\n\nlink A B 5ms\n");
+    FAIL() << "expected TopologyError";
+  } catch (const TopologyError& e) {
+    EXPECT_NE(std::string(e.what()).find("line 3"), std::string::npos);
+  }
+}
+
+TEST(TopoParser, RoundTripsGeneratedTopology) {
+  const auto original = figure2_network();
+  const auto reparsed = parse_topology(to_text(original));
+  EXPECT_EQ(reparsed.device_count(), original.device_count());
+  EXPECT_EQ(reparsed.link_count(), original.link_count());
+  for (DeviceId d = 0; d < original.device_count(); ++d) {
+    EXPECT_EQ(reparsed.name(d), original.name(d));
+    EXPECT_EQ(reparsed.prefixes(d).size(), original.prefixes(d).size());
+  }
+  EXPECT_TRUE(reparsed.has_link(reparsed.device("S"), reparsed.device("A")));
+}
+
+}  // namespace
+}  // namespace tulkun::topo

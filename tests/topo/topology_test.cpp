@@ -1,0 +1,115 @@
+#include "topo/topology.hpp"
+
+#include <gtest/gtest.h>
+
+namespace tulkun::topo {
+namespace {
+
+Topology line3() {
+  Topology t;
+  t.add_device("a");
+  t.add_device("b");
+  t.add_device("c");
+  t.add_link(0, 1, 1e-3);
+  t.add_link(1, 2, 2e-3);
+  return t;
+}
+
+TEST(Topology, AddAndLookupDevices) {
+  Topology t;
+  EXPECT_EQ(t.add_device("x"), 0u);
+  EXPECT_EQ(t.add_device("y"), 1u);
+  EXPECT_EQ(t.device("x"), 0u);
+  EXPECT_EQ(t.name(1), "y");
+  EXPECT_FALSE(t.find_device("z").has_value());
+  EXPECT_THROW((void)t.device("z"), TopologyError);
+}
+
+TEST(Topology, RejectsDuplicatesAndEmpty) {
+  Topology t;
+  t.add_device("x");
+  EXPECT_THROW((void)t.add_device("x"), TopologyError);
+  EXPECT_THROW((void)t.add_device(""), TopologyError);
+}
+
+TEST(Topology, LinksAreBidirectional) {
+  const auto t = line3();
+  EXPECT_TRUE(t.has_link(0, 1));
+  EXPECT_TRUE(t.has_link(1, 0));
+  EXPECT_FALSE(t.has_link(0, 2));
+  EXPECT_EQ(t.link_count(), 2u);
+  EXPECT_DOUBLE_EQ(t.link_latency(1, 2), 2e-3);
+  EXPECT_DOUBLE_EQ(t.link_latency(2, 1), 2e-3);
+  EXPECT_THROW((void)t.link_latency(0, 2), TopologyError);
+}
+
+TEST(Topology, RejectsBadLinks) {
+  Topology t;
+  t.add_device("x");
+  t.add_device("y");
+  EXPECT_THROW(t.add_link(0, 0, 1e-3), TopologyError);
+  t.add_link(0, 1, 1e-3);
+  EXPECT_THROW(t.add_link(1, 0, 1e-3), TopologyError);
+  EXPECT_THROW(t.add_link(0, 1, -1.0), TopologyError);
+}
+
+TEST(Topology, HopDistances) {
+  const auto t = line3();
+  const auto d = t.hop_distances_to(2);
+  EXPECT_EQ(d[2], 0u);
+  EXPECT_EQ(d[1], 1u);
+  EXPECT_EQ(d[0], 2u);
+}
+
+TEST(Topology, HopDistancesWithFailedLink) {
+  Topology t;
+  t.add_device("a");
+  t.add_device("b");
+  t.add_device("c");
+  t.add_link(0, 1, 1e-3);
+  t.add_link(1, 2, 1e-3);
+  t.add_link(0, 2, 1e-3);
+  std::unordered_set<LinkId> failed{LinkId{0, 2}};
+  const auto d = t.hop_distances_to(2, failed);
+  EXPECT_EQ(d[0], 2u);  // must go via b
+  const auto d_all = t.hop_distances_to(2);
+  EXPECT_EQ(d_all[0], 1u);
+}
+
+TEST(Topology, DisconnectedIsUnreachable) {
+  Topology t;
+  t.add_device("a");
+  t.add_device("b");
+  const auto d = t.hop_distances_to(0);
+  EXPECT_EQ(d[1], Topology::kUnreachable);
+}
+
+TEST(Topology, LatencyDistancesPickCheapestPath) {
+  Topology t;
+  t.add_device("a");
+  t.add_device("b");
+  t.add_device("c");
+  t.add_link(0, 1, 10e-3);
+  t.add_link(1, 2, 10e-3);
+  t.add_link(0, 2, 50e-3);
+  const auto d = t.latency_distances_to(2);
+  EXPECT_DOUBLE_EQ(d[0], 20e-3);  // two cheap hops beat one expensive
+}
+
+TEST(Topology, PrefixAttachments) {
+  Topology t;
+  t.add_device("tor");
+  t.attach_prefix(0, packet::Ipv4Prefix::parse("10.0.0.0/24"));
+  t.attach_prefix(0, packet::Ipv4Prefix::parse("10.0.1.0/24"));
+  EXPECT_EQ(t.prefixes(0).size(), 2u);
+  EXPECT_EQ(t.all_prefix_attachments().size(), 2u);
+  const auto covering =
+      t.devices_covering(packet::Ipv4Prefix::parse("10.0.0.0/25"));
+  ASSERT_EQ(covering.size(), 1u);
+  EXPECT_EQ(covering[0], 0u);
+  EXPECT_TRUE(
+      t.devices_covering(packet::Ipv4Prefix::parse("11.0.0.0/24")).empty());
+}
+
+}  // namespace
+}  // namespace tulkun::topo

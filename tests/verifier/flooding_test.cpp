@@ -1,0 +1,116 @@
+#include "verifier/flooding.hpp"
+
+#include <gtest/gtest.h>
+
+#include <deque>
+
+#include "topo/generators.hpp"
+
+namespace tulkun::verifier {
+namespace {
+
+class FloodingTest : public ::testing::Test {
+ protected:
+  topo::Topology topo = topo::figure2_network();
+  std::vector<std::unique_ptr<FloodingAgent>> agents;
+
+  void SetUp() override {
+    for (DeviceId d = 0; d < topo.device_count(); ++d) {
+      agents.push_back(std::make_unique<FloodingAgent>(d, topo));
+    }
+  }
+
+  /// Delivers flooding messages until quiescence; returns delivery count.
+  std::size_t pump(std::vector<dvm::Envelope> initial) {
+    std::deque<dvm::Envelope> queue(
+        std::make_move_iterator(initial.begin()),
+        std::make_move_iterator(initial.end()));
+    std::size_t count = 0;
+    while (!queue.empty()) {
+      const auto env = std::move(queue.front());
+      queue.pop_front();
+      ++count;
+      bool changed = false;
+      auto more = agents[env.dst]->on_message(
+          env.src, std::get<dvm::LinkStateMessage>(env.msg), changed);
+      for (auto& m : more) queue.push_back(std::move(m));
+    }
+    return count;
+  }
+};
+
+TEST_F(FloodingTest, LocalEventReachesEveryDevice) {
+  const LinkId failed{topo.device("B"), topo.device("D")};
+  auto initial = agents[failed.from]->local_event(failed, /*up=*/false);
+  pump(std::move(initial));
+  for (DeviceId d = 0; d < topo.device_count(); ++d) {
+    const auto links = agents[d]->failed_links();
+    ASSERT_EQ(links.size(), 1u) << topo.name(d);
+    EXPECT_EQ(links[0], (LinkId{std::min(failed.from, failed.to),
+                                std::max(failed.from, failed.to)}));
+  }
+}
+
+TEST_F(FloodingTest, FloodingTerminates) {
+  const LinkId failed{topo.device("A"), topo.device("W")};
+  const auto count = pump(agents[failed.from]->local_event(failed, false));
+  // Bounded: each device re-floods a given LSA at most once.
+  EXPECT_LE(count, topo.device_count() * topo.device_count());
+  EXPECT_GT(count, 0u);
+}
+
+TEST_F(FloodingTest, LinkRestoreClearsFailure) {
+  const LinkId link{topo.device("B"), topo.device("W")};
+  pump(agents[link.from]->local_event(link, false));
+  pump(agents[link.from]->local_event(link, true));
+  for (DeviceId d = 0; d < topo.device_count(); ++d) {
+    EXPECT_TRUE(agents[d]->failed_links().empty()) << topo.name(d);
+  }
+}
+
+TEST_F(FloodingTest, BothEndpointsDetecting) {
+  const LinkId link{topo.device("W"), topo.device("D")};
+  auto a = agents[link.from]->local_event(link, false);
+  auto b = agents[link.to]->local_event(link, false);
+  a.insert(a.end(), std::make_move_iterator(b.begin()),
+           std::make_move_iterator(b.end()));
+  pump(std::move(a));
+  for (DeviceId d = 0; d < topo.device_count(); ++d) {
+    EXPECT_EQ(agents[d]->failed_links().size(), 1u);
+  }
+}
+
+TEST_F(FloodingTest, MultipleFailuresAccumulate) {
+  const LinkId l1{topo.device("A"), topo.device("B")};
+  const LinkId l2{topo.device("W"), topo.device("D")};
+  pump(agents[l1.from]->local_event(l1, false));
+  pump(agents[l2.from]->local_event(l2, false));
+  for (DeviceId d = 0; d < topo.device_count(); ++d) {
+    EXPECT_EQ(agents[d]->failed_links().size(), 2u);
+  }
+}
+
+TEST_F(FloodingTest, StaleSequenceIgnored) {
+  const LinkId link{topo.device("A"), topo.device("B")};
+  FloodingAgent& origin = *agents[link.from];
+  pump(origin.local_event(link, false));
+  pump(origin.local_event(link, true));  // newer seq: link up
+
+  // Replay the stale "down" LSA (seq 1) at another device: must not
+  // resurrect the failure.
+  dvm::LinkStateMessage stale;
+  stale.link = LinkId{std::min(link.from, link.to),
+                      std::max(link.from, link.to)};
+  stale.up = false;
+  stale.seq = 1;
+  stale.origin = link.from;
+  bool changed = true;
+  const auto refloods =
+      agents[topo.device("D")]->on_message(topo.device("W"), stale, changed);
+  EXPECT_FALSE(changed);
+  EXPECT_TRUE(refloods.empty());
+  EXPECT_TRUE(agents[topo.device("D")]->failed_links().empty());
+}
+
+}  // namespace
+}  // namespace tulkun::verifier
