@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_device_msg.dir/bench_device_msg.cpp.o"
+  "CMakeFiles/bench_device_msg.dir/bench_device_msg.cpp.o.d"
+  "bench_device_msg"
+  "bench_device_msg.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_device_msg.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_mincount.dir/bench_mincount.cpp.o"
+  "CMakeFiles/bench_mincount.dir/bench_mincount.cpp.o.d"
+  "bench_mincount"
+  "bench_mincount.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_mincount.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dc_shortest_path.dir/dc_shortest_path.cpp.o"
+  "CMakeFiles/dc_shortest_path.dir/dc_shortest_path.cpp.o.d"
+  "dc_shortest_path"
+  "dc_shortest_path.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dc_shortest_path.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

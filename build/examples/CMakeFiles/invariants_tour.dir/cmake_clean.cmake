@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/invariants_tour.dir/invariants_tour.cpp.o"
+  "CMakeFiles/invariants_tour.dir/invariants_tour.cpp.o.d"
+  "invariants_tour"
+  "invariants_tour.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/invariants_tour.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/route_symmetry.dir/route_symmetry.cpp.o"
+  "CMakeFiles/route_symmetry.dir/route_symmetry.cpp.o.d"
+  "route_symmetry"
+  "route_symmetry.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/route_symmetry.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

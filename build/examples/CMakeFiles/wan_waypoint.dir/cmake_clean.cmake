@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wan_waypoint.dir/wan_waypoint.cpp.o"
+  "CMakeFiles/wan_waypoint.dir/wan_waypoint.cpp.o.d"
+  "wan_waypoint"
+  "wan_waypoint.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wan_waypoint.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

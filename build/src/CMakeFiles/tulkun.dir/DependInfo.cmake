@@ -1,0 +1,70 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/baseline/ap.cpp" "src/CMakeFiles/tulkun.dir/baseline/ap.cpp.o" "gcc" "src/CMakeFiles/tulkun.dir/baseline/ap.cpp.o.d"
+  "/root/repo/src/baseline/apkeep.cpp" "src/CMakeFiles/tulkun.dir/baseline/apkeep.cpp.o" "gcc" "src/CMakeFiles/tulkun.dir/baseline/apkeep.cpp.o.d"
+  "/root/repo/src/baseline/centralized.cpp" "src/CMakeFiles/tulkun.dir/baseline/centralized.cpp.o" "gcc" "src/CMakeFiles/tulkun.dir/baseline/centralized.cpp.o.d"
+  "/root/repo/src/baseline/deltanet.cpp" "src/CMakeFiles/tulkun.dir/baseline/deltanet.cpp.o" "gcc" "src/CMakeFiles/tulkun.dir/baseline/deltanet.cpp.o.d"
+  "/root/repo/src/baseline/flash.cpp" "src/CMakeFiles/tulkun.dir/baseline/flash.cpp.o" "gcc" "src/CMakeFiles/tulkun.dir/baseline/flash.cpp.o.d"
+  "/root/repo/src/baseline/veriflow.cpp" "src/CMakeFiles/tulkun.dir/baseline/veriflow.cpp.o" "gcc" "src/CMakeFiles/tulkun.dir/baseline/veriflow.cpp.o.d"
+  "/root/repo/src/bdd/manager.cpp" "src/CMakeFiles/tulkun.dir/bdd/manager.cpp.o" "gcc" "src/CMakeFiles/tulkun.dir/bdd/manager.cpp.o.d"
+  "/root/repo/src/bdd/serialize.cpp" "src/CMakeFiles/tulkun.dir/bdd/serialize.cpp.o" "gcc" "src/CMakeFiles/tulkun.dir/bdd/serialize.cpp.o.d"
+  "/root/repo/src/core/error.cpp" "src/CMakeFiles/tulkun.dir/core/error.cpp.o" "gcc" "src/CMakeFiles/tulkun.dir/core/error.cpp.o.d"
+  "/root/repo/src/core/interval_set.cpp" "src/CMakeFiles/tulkun.dir/core/interval_set.cpp.o" "gcc" "src/CMakeFiles/tulkun.dir/core/interval_set.cpp.o.d"
+  "/root/repo/src/core/stats.cpp" "src/CMakeFiles/tulkun.dir/core/stats.cpp.o" "gcc" "src/CMakeFiles/tulkun.dir/core/stats.cpp.o.d"
+  "/root/repo/src/count/count_set.cpp" "src/CMakeFiles/tulkun.dir/count/count_set.cpp.o" "gcc" "src/CMakeFiles/tulkun.dir/count/count_set.cpp.o.d"
+  "/root/repo/src/dpvnet/compound.cpp" "src/CMakeFiles/tulkun.dir/dpvnet/compound.cpp.o" "gcc" "src/CMakeFiles/tulkun.dir/dpvnet/compound.cpp.o.d"
+  "/root/repo/src/dpvnet/dpvnet.cpp" "src/CMakeFiles/tulkun.dir/dpvnet/dpvnet.cpp.o" "gcc" "src/CMakeFiles/tulkun.dir/dpvnet/dpvnet.cpp.o.d"
+  "/root/repo/src/dpvnet/fault_tolerant.cpp" "src/CMakeFiles/tulkun.dir/dpvnet/fault_tolerant.cpp.o" "gcc" "src/CMakeFiles/tulkun.dir/dpvnet/fault_tolerant.cpp.o.d"
+  "/root/repo/src/dpvnet/product.cpp" "src/CMakeFiles/tulkun.dir/dpvnet/product.cpp.o" "gcc" "src/CMakeFiles/tulkun.dir/dpvnet/product.cpp.o.d"
+  "/root/repo/src/dvm/cib.cpp" "src/CMakeFiles/tulkun.dir/dvm/cib.cpp.o" "gcc" "src/CMakeFiles/tulkun.dir/dvm/cib.cpp.o.d"
+  "/root/repo/src/dvm/codec.cpp" "src/CMakeFiles/tulkun.dir/dvm/codec.cpp.o" "gcc" "src/CMakeFiles/tulkun.dir/dvm/codec.cpp.o.d"
+  "/root/repo/src/dvm/engine.cpp" "src/CMakeFiles/tulkun.dir/dvm/engine.cpp.o" "gcc" "src/CMakeFiles/tulkun.dir/dvm/engine.cpp.o.d"
+  "/root/repo/src/dvm/pathset.cpp" "src/CMakeFiles/tulkun.dir/dvm/pathset.cpp.o" "gcc" "src/CMakeFiles/tulkun.dir/dvm/pathset.cpp.o.d"
+  "/root/repo/src/eval/datasets.cpp" "src/CMakeFiles/tulkun.dir/eval/datasets.cpp.o" "gcc" "src/CMakeFiles/tulkun.dir/eval/datasets.cpp.o.d"
+  "/root/repo/src/eval/fib_synth.cpp" "src/CMakeFiles/tulkun.dir/eval/fib_synth.cpp.o" "gcc" "src/CMakeFiles/tulkun.dir/eval/fib_synth.cpp.o.d"
+  "/root/repo/src/eval/harness.cpp" "src/CMakeFiles/tulkun.dir/eval/harness.cpp.o" "gcc" "src/CMakeFiles/tulkun.dir/eval/harness.cpp.o.d"
+  "/root/repo/src/eval/report.cpp" "src/CMakeFiles/tulkun.dir/eval/report.cpp.o" "gcc" "src/CMakeFiles/tulkun.dir/eval/report.cpp.o.d"
+  "/root/repo/src/eval/workload.cpp" "src/CMakeFiles/tulkun.dir/eval/workload.cpp.o" "gcc" "src/CMakeFiles/tulkun.dir/eval/workload.cpp.o.d"
+  "/root/repo/src/fib/fib_parser.cpp" "src/CMakeFiles/tulkun.dir/fib/fib_parser.cpp.o" "gcc" "src/CMakeFiles/tulkun.dir/fib/fib_parser.cpp.o.d"
+  "/root/repo/src/fib/fib_table.cpp" "src/CMakeFiles/tulkun.dir/fib/fib_table.cpp.o" "gcc" "src/CMakeFiles/tulkun.dir/fib/fib_table.cpp.o.d"
+  "/root/repo/src/fib/lec.cpp" "src/CMakeFiles/tulkun.dir/fib/lec.cpp.o" "gcc" "src/CMakeFiles/tulkun.dir/fib/lec.cpp.o.d"
+  "/root/repo/src/fib/rule.cpp" "src/CMakeFiles/tulkun.dir/fib/rule.cpp.o" "gcc" "src/CMakeFiles/tulkun.dir/fib/rule.cpp.o.d"
+  "/root/repo/src/fib/update_stream.cpp" "src/CMakeFiles/tulkun.dir/fib/update_stream.cpp.o" "gcc" "src/CMakeFiles/tulkun.dir/fib/update_stream.cpp.o.d"
+  "/root/repo/src/packet/fields.cpp" "src/CMakeFiles/tulkun.dir/packet/fields.cpp.o" "gcc" "src/CMakeFiles/tulkun.dir/packet/fields.cpp.o.d"
+  "/root/repo/src/packet/packet_set.cpp" "src/CMakeFiles/tulkun.dir/packet/packet_set.cpp.o" "gcc" "src/CMakeFiles/tulkun.dir/packet/packet_set.cpp.o.d"
+  "/root/repo/src/partition/partition.cpp" "src/CMakeFiles/tulkun.dir/partition/partition.cpp.o" "gcc" "src/CMakeFiles/tulkun.dir/partition/partition.cpp.o.d"
+  "/root/repo/src/planner/planner.cpp" "src/CMakeFiles/tulkun.dir/planner/planner.cpp.o" "gcc" "src/CMakeFiles/tulkun.dir/planner/planner.cpp.o.d"
+  "/root/repo/src/planner/tasks.cpp" "src/CMakeFiles/tulkun.dir/planner/tasks.cpp.o" "gcc" "src/CMakeFiles/tulkun.dir/planner/tasks.cpp.o.d"
+  "/root/repo/src/regex/dfa.cpp" "src/CMakeFiles/tulkun.dir/regex/dfa.cpp.o" "gcc" "src/CMakeFiles/tulkun.dir/regex/dfa.cpp.o.d"
+  "/root/repo/src/regex/minimize.cpp" "src/CMakeFiles/tulkun.dir/regex/minimize.cpp.o" "gcc" "src/CMakeFiles/tulkun.dir/regex/minimize.cpp.o.d"
+  "/root/repo/src/regex/nfa.cpp" "src/CMakeFiles/tulkun.dir/regex/nfa.cpp.o" "gcc" "src/CMakeFiles/tulkun.dir/regex/nfa.cpp.o.d"
+  "/root/repo/src/regex/parser.cpp" "src/CMakeFiles/tulkun.dir/regex/parser.cpp.o" "gcc" "src/CMakeFiles/tulkun.dir/regex/parser.cpp.o.d"
+  "/root/repo/src/runtime/event_sim.cpp" "src/CMakeFiles/tulkun.dir/runtime/event_sim.cpp.o" "gcc" "src/CMakeFiles/tulkun.dir/runtime/event_sim.cpp.o.d"
+  "/root/repo/src/runtime/metrics.cpp" "src/CMakeFiles/tulkun.dir/runtime/metrics.cpp.o" "gcc" "src/CMakeFiles/tulkun.dir/runtime/metrics.cpp.o.d"
+  "/root/repo/src/runtime/thread_runtime.cpp" "src/CMakeFiles/tulkun.dir/runtime/thread_runtime.cpp.o" "gcc" "src/CMakeFiles/tulkun.dir/runtime/thread_runtime.cpp.o.d"
+  "/root/repo/src/spec/ast.cpp" "src/CMakeFiles/tulkun.dir/spec/ast.cpp.o" "gcc" "src/CMakeFiles/tulkun.dir/spec/ast.cpp.o.d"
+  "/root/repo/src/spec/builtins.cpp" "src/CMakeFiles/tulkun.dir/spec/builtins.cpp.o" "gcc" "src/CMakeFiles/tulkun.dir/spec/builtins.cpp.o.d"
+  "/root/repo/src/spec/check.cpp" "src/CMakeFiles/tulkun.dir/spec/check.cpp.o" "gcc" "src/CMakeFiles/tulkun.dir/spec/check.cpp.o.d"
+  "/root/repo/src/spec/multipath.cpp" "src/CMakeFiles/tulkun.dir/spec/multipath.cpp.o" "gcc" "src/CMakeFiles/tulkun.dir/spec/multipath.cpp.o.d"
+  "/root/repo/src/spec/parser.cpp" "src/CMakeFiles/tulkun.dir/spec/parser.cpp.o" "gcc" "src/CMakeFiles/tulkun.dir/spec/parser.cpp.o.d"
+  "/root/repo/src/topo/generators.cpp" "src/CMakeFiles/tulkun.dir/topo/generators.cpp.o" "gcc" "src/CMakeFiles/tulkun.dir/topo/generators.cpp.o.d"
+  "/root/repo/src/topo/parser.cpp" "src/CMakeFiles/tulkun.dir/topo/parser.cpp.o" "gcc" "src/CMakeFiles/tulkun.dir/topo/parser.cpp.o.d"
+  "/root/repo/src/topo/topology.cpp" "src/CMakeFiles/tulkun.dir/topo/topology.cpp.o" "gcc" "src/CMakeFiles/tulkun.dir/topo/topology.cpp.o.d"
+  "/root/repo/src/verifier/flooding.cpp" "src/CMakeFiles/tulkun.dir/verifier/flooding.cpp.o" "gcc" "src/CMakeFiles/tulkun.dir/verifier/flooding.cpp.o.d"
+  "/root/repo/src/verifier/verifier.cpp" "src/CMakeFiles/tulkun.dir/verifier/verifier.cpp.o" "gcc" "src/CMakeFiles/tulkun.dir/verifier/verifier.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

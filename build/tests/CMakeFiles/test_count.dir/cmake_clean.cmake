@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_count.dir/count/count_set_test.cpp.o"
+  "CMakeFiles/test_count.dir/count/count_set_test.cpp.o.d"
+  "test_count"
+  "test_count.pdb"
+  "test_count[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_count.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

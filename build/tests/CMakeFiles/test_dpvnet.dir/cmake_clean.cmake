@@ -1,0 +1,16 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_dpvnet.dir/dpvnet/build_test.cpp.o"
+  "CMakeFiles/test_dpvnet.dir/dpvnet/build_test.cpp.o.d"
+  "CMakeFiles/test_dpvnet.dir/dpvnet/compound_test.cpp.o"
+  "CMakeFiles/test_dpvnet.dir/dpvnet/compound_test.cpp.o.d"
+  "CMakeFiles/test_dpvnet.dir/dpvnet/fault_test.cpp.o"
+  "CMakeFiles/test_dpvnet.dir/dpvnet/fault_test.cpp.o.d"
+  "test_dpvnet"
+  "test_dpvnet.pdb"
+  "test_dpvnet[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_dpvnet.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

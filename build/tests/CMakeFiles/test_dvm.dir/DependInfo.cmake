@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/dvm/cib_test.cpp" "tests/CMakeFiles/test_dvm.dir/dvm/cib_test.cpp.o" "gcc" "tests/CMakeFiles/test_dvm.dir/dvm/cib_test.cpp.o.d"
+  "/root/repo/tests/dvm/codec_test.cpp" "tests/CMakeFiles/test_dvm.dir/dvm/codec_test.cpp.o" "gcc" "tests/CMakeFiles/test_dvm.dir/dvm/codec_test.cpp.o.d"
+  "/root/repo/tests/dvm/engine_more_test.cpp" "tests/CMakeFiles/test_dvm.dir/dvm/engine_more_test.cpp.o" "gcc" "tests/CMakeFiles/test_dvm.dir/dvm/engine_more_test.cpp.o.d"
+  "/root/repo/tests/dvm/engine_test.cpp" "tests/CMakeFiles/test_dvm.dir/dvm/engine_test.cpp.o" "gcc" "tests/CMakeFiles/test_dvm.dir/dvm/engine_test.cpp.o.d"
+  "/root/repo/tests/dvm/multipath_test.cpp" "tests/CMakeFiles/test_dvm.dir/dvm/multipath_test.cpp.o" "gcc" "tests/CMakeFiles/test_dvm.dir/dvm/multipath_test.cpp.o.d"
+  "/root/repo/tests/dvm/transform_test.cpp" "tests/CMakeFiles/test_dvm.dir/dvm/transform_test.cpp.o" "gcc" "tests/CMakeFiles/test_dvm.dir/dvm/transform_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/tulkun.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,22 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_dvm.dir/dvm/cib_test.cpp.o"
+  "CMakeFiles/test_dvm.dir/dvm/cib_test.cpp.o.d"
+  "CMakeFiles/test_dvm.dir/dvm/codec_test.cpp.o"
+  "CMakeFiles/test_dvm.dir/dvm/codec_test.cpp.o.d"
+  "CMakeFiles/test_dvm.dir/dvm/engine_more_test.cpp.o"
+  "CMakeFiles/test_dvm.dir/dvm/engine_more_test.cpp.o.d"
+  "CMakeFiles/test_dvm.dir/dvm/engine_test.cpp.o"
+  "CMakeFiles/test_dvm.dir/dvm/engine_test.cpp.o.d"
+  "CMakeFiles/test_dvm.dir/dvm/multipath_test.cpp.o"
+  "CMakeFiles/test_dvm.dir/dvm/multipath_test.cpp.o.d"
+  "CMakeFiles/test_dvm.dir/dvm/transform_test.cpp.o"
+  "CMakeFiles/test_dvm.dir/dvm/transform_test.cpp.o.d"
+  "test_dvm"
+  "test_dvm.pdb"
+  "test_dvm[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_dvm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/fib/fib_parser_test.cpp" "tests/CMakeFiles/test_fib.dir/fib/fib_parser_test.cpp.o" "gcc" "tests/CMakeFiles/test_fib.dir/fib/fib_parser_test.cpp.o.d"
+  "/root/repo/tests/fib/fib_table_test.cpp" "tests/CMakeFiles/test_fib.dir/fib/fib_table_test.cpp.o" "gcc" "tests/CMakeFiles/test_fib.dir/fib/fib_table_test.cpp.o.d"
+  "/root/repo/tests/fib/lec_test.cpp" "tests/CMakeFiles/test_fib.dir/fib/lec_test.cpp.o" "gcc" "tests/CMakeFiles/test_fib.dir/fib/lec_test.cpp.o.d"
+  "/root/repo/tests/fib/rule_test.cpp" "tests/CMakeFiles/test_fib.dir/fib/rule_test.cpp.o" "gcc" "tests/CMakeFiles/test_fib.dir/fib/rule_test.cpp.o.d"
+  "/root/repo/tests/fib/update_test.cpp" "tests/CMakeFiles/test_fib.dir/fib/update_test.cpp.o" "gcc" "tests/CMakeFiles/test_fib.dir/fib/update_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/tulkun.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,20 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_fib.dir/fib/fib_parser_test.cpp.o"
+  "CMakeFiles/test_fib.dir/fib/fib_parser_test.cpp.o.d"
+  "CMakeFiles/test_fib.dir/fib/fib_table_test.cpp.o"
+  "CMakeFiles/test_fib.dir/fib/fib_table_test.cpp.o.d"
+  "CMakeFiles/test_fib.dir/fib/lec_test.cpp.o"
+  "CMakeFiles/test_fib.dir/fib/lec_test.cpp.o.d"
+  "CMakeFiles/test_fib.dir/fib/rule_test.cpp.o"
+  "CMakeFiles/test_fib.dir/fib/rule_test.cpp.o.d"
+  "CMakeFiles/test_fib.dir/fib/update_test.cpp.o"
+  "CMakeFiles/test_fib.dir/fib/update_test.cpp.o.d"
+  "test_fib"
+  "test_fib.pdb"
+  "test_fib[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_fib.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

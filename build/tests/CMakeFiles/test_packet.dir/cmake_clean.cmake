@@ -1,0 +1,14 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_packet.dir/packet/fields_test.cpp.o"
+  "CMakeFiles/test_packet.dir/packet/fields_test.cpp.o.d"
+  "CMakeFiles/test_packet.dir/packet/packet_set_test.cpp.o"
+  "CMakeFiles/test_packet.dir/packet/packet_set_test.cpp.o.d"
+  "test_packet"
+  "test_packet.pdb"
+  "test_packet[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_packet.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

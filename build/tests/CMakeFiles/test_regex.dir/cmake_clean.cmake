@@ -1,0 +1,16 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_regex.dir/regex/describe_test.cpp.o"
+  "CMakeFiles/test_regex.dir/regex/describe_test.cpp.o.d"
+  "CMakeFiles/test_regex.dir/regex/dfa_test.cpp.o"
+  "CMakeFiles/test_regex.dir/regex/dfa_test.cpp.o.d"
+  "CMakeFiles/test_regex.dir/regex/parser_test.cpp.o"
+  "CMakeFiles/test_regex.dir/regex/parser_test.cpp.o.d"
+  "test_regex"
+  "test_regex.pdb"
+  "test_regex[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_regex.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,16 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_spec.dir/spec/builtins_test.cpp.o"
+  "CMakeFiles/test_spec.dir/spec/builtins_test.cpp.o.d"
+  "CMakeFiles/test_spec.dir/spec/check_test.cpp.o"
+  "CMakeFiles/test_spec.dir/spec/check_test.cpp.o.d"
+  "CMakeFiles/test_spec.dir/spec/parser_test.cpp.o"
+  "CMakeFiles/test_spec.dir/spec/parser_test.cpp.o.d"
+  "test_spec"
+  "test_spec.pdb"
+  "test_spec[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_spec.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
