@@ -6,6 +6,7 @@
 int main(int argc, char** argv) {
   using namespace tulkun;
   const auto args = bench::Args::parse(argc, argv);
+  bench::JsonReport json;
 
   std::vector<eval::Harness::Result> results;
   for (const auto& spec : args.datasets()) {
@@ -21,6 +22,18 @@ int main(int argc, char** argv) {
   for (const auto& r : results) {
     std::cout << "  " << r.dataset << ": "
               << format_duration(r.tulkun_plan_seconds) << "\n";
+    json.add(r.dataset + ".plan_seconds", r.tulkun_plan_seconds);
+    for (const auto& row : r.rows) {
+      json.add(r.dataset + "." + row.tool + ".burst_seconds",
+               row.burst_seconds);
+    }
   }
+
+  // The same burst on the wall-clock worker-pool runtime (every predicate
+  // crosses devices through the batched wire codec).
+  bench::run_sharded_section(eval::dataset("INet2"), args, /*n_updates=*/0,
+                             json);
+
+  json.write(args.json_path);
   return 0;
 }

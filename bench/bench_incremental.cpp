@@ -5,6 +5,7 @@
 int main(int argc, char** argv) {
   using namespace tulkun;
   const auto args = bench::Args::parse(argc, argv);
+  bench::JsonReport json;
 
   std::vector<eval::Harness::Result> results;
   for (const auto& spec : args.datasets()) {
@@ -15,5 +16,24 @@ int main(int argc, char** argv) {
   }
   eval::print_under_threshold_table(std::cout, results, 0.010);
   eval::print_quantile_table(std::cout, results, 0.80);
+
+  for (const auto& r : results) {
+    for (const auto& row : r.rows) {
+      if (row.memory_out || row.incremental_seconds.empty()) continue;
+      const auto& vals = row.incremental_seconds.values();
+      std::size_t under = 0;
+      for (const double v : vals) under += v <= 0.010 ? 1 : 0;
+      const std::string p = r.dataset + "." + row.tool + ".";
+      json.add(p + "frac_under_10ms",
+               static_cast<double>(under) / static_cast<double>(vals.size()));
+      json.add(p + "incremental_p80", row.incremental_seconds.quantile(0.80));
+    }
+  }
+
+  // The same update stream on the wall-clock worker-pool runtime.
+  bench::run_sharded_section(eval::dataset("INet2"), args, args.updates,
+                             json);
+
+  json.write(args.json_path);
   return 0;
 }

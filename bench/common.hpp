@@ -5,14 +5,23 @@
 //   --updates=N      incremental updates per dataset
 //   --max-dst=N      destination sample per dataset (0 = all)
 //   --seed=N
+//   --shards=N       worker-pool size of the sharded runtime sections
+//                    (0 = one worker per hardware thread; the TULKUN_SHARDS
+//                    environment variable sets the same knob, flags win)
+//   --json <path>    also write a flat machine-readable summary (--json=path
+//                    works too)
 //
 // The default (no flags) is a quick profile that finishes in minutes and
 // still reproduces the figures' *shapes*; EXPERIMENTS.md records both.
 #pragma once
 
+#include <cstdlib>
 #include <cstring>
+#include <fstream>
 #include <iostream>
+#include <sstream>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "eval/datasets.hpp"
@@ -21,15 +30,61 @@
 
 namespace tulkun::bench {
 
+/// Flat key -> value summary written as one JSON object. Keys are bench
+/// identifiers we mint ourselves (dataset.tool.metric), so no escaping.
+class JsonReport {
+ public:
+  void add(const std::string& key, double value) {
+    std::ostringstream os;
+    os.precision(9);
+    os << value;
+    fields_.emplace_back(key, os.str());
+  }
+  void add(const std::string& key, std::uint64_t value) {
+    fields_.emplace_back(key, std::to_string(value));
+  }
+  void add(const std::string& key, const std::string& value) {
+    fields_.emplace_back(key, "\"" + value + "\"");
+  }
+
+  /// No-op when `path` is empty (no --json flag given).
+  void write(const std::string& path) const {
+    if (path.empty()) return;
+    std::ofstream out(path);
+    if (!out) {
+      std::cerr << "cannot write " << path << "\n";
+      return;
+    }
+    out << "{\n";
+    for (std::size_t i = 0; i < fields_.size(); ++i) {
+      out << "  \"" << fields_[i].first << "\": " << fields_[i].second
+          << (i + 1 < fields_.size() ? "," : "") << "\n";
+    }
+    out << "}\n";
+    std::cout << "\nwrote " << path << "\n";
+  }
+
+ private:
+  std::vector<std::pair<std::string, std::string>> fields_;
+};
+
 struct Args {
   bool full = false;
   std::size_t updates = 100;
   std::size_t max_destinations = 4;
   std::size_t fault_scenes = 8;
   std::uint64_t seed = 42;
+  std::size_t shards = 0;  // 0 = hardware concurrency
+  std::string json_path;
 
   static Args parse(int argc, char** argv) {
     Args a;
+    if (const char* env = std::getenv("TULKUN_SHARDS")) {
+      // Ignore empty/garbage environment values (flags still win below).
+      char* end = nullptr;
+      const unsigned long v = std::strtoul(env, &end, 10);
+      if (end != env && *end == '\0') a.shards = v;
+    }
     for (int i = 1; i < argc; ++i) {
       const std::string arg = argv[i];
       const auto value = [&](const char* prefix) -> const char* {
@@ -49,9 +104,15 @@ struct Args {
         a.fault_scenes = std::stoul(v);
       } else if (const char* v = value("--seed=")) {
         a.seed = std::stoull(v);
+      } else if (const char* v = value("--shards=")) {
+        a.shards = std::stoul(v);
+      } else if (const char* v = value("--json=")) {
+        a.json_path = v;
+      } else if (arg == "--json" && i + 1 < argc) {
+        a.json_path = argv[++i];
       } else if (arg == "--help") {
         std::cout << "flags: --full --updates=N --max-dst=N --scenes=N "
-                     "--seed=N\n";
+                     "--seed=N --shards=N --json <path>\n";
         std::exit(0);
       }
     }
@@ -62,6 +123,7 @@ struct Args {
     eval::HarnessOptions opts;
     opts.seed = seed;
     opts.max_destinations = max_destinations;
+    opts.engine.runtime_shards = shards;
     return opts;
   }
 
@@ -86,5 +148,40 @@ struct Args {
     return out;
   }
 };
+
+/// Runs the sharded worker-pool runtime on one dataset and reports wall
+/// times plus the runtime counters; shared by the bench mains.
+inline void run_sharded_section(const eval::DatasetSpec& spec,
+                                const Args& args, std::size_t n_updates,
+                                JsonReport& json) {
+  eval::Harness h(spec, args.harness_options());
+  auto run = h.run_distributed(n_updates);
+  std::cout << "\n== Sharded runtime replay (" << spec.name << ", "
+            << run.shards << " shards, wall clock) ==\n";
+  std::cout << "  burst: " << format_duration(run.burst_wall_seconds)
+            << ", violations: " << run.violations << "\n";
+  if (!run.incremental_wall_seconds.empty()) {
+    std::cout << "  incremental: p50 "
+              << format_duration(run.incremental_wall_seconds.quantile(0.5))
+              << ", p99 "
+              << format_duration(run.incremental_wall_seconds.quantile(0.99))
+              << " over " << run.incremental_wall_seconds.size()
+              << " updates\n";
+  }
+  runtime::print_metrics(std::cout, run.metrics);
+
+  const std::string p = "sharded." + spec.name + ".";
+  json.add(p + "shards", static_cast<std::uint64_t>(run.shards));
+  json.add(p + "burst_wall_seconds", run.burst_wall_seconds);
+  if (!run.incremental_wall_seconds.empty()) {
+    json.add(p + "incremental_wall_p50",
+             run.incremental_wall_seconds.quantile(0.5));
+  }
+  json.add(p + "transfer_cache_hit_rate",
+           run.metrics.transfer_cache_hit_rate());
+  json.add(p + "mean_batch_size", run.metrics.mean_batch_size());
+  json.add(p + "frames", run.metrics.frames);
+  json.add(p + "envelopes", run.metrics.envelopes);
+}
 
 }  // namespace tulkun::bench

@@ -8,6 +8,7 @@ namespace tulkun::bdd {
 namespace {
 constexpr std::size_t kApplyCacheSize = 1 << 18;  // 256K entries, lossy
 constexpr std::size_t kNegateCacheSize = 1 << 16;
+constexpr std::size_t kInitialTableSize = 1 << 16;  // power of 2
 
 std::uint64_t pack_apply_key(Op op, NodeRef a, NodeRef b) {
   // 2 bits op, 31 bits each operand: sufficient for our arena sizes.
@@ -18,6 +19,8 @@ std::uint64_t pack_apply_key(Op op, NodeRef a, NodeRef b) {
 
 Manager::Manager(std::uint32_t num_vars)
     : num_vars_(num_vars),
+      table_(kInitialTableSize, kFalse),
+      table_mask_(kInitialTableSize - 1),
       apply_cache_(kApplyCacheSize),
       negate_cache_(kNegateCacheSize) {
   // Terminals occupy slots 0 and 1; their contents are never read.
@@ -25,22 +28,39 @@ Manager::Manager(std::uint32_t num_vars)
 }
 
 void Manager::reset() {
+  ++generation_;
   nodes_.clear();
   nodes_.resize(2);
-  unique_.clear();
+  std::fill(table_.begin(), table_.end(), kFalse);
   std::fill(apply_cache_.begin(), apply_cache_.end(), ApplyEntry{});
   std::fill(negate_cache_.begin(), negate_cache_.end(), NegateEntry{});
+}
+
+void Manager::grow_table() {
+  std::vector<NodeRef> grown(table_.size() * 2, kFalse);
+  table_mask_ = grown.size() - 1;
+  for (NodeRef r = 2; r < nodes_.size(); ++r) {
+    Node& n = nodes_[r];
+    const std::size_t h = hash_node(n.var, n.low, n.high) & table_mask_;
+    n.next = grown[h];
+    grown[h] = r;
+  }
+  table_ = std::move(grown);
 }
 
 NodeRef Manager::mk(std::uint32_t v, NodeRef low, NodeRef high) {
   TULKUN_ASSERT(v < num_vars_);
   if (low == high) return low;  // reduction rule
-  const UniqueKey key{v, low, high};
-  const auto it = unique_.find(key);
-  if (it != unique_.end()) return it->second;
+  const std::size_t h = hash_node(v, low, high) & table_mask_;
+  for (NodeRef p = table_[h]; p != kFalse; p = nodes_[p].next) {
+    const Node& n = nodes_[p];
+    if (n.var == v && n.low == low && n.high == high) return p;
+  }
   const auto ref = static_cast<NodeRef>(nodes_.size());
-  nodes_.push_back(Node{v, low, high});
-  unique_.emplace(key, ref);
+  nodes_.push_back(Node{v, low, high, table_[h]});
+  table_[h] = ref;
+  // Keep the load factor under 3/4 so chains stay short.
+  if (nodes_.size() > table_.size() - (table_.size() >> 2)) grow_table();
   return ref;
 }
 

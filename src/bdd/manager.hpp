@@ -33,10 +33,13 @@ inline constexpr NodeRef kTrue = 1;
 enum class Op : std::uint8_t { And, Or, Xor, Diff };
 
 /// A decision node: branch on `var`; `low` = var=0 branch, `high` = var=1.
+/// `next` chains nodes in the same unique-table bucket (0 = end of chain;
+/// the FALSE terminal never appears in the table).
 struct Node {
   std::uint32_t var = 0;
   NodeRef low = kFalse;
   NodeRef high = kFalse;
+  NodeRef next = kFalse;
 };
 
 /// Owns the node arena, unique table, and operation caches for one BDD space.
@@ -54,6 +57,11 @@ class Manager {
 
   /// Total nodes allocated (including the two terminals).
   [[nodiscard]] std::size_t arena_size() const { return nodes_.size(); }
+
+  /// Monotonic counter bumped by reset(). A (generation, NodeRef) pair
+  /// identifies an immutable BDD for the manager's whole lifetime, which
+  /// makes serialized-bytes caches sound across resets.
+  [[nodiscard]] std::uint64_t generation() const { return generation_; }
 
   /// BDD for a single variable (true iff var v is 1).
   [[nodiscard]] NodeRef var(std::uint32_t v);
@@ -109,21 +117,6 @@ class Manager {
   void reset();
 
  private:
-  struct UniqueKey {
-    std::uint32_t var;
-    NodeRef low;
-    NodeRef high;
-    friend bool operator==(const UniqueKey&, const UniqueKey&) = default;
-  };
-  struct UniqueKeyHash {
-    std::size_t operator()(const UniqueKey& k) const noexcept {
-      std::size_t seed = k.var;
-      hash_combine(seed, k.low);
-      hash_combine(seed, k.high);
-      return seed;
-    }
-  };
-
   // Lossy direct-mapped cache for apply(); collisions overwrite.
   struct ApplyEntry {
     std::uint64_t key = ~0ULL;  // packed (op, a, b)
@@ -139,6 +132,16 @@ class Manager {
     return r < 2 ? num_vars_ : nodes_[r].var;
   }
 
+  [[nodiscard]] static std::size_t hash_node(std::uint32_t v, NodeRef low,
+                                             NodeRef high) noexcept {
+    std::uint64_t x = (static_cast<std::uint64_t>(low) << 32) ^ high ^
+                      (static_cast<std::uint64_t>(v) << 17);
+    x *= 0x9E3779B97F4A7C15ULL;  // Fibonacci multiplicative mix
+    x ^= x >> 32;
+    return static_cast<std::size_t>(x);
+  }
+  void grow_table();
+
   NodeRef apply_rec(Op op, NodeRef a, NodeRef b);
   NodeRef exists_rec(NodeRef a, std::uint32_t lo_var, std::uint32_t hi_var,
                      std::unordered_map<NodeRef, NodeRef>& memo);
@@ -147,8 +150,14 @@ class Manager {
                       std::size_t& count) const;
 
   std::uint32_t num_vars_;
+  std::uint64_t generation_ = 0;
   std::vector<Node> nodes_;
-  std::unordered_map<UniqueKey, NodeRef, UniqueKeyHash> unique_;
+  // Intrusive chained unique table: buckets hold node indices, chains run
+  // through Node::next inside the arena. Replaces std::unordered_map —
+  // mk() is the engine's hottest call and the map's find/emplace machinery
+  // dominated whole-bench profiles.
+  std::vector<NodeRef> table_;  // power-of-2 size
+  std::size_t table_mask_ = 0;
   std::vector<ApplyEntry> apply_cache_;
   std::vector<NegateEntry> negate_cache_;
 };

@@ -1,7 +1,6 @@
 #include "bdd/serialize.hpp"
 
 #include <cstring>
-#include <unordered_map>
 
 namespace tulkun::bdd {
 
@@ -27,16 +26,33 @@ std::uint32_t get_u32(std::span<const std::uint8_t> bytes, std::size_t& pos) {
 }
 
 // Post-order collection: children appear before parents, so local indices
-// in the output always reference already-emitted nodes.
-void collect_postorder(const Manager& mgr, NodeRef r,
+// in the output always reference already-emitted nodes. Iterative with an
+// explicit stack — predicates flooded through deep rule chains produce
+// BDDs whose depth exceeds comfortable recursion limits.
+void collect_postorder(const Manager& mgr, NodeRef root,
                        std::unordered_map<NodeRef, std::uint32_t>& local,
                        std::vector<NodeRef>& order) {
-  if (r < 2 || local.contains(r)) return;
-  const Node& n = mgr.node(r);
-  collect_postorder(mgr, n.low, local, order);
-  collect_postorder(mgr, n.high, local, order);
-  local.emplace(r, static_cast<std::uint32_t>(order.size()) + 2);
-  order.push_back(r);
+  if (root < 2) return;
+  struct Frame {
+    NodeRef ref;
+    bool expanded;
+  };
+  std::vector<Frame> stack;
+  stack.push_back({root, false});
+  while (!stack.empty()) {
+    auto [r, expanded] = stack.back();
+    stack.pop_back();
+    if (r < 2 || local.contains(r)) continue;
+    if (expanded) {
+      local.emplace(r, static_cast<std::uint32_t>(order.size()) + 2);
+      order.push_back(r);
+      continue;
+    }
+    const Node& n = mgr.node(r);
+    stack.push_back({r, true});
+    stack.push_back({n.high, false});
+    stack.push_back({n.low, false});
+  }
 }
 
 std::uint32_t local_ref(
@@ -95,6 +111,26 @@ NodeRef deserialize(Manager& mgr, std::span<const std::uint8_t> bytes) {
     refs.push_back(mgr.mk(var, resolve(lo), resolve(hi)));
   }
   return resolve(root_local);
+}
+
+std::shared_ptr<const std::vector<std::uint8_t>> SerializeCache::get(
+    const Manager& mgr, NodeRef root) {
+  const Key key{&mgr, mgr.generation(), root};
+  const auto it = entries_.find(key);
+  if (it != entries_.end()) {
+    ++hits_;
+    return it->second;
+  }
+  ++misses_;
+  if (entries_.size() >= max_entries_) {
+    // Lossy: drop everything rather than track recency. Working sets in a
+    // verification session are far below the cap; overflow means churn.
+    entries_.clear();
+  }
+  auto bytes =
+      std::make_shared<const std::vector<std::uint8_t>>(serialize(mgr, root));
+  entries_.emplace(key, bytes);
+  return bytes;
 }
 
 }  // namespace tulkun::bdd

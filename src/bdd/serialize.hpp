@@ -7,7 +7,9 @@
 #pragma once
 
 #include <cstdint>
+#include <memory>
 #include <span>
+#include <unordered_map>
 #include <vector>
 
 #include "bdd/manager.hpp"
@@ -26,5 +28,51 @@ namespace tulkun::bdd {
 
 /// Size in bytes that serialize() would produce (for message accounting).
 [[nodiscard]] std::size_t serialized_size(const Manager& mgr, NodeRef root);
+
+/// Memoizes serialize(): a predicate flooded to N destinations (or re-sent
+/// unchanged) is serialized once and the bytes are shared thereafter.
+///
+/// Keyed by (source manager, manager generation, NodeRef). BDD nodes are
+/// immutable and managers never recycle NodeRefs within a generation
+/// (reset() bumps the generation), so a hit is always byte-identical to a
+/// fresh serialize. Not thread-safe: use one cache per worker thread.
+class SerializeCache {
+ public:
+  explicit SerializeCache(std::size_t max_entries = 1 << 16)
+      : max_entries_(max_entries) {}
+
+  /// serialize(mgr, root), memoized. The returned buffer is shared with
+  /// the cache; callers must treat it as immutable.
+  [[nodiscard]] std::shared_ptr<const std::vector<std::uint8_t>> get(
+      const Manager& mgr, NodeRef root);
+
+  [[nodiscard]] std::uint64_t hits() const { return hits_; }
+  [[nodiscard]] std::uint64_t misses() const { return misses_; }
+  [[nodiscard]] std::size_t size() const { return entries_.size(); }
+  void clear() { entries_.clear(); }
+
+ private:
+  struct Key {
+    const Manager* mgr;
+    std::uint64_t generation;
+    NodeRef root;
+    friend bool operator==(const Key&, const Key&) = default;
+  };
+  struct KeyHash {
+    std::size_t operator()(const Key& k) const noexcept {
+      std::size_t seed = std::hash<const void*>{}(k.mgr);
+      hash_combine(seed, k.generation);
+      hash_combine(seed, k.root);
+      return seed;
+    }
+  };
+
+  std::size_t max_entries_;
+  std::unordered_map<Key, std::shared_ptr<const std::vector<std::uint8_t>>,
+                     KeyHash>
+      entries_;
+  std::uint64_t hits_ = 0;
+  std::uint64_t misses_ = 0;
+};
 
 }  // namespace tulkun::bdd

@@ -1,7 +1,5 @@
 #include "dvm/codec.hpp"
 
-#include "bdd/serialize.hpp"
-
 namespace tulkun::dvm {
 
 namespace {
@@ -10,9 +8,12 @@ constexpr std::uint8_t kTagUpdate = 1;
 constexpr std::uint8_t kTagSubscribe = 2;
 constexpr std::uint8_t kTagLinkState = 3;
 constexpr std::uint8_t kTagPathSet = 4;
+constexpr std::uint8_t kTagFrame = 0xF5;  // multi-envelope frame header
 
 class Writer {
  public:
+  explicit Writer(bdd::SerializeCache* cache = nullptr) : cache_(cache) {}
+
   void u8(std::uint8_t v) { out_.push_back(v); }
   void u32(std::uint32_t v) {
     for (int i = 0; i < 4; ++i) out_.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
@@ -25,7 +26,11 @@ class Writer {
     out_.insert(out_.end(), b.begin(), b.end());
   }
   void pred(const packet::PacketSet& p) {
-    bytes(bdd::serialize(*p.manager(), p.ref()));
+    if (cache_ != nullptr) {
+      bytes(*cache_->get(*p.manager(), p.ref()));
+    } else {
+      bytes(bdd::serialize(*p.manager(), p.ref()));
+    }
   }
   void counts(const count::CountSet& c) {
     u32(static_cast<std::uint32_t>(c.size()));
@@ -37,6 +42,7 @@ class Writer {
   [[nodiscard]] std::vector<std::uint8_t> take() { return std::move(out_); }
 
  private:
+  bdd::SerializeCache* cache_;
   std::vector<std::uint8_t> out_;
 };
 
@@ -95,8 +101,9 @@ class Reader {
 
 }  // namespace
 
-std::vector<std::uint8_t> encode(const Envelope& env) {
-  Writer w;
+std::vector<std::uint8_t> encode(const Envelope& env,
+                                 bdd::SerializeCache* cache) {
+  Writer w(cache);
   w.u32(env.src);
   w.u32(env.dst);
   if (const auto* u = std::get_if<UpdateMessage>(&env.msg)) {
@@ -211,6 +218,45 @@ Envelope decode(std::span<const std::uint8_t> bytes,
   }
   r.done();
   return env;
+}
+
+std::vector<std::uint8_t> encode_frame(std::span<const Envelope> envs,
+                                       bdd::SerializeCache* cache) {
+  Writer w(cache);
+  w.u8(kTagFrame);
+  w.u32(static_cast<std::uint32_t>(envs.size()));
+  for (const Envelope& env : envs) {
+    w.bytes(encode(env, cache));
+  }
+  return w.take();
+}
+
+std::vector<Envelope> decode_frame(std::span<const std::uint8_t> bytes,
+                                   packet::PacketSpace& space) {
+  // The header is read manually (no predicate decoding at frame level).
+  if (bytes.empty() || bytes[0] != kTagFrame) {
+    throw Error("dvm decode: not a frame");
+  }
+  std::size_t pos = 1;
+  const auto u32 = [&]() -> std::uint32_t {
+    if (pos + 4 > bytes.size()) throw Error("dvm decode: truncated frame");
+    std::uint32_t v = 0;
+    for (int i = 0; i < 4; ++i) {
+      v |= static_cast<std::uint32_t>(bytes[pos++]) << (8 * i);
+    }
+    return v;
+  };
+  const std::uint32_t count = u32();
+  std::vector<Envelope> out;
+  out.reserve(count);
+  for (std::uint32_t i = 0; i < count; ++i) {
+    const std::uint32_t len = u32();
+    if (pos + len > bytes.size()) throw Error("dvm decode: truncated frame");
+    out.push_back(decode(bytes.subspan(pos, len), space));
+    pos += len;
+  }
+  if (pos != bytes.size()) throw Error("dvm decode: trailing bytes");
+  return out;
 }
 
 std::size_t encoded_size(const Envelope& env) {

@@ -10,17 +10,31 @@
 #include <span>
 #include <vector>
 
+#include "bdd/serialize.hpp"
 #include "dvm/message.hpp"
 
 namespace tulkun::dvm {
 
 /// Serializes an envelope. Predicates are encoded as BDD node lists.
-[[nodiscard]] std::vector<std::uint8_t> encode(const Envelope& env);
+/// When `cache` is non-null, predicate serializations are memoized through
+/// it (a predicate flooded to N destinations is serialized once).
+[[nodiscard]] std::vector<std::uint8_t> encode(
+    const Envelope& env, bdd::SerializeCache* cache = nullptr);
 
 /// Decodes an envelope; predicates are rebuilt inside `space`.
 /// Throws Error on malformed input.
 [[nodiscard]] Envelope decode(std::span<const std::uint8_t> bytes,
                               packet::PacketSpace& space);
+
+/// Serializes several envelopes into one multi-envelope frame. The sharded
+/// runtime batches all traffic for one destination into a single frame, so
+/// per-message queue overhead is paid once per (sender burst, destination).
+[[nodiscard]] std::vector<std::uint8_t> encode_frame(
+    std::span<const Envelope> envs, bdd::SerializeCache* cache = nullptr);
+
+/// Decodes a multi-envelope frame. Throws Error on malformed input.
+[[nodiscard]] std::vector<Envelope> decode_frame(
+    std::span<const std::uint8_t> bytes, packet::PacketSpace& space);
 
 /// encode(env).size() without materializing the buffer contents
 /// (used for fast message accounting; exact).

@@ -4,6 +4,7 @@
 #include <chrono>
 
 #include "core/rng.hpp"
+#include "runtime/sharded_runtime.hpp"
 #include "spec/builtins.hpp"
 
 namespace tulkun::eval {
@@ -19,6 +20,30 @@ regex::Ast any_to(DeviceId dst) {
   return regex::Ast::concat(
       {regex::Ast::star(regex::Ast::symbols_node(regex::SymbolSet::any())),
        regex::Ast::symbols_node(regex::SymbolSet::single(dst))});
+}
+
+/// Projects a host-speed overhead measurement onto a switch profile. Every
+/// duration scales by the profile's CPU factor; memory is speed-invariant;
+/// CPU load (busy/timeline) is scale-invariant to first order — compute
+/// dominates both numerator and timeline, and host timing noise between
+/// two measured runs exceeds the link-propagation correction.
+Harness::DeviceOverhead scale_overhead(const Harness::DeviceOverhead& host,
+                                       double cpu_scale) {
+  Harness::DeviceOverhead out;
+  for (const double v : host.init_seconds.values()) {
+    out.init_seconds.add(v * cpu_scale);
+  }
+  out.init_memory = host.init_memory;
+  out.init_cpu = host.init_cpu;
+  for (const double v : host.msg_seconds.values()) {
+    out.msg_seconds.add(v * cpu_scale);
+  }
+  out.msg_memory = host.msg_memory;
+  out.msg_cpu = host.msg_cpu;
+  for (const double v : host.per_message_seconds.values()) {
+    out.per_message_seconds.add(v * cpu_scale);
+  }
+  return out;
 }
 
 }  // namespace
@@ -116,7 +141,7 @@ Harness::TulkunRun Harness::start_tulkun(const spec::FaultSpec& faults) {
   runtime::SimConfig scfg;
   scfg.cpu_scale = opts_.cpu_scale;
   tr.sim = std::make_unique<runtime::EventSimulator>(topo_, scfg);
-  tr.sim->make_devices(*tr.space);
+  tr.sim->make_devices(*tr.space, opts_.engine);
   for (const auto& plan : plans) {
     tr.sim->install(plan);
   }
@@ -340,6 +365,21 @@ Harness::FaultResult Harness::run_faults(std::size_t n_scenes,
 
 Harness::DeviceOverhead Harness::measure_overhead(
     const SwitchProfile& profile, std::size_t n_updates) {
+  return scale_overhead(measure_overhead_host(n_updates), profile.cpu_scale);
+}
+
+std::vector<std::pair<SwitchProfile, Harness::DeviceOverhead>>
+Harness::measure_overhead_all(std::size_t n_updates) {
+  const DeviceOverhead host = measure_overhead_host(n_updates);
+  std::vector<std::pair<SwitchProfile, DeviceOverhead>> out;
+  for (const auto& profile : switch_profiles()) {
+    out.emplace_back(profile, scale_overhead(host, profile.cpu_scale));
+  }
+  return out;
+}
+
+Harness::DeviceOverhead Harness::measure_overhead_host(
+    std::size_t n_updates) {
   DeviceOverhead out;
   constexpr double kCores = 4.0;
 
@@ -355,11 +395,12 @@ Harness::DeviceOverhead Harness::measure_overhead(
   std::vector<std::unique_ptr<verifier::OnDeviceVerifier>> devices;
   std::vector<double> init_durations(topo_.device_count(), 0.0);
   for (DeviceId d = 0; d < topo_.device_count(); ++d) {
-    auto dev = std::make_unique<verifier::OnDeviceVerifier>(d, topo_, *space);
+    auto dev = std::make_unique<verifier::OnDeviceVerifier>(
+        d, topo_, *space, opts_.engine);
     for (const auto& plan : plans) dev->install(plan);
     const auto t0 = std::chrono::steady_clock::now();
     (void)dev->initialize(net.table(d));
-    const double dur = seconds_since(t0) * profile.cpu_scale;
+    const double dur = seconds_since(t0);
     init_durations[d] = dur;
     out.init_seconds.add(dur);
     out.init_memory.add(static_cast<double>(dev->memory_bytes()));
@@ -375,9 +416,9 @@ Harness::DeviceOverhead Harness::measure_overhead(
   // Phase 2 (Fig 15): run the full evaluation in the simulator, collecting
   // the DVM message trace per device, then report processing costs.
   runtime::SimConfig scfg;
-  scfg.cpu_scale = profile.cpu_scale;
+  scfg.cpu_scale = 1.0;
   runtime::EventSimulator sim(topo_, scfg);
-  sim.make_devices(*space);
+  sim.make_devices(*space, opts_.engine);
   for (const auto& plan : plans) sim.install(plan);
   for (DeviceId d = 0; d < topo_.device_count(); ++d) {
     sim.post_initialize(d, net.table(d), 0.0);
@@ -410,6 +451,52 @@ Harness::DeviceOverhead Harness::measure_overhead(
     out.msg_memory.add(static_cast<double>(sim.device(d).memory_bytes()));
     out.msg_cpu.add(now > 0.0 ? busy / (now * kCores) : 0.0);
   }
+  return out;
+}
+
+Harness::DistributedRun Harness::run_distributed(std::size_t n_updates) {
+  DistributedRun out;
+
+  // Plan in a dedicated space; the runtime localizes each plan into every
+  // device's private space through the wire codec.
+  packet::PacketSpace plan_space;
+  planner::Planner planner(topo_, plan_space);
+  double plan_seconds = 0.0;
+  const auto plans =
+      plan_all(plan_space, planner, spec::FaultSpec{}, &plan_seconds);
+
+  runtime::ShardedRuntime rt(topo_, opts_.engine);
+  out.shards = rt.shard_count();
+  for (const auto& plan : plans) rt.install(plan);
+
+  const auto net = synthesize(
+      topo_, SynthOptions{opts_.ecmp_width, spec_.extra_rules, opts_.seed});
+  const auto t0 = std::chrono::steady_clock::now();
+  for (DeviceId d = 0; d < topo_.device_count(); ++d) {
+    rt.post_initialize(d, net.table(d));
+  }
+  rt.wait_quiescent();
+  out.burst_wall_seconds = seconds_since(t0);
+
+  auto scratch = synthesize(
+      topo_, SynthOptions{opts_.ecmp_width, spec_.extra_rules, opts_.seed});
+  auto plan = random_updates(topo_, scratch, n_updates, opts_.seed + 1);
+  std::vector<std::shared_ptr<const fib::FibUpdate>> handles(
+      plan.steps.size());
+  for (std::size_t i = 0; i < plan.steps.size(); ++i) {
+    auto& step = plan.steps[i];
+    fib::FibUpdate upd = step.update;
+    if (step.erase_of >= 0) {
+      upd.rule_id = handles[static_cast<std::size_t>(step.erase_of)]->rule_id;
+    }
+    const auto u0 = std::chrono::steady_clock::now();
+    handles[i] = rt.post_rule_update(upd.device, upd);
+    rt.wait_quiescent();
+    out.incremental_wall_seconds.add(seconds_since(u0));
+  }
+
+  out.violations = rt.violations().size();
+  out.metrics = rt.metrics();
   return out;
 }
 

@@ -27,6 +27,9 @@ struct HarnessOptions {
   /// Bound per-dataset work: verify at most this many destination devices
   /// (0 = all). The same sample drives every tool.
   std::size_t max_destinations = 0;
+  /// Per-device engine knobs, forwarded to the simulator's verifiers and
+  /// to the sharded runtime (whose pool size is engine.runtime_shards).
+  dvm::EngineConfig engine;
 };
 
 /// The §9.4 switch models, expressed as CPU slowdown factors relative to
@@ -97,6 +100,23 @@ class Harness {
   DeviceOverhead measure_overhead(const SwitchProfile& profile,
                                   std::size_t n_updates);
 
+  /// All §9.4 switch profiles from ONE host measurement: every profile is
+  /// a pure CPU slowdown factor, so durations are measured once at host
+  /// speed and scaled per profile (4x cheaper than four measured runs).
+  std::vector<std::pair<SwitchProfile, DeviceOverhead>> measure_overhead_all(
+      std::size_t n_updates);
+
+  struct DistributedRun {
+    double burst_wall_seconds = 0.0;     // wall clock, not virtual time
+    Samples incremental_wall_seconds;
+    std::size_t violations = 0;
+    std::size_t shards = 0;
+    runtime::RuntimeMetrics metrics;
+  };
+  /// Replays the Figure 11 scenario on the sharded worker-pool runtime
+  /// (wall-clock; opts.engine.runtime_shards selects the pool size).
+  DistributedRun run_distributed(std::size_t n_updates);
+
   /// Figure 13: planner latency to compute the k-link-failure tolerant
   /// DPVNets. Returns (seconds, scenes, capped?).
   struct PlanLatency {
@@ -123,6 +143,9 @@ class Harness {
     double now = 0.0;  // virtual time reached
   };
   TulkunRun start_tulkun(const spec::FaultSpec& faults);
+
+  /// The measurement behind measure_overhead*: host CPU speed (scale 1).
+  DeviceOverhead measure_overhead_host(std::size_t n_updates);
 
   DatasetSpec spec_;
   HarnessOptions opts_;

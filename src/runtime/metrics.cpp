@@ -1,5 +1,59 @@
 #include "runtime/metrics.hpp"
 
-// Currently header-only; kept as a translation unit anchor so the metrics
-// types have a home if they grow out-of-line members.
-namespace tulkun::runtime {}
+#include <ostream>
+
+namespace tulkun::runtime {
+
+double RuntimeMetrics::transfer_cache_hit_rate() const {
+  const std::uint64_t total = transfer_cache_hits + transfer_cache_misses;
+  return total == 0 ? 0.0
+                    : static_cast<double>(transfer_cache_hits) /
+                          static_cast<double>(total);
+}
+
+double RuntimeMetrics::mean_batch_size() const {
+  return frames == 0
+             ? 0.0
+             : static_cast<double>(envelopes) / static_cast<double>(frames);
+}
+
+void RuntimeMetrics::merge(const RuntimeMetrics& other) {
+  if (jobs_per_shard.size() < other.jobs_per_shard.size()) {
+    jobs_per_shard.resize(other.jobs_per_shard.size(), 0);
+  }
+  for (std::size_t i = 0; i < other.jobs_per_shard.size(); ++i) {
+    jobs_per_shard[i] += other.jobs_per_shard[i];
+  }
+  jobs += other.jobs;
+  frames += other.frames;
+  envelopes += other.envelopes;
+  frame_bytes += other.frame_bytes;
+  transfer_cache_hits += other.transfer_cache_hits;
+  transfer_cache_misses += other.transfer_cache_misses;
+  for (const double v : other.batch_size.values()) batch_size.add(v);
+  for (const double v : other.queue_wait_seconds.values()) {
+    queue_wait_seconds.add(v);
+  }
+}
+
+void print_metrics(std::ostream& os, const RuntimeMetrics& m) {
+  os << "  shards: " << m.jobs_per_shard.size() << ", jobs/shard: [";
+  for (std::size_t i = 0; i < m.jobs_per_shard.size(); ++i) {
+    os << (i ? " " : "") << m.jobs_per_shard[i];
+  }
+  os << "]\n";
+  os << "  frames: " << m.frames << " carrying " << m.envelopes
+     << " envelopes (" << format_bytes(static_cast<double>(m.frame_bytes))
+     << "), mean batch " << m.mean_batch_size() << "\n";
+  os << "  transfer cache: " << m.transfer_cache_hits << " hits / "
+     << m.transfer_cache_misses << " misses (hit rate "
+     << m.transfer_cache_hit_rate() << ")\n";
+  if (!m.queue_wait_seconds.empty()) {
+    os << "  queue wait: p50 "
+       << format_duration(m.queue_wait_seconds.quantile(0.5)) << ", p99 "
+       << format_duration(m.queue_wait_seconds.quantile(0.99)) << ", max "
+       << format_duration(m.queue_wait_seconds.max()) << "\n";
+  }
+}
+
+}  // namespace tulkun::runtime

@@ -1,8 +1,10 @@
-// Runtime measurement containers shared by the simulator, the thread
-// runtime, and the evaluation harness.
+// Runtime measurement containers shared by the simulator, the sharded
+// worker-pool runtime, and the evaluation harness.
 #pragma once
 
 #include <cstdint>
+#include <iosfwd>
+#include <vector>
 
 #include "core/stats.hpp"
 
@@ -17,6 +19,31 @@ struct RunStats {
   Samples per_device_busy_seconds; // total busy time per device (filled at end)
 };
 
-/// Localizing helpers for distributed runtimes live in thread_runtime.hpp.
+/// Counters of one ShardedRuntime run: how work spread over shards, how
+/// well per-destination batching and the cross-space transfer cache did,
+/// and how long jobs waited in shard queues. Aggregated from per-shard
+/// counters; read only while the runtime is quiescent.
+struct RuntimeMetrics {
+  std::vector<std::uint64_t> jobs_per_shard;
+  std::uint64_t jobs = 0;       // handled jobs (init + update + frame)
+  std::uint64_t frames = 0;     // batched message frames enqueued
+  std::uint64_t envelopes = 0;  // envelopes carried inside those frames
+  std::uint64_t frame_bytes = 0;
+  std::uint64_t transfer_cache_hits = 0;
+  std::uint64_t transfer_cache_misses = 0;
+  Samples batch_size;          // envelopes per frame
+  Samples queue_wait_seconds;  // enqueue -> dequeue latency per job
+
+  [[nodiscard]] double transfer_cache_hit_rate() const;
+  [[nodiscard]] double mean_batch_size() const;
+
+  /// Accumulates another shard's (or run's) counters into this one.
+  void merge(const RuntimeMetrics& other);
+};
+
+/// One-line-per-counter human-readable dump (bench binaries).
+void print_metrics(std::ostream& os, const RuntimeMetrics& m);
+
+/// Localizing helpers for distributed runtimes live in sharded_runtime.hpp.
 
 }  // namespace tulkun::runtime

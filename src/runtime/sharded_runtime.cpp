@@ -1,0 +1,272 @@
+#include "runtime/sharded_runtime.hpp"
+
+#include <algorithm>
+#include <map>
+
+#include "dvm/codec.hpp"
+
+namespace tulkun::runtime {
+
+namespace {
+
+packet::PacketSet transfer(const packet::PacketSet& p,
+                           packet::PacketSpace& target) {
+  const auto bytes = bdd::serialize(*p.manager(), p.ref());
+  return target.wrap(bdd::deserialize(target.manager(), bytes));
+}
+
+}  // namespace
+
+spec::Invariant localize_invariant(const spec::Invariant& inv,
+                                   packet::PacketSpace& target) {
+  spec::Invariant out = inv;
+  out.packet_space = transfer(inv.packet_space, target);
+  return out;
+}
+
+fib::Rule localize_rule(const fib::Rule& rule, packet::PacketSpace& target) {
+  fib::Rule out = rule;
+  if (rule.extra_match) {
+    out.extra_match = transfer(*rule.extra_match, target);
+  }
+  return out;
+}
+
+fib::FibTable localize_fib(const fib::FibTable& fib,
+                           packet::PacketSpace& target) {
+  fib::FibTable out;
+  for (const fib::Rule* r : fib.ordered()) {
+    out.insert(localize_rule(*r, target));
+  }
+  return out;
+}
+
+ShardedRuntime::ShardedRuntime(const topo::Topology& topo,
+                               dvm::EngineConfig cfg)
+    : topo_(&topo), cfg_(cfg) {
+  devices_.reserve(topo.device_count());
+  for (DeviceId d = 0; d < topo.device_count(); ++d) {
+    Device dev;
+    dev.dev = d;
+    dev.space = std::make_unique<packet::PacketSpace>();
+    dev.verifier = std::make_unique<verifier::OnDeviceVerifier>(
+        d, topo, *dev.space, cfg);
+    devices_.push_back(std::move(dev));
+  }
+
+  std::size_t n_shards = cfg.runtime_shards;
+  if (n_shards == 0) {
+    n_shards = std::max(1u, std::thread::hardware_concurrency());
+  }
+  // More shards than devices would idle; cap (also keeps tiny tests light).
+  n_shards = std::max<std::size_t>(
+      1, std::min<std::size_t>(n_shards, devices_.size()));
+  shards_.reserve(n_shards);
+  for (std::size_t s = 0; s < n_shards; ++s) {
+    auto shard = std::make_unique<Shard>();
+    shard->local.jobs_per_shard.assign(n_shards, 0);
+    shards_.push_back(std::move(shard));
+  }
+  for (std::size_t s = 0; s < n_shards; ++s) {
+    shards_[s]->thread = std::thread([this, s] { worker_loop(s); });
+  }
+}
+
+ShardedRuntime::~ShardedRuntime() {
+  stopping_.store(true);
+  for (auto& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard->mu);
+    shard->cv.notify_all();
+  }
+  for (auto& shard : shards_) {
+    if (shard->thread.joinable()) shard->thread.join();
+  }
+}
+
+void ShardedRuntime::install(const planner::InvariantPlan& plan) {
+  // Installation happens between work waves; localize on the caller thread
+  // while each device space is otherwise untouched. The next enqueue's
+  // shard mutex publishes the installed state to the shard thread.
+  wait_quiescent();
+  for (auto& dev : devices_) {
+    planner::InvariantPlan local = plan;
+    local.inv = localize_invariant(plan.inv, *dev.space);
+    dev.verifier->install(local);
+  }
+}
+
+void ShardedRuntime::enqueue(Job job) {
+  job.enqueued = std::chrono::steady_clock::now();
+  Shard& shard = *shards_[shard_of(job.dev)];
+  inflight_.fetch_add(1, std::memory_order_relaxed);
+  {
+    std::lock_guard<std::mutex> lock(shard.mu);
+    shard.queue.push_back(std::move(job));
+  }
+  shard.cv.notify_one();
+}
+
+void ShardedRuntime::finish_one() {
+  if (inflight_.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+    // Regression note: the notify must be ordered with the waiter's
+    // predicate check — take the quiesce mutex (even empty) so the wake
+    // cannot slip between the waiter's load and its sleep.
+    std::lock_guard<std::mutex> lock(quiesce_mu_);
+    quiesce_cv_.notify_all();
+  }
+}
+
+ShardedRuntime::WireRule ShardedRuntime::to_wire(const fib::Rule& rule) {
+  WireRule out;
+  out.rule = rule;
+  if (rule.extra_match) {
+    out.extra_bytes =
+        bdd::serialize(*rule.extra_match->manager(), rule.extra_match->ref());
+    out.rule.extra_match.reset();
+  }
+  return out;
+}
+
+fib::Rule ShardedRuntime::from_wire(const WireRule& wire,
+                                    packet::PacketSpace& space) {
+  fib::Rule out = wire.rule;
+  if (!wire.extra_bytes.empty()) {
+    out.extra_match =
+        space.wrap(bdd::deserialize(space.manager(), wire.extra_bytes));
+  }
+  return out;
+}
+
+void ShardedRuntime::post_initialize(DeviceId dev, const fib::FibTable& fib) {
+  Job job;
+  job.kind = Job::Kind::Init;
+  job.dev = dev;
+  // Flatten to wire form on the caller thread (reads only the caller's
+  // space); the shard thread rebuilds rules in the device's own space.
+  for (const fib::Rule* r : fib.ordered()) job.rules.push_back(to_wire(*r));
+  enqueue(std::move(job));
+}
+
+std::shared_ptr<const fib::FibUpdate> ShardedRuntime::post_rule_update(
+    DeviceId dev, const fib::FibUpdate& update) {
+  Job job;
+  job.kind = Job::Kind::Update;
+  job.dev = dev;
+  job.update = std::make_shared<fib::FibUpdate>(update);
+  if (update.kind == fib::FibUpdate::Kind::Insert) {
+    job.update_rule = to_wire(update.rule);
+    job.update->rule = fib::Rule{};
+  }
+  std::shared_ptr<const fib::FibUpdate> handle = job.update;
+  enqueue(std::move(job));
+  return handle;
+}
+
+void ShardedRuntime::wait_quiescent() {
+  std::unique_lock<std::mutex> lock(quiesce_mu_);
+  quiesce_cv_.wait(lock, [this] {
+    return inflight_.load(std::memory_order_acquire) == 0;
+  });
+}
+
+std::vector<dvm::Violation> ShardedRuntime::violations() {
+  std::vector<dvm::Violation> out;
+  for (auto& dev : devices_) {
+    auto v = dev.verifier->violations();
+    out.insert(out.end(), std::make_move_iterator(v.begin()),
+               std::make_move_iterator(v.end()));
+  }
+  return out;
+}
+
+RuntimeMetrics ShardedRuntime::metrics() const {
+  RuntimeMetrics out;
+  out.jobs_per_shard.assign(shards_.size(), 0);
+  for (const auto& shard : shards_) {
+    out.merge(shard->local);
+    out.transfer_cache_hits += shard->transfer_cache.hits();
+    out.transfer_cache_misses += shard->transfer_cache.misses();
+  }
+  return out;
+}
+
+void ShardedRuntime::handle(Shard& shard, Job& job) {
+  Device& dev = devices_[job.dev];
+  std::vector<dvm::Envelope> out;
+  switch (job.kind) {
+    case Job::Kind::Init: {
+      fib::FibTable local;
+      for (const auto& wr : job.rules) {
+        local.insert(from_wire(wr, *dev.space));
+      }
+      out = dev.verifier->initialize(std::move(local));
+      break;
+    }
+    case Job::Kind::Update: {
+      fib::FibUpdate local = *job.update;
+      if (local.kind == fib::FibUpdate::Kind::Insert) {
+        local.rule = from_wire(job.update_rule, *dev.space);
+      }
+      out = dev.verifier->apply_rule_update(local);
+      // Publish the assigned id (and, on erase, the removed rule's prefix
+      // match — but not its extra predicate, which belongs to this space)
+      // back through the caller's handle.
+      job.update->rule_id = local.rule_id;
+      break;
+    }
+    case Job::Kind::Frame: {
+      const auto envs = dvm::decode_frame(job.bytes, *dev.space);
+      for (const auto& env : envs) {
+        auto msgs = dev.verifier->on_message(env);
+        out.insert(out.end(), std::make_move_iterator(msgs.begin()),
+                   std::make_move_iterator(msgs.end()));
+      }
+      break;
+    }
+  }
+  // Encode outgoing envelopes on this shard (sender's spaces), coalescing
+  // everything bound for the same destination into one frame. Predicate
+  // serialization is memoized per shard, so an UPDATE flooded to N
+  // neighbors serializes its BDD once.
+  std::map<DeviceId, std::vector<dvm::Envelope>> by_dst;
+  for (auto& env : out) {
+    by_dst[env.dst].push_back(std::move(env));
+  }
+  for (auto& [dst, envs] : by_dst) {
+    Job next;
+    next.kind = Job::Kind::Frame;
+    next.dev = dst;
+    next.bytes = dvm::encode_frame(envs, &shard.transfer_cache);
+    shard.local.frames += 1;
+    shard.local.envelopes += envs.size();
+    shard.local.frame_bytes += next.bytes.size();
+    shard.local.batch_size.add(static_cast<double>(envs.size()));
+    enqueue(std::move(next));
+  }
+}
+
+void ShardedRuntime::worker_loop(std::size_t shard_index) {
+  Shard& shard = *shards_[shard_index];
+  while (true) {
+    std::vector<Job> batch;
+    {
+      std::unique_lock<std::mutex> lock(shard.mu);
+      shard.cv.wait(lock, [&] {
+        return stopping_.load() || !shard.queue.empty();
+      });
+      if (stopping_.load() && shard.queue.empty()) return;
+      batch.swap(shard.queue);
+    }
+    const auto drained = std::chrono::steady_clock::now();
+    for (auto& job : batch) {
+      shard.local.queue_wait_seconds.add(
+          std::chrono::duration<double>(drained - job.enqueued).count());
+      handle(shard, job);
+      shard.local.jobs_per_shard[shard_index] += 1;
+      shard.local.jobs += 1;
+      finish_one();
+    }
+  }
+}
+
+}  // namespace tulkun::runtime

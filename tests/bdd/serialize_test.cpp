@@ -86,5 +86,55 @@ TEST(BddSerialize, RandomFormulaRoundTrips) {
   }
 }
 
+TEST(SerializeCache, HitsOnRepeatedRoots) {
+  Manager m(16);
+  SerializeCache cache;
+  const NodeRef f = m.land(m.var(0), m.var(3));
+  const auto first = cache.get(m, f);
+  const auto again = cache.get(m, f);
+  EXPECT_EQ(first.get(), again.get());  // same shared buffer
+  EXPECT_EQ(*first, serialize(m, f));
+  EXPECT_EQ(cache.hits(), 1u);
+  EXPECT_EQ(cache.misses(), 1u);
+  EXPECT_EQ(cache.size(), 1u);
+}
+
+TEST(SerializeCache, DistinguishesRootsAndManagers) {
+  Manager a(16);
+  Manager b(16);
+  SerializeCache cache;
+  const NodeRef fa = a.land(a.var(0), a.var(1));
+  const NodeRef fb = b.land(b.var(0), b.var(1));
+  EXPECT_EQ(*cache.get(a, fa), *cache.get(b, fb));  // same bytes...
+  EXPECT_EQ(cache.misses(), 2u);  // ...but separate entries
+  (void)cache.get(a, a.var(0));
+  EXPECT_EQ(cache.size(), 3u);
+}
+
+TEST(SerializeCache, ResetInvalidatesViaGeneration) {
+  Manager m(16);
+  SerializeCache cache;
+  const NodeRef f = m.land(m.var(0), m.var(1));
+  const auto before = *cache.get(m, f);
+  const auto gen = m.generation();
+  m.reset();
+  EXPECT_GT(m.generation(), gen);
+  // Same numeric ref, different generation: must re-serialize, not reuse.
+  const NodeRef g = m.lor(m.var(2), m.var(5));
+  EXPECT_EQ(*cache.get(m, g), serialize(m, g));
+  EXPECT_NE(*cache.get(m, g), before);
+  EXPECT_EQ(cache.hits(), 1u);  // only the immediate repeat of g
+}
+
+TEST(SerializeCache, EvictsWhenFull) {
+  Manager m(16);
+  SerializeCache cache(/*max_entries=*/2);
+  (void)cache.get(m, m.var(0));
+  (void)cache.get(m, m.var(1));
+  (void)cache.get(m, m.var(2));  // trips the clear-all eviction
+  EXPECT_LE(cache.size(), 2u);
+  EXPECT_EQ(*cache.get(m, m.var(0)), serialize(m, m.var(0)));
+}
+
 }  // namespace
 }  // namespace tulkun::bdd
