@@ -34,6 +34,17 @@ int main(int argc, char** argv) {
   bench::run_sharded_section(eval::dataset("INet2"), args, args.updates,
                              json);
 
+  // Large-FIB profile (the hot-path indexing target, BENCH_HOTPATH.json):
+  // same WAN topology, ~62k rules, so per-update cost is dominated by the
+  // device table walks rather than runtime overhead.
+  eval::DatasetSpec xl = eval::dataset("INet2");
+  xl.name = "INet2-XL";
+  xl.prefixes_per_device = 96;
+  xl.extra_rules = 7;
+  auto xl_args = args;
+  xl_args.max_destinations = 6;
+  bench::run_sharded_section(xl, xl_args, args.updates, json);
+
   json.write(args.json_path);
   return 0;
 }

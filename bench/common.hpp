@@ -176,12 +176,27 @@ inline void run_sharded_section(const eval::DatasetSpec& spec,
   if (!run.incremental_wall_seconds.empty()) {
     json.add(p + "incremental_wall_p50",
              run.incremental_wall_seconds.quantile(0.5));
+    json.add(p + "incremental_wall_p99",
+             run.incremental_wall_seconds.quantile(0.99));
   }
   json.add(p + "transfer_cache_hit_rate",
            run.metrics.transfer_cache_hit_rate());
   json.add(p + "mean_batch_size", run.metrics.mean_batch_size());
   json.add(p + "frames", run.metrics.frames);
   json.add(p + "envelopes", run.metrics.envelopes);
+  json.add(p + "phase.lec_delta_seconds", run.metrics.lec_delta_seconds);
+  json.add(p + "phase.recompute_seconds", run.metrics.recompute_seconds);
+  json.add(p + "phase.emit_seconds", run.metrics.emit_seconds);
+  for (std::size_t k = 0; k < fib::kNumIndexKinds; ++k) {
+    const auto& c = run.metrics.index[k];
+    if (c.queries == 0) continue;
+    const std::string ip =
+        p + "index." + fib::index_kind_name(static_cast<fib::IndexKind>(k)) +
+        ".";
+    json.add(ip + "queries", c.queries);
+    json.add(ip + "skip_rate", c.skip_rate());
+    json.add(ip + "full_scans", c.full_scans);
+  }
 }
 
 }  // namespace tulkun::bench

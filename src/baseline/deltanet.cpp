@@ -134,8 +134,13 @@ class DeltaNetVerifier final : public CentralizedVerifier {
 
   void apply_range(const fib::NetworkFib& net, DeviceId dev,
                    std::size_t first, std::size_t last) {
-    for (std::size_t i = first; i < last; ++i) {
-      label_atom(net, dev, i, /*set=*/false);  // clear old rule's edges
+    // Clear the atoms on every out-edge rather than following the plane's
+    // cached rule pointer: an Erase update has already freed that rule, so
+    // dereferencing it here would read freed memory. The set pass below
+    // re-establishes exactly the edges the new winning rules use.
+    for (const auto& adj : net.topology().neighbors(dev)) {
+      auto& label = graph_->label(dev, adj.neighbor);
+      for (std::size_t i = first; i < last; ++i) label.reset(i);
     }
     plane_.set_range(net, atoms_, dev, first, last);
     for (std::size_t i = first; i < last; ++i) {

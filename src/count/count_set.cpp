@@ -84,6 +84,23 @@ CountSet CountSet::minimized(const spec::CountExpr& cmp) const {
   return out;
 }
 
+std::size_t CountSet::hash() const {
+  // FNV-1a over the flattened tuples, with per-tuple length separators so
+  // {(1,2)} and {(1),(2)} hash differently; fold in truncated_ last since
+  // the defaulted operator== distinguishes it.
+  std::size_t h = 1469598103934665603ULL;
+  const auto mix = [&h](std::size_t v) {
+    h ^= v;
+    h *= 1099511628211ULL;
+  };
+  for (const auto& v : elems_) {
+    mix(v.size() + 0x9e3779b97f4a7c15ULL);
+    for (const std::uint32_t c : v) mix(c);
+  }
+  mix(truncated_ ? 2 : 1);
+  return h;
+}
+
 void CountSet::truncate(std::size_t max_elems) {
   if (elems_.size() > max_elems) {
     elems_.resize(max_elems);

@@ -73,6 +73,11 @@ class CountSet {
 
   [[nodiscard]] std::string to_string() const;
 
+  /// Hash consistent with operator== (covers elements AND the truncation
+  /// flag). Usable as an unordered_map key; the canonical sorted-unique
+  /// representation makes equal sets hash equal.
+  [[nodiscard]] std::size_t hash() const;
+
   friend bool operator==(const CountSet&, const CountSet&) = default;
 
  private:
@@ -80,6 +85,13 @@ class CountSet {
 
   std::vector<CountVec> elems_;  // sorted lexicographically, unique
   bool truncated_ = false;
+};
+
+/// Hash functor for using CountSet as an unordered container key.
+struct CountSetHash {
+  std::size_t operator()(const CountSet& s) const noexcept {
+    return s.hash();
+  }
 };
 
 /// Evaluates a behavior tree on one universe tuple.

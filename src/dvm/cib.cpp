@@ -1,7 +1,5 @@
 #include "dvm/cib.hpp"
 
-#include <algorithm>
-
 namespace tulkun::dvm {
 
 void CibIn::apply(const std::vector<packet::PacketSet>& withdrawn,
@@ -9,17 +7,22 @@ void CibIn::apply(const std::vector<packet::PacketSet>& withdrawn,
   if (!withdrawn.empty()) {
     packet::PacketSet w = withdrawn.front();
     for (std::size_t i = 1; i < withdrawn.size(); ++i) w |= withdrawn[i];
-    for (auto& e : entries_) e.pred -= w;
-    std::erase_if(entries_, [](const CountEntry& e) { return e.pred.empty(); });
+    if (!w.empty()) {
+      entries_.mutate_candidates(w, [&](CountEntry& e) { e.pred -= w; });
+    }
   }
   for (const auto& r : results) {
     if (r.pred.empty()) continue;
     // Defensive disjointness: the protocol guarantees incoming results fall
     // inside the withdrawn region, but a buggy/byzantine sender must not
-    // corrupt the table.
+    // corrupt the table. Only entries overlapping r's hull can intersect
+    // it; stop as soon as nothing of r survives.
     CountEntry clean = r;
-    for (const auto& e : entries_) clean.pred -= e.pred;
-    if (!clean.pred.empty()) entries_.push_back(std::move(clean));
+    entries_.for_candidates(r.pred, [&](const CountEntry& e) {
+      clean.pred -= e.pred;
+      return !clean.pred.empty();
+    });
+    if (!clean.pred.empty()) entries_.insert(std::move(clean));
   }
 }
 
@@ -27,13 +30,15 @@ std::vector<CountEntry> CibIn::lookup(const packet::PacketSet& region,
                                       std::size_t arity) const {
   std::vector<CountEntry> out;
   packet::PacketSet remaining = region;
-  for (const auto& e : entries_) {
-    if (remaining.empty()) break;
-    const auto inter = remaining & e.pred;
-    if (!inter.empty()) {
-      out.push_back(CountEntry{inter, e.counts});
-      remaining -= inter;
-    }
+  if (!remaining.empty()) {
+    entries_.for_candidates(region, [&](const CountEntry& e) {
+      const auto inter = remaining & e.pred;
+      if (!inter.empty()) {
+        out.push_back(CountEntry{inter, e.counts});
+        remaining -= inter;
+      }
+      return !remaining.empty();
+    });
   }
   if (!remaining.empty()) {
     out.push_back(CountEntry{remaining, count::CountSet::zeros(arity)});
@@ -41,20 +46,114 @@ std::vector<CountEntry> CibIn::lookup(const packet::PacketSet& region,
   return out;
 }
 
-std::vector<CountEntry> merge_by_counts(const std::vector<LocEntry>& entries) {
-  std::vector<CountEntry> out;
-  for (const auto& e : entries) {
-    const auto it = std::find_if(out.begin(), out.end(),
-                                 [&](const CountEntry& o) {
-                                   return o.counts == e.counts;
-                                 });
-    if (it == out.end()) {
-      out.push_back(CountEntry{e.pred, e.counts});
-    } else {
-      it->pred |= e.pred;
+void LocStore::insert(LocEntry e) {
+  const packet::Ipv4Prefix pred_hull = packet::dst_prefix_hull(e.pred);
+  const packet::Ipv4Prefix down_hull = packet::dst_prefix_hull(e.down_pred);
+  std::uint32_t id;
+  if (!free_.empty()) {
+    id = free_.back();
+    free_.pop_back();
+    slots_[id] = std::move(e);
+    pred_hulls_[id] = pred_hull;
+    down_hulls_[id] = down_hull;
+    alive_[id] = true;
+  } else {
+    id = static_cast<std::uint32_t>(slots_.size());
+    slots_.push_back(std::move(e));
+    pred_hulls_.push_back(pred_hull);
+    down_hulls_.push_back(down_hull);
+    alive_.push_back(true);
+  }
+  by_pred_.insert(id, pred_hull);
+  by_down_.insert(id, down_hull);
+  ++live_;
+}
+
+void LocStore::erase_slot(std::uint32_t id) {
+  by_pred_.erase(id, pred_hulls_[id]);
+  by_down_.erase(id, down_hulls_[id]);
+  alive_[id] = false;
+  free_.push_back(id);
+  slots_[id] = LocEntry{};
+  --live_;
+}
+
+void LocStore::clear() {
+  slots_.clear();
+  pred_hulls_.clear();
+  down_hulls_.clear();
+  alive_.clear();
+  free_.clear();
+  by_pred_.clear();
+  by_down_.clear();
+  live_ = 0;
+}
+
+void LocStore::subtract(const packet::PacketSet& region) {
+  if (live_ == 0 || region.empty()) return;
+  const packet::Ipv4Prefix hull = packet::dst_prefix_hull(region);
+  scratch_.clear();
+  if (!fib::prefix_index_enabled() || hull.len == 0) {
+    fib::index_counters_add(fib::IndexKind::Loc, 1, live_, 0, 1);
+    for (std::size_t i = 0; i < slots_.size(); ++i) {
+      if (alive_[i]) scratch_.push_back(static_cast<std::uint32_t>(i));
+    }
+  } else {
+    by_pred_.collect(hull, scratch_);
+    fib::index_counters_add(fib::IndexKind::Loc, 1, scratch_.size(),
+                            live_ - scratch_.size(), 0);
+  }
+  for (const std::uint32_t id : scratch_) {
+    LocEntry& e = slots_[id];
+    e.pred -= region;
+    if (e.pred.empty()) {
+      erase_slot(id);
+      continue;
+    }
+    const packet::Ipv4Prefix now = packet::dst_prefix_hull(e.pred);
+    if (now != pred_hulls_[id]) {
+      by_pred_.erase(id, pred_hulls_[id]);
+      by_pred_.insert(id, now);
+      pred_hulls_[id] = now;
     }
   }
+}
+
+packet::PacketSet LocStore::affected_region(const packet::PacketSet& updated,
+                                            packet::PacketSet seed) const {
+  packet::PacketSet region = std::move(seed);
+  if (live_ == 0 || updated.empty()) return region;
+  const packet::Ipv4Prefix hull = packet::dst_prefix_hull(updated);
+  if (!fib::prefix_index_enabled() || hull.len == 0) {
+    fib::index_counters_add(fib::IndexKind::Loc, 1, live_, 0, 1);
+    for (std::size_t i = 0; i < slots_.size(); ++i) {
+      if (alive_[i] && slots_[i].down_pred.intersects(updated)) {
+        region |= slots_[i].pred;
+      }
+    }
+    return region;
+  }
+  scratch_.clear();
+  by_down_.collect(hull, scratch_);
+  fib::index_counters_add(fib::IndexKind::Loc, 1, scratch_.size(),
+                          live_ - scratch_.size(), 0);
+  for (const std::uint32_t id : scratch_) {
+    if (slots_[id].down_pred.intersects(updated)) region |= slots_[id].pred;
+  }
+  return region;
+}
+
+std::vector<LocEntry> LocStore::snapshot() const {
+  std::vector<LocEntry> out;
+  out.reserve(live_);
+  for_each([&](const LocEntry& e) { out.push_back(e); });
   return out;
+}
+
+std::vector<CountEntry> merge_by_counts(const std::vector<LocEntry>& entries) {
+  CountMerger merger;
+  for (const auto& e : entries) merger.add(e.pred, e.counts);
+  return merger.take();
 }
 
 packet::PacketSet pred_union(const std::vector<CountEntry>& entries,

@@ -1,16 +1,21 @@
 // Counting information bases (§5.1): CIBIn, LocCIB, CIBOut.
 #pragma once
 
+#include <unordered_map>
 #include <vector>
 
+#include "count/count_set.hpp"
 #include "dvm/message.hpp"
+#include "fib/prefix_index.hpp"
 #include "fib/rule.hpp"
 
 namespace tulkun::dvm {
 
 /// CIBIn(v): the latest counting results received from downstream node v.
 /// Entries hold disjoint predicates; packets not covered by any entry have
-/// zero counts (nothing deliverable through v is known for them).
+/// zero counts (nothing deliverable through v is known for them). Entries
+/// are prefix-indexed by their dst hull, so apply/lookup touch only the
+/// entries overlapping the update's region instead of the whole table.
 class CibIn {
  public:
   /// Applies an UPDATE (step 1 of §5.2): withdrawn predicates are removed
@@ -19,16 +24,20 @@ class CibIn {
              const std::vector<CountEntry>& results);
 
   /// Splits `region` into disjoint (pred, counts) pieces; uncovered packets
-  /// appear with zero counts of the given arity.
+  /// appear with zero counts of the given arity. Piece order is
+  /// unspecified (entries are disjoint, so piece content is order-free).
   [[nodiscard]] std::vector<CountEntry> lookup(
       const packet::PacketSet& region, std::size_t arity) const;
 
-  [[nodiscard]] const std::vector<CountEntry>& entries() const {
-    return entries_;
+  [[nodiscard]] std::size_t size() const { return entries_.size(); }
+
+  /// Copy of the live entries in unspecified order (tests, snapshots).
+  [[nodiscard]] std::vector<CountEntry> entries() const {
+    return entries_.snapshot();
   }
 
  private:
-  std::vector<CountEntry> entries_;
+  fib::RegionIndexed<CountEntry> entries_{fib::IndexKind::CibIn};
 };
 
 /// One LocCIB row: the predicate, its action at this device, the counts,
@@ -41,8 +50,84 @@ struct LocEntry {
   count::CountSet counts;
 };
 
-/// Merges entries with equal counts (CIBOut preparation, step 3 of §5.2:
-/// strip action/causality and merge by count value).
+/// The LocCIB of one DPVNet node: rows indexed by TWO dst-prefix hulls —
+/// the row predicate (for recompute's subtract-and-rederive) and the
+/// downstream predicate (for finding rows affected by a child's UPDATE).
+/// Rows hold disjoint `pred`s, so iteration order never changes content.
+class LocStore {
+ public:
+  [[nodiscard]] std::size_t size() const { return live_; }
+  [[nodiscard]] bool empty() const { return live_ == 0; }
+
+  void insert(LocEntry e);
+  void clear();
+
+  /// Visits every live row. fn: (const LocEntry&) -> void.
+  template <typename Fn>
+  void for_each(Fn&& fn) const {
+    for (std::size_t i = 0; i < slots_.size(); ++i) {
+      if (alive_[i]) fn(slots_[i]);
+    }
+  }
+
+  /// Removes `region` from every overlapping row's predicate (step 2 of
+  /// recompute: drop what will be re-derived); erases emptied rows.
+  void subtract(const packet::PacketSet& region);
+
+  /// Union of `pred` over rows whose downstream predicate (causality link)
+  /// intersects `updated`; `seed` must be the space's empty set.
+  [[nodiscard]] packet::PacketSet affected_region(
+      const packet::PacketSet& updated, packet::PacketSet seed) const;
+
+  /// Copy of the live rows in unspecified order (tests, snapshots).
+  [[nodiscard]] std::vector<LocEntry> snapshot() const;
+
+ private:
+  void erase_slot(std::uint32_t id);
+
+  std::vector<LocEntry> slots_;
+  std::vector<packet::Ipv4Prefix> pred_hulls_;
+  std::vector<packet::Ipv4Prefix> down_hulls_;
+  std::vector<bool> alive_;
+  std::vector<std::uint32_t> free_;
+  fib::PrefixTrie by_pred_;
+  fib::PrefixTrie by_down_;
+  std::size_t live_ = 0;
+  mutable std::vector<std::uint32_t> scratch_;
+};
+
+/// Incremental merge of (pred, counts) rows by count value (CIBOut
+/// preparation, step 3 of §5.2). Buckets by CountSet hash instead of
+/// linearly scanning the output for an equal set.
+class CountMerger {
+ public:
+  void add(const packet::PacketSet& pred, const count::CountSet& counts) {
+    const auto it = buckets_.find(counts);
+    if (it == buckets_.end()) {
+      buckets_.emplace(counts, pred);
+    } else {
+      it->second |= pred;
+    }
+  }
+
+  /// Drains the merged entries (unspecified order).
+  [[nodiscard]] std::vector<CountEntry> take() {
+    std::vector<CountEntry> out;
+    out.reserve(buckets_.size());
+    for (auto& [counts, pred] : buckets_) {
+      out.push_back(CountEntry{pred, counts});
+    }
+    buckets_.clear();
+    return out;
+  }
+
+ private:
+  std::unordered_map<count::CountSet, packet::PacketSet, count::CountSetHash>
+      buckets_;
+};
+
+/// Merges entries with equal counts (strip action/causality and merge by
+/// count value). Output order is unspecified.
 [[nodiscard]] std::vector<CountEntry> merge_by_counts(
     const std::vector<LocEntry>& entries);
 

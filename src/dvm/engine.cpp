@@ -1,6 +1,7 @@
 #include "dvm/engine.hpp"
 
 #include <algorithm>
+#include <chrono>
 
 #include "fib/fib_table.hpp"
 
@@ -12,6 +13,13 @@ namespace {
 spec::CountExpr effective_count_expr(const spec::Behavior& atom) {
   if (atom.op == spec::MatchOpKind::Exist) return atom.count;
   return spec::CountExpr{spec::CountExpr::Cmp::Ge, 1};
+}
+
+/// merge_by_counts over a LocStore's live rows.
+std::vector<CountEntry> merged_counts(const LocStore& loc) {
+  CountMerger merger;
+  loc.for_each([&](const LocEntry& e) { merger.add(e.pred, e.counts); });
+  return merger.take();
 }
 
 }  // namespace
@@ -34,6 +42,7 @@ DeviceEngine::DeviceEngine(DeviceId dev, const dpvnet::DpvNet& dag,
     NodeState ns;
     ns.id = id;
     ns.scope = inv.packet_space;
+    ns.out_cover = space.none();
     node_index_.emplace(id, nodes_.size());
     nodes_.push_back(std::move(ns));
   }
@@ -206,52 +215,61 @@ void DeviceEngine::recompute(NodeState& ns, const packet::PacketSet& region,
                              std::vector<Envelope>& out) {
   const packet::PacketSet scoped = region & ns.scope;
   if (scoped.empty()) return;
-  // Drop rows covering the region, re-derive them, keep the rest.
-  std::vector<LocEntry> kept;
-  kept.reserve(ns.loc.size());
-  for (auto& e : ns.loc) {
-    e.pred -= scoped;
-    if (!e.pred.empty()) kept.push_back(std::move(e));
-  }
-  ns.loc = std::move(kept);
+  const auto t0 = std::chrono::steady_clock::now();
+  // Drop rows covering the region (only rows overlapping it are touched),
+  // re-derive them, keep the rest.
+  ns.loc.subtract(scoped);
   auto fresh = compute_region(ns, scoped, out);
-  for (auto& e : fresh) ns.loc.push_back(std::move(e));
+  for (auto& e : fresh) ns.loc.insert(std::move(e));
+  stats_.recompute_seconds +=
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+          .count();
   emit_updates(ns, out);
 }
 
 void DeviceEngine::emit_updates(NodeState& ns, std::vector<Envelope>& out) {
   const dpvnet::DpvNode& node = dag_->node(ns.id);
   if (node.up.empty()) return;  // nothing upstream to inform
+  const auto t0 = std::chrono::steady_clock::now();
+  const auto done = [&] {
+    stats_.emit_seconds +=
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+            .count();
+  };
 
-  std::vector<CountEntry> out_new = merge_by_counts(ns.loc);
+  CountMerger merger;
+  ns.loc.for_each([&](const LocEntry& e) { merger.add(e.pred, e.counts); });
+  std::vector<CountEntry> out_new = merger.take();
   if (cfg_.minimize_counting_info && arity_ == 1) {
     const spec::CountExpr ce = effective_count_expr(*atoms_.front());
-    for (auto& e : out_new) e.counts = e.counts.minimized(ce);
     // Re-merge: minimization may have made counts equal.
-    std::vector<LocEntry> tmp;
-    tmp.reserve(out_new.size());
-    for (auto& e : out_new) {
-      tmp.push_back(LocEntry{e.pred, e.pred, fib::Action::drop(),
-                             std::move(e.counts)});
-    }
-    out_new = merge_by_counts(tmp);
+    for (const auto& e : out_new) merger.add(e.pred, e.counts.minimized(ce));
+    out_new = merger.take();
   }
 
   // Changed region: pieces where old and new counts differ, plus coverage
-  // differences.
+  // differences. The old×new product is hull-pruned: an old entry whose
+  // hull is disjoint from a new entry's cannot intersect it, so the diff
+  // cost is bounded by the entries around the changed region, not the
+  // table size.
   packet::PacketSet changed = space_->none();
-  for (const auto& o : ns.out_sent) {
-    for (const auto& n : out_new) {
-      if (o.counts == n.counts) continue;
-      const auto inter = o.pred & n.pred;
-      if (!inter.empty()) changed |= inter;
-    }
+  packet::PacketSet new_cover = space_->none();
+  for (const auto& n : out_new) {
+    new_cover |= n.pred;
+    ns.out_sent.for_candidates(n.pred, [&](const CountEntry& o) {
+      if (o.counts != n.counts) {
+        const auto inter = o.pred & n.pred;
+        if (!inter.empty()) changed |= inter;
+      }
+      return true;
+    });
   }
-  const auto old_cover = pred_union(ns.out_sent, space_->none());
-  const auto new_cover = pred_union(out_new, space_->none());
-  changed |= new_cover - old_cover;
-  changed |= old_cover - new_cover;
-  if (changed.empty()) return;
+  changed |= new_cover - ns.out_cover;
+  changed |= ns.out_cover - new_cover;
+  if (changed.empty()) {
+    done();
+    return;
+  }
 
   UpdateMessage base;
   base.invariant = inv_id_;
@@ -268,7 +286,10 @@ void DeviceEngine::emit_updates(NodeState& ns, std::vector<Envelope>& out) {
     out.push_back(Envelope{dev_, dag_->node(up).dev, std::move(msg)});
     ++stats_.updates_sent;
   }
-  ns.out_sent = std::move(out_new);
+  ns.out_sent.clear();
+  for (auto& e : out_new) ns.out_sent.insert(std::move(e));
+  ns.out_cover = std::move(new_cover);
+  done();
 }
 
 std::vector<Envelope> DeviceEngine::set_lec(fib::LecTable lec) {
@@ -316,10 +337,8 @@ std::vector<Envelope> DeviceEngine::on_update(const UpdateMessage& msg) {
   for (const auto& w : msg.withdrawn) updated |= w;
   for (const auto& r : msg.results) updated |= r.pred;
 
-  packet::PacketSet region = space_->none();
-  for (const auto& e : ns.loc) {
-    if (e.down_pred.intersects(updated)) region |= e.pred;
-  }
+  const packet::PacketSet region =
+      ns.loc.affected_region(updated, space_->none());
   recompute(ns, region, out);
   refresh_verdicts();
   return out;
@@ -430,7 +449,7 @@ void DeviceEngine::refresh_verdicts() {
     const auto it = node_index_.find(src);
     if (it == node_index_.end()) continue;
     const NodeState& ns = nodes_[it->second];
-    for (const auto& e : merge_by_counts(ns.loc)) {
+    for (const auto& e : merged_counts(ns.loc)) {
       const auto scoped = e.pred & inv_->packet_space;
       if (scoped.empty() || e.counts.empty()) continue;
       if (!e.counts.all_satisfy(inv_->behavior, atoms_)) {
@@ -444,6 +463,22 @@ void DeviceEngine::refresh_verdicts() {
   }
 }
 
+std::vector<DeviceEngine::NodeSnapshot> DeviceEngine::node_snapshots() const {
+  std::vector<NodeSnapshot> out;
+  out.reserve(nodes_.size());
+  for (const auto& ns : nodes_) {
+    NodeSnapshot snap;
+    snap.id = ns.id;
+    snap.loc = ns.loc.snapshot();
+    snap.out_sent = ns.out_sent.snapshot();
+    for (const auto& [down, cib] : ns.cib_in) {
+      snap.cib_in.emplace(down, cib.entries());
+    }
+    out.push_back(std::move(snap));
+  }
+  return out;
+}
+
 std::vector<std::pair<DeviceId, std::vector<CountEntry>>>
 DeviceEngine::source_results() const {
   std::vector<std::pair<DeviceId, std::vector<CountEntry>>> out;
@@ -452,7 +487,7 @@ DeviceEngine::source_results() const {
     const auto it = node_index_.find(src);
     if (it == node_index_.end()) continue;
     const NodeState& ns = nodes_[it->second];
-    auto merged = merge_by_counts(ns.loc);
+    auto merged = merged_counts(ns.loc);
     for (auto& e : merged) e.pred &= inv_->packet_space;
     std::erase_if(merged,
                   [](const CountEntry& e) { return e.pred.empty(); });

@@ -43,6 +43,10 @@ struct EngineStats {
   std::uint64_t updates_received = 0;
   std::uint64_t subscribes_sent = 0;
   std::uint64_t entries_recomputed = 0;
+  /// Wall time in the LocCIB recompute step (subtract + re-derive).
+  double recompute_seconds = 0.0;
+  /// Wall time building/diffing CIBOut and emitting UPDATEs.
+  double emit_seconds = 0.0;
 };
 
 /// All DVM state of one device for one invariant. The runtime owns one
@@ -92,13 +96,26 @@ class DeviceEngine {
 
   [[nodiscard]] const EngineStats& stats() const { return stats_; }
 
+  /// Test/debug copy of one hosted node's tables, in unspecified order
+  /// (the tables hold disjoint predicates, so order carries no meaning).
+  struct NodeSnapshot {
+    NodeId id = kNoNode;
+    std::vector<LocEntry> loc;
+    std::vector<CountEntry> out_sent;
+    std::map<NodeId, std::vector<CountEntry>> cib_in;
+  };
+  [[nodiscard]] std::vector<NodeSnapshot> node_snapshots() const;
+
  private:
   struct NodeState {
     NodeId id = kNoNode;
-    std::map<NodeId, CibIn> cib_in;       // per downstream node
-    std::vector<LocEntry> loc;
-    std::vector<CountEntry> out_sent;     // last transmitted upstream
-    packet::PacketSet scope;              // inv space ∪ subscribed regions
+    std::map<NodeId, CibIn> cib_in;  // per downstream node
+    LocStore loc;
+    // Last transmitted upstream, prefix-indexed for the old×new diff, with
+    // its predicate union cached so emit_updates need not re-fold it.
+    fib::RegionIndexed<CountEntry> out_sent{fib::IndexKind::OutSent};
+    packet::PacketSet out_cover;
+    packet::PacketSet scope;  // inv space ∪ subscribed regions
     std::map<NodeId, packet::PacketSet> sub_sent;  // per child: subscribed
   };
 

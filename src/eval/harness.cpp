@@ -456,6 +456,8 @@ Harness::DeviceOverhead Harness::measure_overhead_host(
 
 Harness::DistributedRun Harness::run_distributed(std::size_t n_updates) {
   DistributedRun out;
+  // Scope the process-global index counters to this run.
+  fib::index_counters_reset();
 
   // Plan in a dedicated space; the runtime localizes each plan into every
   // device's private space through the wire codec.

@@ -9,6 +9,8 @@ namespace tulkun::fib {
 std::uint64_t FibTable::insert(Rule rule) {
   rule.id = next_id_++;
   const std::uint64_t id = rule.id;
+  TULKUN_ASSERT(id <= UINT32_MAX);  // trie ids are 32-bit
+  by_prefix_.insert(static_cast<std::uint32_t>(id), rule.dst_prefix);
   by_id_.emplace(id, std::move(rule));
   return id;
 }
@@ -19,6 +21,7 @@ Rule FibTable::erase(std::uint64_t id) {
     throw Error("FibTable::erase: no rule with id " + std::to_string(id));
   }
   Rule out = std::move(it->second);
+  by_prefix_.erase(static_cast<std::uint32_t>(id), out.dst_prefix);
   by_id_.erase(it);
   return out;
 }
@@ -47,9 +50,19 @@ std::vector<const Rule*> FibTable::ordered() const {
 std::vector<const Rule*> FibTable::overlapping(
     const packet::Ipv4Prefix& prefix) const {
   std::vector<const Rule*> out;
-  for (const auto& [id, r] : by_id_) {
-    if (r.dst_prefix.covers(prefix) || prefix.covers(r.dst_prefix)) {
-      out.push_back(&r);
+  if (prefix_index_enabled()) {
+    std::vector<std::uint32_t> ids;
+    by_prefix_.collect(prefix, ids);
+    index_counters_add(IndexKind::Fib, 1, ids.size(),
+                       by_id_.size() - ids.size(), 0);
+    out.reserve(ids.size());
+    for (const std::uint32_t id : ids) out.push_back(&by_id_.at(id));
+  } else {
+    index_counters_add(IndexKind::Fib, 1, by_id_.size(), 0, 1);
+    for (const auto& [id, r] : by_id_) {
+      if (r.dst_prefix.covers(prefix) || prefix.covers(r.dst_prefix)) {
+        out.push_back(&r);
+      }
     }
   }
   std::stable_sort(out.begin(), out.end(), [](const Rule* a, const Rule* b) {

@@ -6,6 +6,7 @@
 #include <map>
 #include <vector>
 
+#include "fib/prefix_index.hpp"
 #include "fib/rule.hpp"
 
 namespace tulkun::fib {
@@ -31,7 +32,10 @@ class FibTable {
   [[nodiscard]] std::vector<const Rule*> ordered() const;
 
   /// Rules whose destination prefix overlaps `prefix` (either covers the
-  /// other). Used by incremental LEC recomputation to bound work.
+  /// other). Used by incremental LEC recomputation to bound work. Answered
+  /// from a prefix trie over rule dst prefixes: overlap is exactly
+  /// ancestor-or-descendant, so the trie result is exact, not a candidate
+  /// superset.
   [[nodiscard]] std::vector<const Rule*> overlapping(
       const packet::Ipv4Prefix& prefix) const;
 
@@ -40,6 +44,7 @@ class FibTable {
 
  private:
   std::map<std::uint64_t, Rule> by_id_;
+  PrefixTrie by_prefix_;  // rule id (narrowed) -> dst_prefix
   std::uint64_t next_id_ = 1;
 };
 

@@ -6,11 +6,25 @@
 
 namespace tulkun::fib {
 
+void LecTable::build_index() {
+  for (std::size_t i = 0; i < entries_.size(); ++i) {
+    if (entries_[i].pred.empty()) continue;
+    by_hull_.insert(static_cast<std::uint32_t>(i),
+                    packet::dst_prefix_hull(entries_[i].pred));
+  }
+}
+
 const Action& LecTable::action_of(const packet::PacketSet& p) const {
   TULKUN_ASSERT(!p.empty());
-  for (const auto& lec : entries_) {
-    if (p.subset_of(lec.pred)) return lec.action;
-  }
+  const Action* found = nullptr;
+  for_overlapping(p, [&](const Lec& lec) {
+    if (p.subset_of(lec.pred)) {
+      found = &lec.action;
+      return false;
+    }
+    return true;
+  });
+  if (found != nullptr) return *found;
   // Unmatched space is implicit Drop when not materialized.
   static const Action kDrop = Action::drop();
   return kDrop;
@@ -19,14 +33,14 @@ const Action& LecTable::action_of(const packet::PacketSet& p) const {
 std::vector<Lec> LecTable::partition(const packet::PacketSet& region) const {
   std::vector<Lec> out;
   packet::PacketSet remaining = region;
-  for (const auto& lec : entries_) {
-    if (remaining.empty()) break;
+  for_overlapping(region, [&](const Lec& lec) {
     const packet::PacketSet inter = remaining & lec.pred;
     if (!inter.empty()) {
       out.push_back(Lec{inter, lec.action});
       remaining -= inter;
     }
-  }
+    return !remaining.empty();
+  });
   if (!remaining.empty()) {
     out.push_back(Lec{remaining, Action::drop()});
   }
@@ -112,13 +126,17 @@ std::vector<LecDelta> LecBuilder::diff(const LecTable& before,
                                        const LecTable& after) const {
   std::vector<LecDelta> out;
   for (const auto& b : before.entries()) {
-    for (const auto& a : after.entries()) {
-      if (b.action == a.action) continue;
-      const packet::PacketSet inter = b.pred & a.pred;
-      if (!inter.empty()) {
-        out.push_back(LecDelta{inter, b.action, a.action});
+    // Pairs whose hulls are disjoint intersect emptily; prune them via
+    // after's index instead of forming the product.
+    after.for_overlapping(b.pred, [&](const Lec& a) {
+      if (b.action != a.action) {
+        const packet::PacketSet inter = b.pred & a.pred;
+        if (!inter.empty()) {
+          out.push_back(LecDelta{inter, b.action, a.action});
+        }
       }
-    }
+      return true;
+    });
   }
   return out;
 }

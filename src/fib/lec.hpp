@@ -7,6 +7,7 @@
 #include <vector>
 
 #include "fib/fib_table.hpp"
+#include "fib/prefix_index.hpp"
 #include "packet/packet_set.hpp"
 
 namespace tulkun::fib {
@@ -22,7 +23,9 @@ struct Lec {
 class LecTable {
  public:
   LecTable() = default;
-  explicit LecTable(std::vector<Lec> entries) : entries_(std::move(entries)) {}
+  explicit LecTable(std::vector<Lec> entries) : entries_(std::move(entries)) {
+    build_index();
+  }
 
   [[nodiscard]] const std::vector<Lec>& entries() const { return entries_; }
   [[nodiscard]] std::size_t size() const { return entries_.size(); }
@@ -32,12 +35,41 @@ class LecTable {
   [[nodiscard]] const Action& action_of(const packet::PacketSet& p) const;
 
   /// Splits `region` by action: returns disjoint (pred, action) pairs
-  /// covering region.
+  /// covering region. Entry order in the result is unspecified (entries
+  /// are disjoint, so the pieces themselves don't depend on it).
   [[nodiscard]] std::vector<Lec> partition(
       const packet::PacketSet& region) const;
 
+  /// Visits entries whose dst-prefix hull overlaps `p`'s — a superset of
+  /// the entries actually intersecting `p`. Entries hulled at /0 (e.g. the
+  /// grouped Drop class) are always visited. fn: (const Lec&) -> bool,
+  /// false = stop.
+  template <typename Fn>
+  void for_overlapping(const packet::PacketSet& p, Fn&& fn) const {
+    if (entries_.empty() || p.empty()) return;
+    const packet::Ipv4Prefix hull = packet::dst_prefix_hull(p);
+    if (!prefix_index_enabled() || hull.len == 0) {
+      index_counters_add(IndexKind::Lec, 1, entries_.size(), 0, 1);
+      for (const auto& lec : entries_) {
+        if (!fn(lec)) return;
+      }
+      return;
+    }
+    scratch_.clear();
+    by_hull_.collect(hull, scratch_);
+    index_counters_add(IndexKind::Lec, 1, scratch_.size(),
+                       entries_.size() - scratch_.size(), 0);
+    for (const std::uint32_t id : scratch_) {
+      if (!fn(entries_[id])) return;
+    }
+  }
+
  private:
+  void build_index();
+
   std::vector<Lec> entries_;
+  PrefixTrie by_hull_;  // entry index -> dst-prefix hull of its predicate
+  mutable std::vector<std::uint32_t> scratch_;
 };
 
 /// A change in the effective action of some packets.

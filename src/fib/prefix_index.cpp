@@ -1,0 +1,143 @@
+#include "fib/prefix_index.hpp"
+
+#include <algorithm>
+
+#include "core/error.hpp"
+
+namespace tulkun::fib {
+
+namespace {
+
+std::array<std::array<std::atomic<std::uint64_t>, 4>, kNumIndexKinds>
+    g_counters{};
+
+std::atomic<bool> g_enabled{true};
+
+}  // namespace
+
+const char* index_kind_name(IndexKind kind) {
+  switch (kind) {
+    case IndexKind::Fib:
+      return "fib";
+    case IndexKind::Lec:
+      return "lec";
+    case IndexKind::CibIn:
+      return "cib_in";
+    case IndexKind::Loc:
+      return "loc";
+    case IndexKind::OutSent:
+      return "out_sent";
+  }
+  return "unknown";
+}
+
+void index_counters_add(IndexKind kind, std::uint64_t queries,
+                        std::uint64_t candidates, std::uint64_t skipped,
+                        std::uint64_t full_scans) {
+  auto& row = g_counters[static_cast<std::size_t>(kind)];
+  row[0].fetch_add(queries, std::memory_order_relaxed);
+  row[1].fetch_add(candidates, std::memory_order_relaxed);
+  row[2].fetch_add(skipped, std::memory_order_relaxed);
+  row[3].fetch_add(full_scans, std::memory_order_relaxed);
+}
+
+std::array<IndexCounters, kNumIndexKinds> index_counters_snapshot() {
+  std::array<IndexCounters, kNumIndexKinds> out{};
+  for (std::size_t k = 0; k < kNumIndexKinds; ++k) {
+    out[k].queries = g_counters[k][0].load(std::memory_order_relaxed);
+    out[k].candidates = g_counters[k][1].load(std::memory_order_relaxed);
+    out[k].skipped = g_counters[k][2].load(std::memory_order_relaxed);
+    out[k].full_scans = g_counters[k][3].load(std::memory_order_relaxed);
+  }
+  return out;
+}
+
+void index_counters_reset() {
+  for (auto& row : g_counters) {
+    for (auto& c : row) c.store(0, std::memory_order_relaxed);
+  }
+}
+
+void set_prefix_index_enabled(bool enabled) {
+  g_enabled.store(enabled, std::memory_order_relaxed);
+}
+
+bool prefix_index_enabled() {
+  return g_enabled.load(std::memory_order_relaxed);
+}
+
+std::int32_t PrefixTrie::walk(const packet::Ipv4Prefix& prefix, bool create) {
+  std::int32_t cur = 0;
+  for (std::uint8_t depth = 0; depth < prefix.len; ++depth) {
+    const int bit = (prefix.addr >> (31 - depth)) & 1U;
+    std::int32_t next = nodes_[cur].child[bit];
+    if (next < 0) {
+      if (!create) return -1;
+      next = static_cast<std::int32_t>(nodes_.size());
+      nodes_[cur].child[bit] = next;
+      nodes_.push_back(Node{});
+    }
+    cur = next;
+  }
+  return cur;
+}
+
+void PrefixTrie::insert(std::uint32_t id, const packet::Ipv4Prefix& prefix) {
+  const std::int32_t node = walk(prefix, /*create=*/true);
+  nodes_[node].ids.push_back(id);
+  // Bump counts along the path (walk again; paths are ≤32 deep).
+  std::int32_t cur = 0;
+  ++nodes_[cur].subtree_ids;
+  for (std::uint8_t depth = 0; depth < prefix.len; ++depth) {
+    const int bit = (prefix.addr >> (31 - depth)) & 1U;
+    cur = nodes_[cur].child[bit];
+    ++nodes_[cur].subtree_ids;
+  }
+}
+
+void PrefixTrie::erase(std::uint32_t id, const packet::Ipv4Prefix& prefix) {
+  const std::int32_t node = walk(prefix, /*create=*/false);
+  TULKUN_ASSERT(node >= 0);
+  auto& ids = nodes_[node].ids;
+  const auto it = std::find(ids.begin(), ids.end(), id);
+  TULKUN_ASSERT(it != ids.end());
+  *it = ids.back();
+  ids.pop_back();
+  std::int32_t cur = 0;
+  --nodes_[cur].subtree_ids;
+  for (std::uint8_t depth = 0; depth < prefix.len; ++depth) {
+    const int bit = (prefix.addr >> (31 - depth)) & 1U;
+    cur = nodes_[cur].child[bit];
+    --nodes_[cur].subtree_ids;
+  }
+}
+
+void PrefixTrie::collect(const packet::Ipv4Prefix& prefix,
+                         std::vector<std::uint32_t>& out) const {
+  // Ancestors (strictly shorter prefixes covering the query).
+  std::int32_t cur = 0;
+  for (std::uint8_t depth = 0; depth < prefix.len; ++depth) {
+    if (nodes_[cur].subtree_ids == 0) return;
+    out.insert(out.end(), nodes_[cur].ids.begin(), nodes_[cur].ids.end());
+    const int bit = (prefix.addr >> (31 - depth)) & 1U;
+    cur = nodes_[cur].child[bit];
+    if (cur < 0) return;
+  }
+  // The query's own node plus everything beneath it.
+  collect_subtree(cur, out);
+}
+
+void PrefixTrie::collect_subtree(std::int32_t node,
+                                 std::vector<std::uint32_t>& out) const {
+  if (node < 0 || nodes_[node].subtree_ids == 0) return;
+  out.insert(out.end(), nodes_[node].ids.begin(), nodes_[node].ids.end());
+  collect_subtree(nodes_[node].child[0], out);
+  collect_subtree(nodes_[node].child[1], out);
+}
+
+void PrefixTrie::clear() {
+  nodes_.clear();
+  nodes_.push_back(Node{});
+}
+
+}  // namespace tulkun::fib

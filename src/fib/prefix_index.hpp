@@ -1,0 +1,247 @@
+// Destination-keyed region index (the device hot path, §4.2/§5.2).
+//
+// Every per-device table Tulkun maintains — FIB rules, LECs, CIBIn entries,
+// LocCIB rows, last-sent CIBOut — keys its entries by BDD predicates that
+// are, in real data planes, overwhelmingly destination-prefix shaped. The
+// structures here exploit that: a binary trie over dst-IP prefixes maps a
+// query region's prefix hull (packet::dst_prefix_hull) to the small set of
+// entries whose hulls are ancestors or descendants of it. Two prefixes
+// overlap iff one covers the other, and a predicate's hull contains the
+// predicate, so any entry outside that candidate set is provably disjoint
+// from the query — no BDD operation needed. Queries whose hull is /0
+// (non-prefix-shaped regions: port-only filters, unions across prefixes,
+// rewrite images) degrade to a full scan, which is the pre-index behavior.
+//
+// PrefixTrie is the raw structure (ids at exact prefixes); RegionIndexed<E>
+// is the table wrapper the DVM tables use (stable slots, hull maintenance
+// across predicate mutation). Per-table effectiveness counters aggregate
+// into process-global atomics surfaced through runtime::metrics.
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <vector>
+
+#include "packet/packet_set.hpp"
+
+namespace tulkun::fib {
+
+/// Which device table an index instance serves (counter attribution).
+enum class IndexKind : std::uint8_t {
+  Fib = 0,      // FibTable::overlapping (rule dst prefixes)
+  Lec = 1,      // LecTable::partition / action_of
+  CibIn = 2,    // dvm::CibIn lookup / apply
+  Loc = 3,      // DeviceEngine LocCIB rows
+  OutSent = 4,  // DeviceEngine last-transmitted CIBOut
+};
+inline constexpr std::size_t kNumIndexKinds = 5;
+
+[[nodiscard]] const char* index_kind_name(IndexKind kind);
+
+/// One table kind's counters (a snapshot; the live counters are atomic).
+struct IndexCounters {
+  std::uint64_t queries = 0;     // indexed lookups answered
+  std::uint64_t candidates = 0;  // entries offered to the caller
+  std::uint64_t skipped = 0;     // entries pruned without touching them
+  std::uint64_t full_scans = 0;  // queries degraded to a full scan
+
+  /// Fraction of entries the index let the caller skip.
+  [[nodiscard]] double skip_rate() const {
+    const std::uint64_t total = candidates + skipped;
+    return total == 0 ? 0.0
+                      : static_cast<double>(skipped) /
+                            static_cast<double>(total);
+  }
+
+  void merge(const IndexCounters& other) {
+    queries += other.queries;
+    candidates += other.candidates;
+    skipped += other.skipped;
+    full_scans += other.full_scans;
+  }
+};
+
+/// Process-global accounting: tables live deep inside per-device engines,
+/// so counters aggregate here instead of being plumbed through every
+/// constructor. Relaxed atomics; negligible next to one BDD operation.
+void index_counters_add(IndexKind kind, std::uint64_t queries,
+                        std::uint64_t candidates, std::uint64_t skipped,
+                        std::uint64_t full_scans);
+[[nodiscard]] std::array<IndexCounters, kNumIndexKinds>
+index_counters_snapshot();
+void index_counters_reset();
+
+/// Kill switch (and the lever the differential property test pulls): when
+/// disabled, every indexed query degrades to the full scan through the
+/// same call sites, so indexed and linear behavior can be compared on
+/// identical code paths.
+void set_prefix_index_enabled(bool enabled);
+[[nodiscard]] bool prefix_index_enabled();
+
+/// A binary trie over IPv4 prefixes holding opaque 32-bit ids at their
+/// exact prefix node. collect() returns the ids on the root path of a
+/// query prefix (entries covering the query) plus the ids in its subtree
+/// (entries the query covers) — exactly the entries whose prefix overlaps
+/// the query's. Nodes are never freed (paths are reused heavily); empty
+/// subtrees are skipped via per-node id counts.
+class PrefixTrie {
+ public:
+  PrefixTrie() { nodes_.push_back(Node{}); }
+
+  void insert(std::uint32_t id, const packet::Ipv4Prefix& prefix);
+  /// Requires (id, prefix) to have been inserted.
+  void erase(std::uint32_t id, const packet::Ipv4Prefix& prefix);
+  /// Appends overlapping ids to `out` (not cleared).
+  void collect(const packet::Ipv4Prefix& prefix,
+               std::vector<std::uint32_t>& out) const;
+  void clear();
+
+  [[nodiscard]] std::size_t size() const { return nodes_[0].subtree_ids; }
+
+ private:
+  struct Node {
+    std::int32_t child[2] = {-1, -1};
+    std::uint32_t subtree_ids = 0;  // ids here + in both subtrees
+    std::vector<std::uint32_t> ids;
+  };
+
+  /// Walks to `prefix`'s node, creating it when `create`; returns -1 when
+  /// absent and !create.
+  std::int32_t walk(const packet::Ipv4Prefix& prefix, bool create);
+  void collect_subtree(std::int32_t node,
+                       std::vector<std::uint32_t>& out) const;
+
+  std::vector<Node> nodes_;  // nodes_[0] is the root (the /0 prefix)
+};
+
+/// An indexed table of entries exposing a `pred` PacketSet member. Entries
+/// live in stable slots; the trie maps each live slot's dst-prefix hull to
+/// its id. Iteration order is slot order for full scans and trie order for
+/// indexed queries — callers must not depend on entry order (the DVM
+/// tables hold disjoint predicates, so their contents are order-free).
+template <typename Entry>
+class RegionIndexed {
+ public:
+  explicit RegionIndexed(IndexKind kind = IndexKind::CibIn) : kind_(kind) {}
+
+  [[nodiscard]] std::size_t size() const { return live_; }
+  [[nodiscard]] bool empty() const { return live_ == 0; }
+
+  void clear() {
+    slots_.clear();
+    hulls_.clear();
+    alive_.clear();
+    free_.clear();
+    trie_.clear();
+    live_ = 0;
+  }
+
+  /// Inserts an entry; requires a non-empty predicate.
+  void insert(Entry e) {
+    const packet::Ipv4Prefix hull = packet::dst_prefix_hull(e.pred);
+    std::uint32_t id;
+    if (!free_.empty()) {
+      id = free_.back();
+      free_.pop_back();
+      slots_[id] = std::move(e);
+      hulls_[id] = hull;
+      alive_[id] = true;
+    } else {
+      id = static_cast<std::uint32_t>(slots_.size());
+      slots_.push_back(std::move(e));
+      hulls_.push_back(hull);
+      alive_.push_back(true);
+    }
+    trie_.insert(id, hull);
+    ++live_;
+  }
+
+  /// Visits every live entry. fn: (const Entry&) -> void.
+  template <typename Fn>
+  void for_each(Fn&& fn) const {
+    for (std::size_t i = 0; i < slots_.size(); ++i) {
+      if (alive_[i]) fn(slots_[i]);
+    }
+  }
+
+  /// Visits entries that may intersect `query` (hull-pruned; callers still
+  /// check real intersection). fn: (const Entry&) -> bool, false = stop.
+  template <typename Fn>
+  void for_candidates(const packet::PacketSet& query, Fn&& fn) const {
+    if (empty()) return;
+    const packet::Ipv4Prefix hull = packet::dst_prefix_hull(query);
+    if (!prefix_index_enabled() || hull.len == 0) {
+      index_counters_add(kind_, 1, live_, 0, 1);
+      for (std::size_t i = 0; i < slots_.size(); ++i) {
+        if (alive_[i] && !fn(slots_[i])) return;
+      }
+      return;
+    }
+    scratch_.clear();
+    trie_.collect(hull, scratch_);
+    index_counters_add(kind_, 1, scratch_.size(), live_ - scratch_.size(),
+                       0);
+    for (const std::uint32_t id : scratch_) {
+      if (!fn(slots_[id])) return;
+    }
+  }
+
+  /// Mutating pass over candidate entries: fn may shrink/grow entry.pred.
+  /// Entries left empty are erased; changed hulls are re-indexed.
+  /// fn: (Entry&) -> void.
+  template <typename Fn>
+  void mutate_candidates(const packet::PacketSet& query, Fn&& fn) {
+    if (empty()) return;
+    const packet::Ipv4Prefix hull = packet::dst_prefix_hull(query);
+    scratch_.clear();
+    if (!prefix_index_enabled() || hull.len == 0) {
+      index_counters_add(kind_, 1, live_, 0, 1);
+      for (std::size_t i = 0; i < slots_.size(); ++i) {
+        if (alive_[i]) scratch_.push_back(static_cast<std::uint32_t>(i));
+      }
+    } else {
+      trie_.collect(hull, scratch_);
+      index_counters_add(kind_, 1, scratch_.size(), live_ - scratch_.size(),
+                         0);
+    }
+    for (const std::uint32_t id : scratch_) {
+      Entry& e = slots_[id];
+      fn(e);
+      if (e.pred.empty()) {
+        trie_.erase(id, hulls_[id]);
+        alive_[id] = false;
+        free_.push_back(id);
+        slots_[id] = Entry{};
+        --live_;
+        continue;
+      }
+      const packet::Ipv4Prefix now = packet::dst_prefix_hull(e.pred);
+      if (now != hulls_[id]) {
+        trie_.erase(id, hulls_[id]);
+        trie_.insert(id, now);
+        hulls_[id] = now;
+      }
+    }
+  }
+
+  /// Dense copy in slot order (tests, protocol snapshots).
+  [[nodiscard]] std::vector<Entry> snapshot() const {
+    std::vector<Entry> out;
+    out.reserve(live_);
+    for_each([&](const Entry& e) { out.push_back(e); });
+    return out;
+  }
+
+ private:
+  PrefixTrie trie_;
+  std::vector<Entry> slots_;
+  std::vector<packet::Ipv4Prefix> hulls_;
+  std::vector<bool> alive_;
+  std::vector<std::uint32_t> free_;
+  std::size_t live_ = 0;
+  IndexKind kind_;
+  mutable std::vector<std::uint32_t> scratch_;
+};
+
+}  // namespace tulkun::fib

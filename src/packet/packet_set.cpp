@@ -137,4 +137,30 @@ std::size_t PacketSet::bdd_nodes() const {
   return mgr_->node_count(ref_);
 }
 
+Ipv4Prefix dst_prefix_hull(const PacketSet& p) {
+  TULKUN_ASSERT(p.valid());
+  TULKUN_ASSERT(!p.empty());
+  const bdd::Manager& mgr = *p.manager();
+  std::uint32_t addr = 0;
+  std::uint8_t len = 0;
+  bdd::NodeRef r = p.ref();
+  // Walk the chain of forced dst-IP decisions. Variable `len` is the next
+  // (MSB-first) dst bit; the chain breaks at the first bit that is skipped
+  // (unconstrained) or branches both ways.
+  while (r >= 2 && len < Layout::kDstIpWidth) {
+    const bdd::Node& n = mgr.node(r);
+    if (n.var != Layout::kDstIpOffset + len) break;
+    if (n.low == bdd::kFalse) {
+      addr |= 1U << (31 - len);
+      r = n.high;
+    } else if (n.high == bdd::kFalse) {
+      r = n.low;
+    } else {
+      break;
+    }
+    ++len;
+  }
+  return Ipv4Prefix{addr, len};
+}
+
 }  // namespace tulkun::packet

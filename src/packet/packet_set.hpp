@@ -121,4 +121,13 @@ struct PacketSetHash {
   }
 };
 
+/// The destination-IP prefix hull of `p`: the longest IPv4 prefix that
+/// contains every packet in the set. Exact and O(prefix length): dst-IP
+/// bits are the topmost BDD variables, so the hull is the maximal chain of
+/// forced decisions from the root. Sets unconstrained on dst-IP (or
+/// constrained only below a union of prefixes) hull to 0.0.0.0/0; callers
+/// treat a /0 hull as "index gives no pruning" and fall back to scanning.
+/// Requires a non-empty, attached set.
+[[nodiscard]] Ipv4Prefix dst_prefix_hull(const PacketSet& p);
+
 }  // namespace tulkun::packet

@@ -34,6 +34,12 @@ void RuntimeMetrics::merge(const RuntimeMetrics& other) {
   for (const double v : other.queue_wait_seconds.values()) {
     queue_wait_seconds.add(v);
   }
+  for (std::size_t k = 0; k < fib::kNumIndexKinds; ++k) {
+    index[k].merge(other.index[k]);
+  }
+  lec_delta_seconds += other.lec_delta_seconds;
+  recompute_seconds += other.recompute_seconds;
+  emit_seconds += other.emit_seconds;
 }
 
 void print_metrics(std::ostream& os, const RuntimeMetrics& m) {
@@ -53,6 +59,19 @@ void print_metrics(std::ostream& os, const RuntimeMetrics& m) {
        << format_duration(m.queue_wait_seconds.quantile(0.5)) << ", p99 "
        << format_duration(m.queue_wait_seconds.quantile(0.99)) << ", max "
        << format_duration(m.queue_wait_seconds.max()) << "\n";
+  }
+  for (std::size_t k = 0; k < fib::kNumIndexKinds; ++k) {
+    const auto& c = m.index[k];
+    if (c.queries == 0) continue;
+    os << "  index[" << fib::index_kind_name(static_cast<fib::IndexKind>(k))
+       << "]: " << c.queries << " queries, " << c.candidates
+       << " candidates, " << c.skipped << " skipped (skip rate "
+       << c.skip_rate() << "), " << c.full_scans << " full scans\n";
+  }
+  if (m.lec_delta_seconds + m.recompute_seconds + m.emit_seconds > 0.0) {
+    os << "  phases: lec-delta " << format_duration(m.lec_delta_seconds)
+       << ", recompute " << format_duration(m.recompute_seconds) << ", emit "
+       << format_duration(m.emit_seconds) << "\n";
   }
 }
 

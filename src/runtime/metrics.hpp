@@ -2,11 +2,13 @@
 // worker-pool runtime, and the evaluation harness.
 #pragma once
 
+#include <array>
 #include <cstdint>
 #include <iosfwd>
 #include <vector>
 
 #include "core/stats.hpp"
+#include "fib/prefix_index.hpp"
 
 namespace tulkun::runtime {
 
@@ -33,6 +35,16 @@ struct RuntimeMetrics {
   std::uint64_t transfer_cache_misses = 0;
   Samples batch_size;          // envelopes per frame
   Samples queue_wait_seconds;  // enqueue -> dequeue latency per job
+
+  /// Per-table prefix-index effectiveness (fib/lec/cib_in/loc/out_sent),
+  /// snapshotted from the process-global counters over the run's window.
+  std::array<fib::IndexCounters, fib::kNumIndexKinds> index;
+
+  /// Wall time per update-processing phase, summed across devices:
+  /// LEC-delta derivation/patching, LocCIB recompute, CIBOut emit.
+  double lec_delta_seconds = 0.0;
+  double recompute_seconds = 0.0;
+  double emit_seconds = 0.0;
 
   [[nodiscard]] double transfer_cache_hit_rate() const;
   [[nodiscard]] double mean_batch_size() const;

@@ -187,6 +187,15 @@ RuntimeMetrics ShardedRuntime::metrics() const {
     out.transfer_cache_hits += shard->transfer_cache.hits();
     out.transfer_cache_misses += shard->transfer_cache.misses();
   }
+  // Prefix-index effectiveness over this process (callers reset the global
+  // counters at run start to scope them to one run).
+  out.index = fib::index_counters_snapshot();
+  for (const auto& dev : devices_) {
+    out.lec_delta_seconds += dev.verifier->stats().lec_delta_seconds;
+    const auto totals = dev.verifier->engine_totals();
+    out.recompute_seconds += totals.recompute_seconds;
+    out.emit_seconds += totals.emit_seconds;
+  }
   return out;
 }
 

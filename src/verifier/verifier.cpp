@@ -1,6 +1,7 @@
 #include "verifier/verifier.hpp"
 
 #include <algorithm>
+#include <chrono>
 
 namespace tulkun::verifier {
 
@@ -75,6 +76,13 @@ std::vector<dvm::Envelope> OnDeviceVerifier::apply_rule_update(
   TULKUN_ASSERT(initialized_);
   TULKUN_ASSERT(update.device == dev_);
 
+  const auto t0 = std::chrono::steady_clock::now();
+  const auto note_lec_delta = [&] {
+    stats_.lec_delta_seconds +=
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+            .count();
+  };
+
   const packet::Ipv4Prefix region_prefix =
       update.kind == fib::FibUpdate::Kind::Insert
           ? update.rule.dst_prefix
@@ -95,10 +103,14 @@ std::vector<dvm::Envelope> OnDeviceVerifier::apply_rule_update(
   const auto deltas = builder_.region_deltas(before, after);
 
   std::vector<dvm::Envelope> out;
-  if (deltas.empty()) return out;  // shadowed update: nothing changed
+  if (deltas.empty()) {
+    note_lec_delta();
+    return out;  // shadowed update: nothing changed
+  }
 
   lec_ = builder_.apply_patch(lec_, region, after);
   ++stats_.lec_patches;
+  note_lec_delta();
   for (auto& inst : installed_) {
     auto msgs = inst.engine->on_lec_deltas(deltas, lec_);
     out.insert(out.end(), std::make_move_iterator(msgs.begin()),
@@ -193,6 +205,31 @@ OnDeviceVerifier::source_results(InvariantId id) const {
     if (inst.id == id) return inst.engine->source_results();
   }
   return {};
+}
+
+dvm::EngineStats OnDeviceVerifier::engine_totals() const {
+  dvm::EngineStats total;
+  for (const auto& inst : installed_) {
+    const auto& s = inst.engine->stats();
+    total.updates_sent += s.updates_sent;
+    total.updates_received += s.updates_received;
+    total.subscribes_sent += s.subscribes_sent;
+    total.entries_recomputed += s.entries_recomputed;
+    total.recompute_seconds += s.recompute_seconds;
+    total.emit_seconds += s.emit_seconds;
+  }
+  return total;
+}
+
+std::vector<std::pair<InvariantId, std::vector<dvm::DeviceEngine::NodeSnapshot>>>
+OnDeviceVerifier::engine_snapshots() const {
+  std::vector<
+      std::pair<InvariantId, std::vector<dvm::DeviceEngine::NodeSnapshot>>>
+      out;
+  for (const auto& inst : installed_) {
+    out.emplace_back(inst.id, inst.engine->node_snapshots());
+  }
+  return out;
 }
 
 std::size_t OnDeviceVerifier::memory_bytes() const {

@@ -23,6 +23,9 @@ struct VerifierStats {
   /// Fault scenes observed that no installed invariant pre-specified;
   /// per §6 these must be reported to the planner.
   std::uint64_t unknown_scene_reports = 0;
+  /// Wall time spent deriving LEC deltas + patching the LEC table on rule
+  /// updates (the "lec-delta" phase; recompute/emit live in EngineStats).
+  double lec_delta_seconds = 0.0;
 };
 
 class OnDeviceVerifier {
@@ -68,6 +71,15 @@ class OnDeviceVerifier {
   source_results(InvariantId id) const;
 
   [[nodiscard]] const VerifierStats& stats() const { return stats_; }
+
+  /// Aggregate engine stats across installed invariants.
+  [[nodiscard]] dvm::EngineStats engine_totals() const;
+
+  /// Test/debug snapshots of every installed engine's node tables,
+  /// keyed by invariant id.
+  [[nodiscard]] std::vector<
+      std::pair<InvariantId, std::vector<dvm::DeviceEngine::NodeSnapshot>>>
+  engine_snapshots() const;
   [[nodiscard]] const fib::FibTable& fib() const { return fib_; }
   [[nodiscard]] const fib::LecTable& lec() const { return lec_; }
 

@@ -192,6 +192,33 @@ TEST(BehaviorEval, AnycastTupleSemantics) {
   EXPECT_EQ(universes.violations(b, atoms).size(), 1u);
 }
 
+TEST(CountSet, HashConsistentWithEquality) {
+  // Equal sets hash equal, however they were built (insert dedupes/sorts,
+  // so construction order must not leak into the hash).
+  auto a = set_of({3, 1, 2});
+  auto b = set_of({2, 3, 1, 1});
+  ASSERT_EQ(a, b);
+  EXPECT_EQ(a.hash(), b.hash());
+
+  // The truncation flag participates in equality, so it must participate
+  // in the hash too.
+  auto c = set_of({1, 2});
+  auto d = set_of({1, 2, 3});
+  d.truncate(2);  // same elements as c, but lossy
+  ASSERT_EQ(c.elems(), d.elems());
+  ASSERT_NE(c, d);
+  EXPECT_NE(c.hash(), d.hash());
+
+  // Element-boundary confusion: {(1,2)} vs {(1),(2)} must not collide.
+  CountSet tup = CountSet::singleton(CountVec{1, 2});
+  CountSet two = set_of({1, 2});
+  ASSERT_NE(tup, two);
+  EXPECT_NE(tup.hash(), two.hash());
+
+  // CountSetHash is the unordered-container adapter for the same hash.
+  EXPECT_EQ(CountSetHash{}(a), a.hash());
+}
+
 TEST(CountSet, ToString) {
   EXPECT_EQ(set_of({0, 1}).to_string(), "{0,1}");
   CountSet tup;

@@ -1,0 +1,178 @@
+#include "fib/prefix_index.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "core/rng.hpp"
+#include "fib/fib_table.hpp"
+
+namespace tulkun::fib {
+namespace {
+
+packet::Ipv4Prefix pfx(const char* cidr) {
+  return packet::Ipv4Prefix::parse(cidr);
+}
+
+std::vector<std::uint32_t> collect_sorted(const PrefixTrie& t,
+                                          const char* cidr) {
+  std::vector<std::uint32_t> out;
+  t.collect(pfx(cidr), out);
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+TEST(PrefixTrie, CollectReturnsAncestorsAndDescendantsOnly) {
+  PrefixTrie t;
+  t.insert(1, pfx("10.0.0.0/8"));     // ancestor of the query
+  t.insert(2, pfx("10.1.0.0/16"));    // the query itself
+  t.insert(3, pfx("10.1.2.0/24"));    // descendant
+  t.insert(4, pfx("10.2.0.0/16"));    // sibling: disjoint
+  t.insert(5, pfx("192.168.0.0/16"));  // unrelated
+  EXPECT_EQ(t.size(), 5u);
+
+  EXPECT_EQ(collect_sorted(t, "10.1.0.0/16"),
+            (std::vector<std::uint32_t>{1, 2, 3}));
+  // Query below a stored leaf: the leaf is an ancestor.
+  EXPECT_EQ(collect_sorted(t, "10.1.2.128/25"),
+            (std::vector<std::uint32_t>{1, 2, 3}));
+  // The /0 query overlaps everything.
+  EXPECT_EQ(collect_sorted(t, "0.0.0.0/0"),
+            (std::vector<std::uint32_t>{1, 2, 3, 4, 5}));
+}
+
+TEST(PrefixTrie, EraseRemovesAndPrunesSubtreeCounts) {
+  PrefixTrie t;
+  t.insert(1, pfx("10.1.0.0/16"));
+  t.insert(2, pfx("10.1.0.0/16"));  // duplicate prefix, distinct id
+  t.erase(1, pfx("10.1.0.0/16"));
+  EXPECT_EQ(collect_sorted(t, "10.1.0.0/16"),
+            (std::vector<std::uint32_t>{2}));
+  t.erase(2, pfx("10.1.0.0/16"));
+  EXPECT_EQ(t.size(), 0u);
+  EXPECT_TRUE(collect_sorted(t, "0.0.0.0/0").empty());
+}
+
+TEST(DstPrefixHull, ExactPrefixesAndUnions) {
+  packet::PacketSpace space;
+  EXPECT_EQ(packet::dst_prefix_hull(space.dst_prefix(pfx("10.0.0.0/24"))),
+            pfx("10.0.0.0/24"));
+  EXPECT_EQ(packet::dst_prefix_hull(space.all()), pfx("0.0.0.0/0"));
+
+  // Adjacent /24s collapse to the exact covering /23.
+  const auto adjacent = space.dst_prefix(pfx("10.0.0.0/24")) |
+                        space.dst_prefix(pfx("10.0.1.0/24"));
+  EXPECT_EQ(packet::dst_prefix_hull(adjacent), pfx("10.0.0.0/23"));
+
+  // Non-adjacent /24s hull to their longest common prefix.
+  const auto apart = space.dst_prefix(pfx("10.0.0.0/24")) |
+                     space.dst_prefix(pfx("10.0.2.0/24"));
+  EXPECT_EQ(packet::dst_prefix_hull(apart), pfx("10.0.0.0/22"));
+
+  // Constraints below dst-IP don't extend the hull...
+  const auto with_port =
+      space.dst_prefix(pfx("10.0.0.0/24")) & space.dst_port(80);
+  EXPECT_EQ(packet::dst_prefix_hull(with_port), pfx("10.0.0.0/24"));
+  // ...and a port-only predicate has no dst hull at all.
+  EXPECT_EQ(packet::dst_prefix_hull(space.dst_port(80)), pfx("0.0.0.0/0"));
+}
+
+struct Probe {
+  packet::PacketSet pred;
+};
+
+TEST(RegionIndexed, CandidatePruningAndMutation) {
+  packet::PacketSpace space;
+  RegionIndexed<Probe> idx(IndexKind::CibIn);
+  idx.insert(Probe{space.dst_prefix(pfx("10.0.0.0/24"))});
+  idx.insert(Probe{space.dst_prefix(pfx("10.0.1.0/24"))});
+  idx.insert(Probe{space.dst_prefix(pfx("192.168.0.0/16"))});
+  EXPECT_EQ(idx.size(), 3u);
+
+  std::size_t visited = 0;
+  idx.for_candidates(space.dst_prefix(pfx("10.0.0.0/24")), [&](const Probe&) {
+    ++visited;
+    return true;
+  });
+  EXPECT_EQ(visited, 1u);  // siblings and unrelated entries pruned
+
+  // Subtracting the whole /24 erases that entry; the others survive.
+  idx.mutate_candidates(space.dst_prefix(pfx("10.0.0.0/24")), [&](Probe& p) {
+    p.pred -= space.dst_prefix(pfx("10.0.0.0/24"));
+  });
+  EXPECT_EQ(idx.size(), 2u);
+
+  // Shrinking an entry re-indexes it under its new hull.
+  idx.mutate_candidates(space.dst_prefix(pfx("192.168.0.0/17")),
+                        [&](Probe& p) {
+                          p.pred &= space.dst_prefix(pfx("192.168.5.0/24"));
+                        });
+  visited = 0;
+  idx.for_candidates(space.dst_prefix(pfx("192.168.5.0/24")),
+                     [&](const Probe&) {
+                       ++visited;
+                       return true;
+                     });
+  EXPECT_EQ(visited, 1u);
+  visited = 0;
+  // A query under the OLD hull but outside the new one finds nothing.
+  idx.for_candidates(space.dst_prefix(pfx("192.168.64.0/24")),
+                     [&](const Probe&) {
+                       ++visited;
+                       return true;
+                     });
+  EXPECT_EQ(visited, 0u);
+}
+
+TEST(RegionIndexed, DisabledIndexDegradesToFullScan) {
+  packet::PacketSpace space;
+  RegionIndexed<Probe> idx(IndexKind::Loc);
+  idx.insert(Probe{space.dst_prefix(pfx("10.0.0.0/24"))});
+  idx.insert(Probe{space.dst_prefix(pfx("192.168.0.0/16"))});
+
+  index_counters_reset();
+  set_prefix_index_enabled(false);
+  std::size_t visited = 0;
+  idx.for_candidates(space.dst_prefix(pfx("10.0.0.0/24")), [&](const Probe&) {
+    ++visited;
+    return true;
+  });
+  set_prefix_index_enabled(true);
+  EXPECT_EQ(visited, 2u);
+
+  const auto counters =
+      index_counters_snapshot()[static_cast<std::size_t>(IndexKind::Loc)];
+  EXPECT_EQ(counters.queries, 1u);
+  EXPECT_EQ(counters.full_scans, 1u);
+  EXPECT_EQ(counters.skipped, 0u);
+}
+
+TEST(FibTableIndex, OverlappingMatchesLinearScan) {
+  Rng rng(7);
+  FibTable fib;
+  for (int i = 0; i < 300; ++i) {
+    Rule r;
+    r.priority = static_cast<std::int32_t>(rng.index(5));
+    const auto len = static_cast<std::uint8_t>(8 + rng.index(17));
+    const auto addr = static_cast<std::uint32_t>(rng.uniform(0, 0xFFFFFFFF));
+    r.dst_prefix = packet::Ipv4Prefix{addr, len};
+    r.action = Action::drop();
+    fib.insert(std::move(r));
+  }
+  for (int q = 0; q < 50; ++q) {
+    const auto len = static_cast<std::uint8_t>(rng.index(33));
+    const packet::Ipv4Prefix query{
+        static_cast<std::uint32_t>(rng.uniform(0, 0xFFFFFFFF)), len};
+    const auto indexed = fib.overlapping(query);
+    set_prefix_index_enabled(false);
+    const auto linear = fib.overlapping(query);
+    set_prefix_index_enabled(true);
+    ASSERT_EQ(indexed.size(), linear.size()) << query.to_string();
+    for (std::size_t i = 0; i < indexed.size(); ++i) {
+      EXPECT_EQ(indexed[i]->id, linear[i]->id);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace tulkun::fib
