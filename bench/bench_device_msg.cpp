@@ -7,6 +7,8 @@
 
 int main(int argc, char** argv) {
   using namespace tulkun;
+  // Device-process re-exec entry for the --transport=uds|tcp section.
+  if (eval::maybe_run_device_role(argc, argv)) return 0;
   const auto args = bench::Args::parse(argc, argv);
   bench::JsonReport json;
 
@@ -39,6 +41,13 @@ int main(int argc, char** argv) {
   // traffic, batched into frames and decoded through the transfer cache.
   bench::run_sharded_section(eval::dataset("INet2"), args, args.updates,
                              json);
+
+  // The same replay across real OS processes when --transport is given:
+  // what the wire costs on top of the shared-memory worker pool.
+  if (!args.transport.empty()) {
+    bench::run_transport_section(eval::dataset("INet2"), args, args.updates,
+                                 json);
+  }
 
   json.write(args.json_path);
   return 0;

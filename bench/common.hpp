@@ -8,6 +8,10 @@
 //   --shards=N       worker-pool size of the sharded runtime sections
 //                    (0 = one worker per hardware thread; the TULKUN_SHARDS
 //                    environment variable sets the same knob, flags win)
+//   --transport=K    inproc|uds|tcp: also run the multi-process
+//                    DistributedRuntime section over that transport
+//                    (binaries that support it; empty = skip)
+//   --procs=N        device processes for the --transport section
 //   --json <path>    also write a flat machine-readable summary (--json=path
 //                    works too)
 //
@@ -25,6 +29,7 @@
 #include <vector>
 
 #include "eval/datasets.hpp"
+#include "eval/dist_run.hpp"
 #include "eval/harness.hpp"
 #include "eval/report.hpp"
 
@@ -75,6 +80,8 @@ struct Args {
   std::size_t fault_scenes = 8;
   std::uint64_t seed = 42;
   std::size_t shards = 0;  // 0 = hardware concurrency
+  std::string transport;   // empty = skip the distributed section
+  std::size_t dist_procs = 2;
   std::string json_path;
 
   static Args parse(int argc, char** argv) {
@@ -106,13 +113,18 @@ struct Args {
         a.seed = std::stoull(v);
       } else if (const char* v = value("--shards=")) {
         a.shards = std::stoul(v);
+      } else if (const char* v = value("--transport=")) {
+        a.transport = v;
+      } else if (const char* v = value("--procs=")) {
+        a.dist_procs = std::stoul(v);
       } else if (const char* v = value("--json=")) {
         a.json_path = v;
       } else if (arg == "--json" && i + 1 < argc) {
         a.json_path = argv[++i];
       } else if (arg == "--help") {
         std::cout << "flags: --full --updates=N --max-dst=N --scenes=N "
-                     "--seed=N --shards=N --json <path>\n";
+                     "--seed=N --shards=N --transport=inproc|uds|tcp "
+                     "--procs=N --json <path>\n";
         std::exit(0);
       }
     }
@@ -197,6 +209,58 @@ inline void run_sharded_section(const eval::DatasetSpec& spec,
     json.add(ip + "skip_rate", c.skip_rate());
     json.add(ip + "full_scans", c.full_scans);
   }
+}
+
+/// Runs the multi-process DistributedRuntime on one dataset over the
+/// transport named by --transport (the binary must call
+/// eval::maybe_run_device_role first thing in main, because the uds/tcp
+/// paths re-exec it for the device processes).
+inline void run_transport_section(const eval::DatasetSpec& spec,
+                                  const Args& args, std::size_t n_updates,
+                                  JsonReport& json) {
+  eval::DistOptions dist;
+  dist.kind = net::parse_transport_kind(args.transport);
+  dist.device_procs = args.dist_procs;
+  dist.n_updates = n_updates;
+  const auto run = eval::dist_run(spec, args.harness_options(), dist);
+
+  std::cout << "\n== Distributed runtime (" << spec.name << ", "
+            << args.dist_procs << " device procs over " << args.transport
+            << ") ==\n";
+  std::cout << "  burst: " << format_duration(run.burst_wall_seconds)
+            << ", violations: " << run.violations << "\n";
+  if (!run.incremental_wall_seconds.empty()) {
+    std::cout << "  incremental: p50 "
+              << format_duration(run.incremental_wall_seconds.quantile(0.5))
+              << ", p99 "
+              << format_duration(run.incremental_wall_seconds.quantile(0.99))
+              << " over " << run.incremental_wall_seconds.size()
+              << " updates\n";
+  }
+  runtime::print_metrics(std::cout, run.metrics);
+
+  const std::string p = "dist." + spec.name + "." + args.transport + ".";
+  json.add(p + "device_procs", static_cast<std::uint64_t>(args.dist_procs));
+  json.add(p + "burst_wall_seconds", run.burst_wall_seconds);
+  if (!run.incremental_wall_seconds.empty()) {
+    json.add(p + "incremental_wall_p50",
+             run.incremental_wall_seconds.quantile(0.5));
+    json.add(p + "incremental_wall_p99",
+             run.incremental_wall_seconds.quantile(0.99));
+  }
+  json.add(p + "violations", run.violations);
+  json.add(p + "frames", run.metrics.frames);
+  json.add(p + "envelopes", run.metrics.envelopes);
+  json.add(p + "frame_bytes", run.metrics.frame_bytes);
+  const auto& t = run.metrics.transport;
+  json.add(p + "wire.frames_sent", t.frames_sent);
+  json.add(p + "wire.bytes_sent", t.bytes_sent);
+  json.add(p + "wire.frames_received", t.frames_received);
+  json.add(p + "wire.bytes_received", t.bytes_received);
+  json.add(p + "wire.reconnects", t.reconnects);
+  json.add(p + "wire.heartbeat_misses", t.heartbeat_misses);
+  json.add(p + "wire.protocol_errors", t.protocol_errors);
+  json.add(p + "wire.send_queue_peak", t.send_queue_peak);
 }
 
 }  // namespace tulkun::bench

@@ -1,6 +1,13 @@
 #include "dvm/codec.hpp"
 
+#include <algorithm>
+
 namespace tulkun::dvm {
+
+const DecodeLimits& default_decode_limits() {
+  static const DecodeLimits limits;
+  return limits;
+}
 
 namespace {
 
@@ -48,8 +55,9 @@ class Writer {
 
 class Reader {
  public:
-  Reader(std::span<const std::uint8_t> bytes, packet::PacketSpace& space)
-      : bytes_(bytes), space_(&space) {}
+  Reader(std::span<const std::uint8_t> bytes, packet::PacketSpace& space,
+         const DecodeLimits& limits)
+      : bytes_(bytes), space_(&space), limits_(&limits) {}
 
   std::uint8_t u8() {
     need(1);
@@ -67,8 +75,24 @@ class Reader {
     for (int i = 0; i < 8; ++i) v |= static_cast<std::uint64_t>(bytes_[pos_++]) << (8 * i);
     return v;
   }
+  /// Validates a declared element count before anything is allocated for
+  /// it: `n` elements of at least `min_elem_bytes` each must fit in the
+  /// remaining buffer. Untrusted input can otherwise declare 2^32 - 1
+  /// elements and make the decoder reserve gigabytes up front.
+  std::uint32_t count(std::uint32_t n, std::size_t min_elem_bytes) const {
+    const std::size_t remaining = bytes_.size() - pos_;
+    if (min_elem_bytes != 0 && n > remaining / min_elem_bytes) {
+      throw CodecError(CodecErrorKind::Truncated,
+                       "declared element count exceeds buffer");
+    }
+    return n;
+  }
   packet::PacketSet pred() {
     const std::uint32_t len = u32();
+    if (len > limits_->max_pred_bytes) {
+      throw CodecError(CodecErrorKind::Oversize,
+                       "predicate exceeds size cap");
+    }
     need(len);
     const auto ref = bdd::deserialize(
         space_->manager(), bytes_.subspan(pos_, len));
@@ -78,6 +102,9 @@ class Reader {
   count::CountSet counts() {
     const std::uint32_t n = u32();
     const std::uint32_t arity = u32();
+    // Each tuple is arity u32s on the wire (and at least one byte when
+    // arity is 0, which the writer never produces but a peer could claim).
+    count(n, std::max<std::size_t>(std::size_t{4} * arity, 1));
     count::CountSet out;
     for (std::uint32_t i = 0; i < n; ++i) {
       count::CountVec vec(arity);
@@ -87,15 +114,20 @@ class Reader {
     return out;
   }
   void done() const {
-    if (pos_ != bytes_.size()) throw Error("dvm decode: trailing bytes");
+    if (pos_ != bytes_.size()) {
+      throw CodecError(CodecErrorKind::TrailingBytes, "trailing bytes");
+    }
   }
 
  private:
   void need(std::size_t n) const {
-    if (pos_ + n > bytes_.size()) throw Error("dvm decode: truncated");
+    if (pos_ + n > bytes_.size()) {
+      throw CodecError(CodecErrorKind::Truncated, "truncated");
+    }
   }
   std::span<const std::uint8_t> bytes_;
   packet::PacketSpace* space_;
+  const DecodeLimits* limits_;
   std::size_t pos_ = 0;
 };
 
@@ -156,7 +188,12 @@ std::vector<std::uint8_t> encode(const Envelope& env,
 
 Envelope decode(std::span<const std::uint8_t> bytes,
                 packet::PacketSpace& space) {
-  Reader r(bytes, space);
+  return decode(bytes, space, default_decode_limits());
+}
+
+Envelope decode(std::span<const std::uint8_t> bytes,
+                packet::PacketSpace& space, const DecodeLimits& limits) {
+  Reader r(bytes, space, limits);
   Envelope env;
   env.src = r.u32();
   env.dst = r.u32();
@@ -166,9 +203,11 @@ Envelope decode(std::span<const std::uint8_t> bytes,
     u.invariant = r.u32();
     u.up_node = r.u32();
     u.down_node = r.u32();
-    const std::uint32_t nw = r.u32();
+    // Predicates are at least a 4-byte length prefix; count entries are at
+    // least a predicate plus the 8-byte counts header.
+    const std::uint32_t nw = r.count(r.u32(), 4);
     for (std::uint32_t i = 0; i < nw; ++i) u.withdrawn.push_back(r.pred());
-    const std::uint32_t nr = r.u32();
+    const std::uint32_t nr = r.count(r.u32(), 12);
     for (std::uint32_t i = 0; i < nr; ++i) {
       CountEntry e;
       e.pred = r.pred();
@@ -190,15 +229,15 @@ Envelope decode(std::span<const std::uint8_t> bytes,
     p.up_node = r.u32();
     p.down_node = r.u32();
     p.side = r.u8();
-    const std::uint32_t nw = r.u32();
+    const std::uint32_t nw = r.count(r.u32(), 4);
     for (std::uint32_t i = 0; i < nw; ++i) p.withdrawn.push_back(r.pred());
-    const std::uint32_t nr = r.u32();
+    const std::uint32_t nr = r.count(r.u32(), 8);
     for (std::uint32_t i = 0; i < nr; ++i) {
       PathSetUpdate::Entry e;
       e.pred = r.pred();
-      const std::uint32_t np = r.u32();
+      const std::uint32_t np = r.count(r.u32(), 4);
       for (std::uint32_t j = 0; j < np; ++j) {
-        std::vector<DeviceId> path(r.u32());
+        std::vector<DeviceId> path(r.count(r.u32(), 4));
         for (auto& d : path) d = r.u32();
         e.paths.push_back(std::move(path));
       }
@@ -214,7 +253,7 @@ Envelope decode(std::span<const std::uint8_t> bytes,
     l.origin = r.u32();
     env.msg = l;
   } else {
-    throw Error("dvm decode: unknown message tag");
+    throw CodecError(CodecErrorKind::BadTag, "unknown message tag");
   }
   r.done();
   return env;
@@ -233,13 +272,24 @@ std::vector<std::uint8_t> encode_frame(std::span<const Envelope> envs,
 
 std::vector<Envelope> decode_frame(std::span<const std::uint8_t> bytes,
                                    packet::PacketSpace& space) {
+  return decode_frame(bytes, space, default_decode_limits());
+}
+
+std::vector<Envelope> decode_frame(std::span<const std::uint8_t> bytes,
+                                   packet::PacketSpace& space,
+                                   const DecodeLimits& limits) {
   // The header is read manually (no predicate decoding at frame level).
+  if (bytes.size() > limits.max_frame_bytes) {
+    throw CodecError(CodecErrorKind::Oversize, "frame exceeds size cap");
+  }
   if (bytes.empty() || bytes[0] != kTagFrame) {
-    throw Error("dvm decode: not a frame");
+    throw CodecError(CodecErrorKind::BadTag, "not a frame");
   }
   std::size_t pos = 1;
   const auto u32 = [&]() -> std::uint32_t {
-    if (pos + 4 > bytes.size()) throw Error("dvm decode: truncated frame");
+    if (pos + 4 > bytes.size()) {
+      throw CodecError(CodecErrorKind::Truncated, "truncated frame");
+    }
     std::uint32_t v = 0;
     for (int i = 0; i < 4; ++i) {
       v |= static_cast<std::uint32_t>(bytes[pos++]) << (8 * i);
@@ -247,15 +297,28 @@ std::vector<Envelope> decode_frame(std::span<const std::uint8_t> bytes,
     return v;
   };
   const std::uint32_t count = u32();
+  if (count > limits.max_envelopes) {
+    throw CodecError(CodecErrorKind::Oversize, "too many envelopes");
+  }
+  // Every envelope costs at least its 4-byte length prefix, so a count the
+  // remaining bytes cannot hold is rejected before reserve().
+  if (count > (bytes.size() - pos) / 4) {
+    throw CodecError(CodecErrorKind::Truncated,
+                     "envelope count exceeds buffer");
+  }
   std::vector<Envelope> out;
   out.reserve(count);
   for (std::uint32_t i = 0; i < count; ++i) {
     const std::uint32_t len = u32();
-    if (pos + len > bytes.size()) throw Error("dvm decode: truncated frame");
-    out.push_back(decode(bytes.subspan(pos, len), space));
+    if (pos + len > bytes.size()) {
+      throw CodecError(CodecErrorKind::Truncated, "truncated frame");
+    }
+    out.push_back(decode(bytes.subspan(pos, len), space, limits));
     pos += len;
   }
-  if (pos != bytes.size()) throw Error("dvm decode: trailing bytes");
+  if (pos != bytes.size()) {
+    throw CodecError(CodecErrorKind::TrailingBytes, "trailing bytes");
+  }
   return out;
 }
 

@@ -11,9 +11,47 @@
 #include <vector>
 
 #include "bdd/serialize.hpp"
+#include "core/error.hpp"
 #include "dvm/message.hpp"
 
 namespace tulkun::dvm {
+
+/// Why a decode rejected its input. Network receivers branch on this: an
+/// Oversize or BadTag from an untrusted stream takes the transport's
+/// dead-peer path (drop the connection), while Truncated on an in-process
+/// buffer is a plain bug.
+enum class CodecErrorKind : std::uint8_t {
+  Truncated,      // declared more bytes/elements than the buffer holds
+  BadTag,         // unknown message or frame tag
+  Oversize,       // a declared size exceeds the configured cap
+  TrailingBytes,  // well-formed message followed by junk
+};
+
+class CodecError : public Error {
+ public:
+  CodecError(CodecErrorKind kind, const std::string& what)
+      : Error("dvm decode: " + what), kind_(kind) {}
+  [[nodiscard]] CodecErrorKind kind() const { return kind_; }
+
+ private:
+  CodecErrorKind kind_;
+};
+
+/// Caps applied while decoding untrusted input. Every declared length is
+/// validated against both the cap and the bytes actually present BEFORE
+/// any allocation, so a hostile 4-billion-element header cannot reserve
+/// gigabytes. The defaults comfortably fit any frame the runtime emits.
+struct DecodeLimits {
+  /// Upper bound on one whole frame (mirrors the transport's frame cap).
+  std::size_t max_frame_bytes = std::size_t{64} << 20;
+  /// Envelopes per multi-envelope frame.
+  std::uint32_t max_envelopes = 1u << 16;
+  /// Serialized bytes per predicate.
+  std::uint32_t max_pred_bytes = 16u << 20;
+};
+
+/// The process-default limits (used by the no-limits overloads).
+[[nodiscard]] const DecodeLimits& default_decode_limits();
 
 /// Serializes an envelope. Predicates are encoded as BDD node lists.
 /// When `cache` is non-null, predicate serializations are memoized through
@@ -22,9 +60,12 @@ namespace tulkun::dvm {
     const Envelope& env, bdd::SerializeCache* cache = nullptr);
 
 /// Decodes an envelope; predicates are rebuilt inside `space`.
-/// Throws Error on malformed input.
+/// Throws CodecError on malformed input.
 [[nodiscard]] Envelope decode(std::span<const std::uint8_t> bytes,
                               packet::PacketSpace& space);
+[[nodiscard]] Envelope decode(std::span<const std::uint8_t> bytes,
+                              packet::PacketSpace& space,
+                              const DecodeLimits& limits);
 
 /// Serializes several envelopes into one multi-envelope frame. The sharded
 /// runtime batches all traffic for one destination into a single frame, so
@@ -32,9 +73,12 @@ namespace tulkun::dvm {
 [[nodiscard]] std::vector<std::uint8_t> encode_frame(
     std::span<const Envelope> envs, bdd::SerializeCache* cache = nullptr);
 
-/// Decodes a multi-envelope frame. Throws Error on malformed input.
+/// Decodes a multi-envelope frame. Throws CodecError on malformed input.
 [[nodiscard]] std::vector<Envelope> decode_frame(
     std::span<const std::uint8_t> bytes, packet::PacketSpace& space);
+[[nodiscard]] std::vector<Envelope> decode_frame(
+    std::span<const std::uint8_t> bytes, packet::PacketSpace& space,
+    const DecodeLimits& limits);
 
 /// encode(env).size() without materializing the buffer contents
 /// (used for fast message accounting; exact).

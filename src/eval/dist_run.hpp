@@ -1,0 +1,73 @@
+// Multi-process evaluation runs: a forking launcher plus manual
+// coordinator/device entry points for the DistributedRuntime.
+//
+// The common path is dist_run(): it forks one device process per rank
+// (re-exec'ing this binary with a --tulkun-device-proc marker argv, so no
+// fork-with-threads hazards), runs the coordinator in-process, supervises
+// the children (a dead rank is re-forked with a bumped incarnation, which
+// triggers the coordinator's epoch-reset replay), and returns wall times,
+// verdicts, the canonical state digest, and merged runtime + transport
+// metrics. kind == Inproc runs the same protocol on loopback transports
+// and threads instead of processes.
+//
+// For manual multi-host runs, dist_run_coordinator()/dist_run_device()
+// accept explicit per-rank endpoints (the --role/--listen/--peers CLI
+// path).
+#pragma once
+
+#include "eval/harness.hpp"
+#include "net/socket_transport.hpp"
+
+namespace tulkun::eval {
+
+struct DistOptions {
+  net::TransportKind kind = net::TransportKind::Unix;
+  std::size_t device_procs = 2;
+  std::size_t n_updates = 8;
+  /// Rendezvous directory for Unix sockets (empty = fresh mkdtemp).
+  std::string socket_dir;
+  /// First TCP port; rank r listens on base_port + r (0 = derive from pid).
+  std::uint16_t base_port = 0;
+  /// Chaos hook: rank 1 _exits upon receiving Begin for this phase (its
+  /// first incarnation only); the supervisor re-forks it and the run must
+  /// reconverge through the epoch-reset protocol.
+  std::uint32_t kill_rank1_at_phase = runtime::DeviceProcess::kNoKillPhase;
+};
+
+struct DistRunResult {
+  double burst_wall_seconds = 0.0;
+  Samples incremental_wall_seconds;
+  std::uint64_t violations = 0;
+  /// Sorted canonical digest rows over every device (runtime/digest.hpp);
+  /// byte-comparable against an in-process ShardedRuntime run.
+  std::vector<std::string> rows;
+  runtime::RuntimeMetrics metrics;
+  std::uint32_t resets = 0;  // epoch bumps survived (chaos runs)
+};
+
+/// Forking launcher (or threads for Inproc). Blocks until the run is done.
+[[nodiscard]] DistRunResult dist_run(const DatasetSpec& spec,
+                                     const HarnessOptions& opts,
+                                     const DistOptions& dist);
+
+/// Coordinator role over explicit endpoints (index = rank; size = device
+/// processes + 1). The device processes must be started separately.
+[[nodiscard]] DistRunResult dist_run_coordinator(
+    const DatasetSpec& spec, const HarnessOptions& opts,
+    std::size_t n_updates, const std::vector<net::Endpoint>& endpoints);
+
+/// Device role over explicit endpoints; returns when the coordinator
+/// finishes the run.
+void dist_run_device(const DatasetSpec& spec, const HarnessOptions& opts,
+                     std::size_t n_updates,
+                     const std::vector<net::Endpoint>& endpoints,
+                     net::PeerId rank, std::uint32_t incarnation,
+                     std::uint32_t kill_at_phase);
+
+/// Child-process entry point. Every binary that calls dist_run() must
+/// invoke this first thing in main(); when argv carries the
+/// --tulkun-device-proc marker the process runs the device role to
+/// completion and this returns true (the caller must then return 0).
+bool maybe_run_device_role(int argc, char** argv);
+
+}  // namespace tulkun::eval

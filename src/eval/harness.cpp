@@ -502,6 +502,46 @@ Harness::DistributedRun Harness::run_distributed(std::size_t n_updates) {
   return out;
 }
 
+runtime::WorldBuilder Harness::world_builder(std::size_t n_updates) {
+  return [this, n_updates]() {
+    runtime::DistWorld world;
+    // One space backs everything shipped in the world; devices localize
+    // out of it through the wire codec exactly like ShardedRuntime does.
+    auto space = std::make_shared<packet::PacketSpace>();
+    planner::Planner planner(topo_, *space);
+    world.plans = plan_all(*space, planner, spec::FaultSpec{}, nullptr);
+
+    auto net = synthesize(
+        topo_, SynthOptions{opts_.ecmp_width, spec_.extra_rules, opts_.seed});
+    world.tables.reserve(topo_.device_count());
+    for (DeviceId d = 0; d < topo_.device_count(); ++d) {
+      world.tables.push_back(runtime::localize_fib(net.table(d), *space));
+    }
+
+    auto scratch = synthesize(
+        topo_, SynthOptions{opts_.ecmp_width, spec_.extra_rules, opts_.seed});
+    const auto plan = random_updates(topo_, scratch, n_updates,
+                                     opts_.seed + 1);
+    world.steps.reserve(plan.steps.size());
+    for (const auto& step : plan.steps) {
+      runtime::DistWorld::Step s;
+      s.update = step.update;
+      if (s.update.kind == fib::FibUpdate::Kind::Insert) {
+        s.update.rule = runtime::localize_rule(step.update.rule, *space);
+      } else {
+        // Erases are identified by rule_id; drop the rule so no predicate
+        // from the scratch space (which dies with this builder call)
+        // escapes into the world.
+        s.update.rule = fib::Rule{};
+      }
+      s.erase_of = step.erase_of;
+      world.steps.push_back(std::move(s));
+    }
+    world.keepalive = std::move(space);
+    return world;
+  };
+}
+
 Harness::PlanLatency Harness::plan_latency(std::uint32_t k,
                                            std::size_t max_scenes) {
   PlanLatency out;

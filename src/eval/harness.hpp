@@ -10,6 +10,7 @@
 #include "eval/datasets.hpp"
 #include "eval/workload.hpp"
 #include "planner/planner.hpp"
+#include "runtime/distributed.hpp"
 #include "runtime/event_sim.hpp"
 
 namespace tulkun::eval {
@@ -116,6 +117,15 @@ class Harness {
   /// Replays the Figure 11 scenario on the sharded worker-pool runtime
   /// (wall-clock; opts.engine.runtime_shards selects the pool size).
   DistributedRun run_distributed(std::size_t n_updates);
+
+  /// Deterministic world constructor for the multi-process
+  /// DistributedRuntime: plans, initial FIBs and the update stream, all
+  /// derived from this harness's dataset + options. Every process in a
+  /// distributed run calls an identical builder and obtains an equivalent
+  /// world (same plan order, same rule ids, same update steps), which is
+  /// what makes epoch-replay recovery sound. The builder outlives `this`
+  /// only if the Harness does; keep the Harness alive for the run.
+  [[nodiscard]] runtime::WorldBuilder world_builder(std::size_t n_updates);
 
   /// Figure 13: planner latency to compute the k-link-failure tolerant
   /// DPVNets. Returns (seconds, scenes, capped?).

@@ -1,0 +1,158 @@
+#include "net/event_loop.hpp"
+
+#include <sys/epoll.h>
+#include <sys/eventfd.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <chrono>
+#include <cmath>
+#include <cstring>
+
+namespace tulkun::net {
+
+namespace {
+
+[[noreturn]] void sys_fail(const char* what) {
+  throw Error(std::string("event loop: ") + what + ": " +
+              std::strerror(errno));
+}
+
+}  // namespace
+
+double EventLoop::now_s() {
+  return std::chrono::duration<double>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+EventLoop::EventLoop() {
+  epoll_fd_ = ::epoll_create1(EPOLL_CLOEXEC);
+  if (epoll_fd_ < 0) sys_fail("epoll_create1");
+  wake_fd_ = ::eventfd(0, EFD_CLOEXEC | EFD_NONBLOCK);
+  if (wake_fd_ < 0) sys_fail("eventfd");
+  add_fd(wake_fd_, EPOLLIN, [this](std::uint32_t) {
+    std::uint64_t n = 0;
+    while (::read(wake_fd_, &n, sizeof(n)) > 0) {
+    }
+  });
+}
+
+EventLoop::~EventLoop() {
+  if (wake_fd_ >= 0) ::close(wake_fd_);
+  if (epoll_fd_ >= 0) ::close(epoll_fd_);
+}
+
+void EventLoop::add_fd(int fd, std::uint32_t events, FdCallback cb) {
+  epoll_event ev{};
+  ev.events = events;
+  ev.data.fd = fd;
+  if (::epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, fd, &ev) < 0) {
+    sys_fail("epoll_ctl add");
+  }
+  fds_[fd] = std::move(cb);
+}
+
+void EventLoop::mod_fd(int fd, std::uint32_t events) {
+  epoll_event ev{};
+  ev.events = events;
+  ev.data.fd = fd;
+  if (::epoll_ctl(epoll_fd_, EPOLL_CTL_MOD, fd, &ev) < 0) {
+    sys_fail("epoll_ctl mod");
+  }
+}
+
+void EventLoop::del_fd(int fd) {
+  (void)::epoll_ctl(epoll_fd_, EPOLL_CTL_DEL, fd, nullptr);
+  fds_.erase(fd);
+}
+
+EventLoop::TimerId EventLoop::run_after(double delay_s,
+                                        std::function<void()> fn) {
+  const TimerId id = next_timer_++;
+  timers_.push(Timer{now_s() + std::max(0.0, delay_s), id});
+  timer_fns_.emplace(id, std::move(fn));
+  return id;
+}
+
+void EventLoop::cancel(TimerId id) { timer_fns_.erase(id); }
+
+void EventLoop::post(std::function<void()> fn) {
+  {
+    std::lock_guard<std::mutex> lock(post_mu_);
+    posted_.push_back(std::move(fn));
+  }
+  const std::uint64_t one = 1;
+  (void)!::write(wake_fd_, &one, sizeof(one));
+}
+
+void EventLoop::stop() {
+  {
+    std::lock_guard<std::mutex> lock(post_mu_);
+    stop_requested_ = true;
+  }
+  const std::uint64_t one = 1;
+  (void)!::write(wake_fd_, &one, sizeof(one));
+}
+
+void EventLoop::drain_posted() {
+  std::vector<std::function<void()>> batch;
+  {
+    std::lock_guard<std::mutex> lock(post_mu_);
+    batch.swap(posted_);
+  }
+  for (auto& fn : batch) fn();
+}
+
+void EventLoop::run() {
+  constexpr int kMaxEvents = 64;
+  epoll_event events[kMaxEvents];
+  for (;;) {
+    drain_posted();
+    {
+      std::lock_guard<std::mutex> lock(post_mu_);
+      if (stop_requested_) break;
+    }
+
+    // Fire due timers; compute the wait until the next one.
+    int timeout_ms = -1;
+    while (!timers_.empty()) {
+      const Timer t = timers_.top();
+      if (!timer_fns_.contains(t.id)) {  // cancelled
+        timers_.pop();
+        continue;
+      }
+      const double dt = t.deadline - now_s();
+      if (dt > 0.0) {
+        timeout_ms = static_cast<int>(std::ceil(dt * 1e3));
+        break;
+      }
+      timers_.pop();
+      auto it = timer_fns_.find(t.id);
+      auto fn = std::move(it->second);
+      timer_fns_.erase(it);
+      fn();
+    }
+
+    const int n = ::epoll_wait(epoll_fd_, events, kMaxEvents, timeout_ms);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      sys_fail("epoll_wait");
+    }
+    for (int i = 0; i < n; ++i) {
+      const int fd = events[i].data.fd;
+      // A callback earlier in this batch may have unregistered this fd.
+      auto it = fds_.find(fd);
+      if (it == fds_.end()) continue;
+      // Copy: the callback may del_fd(fd) and invalidate the map slot.
+      FdCallback cb = it->second;
+      cb(events[i].events);
+    }
+  }
+  // Tasks posted between the last drain and the stop flag (e.g. the
+  // transport's fd-cleanup) must still run.
+  drain_posted();
+}
+
+}  // namespace tulkun::net

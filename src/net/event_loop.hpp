@@ -1,0 +1,80 @@
+// Minimal non-blocking epoll event loop.
+//
+// One thread calls run(); every other thread talks to the loop through
+// post() (eventfd wakeup). File-descriptor callbacks and timers all fire
+// on the loop thread, so loop-owned state needs no locks.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <queue>
+#include <unordered_map>
+#include <vector>
+
+#include "core/error.hpp"
+
+namespace tulkun::net {
+
+class EventLoop {
+ public:
+  using FdCallback = std::function<void(std::uint32_t epoll_events)>;
+  using TimerId = std::uint64_t;
+
+  EventLoop();
+  ~EventLoop();
+
+  EventLoop(const EventLoop&) = delete;
+  EventLoop& operator=(const EventLoop&) = delete;
+
+  /// Registers `fd` for `events` (EPOLLIN/EPOLLOUT/...). The callback runs
+  /// on the loop thread. Loop thread only (or before run()).
+  void add_fd(int fd, std::uint32_t events, FdCallback cb);
+  /// Updates the interest set of a registered fd. Loop thread only.
+  void mod_fd(int fd, std::uint32_t events);
+  /// Unregisters `fd` (does not close it). Safe to call for fds whose
+  /// callback is currently being dispatched. Loop thread only.
+  void del_fd(int fd);
+
+  /// Schedules `fn` on the loop thread after `delay_s` seconds (0 = next
+  /// iteration). Loop thread only; from other threads wrap in post().
+  TimerId run_after(double delay_s, std::function<void()> fn);
+  void cancel(TimerId id);
+
+  /// Thread-safe: queues `fn` for execution on the loop thread and wakes
+  /// it. The only cross-thread entry point.
+  void post(std::function<void()> fn);
+
+  /// Runs until stop(). Dispatches fd events, timers, and posted tasks.
+  void run();
+
+  /// Thread-safe; run() returns after the current iteration.
+  void stop();
+
+ private:
+  struct Timer {
+    double deadline = 0.0;  // seconds on the monotonic clock
+    TimerId id = 0;
+    bool operator>(const Timer& o) const {
+      if (deadline != o.deadline) return deadline > o.deadline;
+      return id > o.id;
+    }
+  };
+
+  [[nodiscard]] static double now_s();
+  void drain_posted();
+
+  int epoll_fd_ = -1;
+  int wake_fd_ = -1;  // eventfd
+  std::unordered_map<int, FdCallback> fds_;
+
+  std::priority_queue<Timer, std::vector<Timer>, std::greater<>> timers_;
+  std::unordered_map<TimerId, std::function<void()>> timer_fns_;
+  TimerId next_timer_ = 1;
+
+  std::mutex post_mu_;
+  std::vector<std::function<void()>> posted_;
+  bool stop_requested_ = false;  // under post_mu_
+};
+
+}  // namespace tulkun::net

@@ -1,0 +1,75 @@
+#include "net/frame.hpp"
+
+#include <cstring>
+
+namespace tulkun::net {
+
+namespace {
+
+void put_u32(std::vector<std::uint8_t>& out, std::uint32_t v) {
+  for (int i = 0; i < 4; ++i) {
+    out.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+  }
+}
+
+std::uint32_t get_u32(const std::uint8_t* p) {
+  std::uint32_t v = 0;
+  for (int i = 0; i < 4; ++i) v |= static_cast<std::uint32_t>(p[i]) << (8 * i);
+  return v;
+}
+
+}  // namespace
+
+std::vector<std::uint8_t> encode_frame(FrameType type,
+                                       std::span<const std::uint8_t> payload) {
+  std::vector<std::uint8_t> out;
+  out.reserve(kFrameHeaderBytes + payload.size());
+  put_u32(out, kFrameMagic);
+  out.push_back(static_cast<std::uint8_t>(type));
+  put_u32(out, static_cast<std::uint32_t>(payload.size()));
+  out.insert(out.end(), payload.begin(), payload.end());
+  return out;
+}
+
+std::vector<ParsedFrame> FrameParser::feed(
+    std::span<const std::uint8_t> bytes) {
+  if (poisoned_) {
+    throw FrameError(FrameErrorKind::BadMagic, "parser poisoned");
+  }
+  buf_.insert(buf_.end(), bytes.begin(), bytes.end());
+
+  std::vector<ParsedFrame> out;
+  std::size_t pos = 0;
+  const auto fail = [&](FrameErrorKind kind, const char* what) {
+    poisoned_ = true;
+    buf_.clear();
+    throw FrameError(kind, what);
+  };
+  while (buf_.size() - pos >= kFrameHeaderBytes) {
+    const std::uint8_t* hdr = buf_.data() + pos;
+    if (get_u32(hdr) != kFrameMagic) {
+      fail(FrameErrorKind::BadMagic, "bad magic");
+    }
+    const auto type = static_cast<FrameType>(hdr[4]);
+    if (type != FrameType::kHello && type != FrameType::kHeartbeat &&
+        type != FrameType::kData) {
+      fail(FrameErrorKind::BadType, "unknown frame type");
+    }
+    const std::uint32_t len = get_u32(hdr + 5);
+    // Checked before any allocation: a hostile peer declaring a 4 GB
+    // payload must not make us reserve it.
+    if (len > max_payload_bytes_) {
+      fail(FrameErrorKind::Oversize, "declared payload exceeds cap");
+    }
+    if (buf_.size() - pos - kFrameHeaderBytes < len) break;  // partial
+    ParsedFrame f;
+    f.type = type;
+    f.payload.assign(hdr + kFrameHeaderBytes, hdr + kFrameHeaderBytes + len);
+    out.push_back(std::move(f));
+    pos += kFrameHeaderBytes + len;
+  }
+  buf_.erase(buf_.begin(), buf_.begin() + static_cast<std::ptrdiff_t>(pos));
+  return out;
+}
+
+}  // namespace tulkun::net

@@ -1,0 +1,86 @@
+// Wire framing for the network transport.
+//
+// Every byte stream (TCP, Unix-domain socket) carries a sequence of
+// length-prefixed frames:
+//
+//   u32 magic   "TULK" (0x4b4c5554 little-endian)
+//   u8  type    transport frame type (hello / heartbeat / data)
+//   u32 length  payload byte count
+//   ...         payload
+//
+// The parser is incremental: feed() accepts arbitrary byte slices (partial
+// reads are the norm on non-blocking sockets) and emits only complete
+// frames. Malformed input — wrong magic, a declared length above the cap —
+// raises a typed FrameError so the connection owner can take the dead-peer
+// path instead of allocating unbounded memory.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <span>
+#include <vector>
+
+#include "core/error.hpp"
+
+namespace tulkun::net {
+
+constexpr std::uint32_t kFrameMagic = 0x4b4c5554u;  // "TULK"
+constexpr std::size_t kFrameHeaderBytes = 9;        // magic + type + length
+
+/// Transport-level frame types. Application payloads ride in kData; the
+/// others are connection management.
+enum class FrameType : std::uint8_t {
+  kHello = 1,      // payload: u32 peer rank (sent once per connection)
+  kHeartbeat = 2,  // empty payload, keeps the receiver's liveness fresh
+  kData = 3,       // opaque application payload
+};
+
+enum class FrameErrorKind : std::uint8_t {
+  BadMagic,   // stream corrupt or not a Tulkun peer
+  Oversize,   // declared payload length exceeds the configured cap
+  BadType,    // unknown frame type
+};
+
+class FrameError : public Error {
+ public:
+  FrameError(FrameErrorKind kind, const std::string& what)
+      : Error("net frame: " + what), kind_(kind) {}
+  [[nodiscard]] FrameErrorKind kind() const { return kind_; }
+
+ private:
+  FrameErrorKind kind_;
+};
+
+/// Serializes one frame (header + payload copy).
+[[nodiscard]] std::vector<std::uint8_t> encode_frame(
+    FrameType type, std::span<const std::uint8_t> payload);
+
+struct ParsedFrame {
+  FrameType type = FrameType::kData;
+  std::vector<std::uint8_t> payload;
+};
+
+/// Incremental frame parser for one connection. Not thread-safe; one
+/// parser per connection, dropped with it (so a reconnect never resumes a
+/// partial frame).
+class FrameParser {
+ public:
+  explicit FrameParser(std::size_t max_payload_bytes)
+      : max_payload_bytes_(max_payload_bytes) {}
+
+  /// Appends bytes and emits every frame completed by them, in order.
+  /// Throws FrameError on malformed input; the parser is then poisoned
+  /// (every later feed rethrows) — close the connection.
+  std::vector<ParsedFrame> feed(std::span<const std::uint8_t> bytes);
+
+  /// Bytes buffered towards an incomplete frame.
+  [[nodiscard]] std::size_t pending_bytes() const { return buf_.size(); }
+
+ private:
+  std::size_t max_payload_bytes_;
+  std::vector<std::uint8_t> buf_;
+  bool poisoned_ = false;
+};
+
+}  // namespace tulkun::net

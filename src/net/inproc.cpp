@@ -1,0 +1,116 @@
+#include "net/inproc.hpp"
+
+#include "net/frame.hpp"
+
+namespace tulkun::net {
+
+void InProcHub::attach(PeerId self, Transport::Handlers handlers) {
+  std::vector<std::pair<PeerId, std::vector<std::uint8_t>>> parked;
+  std::vector<std::function<void(PeerId, bool)>> notify_up_others;
+  Transport::Handlers mine;
+  std::vector<PeerId> already_up;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    PeerSlot& slot = peers_[self];
+    slot.handlers = handlers;
+    slot.up = true;
+    parked.swap(slot.parked);
+    mine = slot.handlers;
+    for (auto& [peer, other] : peers_) {
+      if (peer == self || !other.up) continue;
+      already_up.push_back(peer);
+      if (other.handlers.on_peer_state) {
+        notify_up_others.push_back(other.handlers.on_peer_state);
+      }
+    }
+  }
+  for (auto& fn : notify_up_others) fn(self, true);
+  if (mine.on_peer_state) {
+    for (const PeerId p : already_up) mine.on_peer_state(p, true);
+  }
+  if (mine.on_frame) {
+    for (auto& [from, frame] : parked) mine.on_frame(from, std::move(frame));
+  }
+}
+
+void InProcHub::detach(PeerId self) {
+  std::vector<std::function<void(PeerId, bool)>> notify;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = peers_.find(self);
+    if (it == peers_.end() || !it->second.up) return;
+    it->second.up = false;
+    it->second.handlers = {};
+    for (auto& [peer, other] : peers_) {
+      if (peer == self || !other.up) continue;
+      if (other.handlers.on_peer_state) {
+        notify.push_back(other.handlers.on_peer_state);
+      }
+    }
+  }
+  for (auto& fn : notify) fn(self, false);
+}
+
+void InProcHub::deliver(PeerId from, PeerId to,
+                        std::vector<std::uint8_t> frame) {
+  std::function<void(PeerId, std::vector<std::uint8_t>)> target;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    PeerSlot& slot = peers_[to];
+    if (!slot.up || !slot.handlers.on_frame) {
+      // Park until the peer starts (started-late or restarted peer).
+      slot.parked.emplace_back(from, std::move(frame));
+      return;
+    }
+    target = slot.handlers.on_frame;
+  }
+  // Deliver outside the hub lock: the handler may send() right back.
+  target(from, std::move(frame));
+}
+
+void InProcTransport::start(Handlers handlers) {
+  if (started_) throw Error("net: transport already started");
+  started_ = true;
+  // Wrap the frame handler so receive-side counters accrue here, like the
+  // socket transport's inbound path.
+  if (handlers.on_frame) {
+    auto inner = std::move(handlers.on_frame);
+    handlers.on_frame = [this, inner = std::move(inner)](
+                            PeerId from, std::vector<std::uint8_t> frame) {
+      {
+        std::lock_guard<std::mutex> lock(metrics_mu_);
+        auto& m = metrics_[from];
+        m.frames_received += 1;
+        m.bytes_received += frame.size() + kFrameHeaderBytes;
+      }
+      inner(from, std::move(frame));
+    };
+  }
+  hub_->attach(self_, std::move(handlers));
+}
+
+void InProcTransport::send(PeerId to, std::vector<std::uint8_t> frame) {
+  {
+    std::lock_guard<std::mutex> lock(metrics_mu_);
+    auto& m = metrics_[to];
+    m.frames_sent += 1;
+    m.bytes_sent += frame.size() + kFrameHeaderBytes;  // as-if on the wire
+  }
+  hub_->deliver(self_, to, std::move(frame));
+}
+
+void InProcTransport::stop() {
+  if (!started_) return;
+  started_ = false;
+  hub_->detach(self_);
+}
+
+std::vector<PeerLinkMetrics> InProcTransport::link_metrics() const {
+  std::lock_guard<std::mutex> lock(metrics_mu_);
+  std::vector<PeerLinkMetrics> out;
+  out.reserve(metrics_.size());
+  for (const auto& [peer, m] : metrics_) out.push_back({peer, m});
+  return out;
+}
+
+}  // namespace tulkun::net

@@ -1,0 +1,63 @@
+// In-process loopback Transport for deterministic tests.
+//
+// An InProcHub is a registry of peers inside one process; send() delivers
+// synchronously on the caller's thread (handlers must be thread-safe and
+// non-blocking, which DistributedRuntime's queue-push handlers are).
+// Frames sent to a peer that has not started yet are parked at the hub and
+// flushed in order when it registers — mirroring the socket transport's
+// queue-across-reconnect behaviour without real time.
+#pragma once
+
+#include <map>
+#include <memory>
+#include <mutex>
+
+#include "net/transport.hpp"
+
+namespace tulkun::net {
+
+class InProcTransport;
+
+/// Construct with std::make_shared and hand to each InProcTransport.
+class InProcHub {
+ private:
+  friend class InProcTransport;
+
+  struct PeerSlot {
+    Transport::Handlers handlers;
+    bool up = false;
+    std::vector<std::pair<PeerId, std::vector<std::uint8_t>>> parked;
+  };
+
+  void deliver(PeerId from, PeerId to, std::vector<std::uint8_t> frame);
+  void attach(PeerId self, Transport::Handlers handlers);
+  void detach(PeerId self);
+
+  std::mutex mu_;
+  std::map<PeerId, PeerSlot> peers_;
+};
+
+class InProcTransport final : public Transport {
+ public:
+  InProcTransport(std::shared_ptr<InProcHub> hub, PeerId self)
+      : hub_(std::move(hub)), self_(self) {}
+  ~InProcTransport() override { stop(); }
+
+  void start(Handlers handlers) override;
+  void send(PeerId to, std::vector<std::uint8_t> frame) override;
+  void stop() override;
+  [[nodiscard]] PeerId self() const override { return self_; }
+  [[nodiscard]] std::vector<PeerLinkMetrics> link_metrics() const override;
+
+ private:
+  friend class InProcHub;
+
+  std::shared_ptr<InProcHub> hub_;
+  PeerId self_;
+  bool started_ = false;
+
+  mutable std::mutex metrics_mu_;
+  std::map<PeerId, LinkMetrics> metrics_;
+};
+
+}  // namespace tulkun::net

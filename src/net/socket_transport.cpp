@@ -1,0 +1,556 @@
+#include "net/socket_transport.hpp"
+
+#include <arpa/inet.h>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <sys/epoll.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <chrono>
+#include <cstring>
+
+namespace tulkun::net {
+
+namespace {
+
+constexpr std::uint32_t kEpollIn = EPOLLIN;
+constexpr std::uint32_t kEpollInOut = EPOLLIN | EPOLLOUT;
+
+double mono_now_s() {
+  return std::chrono::duration<double>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+void set_nonblocking(int fd) {
+  const int flags = ::fcntl(fd, F_GETFL, 0);
+  if (flags < 0 || ::fcntl(fd, F_SETFL, flags | O_NONBLOCK) < 0) {
+    throw Error(std::string("net: fcntl O_NONBLOCK: ") +
+                std::strerror(errno));
+  }
+}
+
+struct SockAddr {
+  union {
+    sockaddr sa;
+    sockaddr_un un;
+    sockaddr_in in;
+  } u{};
+  socklen_t len = 0;
+  int family = AF_UNIX;
+};
+
+SockAddr resolve(const Endpoint& ep) {
+  SockAddr out;
+  if (ep.kind == TransportKind::Unix) {
+    out.family = AF_UNIX;
+    out.u.un.sun_family = AF_UNIX;
+    if (ep.address.size() + 1 > sizeof(out.u.un.sun_path)) {
+      throw Error("net: unix socket path too long: " + ep.address);
+    }
+    std::strncpy(out.u.un.sun_path, ep.address.c_str(),
+                 sizeof(out.u.un.sun_path) - 1);
+    out.len = sizeof(sockaddr_un);
+    return out;
+  }
+  if (ep.kind == TransportKind::Tcp) {
+    const auto colon = ep.address.rfind(':');
+    if (colon == std::string::npos) {
+      throw Error("net: tcp endpoint must be ip:port, got " + ep.address);
+    }
+    const std::string host = ep.address.substr(0, colon);
+    const int port = std::stoi(ep.address.substr(colon + 1));
+    out.family = AF_INET;
+    out.u.in.sin_family = AF_INET;
+    out.u.in.sin_port = htons(static_cast<std::uint16_t>(port));
+    if (::inet_pton(AF_INET, host.c_str(), &out.u.in.sin_addr) != 1) {
+      throw Error("net: bad tcp address " + ep.address);
+    }
+    out.len = sizeof(sockaddr_in);
+    return out;
+  }
+  throw Error("net: inproc endpoints have no socket address");
+}
+
+std::vector<std::uint8_t> hello_payload(PeerId self) {
+  std::vector<std::uint8_t> p(4);
+  for (int i = 0; i < 4; ++i) {
+    p[static_cast<std::size_t>(i)] = static_cast<std::uint8_t>(self >> (8 * i));
+  }
+  return p;
+}
+
+}  // namespace
+
+SocketTransport::SocketTransport(SocketTransportConfig cfg)
+    : cfg_(std::move(cfg)) {}
+
+SocketTransport::~SocketTransport() { stop(); }
+
+void SocketTransport::start(Handlers handlers) {
+  if (started_) throw Error("net: transport already started");
+  started_ = true;
+  handlers_ = std::move(handlers);
+
+  // Listener and dial state are created before the loop thread exists, so
+  // local_endpoint() is valid immediately after start() returns.
+  if (!cfg_.listen.address.empty()) start_listener();
+  for (const auto& [peer, ep] : cfg_.peers) {
+    OutConn c;
+    c.peer = peer;
+    c.target = ep;
+    c.backoff_s = cfg_.backoff_initial_s;
+    out_.emplace(peer, std::move(c));
+  }
+
+  thread_ = std::thread([this] {
+    for (auto& [peer, c] : out_) dial(c);
+    // Liveness sweep: declare peers dead after dead_after_s of silence.
+    const double sweep = std::max(1e-3, cfg_.dead_after_s / 2.0);
+    std::function<void()> tick = [this, sweep, &tick]() {
+      sweep_liveness();
+      loop_.run_after(sweep, tick);
+    };
+    loop_.run_after(sweep, tick);
+    loop_.run();
+  });
+}
+
+void SocketTransport::start_listener() {
+  const SockAddr addr = resolve(cfg_.listen);
+  listen_fd_ = ::socket(addr.family, SOCK_STREAM | SOCK_CLOEXEC, 0);
+  if (listen_fd_ < 0) {
+    throw Error(std::string("net: socket: ") + std::strerror(errno));
+  }
+  if (addr.family == AF_UNIX) {
+    // A restarted process reuses its endpoint; stale socket files would
+    // make bind fail with EADDRINUSE.
+    ::unlink(cfg_.listen.address.c_str());
+  } else {
+    const int one = 1;
+    ::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  }
+  if (::bind(listen_fd_, &addr.u.sa, addr.len) < 0) {
+    throw Error("net: bind " + cfg_.listen.address + ": " +
+                std::strerror(errno));
+  }
+  if (::listen(listen_fd_, 64) < 0) {
+    throw Error(std::string("net: listen: ") + std::strerror(errno));
+  }
+  set_nonblocking(listen_fd_);
+
+  bound_ = cfg_.listen;
+  if (cfg_.listen.kind == TransportKind::Tcp) {
+    sockaddr_in sin{};
+    socklen_t len = sizeof(sin);
+    if (::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&sin), &len) ==
+        0) {
+      char ip[INET_ADDRSTRLEN] = {0};
+      ::inet_ntop(AF_INET, &sin.sin_addr, ip, sizeof(ip));
+      bound_.address = std::string(ip) + ":" + std::to_string(ntohs(sin.sin_port));
+    }
+  }
+  loop_.add_fd(listen_fd_, kEpollIn, [this](std::uint32_t) { accept_ready(); });
+}
+
+Endpoint SocketTransport::local_endpoint() const { return bound_; }
+
+void SocketTransport::accept_ready() {
+  for (;;) {
+    const int fd = ::accept4(listen_fd_, nullptr, nullptr,
+                             SOCK_NONBLOCK | SOCK_CLOEXEC);
+    if (fd < 0) {
+      if (errno == EAGAIN || errno == EWOULDBLOCK) return;
+      if (errno == EINTR) continue;
+      return;  // transient accept failure; the listener stays armed
+    }
+    InConn c;
+    c.fd = fd;
+    c.parser = std::make_unique<FrameParser>(cfg_.max_frame_bytes);
+    c.last_rx_s = mono_now_s();
+    in_.emplace(fd, std::move(c));
+    loop_.add_fd(fd, kEpollIn, [this, fd](std::uint32_t) { in_readable(fd); });
+  }
+}
+
+void SocketTransport::dial(OutConn& c) {
+  if (stopped_) return;
+  SockAddr addr;
+  try {
+    addr = resolve(c.target);
+  } catch (const Error&) {
+    return;  // permanently un-dialable endpoint
+  }
+  c.fd = ::socket(addr.family, SOCK_STREAM | SOCK_CLOEXEC, 0);
+  if (c.fd < 0) {
+    on_dial_result(c, false);
+    return;
+  }
+  set_nonblocking(c.fd);
+  if (addr.family == AF_INET) {
+    const int one = 1;
+    ::setsockopt(c.fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+  }
+  const int rc = ::connect(c.fd, &addr.u.sa, addr.len);
+  const auto conn_cb = [this, peer = c.peer](std::uint32_t ev) {
+    auto it = out_.find(peer);
+    if (it == out_.end()) return;
+    OutConn& oc = it->second;
+    if (oc.connecting) {
+      int err = 0;
+      socklen_t len = sizeof(err);
+      ::getsockopt(oc.fd, SOL_SOCKET, SO_ERROR, &err, &len);
+      oc.connecting = false;
+      on_dial_result(oc, err == 0 && !(ev & (EPOLLERR | EPOLLHUP)));
+      return;
+    }
+    if (ev & (EPOLLERR | EPOLLHUP)) {
+      drop_out(oc, true);
+      return;
+    }
+    if (ev & EPOLLIN) {
+      // The receiver never writes back on our outbound connection, so any
+      // readable event is EOF or reset (peer died/restarted).
+      if (!out_drain(oc)) return;  // connection dropped
+    }
+    if (ev & EPOLLOUT) out_writable(oc);
+  };
+  if (rc == 0) {
+    loop_.add_fd(c.fd, kEpollIn, conn_cb);
+    on_dial_result(c, true);
+    return;
+  }
+  if (errno == EINPROGRESS) {
+    c.connecting = true;
+    loop_.add_fd(c.fd, kEpollInOut, conn_cb);
+    return;
+  }
+  ::close(c.fd);
+  c.fd = -1;
+  on_dial_result(c, false);
+}
+
+void SocketTransport::on_dial_result(OutConn& c, bool ok) {
+  if (!ok) {
+    drop_out(c, true);
+    return;
+  }
+  c.connected = true;
+  c.backoff_s = cfg_.backoff_initial_s;
+  c.head_offset = 0;
+  // Identify ourselves before any queued data; a reconnect re-sends the
+  // hello because the receiver's old connection (and identity) died.
+  c.queue.push_front(encode_frame(FrameType::kHello, hello_payload(cfg_.self)));
+  if (c.ever_connected) {
+    std::lock_guard<std::mutex> lock(metrics_mu_);
+    metrics_[c.peer].reconnects += 1;
+  }
+  c.ever_connected = true;
+  arm_heartbeat(c);
+  flush(c);
+}
+
+void SocketTransport::arm_heartbeat(OutConn& c) {
+  if (c.heartbeat_timer != 0) loop_.cancel(c.heartbeat_timer);
+  c.heartbeat_timer =
+      loop_.run_after(cfg_.heartbeat_interval_s, [this, peer = c.peer] {
+        auto it = out_.find(peer);
+        if (it == out_.end()) return;
+        OutConn& oc = it->second;
+        oc.heartbeat_timer = 0;
+        if (oc.connected) {
+          // Only when idle: in-flight data already proves liveness.
+          if (oc.queue.empty()) {
+            oc.queue.push_back(encode_frame(FrameType::kHeartbeat, {}));
+            flush(oc);
+          }
+          arm_heartbeat(oc);
+        }
+      });
+}
+
+void SocketTransport::out_writable(OutConn& c) {
+  if (c.connected) flush(c);
+}
+
+bool SocketTransport::out_drain(OutConn& c) {
+  std::uint8_t buf[256];
+  for (;;) {
+    const ssize_t n = ::recv(c.fd, buf, sizeof(buf), 0);
+    if (n > 0) continue;  // unexpected chatter; ignore
+    if (n == 0 || (errno != EAGAIN && errno != EWOULDBLOCK && errno != EINTR)) {
+      drop_out(c, true);
+      return false;
+    }
+    if (errno == EINTR) continue;
+    return true;  // EAGAIN
+  }
+}
+
+void SocketTransport::flush(OutConn& c) {
+  if (!c.connected || c.fd < 0) return;
+  while (!c.queue.empty()) {
+    const auto& buf = c.queue.front();
+    const std::size_t remaining = buf.size() - c.head_offset;
+    const ssize_t n =
+        ::send(c.fd, buf.data() + c.head_offset, remaining, MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EAGAIN || errno == EWOULDBLOCK) {
+        loop_.mod_fd(c.fd, kEpollInOut);
+        return;
+      }
+      if (errno == EINTR) continue;
+      drop_out(c, true);
+      return;
+    }
+    {
+      std::lock_guard<std::mutex> lock(metrics_mu_);
+      metrics_[c.peer].bytes_sent += static_cast<std::uint64_t>(n);
+    }
+    c.head_offset += static_cast<std::size_t>(n);
+    if (c.head_offset < buf.size()) {
+      loop_.mod_fd(c.fd, kEpollInOut);
+      return;
+    }
+    // The frame is fully handed to the kernel: only now is it unqueued, so
+    // a connection drop can never lose a frame the receiver might still be
+    // waiting for — and never resends one it fully shipped.
+    const bool is_data =
+        buf.size() > 4 && buf[4] == static_cast<std::uint8_t>(FrameType::kData);
+    c.queue.pop_front();
+    c.head_offset = 0;
+    std::lock_guard<std::mutex> lock(metrics_mu_);
+    auto& m = metrics_[c.peer];
+    if (is_data) m.frames_sent += 1;
+    m.send_queue_depth = c.queue.size();
+  }
+  loop_.mod_fd(c.fd, kEpollIn);
+}
+
+void SocketTransport::drop_out(OutConn& c, bool schedule_retry) {
+  if (c.fd >= 0) {
+    loop_.del_fd(c.fd);
+    ::close(c.fd);
+    c.fd = -1;
+  }
+  c.connected = false;
+  c.connecting = false;
+  c.head_offset = 0;  // resend the partially-written head frame in full
+  if (c.heartbeat_timer != 0) {
+    loop_.cancel(c.heartbeat_timer);
+    c.heartbeat_timer = 0;
+  }
+  if (!schedule_retry || stopped_) return;
+  if (c.retry_timer != 0) return;  // a retry is already pending
+  c.retry_timer = loop_.run_after(c.backoff_s, [this, peer = c.peer] {
+    auto it = out_.find(peer);
+    if (it == out_.end()) return;
+    it->second.retry_timer = 0;
+    dial(it->second);
+  });
+  c.backoff_s = std::min(c.backoff_s * 2.0, cfg_.backoff_max_s);
+}
+
+void SocketTransport::in_readable(int fd) {
+  auto it = in_.find(fd);
+  if (it == in_.end()) return;
+  std::uint8_t buf[64 * 1024];
+  for (;;) {
+    const ssize_t n = ::recv(fd, buf, sizeof(buf), 0);
+    if (n < 0) {
+      if (errno == EAGAIN || errno == EWOULDBLOCK) return;
+      if (errno == EINTR) continue;
+      drop_in(fd, false);
+      return;
+    }
+    if (n == 0) {  // orderly close (peer exited or restarted)
+      drop_in(fd, false);
+      return;
+    }
+    InConn& c = it->second;
+    c.last_rx_s = mono_now_s();
+    if (c.identified) {
+      peer_last_rx_[c.peer] = c.last_rx_s;
+      std::lock_guard<std::mutex> lock(metrics_mu_);
+      metrics_[c.peer].bytes_received += static_cast<std::uint64_t>(n);
+    }
+    std::vector<ParsedFrame> frames;
+    try {
+      frames = c.parser->feed({buf, static_cast<std::size_t>(n)});
+    } catch (const FrameError&) {
+      // Typed decode failure from an untrusted stream: the dead-peer path.
+      drop_in(fd, true);
+      return;
+    }
+    for (auto& f : frames) {
+      if (f.type == FrameType::kHello) {
+        if (f.payload.size() != 4) {
+          drop_in(fd, true);
+          return;
+        }
+        PeerId peer = 0;
+        for (int i = 0; i < 4; ++i) {
+          peer |= static_cast<PeerId>(f.payload[static_cast<std::size_t>(i)])
+                  << (8 * i);
+        }
+        // A new connection for an already-known peer replaces the old one
+        // (the peer restarted); suppress the stale conn's down event.
+        for (auto& [ofd, oc] : in_) {
+          if (ofd != fd && oc.identified && oc.peer == peer) {
+            oc.identified = false;
+            loop_.run_after(0.0, [this, ofd] { drop_in(ofd, false); });
+          }
+        }
+        c.identified = true;
+        c.peer = peer;
+        peer_last_rx_[peer] = c.last_rx_s;
+        if (handlers_.on_peer_state) handlers_.on_peer_state(peer, true);
+      } else if (f.type == FrameType::kData) {
+        if (!c.identified) {
+          drop_in(fd, true);
+          return;
+        }
+        {
+          std::lock_guard<std::mutex> lock(metrics_mu_);
+          metrics_[c.peer].frames_received += 1;
+        }
+        if (handlers_.on_frame) handlers_.on_frame(c.peer, std::move(f.payload));
+      }
+      // kHeartbeat: last_rx_s refresh above is all it is for.
+    }
+  }
+}
+
+void SocketTransport::drop_in(int fd, bool count_protocol_error) {
+  auto it = in_.find(fd);
+  if (it == in_.end()) return;
+  const bool identified = it->second.identified;
+  const PeerId peer = it->second.peer;
+  loop_.del_fd(fd);
+  ::close(fd);
+  in_.erase(it);
+  if (identified) {
+    if (count_protocol_error) {
+      std::lock_guard<std::mutex> lock(metrics_mu_);
+      metrics_[peer].protocol_errors += 1;
+    }
+    peer_last_rx_.erase(peer);
+    if (handlers_.on_peer_state) handlers_.on_peer_state(peer, false);
+  }
+}
+
+void SocketTransport::sweep_liveness() {
+  const double now = mono_now_s();
+  std::vector<int> dead;
+  for (auto& [fd, c] : in_) {
+    if (c.identified && now - c.last_rx_s > cfg_.dead_after_s) {
+      std::lock_guard<std::mutex> lock(metrics_mu_);
+      metrics_[c.peer].heartbeat_misses += 1;
+      dead.push_back(fd);
+    }
+  }
+  for (const int fd : dead) drop_in(fd, false);
+}
+
+void SocketTransport::send(PeerId to, std::vector<std::uint8_t> frame) {
+  if (!cfg_.peers.contains(to)) {
+    throw Error("net: send to unknown peer " + std::to_string(to));
+  }
+  if (frame.size() > cfg_.max_frame_bytes) {
+    throw Error("net: frame exceeds max_frame_bytes");
+  }
+  auto encoded = encode_frame(FrameType::kData, frame);
+  loop_.post([this, to, encoded = std::move(encoded)]() mutable {
+    auto it = out_.find(to);
+    if (it == out_.end()) return;
+    OutConn& c = it->second;
+    c.queue.push_back(std::move(encoded));
+    {
+      std::lock_guard<std::mutex> lock(metrics_mu_);
+      auto& m = metrics_[to];
+      m.send_queue_depth = c.queue.size();
+      m.send_queue_peak = std::max<std::uint64_t>(m.send_queue_peak,
+                                                  c.queue.size());
+    }
+    if (c.connected) flush(c);
+  });
+}
+
+void SocketTransport::stop() {
+  if (!started_ || stopped_) return;
+  stopped_ = true;
+  loop_.post([this] {
+    for (auto& [peer, c] : out_) {
+      if (c.retry_timer != 0) loop_.cancel(c.retry_timer);
+      if (c.heartbeat_timer != 0) loop_.cancel(c.heartbeat_timer);
+      if (c.fd >= 0) {
+        loop_.del_fd(c.fd);
+        ::close(c.fd);
+        c.fd = -1;
+      }
+      c.connected = false;
+    }
+    for (auto& [fd, c] : in_) {
+      loop_.del_fd(fd);
+      ::close(fd);
+    }
+    in_.clear();
+    if (listen_fd_ >= 0) {
+      loop_.del_fd(listen_fd_);
+      ::close(listen_fd_);
+      listen_fd_ = -1;
+    }
+  });
+  loop_.stop();
+  if (thread_.joinable()) thread_.join();
+  if (cfg_.listen.kind == TransportKind::Unix && !cfg_.listen.address.empty()) {
+    ::unlink(cfg_.listen.address.c_str());
+  }
+}
+
+std::vector<PeerLinkMetrics> SocketTransport::link_metrics() const {
+  std::lock_guard<std::mutex> lock(metrics_mu_);
+  std::vector<PeerLinkMetrics> out;
+  out.reserve(metrics_.size());
+  for (const auto& [peer, m] : metrics_) out.push_back({peer, m});
+  return out;
+}
+
+std::vector<Endpoint> local_endpoints(TransportKind kind,
+                                      const std::string& dir,
+                                      std::size_t n_ranks,
+                                      std::uint16_t base_port) {
+  std::vector<Endpoint> out;
+  out.reserve(n_ranks);
+  for (std::size_t r = 0; r < n_ranks; ++r) {
+    Endpoint ep;
+    ep.kind = kind;
+    if (kind == TransportKind::Unix) {
+      ep.address = dir + "/p" + std::to_string(r) + ".sock";
+    } else if (kind == TransportKind::Tcp) {
+      ep.address = "127.0.0.1:" + std::to_string(base_port + r);
+    } else {
+      ep.address = "inproc-" + std::to_string(r);
+    }
+    out.push_back(std::move(ep));
+  }
+  return out;
+}
+
+SocketTransportConfig mesh_config(PeerId rank,
+                                  const std::vector<Endpoint>& endpoints) {
+  SocketTransportConfig cfg;
+  cfg.self = rank;
+  cfg.listen = endpoints.at(rank);
+  for (PeerId p = 0; p < endpoints.size(); ++p) {
+    if (p != rank) cfg.peers.emplace(p, endpoints[p]);
+  }
+  return cfg;
+}
+
+}  // namespace tulkun::net

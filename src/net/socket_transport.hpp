@@ -1,0 +1,140 @@
+// Real-network Transport over TCP or Unix-domain sockets.
+//
+// Connection model: every ordered (sender, receiver) pair gets its own
+// connection, dialed and owned by the sender. send(to, ...) rides the
+// outbound connection to `to`; frames from `to` arrive on a connection it
+// dialed into our listener. Direction-owned connections make reconnect
+// responsibility unambiguous (the sender redials, with exponential
+// backoff) and eliminate duplicate-connection arbitration.
+//
+// Exactly-once on a live receiver: a frame stays at the head of the send
+// queue until its final byte is accepted by the kernel; if the connection
+// dies mid-frame the whole frame is resent on the next connection, and the
+// receiver's partial-frame buffer died with the old connection, so the
+// resend can never complete an already-delivered frame.
+//
+// Liveness: the sender emits heartbeats on idle outbound connections; the
+// receiver declares a peer dead (on_peer_state down, heartbeat_misses++)
+// when nothing — data or heartbeat — arrives within dead_after_s.
+#pragma once
+
+#include <atomic>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <thread>
+
+#include "net/event_loop.hpp"
+#include "net/frame.hpp"
+#include "net/transport.hpp"
+
+namespace tulkun::net {
+
+struct SocketTransportConfig {
+  PeerId self = 0;
+  /// Our listening endpoint (Unix path or ip:port; tcp port may be 0 for
+  /// an ephemeral port — see local_endpoint()). Empty address = no
+  /// listener (send-only process).
+  Endpoint listen;
+  /// Outbound dial targets: every peer this process will ever send to.
+  std::map<PeerId, Endpoint> peers;
+
+  double heartbeat_interval_s = 0.2;
+  double dead_after_s = 1.0;
+  double backoff_initial_s = 0.02;
+  double backoff_max_s = 1.0;
+  /// Frame payload cap, enforced on both sides (send throws, receive takes
+  /// the dead-peer path).
+  std::size_t max_frame_bytes = std::size_t{64} << 20;
+};
+
+class SocketTransport final : public Transport {
+ public:
+  explicit SocketTransport(SocketTransportConfig cfg);
+  ~SocketTransport() override;
+
+  void start(Handlers handlers) override;
+  void send(PeerId to, std::vector<std::uint8_t> frame) override;
+  void stop() override;
+  [[nodiscard]] PeerId self() const override { return cfg_.self; }
+  [[nodiscard]] std::vector<PeerLinkMetrics> link_metrics() const override;
+
+  /// The bound listen endpoint (resolves tcp port 0 to the actual port).
+  /// Valid after start().
+  [[nodiscard]] Endpoint local_endpoint() const;
+
+ private:
+  struct OutConn {
+    PeerId peer = 0;
+    Endpoint target;
+    int fd = -1;
+    bool connected = false;   // TCP handshake + hello sent
+    bool connecting = false;  // non-blocking connect in flight
+    bool ever_connected = false;
+    double backoff_s = 0.0;
+    EventLoop::TimerId retry_timer = 0;
+    // Send queue: encoded frames; head may be partially written.
+    std::deque<std::vector<std::uint8_t>> queue;
+    std::size_t head_offset = 0;
+    EventLoop::TimerId heartbeat_timer = 0;
+  };
+
+  struct InConn {
+    int fd = -1;
+    PeerId peer = 0;  // learned from the hello frame
+    bool identified = false;
+    std::unique_ptr<FrameParser> parser;
+    double last_rx_s = 0.0;
+  };
+
+  // All private methods run on the loop thread.
+  void start_listener();
+  void accept_ready();
+  void dial(OutConn& c);
+  void on_dial_result(OutConn& c, bool ok);
+  void out_writable(OutConn& c);
+  /// Drains unexpected readable bytes on an outbound connection; returns
+  /// false if EOF/reset forced a drop.
+  bool out_drain(OutConn& c);
+  void flush(OutConn& c);
+  void drop_out(OutConn& c, bool schedule_retry);
+  void in_readable(int fd);
+  void drop_in(int fd, bool count_protocol_error);
+  void sweep_liveness();
+  void arm_heartbeat(OutConn& c);
+
+  LinkMetrics& metrics_of(PeerId peer);
+
+  SocketTransportConfig cfg_;
+  Handlers handlers_;
+  EventLoop loop_;
+  std::thread thread_;
+  bool started_ = false;
+  // Written by the owner thread in stop(), read by the loop thread when it
+  // decides whether a dropped connection deserves a retry timer.
+  std::atomic<bool> stopped_{false};
+
+  int listen_fd_ = -1;
+  Endpoint bound_;  // listen endpoint with resolved port
+  std::map<PeerId, OutConn> out_;
+  std::map<int, InConn> in_;  // keyed by fd
+  std::map<PeerId, double> peer_last_rx_;
+
+  mutable std::mutex metrics_mu_;
+  std::map<PeerId, LinkMetrics> metrics_;
+};
+
+/// Builds the canonical per-rank endpoint set for a local multi-process
+/// run: Unix sockets "<dir>/p<rank>.sock", or 127.0.0.1 with consecutive
+/// ports starting at base_port for tcp.
+[[nodiscard]] std::vector<Endpoint> local_endpoints(TransportKind kind,
+                                                    const std::string& dir,
+                                                    std::size_t n_ranks,
+                                                    std::uint16_t base_port);
+
+/// SocketTransportConfig for `rank` out of `endpoints` (dials every other
+/// rank, listens on its own entry).
+[[nodiscard]] SocketTransportConfig mesh_config(
+    PeerId rank, const std::vector<Endpoint>& endpoints);
+
+}  // namespace tulkun::net

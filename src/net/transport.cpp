@@ -1,0 +1,38 @@
+#include "net/transport.hpp"
+
+#include <algorithm>
+
+namespace tulkun::net {
+
+const char* transport_kind_name(TransportKind k) {
+  switch (k) {
+    case TransportKind::Inproc:
+      return "inproc";
+    case TransportKind::Unix:
+      return "uds";
+    case TransportKind::Tcp:
+      return "tcp";
+  }
+  return "?";
+}
+
+TransportKind parse_transport_kind(const std::string& s) {
+  if (s == "inproc") return TransportKind::Inproc;
+  if (s == "uds" || s == "unix") return TransportKind::Unix;
+  if (s == "tcp") return TransportKind::Tcp;
+  throw Error("unknown transport '" + s + "' (expected inproc|uds|tcp)");
+}
+
+void LinkMetrics::merge(const LinkMetrics& o) {
+  frames_sent += o.frames_sent;
+  bytes_sent += o.bytes_sent;
+  frames_received += o.frames_received;
+  bytes_received += o.bytes_received;
+  reconnects += o.reconnects;
+  heartbeat_misses += o.heartbeat_misses;
+  protocol_errors += o.protocol_errors;
+  send_queue_depth += o.send_queue_depth;
+  send_queue_peak = std::max(send_queue_peak, o.send_queue_peak);
+}
+
+}  // namespace tulkun::net

@@ -1,0 +1,101 @@
+// Transport abstraction for the distributed runtime.
+//
+// A Transport moves opaque byte frames between numbered peers (process
+// ranks). Two implementations share the interface:
+//
+//  - SocketTransport (socket_transport.hpp): real TCP or Unix-domain
+//    sockets on a non-blocking epoll loop, with exponential-backoff
+//    reconnect and heartbeat-based dead-peer detection — the wire the
+//    paper's switch-resident verifiers would use.
+//  - InProcTransport (inproc.hpp): a loopback hub for deterministic tests;
+//    same semantics, no sockets.
+//
+// Delivery contract (what DistributedRuntime builds on): frames between a
+// live (sender, receiver) pair arrive complete, in order, exactly once. A
+// frame is dropped only if the sender's queue is discarded (stop) or the
+// receiver restarts while it is in flight; it is never delivered twice —
+// the sender unqueues a frame only once its final byte is accepted by the
+// kernel, and a receiver's partial frame buffer dies with its connection.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "core/error.hpp"
+
+namespace tulkun::net {
+
+/// Process rank. Rank 0 is the coordinator by convention; device processes
+/// are 1..N. (Unrelated to DeviceId: one process hosts many devices.)
+using PeerId = std::uint32_t;
+
+enum class TransportKind : std::uint8_t { Inproc, Unix, Tcp };
+
+[[nodiscard]] const char* transport_kind_name(TransportKind k);
+/// Parses "inproc" | "uds" | "tcp"; throws Error on anything else.
+[[nodiscard]] TransportKind parse_transport_kind(const std::string& s);
+
+/// One dialable address: a Unix socket path or an ip:port string.
+struct Endpoint {
+  TransportKind kind = TransportKind::Unix;
+  std::string address;
+};
+
+/// Per-peer link counters. "Link" means the pair of directed connections
+/// between this process and one peer (we dial the outbound side; the peer
+/// dials the inbound side).
+struct LinkMetrics {
+  std::uint64_t frames_sent = 0;
+  std::uint64_t bytes_sent = 0;  // wire bytes incl. frame headers
+  std::uint64_t frames_received = 0;
+  std::uint64_t bytes_received = 0;
+  std::uint64_t reconnects = 0;        // connections established after the first
+  std::uint64_t heartbeat_misses = 0;  // liveness windows missed by the peer
+  std::uint64_t protocol_errors = 0;   // malformed frames (dead-peer path)
+  std::uint64_t send_queue_depth = 0;  // frames queued now (snapshot)
+  std::uint64_t send_queue_peak = 0;   // max frames ever queued at once
+
+  void merge(const LinkMetrics& o);
+};
+
+/// A snapshot row: counters towards one peer.
+struct PeerLinkMetrics {
+  PeerId peer = 0;
+  LinkMetrics m;
+};
+
+class Transport {
+ public:
+  struct Handlers {
+    /// A complete application frame from `from`. Called on the transport's
+    /// internal thread (or the sender's thread for InProc): must not
+    /// block, typically enqueues into the owner's worker queue.
+    std::function<void(PeerId from, std::vector<std::uint8_t> frame)>
+        on_frame;
+    /// Peer liveness edge: up=true when a peer (re)connects inbound,
+    /// up=false when its inbound connection dies or goes silent past the
+    /// heartbeat deadline. Optional.
+    std::function<void(PeerId peer, bool up)> on_peer_state;
+  };
+
+  virtual ~Transport() = default;
+
+  /// Starts I/O. Handlers may fire from this point on.
+  virtual void start(Handlers handlers) = 0;
+
+  /// Queues a frame to `to`. Never blocks: if the peer is down the frame
+  /// waits in the send queue across reconnect attempts.
+  virtual void send(PeerId to, std::vector<std::uint8_t> frame) = 0;
+
+  /// Stops I/O and joins internal threads. Queued frames are dropped.
+  virtual void stop() = 0;
+
+  [[nodiscard]] virtual PeerId self() const = 0;
+
+  /// Snapshot of the per-peer counters.
+  [[nodiscard]] virtual std::vector<PeerLinkMetrics> link_metrics() const = 0;
+};
+
+}  // namespace tulkun::net

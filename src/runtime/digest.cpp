@@ -1,0 +1,78 @@
+#include "runtime/digest.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+#include "bdd/serialize.hpp"
+
+namespace tulkun::runtime {
+
+namespace {
+
+std::string pred_hex(const packet::PacketSet& p) {
+  const auto bytes = bdd::serialize(*p.manager(), p.ref());
+  static const char* kHex = "0123456789abcdef";
+  std::string out;
+  out.reserve(bytes.size() * 2);
+  for (const std::uint8_t b : bytes) {
+    out.push_back(kHex[b >> 4]);
+    out.push_back(kHex[b & 0xF]);
+  }
+  return out;
+}
+
+}  // namespace
+
+std::vector<std::string> canonical_device_rows(
+    const verifier::OnDeviceVerifier& v) {
+  const auto snapshots = v.engine_snapshots();
+  std::vector<InvariantId> ids;
+  ids.reserve(snapshots.size());
+  for (const auto& [raw, nodes] : snapshots) ids.push_back(raw);
+  std::sort(ids.begin(), ids.end());
+  const auto dense = [&](InvariantId raw) {
+    return std::lower_bound(ids.begin(), ids.end(), raw) - ids.begin();
+  };
+
+  std::vector<std::string> rows;
+  for (const auto& [raw_inv, nodes] : snapshots) {
+    const auto inv = dense(raw_inv);
+    for (const auto& ns : nodes) {
+      std::ostringstream node_key;
+      node_key << v.device() << "|" << inv << "|" << ns.id << "|";
+      const std::string prefix = node_key.str();
+      for (const auto& e : ns.loc) {
+        std::ostringstream os;
+        os << "loc|" << prefix << pred_hex(e.pred) << "|"
+           << pred_hex(e.down_pred) << "|" << e.action.to_string() << "|"
+           << e.counts.to_string();
+        rows.push_back(os.str());
+      }
+      for (const auto& e : ns.out_sent) {
+        std::ostringstream os;
+        os << "out|" << prefix << pred_hex(e.pred) << "|"
+           << e.counts.to_string();
+        rows.push_back(os.str());
+      }
+      for (const auto& [down, entries] : ns.cib_in) {
+        for (const auto& e : entries) {
+          std::ostringstream os;
+          os << "cib|" << prefix << down << "|" << pred_hex(e.pred) << "|"
+             << e.counts.to_string();
+          rows.push_back(os.str());
+        }
+      }
+    }
+  }
+  for (const auto& vio : v.violations()) {
+    std::ostringstream os;
+    os << "vio|" << dense(vio.invariant) << "|" << vio.device << "|"
+       << vio.node << "|" << pred_hex(vio.pred) << "|"
+       << vio.counts.to_string() << "|" << vio.reason;
+    rows.push_back(os.str());
+  }
+  std::sort(rows.begin(), rows.end());
+  return rows;
+}
+
+}  // namespace tulkun::runtime

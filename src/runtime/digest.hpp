@@ -1,0 +1,31 @@
+// Canonical, cross-process digests of verifier state.
+//
+// The in-process differential tests compare BDD refs directly because both
+// runs share one PacketSpace. Across OS processes every device has its own
+// manager, so refs are meaningless; rows here serialize each predicate to
+// its canonical node-list bytes (bdd::serialize emits the same bytes for
+// equal functions under the repo's fixed variable layout) and hex-encode
+// them. Sorting the rows makes table iteration order irrelevant, so two
+// runs converged to the same state iff their sorted row sets are equal.
+//
+// Invariant ids are assigned by a process-global counter and differ across
+// processes (and across epoch replays within one process); rows renumber
+// them densely by sorted order, which matches because every run installs
+// the same plans in the same order.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "verifier/verifier.hpp"
+
+namespace tulkun::runtime {
+
+/// Sorted canonical rows of one device: every LoC / out_sent / CIB-in
+/// table entry ("loc|", "out|", "cib|" rows) plus one "vio|" row per
+/// violation. Rows embed the device id, so rows from different devices
+/// never collide and whole-network digests are plain sorted unions.
+[[nodiscard]] std::vector<std::string> canonical_device_rows(
+    const verifier::OnDeviceVerifier& v);
+
+}  // namespace tulkun::runtime

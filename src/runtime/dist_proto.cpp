@@ -1,0 +1,257 @@
+#include "runtime/dist_proto.hpp"
+
+#include <bit>
+
+namespace tulkun::runtime {
+
+namespace {
+
+constexpr std::uint8_t kHello = 1;
+constexpr std::uint8_t kBegin = 2;
+constexpr std::uint8_t kProbe = 3;
+constexpr std::uint8_t kProbeAck = 4;
+constexpr std::uint8_t kReset = 5;
+constexpr std::uint8_t kCollect = 6;
+constexpr std::uint8_t kVerdicts = 7;
+constexpr std::uint8_t kDone = 8;
+constexpr std::uint8_t kData = 9;
+
+class Writer {
+ public:
+  void u8(std::uint8_t v) { out_.push_back(v); }
+  void u32(std::uint32_t v) {
+    for (int i = 0; i < 4; ++i) out_.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+  }
+  void u64(std::uint64_t v) {
+    for (int i = 0; i < 8; ++i) out_.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+  }
+  void f64(double v) { u64(std::bit_cast<std::uint64_t>(v)); }
+  void bytes(std::span<const std::uint8_t> b) {
+    u32(static_cast<std::uint32_t>(b.size()));
+    out_.insert(out_.end(), b.begin(), b.end());
+  }
+  void str(const std::string& s) {
+    bytes({reinterpret_cast<const std::uint8_t*>(s.data()), s.size()});
+  }
+  [[nodiscard]] std::vector<std::uint8_t> take() { return std::move(out_); }
+
+ private:
+  std::vector<std::uint8_t> out_;
+};
+
+class Reader {
+ public:
+  explicit Reader(std::span<const std::uint8_t> bytes) : bytes_(bytes) {}
+
+  std::uint8_t u8() {
+    need(1);
+    return bytes_[pos_++];
+  }
+  std::uint32_t u32() {
+    need(4);
+    std::uint32_t v = 0;
+    for (int i = 0; i < 4; ++i) v |= static_cast<std::uint32_t>(bytes_[pos_++]) << (8 * i);
+    return v;
+  }
+  std::uint64_t u64() {
+    need(8);
+    std::uint64_t v = 0;
+    for (int i = 0; i < 8; ++i) v |= static_cast<std::uint64_t>(bytes_[pos_++]) << (8 * i);
+    return v;
+  }
+  double f64() { return std::bit_cast<double>(u64()); }
+  std::vector<std::uint8_t> bytes() {
+    const std::uint32_t len = u32();
+    need(len);
+    std::vector<std::uint8_t> out(bytes_.begin() + static_cast<std::ptrdiff_t>(pos_),
+                                  bytes_.begin() + static_cast<std::ptrdiff_t>(pos_ + len));
+    pos_ += len;
+    return out;
+  }
+  std::string str() {
+    const std::uint32_t len = u32();
+    need(len);
+    std::string out(reinterpret_cast<const char*>(bytes_.data() + pos_), len);
+    pos_ += len;
+    return out;
+  }
+  /// Count-vs-remaining-bytes guard (see dvm::codec): each of `n` declared
+  /// elements occupies at least `min_elem_bytes`.
+  std::uint32_t count(std::uint32_t n, std::size_t min_elem_bytes) const {
+    if (n > (bytes_.size() - pos_) / min_elem_bytes) {
+      throw Error("dist decode: declared count exceeds buffer");
+    }
+    return n;
+  }
+  void done() const {
+    if (pos_ != bytes_.size()) throw Error("dist decode: trailing bytes");
+  }
+
+ private:
+  void need(std::size_t n) const {
+    if (pos_ + n > bytes_.size()) throw Error("dist decode: truncated");
+  }
+  std::span<const std::uint8_t> bytes_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace
+
+std::vector<std::uint8_t> encode_dist(const DistMsg& msg) {
+  Writer w;
+  if (const auto* m = std::get_if<DistHello>(&msg)) {
+    w.u8(kHello);
+    w.u32(m->rank);
+    w.u32(m->incarnation);
+  } else if (const auto* m = std::get_if<DistBegin>(&msg)) {
+    w.u8(kBegin);
+    w.u32(m->epoch);
+    w.u32(m->phase);
+  } else if (const auto* m = std::get_if<DistProbe>(&msg)) {
+    w.u8(kProbe);
+    w.u32(m->epoch);
+    w.u32(m->wave);
+  } else if (const auto* m = std::get_if<DistProbeAck>(&msg)) {
+    w.u8(kProbeAck);
+    w.u32(m->epoch);
+    w.u32(m->wave);
+    w.u64(m->sent);
+    w.u64(m->received);
+    w.u8(m->idle ? 1 : 0);
+    w.u32(m->phase);
+    w.u8(m->phase_started ? 1 : 0);
+  } else if (const auto* m = std::get_if<DistReset>(&msg)) {
+    w.u8(kReset);
+    w.u32(m->epoch);
+  } else if (const auto* m = std::get_if<DistCollect>(&msg)) {
+    w.u8(kCollect);
+    w.u32(m->epoch);
+  } else if (const auto* m = std::get_if<DistVerdicts>(&msg)) {
+    w.u8(kVerdicts);
+    w.u32(m->epoch);
+    w.u32(m->rank);
+    w.u64(m->violations);
+    w.u32(static_cast<std::uint32_t>(m->rows.size()));
+    for (const auto& row : m->rows) w.str(row);
+    w.u64(m->jobs);
+    w.u64(m->frames);
+    w.u64(m->envelopes);
+    w.u64(m->frame_bytes);
+    w.f64(m->lec_delta_seconds);
+    w.f64(m->recompute_seconds);
+    w.f64(m->emit_seconds);
+    w.u64(m->transport.frames_sent);
+    w.u64(m->transport.bytes_sent);
+    w.u64(m->transport.frames_received);
+    w.u64(m->transport.bytes_received);
+    w.u64(m->transport.reconnects);
+    w.u64(m->transport.heartbeat_misses);
+    w.u64(m->transport.protocol_errors);
+    w.u64(m->transport.send_queue_peak);
+  } else if (std::get_if<DistDone>(&msg) != nullptr) {
+    w.u8(kDone);
+  } else {
+    const auto& m = std::get<DistData>(msg);
+    w.u8(kData);
+    w.u32(m.epoch);
+    w.u32(m.dst_device);
+    w.bytes(m.frame);
+  }
+  return w.take();
+}
+
+DistMsg decode_dist(std::span<const std::uint8_t> bytes) {
+  Reader r(bytes);
+  const std::uint8_t tag = r.u8();
+  DistMsg out;
+  switch (tag) {
+    case kHello: {
+      DistHello m;
+      m.rank = r.u32();
+      m.incarnation = r.u32();
+      out = m;
+      break;
+    }
+    case kBegin: {
+      DistBegin m;
+      m.epoch = r.u32();
+      m.phase = r.u32();
+      out = m;
+      break;
+    }
+    case kProbe: {
+      DistProbe m;
+      m.epoch = r.u32();
+      m.wave = r.u32();
+      out = m;
+      break;
+    }
+    case kProbeAck: {
+      DistProbeAck m;
+      m.epoch = r.u32();
+      m.wave = r.u32();
+      m.sent = r.u64();
+      m.received = r.u64();
+      m.idle = r.u8() != 0;
+      m.phase = r.u32();
+      m.phase_started = r.u8() != 0;
+      out = m;
+      break;
+    }
+    case kReset: {
+      DistReset m;
+      m.epoch = r.u32();
+      out = m;
+      break;
+    }
+    case kCollect: {
+      DistCollect m;
+      m.epoch = r.u32();
+      out = m;
+      break;
+    }
+    case kVerdicts: {
+      DistVerdicts m;
+      m.epoch = r.u32();
+      m.rank = r.u32();
+      m.violations = r.u64();
+      const std::uint32_t n = r.count(r.u32(), 4);
+      m.rows.reserve(n);
+      for (std::uint32_t i = 0; i < n; ++i) m.rows.push_back(r.str());
+      m.jobs = r.u64();
+      m.frames = r.u64();
+      m.envelopes = r.u64();
+      m.frame_bytes = r.u64();
+      m.lec_delta_seconds = r.f64();
+      m.recompute_seconds = r.f64();
+      m.emit_seconds = r.f64();
+      m.transport.frames_sent = r.u64();
+      m.transport.bytes_sent = r.u64();
+      m.transport.frames_received = r.u64();
+      m.transport.bytes_received = r.u64();
+      m.transport.reconnects = r.u64();
+      m.transport.heartbeat_misses = r.u64();
+      m.transport.protocol_errors = r.u64();
+      m.transport.send_queue_peak = r.u64();
+      out = m;
+      break;
+    }
+    case kDone:
+      out = DistDone{};
+      break;
+    case kData: {
+      DistData m;
+      m.epoch = r.u32();
+      m.dst_device = r.u32();
+      m.frame = r.bytes();
+      out = m;
+      break;
+    }
+    default:
+      throw Error("dist decode: unknown message tag");
+  }
+  r.done();
+  return out;
+}
+
+}  // namespace tulkun::runtime

@@ -1,0 +1,112 @@
+// Wire protocol of the multi-process DistributedRuntime.
+//
+// Every transport frame between processes carries one DistMsg. Control
+// messages flow between the coordinator (rank 0) and the device processes;
+// Data messages carry dvm-encoded envelope frames directly between device
+// processes. All Data traffic (and the coordinator's probe rounds) is
+// tagged with an epoch: the coordinator bumps the epoch when a device
+// process is reborn, every process then rebuilds its deterministic world,
+// and frames from the previous life are recognized by their stale tag and
+// dropped instead of corrupting the rebuilt state.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <variant>
+#include <vector>
+
+#include "core/error.hpp"
+#include "runtime/metrics.hpp"
+
+namespace tulkun::runtime {
+
+/// First (and only first) message a device process sends the coordinator.
+/// `incarnation` counts rebirths: the supervisor increments it each time it
+/// re-forks a dead rank, and a Hello with a higher incarnation than the
+/// last one recorded is what triggers the coordinator's epoch reset.
+struct DistHello {
+  std::uint32_t rank = 0;
+  std::uint32_t incarnation = 0;
+};
+
+/// Coordinator -> all: run phase `phase` (0 = FIB burst, k >= 1 = update
+/// step k-1 of the deterministic workload).
+struct DistBegin {
+  std::uint32_t epoch = 0;
+  std::uint32_t phase = 0;
+};
+
+/// Coordinator -> all: one wave of the four-counter termination probe.
+struct DistProbe {
+  std::uint32_t epoch = 0;
+  std::uint32_t wave = 0;
+};
+
+/// Device process -> coordinator: consistent snapshot for one probe wave.
+/// `sent`/`received` count cross-process Data frames in the current epoch;
+/// `idle` means the work queue was empty and no job was executing; `phase`
+/// is the highest Begin already processed (termination additionally
+/// requires every process to have reached the current phase, otherwise a
+/// process that merely has not seen the Begin yet looks idle).
+struct DistProbeAck {
+  std::uint32_t epoch = 0;
+  std::uint32_t wave = 0;
+  std::uint64_t sent = 0;
+  std::uint64_t received = 0;
+  bool idle = false;
+  std::uint32_t phase = 0;
+  bool phase_started = false;  // false until the first Begin of this epoch
+};
+
+/// Coordinator -> all: discard all verification state, rebuild the world
+/// from the deterministic seed, and switch to `epoch`. The coordinator
+/// replays Begin 0..k afterwards.
+struct DistReset {
+  std::uint32_t epoch = 0;
+};
+
+/// Coordinator -> all: report verdicts and state digests.
+struct DistCollect {
+  std::uint32_t epoch = 0;
+};
+
+/// Device process -> coordinator: canonical digest rows (tables and
+/// violations, see runtime/digest.hpp) of all owned devices, plus the
+/// process's runtime counters.
+struct DistVerdicts {
+  std::uint32_t epoch = 0;
+  std::uint32_t rank = 0;
+  std::uint64_t violations = 0;
+  std::vector<std::string> rows;
+  // Flattened RuntimeMetrics slice worth shipping (Samples stay local).
+  std::uint64_t jobs = 0;
+  std::uint64_t frames = 0;
+  std::uint64_t envelopes = 0;
+  std::uint64_t frame_bytes = 0;
+  double lec_delta_seconds = 0.0;
+  double recompute_seconds = 0.0;
+  double emit_seconds = 0.0;
+  TransportCounters transport;
+};
+
+/// Coordinator -> all: run is over, exit cleanly.
+struct DistDone {};
+
+/// Device process -> device process: a dvm::encode_frame byte string for
+/// `dst_device` (owned by the receiver), valid within `epoch`.
+struct DistData {
+  std::uint32_t epoch = 0;
+  std::uint32_t dst_device = 0;
+  std::vector<std::uint8_t> frame;
+};
+
+using DistMsg = std::variant<DistHello, DistBegin, DistProbe, DistProbeAck,
+                             DistReset, DistCollect, DistVerdicts, DistDone,
+                             DistData>;
+
+[[nodiscard]] std::vector<std::uint8_t> encode_dist(const DistMsg& msg);
+/// Throws Error on malformed input.
+[[nodiscard]] DistMsg decode_dist(std::span<const std::uint8_t> bytes);
+
+}  // namespace tulkun::runtime

@@ -1,0 +1,516 @@
+#include "runtime/distributed.hpp"
+
+#include <unistd.h>
+
+#include <algorithm>
+#include <chrono>
+#include <thread>
+
+#include "dvm/codec.hpp"
+#include "runtime/digest.hpp"
+
+namespace tulkun::runtime {
+
+namespace {
+
+double seconds_since(std::chrono::steady_clock::time_point t0) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+      .count();
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// DeviceProcess
+// ---------------------------------------------------------------------------
+
+DeviceProcess::DeviceProcess(net::Transport& transport,
+                             const topo::Topology& topo, WorldBuilder builder,
+                             Config cfg)
+    : transport_(&transport),
+      topo_(&topo),
+      builder_(std::move(builder)),
+      cfg_(cfg) {}
+
+void DeviceProcess::on_frame(net::PeerId /*from*/,
+                             std::vector<std::uint8_t> frame) {
+  DistMsg msg;
+  try {
+    msg = decode_dist(frame);
+  } catch (const Error&) {
+    return;  // transport framing already vetted; drop malformed payloads
+  }
+  if (const auto* probe = std::get_if<DistProbe>(&msg)) {
+    // Answered inline so probe latency is independent of job length; the
+    // snapshot is consistent because every counted quantity sits under mu_.
+    DistProbeAck ack;
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      ack.epoch = epoch_;
+      ack.wave = probe->wave;
+      ack.sent = sent_;
+      ack.received = received_;
+      ack.idle = queue_.empty() && !busy_;
+      ack.phase_started = completed_phase_ >= 0;
+      ack.phase = completed_phase_ >= 0
+                      ? static_cast<std::uint32_t>(completed_phase_)
+                      : 0;
+    }
+    transport_->send(kCoordinatorRank, encode_dist(ack));
+    return;
+  }
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    queue_.push_back(std::move(msg));
+  }
+  cv_.notify_one();
+}
+
+void DeviceProcess::build_world() {
+  devices_.clear();
+  world_ = builder_();
+  step_rule_ids_.assign(world_.steps.size(), 0);
+  for (DeviceId d = 0; d < topo_->device_count(); ++d) {
+    if (owner_rank(d, cfg_.n_device_procs) != cfg_.rank) continue;
+    OwnedDevice od;
+    od.dev = d;
+    od.space = std::make_unique<packet::PacketSpace>();
+    od.verifier = std::make_unique<verifier::OnDeviceVerifier>(
+        d, *topo_, *od.space, cfg_.engine);
+    for (const auto& plan : world_.plans) {
+      planner::InvariantPlan local = plan;
+      local.inv = localize_invariant(plan.inv, *od.space);
+      od.verifier->install(local);
+    }
+    devices_.push_back(std::move(od));
+  }
+}
+
+DeviceProcess::OwnedDevice* DeviceProcess::owned(DeviceId dev) {
+  for (auto& od : devices_) {
+    if (od.dev == dev) return &od;
+  }
+  return nullptr;
+}
+
+void DeviceProcess::run() {
+  net::Transport::Handlers handlers;
+  handlers.on_frame = [this](net::PeerId from, std::vector<std::uint8_t> f) {
+    on_frame(from, std::move(f));
+  };
+  transport_->start(std::move(handlers));
+  transport_->send(kCoordinatorRank,
+                   encode_dist(DistHello{cfg_.rank, cfg_.incarnation}));
+  build_world();
+  while (!done_) {
+    DistMsg msg;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      cv_.wait(lock, [&] { return !queue_.empty(); });
+      msg = std::move(queue_.front());
+      queue_.pop_front();
+      busy_ = true;
+    }
+    process(msg);
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      busy_ = false;
+    }
+  }
+}
+
+void DeviceProcess::process(DistMsg& msg) {
+  if (auto* begin = std::get_if<DistBegin>(&msg)) {
+    run_phase(*begin);
+  } else if (auto* data = std::get_if<DistData>(&msg)) {
+    handle_data(*data);
+  } else if (const auto* reset = std::get_if<DistReset>(&msg)) {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      epoch_ = reset->epoch;
+      sent_ = 0;
+      received_ = 0;
+      completed_phase_ = -1;
+    }
+    build_world();
+    // Revive data frames that raced ahead of this Reset; drop older ones.
+    std::vector<DistData> keep;
+    std::vector<DistData> revive;
+    for (auto& d : parked_) {
+      if (d.epoch == reset->epoch) {
+        revive.push_back(std::move(d));
+      } else if (d.epoch > reset->epoch) {
+        keep.push_back(std::move(d));
+      }
+    }
+    parked_ = std::move(keep);
+    if (!revive.empty()) {
+      std::lock_guard<std::mutex> lock(mu_);
+      for (auto& d : revive) queue_.emplace_back(std::move(d));
+    }
+  } else if (const auto* collect = std::get_if<DistCollect>(&msg)) {
+    send_verdicts(collect->epoch);
+  } else if (std::get_if<DistDone>(&msg) != nullptr) {
+    done_ = true;
+  }
+  // Hello/Probe/ProbeAck/Verdicts never reach the worker queue.
+}
+
+void DeviceProcess::run_phase(const DistBegin& begin) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (begin.epoch != epoch_) return;  // stale Begin from before a Reset
+  }
+  if (cfg_.kill_at_phase == begin.phase && cfg_.incarnation == 0) {
+    // Chaos hook: die exactly like a crashed switch process — no cleanup,
+    // no goodbye. The supervisor re-forks us with incarnation 1.
+    _exit(43);
+  }
+  if (begin.phase == 0) {
+    for (auto& od : devices_) {
+      auto outs = od.verifier->initialize(
+          localize_fib(world_.tables[od.dev], *od.space));
+      local_.jobs += 1;
+      route(std::move(outs));
+    }
+  } else {
+    const std::size_t idx = begin.phase - 1;
+    if (idx < world_.steps.size()) {
+      const auto& step = world_.steps[idx];
+      if (owner_rank(step.update.device, cfg_.n_device_procs) == cfg_.rank) {
+        OwnedDevice* od = owned(step.update.device);
+        fib::FibUpdate upd = step.update;
+        if (upd.kind == fib::FibUpdate::Kind::Insert) {
+          upd.rule = localize_rule(step.update.rule, *od->space);
+        }
+        if (step.erase_of >= 0) {
+          upd.rule_id =
+              step_rule_ids_[static_cast<std::size_t>(step.erase_of)];
+        }
+        auto outs = od->verifier->apply_rule_update(upd);
+        step_rule_ids_[idx] = upd.rule_id;
+        local_.jobs += 1;
+        route(std::move(outs));
+      }
+    }
+  }
+  std::lock_guard<std::mutex> lock(mu_);
+  completed_phase_ = begin.phase;
+}
+
+void DeviceProcess::handle_data(DistData& data) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (data.epoch != epoch_) {
+      // Ahead of our Reset: park until we catch up. Behind: a frame from a
+      // previous life; the epoch tag exists precisely to drop it here.
+      if (data.epoch > epoch_) parked_.push_back(std::move(data));
+      return;
+    }
+    received_ += 1;
+  }
+  OwnedDevice* od = owned(data.dst_device);
+  if (od == nullptr) return;  // misrouted frame; ignore
+  std::vector<dvm::Envelope> outs;
+  try {
+    const auto envs = dvm::decode_frame(data.frame, *od->space);
+    for (const auto& env : envs) {
+      auto msgs = od->verifier->on_message(env);
+      outs.insert(outs.end(), std::make_move_iterator(msgs.begin()),
+                  std::make_move_iterator(msgs.end()));
+    }
+  } catch (const dvm::CodecError&) {
+    local_.transport.protocol_errors += 1;
+    return;
+  }
+  local_.jobs += 1;
+  route(std::move(outs));
+}
+
+void DeviceProcess::route(std::vector<dvm::Envelope> outs) {
+  if (outs.empty()) return;
+  std::map<DeviceId, std::vector<dvm::Envelope>> by_dst;
+  for (auto& env : outs) by_dst[env.dst].push_back(std::move(env));
+  for (auto& [dst, envs] : by_dst) {
+    DistData d;
+    d.dst_device = dst;
+    d.frame = dvm::encode_frame(envs, &transfer_cache_);
+    local_.frames += 1;
+    local_.envelopes += envs.size();
+    local_.frame_bytes += d.frame.size();
+    local_.batch_size.add(static_cast<double>(envs.size()));
+    const net::PeerId owner = owner_rank(dst, cfg_.n_device_procs);
+    if (owner == cfg_.rank) {
+      // Loopback: both counters move together so the global sums stay
+      // balanced without special-casing local frames.
+      {
+        std::lock_guard<std::mutex> lock(mu_);
+        d.epoch = epoch_;
+        sent_ += 1;
+        queue_.emplace_back(std::move(d));
+      }
+      cv_.notify_one();
+    } else {
+      {
+        std::lock_guard<std::mutex> lock(mu_);
+        d.epoch = epoch_;
+        sent_ += 1;
+      }
+      transport_->send(owner, encode_dist(DistMsg(std::move(d))));
+    }
+  }
+}
+
+void DeviceProcess::send_verdicts(std::uint32_t /*epoch*/) {
+  DistVerdicts v;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    v.epoch = epoch_;
+  }
+  v.rank = cfg_.rank;
+  for (const auto& od : devices_) {
+    auto rows = canonical_device_rows(*od.verifier);
+    v.violations += od.verifier->violations().size();
+    v.rows.insert(v.rows.end(), std::make_move_iterator(rows.begin()),
+                  std::make_move_iterator(rows.end()));
+    v.lec_delta_seconds += od.verifier->stats().lec_delta_seconds;
+    const auto totals = od.verifier->engine_totals();
+    v.recompute_seconds += totals.recompute_seconds;
+    v.emit_seconds += totals.emit_seconds;
+  }
+  v.jobs = local_.jobs;
+  v.frames = local_.frames;
+  v.envelopes = local_.envelopes;
+  v.frame_bytes = local_.frame_bytes;
+  v.transport = local_.transport;
+  for (const auto& [peer, m] : transport_->link_metrics()) {
+    v.transport.frames_sent += m.frames_sent;
+    v.transport.bytes_sent += m.bytes_sent;
+    v.transport.frames_received += m.frames_received;
+    v.transport.bytes_received += m.bytes_received;
+    v.transport.reconnects += m.reconnects;
+    v.transport.heartbeat_misses += m.heartbeat_misses;
+    v.transport.protocol_errors += m.protocol_errors;
+    v.transport.send_queue_peak =
+        std::max(v.transport.send_queue_peak, m.send_queue_peak);
+  }
+  transport_->send(kCoordinatorRank, encode_dist(v));
+}
+
+// ---------------------------------------------------------------------------
+// DistCoordinator
+// ---------------------------------------------------------------------------
+
+DistCoordinator::DistCoordinator(net::Transport& transport, Config cfg)
+    : transport_(&transport), cfg_(cfg) {}
+
+void DistCoordinator::on_frame(net::PeerId from,
+                               std::vector<std::uint8_t> frame) {
+  DistMsg msg;
+  try {
+    msg = decode_dist(frame);
+  } catch (const Error&) {
+    return;
+  }
+  if (const auto* hello = std::get_if<DistHello>(&msg)) {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = incarnations_.find(hello->rank);
+    const bool reborn =
+        it != incarnations_.end() && hello->incarnation > it->second;
+    if (it == incarnations_.end() || hello->incarnation >= it->second) {
+      incarnations_[hello->rank] = hello->incarnation;
+    }
+    if (reborn && world_started_) reset_wanted_ = true;
+  } else if (const auto* ack = std::get_if<DistProbeAck>(&msg)) {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (ack->epoch == epoch_ && ack->wave == wave_) acks_[from] = *ack;
+  } else if (auto* verdicts = std::get_if<DistVerdicts>(&msg)) {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (verdicts->epoch == epoch_) {
+      verdicts_[verdicts->rank] = std::move(*verdicts);
+    }
+  }
+  cv_.notify_all();
+}
+
+void DistCoordinator::broadcast(const DistMsg& msg) {
+  const auto bytes = encode_dist(msg);
+  for (std::size_t r = 1; r <= cfg_.n_device_procs; ++r) {
+    transport_->send(static_cast<net::PeerId>(r), bytes);
+  }
+}
+
+void DistCoordinator::start() {
+  net::Transport::Handlers handlers;
+  handlers.on_frame = [this](net::PeerId from, std::vector<std::uint8_t> f) {
+    on_frame(from, std::move(f));
+  };
+  transport_->start(std::move(handlers));
+  std::unique_lock<std::mutex> lock(mu_);
+  cv_.wait(lock, [&] { return incarnations_.size() >= cfg_.n_device_procs; });
+  world_started_ = true;
+}
+
+bool DistCoordinator::reset_pending() {
+  std::lock_guard<std::mutex> lock(mu_);
+  return reset_wanted_;
+}
+
+bool DistCoordinator::await_termination(std::uint32_t k) {
+  std::uint64_t prev_sent = 0;
+  std::uint64_t prev_recv = 0;
+  bool have_prev = false;
+  const auto wait_step = std::chrono::duration<double>(cfg_.wait_step_s);
+  const auto probe_gap = std::chrono::duration<double>(cfg_.probe_interval_s);
+  while (true) {
+    std::uint32_t epoch = 0;
+    std::uint32_t wave = 0;
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      if (reset_wanted_) return false;
+      wave_ += 1;
+      wave = wave_;
+      epoch = epoch_;
+      acks_.clear();
+    }
+    broadcast(DistProbe{epoch, wave});
+    bool complete = false;
+    bool terminated = false;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      cv_.wait_for(lock, wait_step, [&] {
+        return reset_wanted_ || acks_.size() >= cfg_.n_device_procs;
+      });
+      if (reset_wanted_) return false;
+      complete = acks_.size() >= cfg_.n_device_procs;
+      if (complete) {
+        bool all_settled = true;
+        std::uint64_t sent = 0;
+        std::uint64_t recv = 0;
+        for (const auto& [rank, ack] : acks_) {
+          sent += ack.sent;
+          recv += ack.received;
+          all_settled = all_settled && ack.idle && ack.phase_started &&
+                        ack.phase == k;
+        }
+        if (all_settled && sent == recv) {
+          if (have_prev && prev_sent == sent && prev_recv == recv) {
+            terminated = true;  // two consecutive stable, balanced waves
+          }
+          have_prev = true;
+          prev_sent = sent;
+          prev_recv = recv;
+        } else {
+          have_prev = false;
+        }
+      }
+    }
+    if (terminated) return true;
+    // Missing acks (dead or slow peer): just probe again — a rebirth Hello
+    // will flip reset_wanted_ and abort this wait.
+    if (complete) std::this_thread::sleep_for(probe_gap);
+  }
+}
+
+void DistCoordinator::absorb_reset(std::uint32_t upto_phase,
+                                   PhaseOutcome& outcome) {
+  bool again = true;
+  while (again) {
+    again = false;
+    std::uint32_t epoch = 0;
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      reset_wanted_ = false;
+      epoch_ += 1;
+      epoch = epoch_;
+      wave_ = 0;
+      acks_.clear();
+    }
+    outcome.resets += 1;
+    broadcast(DistReset{epoch});
+    // Replay every phase completed before the crash; world construction is
+    // deterministic, so the replay reconverges to the identical state.
+    for (std::uint32_t p = 0; p < upto_phase && !again; ++p) {
+      while (true) {
+        if (reset_pending()) {
+          again = true;
+          break;
+        }
+        broadcast(DistBegin{epoch, p});
+        if (await_termination(p)) break;
+      }
+    }
+    if (!again && reset_pending()) again = true;
+  }
+}
+
+DistCoordinator::PhaseOutcome DistCoordinator::run_phase() {
+  PhaseOutcome out;
+  const auto t0 = std::chrono::steady_clock::now();
+  const std::uint32_t k = next_phase_;
+  while (true) {
+    if (reset_pending()) absorb_reset(k, out);
+    std::uint32_t epoch = 0;
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      epoch = epoch_;
+    }
+    broadcast(DistBegin{epoch, k});
+    if (await_termination(k)) break;
+  }
+  next_phase_ = k + 1;
+  out.wall_seconds = seconds_since(t0);
+  return out;
+}
+
+DistCoordinator::Collected DistCoordinator::collect() {
+  Collected out;
+  const auto wait_step = std::chrono::duration<double>(cfg_.wait_step_s);
+  while (true) {
+    std::uint32_t epoch = 0;
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      epoch = epoch_;
+      verdicts_.clear();
+    }
+    broadcast(DistCollect{epoch});
+    std::unique_lock<std::mutex> lock(mu_);
+    cv_.wait_for(lock, wait_step,
+                 [&] { return verdicts_.size() >= cfg_.n_device_procs; });
+    if (verdicts_.size() < cfg_.n_device_procs) continue;  // re-ask
+    out.epoch = epoch;
+    for (auto& [rank, v] : verdicts_) {
+      out.violations += v.violations;
+      out.rows.insert(out.rows.end(),
+                      std::make_move_iterator(v.rows.begin()),
+                      std::make_move_iterator(v.rows.end()));
+      out.metrics.jobs += v.jobs;
+      out.metrics.frames += v.frames;
+      out.metrics.envelopes += v.envelopes;
+      out.metrics.frame_bytes += v.frame_bytes;
+      out.metrics.lec_delta_seconds += v.lec_delta_seconds;
+      out.metrics.recompute_seconds += v.recompute_seconds;
+      out.metrics.emit_seconds += v.emit_seconds;
+      out.metrics.transport.merge(v.transport);
+    }
+    break;
+  }
+  // Fold in the coordinator's own side of the control links.
+  for (const auto& [peer, m] : transport_->link_metrics()) {
+    out.metrics.transport.frames_sent += m.frames_sent;
+    out.metrics.transport.bytes_sent += m.bytes_sent;
+    out.metrics.transport.frames_received += m.frames_received;
+    out.metrics.transport.bytes_received += m.bytes_received;
+    out.metrics.transport.reconnects += m.reconnects;
+    out.metrics.transport.heartbeat_misses += m.heartbeat_misses;
+    out.metrics.transport.protocol_errors += m.protocol_errors;
+    out.metrics.transport.send_queue_peak =
+        std::max(out.metrics.transport.send_queue_peak, m.send_queue_peak);
+  }
+  std::sort(out.rows.begin(), out.rows.end());
+  return out;
+}
+
+void DistCoordinator::shutdown() { broadcast(DistDone{}); }
+
+}  // namespace tulkun::runtime

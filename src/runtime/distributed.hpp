@@ -1,0 +1,193 @@
+// Multi-process DistributedRuntime: devices partitioned across OS
+// processes, exchanging DVM traffic over a real net::Transport.
+//
+// Process model. Rank 0 is the coordinator; ranks 1..P are device
+// processes, each owning the devices with `owner_rank(dev, P) == rank`.
+// Every process deterministically rebuilds the whole world — topology,
+// invariant plans, initial FIBs, and the update stream — from a
+// WorldBuilder (ultimately a dataset spec + seed), so nothing but DVM
+// messages, verdicts and control traffic ever crosses the wire.
+//
+// Execution is phased: phase 0 loads every initial FIB (the burst), phase
+// k >= 1 applies update step k-1 on its owning process. Between phases the
+// coordinator runs Mattern-style four-counter termination detection: probe
+// waves collect per-process (sent, received, idle) snapshots, and a phase
+// is converged when two consecutive waves show every process idle at the
+// current phase with identical, balanced global send/receive totals. This
+// replaces the ShardedRuntime's shared-atomic quiescence count, which
+// cannot exist across address spaces.
+//
+// Fault recovery. When a device process dies, its supervisor re-forks it
+// with a higher incarnation number. The new Hello makes the coordinator
+// bump the global epoch, broadcast a Reset, and replay all completed
+// phases in the new epoch; every data frame is epoch-tagged, so stragglers
+// from the previous life are dropped instead of corrupting rebuilt state.
+// Replay is sound because world construction is deterministic.
+#pragma once
+
+#include <condition_variable>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <mutex>
+
+#include "net/transport.hpp"
+#include "runtime/dist_proto.hpp"
+#include "runtime/sharded_runtime.hpp"
+
+namespace tulkun::runtime {
+
+inline constexpr net::PeerId kCoordinatorRank = 0;
+
+/// The device process owning a device: ranks 1..n_device_procs, round-robin.
+[[nodiscard]] inline net::PeerId owner_rank(DeviceId dev,
+                                            std::size_t n_device_procs) {
+  return 1 + static_cast<net::PeerId>(dev % n_device_procs);
+}
+
+/// Everything a process must agree on with its peers, rebuilt locally per
+/// epoch. `keepalive` owns whatever PacketSpaces back the plans, tables
+/// and update rules (predicates are localized into per-device spaces
+/// through the wire codec before use, exactly like ShardedRuntime).
+struct DistWorld {
+  std::shared_ptr<void> keepalive;
+  std::vector<planner::InvariantPlan> plans;
+  std::vector<fib::FibTable> tables;  // indexed by DeviceId
+  struct Step {
+    fib::FibUpdate update;
+    std::int32_t erase_of = -1;  // >= 0: erase the rule of that insert step
+  };
+  std::vector<Step> steps;
+};
+
+/// Must be deterministic: every call (in any process, any epoch) returns
+/// an equivalent world.
+using WorldBuilder = std::function<DistWorld()>;
+
+/// One device-owning process (rank >= 1). Owns a single worker thread's
+/// worth of state; the transport's receive path only enqueues.
+class DeviceProcess {
+ public:
+  static constexpr std::uint32_t kNoKillPhase = 0xffffffffu;
+
+  struct Config {
+    net::PeerId rank = 1;
+    std::size_t n_device_procs = 1;
+    dvm::EngineConfig engine;
+    std::uint32_t incarnation = 0;
+    /// Chaos hook: _exit the process upon receiving Begin for this phase
+    /// (first incarnation only), simulating a mid-run crash.
+    std::uint32_t kill_at_phase = kNoKillPhase;
+  };
+
+  DeviceProcess(net::Transport& transport, const topo::Topology& topo,
+                WorldBuilder builder, Config cfg);
+
+  /// Starts the transport, sends Hello, and processes work until the
+  /// coordinator's Done arrives. The caller stops the transport afterward.
+  void run();
+
+ private:
+  struct OwnedDevice {
+    DeviceId dev = kNoDevice;
+    std::unique_ptr<packet::PacketSpace> space;
+    std::unique_ptr<verifier::OnDeviceVerifier> verifier;
+  };
+
+  void on_frame(net::PeerId from, std::vector<std::uint8_t> frame);
+  void build_world();
+  void process(DistMsg& msg);
+  void run_phase(const DistBegin& begin);
+  void handle_data(DistData& data);
+  void route(std::vector<dvm::Envelope> outs);
+  void send_verdicts(std::uint32_t epoch);
+  [[nodiscard]] OwnedDevice* owned(DeviceId dev);
+
+  net::Transport* transport_;
+  const topo::Topology* topo_;
+  WorldBuilder builder_;
+  Config cfg_;
+
+  // Worker-owned state (no lock needed).
+  DistWorld world_;
+  std::vector<OwnedDevice> devices_;
+  std::vector<std::uint64_t> step_rule_ids_;
+  bdd::SerializeCache transfer_cache_;
+  RuntimeMetrics local_;
+  bool done_ = false;
+
+  // Shared with the transport thread (queue, counters, probe snapshots).
+  std::mutex mu_;
+  std::condition_variable cv_;
+  std::deque<DistMsg> queue_;
+  std::vector<DistData> parked_;  // Data frames from a future epoch
+  bool busy_ = false;
+  std::uint32_t epoch_ = 0;
+  std::uint64_t sent_ = 0;      // cross-process Data frames, current epoch
+  std::uint64_t received_ = 0;  // counted when processed, not enqueued
+  std::int64_t completed_phase_ = -1;
+};
+
+/// The coordinator (rank 0): drives phases, detects termination, and
+/// collects verdicts. One instance per run; not thread-safe (drive it from
+/// a single thread).
+class DistCoordinator {
+ public:
+  struct Config {
+    std::size_t n_device_procs = 1;
+    double probe_interval_s = 0.002;
+    /// Patience for hellos/acks/verdicts before re-broadcasting.
+    double wait_step_s = 0.05;
+  };
+
+  struct PhaseOutcome {
+    double wall_seconds = 0.0;
+    std::uint32_t resets = 0;  // epoch bumps absorbed during this phase
+  };
+
+  struct Collected {
+    std::uint64_t violations = 0;
+    std::vector<std::string> rows;  // sorted canonical digest, all devices
+    RuntimeMetrics metrics;         // merged over device processes
+    std::uint32_t epoch = 0;        // final epoch (resets survived = epoch)
+  };
+
+  DistCoordinator(net::Transport& transport, Config cfg);
+
+  /// Starts the transport and blocks until every device process helloed.
+  void start();
+
+  /// Runs the next phase to convergence (replaying earlier phases first if
+  /// a device process was reborn).
+  PhaseOutcome run_phase();
+
+  /// Collects verdicts, digests and metrics from every device process.
+  [[nodiscard]] Collected collect();
+
+  /// Broadcasts Done so device processes exit their run() loops.
+  void shutdown();
+
+ private:
+  void on_frame(net::PeerId from, std::vector<std::uint8_t> frame);
+  void broadcast(const DistMsg& msg);
+  /// True when phase `k` terminated; false when interrupted by a reset.
+  bool await_termination(std::uint32_t k);
+  [[nodiscard]] bool reset_pending();
+  void absorb_reset(std::uint32_t upto_phase, PhaseOutcome& outcome);
+
+  net::Transport* transport_;
+  Config cfg_;
+  std::uint32_t next_phase_ = 0;
+
+  std::mutex mu_;
+  std::condition_variable cv_;
+  std::map<net::PeerId, std::uint32_t> incarnations_;
+  bool world_started_ = false;
+  bool reset_wanted_ = false;
+  std::uint32_t epoch_ = 0;
+  std::uint32_t wave_ = 0;
+  std::map<net::PeerId, DistProbeAck> acks_;  // for the current wave
+  std::map<net::PeerId, DistVerdicts> verdicts_;
+};
+
+}  // namespace tulkun::runtime

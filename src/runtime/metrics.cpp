@@ -1,8 +1,20 @@
 #include "runtime/metrics.hpp"
 
+#include <algorithm>
 #include <ostream>
 
 namespace tulkun::runtime {
+
+void TransportCounters::merge(const TransportCounters& other) {
+  frames_sent += other.frames_sent;
+  bytes_sent += other.bytes_sent;
+  frames_received += other.frames_received;
+  bytes_received += other.bytes_received;
+  reconnects += other.reconnects;
+  heartbeat_misses += other.heartbeat_misses;
+  protocol_errors += other.protocol_errors;
+  send_queue_peak = std::max(send_queue_peak, other.send_queue_peak);
+}
 
 double RuntimeMetrics::transfer_cache_hit_rate() const {
   const std::uint64_t total = transfer_cache_hits + transfer_cache_misses;
@@ -40,6 +52,7 @@ void RuntimeMetrics::merge(const RuntimeMetrics& other) {
   lec_delta_seconds += other.lec_delta_seconds;
   recompute_seconds += other.recompute_seconds;
   emit_seconds += other.emit_seconds;
+  transport.merge(other.transport);
 }
 
 void print_metrics(std::ostream& os, const RuntimeMetrics& m) {
@@ -72,6 +85,16 @@ void print_metrics(std::ostream& os, const RuntimeMetrics& m) {
     os << "  phases: lec-delta " << format_duration(m.lec_delta_seconds)
        << ", recompute " << format_duration(m.recompute_seconds) << ", emit "
        << format_duration(m.emit_seconds) << "\n";
+  }
+  const auto& t = m.transport;
+  if (t.frames_sent + t.frames_received > 0) {
+    os << "  transport: sent " << t.frames_sent << " frames ("
+       << format_bytes(static_cast<double>(t.bytes_sent)) << "), received "
+       << t.frames_received << " frames ("
+       << format_bytes(static_cast<double>(t.bytes_received)) << "), "
+       << t.reconnects << " reconnects, " << t.heartbeat_misses
+       << " heartbeat misses, " << t.protocol_errors
+       << " protocol errors, send-queue peak " << t.send_queue_peak << "\n";
   }
 }
 

@@ -21,6 +21,22 @@ struct RunStats {
   Samples per_device_busy_seconds; // total busy time per device (filled at end)
 };
 
+/// Aggregated network-transport counters of one distributed run (zeros for
+/// purely in-process runs). Mirrors net::LinkMetrics summed over links,
+/// duplicated here so metrics stay independent of the net layer.
+struct TransportCounters {
+  std::uint64_t frames_sent = 0;
+  std::uint64_t bytes_sent = 0;
+  std::uint64_t frames_received = 0;
+  std::uint64_t bytes_received = 0;
+  std::uint64_t reconnects = 0;
+  std::uint64_t heartbeat_misses = 0;
+  std::uint64_t protocol_errors = 0;
+  std::uint64_t send_queue_peak = 0;  // max over links
+
+  void merge(const TransportCounters& other);
+};
+
 /// Counters of one ShardedRuntime run: how work spread over shards, how
 /// well per-destination batching and the cross-space transfer cache did,
 /// and how long jobs waited in shard queues. Aggregated from per-shard
@@ -45,6 +61,9 @@ struct RuntimeMetrics {
   double lec_delta_seconds = 0.0;
   double recompute_seconds = 0.0;
   double emit_seconds = 0.0;
+
+  /// Real-network transport activity (multi-process runs only).
+  TransportCounters transport;
 
   [[nodiscard]] double transfer_cache_hit_rate() const;
   [[nodiscard]] double mean_batch_size() const;

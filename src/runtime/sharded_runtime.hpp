@@ -78,6 +78,12 @@ class ShardedRuntime {
   /// Safe only after wait_quiescent().
   [[nodiscard]] std::vector<dvm::Violation> violations();
 
+  /// Direct access to one device's verifier (digests, inspection).
+  /// Safe only after wait_quiescent().
+  [[nodiscard]] const verifier::OnDeviceVerifier& device(DeviceId dev) const {
+    return *devices_[dev].verifier;
+  }
+
   [[nodiscard]] std::size_t device_count() const { return devices_.size(); }
   [[nodiscard]] std::size_t shard_count() const { return shards_.size(); }
 

@@ -2,6 +2,7 @@
 
 #include <gtest/gtest.h>
 
+#include <functional>
 #include <span>
 
 namespace tulkun::dvm {
@@ -231,6 +232,123 @@ TEST_F(CodecTest, EmptyUpdateIsSmall) {
   const Envelope env{0, 1, std::move(u)};
   // Envelope header + tag + ids + two zero-length lists.
   EXPECT_LT(encode(env).size(), 32u);
+}
+
+// --------------------------------------------------------------------------
+// Hostile-input hardening: declared sizes are validated against the bytes
+// actually present BEFORE any allocation, and every rejection carries a
+// typed kind so transports can pick the dead-peer path.
+// --------------------------------------------------------------------------
+
+void put_u32(std::vector<std::uint8_t>& out, std::uint32_t v) {
+  for (int i = 0; i < 4; ++i) {
+    out.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+  }
+}
+
+[[nodiscard]] CodecErrorKind kind_of(const std::function<void()>& fn) {
+  try {
+    fn();
+  } catch (const CodecError& e) {
+    return e.kind();
+  }
+  ADD_FAILURE() << "expected CodecError";
+  return CodecErrorKind::Truncated;
+}
+
+TEST_F(CodecTest, HostileWithdrawnCountRejectedBeforeAllocation) {
+  // An update claiming 2^32-1 withdrawn predicates in a 30-byte buffer.
+  // The count guard must fire on the declared count, not after attempting
+  // to materialize four billion predicates.
+  std::vector<std::uint8_t> bytes;
+  put_u32(bytes, 0);  // src
+  put_u32(bytes, 1);  // dst
+  bytes.push_back(1); // kTagUpdate
+  put_u32(bytes, 7);  // invariant
+  put_u32(bytes, 0);  // up_node
+  put_u32(bytes, 0);  // down_node
+  put_u32(bytes, 0xFFFFFFFFu);  // withdrawn count
+  EXPECT_EQ(kind_of([&] { (void)decode(bytes, dst); }),
+            CodecErrorKind::Truncated);
+}
+
+TEST_F(CodecTest, HostileCountTupleHeaderRejected) {
+  // Same idea one level deeper: a count-set claiming 2^31 tuples.
+  std::vector<std::uint8_t> bytes;
+  put_u32(bytes, 0);
+  put_u32(bytes, 1);
+  bytes.push_back(1);  // kTagUpdate
+  put_u32(bytes, 7);
+  put_u32(bytes, 0);
+  put_u32(bytes, 0);
+  put_u32(bytes, 0);  // no withdrawn
+  put_u32(bytes, 1);  // one result entry...
+  {
+    // ...whose predicate is a valid serialization of "all packets".
+    const auto pred = bdd::serialize(
+        src.manager(),
+        src.dst_prefix(packet::Ipv4Prefix::parse("0.0.0.0/0")).ref());
+    put_u32(bytes, static_cast<std::uint32_t>(pred.size()));
+    bytes.insert(bytes.end(), pred.begin(), pred.end());
+  }
+  put_u32(bytes, 1u << 31);  // tuples
+  put_u32(bytes, 2);         // arity
+  EXPECT_EQ(kind_of([&] { (void)decode(bytes, dst); }),
+            CodecErrorKind::Truncated);
+}
+
+TEST_F(CodecTest, HostileFrameEnvelopeCountRejected) {
+  // Above the envelope cap: Oversize.
+  std::vector<std::uint8_t> over{0xF5};
+  put_u32(over, default_decode_limits().max_envelopes + 1);
+  EXPECT_EQ(kind_of([&] { (void)decode_frame(over, dst); }),
+            CodecErrorKind::Oversize);
+  // Under the cap but impossible for the buffer: Truncated, before
+  // reserve() touches the count.
+  std::vector<std::uint8_t> thin{0xF5};
+  put_u32(thin, 50000);
+  EXPECT_EQ(kind_of([&] { (void)decode_frame(thin, dst); }),
+            CodecErrorKind::Truncated);
+}
+
+TEST_F(CodecTest, PredicateSizeCapEnforced) {
+  const auto envs = sample_envelopes(src);
+  const auto bytes = encode(envs[0]);
+  DecodeLimits limits;
+  limits.max_pred_bytes = 2;  // below any real serialization
+  EXPECT_EQ(kind_of([&] { (void)decode(bytes, dst, limits); }),
+            CodecErrorKind::Oversize);
+}
+
+TEST_F(CodecTest, FrameSizeCapEnforced) {
+  const auto frame = encode_frame(sample_envelopes(src));
+  DecodeLimits limits;
+  limits.max_frame_bytes = frame.size() - 1;
+  EXPECT_EQ(kind_of([&] { (void)decode_frame(frame, dst, limits); }),
+            CodecErrorKind::Oversize);
+  // At the cap it decodes fine.
+  limits.max_frame_bytes = frame.size();
+  EXPECT_EQ(decode_frame(frame, dst, limits).size(), 4u);
+}
+
+TEST_F(CodecTest, ErrorKindsAreTyped) {
+  const auto bytes = encode(sample_envelopes(src)[0]);
+  // Truncation.
+  const std::span<const std::uint8_t> cut(bytes.data(), bytes.size() - 1);
+  EXPECT_EQ(kind_of([&] { (void)decode(cut, dst); }),
+            CodecErrorKind::Truncated);
+  // Unknown tag.
+  auto bad_tag = bytes;
+  bad_tag[8] = 0xEE;
+  EXPECT_EQ(kind_of([&] { (void)decode(bad_tag, dst); }),
+            CodecErrorKind::BadTag);
+  // Trailing junk after a well-formed message.
+  auto padded = bytes;
+  padded.push_back(0);
+  EXPECT_EQ(kind_of([&] { (void)decode(padded, dst); }),
+            CodecErrorKind::TrailingBytes);
+  // CodecError is still an Error, so existing catch sites keep working.
+  EXPECT_THROW((void)decode(padded, dst), Error);
 }
 
 }  // namespace

@@ -1,0 +1,55 @@
+// Shared baseline for the distributed differential tests: drive a plain
+// in-process ShardedRuntime through exactly the world every distributed
+// process rebuilds locally, and digest the converged state.
+#pragma once
+
+#include <algorithm>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "eval/dist_run.hpp"
+#include "runtime/digest.hpp"
+#include "runtime/distributed.hpp"
+
+namespace tulkun::eval::testutil {
+
+struct ShardedBaseline {
+  std::vector<std::string> rows;
+  std::uint64_t violations = 0;
+};
+
+inline ShardedBaseline sharded_baseline(const DatasetSpec& spec,
+                                        const HarnessOptions& opts,
+                                        std::size_t n_updates) {
+  Harness harness(spec, opts);
+  const auto world = harness.world_builder(n_updates)();
+  runtime::ShardedRuntime rt(harness.topology(), opts.engine);
+  for (const auto& plan : world.plans) rt.install(plan);
+  for (DeviceId d = 0; d < static_cast<DeviceId>(world.tables.size()); ++d) {
+    rt.post_initialize(d, world.tables[d]);
+  }
+  rt.wait_quiescent();
+  std::vector<std::shared_ptr<const fib::FibUpdate>> handles;
+  for (const auto& step : world.steps) {
+    fib::FibUpdate u = step.update;
+    // Erase steps target whatever id the runtime assigned to the insert
+    // they undo — same resolution the DeviceProcess performs.
+    if (step.erase_of >= 0) {
+      u.rule_id = handles[static_cast<std::size_t>(step.erase_of)]->rule_id;
+    }
+    handles.push_back(rt.post_rule_update(u.device, u));
+    rt.wait_quiescent();
+  }
+  ShardedBaseline base;
+  base.violations = rt.violations().size();
+  for (DeviceId d = 0; d < static_cast<DeviceId>(rt.device_count()); ++d) {
+    auto rows = runtime::canonical_device_rows(rt.device(d));
+    base.rows.insert(base.rows.end(), std::make_move_iterator(rows.begin()),
+                     std::make_move_iterator(rows.end()));
+  }
+  std::sort(base.rows.begin(), base.rows.end());
+  return base;
+}
+
+}  // namespace tulkun::eval::testutil

@@ -1,0 +1,144 @@
+#include "net/frame.hpp"
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+namespace tulkun::net {
+namespace {
+
+std::vector<std::uint8_t> payload_of(std::size_t n) {
+  std::vector<std::uint8_t> p(n);
+  std::iota(p.begin(), p.end(), static_cast<std::uint8_t>(1));
+  return p;
+}
+
+TEST(FrameTest, EncodeLayout) {
+  const auto p = payload_of(3);
+  const auto bytes = encode_frame(FrameType::kData, p);
+  ASSERT_EQ(bytes.size(), kFrameHeaderBytes + 3);
+  // magic, little-endian
+  std::uint32_t magic = 0;
+  for (int i = 0; i < 4; ++i) {
+    magic |= static_cast<std::uint32_t>(bytes[i]) << (8 * i);
+  }
+  EXPECT_EQ(magic, kFrameMagic);
+  EXPECT_EQ(bytes[4], static_cast<std::uint8_t>(FrameType::kData));
+  std::uint32_t len = 0;
+  for (int i = 0; i < 4; ++i) {
+    len |= static_cast<std::uint32_t>(bytes[5 + i]) << (8 * i);
+  }
+  EXPECT_EQ(len, 3u);
+  EXPECT_EQ(std::vector<std::uint8_t>(bytes.begin() + 9, bytes.end()), p);
+}
+
+TEST(FrameTest, RoundTripWholeBuffer) {
+  FrameParser parser(1 << 20);
+  const auto p = payload_of(100);
+  const auto frames = parser.feed(encode_frame(FrameType::kData, p));
+  ASSERT_EQ(frames.size(), 1u);
+  EXPECT_EQ(frames[0].type, FrameType::kData);
+  EXPECT_EQ(frames[0].payload, p);
+  EXPECT_EQ(parser.pending_bytes(), 0u);
+}
+
+TEST(FrameTest, PartialReadsByteByByte) {
+  // Non-blocking sockets hand the parser arbitrary slices; the degenerate
+  // 1-byte case exercises every resume point in the header and payload.
+  FrameParser parser(1 << 20);
+  const auto p = payload_of(17);
+  const auto bytes = encode_frame(FrameType::kData, p);
+  std::vector<ParsedFrame> got;
+  for (const std::uint8_t b : bytes) {
+    auto out = parser.feed(std::span<const std::uint8_t>(&b, 1));
+    got.insert(got.end(), std::make_move_iterator(out.begin()),
+               std::make_move_iterator(out.end()));
+  }
+  ASSERT_EQ(got.size(), 1u);
+  EXPECT_EQ(got[0].payload, p);
+}
+
+TEST(FrameTest, CoalescedFramesInOneFeed) {
+  FrameParser parser(1 << 20);
+  std::vector<std::uint8_t> wire;
+  for (std::size_t i = 0; i < 5; ++i) {
+    const auto f = encode_frame(
+        i % 2 == 0 ? FrameType::kData : FrameType::kHeartbeat, payload_of(i));
+    wire.insert(wire.end(), f.begin(), f.end());
+  }
+  // Split at an arbitrary point that straddles a frame boundary.
+  const std::size_t cut = wire.size() / 2;
+  auto a = parser.feed(std::span<const std::uint8_t>(wire.data(), cut));
+  auto b = parser.feed(
+      std::span<const std::uint8_t>(wire.data() + cut, wire.size() - cut));
+  EXPECT_EQ(a.size() + b.size(), 5u);
+}
+
+TEST(FrameTest, EmptyPayloadFrames) {
+  FrameParser parser(16);
+  const auto frames = parser.feed(encode_frame(FrameType::kHeartbeat, {}));
+  ASSERT_EQ(frames.size(), 1u);
+  EXPECT_EQ(frames[0].type, FrameType::kHeartbeat);
+  EXPECT_TRUE(frames[0].payload.empty());
+}
+
+TEST(FrameTest, TruncatedFrameStaysPending) {
+  FrameParser parser(1 << 20);
+  const auto bytes = encode_frame(FrameType::kData, payload_of(50));
+  const auto frames = parser.feed(
+      std::span<const std::uint8_t>(bytes.data(), bytes.size() - 1));
+  EXPECT_TRUE(frames.empty());
+  EXPECT_EQ(parser.pending_bytes(), bytes.size() - 1);
+}
+
+TEST(FrameTest, BadMagicPoisonsParser) {
+  FrameParser parser(1 << 20);
+  auto bytes = encode_frame(FrameType::kData, payload_of(4));
+  bytes[0] ^= 0xFF;
+  try {
+    (void)parser.feed(bytes);
+    FAIL() << "expected FrameError";
+  } catch (const FrameError& e) {
+    EXPECT_EQ(e.kind(), FrameErrorKind::BadMagic);
+  }
+  // Poisoned: even valid input rethrows (the connection must be dropped).
+  EXPECT_THROW((void)parser.feed(encode_frame(FrameType::kData, {})),
+               FrameError);
+}
+
+TEST(FrameTest, OversizeDeclaredLengthRejectedBeforeBuffering) {
+  // A header claiming a 1GB payload against a 1KB cap must be rejected as
+  // soon as the header is complete — no waiting for (or allocating) the
+  // gigabyte.
+  FrameParser parser(1024);
+  std::vector<std::uint8_t> header;
+  for (int i = 0; i < 4; ++i) {
+    header.push_back(static_cast<std::uint8_t>(kFrameMagic >> (8 * i)));
+  }
+  header.push_back(static_cast<std::uint8_t>(FrameType::kData));
+  const std::uint32_t huge = 1u << 30;
+  for (int i = 0; i < 4; ++i) {
+    header.push_back(static_cast<std::uint8_t>(huge >> (8 * i)));
+  }
+  try {
+    (void)parser.feed(header);
+    FAIL() << "expected FrameError";
+  } catch (const FrameError& e) {
+    EXPECT_EQ(e.kind(), FrameErrorKind::Oversize);
+  }
+}
+
+TEST(FrameTest, UnknownTypeRejected) {
+  FrameParser parser(1024);
+  auto bytes = encode_frame(FrameType::kData, {});
+  bytes[4] = 0x7F;
+  try {
+    (void)parser.feed(bytes);
+    FAIL() << "expected FrameError";
+  } catch (const FrameError& e) {
+    EXPECT_EQ(e.kind(), FrameErrorKind::BadType);
+  }
+}
+
+}  // namespace
+}  // namespace tulkun::net
