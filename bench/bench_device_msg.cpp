@@ -11,6 +11,7 @@ int main(int argc, char** argv) {
   if (eval::maybe_run_device_role(argc, argv)) return 0;
   const auto args = bench::Args::parse(argc, argv);
   bench::JsonReport json;
+  bench::ObsSession obs(args);
 
   std::cout << "\n== Figure 15: DVM UPDATE processing overhead CDFs ==\n";
   for (const auto& spec : args.wan_datasets()) {
@@ -46,7 +47,7 @@ int main(int argc, char** argv) {
   // what the wire costs on top of the shared-memory worker pool.
   if (!args.transport.empty()) {
     bench::run_transport_section(eval::dataset("INet2"), args, args.updates,
-                                 json);
+                                 json, &obs);
   }
 
   json.write(args.json_path);

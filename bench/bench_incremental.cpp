@@ -6,6 +6,7 @@ int main(int argc, char** argv) {
   using namespace tulkun;
   const auto args = bench::Args::parse(argc, argv);
   bench::JsonReport json;
+  bench::ObsSession obs(args);
 
   std::vector<eval::Harness::Result> results;
   for (const auto& spec : args.datasets()) {

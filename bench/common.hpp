@@ -14,6 +14,10 @@
 //   --procs=N        device processes for the --transport section
 //   --json <path>    also write a flat machine-readable summary (--json=path
 //                    works too)
+//   --trace-out=F    enable the flight recorder and write a Chrome
+//                    trace-event JSON (Perfetto-loadable) to F at exit
+//   --metrics-listen=IP:PORT  serve a Prometheus-style text snapshot of the
+//                    obs::Registry counters over HTTP while the bench runs
 //
 // The default (no flags) is a quick profile that finishes in minutes and
 // still reproduces the figures' *shapes*; EXPERIMENTS.md records both.
@@ -22,6 +26,7 @@
 #include <cstdlib>
 #include <cstring>
 #include <fstream>
+#include <memory>
 #include <iostream>
 #include <sstream>
 #include <string>
@@ -32,8 +37,24 @@
 #include "eval/dist_run.hpp"
 #include "eval/harness.hpp"
 #include "eval/report.hpp"
+#include "obs/export.hpp"
+#include "obs/metrics_server.hpp"
+#include "obs/trace.hpp"
+
+// Stamped into the --json reports by bench/CMakeLists.txt; the fallbacks
+// keep common.hpp includable from other targets (tests) without the stamps.
+#ifndef TULKUN_GIT_DESCRIBE
+#define TULKUN_GIT_DESCRIBE "unknown"
+#endif
+#ifndef TULKUN_BUILD_PRESET
+#define TULKUN_BUILD_PRESET "unknown"
+#endif
 
 namespace tulkun::bench {
+
+/// Bump when the meaning or naming of existing --json keys changes (adding
+/// keys is not a bump); lets downstream plotting scripts reject stale files.
+inline constexpr std::uint64_t kJsonSchemaVersion = 2;
 
 /// Flat key -> value summary written as one JSON object. Keys are bench
 /// identifiers we mint ourselves (dataset.tool.metric), so no escaping.
@@ -52,7 +73,9 @@ class JsonReport {
     fields_.emplace_back(key, "\"" + value + "\"");
   }
 
-  /// No-op when `path` is empty (no --json flag given).
+  /// No-op when `path` is empty (no --json flag given). Every report leads
+  /// with provenance: schema version, the git describe of the build, the
+  /// CMake preset, and whether trace points were compiled in/enabled.
   void write(const std::string& path) const {
     if (path.empty()) return;
     std::ofstream out(path);
@@ -61,6 +84,13 @@ class JsonReport {
       return;
     }
     out << "{\n";
+    out << "  \"schema_version\": " << kJsonSchemaVersion << ",\n";
+    out << "  \"git_describe\": \"" << TULKUN_GIT_DESCRIBE << "\",\n";
+    out << "  \"build_preset\": \"" << TULKUN_BUILD_PRESET << "\",\n";
+    out << "  \"trace_compiled_in\": " << (obs::kTraceCompiledIn ? 1 : 0)
+        << ",\n";
+    out << "  \"trace_enabled\": " << (obs::trace_enabled() ? 1 : 0)
+        << (fields_.empty() ? "" : ",") << "\n";
     for (std::size_t i = 0; i < fields_.size(); ++i) {
       out << "  \"" << fields_[i].first << "\": " << fields_[i].second
           << (i + 1 < fields_.size() ? "," : "") << "\n";
@@ -83,6 +113,8 @@ struct Args {
   std::string transport;   // empty = skip the distributed section
   std::size_t dist_procs = 2;
   std::string json_path;
+  std::string trace_out;       // empty = flight recorder stays disabled
+  std::string metrics_listen;  // empty = no metrics endpoint
 
   static Args parse(int argc, char** argv) {
     Args a;
@@ -121,10 +153,15 @@ struct Args {
         a.json_path = v;
       } else if (arg == "--json" && i + 1 < argc) {
         a.json_path = argv[++i];
+      } else if (const char* v = value("--trace-out=")) {
+        a.trace_out = v;
+      } else if (const char* v = value("--metrics-listen=")) {
+        a.metrics_listen = v;
       } else if (arg == "--help") {
         std::cout << "flags: --full --updates=N --max-dst=N --scenes=N "
                      "--seed=N --shards=N --transport=inproc|uds|tcp "
-                     "--procs=N --json <path>\n";
+                     "--procs=N --json <path> --trace-out=FILE "
+                     "--metrics-listen=IP:PORT\n";
         std::exit(0);
       }
     }
@@ -159,6 +196,51 @@ struct Args {
     }
     return out;
   }
+};
+
+/// Observability scope for a bench main: enables the flight recorder when
+/// --trace-out is set (writing the merged Chrome trace at destruction) and
+/// serves live obs::Registry counters while --metrics-listen is set.
+/// Construct once at the top of main, after Args::parse.
+struct ObsSession {
+  explicit ObsSession(const Args& args) : trace_out(args.trace_out) {
+    if (!trace_out.empty()) {
+      if (!obs::kTraceCompiledIn) {
+        std::cerr << "--trace-out ignored: built with TULKUN_TRACE=OFF\n";
+      }
+      obs::set_trace_enabled(true);
+    }
+    if (!args.metrics_listen.empty()) {
+      server = std::make_unique<obs::MetricsServer>();
+      server->start(args.metrics_listen);
+      std::cout << "metrics: http://" << server->address() << "/metrics\n";
+    }
+  }
+  ObsSession(const ObsSession&) = delete;
+  ObsSession& operator=(const ObsSession&) = delete;
+
+  /// Queue trace snapshots shipped back from other processes (the device
+  /// ranks of a dist_run) for inclusion in the merged timeline.
+  void add_traces(std::vector<obs::TraceSnapshot> remote) {
+    for (auto& t : remote) snaps.push_back(std::move(t));
+  }
+
+  ~ObsSession() {
+    if (server) server->stop();
+    if (trace_out.empty() || !obs::kTraceCompiledIn) return;
+    snaps.push_back(obs::drain_snapshot());
+    try {
+      obs::write_chrome_trace_file(trace_out, snaps);
+      std::cout << "wrote trace " << trace_out << "\n";
+    } catch (const std::exception& e) {
+      std::cerr << "cannot write trace " << trace_out << ": " << e.what()
+                << "\n";
+    }
+  }
+
+  std::string trace_out;
+  std::vector<obs::TraceSnapshot> snaps;
+  std::unique_ptr<obs::MetricsServer> server;
 };
 
 /// Runs the sharded worker-pool runtime on one dataset and reports wall
@@ -217,12 +299,15 @@ inline void run_sharded_section(const eval::DatasetSpec& spec,
 /// paths re-exec it for the device processes).
 inline void run_transport_section(const eval::DatasetSpec& spec,
                                   const Args& args, std::size_t n_updates,
-                                  JsonReport& json) {
+                                  JsonReport& json,
+                                  ObsSession* obs_session = nullptr) {
   eval::DistOptions dist;
   dist.kind = net::parse_transport_kind(args.transport);
   dist.device_procs = args.dist_procs;
   dist.n_updates = n_updates;
-  const auto run = eval::dist_run(spec, args.harness_options(), dist);
+  dist.collect_trace = obs_session != nullptr && obs::trace_enabled();
+  auto run = eval::dist_run(spec, args.harness_options(), dist);
+  if (obs_session) obs_session->add_traces(std::move(run.traces));
 
   std::cout << "\n== Distributed runtime (" << spec.name << ", "
             << args.dist_procs << " device procs over " << args.transport

@@ -18,11 +18,21 @@
 // --peers lists the OTHER ranks' endpoints in rank order; --listen is this
 // process's own endpoint. Every process must name the same dataset, seed
 // and update count, because each rebuilds the world locally from them.
+#include <pthread.h>
+#include <signal.h>
+#include <unistd.h>
+
+#include <atomic>
 #include <cstring>
 #include <iostream>
+#include <memory>
 #include <string>
+#include <thread>
 
 #include "eval/dist_run.hpp"
+#include "obs/export.hpp"
+#include "obs/metrics_server.hpp"
+#include "obs/trace.hpp"
 
 using namespace tulkun;
 
@@ -40,6 +50,12 @@ struct CliArgs {
   net::PeerId rank = 1;  // device role only
   std::string listen;
   std::string peers;
+  /// Enables the flight recorder; local/coordinator roles write the merged
+  /// Chrome trace here on completion (and on SIGINT). A device role uses the
+  /// flag only to turn its recorder on — its records ship to the
+  /// coordinator with the verdicts, no file is written.
+  std::string trace_out;
+  std::string metrics_listen;  // serve obs::Registry counters over HTTP
 };
 
 CliArgs parse(int argc, char** argv) {
@@ -72,6 +88,10 @@ CliArgs parse(int argc, char** argv) {
       a.listen = v;
     } else if (const char* v = value("--peers=")) {
       a.peers = v;
+    } else if (const char* v = value("--trace-out=")) {
+      a.trace_out = v;
+    } else if (const char* v = value("--metrics-listen=")) {
+      a.metrics_listen = v;
     } else if (arg == "--help") {
       std::cout
           << "roles:\n"
@@ -80,7 +100,9 @@ CliArgs parse(int argc, char** argv) {
              "  --role=coordinator --listen=EP --peers=EP1,..,EPN\n"
              "  --role=device --rank=R --listen=EP --peers=EP0,..\n"
              "common: --dataset=NAME --updates=N --seed=N --max-dst=N\n"
-             "        --transport=inproc|uds|tcp\n";
+             "        --transport=inproc|uds|tcp\n"
+             "        --trace-out=FILE (Chrome trace JSON; see README)\n"
+             "        --metrics-listen=IP:PORT (Prometheus text endpoint)\n";
       std::exit(0);
     } else {
       throw Error("unknown flag " + arg + " (see --help)");
@@ -111,6 +133,54 @@ std::vector<net::Endpoint> endpoint_table(const CliArgs& a, net::PeerId self) {
   return eps;
 }
 
+// ---------------------------------------------------------------------------
+// Clean Ctrl-C: SIGINT/SIGTERM are blocked in every thread (the mask is set
+// before any thread exists) and claimed by one sigwait thread, which — if
+// the run is still going — drains the local flight recorder to --trace-out,
+// prints a final counter snapshot, and exits with the conventional 130.
+// Forked device children unblock the inherited mask in
+// maybe_run_device_role, so the process group still dies on Ctrl-C.
+// ---------------------------------------------------------------------------
+
+std::atomic<bool> g_run_done{false};
+std::string g_trace_out;  // set once in main before the watcher starts
+
+void flush_observability(const char* cause) {
+  if (obs::trace_enabled() && !g_trace_out.empty()) {
+    try {
+      obs::write_chrome_trace_file(g_trace_out, {obs::drain_snapshot()});
+      std::cerr << cause << ": flushed partial trace to " << g_trace_out
+                << "\n";
+    } catch (const std::exception& e) {
+      std::cerr << cause << ": trace flush failed: " << e.what() << "\n";
+    }
+  }
+  std::cerr << "-- final metrics snapshot --\n"
+            << obs::render_prometheus_text();
+}
+
+void start_signal_watcher() {
+  // Shells start background jobs with SIGINT set to SIG_IGN, and an
+  // ignored signal is discarded even while blocked — sigwait would never
+  // see it. Restore the default disposition first.
+  struct sigaction dfl {};
+  dfl.sa_handler = SIG_DFL;
+  sigaction(SIGINT, &dfl, nullptr);
+  sigaction(SIGTERM, &dfl, nullptr);
+  sigset_t set;
+  sigemptyset(&set);
+  sigaddset(&set, SIGINT);
+  sigaddset(&set, SIGTERM);
+  pthread_sigmask(SIG_BLOCK, &set, nullptr);
+  std::thread([set] {
+    int sig = 0;
+    if (sigwait(&set, &sig) != 0) return;
+    if (g_run_done.load()) return;  // normal exit already reporting
+    flush_observability(sig == SIGINT ? "SIGINT" : "SIGTERM");
+    _exit(130);
+  }).detach();
+}
+
 void report(const eval::DistRunResult& res) {
   std::cout << "burst: " << format_duration(res.burst_wall_seconds)
             << ", violations: " << res.violations
@@ -139,16 +209,32 @@ int main(int argc, char** argv) {
     opts.seed = args.seed;
     opts.max_destinations = args.max_destinations;
 
+    g_trace_out = args.trace_out;
+    if (!args.trace_out.empty()) obs::set_trace_enabled(true);
+    start_signal_watcher();
+    std::unique_ptr<obs::MetricsServer> metrics;
+    if (!args.metrics_listen.empty()) {
+      metrics = std::make_unique<obs::MetricsServer>();
+      metrics->start(args.metrics_listen);
+      std::cout << "metrics: http://" << metrics->address() << "/metrics\n";
+    }
+    std::vector<obs::TraceSnapshot> traces;
+
     if (args.role == "local") {
       eval::DistOptions dist;
       dist.kind = args.kind;
       dist.device_procs = args.procs;
       dist.n_updates = args.updates;
       dist.kill_rank1_at_phase = args.kill_phase;
-      report(eval::dist_run(spec, opts, dist));
+      dist.collect_trace = !args.trace_out.empty();
+      auto res = eval::dist_run(spec, opts, dist);
+      traces = std::move(res.traces);
+      report(res);
     } else if (args.role == "coordinator") {
       const auto eps = endpoint_table(args, runtime::kCoordinatorRank);
-      report(eval::dist_run_coordinator(spec, opts, args.updates, eps));
+      auto res = eval::dist_run_coordinator(spec, opts, args.updates, eps);
+      traces = std::move(res.traces);
+      report(res);
     } else if (args.role == "device") {
       const auto eps = endpoint_table(args, args.rank);
       eval::dist_run_device(spec, opts, args.updates, eps, args.rank,
@@ -157,6 +243,14 @@ int main(int argc, char** argv) {
       std::cout << "device rank " << args.rank << " done\n";
     } else {
       throw Error("unknown --role=" + args.role);
+    }
+
+    g_run_done.store(true);
+    if (metrics) metrics->stop();
+    if (!args.trace_out.empty() && args.role != "device") {
+      traces.push_back(obs::drain_snapshot());
+      obs::write_chrome_trace_file(args.trace_out, traces);
+      std::cout << "wrote trace " << args.trace_out << "\n";
     }
   } catch (const std::exception& e) {
     std::cerr << "error: " << e.what() << "\n";

@@ -13,6 +13,7 @@
 
 #include <algorithm>
 
+#include "obs/trace.hpp"
 #include "regex/nfa.hpp"
 
 namespace tulkun::dpvnet::internal {
@@ -48,7 +49,14 @@ std::vector<AtomAutomaton> prepare_atoms(const spec::Invariant& inv) {
     }
     AtomAutomaton aa;
     aa.atom = atom;
-    aa.dfa = regex::Dfa::determinize(regex::build_nfa(pe.ast)).minimize();
+    {
+      TLK_SPAN("planner.dfa");
+      aa.dfa = regex::Dfa::determinize(regex::build_nfa(pe.ast));
+    }
+    {
+      TLK_SPAN("planner.minimize");
+      aa.dfa = aa.dfa.minimize();
+    }
     aa.filters = pe.filters;
     aa.loop_free = pe.loop_free;
     aa.symbolic = std::any_of(

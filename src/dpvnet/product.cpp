@@ -6,6 +6,7 @@
 #include <unordered_map>
 
 #include "dpvnet/internal.hpp"
+#include "obs/trace.hpp"
 #include "regex/nfa.hpp"
 
 namespace tulkun::dpvnet {
@@ -360,6 +361,7 @@ std::uint32_t shortest_matching(const topo::Topology& topo,
 
 DpvNet build_dpvnet(const topo::Topology& topo, const spec::Invariant& inv,
                     const BuildOptions& opts, BuildStats* stats) {
+  TLK_SPAN("planner.product");
   const auto atoms = internal::prepare_atoms(inv);
   const std::size_t arity = atoms.size();
   const auto scenes = expand_scenes(topo, inv.faults, opts.max_scenes);

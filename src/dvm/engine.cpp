@@ -4,6 +4,7 @@
 #include <chrono>
 
 #include "fib/fib_table.hpp"
+#include "obs/trace.hpp"
 
 namespace tulkun::dvm {
 
@@ -215,6 +216,7 @@ void DeviceEngine::recompute(NodeState& ns, const packet::PacketSet& region,
                              std::vector<Envelope>& out) {
   const packet::PacketSet scoped = region & ns.scope;
   if (scoped.empty()) return;
+  TLK_SPAN_ARG("device.recompute", ns.id);
   const auto t0 = std::chrono::steady_clock::now();
   // Drop rows covering the region (only rows overlapping it are touched),
   // re-derive them, keep the rest.
@@ -230,6 +232,7 @@ void DeviceEngine::recompute(NodeState& ns, const packet::PacketSet& region,
 void DeviceEngine::emit_updates(NodeState& ns, std::vector<Envelope>& out) {
   const dpvnet::DpvNode& node = dag_->node(ns.id);
   if (node.up.empty()) return;  // nothing upstream to inform
+  TLK_SPAN_ARG("device.emit", ns.id);
   const auto t0 = std::chrono::steady_clock::now();
   const auto done = [&] {
     stats_.emit_seconds +=

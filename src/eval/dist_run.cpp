@@ -108,6 +108,13 @@ DistRunResult drive(runtime::DistCoordinator& coord, std::size_t n_updates) {
   res.rows = std::move(col.rows);
   res.metrics = std::move(col.metrics);
   res.resets = col.epoch;  // one epoch bump per reset survived
+  res.traces = std::move(col.traces);
+  if (obs::trace_enabled()) {
+    // The coordinator's own spans (dist.phase roots, net events) live in
+    // this process's recorder; drain them so the merged timeline has the
+    // parent side of every cross-rank arrow.
+    res.traces.push_back(obs::drain_snapshot());
+  }
   return res;
 }
 
@@ -124,6 +131,8 @@ DistRunResult dist_run_inproc(const DatasetSpec& spec,
   if (dist.kill_rank1_at_phase != runtime::DeviceProcess::kNoKillPhase) {
     throw Error("kill_rank1_at_phase requires process isolation (uds|tcp)");
   }
+  if (dist.collect_trace) obs::set_trace_enabled(true);
+  obs::set_default_rank(runtime::kCoordinatorRank);
   Harness harness(spec, opts);
   const std::size_t P = dist.device_procs;
   auto hub = std::make_shared<net::InProcHub>();
@@ -188,6 +197,7 @@ pid_t spawn_child(const ChildArgs& a, std::uint32_t incarnation) {
       "--base-port=" + std::to_string(a.base_port),
       "--updates=" + std::to_string(a.n_updates),
       "--kill-phase=" + std::to_string(a.kill_at_phase),
+      "--trace=" + std::string(obs::trace_enabled() ? "1" : "0"),
       "--world=" + a.world,
   };
   const pid_t pid = fork();
@@ -210,6 +220,8 @@ DistRunResult dist_run(const DatasetSpec& spec, const HarnessOptions& opts,
   if (dist.kind == net::TransportKind::Inproc) {
     return dist_run_inproc(spec, opts, dist);
   }
+  if (dist.collect_trace) obs::set_trace_enabled(true);
+  obs::set_default_rank(runtime::kCoordinatorRank);
   const std::size_t P = dist.device_procs;
   std::string dir = dist.socket_dir;
   bool made_dir = false;
@@ -342,6 +354,7 @@ void dist_run_device(const DatasetSpec& spec, const HarnessOptions& opts,
   if (rank == runtime::kCoordinatorRank || rank >= endpoints.size()) {
     throw Error("device rank out of range");
   }
+  obs::set_default_rank(rank);
   Harness harness(spec, opts);
   net::SocketTransport transport(net::mesh_config(rank, endpoints));
   runtime::DeviceProcess::Config dcfg;
@@ -370,6 +383,23 @@ bool maybe_run_device_role(int argc, char** argv) {
     }
     throw Error(std::string("device process missing flag ") + prefix);
   };
+  const auto value_or = [&](const char* prefix,
+                            const std::string& dflt) -> std::string {
+    const std::size_t n = std::strlen(prefix);
+    for (int i = 1; i < argc; ++i) {
+      if (std::strncmp(argv[i], prefix, n) == 0) return argv[i] + n;
+    }
+    return dflt;
+  };
+
+  // The launcher may have SIGINT/SIGTERM blocked (dist_cli masks them for a
+  // sigwait flush thread) and sigmasks survive execv; restore the default
+  // disposition so a Ctrl-C on the process group still kills the children.
+  sigset_t unblock;
+  sigemptyset(&unblock);
+  sigaddset(&unblock, SIGINT);
+  sigaddset(&unblock, SIGTERM);
+  pthread_sigmask(SIG_UNBLOCK, &unblock, nullptr);
 
   try {
     const auto rank = static_cast<net::PeerId>(std::stoul(value("--rank=")));
@@ -383,6 +413,7 @@ bool maybe_run_device_role(int argc, char** argv) {
     const std::size_t updates = std::stoull(value("--updates="));
     const auto kill_phase =
         static_cast<std::uint32_t>(std::stoul(value("--kill-phase=")));
+    if (value_or("--trace=", "0") == "1") obs::set_trace_enabled(true);
     DatasetSpec spec;
     HarnessOptions opts;
     decode_world(value("--world="), spec, opts);

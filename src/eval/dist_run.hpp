@@ -17,6 +17,7 @@
 
 #include "eval/harness.hpp"
 #include "net/socket_transport.hpp"
+#include "obs/trace.hpp"
 
 namespace tulkun::eval {
 
@@ -32,6 +33,10 @@ struct DistOptions {
   /// first incarnation only); the supervisor re-forks it and the run must
   /// reconverge through the epoch-reset protocol.
   std::uint32_t kill_rank1_at_phase = runtime::DeviceProcess::kNoKillPhase;
+  /// Ship per-rank flight-recorder buffers back with the verdicts and
+  /// surface them in DistRunResult::traces (requires obs tracing enabled
+  /// in this process; child processes inherit the setting via argv).
+  bool collect_trace = false;
 };
 
 struct DistRunResult {
@@ -43,6 +48,9 @@ struct DistRunResult {
   std::vector<std::string> rows;
   runtime::RuntimeMetrics metrics;
   std::uint32_t resets = 0;  // epoch bumps survived (chaos runs)
+  /// Flight-recorder snapshots: one per device rank that shipped a trace
+  /// blob, plus the coordinator's own drain appended last (when tracing).
+  std::vector<obs::TraceSnapshot> traces;
 };
 
 /// Forking launcher (or threads for Inproc). Blocks until the run is done.

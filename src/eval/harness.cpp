@@ -4,6 +4,7 @@
 #include <chrono>
 
 #include "core/rng.hpp"
+#include "obs/trace.hpp"
 #include "runtime/sharded_runtime.hpp"
 #include "spec/builtins.hpp"
 
@@ -118,6 +119,7 @@ spec::Invariant Harness::dst_invariant(packet::PacketSpace& space,
 std::vector<planner::InvariantPlan> Harness::plan_all(
     packet::PacketSpace& space, const planner::Planner& planner,
     const spec::FaultSpec& faults, double* seconds) const {
+  TLK_SPAN_ARG("harness.plan_all", dsts_.size());
   const auto t0 = std::chrono::steady_clock::now();
   std::vector<planner::InvariantPlan> plans;
   plans.reserve(dsts_.size());

@@ -77,26 +77,36 @@ void InProcTransport::start(Handlers handlers) {
     auto inner = std::move(handlers.on_frame);
     handlers.on_frame = [this, inner = std::move(inner)](
                             PeerId from, std::vector<std::uint8_t> frame) {
-      {
-        std::lock_guard<std::mutex> lock(metrics_mu_);
-        auto& m = metrics_[from];
-        m.frames_received += 1;
-        m.bytes_received += frame.size() + kFrameHeaderBytes;
-      }
+      auto& m = metrics_of(from);
+      m.frames_received.fetch_add(1, std::memory_order_relaxed);
+      m.bytes_received.fetch_add(frame.size() + kFrameHeaderBytes,
+                                 std::memory_order_relaxed);
       inner(from, std::move(frame));
     };
   }
+  metrics_provider_ = obs::Registry::instance().add_provider(
+      [this](std::vector<obs::Sample>& out) {
+        LinkMetrics total;
+        for (const auto& row : link_metrics()) total.merge(row.m);
+        out.push_back({"net_frames_sent", double(total.frames_sent)});
+        out.push_back({"net_bytes_sent", double(total.bytes_sent)});
+        out.push_back({"net_frames_received", double(total.frames_received)});
+        out.push_back({"net_bytes_received", double(total.bytes_received)});
+      });
   hub_->attach(self_, std::move(handlers));
 }
 
 void InProcTransport::send(PeerId to, std::vector<std::uint8_t> frame) {
-  {
-    std::lock_guard<std::mutex> lock(metrics_mu_);
-    auto& m = metrics_[to];
-    m.frames_sent += 1;
-    m.bytes_sent += frame.size() + kFrameHeaderBytes;  // as-if on the wire
-  }
+  auto& m = metrics_of(to);
+  m.frames_sent.fetch_add(1, std::memory_order_relaxed);
+  m.bytes_sent.fetch_add(frame.size() + kFrameHeaderBytes,  // as-if on wire
+                         std::memory_order_relaxed);
   hub_->deliver(self_, to, std::move(frame));
+}
+
+AtomicLinkMetrics& InProcTransport::metrics_of(PeerId peer) {
+  std::lock_guard<std::mutex> lock(metrics_mu_);
+  return metrics_[peer];
 }
 
 void InProcTransport::stop() {
@@ -109,7 +119,7 @@ std::vector<PeerLinkMetrics> InProcTransport::link_metrics() const {
   std::lock_guard<std::mutex> lock(metrics_mu_);
   std::vector<PeerLinkMetrics> out;
   out.reserve(metrics_.size());
-  for (const auto& [peer, m] : metrics_) out.push_back({peer, m});
+  for (const auto& [peer, m] : metrics_) out.push_back({peer, m.snapshot()});
   return out;
 }
 

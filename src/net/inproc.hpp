@@ -13,6 +13,7 @@
 #include <mutex>
 
 #include "net/transport.hpp"
+#include "obs/registry.hpp"
 
 namespace tulkun::net {
 
@@ -52,12 +53,16 @@ class InProcTransport final : public Transport {
  private:
   friend class InProcHub;
 
+  AtomicLinkMetrics& metrics_of(PeerId peer);
+
   std::shared_ptr<InProcHub> hub_;
   PeerId self_;
   bool started_ = false;
 
+  // Guards only map insert/lookup; counters are atomic (node-stable map).
   mutable std::mutex metrics_mu_;
-  std::map<PeerId, LinkMetrics> metrics_;
+  std::map<PeerId, AtomicLinkMetrics> metrics_;
+  obs::Registry::ProviderHandle metrics_provider_;
 };
 
 }  // namespace tulkun::net

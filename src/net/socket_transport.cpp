@@ -14,6 +14,8 @@
 #include <chrono>
 #include <cstring>
 
+#include "obs/trace.hpp"
+
 namespace tulkun::net {
 
 namespace {
@@ -105,8 +107,26 @@ void SocketTransport::start(Handlers handlers) {
     c.peer = peer;
     c.target = ep;
     c.backoff_s = cfg_.backoff_initial_s;
+    c.metrics = &metrics_of(peer);
     out_.emplace(peer, std::move(c));
   }
+
+  metrics_provider_ = obs::Registry::instance().add_provider(
+      [this](std::vector<obs::Sample>& out) {
+        LinkMetrics total;
+        for (const auto& row : link_metrics()) total.merge(row.m);
+        out.push_back({"net_frames_sent", double(total.frames_sent)});
+        out.push_back({"net_bytes_sent", double(total.bytes_sent)});
+        out.push_back({"net_frames_received", double(total.frames_received)});
+        out.push_back({"net_bytes_received", double(total.bytes_received)});
+        out.push_back({"net_reconnects", double(total.reconnects)});
+        out.push_back(
+            {"net_heartbeat_misses", double(total.heartbeat_misses)});
+        out.push_back({"net_protocol_errors", double(total.protocol_errors)});
+        out.push_back(
+            {"net_send_queue_depth", double(total.send_queue_depth)});
+        out.push_back({"net_send_queue_peak", double(total.send_queue_peak)});
+      });
 
   thread_ = std::thread([this] {
     for (auto& [peer, c] : out_) dial(c);
@@ -247,8 +267,8 @@ void SocketTransport::on_dial_result(OutConn& c, bool ok) {
   // hello because the receiver's old connection (and identity) died.
   c.queue.push_front(encode_frame(FrameType::kHello, hello_payload(cfg_.self)));
   if (c.ever_connected) {
-    std::lock_guard<std::mutex> lock(metrics_mu_);
-    metrics_[c.peer].reconnects += 1;
+    c.metrics->reconnects.fetch_add(1, std::memory_order_relaxed);
+    TLK_EVENT_ARG("net.redial", c.peer);
   }
   c.ever_connected = true;
   arm_heartbeat(c);
@@ -308,10 +328,8 @@ void SocketTransport::flush(OutConn& c) {
       drop_out(c, true);
       return;
     }
-    {
-      std::lock_guard<std::mutex> lock(metrics_mu_);
-      metrics_[c.peer].bytes_sent += static_cast<std::uint64_t>(n);
-    }
+    c.metrics->bytes_sent.fetch_add(static_cast<std::uint64_t>(n),
+                                    std::memory_order_relaxed);
     c.head_offset += static_cast<std::size_t>(n);
     if (c.head_offset < buf.size()) {
       loop_.mod_fd(c.fd, kEpollInOut);
@@ -322,12 +340,14 @@ void SocketTransport::flush(OutConn& c) {
     // waiting for — and never resends one it fully shipped.
     const bool is_data =
         buf.size() > 4 && buf[4] == static_cast<std::uint8_t>(FrameType::kData);
+    const std::uint64_t frame_bytes = buf.size();
     c.queue.pop_front();
     c.head_offset = 0;
-    std::lock_guard<std::mutex> lock(metrics_mu_);
-    auto& m = metrics_[c.peer];
-    if (is_data) m.frames_sent += 1;
-    m.send_queue_depth = c.queue.size();
+    if (is_data) {
+      c.metrics->frames_sent.fetch_add(1, std::memory_order_relaxed);
+      TLK_EVENT_ARG("net.tx_frame", frame_bytes);
+    }
+    c.metrics->note_queue_depth(c.queue.size());
   }
   loop_.mod_fd(c.fd, kEpollIn);
 }
@@ -376,8 +396,8 @@ void SocketTransport::in_readable(int fd) {
     c.last_rx_s = mono_now_s();
     if (c.identified) {
       peer_last_rx_[c.peer] = c.last_rx_s;
-      std::lock_guard<std::mutex> lock(metrics_mu_);
-      metrics_[c.peer].bytes_received += static_cast<std::uint64_t>(n);
+      c.metrics->bytes_received.fetch_add(static_cast<std::uint64_t>(n),
+                                          std::memory_order_relaxed);
     }
     std::vector<ParsedFrame> frames;
     try {
@@ -408,6 +428,7 @@ void SocketTransport::in_readable(int fd) {
         }
         c.identified = true;
         c.peer = peer;
+        c.metrics = &metrics_of(peer);
         peer_last_rx_[peer] = c.last_rx_s;
         if (handlers_.on_peer_state) handlers_.on_peer_state(peer, true);
       } else if (f.type == FrameType::kData) {
@@ -415,10 +436,8 @@ void SocketTransport::in_readable(int fd) {
           drop_in(fd, true);
           return;
         }
-        {
-          std::lock_guard<std::mutex> lock(metrics_mu_);
-          metrics_[c.peer].frames_received += 1;
-        }
+        c.metrics->frames_received.fetch_add(1, std::memory_order_relaxed);
+        TLK_EVENT_ARG("net.rx_frame", f.payload.size());
         if (handlers_.on_frame) handlers_.on_frame(c.peer, std::move(f.payload));
       }
       // kHeartbeat: last_rx_s refresh above is all it is for.
@@ -436,8 +455,7 @@ void SocketTransport::drop_in(int fd, bool count_protocol_error) {
   in_.erase(it);
   if (identified) {
     if (count_protocol_error) {
-      std::lock_guard<std::mutex> lock(metrics_mu_);
-      metrics_[peer].protocol_errors += 1;
+      metrics_of(peer).protocol_errors.fetch_add(1, std::memory_order_relaxed);
     }
     peer_last_rx_.erase(peer);
     if (handlers_.on_peer_state) handlers_.on_peer_state(peer, false);
@@ -449,8 +467,8 @@ void SocketTransport::sweep_liveness() {
   std::vector<int> dead;
   for (auto& [fd, c] : in_) {
     if (c.identified && now - c.last_rx_s > cfg_.dead_after_s) {
-      std::lock_guard<std::mutex> lock(metrics_mu_);
-      metrics_[c.peer].heartbeat_misses += 1;
+      c.metrics->heartbeat_misses.fetch_add(1, std::memory_order_relaxed);
+      TLK_EVENT_ARG("net.peer_dead", c.peer);
       dead.push_back(fd);
     }
   }
@@ -470,13 +488,7 @@ void SocketTransport::send(PeerId to, std::vector<std::uint8_t> frame) {
     if (it == out_.end()) return;
     OutConn& c = it->second;
     c.queue.push_back(std::move(encoded));
-    {
-      std::lock_guard<std::mutex> lock(metrics_mu_);
-      auto& m = metrics_[to];
-      m.send_queue_depth = c.queue.size();
-      m.send_queue_peak = std::max<std::uint64_t>(m.send_queue_peak,
-                                                  c.queue.size());
-    }
+    c.metrics->note_queue_depth(c.queue.size());
     if (c.connected) flush(c);
   });
 }
@@ -513,11 +525,16 @@ void SocketTransport::stop() {
   }
 }
 
+AtomicLinkMetrics& SocketTransport::metrics_of(PeerId peer) {
+  std::lock_guard<std::mutex> lock(metrics_mu_);
+  return metrics_[peer];
+}
+
 std::vector<PeerLinkMetrics> SocketTransport::link_metrics() const {
   std::lock_guard<std::mutex> lock(metrics_mu_);
   std::vector<PeerLinkMetrics> out;
   out.reserve(metrics_.size());
-  for (const auto& [peer, m] : metrics_) out.push_back({peer, m});
+  for (const auto& [peer, m] : metrics_) out.push_back({peer, m.snapshot()});
   return out;
 }
 

@@ -27,6 +27,7 @@
 #include "net/event_loop.hpp"
 #include "net/frame.hpp"
 #include "net/transport.hpp"
+#include "obs/registry.hpp"
 
 namespace tulkun::net {
 
@@ -77,6 +78,8 @@ class SocketTransport final : public Transport {
     std::deque<std::vector<std::uint8_t>> queue;
     std::size_t head_offset = 0;
     EventLoop::TimerId heartbeat_timer = 0;
+    // Cached so the per-frame hot path never takes metrics_mu_.
+    AtomicLinkMetrics* metrics = nullptr;
   };
 
   struct InConn {
@@ -85,6 +88,7 @@ class SocketTransport final : public Transport {
     bool identified = false;
     std::unique_ptr<FrameParser> parser;
     double last_rx_s = 0.0;
+    AtomicLinkMetrics* metrics = nullptr;  // set once identified
   };
 
   // All private methods run on the loop thread.
@@ -103,7 +107,8 @@ class SocketTransport final : public Transport {
   void sweep_liveness();
   void arm_heartbeat(OutConn& c);
 
-  LinkMetrics& metrics_of(PeerId peer);
+  /// Node-stable: the returned reference outlives the map entry's peers.
+  AtomicLinkMetrics& metrics_of(PeerId peer);
 
   SocketTransportConfig cfg_;
   Handlers handlers_;
@@ -120,8 +125,11 @@ class SocketTransport final : public Transport {
   std::map<int, InConn> in_;  // keyed by fd
   std::map<PeerId, double> peer_last_rx_;
 
+  // Guards only map insert/lookup and snapshot iteration; the counters
+  // themselves are atomic and bumped lock-free through cached pointers.
   mutable std::mutex metrics_mu_;
-  std::map<PeerId, LinkMetrics> metrics_;
+  std::map<PeerId, AtomicLinkMetrics> metrics_;
+  obs::Registry::ProviderHandle metrics_provider_;
 };
 
 /// Builds the canonical per-rank endpoint set for a local multi-process

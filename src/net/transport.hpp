@@ -18,6 +18,7 @@
 // kernel, and a receiver's partial frame buffer dies with its connection.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <functional>
 #include <string>
@@ -58,6 +59,45 @@ struct LinkMetrics {
   std::uint64_t send_queue_peak = 0;   // max frames ever queued at once
 
   void merge(const LinkMetrics& o);
+};
+
+/// Hot-path form of LinkMetrics: transports bump these per frame without a
+/// lock (connection state caches a pointer to its peer's instance), and
+/// snapshot() materializes a plain LinkMetrics for reporting. Instances
+/// must stay address-stable (live in a node-stable map).
+struct AtomicLinkMetrics {
+  std::atomic<std::uint64_t> frames_sent{0};
+  std::atomic<std::uint64_t> bytes_sent{0};
+  std::atomic<std::uint64_t> frames_received{0};
+  std::atomic<std::uint64_t> bytes_received{0};
+  std::atomic<std::uint64_t> reconnects{0};
+  std::atomic<std::uint64_t> heartbeat_misses{0};
+  std::atomic<std::uint64_t> protocol_errors{0};
+  std::atomic<std::uint64_t> send_queue_depth{0};
+  std::atomic<std::uint64_t> send_queue_peak{0};
+
+  /// Monotonic max for send_queue_peak.
+  void note_queue_depth(std::uint64_t depth) {
+    send_queue_depth.store(depth, std::memory_order_relaxed);
+    std::uint64_t cur = send_queue_peak.load(std::memory_order_relaxed);
+    while (cur < depth && !send_queue_peak.compare_exchange_weak(
+                              cur, depth, std::memory_order_relaxed)) {
+    }
+  }
+
+  [[nodiscard]] LinkMetrics snapshot() const {
+    LinkMetrics m;
+    m.frames_sent = frames_sent.load(std::memory_order_relaxed);
+    m.bytes_sent = bytes_sent.load(std::memory_order_relaxed);
+    m.frames_received = frames_received.load(std::memory_order_relaxed);
+    m.bytes_received = bytes_received.load(std::memory_order_relaxed);
+    m.reconnects = reconnects.load(std::memory_order_relaxed);
+    m.heartbeat_misses = heartbeat_misses.load(std::memory_order_relaxed);
+    m.protocol_errors = protocol_errors.load(std::memory_order_relaxed);
+    m.send_queue_depth = send_queue_depth.load(std::memory_order_relaxed);
+    m.send_queue_peak = send_queue_peak.load(std::memory_order_relaxed);
+    return m;
+  }
 };
 
 /// A snapshot row: counters towards one peer.

@@ -1,0 +1,301 @@
+#include "obs/export.hpp"
+
+#include <cstdio>
+#include <fstream>
+#include <map>
+#include <ostream>
+#include <set>
+
+#include "core/error.hpp"
+
+namespace tulkun::obs {
+
+namespace {
+
+constexpr std::uint32_t kMagic = 0x53424f54u;  // "TOBS"
+constexpr std::uint32_t kVersion = 1;
+
+class Writer {
+ public:
+  void u8(std::uint8_t v) { out_.push_back(v); }
+  void u32(std::uint32_t v) {
+    for (int i = 0; i < 4; ++i) {
+      out_.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+    }
+  }
+  void u64(std::uint64_t v) {
+    for (int i = 0; i < 8; ++i) {
+      out_.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+    }
+  }
+  void str(const std::string& s) {
+    u32(static_cast<std::uint32_t>(s.size()));
+    out_.insert(out_.end(), s.begin(), s.end());
+  }
+  [[nodiscard]] std::vector<std::uint8_t> take() { return std::move(out_); }
+
+ private:
+  std::vector<std::uint8_t> out_;
+};
+
+class Reader {
+ public:
+  explicit Reader(std::span<const std::uint8_t> bytes) : bytes_(bytes) {}
+
+  std::uint8_t u8() {
+    need(1);
+    return bytes_[pos_++];
+  }
+  std::uint32_t u32() {
+    need(4);
+    std::uint32_t v = 0;
+    for (int i = 0; i < 4; ++i) {
+      v |= static_cast<std::uint32_t>(bytes_[pos_++]) << (8 * i);
+    }
+    return v;
+  }
+  std::uint64_t u64() {
+    need(8);
+    std::uint64_t v = 0;
+    for (int i = 0; i < 8; ++i) {
+      v |= static_cast<std::uint64_t>(bytes_[pos_++]) << (8 * i);
+    }
+    return v;
+  }
+  std::string str() {
+    const std::uint32_t len = u32();
+    need(len);
+    std::string out(reinterpret_cast<const char*>(bytes_.data() + pos_), len);
+    pos_ += len;
+    return out;
+  }
+  /// Each of `n` declared elements occupies at least `min_elem_bytes`, so a
+  /// hostile count cannot trigger a giant reserve before the data runs out.
+  std::uint32_t count(std::uint32_t n, std::size_t min_elem_bytes) const {
+    if (n > (bytes_.size() - pos_) / min_elem_bytes) {
+      throw Error("trace decode: declared count exceeds buffer");
+    }
+    return n;
+  }
+  void done() const {
+    if (pos_ != bytes_.size()) throw Error("trace decode: trailing bytes");
+  }
+
+ private:
+  void need(std::size_t n) const {
+    if (pos_ + n > bytes_.size()) throw Error("trace decode: truncated");
+  }
+  std::span<const std::uint8_t> bytes_;
+  std::size_t pos_ = 0;
+};
+
+// Bytes every serialized record occupies (5 u64 + 2 u32 + u8 + u64).
+constexpr std::size_t kRecordBytes = 5 * 8 + 2 * 4 + 1 + 8;
+
+void json_escape(std::ostream& os, const std::string& s) {
+  for (const char c : s) {
+    switch (c) {
+      case '"':
+        os << "\\\"";
+        break;
+      case '\\':
+        os << "\\\\";
+        break;
+      case '\n':
+        os << "\\n";
+        break;
+      case '\t':
+        os << "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          os << buf;
+        } else {
+          os << c;
+        }
+    }
+  }
+}
+
+double us(std::uint64_t ns) { return static_cast<double>(ns) / 1000.0; }
+
+}  // namespace
+
+std::vector<std::uint8_t> serialize_trace(const TraceSnapshot& snap) {
+  Writer w;
+  w.u32(kMagic);
+  w.u32(kVersion);
+  w.u32(static_cast<std::uint32_t>(snap.names.size()));
+  for (const auto& n : snap.names) w.str(n);
+  w.u32(static_cast<std::uint32_t>(snap.threads.size()));
+  for (const auto& t : snap.threads) {
+    w.u32(t.thread_index);
+    w.str(t.label);
+    w.u64(t.dropped);
+    w.u32(static_cast<std::uint32_t>(t.records.size()));
+    for (const auto& r : t.records) {
+      w.u64(r.trace_id);
+      w.u64(r.span_id);
+      w.u64(r.parent_span);
+      w.u64(r.start_ns);
+      w.u64(r.dur_ns);
+      w.u32(r.name_id);
+      w.u32(r.rank);
+      w.u8(static_cast<std::uint8_t>(r.kind));
+      w.u64(r.arg);
+    }
+  }
+  return w.take();
+}
+
+TraceSnapshot deserialize_trace(std::span<const std::uint8_t> bytes) {
+  Reader r(bytes);
+  if (r.u32() != kMagic) throw Error("trace decode: bad magic");
+  if (r.u32() != kVersion) throw Error("trace decode: unknown version");
+  TraceSnapshot out;
+  const std::uint32_t n_names = r.count(r.u32(), 4);
+  out.names.reserve(n_names);
+  for (std::uint32_t i = 0; i < n_names; ++i) out.names.push_back(r.str());
+  const std::uint32_t n_threads = r.count(r.u32(), 4 + 4 + 8 + 4);
+  out.threads.reserve(n_threads);
+  for (std::uint32_t i = 0; i < n_threads; ++i) {
+    ThreadTrace t;
+    t.thread_index = r.u32();
+    t.label = r.str();
+    t.dropped = r.u64();
+    const std::uint32_t n_records = r.count(r.u32(), kRecordBytes);
+    t.records.reserve(n_records);
+    for (std::uint32_t k = 0; k < n_records; ++k) {
+      Record rec;
+      rec.trace_id = r.u64();
+      rec.span_id = r.u64();
+      rec.parent_span = r.u64();
+      rec.start_ns = r.u64();
+      rec.dur_ns = r.u64();
+      rec.name_id = r.u32();
+      rec.rank = r.u32();
+      const std::uint8_t kind = r.u8();
+      if (kind > static_cast<std::uint8_t>(RecordKind::kEvent)) {
+        throw Error("trace decode: bad record kind");
+      }
+      rec.kind = static_cast<RecordKind>(kind);
+      rec.arg = r.u64();
+      if (rec.name_id >= out.names.size()) {
+        throw Error("trace decode: name id out of range");
+      }
+      t.records.push_back(rec);
+    }
+    out.threads.push_back(std::move(t));
+  }
+  r.done();
+  return out;
+}
+
+void write_chrome_trace(std::ostream& os,
+                        const std::vector<TraceSnapshot>& snaps) {
+  bool first = true;
+  const auto emit_prefix = [&] {
+    os << (first ? "" : ",\n") << "  ";
+    first = false;
+  };
+
+  os << "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[\n";
+
+  // Track metadata: a process per rank, a thread per recorder ring.
+  std::set<std::uint32_t> pids;
+  std::map<std::pair<std::uint32_t, std::uint32_t>, std::string> tids;
+  // Cross-rank flow endpoints: span_id -> (pid, tid, end ts).
+  struct SpanLoc {
+    std::uint32_t pid = 0;
+    std::uint32_t tid = 0;
+    std::uint64_t end_ns = 0;
+  };
+  std::map<std::uint64_t, SpanLoc> span_at;
+  for (const auto& snap : snaps) {
+    for (const auto& t : snap.threads) {
+      for (const auto& r : t.records) {
+        pids.insert(r.rank);
+        auto& label = tids[{r.rank, t.thread_index}];
+        if (label.empty()) label = t.label;
+        if (r.kind == RecordKind::kSpan) {
+          span_at[r.span_id] = {r.rank, t.thread_index,
+                                r.start_ns + r.dur_ns};
+        }
+      }
+    }
+  }
+  for (const std::uint32_t pid : pids) {
+    emit_prefix();
+    os << "{\"ph\":\"M\",\"name\":\"process_name\",\"pid\":" << pid
+       << ",\"tid\":0,\"args\":{\"name\":\"rank " << pid << "\"}}";
+  }
+  for (const auto& [key, label] : tids) {
+    emit_prefix();
+    os << "{\"ph\":\"M\",\"name\":\"thread_name\",\"pid\":" << key.first
+       << ",\"tid\":" << key.second << ",\"args\":{\"name\":\"";
+    json_escape(os, label);
+    os << "\"}}";
+  }
+
+  char hex[32];
+  const auto hex_id = [&](std::uint64_t v) -> const char* {
+    std::snprintf(hex, sizeof(hex), "0x%llx",
+                  static_cast<unsigned long long>(v));
+    return hex;
+  };
+
+  for (const auto& snap : snaps) {
+    for (const auto& t : snap.threads) {
+      for (const auto& r : t.records) {
+        const std::string& name =
+            r.name_id < snap.names.size() ? snap.names[r.name_id] : "?";
+        emit_prefix();
+        if (r.kind == RecordKind::kSpan) {
+          os << "{\"ph\":\"X\",\"name\":\"";
+          json_escape(os, name);
+          os << "\",\"cat\":\"tulkun\",\"pid\":" << r.rank
+             << ",\"tid\":" << t.thread_index << ",\"ts\":" << us(r.start_ns)
+             << ",\"dur\":" << us(r.dur_ns) << ",\"args\":{\"arg\":" << r.arg
+             << ",\"trace\":\"" << hex_id(r.trace_id) << "\",\"span\":\""
+             << hex_id(r.span_id) << "\"}}";
+        } else {
+          os << "{\"ph\":\"i\",\"name\":\"";
+          json_escape(os, name);
+          os << "\",\"cat\":\"tulkun\",\"s\":\"t\",\"pid\":" << r.rank
+             << ",\"tid\":" << t.thread_index << ",\"ts\":" << us(r.start_ns)
+             << ",\"args\":{\"arg\":" << r.arg << "}}";
+        }
+        // A parent on another rank: draw the causal arrow explicitly (same
+        // rank nests visually, no arrow needed).
+        if (r.kind == RecordKind::kSpan && r.parent_span != 0) {
+          const auto it = span_at.find(r.parent_span);
+          if (it != span_at.end() && it->second.pid != r.rank) {
+            emit_prefix();
+            os << "{\"ph\":\"s\",\"name\":\"ctx\",\"cat\":\"tulkun\",\"id\":\""
+               << hex_id(r.span_id) << "\",\"pid\":" << it->second.pid
+               << ",\"tid\":" << it->second.tid
+               << ",\"ts\":" << us(it->second.end_ns) << "}";
+            emit_prefix();
+            os << "{\"ph\":\"f\",\"bp\":\"e\",\"name\":\"ctx\",\"cat\":"
+                  "\"tulkun\",\"id\":\""
+               << hex_id(r.span_id) << "\",\"pid\":" << r.rank
+             << ",\"tid\":" << t.thread_index << ",\"ts\":" << us(r.start_ns)
+               << "}";
+          }
+        }
+      }
+    }
+  }
+  os << "\n]}\n";
+}
+
+void write_chrome_trace_file(const std::string& path,
+                             const std::vector<TraceSnapshot>& snaps) {
+  std::ofstream out(path);
+  if (!out) throw Error("cannot write trace file " + path);
+  write_chrome_trace(out, snaps);
+}
+
+}  // namespace tulkun::obs

@@ -1,0 +1,39 @@
+// Trace exporters: a compact binary form for shipping per-rank flight
+// recorder snapshots to the coordinator over dist_proto, and a Chrome
+// trace-event JSON writer (loads in Perfetto / chrome://tracing) that
+// merges snapshots from many ranks into one causally-linked timeline —
+// one process track per rank, one thread track per recorder ring, flow
+// arrows between spans whose parent lives on another rank.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "obs/trace.hpp"
+
+namespace tulkun::obs {
+
+/// Binary wire form of a snapshot (intern table + thread record runs).
+[[nodiscard]] std::vector<std::uint8_t> serialize_trace(
+    const TraceSnapshot& snap);
+
+/// Inverse of serialize_trace. Throws Error on malformed input (truncated,
+/// bad magic, counts exceeding the buffer) — never reads past `bytes`.
+[[nodiscard]] TraceSnapshot deserialize_trace(
+    std::span<const std::uint8_t> bytes);
+
+/// Writes the merged snapshots as Chrome trace-event JSON. Timestamps stay
+/// on each process's steady clock (tracks from different ranks may be
+/// offset); causality is carried by the flow arrows, not the clock.
+void write_chrome_trace(std::ostream& os,
+                        const std::vector<TraceSnapshot>& snaps);
+
+/// write_chrome_trace into `path`; throws Error if the file cannot be
+/// created.
+void write_chrome_trace_file(const std::string& path,
+                             const std::vector<TraceSnapshot>& snaps);
+
+}  // namespace tulkun::obs

@@ -1,0 +1,200 @@
+#include "obs/metrics_server.hpp"
+
+#include <arpa/inet.h>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <sys/epoll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <sstream>
+
+#include "core/error.hpp"
+#include "obs/registry.hpp"
+
+namespace tulkun::obs {
+
+namespace {
+
+void set_nonblocking(int fd) {
+  const int flags = ::fcntl(fd, F_GETFL, 0);
+  if (flags < 0 || ::fcntl(fd, F_SETFL, flags | O_NONBLOCK) < 0) {
+    throw Error(std::string("obs: fcntl O_NONBLOCK: ") + std::strerror(errno));
+  }
+}
+
+std::string sanitize(const std::string& name) {
+  std::string out = name;
+  for (char& c : out) {
+    const bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                    (c >= '0' && c <= '9') || c == '_' || c == ':';
+    if (!ok) c = '_';
+  }
+  return out;
+}
+
+}  // namespace
+
+std::string render_prometheus_text() {
+  std::ostringstream body;
+  for (const auto& s : Registry::instance().snapshot()) {
+    const std::string name = sanitize(s.name);
+    body << "# TYPE " << name << " counter\n";
+    body << name << " " << s.value << "\n";
+  }
+  return body.str();
+}
+
+MetricsServer::~MetricsServer() { stop(); }
+
+void MetricsServer::start(const std::string& listen_addr) {
+  if (started_) throw Error("obs: metrics server already started");
+
+  const auto colon = listen_addr.rfind(':');
+  if (colon == std::string::npos) {
+    throw Error("obs: metrics address must be ip:port, got " + listen_addr);
+  }
+  const std::string host = listen_addr.substr(0, colon);
+  const int port = std::stoi(listen_addr.substr(colon + 1));
+
+  sockaddr_in sin{};
+  sin.sin_family = AF_INET;
+  sin.sin_port = htons(static_cast<std::uint16_t>(port));
+  if (::inet_pton(AF_INET, host.c_str(), &sin.sin_addr) != 1) {
+    throw Error("obs: bad metrics address " + listen_addr);
+  }
+
+  listen_fd_ = ::socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0);
+  if (listen_fd_ < 0) {
+    throw Error(std::string("obs: socket: ") + std::strerror(errno));
+  }
+  const int one = 1;
+  ::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  if (::bind(listen_fd_, reinterpret_cast<sockaddr*>(&sin), sizeof(sin)) < 0) {
+    const int err = errno;
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    throw Error("obs: bind " + listen_addr + ": " + std::strerror(err));
+  }
+  if (::listen(listen_fd_, 16) < 0) {
+    const int err = errno;
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    throw Error(std::string("obs: listen: ") + std::strerror(err));
+  }
+  set_nonblocking(listen_fd_);
+
+  sockaddr_in bound{};
+  socklen_t len = sizeof(bound);
+  if (::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&bound), &len) ==
+      0) {
+    char ip[INET_ADDRSTRLEN] = {0};
+    ::inet_ntop(AF_INET, &bound.sin_addr, ip, sizeof(ip));
+    address_ = std::string(ip) + ":" + std::to_string(ntohs(bound.sin_port));
+  } else {
+    address_ = listen_addr;
+  }
+
+  loop_.add_fd(listen_fd_, EPOLLIN, [this](std::uint32_t) { accept_ready(); });
+  started_ = true;
+  thread_ = std::thread([this] { loop_.run(); });
+}
+
+void MetricsServer::stop() {
+  if (!started_) return;
+  started_ = false;
+  loop_.stop();
+  thread_.join();
+  for (auto& [fd, c] : conns_) ::close(fd);
+  conns_.clear();
+  if (listen_fd_ >= 0) {
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+  }
+}
+
+void MetricsServer::accept_ready() {
+  for (;;) {
+    const int fd = ::accept4(listen_fd_, nullptr, nullptr,
+                             SOCK_NONBLOCK | SOCK_CLOEXEC);
+    if (fd < 0) {
+      if (errno == EINTR) continue;
+      return;  // EAGAIN or transient failure; listener stays armed
+    }
+    conns_.emplace(fd, std::make_unique<Conn>());
+    loop_.add_fd(fd, EPOLLIN,
+                 [this, fd](std::uint32_t ev) { conn_event(fd, ev); });
+  }
+}
+
+void MetricsServer::conn_event(int fd, std::uint32_t events) {
+  const auto it = conns_.find(fd);
+  if (it == conns_.end()) return;
+  Conn& c = *it->second;
+
+  if ((events & (EPOLLHUP | EPOLLERR)) != 0) {
+    close_conn(fd);
+    return;
+  }
+
+  if ((events & EPOLLIN) != 0 && c.out.empty()) {
+    char buf[1024];
+    for (;;) {
+      const ssize_t n = ::read(fd, buf, sizeof(buf));
+      if (n > 0) {
+        c.in.append(buf, static_cast<std::size_t>(n));
+        if (c.in.size() > 16 * 1024) {  // not a plausible scrape request
+          close_conn(fd);
+          return;
+        }
+        continue;
+      }
+      if (n < 0 && errno == EINTR) continue;
+      if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) break;
+      close_conn(fd);  // EOF before a full request, or a hard error
+      return;
+    }
+    // End of request headers: respond to anything that looks like HTTP.
+    if (c.in.find("\r\n\r\n") != std::string::npos ||
+        c.in.find("\n\n") != std::string::npos) {
+      c.out = render_response();
+      loop_.mod_fd(fd, EPOLLOUT);
+    }
+  }
+
+  if ((events & EPOLLOUT) != 0 && !c.out.empty()) {
+    while (c.sent < c.out.size()) {
+      const ssize_t n =
+          ::write(fd, c.out.data() + c.sent, c.out.size() - c.sent);
+      if (n > 0) {
+        c.sent += static_cast<std::size_t>(n);
+        continue;
+      }
+      if (n < 0 && errno == EINTR) continue;
+      if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) return;
+      break;  // hard error: give up on this connection
+    }
+    close_conn(fd);
+  }
+}
+
+void MetricsServer::close_conn(int fd) {
+  loop_.del_fd(fd);
+  ::close(fd);
+  conns_.erase(fd);
+}
+
+std::string MetricsServer::render_response() {
+  const std::string body = render_prometheus_text();
+  std::ostringstream resp;
+  resp << "HTTP/1.0 200 OK\r\n"
+       << "Content-Type: text/plain; version=0.0.4; charset=utf-8\r\n"
+       << "Content-Length: " << body.size() << "\r\n"
+       << "Connection: close\r\n\r\n"
+       << body;
+  return resp.str();
+}
+
+}  // namespace tulkun::obs

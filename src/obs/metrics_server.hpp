@@ -1,0 +1,62 @@
+// Prometheus-style text exposition endpoint.
+//
+// Serves Registry::snapshot() as text/plain (version 0.0.4) over plain
+// HTTP from a dedicated net::EventLoop thread. Scrape with
+//   curl http://127.0.0.1:9464/metrics
+// (any request path gets the same body). Designed for one scraper on a
+// lab box, not for the open internet: connections are read until the
+// first blank line, answered, and closed.
+#pragma once
+
+#include <map>
+#include <memory>
+#include <string>
+#include <thread>
+
+#include "net/event_loop.hpp"
+
+namespace tulkun::obs {
+
+class MetricsServer {
+ public:
+  MetricsServer() = default;
+  ~MetricsServer();  // out of line: stops, and Conn is incomplete here
+
+  MetricsServer(const MetricsServer&) = delete;
+  MetricsServer& operator=(const MetricsServer&) = delete;
+
+  /// Binds `listen_addr` ("ip:port"; port 0 picks a free one), spawns the
+  /// serving thread. Throws Error on bind failure.
+  void start(const std::string& listen_addr);
+
+  /// Joins the serving thread and closes the listener. Idempotent.
+  void stop();
+
+  /// Resolved "ip:port" (useful with port 0). Empty before start().
+  [[nodiscard]] std::string address() const { return address_; }
+
+ private:
+  struct Conn {
+    std::string in;   // request bytes until the first blank line
+    std::string out;  // rendered response
+    std::size_t sent = 0;
+  };
+
+  void accept_ready();
+  void conn_event(int fd, std::uint32_t events);
+  void close_conn(int fd);
+  [[nodiscard]] static std::string render_response();
+
+  net::EventLoop loop_;
+  std::thread thread_;
+  int listen_fd_ = -1;
+  std::string address_;
+  std::map<int, std::unique_ptr<Conn>> conns_;
+  bool started_ = false;
+};
+
+/// Renders samples in Prometheus text format (names sanitized to
+/// [a-zA-Z0-9_:]); exposed for tests.
+[[nodiscard]] std::string render_prometheus_text();
+
+}  // namespace tulkun::obs

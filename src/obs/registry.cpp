@@ -1,0 +1,63 @@
+#include "obs/registry.hpp"
+
+#include <algorithm>
+
+namespace tulkun::obs {
+
+void Registry::ProviderHandle::reset() {
+  if (registry_ != nullptr) {
+    registry_->remove_provider(id_);
+    registry_ = nullptr;
+  }
+}
+
+Registry& Registry::instance() {
+  static Registry* r = new Registry();  // leaked: outlives static dtors
+  return *r;
+}
+
+Counter& Registry::counter(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto& slot = counters_[name];
+  if (!slot) slot = std::make_unique<Counter>();
+  return *slot;
+}
+
+Registry::ProviderHandle Registry::add_provider(Provider fn) {
+  std::lock_guard<std::mutex> lock(mu_);
+  const std::uint64_t id = next_provider_++;
+  providers_.emplace(id, std::move(fn));
+  return ProviderHandle(this, id);
+}
+
+void Registry::remove_provider(std::uint64_t id) {
+  std::lock_guard<std::mutex> lock(mu_);
+  providers_.erase(id);
+}
+
+std::vector<Sample> Registry::snapshot() const {
+  std::vector<Sample> raw;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    raw.reserve(counters_.size());
+    for (const auto& [name, c] : counters_) {
+      raw.push_back({name, static_cast<double>(c->value())});
+    }
+    for (const auto& [id, fn] : providers_) fn(raw);
+  }
+  std::sort(raw.begin(), raw.end(),
+            [](const Sample& a, const Sample& b) { return a.name < b.name; });
+  // Several components may export the same series (e.g. two transports in
+  // one process): one summed sample per name.
+  std::vector<Sample> out;
+  for (auto& s : raw) {
+    if (!out.empty() && out.back().name == s.name) {
+      out.back().value += s.value;
+    } else {
+      out.push_back(std::move(s));
+    }
+  }
+  return out;
+}
+
+}  // namespace tulkun::obs

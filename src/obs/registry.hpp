@@ -1,0 +1,107 @@
+// Process-global metrics registry: the single source the Prometheus-style
+// exposition endpoint (obs/metrics_server.hpp) and anything else that
+// wants "the current counters" reads from.
+//
+// Two kinds of sources:
+//  - named Counters: created once (mutex-guarded get-or-create), then
+//    incremented lock-free from any thread;
+//  - Providers: registered callbacks that append samples computed from
+//    component-owned state (e.g. a transport summing its per-link atomic
+//    counters). Components register in start() and hold the RAII handle,
+//    so a snapshot never touches a destroyed component.
+//
+// snapshot() is race-free: counter values are atomic loads, provider
+// callbacks run under the registry mutex, and samples sharing a name are
+// summed (several transports in one process contribute to one series).
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace tulkun::obs {
+
+/// Monotonic counter; increments are lock-free.
+class Counter {
+ public:
+  void add(std::uint64_t delta = 1) {
+    v_.fetch_add(delta, std::memory_order_relaxed);
+  }
+  /// Record a high-water mark instead of accumulating.
+  void max_of(std::uint64_t candidate) {
+    std::uint64_t cur = v_.load(std::memory_order_relaxed);
+    while (cur < candidate &&
+           !v_.compare_exchange_weak(cur, candidate,
+                                     std::memory_order_relaxed)) {
+    }
+  }
+  [[nodiscard]] std::uint64_t value() const {
+    return v_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  std::atomic<std::uint64_t> v_{0};
+};
+
+/// One exported series value.
+struct Sample {
+  std::string name;
+  double value = 0.0;
+};
+
+class Registry {
+ public:
+  using Provider = std::function<void(std::vector<Sample>&)>;
+
+  /// Deregisters its provider on destruction. Movable, not copyable.
+  class ProviderHandle {
+   public:
+    ProviderHandle() = default;
+    ProviderHandle(ProviderHandle&& o) noexcept
+        : registry_(o.registry_), id_(o.id_) {
+      o.registry_ = nullptr;
+    }
+    ProviderHandle& operator=(ProviderHandle&& o) noexcept {
+      reset();
+      registry_ = o.registry_;
+      id_ = o.id_;
+      o.registry_ = nullptr;
+      return *this;
+    }
+    ~ProviderHandle() { reset(); }
+    void reset();
+
+   private:
+    friend class Registry;
+    ProviderHandle(Registry* r, std::uint64_t id) : registry_(r), id_(id) {}
+    Registry* registry_ = nullptr;
+    std::uint64_t id_ = 0;
+  };
+
+  static Registry& instance();
+
+  /// Get-or-create; the returned reference stays valid for the process
+  /// lifetime.
+  Counter& counter(const std::string& name);
+
+  [[nodiscard]] ProviderHandle add_provider(Provider fn);
+
+  /// All counters plus all provider samples, same-name samples summed,
+  /// sorted by name.
+  [[nodiscard]] std::vector<Sample> snapshot() const;
+
+ private:
+  void remove_provider(std::uint64_t id);
+
+  mutable std::mutex mu_;
+  std::map<std::string, std::unique_ptr<Counter>> counters_;
+  std::map<std::uint64_t, Provider> providers_;
+  std::uint64_t next_provider_ = 1;
+};
+
+}  // namespace tulkun::obs

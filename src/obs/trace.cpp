@@ -1,0 +1,284 @@
+#include "obs/trace.hpp"
+
+#include <chrono>
+#include <map>
+#include <mutex>
+
+namespace tulkun::obs {
+
+namespace {
+
+std::uint64_t now_ns() {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+std::size_t round_pow2(std::size_t n) {
+  std::size_t p = 1;
+  while (p < n) p <<= 1;
+  return p;
+}
+
+}  // namespace
+
+// --- Ring -------------------------------------------------------------------
+
+Ring::Ring(std::size_t capacity)
+    : cap_(round_pow2(capacity == 0 ? 1 : capacity)),
+      slots_(new std::atomic<std::uint64_t>[cap_ * kRecordWords]) {
+  for (std::size_t i = 0; i < cap_ * kRecordWords; ++i) {
+    slots_[i].store(0, std::memory_order_relaxed);
+  }
+}
+
+void Ring::write(const Record& r) {
+  const std::uint64_t h = head_.load(std::memory_order_relaxed);
+  const std::size_t base = (h & (cap_ - 1)) * kRecordWords;
+  const auto store = [&](std::size_t i, std::uint64_t v) {
+    slots_[base + i].store(v, std::memory_order_relaxed);
+  };
+  store(0, r.trace_id);
+  store(1, r.span_id);
+  store(2, r.parent_span);
+  store(3, r.start_ns);
+  store(4, r.dur_ns);
+  store(5, (static_cast<std::uint64_t>(r.name_id) << 32) |
+               (static_cast<std::uint64_t>(r.rank) << 8) |
+               static_cast<std::uint64_t>(r.kind));
+  store(6, r.arg);
+  // Publish: readers that acquire this head value see the slot words above.
+  head_.store(h + 1, std::memory_order_release);
+}
+
+std::uint64_t Ring::drain(std::uint64_t cursor, std::vector<Record>& out,
+                          std::uint64_t& dropped) const {
+  const std::uint64_t head = head_.load(std::memory_order_acquire);
+  std::uint64_t start = cursor;
+  if (head > cap_ && start < head - cap_) {
+    // The writer lapped us before this drain: those records are gone.
+    dropped += (head - cap_) - start;
+    start = head - cap_;
+  }
+  for (std::uint64_t i = start; i < head; ++i) {
+    const std::size_t base = (i & (cap_ - 1)) * kRecordWords;
+    std::uint64_t w[kRecordWords];
+    for (std::size_t k = 0; k < kRecordWords; ++k) {
+      w[k] = slots_[base + k].load(std::memory_order_relaxed);
+    }
+    // Seqlock-style validation: the acquire fence orders the relaxed slot
+    // loads above before the head re-load below, so if the writer lapped
+    // slot i mid-copy the re-loaded head exposes it and the (possibly
+    // torn, but atomically read) record is discarded.
+    std::atomic_thread_fence(std::memory_order_acquire);
+    const std::uint64_t head2 = head_.load(std::memory_order_relaxed);
+    if (head2 > cap_ && i < head2 - cap_) {
+      dropped += 1;
+      continue;
+    }
+    Record r;
+    r.trace_id = w[0];
+    r.span_id = w[1];
+    r.parent_span = w[2];
+    r.start_ns = w[3];
+    r.dur_ns = w[4];
+    r.name_id = static_cast<std::uint32_t>(w[5] >> 32);
+    r.rank = static_cast<std::uint32_t>((w[5] >> 8) & 0xffffffu);
+    r.kind = static_cast<RecordKind>(w[5] & 0xffu);
+    r.arg = w[6];
+    out.push_back(r);
+  }
+  return head;
+}
+
+// --- global recorder --------------------------------------------------------
+
+std::atomic<bool> g_trace_enabled{false};
+
+namespace {
+
+constexpr std::size_t kRingRecords = 8192;  // per thread, ~450 KB
+
+struct ThreadRing {
+  std::uint32_t index = 0;
+  std::string label;
+  Ring ring{kRingRecords};
+  // Reader-side state, guarded by Recorder::mu_ (drains are serialized).
+  std::uint64_t cursor = 0;
+  std::uint64_t dropped_reported = 0;
+};
+
+// Rings outlive their threads (a drain after join() must still see their
+// records), so the recorder owns them and threads only borrow a pointer.
+struct Recorder {
+  std::mutex mu_;
+  std::vector<std::unique_ptr<ThreadRing>> rings_;
+  std::vector<std::string> names_;
+  std::map<std::string, std::uint32_t, std::less<>> ids_;
+
+  static Recorder& instance() {
+    static Recorder* r = new Recorder();  // leaked: outlives static dtors
+    return *r;
+  }
+};
+
+std::atomic<std::uint32_t> g_default_rank{0};
+thread_local std::uint32_t tl_rank = 0xffffffffu;  // sentinel: use default
+thread_local TraceContext tl_context{};
+thread_local ThreadRing* tl_ring = nullptr;
+thread_local std::uint64_t tl_span_counter = 0;
+
+ThreadRing& this_thread_ring() {
+  if (tl_ring == nullptr) {
+    Recorder& rec = Recorder::instance();
+    std::lock_guard<std::mutex> lock(rec.mu_);
+    auto tr = std::make_unique<ThreadRing>();
+    tr->index = static_cast<std::uint32_t>(rec.rings_.size());
+    tr->label = "thread-" + std::to_string(tr->index);
+    tl_ring = tr.get();
+    rec.rings_.push_back(std::move(tr));
+  }
+  return *tl_ring;
+}
+
+std::uint64_t next_id() {
+  // Unique across ranks and threads without coordination: rank and thread
+  // index tag the top bits, a thread-local counter the bottom.
+  const std::uint64_t rank = current_rank();
+  const std::uint64_t thread = this_thread_ring().index;
+  return ((rank + 1) << 48) | ((thread & 0xffff) << 32) |
+         (++tl_span_counter & 0xffffffffu);
+}
+
+}  // namespace
+
+void set_trace_enabled(bool on) {
+  g_trace_enabled.store(on, std::memory_order_relaxed);
+}
+
+std::uint32_t intern(std::string_view name) {
+  Recorder& rec = Recorder::instance();
+  std::lock_guard<std::mutex> lock(rec.mu_);
+  const auto it = rec.ids_.find(name);
+  if (it != rec.ids_.end()) return it->second;
+  const auto id = static_cast<std::uint32_t>(rec.names_.size());
+  rec.names_.emplace_back(name);
+  rec.ids_.emplace(std::string(name), id);
+  return id;
+}
+
+void set_default_rank(std::uint32_t rank) {
+  g_default_rank.store(rank, std::memory_order_relaxed);
+}
+
+std::uint32_t current_rank() {
+  return tl_rank != 0xffffffffu
+             ? tl_rank
+             : g_default_rank.load(std::memory_order_relaxed);
+}
+
+void set_thread_label(std::string label) {
+  ThreadRing& tr = this_thread_ring();
+  std::lock_guard<std::mutex> lock(Recorder::instance().mu_);
+  tr.label = std::move(label);
+}
+
+RankScope::RankScope(std::uint32_t rank) : prev_(tl_rank) { tl_rank = rank; }
+RankScope::~RankScope() { tl_rank = prev_; }
+
+TraceContext current_context() { return tl_context; }
+
+std::uint64_t new_trace_id() { return next_id(); }
+std::uint64_t new_span_id() { return next_id(); }
+
+ContextScope::ContextScope(TraceContext ctx) : prev_(tl_context) {
+  tl_context = ctx;
+}
+ContextScope::~ContextScope() { tl_context = prev_; }
+
+void ScopedSpan::begin(std::uint32_t name_id, std::uint64_t arg) {
+  active_ = true;
+  name_id_ = name_id;
+  arg_ = arg;
+  rank_ = current_rank();
+  span_id_ = new_span_id();
+  prev_ = tl_context;
+  tl_context = TraceContext{prev_.trace_id, span_id_};
+  start_ns_ = now_ns();
+}
+
+void ScopedSpan::end() {
+  const std::uint64_t end_ns = now_ns();
+  tl_context = prev_;
+  Record r;
+  r.trace_id = prev_.trace_id;
+  r.span_id = span_id_;
+  r.parent_span = prev_.span_id;
+  r.start_ns = start_ns_;
+  r.dur_ns = end_ns - start_ns_;
+  r.name_id = name_id_;
+  r.rank = rank_;
+  r.kind = RecordKind::kSpan;
+  r.arg = arg_;
+  this_thread_ring().ring.write(r);
+}
+
+void emit_event(std::uint32_t name_id, std::uint64_t arg) {
+  if (!trace_enabled()) return;
+  Record r;
+  r.trace_id = tl_context.trace_id;
+  r.span_id = new_span_id();
+  r.parent_span = tl_context.span_id;
+  r.start_ns = now_ns();
+  r.dur_ns = 0;
+  r.name_id = name_id;
+  r.rank = current_rank();
+  r.kind = RecordKind::kEvent;
+  r.arg = arg;
+  this_thread_ring().ring.write(r);
+}
+
+TraceSnapshot drain_snapshot() {
+  Recorder& rec = Recorder::instance();
+  std::lock_guard<std::mutex> lock(rec.mu_);
+  TraceSnapshot out;
+  out.names = rec.names_;
+  for (auto& tr : rec.rings_) {
+    ThreadTrace tt;
+    tt.thread_index = tr->index;
+    tt.label = tr->label;
+    std::uint64_t dropped_total = tr->dropped_reported;
+    tr->cursor = tr->ring.drain(tr->cursor, tt.records, dropped_total);
+    tt.dropped = dropped_total - tr->dropped_reported;
+    tr->dropped_reported = dropped_total;
+    if (!tt.records.empty() || tt.dropped != 0) {
+      out.threads.push_back(std::move(tt));
+    }
+  }
+  return out;
+}
+
+void merge_snapshot(TraceSnapshot& into, TraceSnapshot&& more) {
+  if (more.names.size() > into.names.size()) into.names = std::move(more.names);
+  for (auto& mt : more.threads) {
+    ThreadTrace* match = nullptr;
+    for (auto& t : into.threads) {
+      if (t.thread_index == mt.thread_index) {
+        match = &t;
+        break;
+      }
+    }
+    if (match == nullptr) {
+      into.threads.push_back(std::move(mt));
+      continue;
+    }
+    match->dropped += mt.dropped;
+    match->records.insert(match->records.end(),
+                          std::make_move_iterator(mt.records.begin()),
+                          std::make_move_iterator(mt.records.end()));
+    if (match->label.empty()) match->label = std::move(mt.label);
+  }
+}
+
+}  // namespace tulkun::obs

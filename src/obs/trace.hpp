@@ -1,0 +1,281 @@
+// Flight-recorder tracing: per-thread lock-free overwrite-oldest ring
+// buffers of fixed-size binary span/event records, written on the hot path
+// with zero allocation, drained off-path into snapshots that the exporters
+// (obs/export.hpp) turn into Chrome trace-event JSON.
+//
+// Hot-path cost model. A dormant TLK_SPAN is one relaxed atomic load. An
+// active span is two steady-clock reads plus seven relaxed atomic stores
+// into this thread's ring; name strings are interned once per call site
+// (function-local static), so no hashing or allocation ever happens per
+// record. When the build sets TULKUN_TRACE=OFF the macros expand to
+// ((void)0) and the call sites vanish entirely.
+//
+// Concurrency. Each thread owns a private ring (SPSC: the owning thread
+// writes, the drainer reads). Slots are arrays of std::atomic<uint64_t>:
+// the writer stores the record words relaxed and then publishes with a
+// release store of the head counter; the drainer acquire-loads the head,
+// copies candidate slots with relaxed loads, and re-checks the head after
+// an acquire fence — any slot the writer may have lapped during the copy
+// is discarded (counted as dropped). Torn reads are therefore possible but
+// harmless (the record is thrown away), and every access is atomic, so the
+// scheme is exactly as clean under TSan as it is on hardware.
+//
+// Cross-process spans. Records carry a rank tag (which process/logical
+// rank produced them) and a (trace_id, parent_span) context pair.
+// DistributedRuntime propagates the pair inside dist_proto messages so a
+// coordinator can stitch one causally-linked timeline across ranks; the
+// inproc transport runs all "ranks" in one process, which is why the rank
+// rides in the record (RankScope) rather than being process-global.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#ifndef TULKUN_TRACE_ENABLED
+#define TULKUN_TRACE_ENABLED 1
+#endif
+
+namespace tulkun::obs {
+
+enum class RecordKind : std::uint8_t { kSpan = 0, kEvent = 1 };
+
+/// One fixed-size trace record; packs to kRecordWords u64 slot words.
+struct Record {
+  std::uint64_t trace_id = 0;
+  std::uint64_t span_id = 0;
+  std::uint64_t parent_span = 0;
+  std::uint64_t start_ns = 0;  // steady clock, process-local origin
+  std::uint64_t dur_ns = 0;    // 0 for events
+  std::uint32_t name_id = 0;   // intern() id, process-local
+  std::uint32_t rank = 0;      // logical process rank (RankScope)
+  RecordKind kind = RecordKind::kSpan;
+  std::uint64_t arg = 0;  // user payload (batch size, bytes, phase, ...)
+};
+
+inline constexpr std::size_t kRecordWords = 7;
+
+/// SPSC overwrite-oldest ring of Records over atomic u64 slots. One writer
+/// (the owning thread), one reader at a time (the Recorder's drain, which
+/// serializes readers under its registry mutex).
+class Ring {
+ public:
+  /// `capacity` is rounded up to a power of two records.
+  explicit Ring(std::size_t capacity);
+
+  /// Lock-free, wait-free, zero-allocation; overwrites the oldest record
+  /// when full. Owning thread only.
+  void write(const Record& r);
+
+  /// Copies every record still readable past `cursor` into `out` and
+  /// returns the new cursor (== head). Records overwritten before they
+  /// could be read — including ones lapped mid-copy — are added to
+  /// `dropped`. Safe to call concurrently with write().
+  std::uint64_t drain(std::uint64_t cursor, std::vector<Record>& out,
+                      std::uint64_t& dropped) const;
+
+  [[nodiscard]] std::size_t capacity() const { return cap_; }
+
+ private:
+  std::size_t cap_;  // records, power of two
+  std::unique_ptr<std::atomic<std::uint64_t>[]> slots_;
+  std::atomic<std::uint64_t> head_{0};  // records ever written
+};
+
+// --- global recorder ------------------------------------------------------
+
+/// Runtime master switch. Off by default; spans/events are dormant
+/// (one relaxed load) until something — a --trace-out flag, a test —
+/// flips it on.
+extern std::atomic<bool> g_trace_enabled;
+
+[[nodiscard]] inline bool trace_enabled() {
+  return g_trace_enabled.load(std::memory_order_relaxed);
+}
+void set_trace_enabled(bool on);
+
+/// Whether TLK_SPAN/TLK_EVENT call sites were compiled in at all.
+inline constexpr bool kTraceCompiledIn = TULKUN_TRACE_ENABLED != 0;
+
+/// Interns `name`, returning a stable process-local id. Cheap enough for
+/// function-local statics; not for per-record use.
+[[nodiscard]] std::uint32_t intern(std::string_view name);
+
+/// Default rank for records written by this process (forked device
+/// processes set their rank once at startup).
+void set_default_rank(std::uint32_t rank);
+[[nodiscard]] std::uint32_t current_rank();
+
+/// Labels the calling thread's ring in exported traces ("shard3", ...).
+void set_thread_label(std::string label);
+
+/// Scopes the calling thread to a logical rank: the inproc transport runs
+/// several "ranks" on shared threads, so rank is adopted per handled
+/// message rather than per process.
+class RankScope {
+ public:
+  explicit RankScope(std::uint32_t rank);
+  ~RankScope();
+  RankScope(const RankScope&) = delete;
+  RankScope& operator=(const RankScope&) = delete;
+
+ private:
+  std::uint32_t prev_;
+};
+
+// --- trace context --------------------------------------------------------
+
+/// The causal position new spans attach under: `trace_id` names the whole
+/// distributed operation, `span_id` the would-be parent span.
+struct TraceContext {
+  std::uint64_t trace_id = 0;
+  std::uint64_t span_id = 0;
+};
+
+[[nodiscard]] TraceContext current_context();
+/// Fresh process-unique ids (rank and thread tagged, never 0).
+[[nodiscard]] std::uint64_t new_trace_id();
+[[nodiscard]] std::uint64_t new_span_id();
+
+/// Installs `ctx` as the calling thread's current context (e.g. adopted
+/// from an incoming dist_proto message) and restores on destruction.
+class ContextScope {
+ public:
+  explicit ContextScope(TraceContext ctx);
+  ~ContextScope();
+  ContextScope(const ContextScope&) = delete;
+  ContextScope& operator=(const ContextScope&) = delete;
+
+ private:
+  TraceContext prev_;
+};
+
+// --- span / event emission ------------------------------------------------
+
+/// RAII span: records [construction, destruction) into this thread's ring.
+/// Nested spans parent automatically through the thread's TraceContext.
+class ScopedSpan {
+ public:
+  explicit ScopedSpan(std::uint32_t name_id, std::uint64_t arg = 0) {
+    if (trace_enabled()) begin(name_id, arg);
+  }
+  ~ScopedSpan() {
+    if (active_) end();
+  }
+  ScopedSpan(const ScopedSpan&) = delete;
+  ScopedSpan& operator=(const ScopedSpan&) = delete;
+
+  /// Payload recorded at span end (e.g. a batch size known only later).
+  void set_arg(std::uint64_t arg) {
+    if (active_) arg_ = arg;
+  }
+
+ private:
+  void begin(std::uint32_t name_id, std::uint64_t arg);
+  void end();
+
+  bool active_ = false;
+  std::uint32_t name_id_ = 0;
+  std::uint32_t rank_ = 0;
+  std::uint64_t arg_ = 0;
+  std::uint64_t start_ns_ = 0;
+  std::uint64_t span_id_ = 0;
+  TraceContext prev_;
+};
+
+/// Instant event under the current context.
+void emit_event(std::uint32_t name_id, std::uint64_t arg = 0);
+
+// --- draining -------------------------------------------------------------
+
+/// Everything one thread's ring yielded in a drain.
+struct ThreadTrace {
+  std::uint32_t thread_index = 0;
+  std::string label;
+  std::uint64_t dropped = 0;
+  std::vector<Record> records;
+};
+
+/// A drained trace: per-thread record runs plus the intern table that
+/// name_id values index (per process — the exporter remaps on merge).
+struct TraceSnapshot {
+  std::vector<std::string> names;
+  std::vector<ThreadTrace> threads;
+
+  [[nodiscard]] std::size_t record_count() const {
+    std::size_t n = 0;
+    for (const auto& t : threads) n += t.records.size();
+    return n;
+  }
+};
+
+/// Drains every registered thread ring (consuming: a second call returns
+/// only records written since). Safe to call while writers are active;
+/// records landing mid-drain surface in the next drain.
+[[nodiscard]] TraceSnapshot drain_snapshot();
+
+/// Appends `more`'s thread runs into `into` (same process: the longer
+/// intern table wins, ids are stable).
+void merge_snapshot(TraceSnapshot& into, TraceSnapshot&& more);
+
+}  // namespace tulkun::obs
+
+// --- macros ----------------------------------------------------------------
+//
+// TLK_SPAN("planner.dfa");               scoped span, zero-arg
+// TLK_SPAN_ARG("runtime.batch", n);      scoped span carrying a u64
+// TLK_EVENT("net.redial");               instant event
+// TLK_EVENT_ARG("net.tx_frame", bytes);  instant event carrying a u64
+//
+// Names are interned once per call site via a function-local static.
+
+#if TULKUN_TRACE_ENABLED
+
+#define TLK_OBS_CAT2_(a, b) a##b
+#define TLK_OBS_CAT_(a, b) TLK_OBS_CAT2_(a, b)
+
+#define TLK_SPAN(name)                                            \
+  static const std::uint32_t TLK_OBS_CAT_(tlk_obs_name_,         \
+                                          __LINE__) =            \
+      ::tulkun::obs::intern(name);                                \
+  ::tulkun::obs::ScopedSpan TLK_OBS_CAT_(tlk_obs_span_, __LINE__)( \
+      TLK_OBS_CAT_(tlk_obs_name_, __LINE__))
+
+#define TLK_SPAN_ARG(name, arg)                                   \
+  static const std::uint32_t TLK_OBS_CAT_(tlk_obs_name_,         \
+                                          __LINE__) =            \
+      ::tulkun::obs::intern(name);                                \
+  ::tulkun::obs::ScopedSpan TLK_OBS_CAT_(tlk_obs_span_, __LINE__)( \
+      TLK_OBS_CAT_(tlk_obs_name_, __LINE__),                      \
+      static_cast<std::uint64_t>(arg))
+
+#define TLK_EVENT(name)                                                 \
+  do {                                                                  \
+    if (::tulkun::obs::trace_enabled()) {                               \
+      static const std::uint32_t tlk_obs_ev_name_ =                     \
+          ::tulkun::obs::intern(name);                                  \
+      ::tulkun::obs::emit_event(tlk_obs_ev_name_);                      \
+    }                                                                   \
+  } while (0)
+
+#define TLK_EVENT_ARG(name, arg)                                        \
+  do {                                                                  \
+    if (::tulkun::obs::trace_enabled()) {                               \
+      static const std::uint32_t tlk_obs_ev_name_ =                     \
+          ::tulkun::obs::intern(name);                                  \
+      ::tulkun::obs::emit_event(tlk_obs_ev_name_,                       \
+                                static_cast<std::uint64_t>(arg));       \
+    }                                                                   \
+  } while (0)
+
+#else  // TULKUN_TRACE_ENABLED == 0: call sites compile to nothing.
+
+#define TLK_SPAN(name) ((void)0)
+#define TLK_SPAN_ARG(name, arg) ((void)0)
+#define TLK_EVENT(name) ((void)0)
+#define TLK_EVENT_ARG(name, arg) ((void)0)
+
+#endif  // TULKUN_TRACE_ENABLED

@@ -2,11 +2,13 @@
 
 #include <chrono>
 
+#include "obs/trace.hpp"
 #include "spec/check.hpp"
 
 namespace tulkun::planner {
 
 InvariantPlan Planner::plan(spec::Invariant inv) const {
+  TLK_SPAN("planner.plan");
   const auto t0 = std::chrono::steady_clock::now();
   spec::ensure_valid(inv, *topo_, *space_);
 

@@ -107,6 +107,8 @@ std::vector<std::uint8_t> encode_dist(const DistMsg& msg) {
     w.u8(kBegin);
     w.u32(m->epoch);
     w.u32(m->phase);
+    w.u64(m->trace_id);
+    w.u64(m->parent_span);
   } else if (const auto* m = std::get_if<DistProbe>(&msg)) {
     w.u8(kProbe);
     w.u32(m->epoch);
@@ -147,7 +149,9 @@ std::vector<std::uint8_t> encode_dist(const DistMsg& msg) {
     w.u64(m->transport.reconnects);
     w.u64(m->transport.heartbeat_misses);
     w.u64(m->transport.protocol_errors);
+    w.u64(m->transport.send_queue_depth);
     w.u64(m->transport.send_queue_peak);
+    w.bytes(m->trace);
   } else if (std::get_if<DistDone>(&msg) != nullptr) {
     w.u8(kDone);
   } else {
@@ -156,6 +160,8 @@ std::vector<std::uint8_t> encode_dist(const DistMsg& msg) {
     w.u32(m.epoch);
     w.u32(m.dst_device);
     w.bytes(m.frame);
+    w.u64(m.trace_id);
+    w.u64(m.parent_span);
   }
   return w.take();
 }
@@ -176,6 +182,8 @@ DistMsg decode_dist(std::span<const std::uint8_t> bytes) {
       DistBegin m;
       m.epoch = r.u32();
       m.phase = r.u32();
+      m.trace_id = r.u64();
+      m.parent_span = r.u64();
       out = m;
       break;
     }
@@ -232,7 +240,9 @@ DistMsg decode_dist(std::span<const std::uint8_t> bytes) {
       m.transport.reconnects = r.u64();
       m.transport.heartbeat_misses = r.u64();
       m.transport.protocol_errors = r.u64();
+      m.transport.send_queue_depth = r.u64();
       m.transport.send_queue_peak = r.u64();
+      m.trace = r.bytes();
       out = m;
       break;
     }
@@ -244,6 +254,8 @@ DistMsg decode_dist(std::span<const std::uint8_t> bytes) {
       m.epoch = r.u32();
       m.dst_device = r.u32();
       m.frame = r.bytes();
+      m.trace_id = r.u64();
+      m.parent_span = r.u64();
       out = m;
       break;
     }

@@ -31,10 +31,13 @@ struct DistHello {
 };
 
 /// Coordinator -> all: run phase `phase` (0 = FIB burst, k >= 1 = update
-/// step k-1 of the deterministic workload).
+/// step k-1 of the deterministic workload). Carries the coordinator's trace
+/// context so device-side spans link under the phase span (0 = no tracing).
 struct DistBegin {
   std::uint32_t epoch = 0;
   std::uint32_t phase = 0;
+  std::uint64_t trace_id = 0;
+  std::uint64_t parent_span = 0;
 };
 
 /// Coordinator -> all: one wave of the four-counter termination probe.
@@ -87,18 +90,25 @@ struct DistVerdicts {
   double lec_delta_seconds = 0.0;
   double recompute_seconds = 0.0;
   double emit_seconds = 0.0;
-  TransportCounters transport;
+  net::LinkMetrics transport;
+  /// obs::serialize_trace blob: the rank's flight-recorder records drained
+  /// since the last Collect (empty when tracing is off).
+  std::vector<std::uint8_t> trace;
 };
 
 /// Coordinator -> all: run is over, exit cleanly.
 struct DistDone {};
 
 /// Device process -> device process: a dvm::encode_frame byte string for
-/// `dst_device` (owned by the receiver), valid within `epoch`.
+/// `dst_device` (owned by the receiver), valid within `epoch`. The sender's
+/// trace context rides along so the receiver's handling span links causally
+/// back to the send site (0 = no tracing).
 struct DistData {
   std::uint32_t epoch = 0;
   std::uint32_t dst_device = 0;
   std::vector<std::uint8_t> frame;
+  std::uint64_t trace_id = 0;
+  std::uint64_t parent_span = 0;
 };
 
 using DistMsg = std::variant<DistHello, DistBegin, DistProbe, DistProbeAck,

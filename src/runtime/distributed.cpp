@@ -7,6 +7,7 @@
 #include <thread>
 
 #include "dvm/codec.hpp"
+#include "obs/export.hpp"
 #include "runtime/digest.hpp"
 
 namespace tulkun::runtime {
@@ -111,7 +112,12 @@ void DeviceProcess::run() {
       queue_.pop_front();
       busy_ = true;
     }
-    process(msg);
+    {
+      // Inproc runs share threads between logical ranks, so records adopt
+      // the rank per processed message rather than per process.
+      obs::RankScope rank_scope(cfg_.rank);
+      process(msg);
+    }
     {
       std::lock_guard<std::mutex> lock(mu_);
       busy_ = false;
@@ -166,6 +172,10 @@ void DeviceProcess::run_phase(const DistBegin& begin) {
     // no goodbye. The supervisor re-forks us with incarnation 1.
     _exit(43);
   }
+  // Adopt the coordinator's context: device-side spans (and everything
+  // route() stamps onto outgoing Data) link under its phase span.
+  obs::ContextScope trace_ctx({begin.trace_id, begin.parent_span});
+  TLK_SPAN_ARG("dist.device_phase", begin.phase);
   if (begin.phase == 0) {
     for (auto& od : devices_) {
       auto outs = od.verifier->initialize(
@@ -209,6 +219,9 @@ void DeviceProcess::handle_data(DistData& data) {
     }
     received_ += 1;
   }
+  // Adopt the sender's context so this span links back to the send site.
+  obs::ContextScope trace_ctx({data.trace_id, data.parent_span});
+  TLK_SPAN_ARG("dist.handle_data", data.frame.size());
   OwnedDevice* od = owned(data.dst_device);
   if (od == nullptr) return;  // misrouted frame; ignore
   std::vector<dvm::Envelope> outs;
@@ -231,9 +244,12 @@ void DeviceProcess::route(std::vector<dvm::Envelope> outs) {
   if (outs.empty()) return;
   std::map<DeviceId, std::vector<dvm::Envelope>> by_dst;
   for (auto& env : outs) by_dst[env.dst].push_back(std::move(env));
+  const obs::TraceContext ctx = obs::current_context();
   for (auto& [dst, envs] : by_dst) {
     DistData d;
     d.dst_device = dst;
+    d.trace_id = ctx.trace_id;
+    d.parent_span = ctx.span_id;
     d.frame = dvm::encode_frame(envs, &transfer_cache_);
     local_.frames += 1;
     local_.envelopes += envs.size();
@@ -284,15 +300,11 @@ void DeviceProcess::send_verdicts(std::uint32_t /*epoch*/) {
   v.frame_bytes = local_.frame_bytes;
   v.transport = local_.transport;
   for (const auto& [peer, m] : transport_->link_metrics()) {
-    v.transport.frames_sent += m.frames_sent;
-    v.transport.bytes_sent += m.bytes_sent;
-    v.transport.frames_received += m.frames_received;
-    v.transport.bytes_received += m.bytes_received;
-    v.transport.reconnects += m.reconnects;
-    v.transport.heartbeat_misses += m.heartbeat_misses;
-    v.transport.protocol_errors += m.protocol_errors;
-    v.transport.send_queue_peak =
-        std::max(v.transport.send_queue_peak, m.send_queue_peak);
+    v.transport.merge(m);
+  }
+  if (obs::trace_enabled()) {
+    obs::merge_snapshot(trace_acc_, obs::drain_snapshot());
+    v.trace = obs::serialize_trace(trace_acc_);
   }
   transport_->send(kCoordinatorRank, encode_dist(v));
 }
@@ -373,6 +385,7 @@ bool DistCoordinator::await_termination(std::uint32_t k) {
       epoch = epoch_;
       acks_.clear();
     }
+    TLK_EVENT_ARG("dist.probe_wave", wave);
     broadcast(DistProbe{epoch, wave});
     bool complete = false;
     bool terminated = false;
@@ -414,6 +427,7 @@ bool DistCoordinator::await_termination(std::uint32_t k) {
 
 void DistCoordinator::absorb_reset(std::uint32_t upto_phase,
                                    PhaseOutcome& outcome) {
+  TLK_SPAN_ARG("dist.reset", upto_phase);
   bool again = true;
   while (again) {
     again = false;
@@ -427,16 +441,18 @@ void DistCoordinator::absorb_reset(std::uint32_t upto_phase,
       acks_.clear();
     }
     outcome.resets += 1;
+    TLK_EVENT_ARG("dist.epoch_bump", epoch);
     broadcast(DistReset{epoch});
     // Replay every phase completed before the crash; world construction is
     // deterministic, so the replay reconverges to the identical state.
+    const obs::TraceContext ctx = obs::current_context();
     for (std::uint32_t p = 0; p < upto_phase && !again; ++p) {
       while (true) {
         if (reset_pending()) {
           again = true;
           break;
         }
-        broadcast(DistBegin{epoch, p});
+        broadcast(DistBegin{epoch, p, ctx.trace_id, ctx.span_id});
         if (await_termination(p)) break;
       }
     }
@@ -448,6 +464,12 @@ DistCoordinator::PhaseOutcome DistCoordinator::run_phase() {
   PhaseOutcome out;
   const auto t0 = std::chrono::steady_clock::now();
   const std::uint32_t k = next_phase_;
+  // Each phase is one distributed trace: mint its id here, span it, and
+  // ship the context inside Begin so every rank's work links under it.
+  obs::ContextScope trace_root(
+      {obs::trace_enabled() ? obs::new_trace_id() : 0, 0});
+  TLK_SPAN_ARG("dist.phase", k);
+  const obs::TraceContext ctx = obs::current_context();
   while (true) {
     if (reset_pending()) absorb_reset(k, out);
     std::uint32_t epoch = 0;
@@ -455,7 +477,7 @@ DistCoordinator::PhaseOutcome DistCoordinator::run_phase() {
       std::lock_guard<std::mutex> lock(mu_);
       epoch = epoch_;
     }
-    broadcast(DistBegin{epoch, k});
+    broadcast(DistBegin{epoch, k, ctx.trace_id, ctx.span_id});
     if (await_termination(k)) break;
   }
   next_phase_ = k + 1;
@@ -492,20 +514,19 @@ DistCoordinator::Collected DistCoordinator::collect() {
       out.metrics.recompute_seconds += v.recompute_seconds;
       out.metrics.emit_seconds += v.emit_seconds;
       out.metrics.transport.merge(v.transport);
+      if (!v.trace.empty()) {
+        try {
+          out.traces.push_back(obs::deserialize_trace(v.trace));
+        } catch (const Error&) {
+          // A malformed blob loses that rank's trace, never the run.
+        }
+      }
     }
     break;
   }
   // Fold in the coordinator's own side of the control links.
   for (const auto& [peer, m] : transport_->link_metrics()) {
-    out.metrics.transport.frames_sent += m.frames_sent;
-    out.metrics.transport.bytes_sent += m.bytes_sent;
-    out.metrics.transport.frames_received += m.frames_received;
-    out.metrics.transport.bytes_received += m.bytes_received;
-    out.metrics.transport.reconnects += m.reconnects;
-    out.metrics.transport.heartbeat_misses += m.heartbeat_misses;
-    out.metrics.transport.protocol_errors += m.protocol_errors;
-    out.metrics.transport.send_queue_peak =
-        std::max(out.metrics.transport.send_queue_peak, m.send_queue_peak);
+    out.metrics.transport.merge(m);
   }
   std::sort(out.rows.begin(), out.rows.end());
   return out;

@@ -32,6 +32,7 @@
 #include <mutex>
 
 #include "net/transport.hpp"
+#include "obs/trace.hpp"
 #include "runtime/dist_proto.hpp"
 #include "runtime/sharded_runtime.hpp"
 
@@ -114,6 +115,10 @@ class DeviceProcess {
   std::vector<std::uint64_t> step_rule_ids_;
   bdd::SerializeCache transfer_cache_;
   RuntimeMetrics local_;
+  // Flight-recorder records drained so far. Accumulated (not just the last
+  // drain) because the coordinator may re-broadcast Collect after a
+  // timeout and a drain consumes — a re-ask must not ship an empty blob.
+  obs::TraceSnapshot trace_acc_;
   bool done_ = false;
 
   // Shared with the transport thread (queue, counters, probe snapshots).
@@ -150,6 +155,10 @@ class DistCoordinator {
     std::vector<std::string> rows;  // sorted canonical digest, all devices
     RuntimeMetrics metrics;         // merged over device processes
     std::uint32_t epoch = 0;        // final epoch (resets survived = epoch)
+    /// Per-rank flight-recorder snapshots (one entry per shipped blob;
+    /// empty when tracing is off). The coordinator's own records are
+    /// appended by eval::dist_run, not here.
+    std::vector<obs::TraceSnapshot> traces;
   };
 
   DistCoordinator(net::Transport& transport, Config cfg);

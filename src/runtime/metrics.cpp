@@ -5,17 +5,6 @@
 
 namespace tulkun::runtime {
 
-void TransportCounters::merge(const TransportCounters& other) {
-  frames_sent += other.frames_sent;
-  bytes_sent += other.bytes_sent;
-  frames_received += other.frames_received;
-  bytes_received += other.bytes_received;
-  reconnects += other.reconnects;
-  heartbeat_misses += other.heartbeat_misses;
-  protocol_errors += other.protocol_errors;
-  send_queue_peak = std::max(send_queue_peak, other.send_queue_peak);
-}
-
 double RuntimeMetrics::transfer_cache_hit_rate() const {
   const std::uint64_t total = transfer_cache_hits + transfer_cache_misses;
   return total == 0 ? 0.0

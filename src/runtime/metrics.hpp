@@ -9,6 +9,7 @@
 
 #include "core/stats.hpp"
 #include "fib/prefix_index.hpp"
+#include "net/transport.hpp"
 
 namespace tulkun::runtime {
 
@@ -19,22 +20,6 @@ struct RunStats {
   std::uint64_t bytes = 0;         // wire bytes (when accounting enabled)
   Samples per_message_seconds;     // host-measured handler durations
   Samples per_device_busy_seconds; // total busy time per device (filled at end)
-};
-
-/// Aggregated network-transport counters of one distributed run (zeros for
-/// purely in-process runs). Mirrors net::LinkMetrics summed over links,
-/// duplicated here so metrics stay independent of the net layer.
-struct TransportCounters {
-  std::uint64_t frames_sent = 0;
-  std::uint64_t bytes_sent = 0;
-  std::uint64_t frames_received = 0;
-  std::uint64_t bytes_received = 0;
-  std::uint64_t reconnects = 0;
-  std::uint64_t heartbeat_misses = 0;
-  std::uint64_t protocol_errors = 0;
-  std::uint64_t send_queue_peak = 0;  // max over links
-
-  void merge(const TransportCounters& other);
 };
 
 /// Counters of one ShardedRuntime run: how work spread over shards, how
@@ -62,8 +47,9 @@ struct RuntimeMetrics {
   double recompute_seconds = 0.0;
   double emit_seconds = 0.0;
 
-  /// Real-network transport activity (multi-process runs only).
-  TransportCounters transport;
+  /// Network-transport activity summed over links (zeros for purely
+  /// in-process runs); net::LinkMetrics is the one counter vocabulary.
+  net::LinkMetrics transport;
 
   [[nodiscard]] double transfer_cache_hit_rate() const;
   [[nodiscard]] double mean_batch_size() const;

@@ -4,6 +4,7 @@
 #include <map>
 
 #include "dvm/codec.hpp"
+#include "obs/trace.hpp"
 
 namespace tulkun::runtime {
 
@@ -256,6 +257,7 @@ void ShardedRuntime::handle(Shard& shard, Job& job) {
 
 void ShardedRuntime::worker_loop(std::size_t shard_index) {
   Shard& shard = *shards_[shard_index];
+  obs::set_thread_label("shard" + std::to_string(shard_index));
   while (true) {
     std::vector<Job> batch;
     {
@@ -266,6 +268,7 @@ void ShardedRuntime::worker_loop(std::size_t shard_index) {
       if (stopping_.load() && shard.queue.empty()) return;
       batch.swap(shard.queue);
     }
+    TLK_SPAN_ARG("runtime.batch", batch.size());
     const auto drained = std::chrono::steady_clock::now();
     for (auto& job : batch) {
       shard.local.queue_wait_seconds.add(

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <chrono>
 
+#include "obs/trace.hpp"
+
 namespace tulkun::verifier {
 
 OnDeviceVerifier::OnDeviceVerifier(DeviceId dev, const topo::Topology& topo,
@@ -76,6 +78,7 @@ std::vector<dvm::Envelope> OnDeviceVerifier::apply_rule_update(
   TULKUN_ASSERT(initialized_);
   TULKUN_ASSERT(update.device == dev_);
 
+  TLK_SPAN_ARG("device.lec_delta", dev_);
   const auto t0 = std::chrono::steady_clock::now();
   const auto note_lec_delta = [&] {
     stats_.lec_delta_seconds +=

@@ -1,0 +1,288 @@
+// Exporter and registry coverage: TOBS binary round-trips (including
+// hostile truncated/corrupt input), Chrome trace JSON shape, registry
+// snapshot semantics, and a live HTTP scrape of the metrics endpoint.
+#include <gtest/gtest.h>
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cstring>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "core/error.hpp"
+#include "obs/export.hpp"
+#include "obs/metrics_server.hpp"
+#include "obs/registry.hpp"
+#include "obs/trace.hpp"
+
+namespace tulkun::obs {
+namespace {
+
+TraceSnapshot sample_snapshot() {
+  TraceSnapshot snap;
+  snap.names = {"alpha", "beta.gamma", ""};
+  ThreadTrace t0;
+  t0.thread_index = 0;
+  t0.label = "main";
+  t0.dropped = 3;
+  Record r;
+  r.trace_id = 0x1111;
+  r.span_id = 0x2222;
+  r.parent_span = 0x3333;
+  r.start_ns = 1000;
+  r.dur_ns = 500;
+  r.name_id = 0;
+  r.rank = 2;
+  r.kind = RecordKind::kSpan;
+  r.arg = 99;
+  t0.records.push_back(r);
+  r.kind = RecordKind::kEvent;
+  r.dur_ns = 0;
+  r.name_id = 1;
+  t0.records.push_back(r);
+  snap.threads.push_back(std::move(t0));
+  ThreadTrace t1;
+  t1.thread_index = 7;
+  t1.label = "shard7";
+  snap.threads.push_back(std::move(t1));
+  return snap;
+}
+
+TEST(ExportTest, SerializeRoundTrips) {
+  const auto snap = sample_snapshot();
+  const auto bytes = serialize_trace(snap);
+  const auto back = deserialize_trace(bytes);
+
+  ASSERT_EQ(back.names, snap.names);
+  ASSERT_EQ(back.threads.size(), snap.threads.size());
+  for (std::size_t i = 0; i < snap.threads.size(); ++i) {
+    const auto& a = snap.threads[i];
+    const auto& b = back.threads[i];
+    EXPECT_EQ(b.thread_index, a.thread_index);
+    EXPECT_EQ(b.label, a.label);
+    EXPECT_EQ(b.dropped, a.dropped);
+    ASSERT_EQ(b.records.size(), a.records.size());
+    for (std::size_t j = 0; j < a.records.size(); ++j) {
+      EXPECT_EQ(b.records[j].trace_id, a.records[j].trace_id);
+      EXPECT_EQ(b.records[j].span_id, a.records[j].span_id);
+      EXPECT_EQ(b.records[j].parent_span, a.records[j].parent_span);
+      EXPECT_EQ(b.records[j].start_ns, a.records[j].start_ns);
+      EXPECT_EQ(b.records[j].dur_ns, a.records[j].dur_ns);
+      EXPECT_EQ(b.records[j].name_id, a.records[j].name_id);
+      EXPECT_EQ(b.records[j].rank, a.records[j].rank);
+      EXPECT_EQ(b.records[j].kind, a.records[j].kind);
+      EXPECT_EQ(b.records[j].arg, a.records[j].arg);
+    }
+  }
+}
+
+TEST(ExportTest, EmptySnapshotRoundTrips) {
+  const auto bytes = serialize_trace(TraceSnapshot{});
+  const auto back = deserialize_trace(bytes);
+  EXPECT_TRUE(back.names.empty());
+  EXPECT_TRUE(back.threads.empty());
+}
+
+TEST(ExportTest, TruncationAtEveryPrefixThrows) {
+  // Hostile input: every proper prefix must throw Error, never read past
+  // the buffer or crash.
+  const auto bytes = serialize_trace(sample_snapshot());
+  for (std::size_t n = 0; n < bytes.size(); ++n) {
+    EXPECT_THROW((void)deserialize_trace({bytes.data(), n}), Error)
+        << "prefix length " << n;
+  }
+}
+
+TEST(ExportTest, CorruptMagicAndCountsThrow) {
+  auto bytes = serialize_trace(sample_snapshot());
+  auto bad = bytes;
+  bad[0] ^= 0xff;  // magic
+  EXPECT_THROW((void)deserialize_trace(bad), Error);
+
+  bad = bytes;
+  bad[4] = 0x7f;  // version
+  EXPECT_THROW((void)deserialize_trace(bad), Error);
+
+  // A name count far beyond what the buffer could hold.
+  bad = bytes;
+  std::memset(bad.data() + 8, 0xff, 4);
+  EXPECT_THROW((void)deserialize_trace(bad), Error);
+
+  // Trailing garbage is rejected too.
+  bad = bytes;
+  bad.push_back(0);
+  EXPECT_THROW((void)deserialize_trace(bad), Error);
+}
+
+TEST(ExportTest, ChromeTraceContainsTracksSpansAndFlows) {
+  TraceSnapshot coord;
+  coord.names = {"dist.phase"};
+  ThreadTrace ct;
+  ct.thread_index = 0;
+  Record parent;
+  parent.trace_id = 0xabc;
+  parent.span_id = 0x111;
+  parent.start_ns = 1000;
+  parent.dur_ns = 9000;
+  parent.name_id = 0;
+  parent.rank = 0;
+  ct.records.push_back(parent);
+  coord.threads.push_back(std::move(ct));
+
+  TraceSnapshot dev;
+  dev.names = {"dist.device_phase", "net.rx_frame"};
+  ThreadTrace dt;
+  dt.thread_index = 0;
+  Record child;
+  child.trace_id = 0xabc;
+  child.span_id = 0x222;
+  child.parent_span = 0x111;  // lives on the coordinator: cross-pid flow
+  child.start_ns = 2000;
+  child.dur_ns = 1000;
+  child.name_id = 0;
+  child.rank = 1;
+  dt.records.push_back(child);
+  Record ev;
+  ev.kind = RecordKind::kEvent;
+  ev.name_id = 1;
+  ev.rank = 1;
+  ev.start_ns = 2500;
+  dt.records.push_back(ev);
+  dev.threads.push_back(std::move(dt));
+
+  std::ostringstream os;
+  write_chrome_trace(os, {coord, dev});
+  const std::string json = os.str();
+
+  // Track metadata for both ranks, the spans, the instant, and one
+  // cross-process flow pair stitching child under parent.
+  EXPECT_NE(json.find("\"rank 0\""), std::string::npos);
+  EXPECT_NE(json.find("\"rank 1\""), std::string::npos);
+  EXPECT_NE(json.find("\"dist.phase\""), std::string::npos);
+  EXPECT_NE(json.find("\"dist.device_phase\""), std::string::npos);
+  EXPECT_NE(json.find("\"net.rx_frame\""), std::string::npos);
+  EXPECT_NE(json.find("\"ph\":\"X\""), std::string::npos);
+  EXPECT_NE(json.find("\"ph\":\"i\""), std::string::npos);
+  EXPECT_NE(json.find("\"ph\":\"s\""), std::string::npos);
+  EXPECT_NE(json.find("\"ph\":\"f\""), std::string::npos);
+  // JSON-object form with the traceEvents array (what Perfetto loads).
+  EXPECT_EQ(json.front(), '{');
+  EXPECT_NE(json.find("\"traceEvents\":["), std::string::npos);
+  EXPECT_NE(json.rfind("]}"), std::string::npos);
+}
+
+TEST(ExportTest, SamePidParentsDoNotEmitFlows) {
+  TraceSnapshot snap;
+  snap.names = {"outer", "inner"};
+  ThreadTrace t;
+  Record outer;
+  outer.trace_id = 1;
+  outer.span_id = 10;
+  outer.start_ns = 0;
+  outer.dur_ns = 100;
+  outer.name_id = 0;
+  t.records.push_back(outer);
+  Record inner = outer;
+  inner.span_id = 11;
+  inner.parent_span = 10;
+  inner.name_id = 1;
+  t.records.push_back(inner);
+  snap.threads.push_back(std::move(t));
+
+  std::ostringstream os;
+  write_chrome_trace(os, {snap});
+  EXPECT_EQ(os.str().find("\"ph\":\"s\""), std::string::npos);
+}
+
+TEST(RegistryTest, CountersAccumulateAndMax) {
+  auto& c = Registry::instance().counter("obs_test_counter_a");
+  c.add(3);
+  c.add();
+  EXPECT_EQ(c.value(), 4u);
+  auto& peak = Registry::instance().counter("obs_test_peak_a");
+  peak.max_of(10);
+  peak.max_of(4);
+  EXPECT_EQ(peak.value(), 10u);
+  // Get-or-create returns the same counter.
+  EXPECT_EQ(&Registry::instance().counter("obs_test_counter_a"), &c);
+}
+
+TEST(RegistryTest, SnapshotSumsSameNameSamples) {
+  Registry::instance().counter("obs_test_dup").add(5);
+  auto h = Registry::instance().add_provider([](std::vector<Sample>& out) {
+    out.push_back({"obs_test_dup", 7.0});
+  });
+  double value = -1;
+  for (const auto& s : Registry::instance().snapshot()) {
+    if (s.name == "obs_test_dup") value = s.value;
+  }
+  EXPECT_DOUBLE_EQ(value, 12.0);
+}
+
+TEST(RegistryTest, ProviderHandleDeregistersOnDestruction) {
+  {
+    auto h = Registry::instance().add_provider([](std::vector<Sample>& out) {
+      out.push_back({"obs_test_ephemeral", 1.0});
+    });
+    bool found = false;
+    for (const auto& s : Registry::instance().snapshot()) {
+      if (s.name == "obs_test_ephemeral") found = true;
+    }
+    EXPECT_TRUE(found);
+  }
+  for (const auto& s : Registry::instance().snapshot()) {
+    EXPECT_NE(s.name, "obs_test_ephemeral");
+  }
+}
+
+TEST(RegistryTest, PrometheusTextSanitizesNames) {
+  Registry::instance().counter("obs test/bad-name").add(1);
+  const std::string text = render_prometheus_text();
+  EXPECT_NE(text.find("obs_test_bad_name"), std::string::npos);
+  EXPECT_NE(text.find("# TYPE"), std::string::npos);
+}
+
+/// One-shot HTTP GET against `addr` ("ip:port"); returns the raw response.
+std::string http_get(const std::string& addr) {
+  const auto colon = addr.rfind(':');
+  const std::string ip = addr.substr(0, colon);
+  const int port = std::stoi(addr.substr(colon + 1));
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  EXPECT_GE(fd, 0);
+  sockaddr_in sa{};
+  sa.sin_family = AF_INET;
+  sa.sin_port = htons(static_cast<std::uint16_t>(port));
+  EXPECT_EQ(inet_pton(AF_INET, ip.c_str(), &sa.sin_addr), 1);
+  EXPECT_EQ(::connect(fd, reinterpret_cast<sockaddr*>(&sa), sizeof(sa)), 0);
+  const char req[] = "GET /metrics HTTP/1.0\r\n\r\n";
+  EXPECT_EQ(::write(fd, req, sizeof(req) - 1),
+            static_cast<ssize_t>(sizeof(req) - 1));
+  std::string resp;
+  char buf[4096];
+  ssize_t n;
+  while ((n = ::read(fd, buf, sizeof(buf))) > 0) resp.append(buf, n);
+  ::close(fd);
+  return resp;
+}
+
+TEST(MetricsServerTest, ServesRegistrySnapshotOverHttp) {
+  Registry::instance().counter("obs_test_http_counter").add(42);
+  MetricsServer server;
+  server.start("127.0.0.1:0");  // port 0: pick a free one
+  ASSERT_FALSE(server.address().empty());
+
+  const std::string resp = http_get(server.address());
+  EXPECT_NE(resp.find("HTTP/1.0 200"), std::string::npos);
+  EXPECT_NE(resp.find("text/plain"), std::string::npos);
+  EXPECT_NE(resp.find("obs_test_http_counter 42"), std::string::npos);
+
+  server.stop();
+  server.stop();  // idempotent
+}
+
+}  // namespace
+}  // namespace tulkun::obs

@@ -1,0 +1,268 @@
+// Flight-recorder core: ring wrap-around accounting, intern stability,
+// span/context nesting, and a concurrent writer-vs-drain exercise that is
+// the TSan workout for the seqlock-style ring protocol.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "obs/trace.hpp"
+
+namespace tulkun::obs {
+namespace {
+
+/// Tests share one process-global recorder; scope tracing to each test and
+/// start from a clean cursor so earlier tests' records don't leak in.
+struct TraceOn {
+  TraceOn() {
+    set_trace_enabled(true);
+    (void)drain_snapshot();
+  }
+  ~TraceOn() {
+    (void)drain_snapshot();
+    set_trace_enabled(false);
+  }
+};
+
+/// All records across threads whose interned name matches `name`.
+std::vector<Record> records_named(const TraceSnapshot& snap,
+                                  const std::string& name) {
+  std::vector<Record> out;
+  for (const auto& t : snap.threads) {
+    for (const auto& r : t.records) {
+      if (r.name_id < snap.names.size() && snap.names[r.name_id] == name) {
+        out.push_back(r);
+      }
+    }
+  }
+  return out;
+}
+
+TEST(RingTest, WrapAroundKeepsNewestAndCountsDropped) {
+  Ring ring(64);  // already a power of two
+  const std::size_t cap = ring.capacity();
+  ASSERT_EQ(cap, 64u);
+
+  Record r;
+  for (std::size_t i = 0; i < 3 * cap; ++i) {
+    r.arg = i;
+    ring.write(r);
+  }
+  std::vector<Record> out;
+  std::uint64_t dropped = 0;
+  const std::uint64_t cursor = ring.drain(0, out, dropped);
+
+  EXPECT_EQ(cursor, 3 * cap);
+  ASSERT_EQ(out.size(), cap);
+  EXPECT_EQ(dropped, 2 * cap);
+  // The survivors are exactly the newest `cap` records, oldest first.
+  for (std::size_t i = 0; i < out.size(); ++i) {
+    EXPECT_EQ(out[i].arg, 2 * cap + i);
+  }
+}
+
+TEST(RingTest, SecondDrainReturnsOnlyNewRecords) {
+  Ring ring(8);
+  Record r;
+  r.arg = 1;
+  ring.write(r);
+  std::vector<Record> out;
+  std::uint64_t dropped = 0;
+  std::uint64_t cursor = ring.drain(0, out, dropped);
+  EXPECT_EQ(out.size(), 1u);
+
+  r.arg = 2;
+  ring.write(r);
+  out.clear();
+  cursor = ring.drain(cursor, out, dropped);
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_EQ(out[0].arg, 2u);
+}
+
+TEST(RingTest, CapacityRoundsUpToPowerOfTwo) {
+  EXPECT_EQ(Ring(3).capacity(), 4u);
+  EXPECT_EQ(Ring(1000).capacity(), 1024u);
+}
+
+TEST(TraceTest, InternIsStableAndSharedAcrossCallSites) {
+  const std::uint32_t a = intern("obs.test.intern");
+  const std::uint32_t b = intern("obs.test.intern");
+  const std::uint32_t c = intern("obs.test.intern2");
+  EXPECT_EQ(a, b);
+  EXPECT_NE(a, c);
+}
+
+TEST(TraceTest, DormantSpansWriteNothing) {
+  if (!kTraceCompiledIn) GTEST_SKIP() << "built with TULKUN_TRACE=OFF";
+  set_trace_enabled(false);
+  (void)drain_snapshot();
+  { TLK_SPAN("obs.test.dormant"); }
+  TLK_EVENT("obs.test.dormant_ev");
+  set_trace_enabled(true);
+  const auto snap = drain_snapshot();
+  set_trace_enabled(false);
+  EXPECT_TRUE(records_named(snap, "obs.test.dormant").empty());
+  EXPECT_TRUE(records_named(snap, "obs.test.dormant_ev").empty());
+}
+
+TEST(TraceTest, NestedSpansParentUnderEachOther) {
+  if (!kTraceCompiledIn) GTEST_SKIP() << "built with TULKUN_TRACE=OFF";
+  TraceOn on;
+
+  const std::uint64_t trace = new_trace_id();
+  {
+    ContextScope root({trace, 0});
+    TLK_SPAN("obs.test.outer");
+    { TLK_SPAN_ARG("obs.test.inner", 7); }
+  }
+  const auto snap = drain_snapshot();
+
+  const auto outer = records_named(snap, "obs.test.outer");
+  const auto inner = records_named(snap, "obs.test.inner");
+  ASSERT_EQ(outer.size(), 1u);
+  ASSERT_EQ(inner.size(), 1u);
+  EXPECT_EQ(outer[0].trace_id, trace);
+  EXPECT_EQ(inner[0].trace_id, trace);
+  EXPECT_EQ(outer[0].parent_span, 0u);
+  EXPECT_EQ(inner[0].parent_span, outer[0].span_id);
+  EXPECT_NE(inner[0].span_id, outer[0].span_id);
+  EXPECT_EQ(inner[0].arg, 7u);
+  EXPECT_EQ(inner[0].kind, RecordKind::kSpan);
+  // The inner span closed first, inside the outer's bounds.
+  EXPECT_GE(inner[0].start_ns, outer[0].start_ns);
+  EXPECT_LE(inner[0].start_ns + inner[0].dur_ns,
+            outer[0].start_ns + outer[0].dur_ns);
+}
+
+TEST(TraceTest, EventsAttachToTheEnclosingSpan) {
+  if (!kTraceCompiledIn) GTEST_SKIP() << "built with TULKUN_TRACE=OFF";
+  TraceOn on;
+  {
+    TLK_SPAN("obs.test.ev_parent");
+    TLK_EVENT_ARG("obs.test.ev", 42);
+  }
+  const auto snap = drain_snapshot();
+  const auto parent = records_named(snap, "obs.test.ev_parent");
+  const auto ev = records_named(snap, "obs.test.ev");
+  ASSERT_EQ(parent.size(), 1u);
+  ASSERT_EQ(ev.size(), 1u);
+  EXPECT_EQ(ev[0].kind, RecordKind::kEvent);
+  EXPECT_EQ(ev[0].dur_ns, 0u);
+  EXPECT_EQ(ev[0].arg, 42u);
+  EXPECT_EQ(ev[0].parent_span, parent[0].span_id);
+}
+
+TEST(TraceTest, RankScopeTagsRecords) {
+  if (!kTraceCompiledIn) GTEST_SKIP() << "built with TULKUN_TRACE=OFF";
+  TraceOn on;
+  {
+    RankScope rank(5);
+    TLK_SPAN("obs.test.ranked");
+  }
+  { TLK_SPAN("obs.test.unranked"); }
+  const auto snap = drain_snapshot();
+  const auto ranked = records_named(snap, "obs.test.ranked");
+  const auto unranked = records_named(snap, "obs.test.unranked");
+  ASSERT_EQ(ranked.size(), 1u);
+  ASSERT_EQ(unranked.size(), 1u);
+  EXPECT_EQ(ranked[0].rank, 5u);
+  EXPECT_EQ(unranked[0].rank, current_rank());
+}
+
+TEST(TraceTest, ThreadLabelSurfacesInSnapshot) {
+  if (!kTraceCompiledIn) GTEST_SKIP() << "built with TULKUN_TRACE=OFF";
+  TraceOn on;
+  std::thread([] {
+    set_thread_label("obs-test-worker");
+    TLK_SPAN("obs.test.labeled");
+  }).join();
+  const auto snap = drain_snapshot();
+  bool found = false;
+  for (const auto& t : snap.threads) {
+    if (t.label == "obs-test-worker") found = true;
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST(TraceTest, SpanIdsAreUniqueAcrossThreads) {
+  if (!kTraceCompiledIn) GTEST_SKIP() << "built with TULKUN_TRACE=OFF";
+  TraceOn on;
+  constexpr int kThreads = 4;
+  constexpr int kSpans = 100;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([] {
+      for (int i = 0; i < kSpans; ++i) {
+        TLK_SPAN("obs.test.unique");
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  const auto snap = drain_snapshot();
+  const auto recs = records_named(snap, "obs.test.unique");
+  ASSERT_EQ(recs.size(), static_cast<std::size_t>(kThreads * kSpans));
+  std::vector<std::uint64_t> ids;
+  for (const auto& r : recs) ids.push_back(r.span_id);
+  std::sort(ids.begin(), ids.end());
+  EXPECT_EQ(std::unique(ids.begin(), ids.end()), ids.end());
+  EXPECT_EQ(std::count(ids.begin(), ids.end(), 0u), 0);
+}
+
+TEST(TraceTest, ConcurrentWritersVersusDrain) {
+  // The TSan exercise: writers hammer their rings (wrapping them many
+  // times over) while the main thread drains concurrently. Every record
+  // must be either drained or counted dropped — none lost, none invented.
+  if (!kTraceCompiledIn) GTEST_SKIP() << "built with TULKUN_TRACE=OFF";
+  TraceOn on;
+
+  constexpr int kWriters = 3;
+  constexpr std::uint64_t kPerWriter = 60000;  // >> ring capacity
+  std::atomic<int> running{kWriters};
+  std::vector<std::thread> writers;
+  for (int w = 0; w < kWriters; ++w) {
+    writers.emplace_back([&running] {
+      for (std::uint64_t i = 0; i < kPerWriter; ++i) {
+        TLK_EVENT_ARG("obs.test.flood", i);
+      }
+      running.fetch_sub(1);
+    });
+  }
+
+  std::uint64_t drained = 0;
+  std::uint64_t dropped = 0;
+  const auto absorb = [&](const TraceSnapshot& snap) {
+    for (const auto& t : snap.threads) {
+      dropped += t.dropped;
+      for (const auto& r : t.records) {
+        if (r.name_id < snap.names.size() &&
+            snap.names[r.name_id] == "obs.test.flood") {
+          ++drained;
+        }
+      }
+    }
+  };
+  while (running.load() > 0) absorb(drain_snapshot());
+  for (auto& t : writers) t.join();
+  absorb(drain_snapshot());
+
+  EXPECT_EQ(drained + dropped, kWriters * kPerWriter);
+  EXPECT_GT(drained, 0u);
+}
+
+TEST(TraceTest, MergeSnapshotCombinesThreadRuns) {
+  if (!kTraceCompiledIn) GTEST_SKIP() << "built with TULKUN_TRACE=OFF";
+  TraceOn on;
+  { TLK_SPAN("obs.test.merge_a"); }
+  auto first = drain_snapshot();
+  { TLK_SPAN("obs.test.merge_b"); }
+  auto second = drain_snapshot();
+
+  merge_snapshot(first, std::move(second));
+  EXPECT_EQ(records_named(first, "obs.test.merge_a").size(), 1u);
+  EXPECT_EQ(records_named(first, "obs.test.merge_b").size(), 1u);
+}
+
+}  // namespace
+}  // namespace tulkun::obs
