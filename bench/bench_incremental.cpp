@@ -46,6 +46,17 @@ int main(int argc, char** argv) {
   xl_args.max_destinations = 6;
   bench::run_sharded_section(xl, xl_args, args.updates, json);
 
+  // Drop-class / /0-hull profile: half the inserts blackhole a scattered
+  // prefix, growing per-device Drop classes whose hull is 0.0.0.0/0 — the
+  // workload the destination-hull index cannot prune, so every update cost
+  // is dominated by set ops on the wide class predicate (the atom tier's
+  // target; compare with --atoms=0).
+  eval::DatasetSpec dropspec = xl;
+  dropspec.name = "INet2-XL-drop";
+  auto drop_args = xl_args;
+  if (drop_args.drop_fraction == 0.0) drop_args.drop_fraction = 0.5;
+  bench::run_sharded_section(dropspec, drop_args, args.updates, json);
+
   json.write(args.json_path);
   return 0;
 }

@@ -1,0 +1,200 @@
+// Predicate-tier microbenchmark (BENCH_PREDICATE.json).
+//
+// Measures the two halves of the atom/arena rework in isolation:
+//  1. overlap / diff / count set operations, atom tier vs BDD tier, on the
+//     two workload shapes the engine actually sees — prefix predicates and
+//     /0-hull Drop-class unions of scattered prefixes;
+//  2. bytes-on-wire of the sharded transfer path for a churned predicate
+//     stream: re-serialized blobs (the SerializeCache form) vs node-ID
+//     deltas (NodeChannelEncoder) vs the interval form dst-only
+//     predicates ship as.
+//
+// Compare with --atoms=0 to see the BDD-only state; the checked-in JSON
+// records both tiers from one run (the tier is toggled per section).
+#include <chrono>
+#include <cstdint>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "bdd/serialize.hpp"
+#include "common.hpp"
+#include "core/rng.hpp"
+#include "packet/packet_set.hpp"
+
+namespace {
+
+using namespace tulkun;
+
+packet::Ipv4Prefix random_prefix(Rng& rng) {
+  const auto len = static_cast<std::uint8_t>(rng.uniform(12, 28));
+  const auto addr = static_cast<std::uint32_t>(rng.uniform(0, ~0u));
+  return packet::Ipv4Prefix(addr, len);
+}
+
+/// The benchmark fixture: `prefixes` model per-rule predicates, `classes`
+/// model Drop-class / LEC-class predicates (unions of scattered prefixes
+/// whose hull is /0 — nothing for the hull index to prune).
+struct Sets {
+  std::vector<packet::PacketSet> prefixes;
+  std::vector<packet::PacketSet> classes;
+};
+
+Sets build_sets(packet::PacketSpace& space, std::uint64_t seed) {
+  Rng rng(seed);
+  Sets s;
+  for (int i = 0; i < 64; ++i) {
+    s.prefixes.push_back(space.dst_prefix(random_prefix(rng)));
+  }
+  for (int i = 0; i < 32; ++i) {
+    auto acc = space.none();
+    for (int j = 0; j < 16; ++j) {
+      acc |= space.dst_prefix(random_prefix(rng));
+    }
+    s.classes.push_back(std::move(acc));
+  }
+  return s;
+}
+
+double seconds_since(std::chrono::steady_clock::time_point t0) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+      .count();
+}
+
+/// Runs `op` `iters` times and returns nanoseconds per call.
+template <typename F>
+double ns_per_op(std::size_t iters, F&& op) {
+  // Warm caches (memo tables, op caches) so steady state is measured.
+  for (std::size_t i = 0; i < iters / 10 + 1; ++i) op(i);
+  const auto t0 = std::chrono::steady_clock::now();
+  for (std::size_t i = 0; i < iters; ++i) op(i);
+  return seconds_since(t0) / static_cast<double>(iters) * 1e9;
+}
+
+/// One tier's numbers: the atom flag must already be set; sets are built
+/// inside so their representation matches the tier under test.
+void run_ops_section(const std::string& tier, std::uint64_t seed,
+                     bench::JsonReport& json) {
+  packet::PacketSpace space;
+  Sets s = build_sets(space, seed);
+  const std::string p = "ops." + tier + ".";
+  volatile double sink = 0;  // defeat dead-code elimination of count()
+  volatile bool bsink = false;
+
+  json.add(p + "prefix_overlap_ns", ns_per_op(20000, [&](std::size_t i) {
+             bsink = s.prefixes[i % 64].intersects(s.prefixes[(i + 17) % 64]);
+           }));
+  json.add(p + "class_overlap_ns", ns_per_op(4000, [&](std::size_t i) {
+             bsink = s.classes[i % 32].intersects(s.classes[(i + 7) % 32]);
+           }));
+  json.add(p + "class_intersect_ns", ns_per_op(4000, [&](std::size_t i) {
+             auto r = s.classes[i % 32] & s.classes[(i + 7) % 32];
+             bsink = r.empty();
+           }));
+  json.add(p + "class_diff_ns", ns_per_op(4000, [&](std::size_t i) {
+             auto r = s.classes[i % 32] - s.prefixes[i % 64];
+             bsink = r.empty();
+           }));
+  json.add(p + "class_count_ns", ns_per_op(4000, [&](std::size_t i) {
+             sink = s.classes[i % 32].count();
+           }));
+  json.add(p + "union_chain_ns", ns_per_op(400, [&](std::size_t i) {
+             auto acc = space.none();
+             for (int j = 0; j < 16; ++j) {
+               acc |= s.prefixes[(i + static_cast<std::size_t>(j) * 5) % 64];
+             }
+             bsink = acc.empty();
+           }));
+  (void)sink;
+  (void)bsink;
+}
+
+/// Bytes-on-wire of one churned predicate stream, all three forms. Models
+/// the sharded transfer path: 8 "flows" each grow by one scattered prefix
+/// per round and are flooded to every peer each round (predicates re-sent
+/// mostly unchanged — the case the delta stream compresses).
+void run_wire_section(std::uint64_t seed, bench::JsonReport& json) {
+  constexpr int kFlows = 8;
+  constexpr int kRounds = 24;
+  constexpr int kPeers = 3;
+
+  packet::PacketSpace sender;
+  Rng rng(seed);
+  bdd::SerializeCache cache;
+  std::vector<bdd::NodeChannelEncoder> channels(
+      kPeers, bdd::NodeChannelEncoder(sender.manager()));
+
+  std::vector<packet::PacketSet> flows(kFlows, sender.none());
+  std::uint64_t blob_bytes = 0;
+  std::uint64_t delta_bytes = 0;
+  std::uint64_t atom_bytes = 0;
+  std::uint64_t sends = 0;
+
+  for (int round = 0; round < kRounds; ++round) {
+    for (auto& flow : flows) {
+      flow |= sender.dst_prefix(random_prefix(rng));
+      for (int peer = 0; peer < kPeers; ++peer) {
+        // Blob form: memoized serialize, but every send ships the bytes.
+        blob_bytes += cache.get(sender.manager(), flow.ref())->size();
+        // Delta form: per-(src, dst) node stream.
+        std::vector<std::uint8_t> wire;
+        channels[static_cast<std::size_t>(peer)].encode(flow.ref(), wire);
+        delta_bytes += wire.size();
+        // Interval form (dst-only predicates only): tag + n + 8n bytes.
+        atom_bytes +=
+            1 + 4 + 8 * sender.atoms().intervals(flow.atom_ref()).size();
+        ++sends;
+      }
+    }
+  }
+
+  json.add("wire.sends", sends);
+  json.add("wire.blob_bytes", blob_bytes);
+  json.add("wire.delta_bytes", delta_bytes);
+  json.add("wire.atom_bytes", atom_bytes);
+  json.add("wire.blob_over_delta",
+           static_cast<double>(blob_bytes) / static_cast<double>(delta_bytes));
+  json.add("wire.blob_over_atom",
+           static_cast<double>(blob_bytes) / static_cast<double>(atom_bytes));
+  json.add("wire.serialize_cache_hit_rate",
+           static_cast<double>(cache.hits()) /
+               static_cast<double>(cache.hits() + cache.misses()));
+
+  std::cout << "\n== Wire bytes, churned stream (" << sends << " sends) ==\n"
+            << "  blob:  " << blob_bytes << " B\n"
+            << "  delta: " << delta_bytes << " B ("
+            << static_cast<double>(blob_bytes) /
+                   static_cast<double>(delta_bytes)
+            << "x smaller)\n"
+            << "  atoms: " << atom_bytes << " B ("
+            << static_cast<double>(blob_bytes) /
+                   static_cast<double>(atom_bytes)
+            << "x smaller)\n";
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const auto args = bench::Args::parse(argc, argv);
+  bench::JsonReport json;
+  bench::ObsSession obs(args);
+  pred::atom_counters_reset();
+
+  const bool atoms_flag = pred::atom_path_enabled();
+
+  pred::set_atom_path_enabled(true);
+  run_ops_section("atoms", args.seed, json);
+  pred::set_atom_path_enabled(false);
+  run_ops_section("bdd", args.seed, json);
+  pred::set_atom_path_enabled(atoms_flag);
+
+  std::cout << "== Set ops (ns/op, atoms vs BDD; see --json for keys) ==\n";
+
+  pred::set_atom_path_enabled(true);
+  run_wire_section(args.seed + 1, json);
+  pred::set_atom_path_enabled(atoms_flag);
+
+  bench::add_pred_counters(json, "predicate.");
+  json.write(args.json_path);
+  return 0;
+}

@@ -8,6 +8,16 @@
 //   --shards=N       worker-pool size of the sharded runtime sections
 //                    (0 = one worker per hardware thread; the TULKUN_SHARDS
 //                    environment variable sets the same knob, flags win)
+//   --atoms=0|1      disable/enable the atom-decomposition fast path
+//                    (default on; TULKUN_ATOMS=0 sets the same kill switch,
+//                    flags win)
+//   --gc-nodes=N     per-device BDD gc threshold for the sharded runtime
+//                    (live nodes before a mark/sweep; 0 = gc off)
+//   --fib-index=0|1  disable/enable the destination-hull table index
+//                    (default on; off = the pre-index full-scan engine,
+//                    the baseline row of BENCH_HOTPATH.json)
+//   --drop=F         fraction of incremental inserts that are Drop-class
+//                    (/0-hull profile; see eval::random_updates)
 //   --transport=K    inproc|uds|tcp: also run the multi-process
 //                    DistributedRuntime section over that transport
 //                    (binaries that support it; empty = skip)
@@ -33,13 +43,17 @@
 #include <utility>
 #include <vector>
 
+#include "bdd/manager.hpp"
 #include "eval/datasets.hpp"
+#include "fib/prefix_index.hpp"
 #include "eval/dist_run.hpp"
 #include "eval/harness.hpp"
 #include "eval/report.hpp"
 #include "obs/export.hpp"
 #include "obs/metrics_server.hpp"
+#include "obs/registry.hpp"
 #include "obs/trace.hpp"
+#include "pred/atom_set.hpp"
 
 // Stamped into the --json reports by bench/CMakeLists.txt; the fallbacks
 // keep common.hpp includable from other targets (tests) without the stamps.
@@ -54,7 +68,9 @@ namespace tulkun::bench {
 
 /// Bump when the meaning or naming of existing --json keys changes (adding
 /// keys is not a bump); lets downstream plotting scripts reject stale files.
-inline constexpr std::uint64_t kJsonSchemaVersion = 2;
+/// v3: sharded sections carry predicate-tier and gc counters, and the
+/// top-level `atoms_enabled` records the fast-path switch.
+inline constexpr std::uint64_t kJsonSchemaVersion = 3;
 
 /// Flat key -> value summary written as one JSON object. Keys are bench
 /// identifiers we mint ourselves (dataset.tool.metric), so no escaping.
@@ -90,6 +106,8 @@ class JsonReport {
     out << "  \"trace_compiled_in\": " << (obs::kTraceCompiledIn ? 1 : 0)
         << ",\n";
     out << "  \"trace_enabled\": " << (obs::trace_enabled() ? 1 : 0)
+        << ",\n";
+    out << "  \"atoms_enabled\": " << (pred::atom_path_enabled() ? 1 : 0)
         << (fields_.empty() ? "" : ",") << "\n";
     for (std::size_t i = 0; i < fields_.size(); ++i) {
       out << "  \"" << fields_[i].first << "\": " << fields_[i].second
@@ -110,6 +128,8 @@ struct Args {
   std::size_t fault_scenes = 8;
   std::uint64_t seed = 42;
   std::size_t shards = 0;  // 0 = hardware concurrency
+  std::size_t gc_nodes = 0;  // per-device bdd gc threshold (0 = off)
+  double drop_fraction = 0.0;  // Drop-class share of incremental inserts
   std::string transport;   // empty = skip the distributed section
   std::size_t dist_procs = 2;
   std::string json_path;
@@ -118,6 +138,7 @@ struct Args {
 
   static Args parse(int argc, char** argv) {
     Args a;
+    pred::apply_atom_env_overrides();  // TULKUN_ATOMS; --atoms wins below
     if (const char* env = std::getenv("TULKUN_SHARDS")) {
       // Ignore empty/garbage environment values (flags still win below).
       char* end = nullptr;
@@ -145,6 +166,14 @@ struct Args {
         a.seed = std::stoull(v);
       } else if (const char* v = value("--shards=")) {
         a.shards = std::stoul(v);
+      } else if (const char* v = value("--atoms=")) {
+        pred::set_atom_path_enabled(std::string(v) != "0");
+      } else if (const char* v = value("--fib-index=")) {
+        fib::set_prefix_index_enabled(std::string(v) != "0");
+      } else if (const char* v = value("--gc-nodes=")) {
+        a.gc_nodes = std::stoul(v);
+      } else if (const char* v = value("--drop=")) {
+        a.drop_fraction = std::stod(v);
       } else if (const char* v = value("--transport=")) {
         a.transport = v;
       } else if (const char* v = value("--procs=")) {
@@ -159,7 +188,9 @@ struct Args {
         a.metrics_listen = v;
       } else if (arg == "--help") {
         std::cout << "flags: --full --updates=N --max-dst=N --scenes=N "
-                     "--seed=N --shards=N --transport=inproc|uds|tcp "
+                     "--seed=N --shards=N --atoms=0|1 --fib-index=0|1 "
+                     "--gc-nodes=N --drop=F "
+                     "--transport=inproc|uds|tcp "
                      "--procs=N --json <path> --trace-out=FILE "
                      "--metrics-listen=IP:PORT\n";
         std::exit(0);
@@ -173,6 +204,8 @@ struct Args {
     opts.seed = seed;
     opts.max_destinations = max_destinations;
     opts.engine.runtime_shards = shards;
+    opts.engine.bdd_gc_node_threshold = gc_nodes;
+    opts.drop_fraction = drop_fraction;
     return opts;
   }
 
@@ -198,12 +231,50 @@ struct Args {
   }
 };
 
+/// Appends the process-global predicate-tier and BDD-gc counters under
+/// `prefix` (cumulative over the process; sections that want deltas
+/// snapshot pred::atom_counters_snapshot() themselves).
+inline void add_pred_counters(JsonReport& json, const std::string& prefix) {
+  const auto c = pred::atom_counters_snapshot();
+  json.add(prefix + "pred.atom_hits", c.atom_hits);
+  json.add(prefix + "pred.bdd_fallbacks", c.bdd_fallbacks);
+  json.add(prefix + "pred.promotions", c.promotions);
+  json.add(prefix + "pred.promote_failures", c.promote_failures);
+  json.add(prefix + "pred.demotions", c.demotions);
+  json.add(prefix + "pred.materializations", c.materializations);
+  json.add(prefix + "pred.atom_table_size", c.atom_table_size);
+  json.add(prefix + "pred.arena_bytes", c.arena_bytes);
+  const auto gc = bdd::gc_totals();
+  json.add(prefix + "bdd.gc_runs", gc.runs);
+  json.add(prefix + "bdd.gc_reclaimed_nodes", gc.reclaimed_nodes);
+}
+
 /// Observability scope for a bench main: enables the flight recorder when
 /// --trace-out is set (writing the merged Chrome trace at destruction) and
-/// serves live obs::Registry counters while --metrics-listen is set.
-/// Construct once at the top of main, after Args::parse.
+/// serves live obs::Registry counters while --metrics-listen is set; also
+/// exports the predicate-tier/gc counters as registry series for the
+/// Prometheus endpoint. Construct once at the top of main, after
+/// Args::parse.
 struct ObsSession {
   explicit ObsSession(const Args& args) : trace_out(args.trace_out) {
+    pred_provider = obs::Registry::instance().add_provider(
+        [](std::vector<obs::Sample>& out) {
+          const auto c = pred::atom_counters_snapshot();
+          out.push_back({"pred_atom_hits", double(c.atom_hits)});
+          out.push_back({"pred_bdd_fallbacks", double(c.bdd_fallbacks)});
+          out.push_back({"pred_promotions", double(c.promotions)});
+          out.push_back({"pred_promote_failures",
+                         double(c.promote_failures)});
+          out.push_back({"pred_demotions", double(c.demotions)});
+          out.push_back({"pred_materializations",
+                         double(c.materializations)});
+          out.push_back({"pred_atom_table_size", double(c.atom_table_size)});
+          out.push_back({"pred_arena_bytes", double(c.arena_bytes)});
+          const auto gc = bdd::gc_totals();
+          out.push_back({"bdd_gc_runs", double(gc.runs)});
+          out.push_back({"bdd_gc_reclaimed_nodes",
+                         double(gc.reclaimed_nodes)});
+        });
     if (!trace_out.empty()) {
       if (!obs::kTraceCompiledIn) {
         std::cerr << "--trace-out ignored: built with TULKUN_TRACE=OFF\n";
@@ -241,6 +312,7 @@ struct ObsSession {
   std::string trace_out;
   std::vector<obs::TraceSnapshot> snaps;
   std::unique_ptr<obs::MetricsServer> server;
+  obs::Registry::ProviderHandle pred_provider;
 };
 
 /// Runs the sharded worker-pool runtime on one dataset and reports wall
@@ -281,6 +353,12 @@ inline void run_sharded_section(const eval::DatasetSpec& spec,
   json.add(p + "phase.lec_delta_seconds", run.metrics.lec_delta_seconds);
   json.add(p + "phase.recompute_seconds", run.metrics.recompute_seconds);
   json.add(p + "phase.emit_seconds", run.metrics.emit_seconds);
+  json.add(p + "channel.roots", run.metrics.channel_roots);
+  json.add(p + "channel.nodes_shipped", run.metrics.channel_nodes_shipped);
+  json.add(p + "channel.resets", run.metrics.channel_resets);
+  json.add(p + "gc.runs", run.metrics.gc_runs);
+  json.add(p + "gc.reclaimed_nodes", run.metrics.gc_reclaimed_nodes);
+  add_pred_counters(json, p);
   for (std::size_t k = 0; k < fib::kNumIndexKinds; ++k) {
     const auto& c = run.metrics.index[k];
     if (c.queries == 0) continue;

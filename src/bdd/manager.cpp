@@ -1,6 +1,7 @@
 #include "bdd/manager.hpp"
 
 #include <algorithm>
+#include <atomic>
 #include <cmath>
 
 namespace tulkun::bdd {
@@ -15,7 +16,22 @@ std::uint64_t pack_apply_key(Op op, NodeRef a, NodeRef b) {
   return (static_cast<std::uint64_t>(op) << 62) |
          (static_cast<std::uint64_t>(a) << 31) | b;
 }
+
+std::atomic<std::uint64_t> g_gc_runs{0};
+std::atomic<std::uint64_t> g_gc_reclaimed{0};
 }  // namespace
+
+GcTotals gc_totals() {
+  GcTotals t;
+  t.runs = g_gc_runs.load(std::memory_order_relaxed);
+  t.reclaimed_nodes = g_gc_reclaimed.load(std::memory_order_relaxed);
+  return t;
+}
+
+void gc_totals_reset() {
+  g_gc_runs.store(0, std::memory_order_relaxed);
+  g_gc_reclaimed.store(0, std::memory_order_relaxed);
+}
 
 Manager::Manager(std::uint32_t num_vars)
     : num_vars_(num_vars),
@@ -31,6 +47,9 @@ void Manager::reset() {
   ++generation_;
   nodes_.clear();
   nodes_.resize(2);
+  free_head_ = kFalse;
+  free_count_ = 0;
+  gc_trigger_ = 0;
   std::fill(table_.begin(), table_.end(), kFalse);
   std::fill(apply_cache_.begin(), apply_cache_.end(), ApplyEntry{});
   std::fill(negate_cache_.begin(), negate_cache_.end(), NegateEntry{});
@@ -41,6 +60,7 @@ void Manager::grow_table() {
   table_mask_ = grown.size() - 1;
   for (NodeRef r = 2; r < nodes_.size(); ++r) {
     Node& n = nodes_[r];
+    if (n.var == kFreeVar) continue;  // free slot: not in the table
     const std::size_t h = hash_node(n.var, n.low, n.high) & table_mask_;
     n.next = grown[h];
     grown[h] = r;
@@ -56,11 +76,22 @@ NodeRef Manager::mk(std::uint32_t v, NodeRef low, NodeRef high) {
     const Node& n = nodes_[p];
     if (n.var == v && n.low == low && n.high == high) return p;
   }
-  const auto ref = static_cast<NodeRef>(nodes_.size());
-  nodes_.push_back(Node{v, low, high, table_[h]});
+  NodeRef ref;
+  if (free_head_ != kFalse) {
+    // Reuse a slot freed by gc(); the free list chains through Node::low.
+    ref = free_head_;
+    free_head_ = nodes_[ref].low;
+    --free_count_;
+    nodes_[ref] = Node{v, low, high, table_[h]};
+  } else {
+    ref = static_cast<NodeRef>(nodes_.size());
+    nodes_.push_back(Node{v, low, high, table_[h]});
+  }
   table_[h] = ref;
   // Keep the load factor under 3/4 so chains stay short.
-  if (nodes_.size() > table_.size() - (table_.size() >> 2)) grow_table();
+  if (live_node_count() + 2 > table_.size() - (table_.size() >> 2)) {
+    grow_table();
+  }
   return ref;
 }
 
@@ -209,6 +240,75 @@ void Manager::node_count_rec(NodeRef a, std::vector<bool>& seen,
   ++count;
   node_count_rec(nodes_[a].low, seen, count);
   node_count_rec(nodes_[a].high, seen, count);
+}
+
+std::size_t Manager::gc(std::span<const NodeRef> roots) {
+  // Mark every node reachable from the roots.
+  std::vector<bool> live(nodes_.size(), false);
+  live[kFalse] = true;
+  live[kTrue] = true;
+  std::vector<NodeRef> stack;
+  for (const NodeRef r : roots) {
+    TULKUN_ASSERT(r < nodes_.size());
+    if (!live[r]) {
+      live[r] = true;
+      stack.push_back(r);
+    }
+  }
+  while (!stack.empty()) {
+    const Node& n = nodes_[stack.back()];
+    stack.pop_back();
+    TULKUN_ASSERT(n.var != kFreeVar);  // a root pointed into the free list
+    if (!live[n.low]) {
+      live[n.low] = true;
+      stack.push_back(n.low);
+    }
+    if (!live[n.high]) {
+      live[n.high] = true;
+      stack.push_back(n.high);
+    }
+  }
+
+  // Sweep in place: relink survivors into a fresh unique table, thread
+  // everything else onto the free list. Live refs keep their indices.
+  std::fill(table_.begin(), table_.end(), kFalse);
+  free_head_ = kFalse;
+  free_count_ = 0;
+  std::size_t reclaimed = 0;
+  for (NodeRef r = 2; r < nodes_.size(); ++r) {
+    Node& n = nodes_[r];
+    if (live[r]) {
+      const std::size_t h = hash_node(n.var, n.low, n.high) & table_mask_;
+      n.next = table_[h];
+      table_[h] = r;
+    } else {
+      if (n.var != kFreeVar) ++reclaimed;  // already-free slots don't count
+      n = Node{kFreeVar, free_head_, kFalse, kFalse};
+      free_head_ = r;
+      ++free_count_;
+    }
+  }
+
+  // Every cache keyed by bare NodeRefs is now unsound; epoch-keyed caches
+  // (SerializeCache, pred memos, node channels) invalidate themselves.
+  std::fill(apply_cache_.begin(), apply_cache_.end(), ApplyEntry{});
+  std::fill(negate_cache_.begin(), negate_cache_.end(), NegateEntry{});
+  ++epoch_;
+  ++gc_runs_;
+  gc_reclaimed_ += reclaimed;
+  g_gc_runs.fetch_add(1, std::memory_order_relaxed);
+  g_gc_reclaimed.fetch_add(reclaimed, std::memory_order_relaxed);
+  return reclaimed;
+}
+
+bool Manager::maybe_gc(std::span<const NodeRef> roots, std::size_t threshold) {
+  if (threshold == 0) return false;
+  if (gc_trigger_ == 0) gc_trigger_ = threshold;
+  if (live_node_count() < gc_trigger_) return false;
+  gc(roots);
+  // Back off until the live set doubles again, but never below the floor.
+  gc_trigger_ = std::max(threshold, live_node_count() * 2);
+  return true;
 }
 
 std::vector<std::pair<std::uint32_t, bool>> Manager::any_sat(NodeRef a) const {

@@ -10,11 +10,16 @@
 //  - A hash-consing unique table guarantees canonicity: structural equality
 //    is pointer (index) equality, so packet-set equality checks are O(1).
 //  - Binary operations are memoized in a lossy direct-mapped cache.
-//  - No garbage collection: verification sessions are bounded and the arena
-//    is compact (16 bytes/node); managers are per-session and can be reset.
+//  - Garbage collection is explicit and epoch-based: gc(roots) mark/sweeps
+//    the arena in place, threading dead slots onto a free list that mk()
+//    reuses, so live NodeRefs stay stable dense IDs across collections.
+//    Each collection bumps epoch(); (generation, epoch, NodeRef) identifies
+//    an immutable BDD, which keeps serialized-bytes caches and the pred
+//    atom-conversion memos sound across both reset() and gc().
 #pragma once
 
 #include <cstdint>
+#include <span>
 #include <unordered_map>
 #include <vector>
 
@@ -58,10 +63,20 @@ class Manager {
   /// Total nodes allocated (including the two terminals).
   [[nodiscard]] std::size_t arena_size() const { return nodes_.size(); }
 
-  /// Monotonic counter bumped by reset(). A (generation, NodeRef) pair
-  /// identifies an immutable BDD for the manager's whole lifetime, which
-  /// makes serialized-bytes caches sound across resets.
+  /// Monotonic counter bumped by reset(). A (generation, epoch, NodeRef)
+  /// triple identifies an immutable BDD for the manager's whole lifetime,
+  /// which makes serialized-bytes caches sound across resets and gcs.
   [[nodiscard]] std::uint64_t generation() const { return generation_; }
+
+  /// Monotonic counter bumped by gc(). Live refs survive a collection
+  /// unchanged, but freed slots may be re-issued for different nodes, so
+  /// any cache keyed by NodeRef must also key on the epoch.
+  [[nodiscard]] std::uint64_t epoch() const { return epoch_; }
+
+  /// Nodes currently allocated (terminals excluded, free slots excluded).
+  [[nodiscard]] std::size_t live_node_count() const {
+    return nodes_.size() - 2 - free_count_;
+  }
 
   /// BDD for a single variable (true iff var v is 1).
   [[nodiscard]] NodeRef var(std::uint32_t v);
@@ -116,6 +131,31 @@ class Manager {
   /// outstanding NodeRef; callers own that hazard (used between bench runs).
   void reset();
 
+  /// Mark/sweep collection: keeps exactly the nodes reachable from `roots`
+  /// (terminals always live), threads every other slot onto the free list
+  /// for reuse by mk(), rebuilds the unique table, clears the operation
+  /// caches, and bumps epoch(). Live NodeRefs are stable. The caller must
+  /// enumerate EVERY ref it intends to use again — including lazily
+  /// materialized refs cached inside PacketSets. Returns reclaimed slots.
+  std::size_t gc(std::span<const NodeRef> roots);
+
+  /// Growth-threshold gc policy: collects when the live-node estimate
+  /// exceeds the current trigger (initially `threshold`, then twice the
+  /// surviving live count, never below `threshold`). threshold == 0
+  /// disables. Returns true when a collection ran.
+  bool maybe_gc(std::span<const NodeRef> roots, std::size_t threshold);
+
+  /// True when maybe_gc(_, threshold) would collect — lets callers defer
+  /// the (possibly expensive) root enumeration until a collection is due.
+  [[nodiscard]] bool gc_pending(std::size_t threshold) const {
+    if (threshold == 0) return false;
+    return live_node_count() >= (gc_trigger_ == 0 ? threshold : gc_trigger_);
+  }
+
+  /// Collections run / slots reclaimed by this manager.
+  [[nodiscard]] std::uint64_t gc_runs() const { return gc_runs_; }
+  [[nodiscard]] std::uint64_t gc_reclaimed() const { return gc_reclaimed_; }
+
  private:
   // Lossy direct-mapped cache for apply(); collisions overwrite.
   struct ApplyEntry {
@@ -149,8 +189,18 @@ class Manager {
   void node_count_rec(NodeRef a, std::vector<bool>& seen,
                       std::size_t& count) const;
 
+  /// Sentinel var marking a free arena slot; Node::low then chains the
+  /// free list. Never collides with real vars (num_vars is small).
+  static constexpr std::uint32_t kFreeVar = ~0U;
+
   std::uint32_t num_vars_;
   std::uint64_t generation_ = 0;
+  std::uint64_t epoch_ = 0;
+  NodeRef free_head_ = kFalse;  // kFalse = empty (slot 0 is a terminal)
+  std::size_t free_count_ = 0;
+  std::size_t gc_trigger_ = 0;  // 0 = uninitialized; set by maybe_gc
+  std::uint64_t gc_runs_ = 0;
+  std::uint64_t gc_reclaimed_ = 0;
   std::vector<Node> nodes_;
   // Intrusive chained unique table: buckets hold node indices, chains run
   // through Node::next inside the arena. Replaces std::unordered_map —
@@ -161,5 +211,15 @@ class Manager {
   std::vector<ApplyEntry> apply_cache_;
   std::vector<NegateEntry> negate_cache_;
 };
+
+/// Process-global gc totals across all managers (relaxed atomics), for the
+/// observability export: "epoch reclaims" without walking every runtime's
+/// per-device managers.
+struct GcTotals {
+  std::uint64_t runs = 0;
+  std::uint64_t reclaimed_nodes = 0;
+};
+[[nodiscard]] GcTotals gc_totals();
+void gc_totals_reset();
 
 }  // namespace tulkun::bdd

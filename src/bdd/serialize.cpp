@@ -115,7 +115,7 @@ NodeRef deserialize(Manager& mgr, std::span<const std::uint8_t> bytes) {
 
 std::shared_ptr<const std::vector<std::uint8_t>> SerializeCache::get(
     const Manager& mgr, NodeRef root) {
-  const Key key{&mgr, mgr.generation(), root};
+  const Key key{&mgr, mgr.generation(), mgr.epoch(), root};
   const auto it = entries_.find(key);
   if (it != entries_.end()) {
     ++hits_;
@@ -131,6 +131,107 @@ std::shared_ptr<const std::vector<std::uint8_t>> SerializeCache::get(
       std::make_shared<const std::vector<std::uint8_t>>(serialize(mgr, root));
   entries_.emplace(key, bytes);
   return bytes;
+}
+
+void NodeChannelEncoder::encode(NodeRef root,
+                                std::vector<std::uint8_t>& out) {
+  std::uint8_t flags = 0;
+  if (generation_ != mgr_->generation() || epoch_ != mgr_->epoch() ||
+      shipped_.size() > kMaxShippedNodes) {
+    // NodeRefs moved (reset/gc) or the table grew past the bound: start a
+    // fresh stream. The receiver clears its table on the reset flag, so
+    // both sides stay bounded and consistent.
+    shipped_.clear();
+    next_id_ = 2;
+    generation_ = mgr_->generation();
+    epoch_ = mgr_->epoch();
+    flags |= 1;
+    ++resets_;
+  }
+  ++roots_;
+  out.push_back(flags);
+
+  // Ship unshipped reachable nodes children-first (same post-order walk as
+  // serialize()), assigning stream ids in shipping order.
+  std::unordered_map<NodeRef, std::uint32_t> fresh_local;
+  std::vector<NodeRef> order;
+  if (root >= 2 && !shipped_.contains(root)) {
+    struct Frame {
+      NodeRef ref;
+      bool expanded;
+    };
+    std::vector<Frame> stack;
+    stack.push_back({root, false});
+    while (!stack.empty()) {
+      auto [r, expanded] = stack.back();
+      stack.pop_back();
+      if (r < 2 || shipped_.contains(r) || fresh_local.contains(r)) continue;
+      if (expanded) {
+        fresh_local.emplace(r, 0);  // placeholder; ids assigned below
+        order.push_back(r);
+        continue;
+      }
+      const Node& n = mgr_->node(r);
+      stack.push_back({r, true});
+      stack.push_back({n.high, false});
+      stack.push_back({n.low, false});
+    }
+  }
+  for (const NodeRef r : order) {
+    shipped_.emplace(r, next_id_++);
+  }
+  const auto stream_id = [this](NodeRef r) -> std::uint32_t {
+    if (r < 2) return r;
+    return shipped_.at(r);
+  };
+
+  put_u32(out, static_cast<std::uint32_t>(order.size()));
+  for (const NodeRef r : order) {
+    const Node& n = mgr_->node(r);
+    put_u32(out, n.var);
+    put_u32(out, stream_id(n.low));
+    put_u32(out, stream_id(n.high));
+  }
+  put_u32(out, stream_id(root));
+  shipped_total_ += order.size();
+}
+
+NodeRef NodeChannelDecoder::decode(std::span<const std::uint8_t> bytes,
+                                   std::size_t& pos) {
+  if (pos >= bytes.size()) {
+    throw Error("bdd channel: truncated buffer");
+  }
+  const std::uint8_t flags = bytes[pos++];
+  if (flags & 1) ids_.clear();
+
+  const std::uint32_t n_new = get_u32(bytes, pos);
+  // Hostile-input guard: each node costs 12 bytes on the wire, so n_new
+  // cannot exceed what the buffer could possibly hold.
+  if (n_new > (bytes.size() - pos) / 12) {
+    throw Error("bdd channel: node count exceeds buffer");
+  }
+  const auto resolve = [this](std::uint32_t id) -> NodeRef {
+    if (id < 2) return id;
+    const std::uint32_t idx = id - 2;
+    if (idx >= ids_.size()) {
+      throw Error("bdd channel: reference to unshipped node");
+    }
+    return ids_[idx];
+  };
+  for (std::uint32_t i = 0; i < n_new; ++i) {
+    const std::uint32_t var = get_u32(bytes, pos);
+    const std::uint32_t lo = get_u32(bytes, pos);
+    const std::uint32_t hi = get_u32(bytes, pos);
+    if (var >= mgr_->num_vars()) {
+      throw Error("bdd channel: variable out of range");
+    }
+    ids_.push_back(mgr_->mk(var, resolve(lo), resolve(hi)));
+  }
+  return resolve(get_u32(bytes, pos));
+}
+
+void NodeChannelDecoder::collect_refs(std::vector<NodeRef>& out) const {
+  out.insert(out.end(), ids_.begin(), ids_.end());
 }
 
 }  // namespace tulkun::bdd

@@ -32,10 +32,11 @@ namespace tulkun::bdd {
 /// Memoizes serialize(): a predicate flooded to N destinations (or re-sent
 /// unchanged) is serialized once and the bytes are shared thereafter.
 ///
-/// Keyed by (source manager, manager generation, NodeRef). BDD nodes are
-/// immutable and managers never recycle NodeRefs within a generation
-/// (reset() bumps the generation), so a hit is always byte-identical to a
-/// fresh serialize. Not thread-safe: use one cache per worker thread.
+/// Keyed by (source manager, generation, gc epoch, NodeRef). BDD nodes are
+/// immutable and managers never recycle a NodeRef within one (generation,
+/// epoch) window — reset() bumps the generation, gc() bumps the epoch — so
+/// a hit is always byte-identical to a fresh serialize. Not thread-safe:
+/// use one cache per worker thread.
 class SerializeCache {
  public:
   explicit SerializeCache(std::size_t max_entries = 1 << 16)
@@ -55,6 +56,7 @@ class SerializeCache {
   struct Key {
     const Manager* mgr;
     std::uint64_t generation;
+    std::uint64_t epoch;
     NodeRef root;
     friend bool operator==(const Key&, const Key&) = default;
   };
@@ -62,6 +64,7 @@ class SerializeCache {
     std::size_t operator()(const Key& k) const noexcept {
       std::size_t seed = std::hash<const void*>{}(k.mgr);
       hash_combine(seed, k.generation);
+      hash_combine(seed, k.epoch);
       hash_combine(seed, k.root);
       return seed;
     }
@@ -73,6 +76,72 @@ class SerializeCache {
       entries_;
   std::uint64_t hits_ = 0;
   std::uint64_t misses_ = 0;
+};
+
+/// Stateful per-connection BDD compression: because NodeRefs are stable
+/// dense IDs (the arena + epoch-gc rearchitecture), a sender can ship each
+/// reachable node ONCE per (src, dst) stream and afterwards reference it
+/// by a small stream-local id. Re-sent or structurally shared predicates
+/// cost 5 bytes instead of a full re-serialized blob — the node-ID delta
+/// form carried by shard frames and dist_proto.
+///
+/// Wire form of one predicate:
+///   u8 flags (bit0: reset — receiver must clear its table first)
+///   u32 n_new, then n_new * (u32 var, u32 low_id, u32 high_id)
+///   u32 root_id
+/// Stream ids: 0 = FALSE, 1 = TRUE, then 2.. in shipping order. New nodes
+/// arrive children-first, so every id in the payload is already resolved.
+///
+/// The encoder invalidates itself (emitting a reset) when the manager's
+/// generation or epoch moves, and periodically when the shipped-node table
+/// exceeds kMaxShippedNodes — which also bounds the decoder table, since
+/// the decoder clears on the same reset flag. Encoder and decoder must see
+/// the same predicate stream in FIFO order (one encoder per (src, dst)
+/// connection, exactly like a TCP byte stream).
+class NodeChannelEncoder {
+ public:
+  explicit NodeChannelEncoder(const Manager& mgr) : mgr_(&mgr) {}
+
+  /// Appends the delta encoding of `root` to `out`.
+  void encode(NodeRef root, std::vector<std::uint8_t>& out);
+
+  [[nodiscard]] std::uint64_t roots_encoded() const { return roots_; }
+  [[nodiscard]] std::uint64_t nodes_shipped() const { return shipped_total_; }
+  [[nodiscard]] std::uint64_t resets() const { return resets_; }
+
+  static constexpr std::size_t kMaxShippedNodes = 1 << 16;
+
+ private:
+  const Manager* mgr_;
+  std::uint64_t generation_ = ~0ull;  // force a reset on first use
+  std::uint64_t epoch_ = ~0ull;
+  std::unordered_map<NodeRef, std::uint32_t> shipped_;  // ref -> stream id
+  std::uint32_t next_id_ = 2;
+  std::uint64_t roots_ = 0;
+  std::uint64_t shipped_total_ = 0;
+  std::uint64_t resets_ = 0;
+};
+
+/// Receiving half of the node-ID delta stream; rebuilds shipped nodes in
+/// the local manager. Throws Error on malformed input. The stream-id table
+/// holds refs the peer may reference again, so it must be enumerated as gc
+/// roots on the receiving manager (collect_refs).
+class NodeChannelDecoder {
+ public:
+  explicit NodeChannelDecoder(Manager& mgr) : mgr_(&mgr) {}
+
+  /// Consumes one delta-encoded predicate from `bytes` at `pos`.
+  [[nodiscard]] NodeRef decode(std::span<const std::uint8_t> bytes,
+                               std::size_t& pos);
+
+  /// GC roots: every ref the peer may still reference by stream id.
+  void collect_refs(std::vector<NodeRef>& out) const;
+
+  [[nodiscard]] std::size_t table_size() const { return ids_.size(); }
+
+ private:
+  Manager* mgr_;
+  std::vector<NodeRef> ids_;  // stream id - 2 -> local ref
 };
 
 }  // namespace tulkun::bdd

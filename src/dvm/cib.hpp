@@ -36,6 +36,13 @@ class CibIn {
     return entries_.snapshot();
   }
 
+  /// Appends every BDD ref this table pins (gc root enumeration).
+  void collect_refs(std::vector<bdd::NodeRef>& out) const {
+    entries_.for_each([&](const CountEntry& e) {
+      out.push_back(e.pred.ref_if_materialized());
+    });
+  }
+
  private:
   fib::RegionIndexed<CountEntry> entries_{fib::IndexKind::CibIn};
 };
@@ -81,6 +88,14 @@ class LocStore {
 
   /// Copy of the live rows in unspecified order (tests, snapshots).
   [[nodiscard]] std::vector<LocEntry> snapshot() const;
+
+  /// Appends every BDD ref this store pins (gc root enumeration).
+  void collect_refs(std::vector<bdd::NodeRef>& out) const {
+    for_each([&](const LocEntry& e) {
+      out.push_back(e.pred.ref_if_materialized());
+      out.push_back(e.down_pred.ref_if_materialized());
+    });
+  }
 
  private:
   void erase_slot(std::uint32_t id);

@@ -9,6 +9,42 @@ const DecodeLimits& default_decode_limits() {
   return limits;
 }
 
+bdd::NodeChannelEncoder& ChannelEncoders::get(const bdd::Manager& mgr,
+                                              DeviceId src, DeviceId dst) {
+  const auto key = std::make_pair(src, dst);
+  const auto it = encoders_.find(key);
+  if (it != encoders_.end()) return it->second;
+  return encoders_.emplace(key, bdd::NodeChannelEncoder(mgr)).first->second;
+}
+
+std::uint64_t ChannelEncoders::roots_encoded() const {
+  std::uint64_t total = 0;
+  for (const auto& [key, enc] : encoders_) total += enc.roots_encoded();
+  return total;
+}
+
+std::uint64_t ChannelEncoders::nodes_shipped() const {
+  std::uint64_t total = 0;
+  for (const auto& [key, enc] : encoders_) total += enc.nodes_shipped();
+  return total;
+}
+
+std::uint64_t ChannelEncoders::resets() const {
+  std::uint64_t total = 0;
+  for (const auto& [key, enc] : encoders_) total += enc.resets();
+  return total;
+}
+
+bdd::NodeChannelDecoder& ChannelDecoders::get(DeviceId src) {
+  const auto it = decoders_.find(src);
+  if (it != decoders_.end()) return it->second;
+  return decoders_.emplace(src, bdd::NodeChannelDecoder(*mgr_)).first->second;
+}
+
+void ChannelDecoders::collect_refs(std::vector<bdd::NodeRef>& out) const {
+  for (const auto& [src, dec] : decoders_) dec.collect_refs(out);
+}
+
 namespace {
 
 constexpr std::uint8_t kTagUpdate = 1;
@@ -17,9 +53,16 @@ constexpr std::uint8_t kTagLinkState = 3;
 constexpr std::uint8_t kTagPathSet = 4;
 constexpr std::uint8_t kTagFrame = 0xF5;  // multi-envelope frame header
 
+// Predicate form tags: every encoded predicate leads with one.
+constexpr std::uint8_t kPredBlob = 0;   // self-contained BDD node list
+constexpr std::uint8_t kPredAtoms = 1;  // dst interval list (atom tier)
+constexpr std::uint8_t kPredDelta = 2;  // node-ID delta over a channel
+
 class Writer {
  public:
-  explicit Writer(bdd::SerializeCache* cache = nullptr) : cache_(cache) {}
+  explicit Writer(bdd::SerializeCache* cache = nullptr,
+                  bdd::NodeChannelEncoder* channel = nullptr)
+      : cache_(cache), channel_(channel) {}
 
   void u8(std::uint8_t v) { out_.push_back(v); }
   void u32(std::uint32_t v) {
@@ -33,6 +76,24 @@ class Writer {
     out_.insert(out_.end(), b.begin(), b.end());
   }
   void pred(const packet::PacketSet& p) {
+    if (pred::atom_path_enabled() && p.atom_ref() != pred::kNoAtom) {
+      // Dst-only predicate: ship the interval list itself. The receiver
+      // interns it directly — no BDD is built on either side.
+      u8(kPredAtoms);
+      const auto ivs = p.atom_store()->intervals(p.atom_ref());
+      u32(static_cast<std::uint32_t>(ivs.size()));
+      for (const auto& iv : ivs) {
+        u32(static_cast<std::uint32_t>(iv.lo));
+        u32(static_cast<std::uint32_t>(iv.hi - 1));  // inclusive: fits u32
+      }
+      return;
+    }
+    if (channel_ != nullptr) {
+      u8(kPredDelta);
+      channel_->encode(p.ref(), out_);
+      return;
+    }
+    u8(kPredBlob);
     if (cache_ != nullptr) {
       bytes(*cache_->get(*p.manager(), p.ref()));
     } else {
@@ -50,14 +111,16 @@ class Writer {
 
  private:
   bdd::SerializeCache* cache_;
+  bdd::NodeChannelEncoder* channel_;
   std::vector<std::uint8_t> out_;
 };
 
 class Reader {
  public:
   Reader(std::span<const std::uint8_t> bytes, packet::PacketSpace& space,
-         const DecodeLimits& limits)
-      : bytes_(bytes), space_(&space), limits_(&limits) {}
+         const DecodeLimits& limits,
+         bdd::NodeChannelDecoder* channel = nullptr)
+      : bytes_(bytes), space_(&space), limits_(&limits), channel_(channel) {}
 
   std::uint8_t u8() {
     need(1);
@@ -88,6 +151,43 @@ class Reader {
     return n;
   }
   packet::PacketSet pred() {
+    const std::uint8_t tag = u8();
+    if (tag == kPredAtoms) {
+      // Canonical interval list (sorted, disjoint, non-adjacent); interned
+      // directly — invalid lists are rejected, not normalized, since the
+      // writer only ever produces canonical form.
+      const std::uint32_t n = count(u32(), 8);
+      // The interval form obeys the same per-predicate size cap as blobs,
+      // so a hostile peer cannot sidestep the cap by picking this tag.
+      if (static_cast<std::uint64_t>(n) * 8 > limits_->max_pred_bytes) {
+        throw CodecError(CodecErrorKind::Oversize,
+                         "predicate exceeds size cap");
+      }
+      std::vector<Interval> ivs;
+      ivs.reserve(n);
+      std::uint64_t prev_end = 0;
+      for (std::uint32_t i = 0; i < n; ++i) {
+        const std::uint32_t lo = u32();
+        const std::uint32_t hi_incl = u32();
+        if (hi_incl < lo || (i > 0 && lo <= prev_end)) {
+          throw CodecError(CodecErrorKind::BadTag,
+                           "non-canonical interval list");
+        }
+        prev_end = static_cast<std::uint64_t>(hi_incl) + 1;
+        ivs.push_back({lo, prev_end});
+      }
+      return space_->from_intervals(std::move(ivs));
+    }
+    if (tag == kPredDelta) {
+      if (channel_ == nullptr) {
+        throw CodecError(CodecErrorKind::BadTag,
+                         "delta predicate without a channel");
+      }
+      return space_->wrap(channel_->decode(bytes_, pos_));
+    }
+    if (tag != kPredBlob) {
+      throw CodecError(CodecErrorKind::BadTag, "unknown predicate form");
+    }
     const std::uint32_t len = u32();
     if (len > limits_->max_pred_bytes) {
       throw CodecError(CodecErrorKind::Oversize,
@@ -128,14 +228,41 @@ class Reader {
   std::span<const std::uint8_t> bytes_;
   packet::PacketSpace* space_;
   const DecodeLimits* limits_;
+  bdd::NodeChannelDecoder* channel_;
   std::size_t pos_ = 0;
 };
+
+/// The manager owning this envelope's predicates (nullptr when the message
+/// carries none, e.g. LinkState) — selects the (src, dst) channel encoder.
+const bdd::Manager* envelope_manager(const Envelope& env) {
+  if (const auto* u = std::get_if<UpdateMessage>(&env.msg)) {
+    if (!u->withdrawn.empty()) return u->withdrawn.front().manager();
+    if (!u->results.empty()) return u->results.front().pred.manager();
+    return nullptr;
+  }
+  if (const auto* s = std::get_if<SubscribeMessage>(&env.msg)) {
+    return s->original.manager();
+  }
+  if (const auto* p = std::get_if<PathSetUpdate>(&env.msg)) {
+    if (!p->withdrawn.empty()) return p->withdrawn.front().manager();
+    if (!p->results.empty()) return p->results.front().pred.manager();
+    return nullptr;
+  }
+  return nullptr;
+}
 
 }  // namespace
 
 std::vector<std::uint8_t> encode(const Envelope& env,
-                                 bdd::SerializeCache* cache) {
-  Writer w(cache);
+                                 bdd::SerializeCache* cache,
+                                 ChannelEncoders* channels) {
+  bdd::NodeChannelEncoder* channel = nullptr;
+  if (channels != nullptr) {
+    if (const bdd::Manager* mgr = envelope_manager(env)) {
+      channel = &channels->get(*mgr, env.src, env.dst);
+    }
+  }
+  Writer w(cache, channel);
   w.u32(env.src);
   w.u32(env.dst);
   if (const auto* u = std::get_if<UpdateMessage>(&env.msg)) {
@@ -192,8 +319,20 @@ Envelope decode(std::span<const std::uint8_t> bytes,
 }
 
 Envelope decode(std::span<const std::uint8_t> bytes,
-                packet::PacketSpace& space, const DecodeLimits& limits) {
-  Reader r(bytes, space, limits);
+                packet::PacketSpace& space, const DecodeLimits& limits,
+                ChannelDecoders* channels) {
+  // The (src, dst) channel is determined by the sender id, which sits in
+  // the first four bytes — peek it before constructing the reader so
+  // delta-form predicates resolve against the right per-source stream.
+  bdd::NodeChannelDecoder* channel = nullptr;
+  if (channels != nullptr && bytes.size() >= 4) {
+    DeviceId src = 0;
+    for (int i = 0; i < 4; ++i) {
+      src |= static_cast<std::uint32_t>(bytes[i]) << (8 * i);
+    }
+    channel = &channels->get(src);
+  }
+  Reader r(bytes, space, limits, channel);
   Envelope env;
   env.src = r.u32();
   env.dst = r.u32();
@@ -260,12 +399,13 @@ Envelope decode(std::span<const std::uint8_t> bytes,
 }
 
 std::vector<std::uint8_t> encode_frame(std::span<const Envelope> envs,
-                                       bdd::SerializeCache* cache) {
+                                       bdd::SerializeCache* cache,
+                                       ChannelEncoders* channels) {
   Writer w(cache);
   w.u8(kTagFrame);
   w.u32(static_cast<std::uint32_t>(envs.size()));
   for (const Envelope& env : envs) {
-    w.bytes(encode(env, cache));
+    w.bytes(encode(env, cache, channels));
   }
   return w.take();
 }
@@ -277,7 +417,8 @@ std::vector<Envelope> decode_frame(std::span<const std::uint8_t> bytes,
 
 std::vector<Envelope> decode_frame(std::span<const std::uint8_t> bytes,
                                    packet::PacketSpace& space,
-                                   const DecodeLimits& limits) {
+                                   const DecodeLimits& limits,
+                                   ChannelDecoders* channels) {
   // The header is read manually (no predicate decoding at frame level).
   if (bytes.size() > limits.max_frame_bytes) {
     throw CodecError(CodecErrorKind::Oversize, "frame exceeds size cap");
@@ -313,7 +454,7 @@ std::vector<Envelope> decode_frame(std::span<const std::uint8_t> bytes,
     if (pos + len > bytes.size()) {
       throw CodecError(CodecErrorKind::Truncated, "truncated frame");
     }
-    out.push_back(decode(bytes.subspan(pos, len), space, limits));
+    out.push_back(decode(bytes.subspan(pos, len), space, limits, channels));
     pos += len;
   }
   if (pos != bytes.size()) {

@@ -7,7 +7,9 @@
 #pragma once
 
 #include <cstdint>
+#include <map>
 #include <span>
+#include <utility>
 #include <vector>
 
 #include "bdd/serialize.hpp"
@@ -53,35 +55,77 @@ struct DecodeLimits {
 /// The process-default limits (used by the no-limits overloads).
 [[nodiscard]] const DecodeLimits& default_decode_limits();
 
-/// Serializes an envelope. Predicates are encoded as BDD node lists.
-/// When `cache` is non-null, predicate serializations are memoized through
-/// it (a predicate flooded to N destinations is serialized once).
-[[nodiscard]] std::vector<std::uint8_t> encode(
-    const Envelope& env, bdd::SerializeCache* cache = nullptr);
+/// Sender-side predicate compression state: one bdd::NodeChannelEncoder
+/// per (src, dst) device pair. All of a source device's outgoing traffic
+/// originates on its home shard, so one ChannelEncoders per shard gives
+/// every stream a single-writer FIFO — the ordering the decoder requires.
+class ChannelEncoders {
+ public:
+  /// The encoder for predicates from `mgr` (src's manager) toward `dst`.
+  [[nodiscard]] bdd::NodeChannelEncoder& get(const bdd::Manager& mgr,
+                                             DeviceId src, DeviceId dst);
 
-/// Decodes an envelope; predicates are rebuilt inside `space`.
-/// Throws CodecError on malformed input.
+  /// Aggregate stream statistics (for metrics/bench reporting).
+  [[nodiscard]] std::uint64_t roots_encoded() const;
+  [[nodiscard]] std::uint64_t nodes_shipped() const;
+  [[nodiscard]] std::uint64_t resets() const;
+
+ private:
+  std::map<std::pair<DeviceId, DeviceId>, bdd::NodeChannelEncoder> encoders_;
+};
+
+/// Receiver-side state, bound to one device's manager: one decoder per
+/// source device. The stream-id tables pin received nodes, so they must be
+/// included in the device's gc roots (collect_refs).
+class ChannelDecoders {
+ public:
+  explicit ChannelDecoders(bdd::Manager& mgr) : mgr_(&mgr) {}
+
+  [[nodiscard]] bdd::NodeChannelDecoder& get(DeviceId src);
+  void collect_refs(std::vector<bdd::NodeRef>& out) const;
+
+ private:
+  bdd::Manager* mgr_;
+  std::map<DeviceId, bdd::NodeChannelDecoder> decoders_;
+};
+
+/// Serializes an envelope. Each predicate carries a one-byte form tag:
+/// dst-only predicates ship as their interval list (atom tier, no BDD
+/// work on either side); with `channels` set, BDD predicates ship as
+/// node-ID deltas over the (src, dst) stream; otherwise as self-contained
+/// node-list blobs. When `cache` is non-null, blob serializations are
+/// memoized through it.
+[[nodiscard]] std::vector<std::uint8_t> encode(
+    const Envelope& env, bdd::SerializeCache* cache = nullptr,
+    ChannelEncoders* channels = nullptr);
+
+/// Decodes an envelope; predicates are rebuilt inside `space`. `channels`
+/// (bound to space's manager) is required to accept delta-form predicates
+/// and must mirror the sender's stream order. Throws CodecError on
+/// malformed input.
 [[nodiscard]] Envelope decode(std::span<const std::uint8_t> bytes,
                               packet::PacketSpace& space);
 [[nodiscard]] Envelope decode(std::span<const std::uint8_t> bytes,
                               packet::PacketSpace& space,
-                              const DecodeLimits& limits);
+                              const DecodeLimits& limits,
+                              ChannelDecoders* channels = nullptr);
 
 /// Serializes several envelopes into one multi-envelope frame. The sharded
 /// runtime batches all traffic for one destination into a single frame, so
 /// per-message queue overhead is paid once per (sender burst, destination).
 [[nodiscard]] std::vector<std::uint8_t> encode_frame(
-    std::span<const Envelope> envs, bdd::SerializeCache* cache = nullptr);
+    std::span<const Envelope> envs, bdd::SerializeCache* cache = nullptr,
+    ChannelEncoders* channels = nullptr);
 
 /// Decodes a multi-envelope frame. Throws CodecError on malformed input.
 [[nodiscard]] std::vector<Envelope> decode_frame(
     std::span<const std::uint8_t> bytes, packet::PacketSpace& space);
 [[nodiscard]] std::vector<Envelope> decode_frame(
     std::span<const std::uint8_t> bytes, packet::PacketSpace& space,
-    const DecodeLimits& limits);
+    const DecodeLimits& limits, ChannelDecoders* channels = nullptr);
 
 /// encode(env).size() without materializing the buffer contents
-/// (used for fast message accounting; exact).
+/// (used for fast message accounting; exact for the channel-less forms).
 [[nodiscard]] std::size_t encoded_size(const Envelope& env);
 
 }  // namespace tulkun::dvm

@@ -499,4 +499,23 @@ DeviceEngine::source_results() const {
   return out;
 }
 
+void DeviceEngine::collect_refs(std::vector<bdd::NodeRef>& out) const {
+  lec_.collect_refs(out);
+  for (const auto& ns : nodes_) {
+    for (const auto& [down, cib] : ns.cib_in) cib.collect_refs(out);
+    ns.loc.collect_refs(out);
+    ns.out_sent.for_each([&](const CountEntry& e) {
+      out.push_back(e.pred.ref_if_materialized());
+    });
+    out.push_back(ns.out_cover.ref_if_materialized());
+    out.push_back(ns.scope.ref_if_materialized());
+    for (const auto& [child, sub] : ns.sub_sent) {
+      out.push_back(sub.ref_if_materialized());
+    }
+  }
+  for (const auto& v : violations_) {
+    out.push_back(v.pred.ref_if_materialized());
+  }
+}
+
 }  // namespace tulkun::dvm

@@ -36,6 +36,11 @@ struct EngineConfig {
   /// hardware thread). Ignored by the engines themselves; carried here so
   /// one config object travels from CLI/env through harness to runtime.
   std::size_t runtime_shards = 0;
+  /// When nonzero, runtime::ShardedRuntime mark/sweep-collects a device's
+  /// BDD space whenever its live-node count crosses this threshold
+  /// (0 = never). Ignored by EventSimulator, whose spaces are shared with
+  /// the caller and therefore have roots the runtime cannot enumerate.
+  std::size_t bdd_gc_node_threshold = 0;
 };
 
 struct EngineStats {
@@ -105,6 +110,9 @@ class DeviceEngine {
     std::map<NodeId, std::vector<CountEntry>> cib_in;
   };
   [[nodiscard]] std::vector<NodeSnapshot> node_snapshots() const;
+
+  /// Appends every BDD ref this engine pins (gc root enumeration).
+  void collect_refs(std::vector<bdd::NodeRef>& out) const;
 
  private:
   struct NodeState {

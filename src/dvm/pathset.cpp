@@ -320,4 +320,26 @@ PathSetEngine::comparator_view() const {
   return std::make_pair(reported_[0], reported_[1]);
 }
 
+void PathSetEngine::collect_refs(std::vector<bdd::NodeRef>& out) const {
+  lec_.collect_refs(out);
+  for (const Side& side : sides_) {
+    for (const auto& ns : side.nodes) {
+      for (const auto& [down, table] : ns.pib_in) {
+        for (const auto& e : table) {
+          out.push_back(e.pred.ref_if_materialized());
+        }
+      }
+      for (const auto& e : ns.loc) {
+        out.push_back(e.pred.ref_if_materialized());
+      }
+      for (const auto& e : ns.out_sent) {
+        out.push_back(e.pred.ref_if_materialized());
+      }
+    }
+  }
+  for (const auto& v : violations_) {
+    out.push_back(v.pred.ref_if_materialized());
+  }
+}
+
 }  // namespace tulkun::dvm

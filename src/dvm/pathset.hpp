@@ -40,6 +40,9 @@ class PathSetEngine {
 
   [[nodiscard]] InvariantId session() const { return session_; }
 
+  /// Appends every BDD ref this engine pins (gc root enumeration).
+  void collect_refs(std::vector<bdd::NodeRef>& out) const;
+
  private:
   struct PathEntry {
     packet::PacketSet pred;

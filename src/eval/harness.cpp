@@ -5,6 +5,7 @@
 
 #include "core/rng.hpp"
 #include "obs/trace.hpp"
+#include "pred/atom_set.hpp"
 #include "runtime/sharded_runtime.hpp"
 #include "spec/builtins.hpp"
 
@@ -63,6 +64,10 @@ const std::vector<SwitchProfile>& switch_profiles() {
 
 Harness::Harness(DatasetSpec spec, HarnessOptions opts)
     : spec_(std::move(spec)), opts_(opts), topo_(build_topology(spec_)) {
+  // Honor the TULKUN_ATOMS kill switch even when the harness is driven
+  // outside the bench mains (tests, tools). Latch-once: flags already
+  // applied by a bench's Args::parse stay in force.
+  pred::apply_atom_env_overrides();
   for (DeviceId d = 0; d < topo_.device_count(); ++d) {
     if (!topo_.prefixes(d).empty()) dsts_.push_back(d);
   }
@@ -484,7 +489,8 @@ Harness::DistributedRun Harness::run_distributed(std::size_t n_updates) {
 
   auto scratch = synthesize(
       topo_, SynthOptions{opts_.ecmp_width, spec_.extra_rules, opts_.seed});
-  auto plan = random_updates(topo_, scratch, n_updates, opts_.seed + 1);
+  auto plan = random_updates(topo_, scratch, n_updates, opts_.seed + 1,
+                             opts_.drop_fraction);
   std::vector<std::shared_ptr<const fib::FibUpdate>> handles(
       plan.steps.size());
   for (std::size_t i = 0; i < plan.steps.size(); ++i) {

@@ -28,6 +28,10 @@ struct HarnessOptions {
   /// Bound per-dataset work: verify at most this many destination devices
   /// (0 = all). The same sample drives every tool.
   std::size_t max_destinations = 0;
+  /// Fraction of incremental inserts that are Drop-class (blackhole a
+  /// random prefix): a /0-hull workload profile the destination-hull index
+  /// cannot prune. See eval::random_updates.
+  double drop_fraction = 0.0;
   /// Per-device engine knobs, forwarded to the simulator's verifiers and
   /// to the sharded runtime (whose pool size is engine.runtime_shards).
   dvm::EngineConfig engine;

@@ -7,7 +7,8 @@
 namespace tulkun::eval {
 
 UpdatePlan random_updates(const topo::Topology& topo, fib::NetworkFib& net,
-                          std::size_t count, std::uint64_t seed) {
+                          std::size_t count, std::uint64_t seed,
+                          double drop_fraction) {
   Rng rng(seed);
   UpdatePlan plan;
 
@@ -33,6 +34,21 @@ UpdatePlan random_updates(const topo::Topology& topo, fib::NetworkFib& net,
       DeviceId dev = dst;
       while (dev == dst) {
         dev = static_cast<DeviceId>(rng.index(topo.device_count()));
+      }
+      // Guarded so drop_fraction == 0 consumes no draw: the default stream
+      // stays bit-identical to the one published benches recorded.
+      if (drop_fraction > 0.0 && rng.chance(drop_fraction)) {
+        // Drop-class step: blackhole the prefix at this device. Dropped
+        // prefixes scatter across destinations, so the Drop equivalence
+        // class hulls out to /0 (see header).
+        fib::Rule r;
+        r.priority = 150 + static_cast<std::int32_t>(i % 10);
+        r.dst_prefix = prefix;
+        r.action = fib::Action::drop();
+        step.update = fib::FibUpdate::insert(dev, std::move(r));
+        open_inserts.push_back(static_cast<std::int32_t>(plan.steps.size()));
+        plan.steps.push_back(std::move(step));
+        continue;
       }
       const auto dist = topo.hop_distances_to(dst);
       // Prefer a neighbor that still makes progress toward the

@@ -24,10 +24,18 @@ struct UpdatePlan {
 /// point to a random neighbor (biased toward ones that still reach the
 /// destination, so most updates are benign — matching the paper's mostly
 /// error-free update streams).
+///
+/// `drop_fraction` of the insert steps are Drop-class instead: a drop rule
+/// for a random destination prefix at a random device. Each drop grows the
+/// device's Drop equivalence class into a union of scattered prefixes
+/// whose hull is 0.0.0.0/0 — the profile the destination-hull index cannot
+/// prune (every query against the class is a full-width set op), which is
+/// exactly where the atom tier is supposed to win.
 [[nodiscard]] UpdatePlan random_updates(const topo::Topology& topo,
                                         fib::NetworkFib& net,
                                         std::size_t count,
-                                        std::uint64_t seed);
+                                        std::uint64_t seed,
+                                        double drop_fraction = 0.0);
 
 /// Samples `count` fault scenes with 1..max_links failed links (the paper
 /// samples 50 scenes of <= 3 links from Microsoft WAN failure statistics).

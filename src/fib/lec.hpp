@@ -64,6 +64,13 @@ class LecTable {
     }
   }
 
+  /// Appends every BDD ref this table pins (gc root enumeration).
+  void collect_refs(std::vector<bdd::NodeRef>& out) const {
+    for (const auto& lec : entries_) {
+      out.push_back(lec.pred.ref_if_materialized());
+    }
+  }
+
  private:
   void build_index();
 

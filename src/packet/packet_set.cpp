@@ -6,12 +6,24 @@
 
 namespace tulkun::packet {
 
-PacketSet PacketSpace::all() { return PacketSet(mgr_.get(), bdd::kTrue); }
+PacketSet PacketSpace::all() {
+  return PacketSet::from_both(mgr_.get(), atoms_.get(), bdd::kTrue,
+                              pred::kAtomAll);
+}
 
-PacketSet PacketSpace::none() { return PacketSet(mgr_.get(), bdd::kFalse); }
+PacketSet PacketSpace::none() {
+  return PacketSet::from_both(mgr_.get(), atoms_.get(), bdd::kFalse,
+                              pred::kAtomEmpty);
+}
 
 PacketSet PacketSpace::wrap(bdd::NodeRef ref) {
-  return PacketSet(mgr_.get(), ref);
+  if (pred::atom_path_enabled()) {
+    const pred::AtomRef atom = atoms_->promote(ref);
+    if (atom != pred::kNoAtom) {
+      return PacketSet::from_both(mgr_.get(), atoms_.get(), ref, atom);
+    }
+  }
+  return PacketSet::from_ref(mgr_.get(), atoms_.get(), ref);
 }
 
 bdd::NodeRef PacketSpace::exact_bits(std::uint32_t offset, std::uint32_t width,
@@ -30,33 +42,40 @@ bdd::NodeRef PacketSpace::exact_bits(std::uint32_t offset, std::uint32_t width,
 }
 
 PacketSet PacketSpace::dst_prefix(const Ipv4Prefix& prefix) {
+  if (pred::atom_path_enabled()) {
+    // Atom tier only: the ROBDD is built lazily if a multi-field operand
+    // ever forces this set onto the BDD tier.
+    return PacketSet::from_atom(mgr_.get(), atoms_.get(),
+                                atoms_->from_prefix(prefix));
+  }
   // Only the top `len` bits are constrained.
   const std::uint32_t value = prefix.len == 0 ? 0 : prefix.addr >> (32 - prefix.len);
-  return PacketSet(mgr_.get(),
-                   exact_bits(Layout::kDstIpOffset, prefix.len, value));
+  return PacketSet::from_ref(mgr_.get(), atoms_.get(),
+                             exact_bits(Layout::kDstIpOffset, prefix.len, value));
 }
 
 PacketSet PacketSpace::src_prefix(const Ipv4Prefix& prefix) {
   const std::uint32_t value = prefix.len == 0 ? 0 : prefix.addr >> (32 - prefix.len);
-  return PacketSet(mgr_.get(),
-                   exact_bits(Layout::kSrcIpOffset, prefix.len, value));
+  return PacketSet::from_ref(mgr_.get(), atoms_.get(),
+                             exact_bits(Layout::kSrcIpOffset, prefix.len, value));
 }
 
 PacketSet PacketSpace::dst_port(std::uint16_t port) {
-  return PacketSet(
-      mgr_.get(),
+  return PacketSet::from_ref(
+      mgr_.get(), atoms_.get(),
       exact_bits(Layout::kDstPortOffset, Layout::kDstPortWidth, port));
 }
 
 PacketSet PacketSpace::src_port(std::uint16_t port) {
-  return PacketSet(
-      mgr_.get(),
+  return PacketSet::from_ref(
+      mgr_.get(), atoms_.get(),
       exact_bits(Layout::kSrcPortOffset, Layout::kSrcPortWidth, port));
 }
 
 PacketSet PacketSpace::proto(std::uint8_t p) {
-  return PacketSet(mgr_.get(),
-                   exact_bits(Layout::kProtoOffset, Layout::kProtoWidth, p));
+  return PacketSet::from_ref(
+      mgr_.get(), atoms_.get(),
+      exact_bits(Layout::kProtoOffset, Layout::kProtoWidth, p));
 }
 
 PacketSet PacketSpace::field_range(Field f, std::uint32_t lo,
@@ -65,6 +84,12 @@ PacketSet PacketSpace::field_range(Field f, std::uint32_t lo,
   const std::uint32_t offset = Layout::offset(f);
   const std::uint32_t width = Layout::width(f);
   TULKUN_ASSERT(width == 32 || hi < (1ULL << width));
+
+  if (f == Field::DstIp && pred::atom_path_enabled()) {
+    return PacketSet::from_atom(
+        mgr_.get(), atoms_.get(),
+        atoms_->from_range(lo, static_cast<std::uint64_t>(hi) + 1));
+  }
 
   // Decompose [lo, hi] into maximal aligned power-of-two blocks (prefixes)
   // and OR their single-path BDDs; at most 2*width blocks.
@@ -84,7 +109,16 @@ PacketSet PacketSpace::field_range(Field f, std::uint32_t lo,
     acc = mgr_->lor(acc, exact_bits(offset, prefix_len, value));
     cur += 1ULL << block_bits;
   }
-  return PacketSet(mgr_.get(), acc);
+  return PacketSet::from_ref(mgr_.get(), atoms_.get(), acc);
+}
+
+PacketSet PacketSpace::from_intervals(std::vector<Interval> ivs) {
+  const pred::AtomRef atom = atoms_->from_intervals(std::move(ivs));
+  if (pred::atom_path_enabled()) {
+    return PacketSet::from_atom(mgr_.get(), atoms_.get(), atom);
+  }
+  return PacketSet::from_ref(mgr_.get(), atoms_.get(),
+                             atoms_->materialize(atom));
 }
 
 namespace {
@@ -93,36 +127,94 @@ bdd::Manager& same_manager(const PacketSet& a, const PacketSet& b) {
   TULKUN_ASSERT(a.manager() == b.manager());
   return *a.manager();
 }
+
+/// Fast-path dispatch: both operands atom-backed and the switch is on.
+bool use_atoms(const PacketSet& a, const PacketSet& b) {
+  return a.atom_ref() != pred::kNoAtom && b.atom_ref() != pred::kNoAtom &&
+         pred::atom_path_enabled();
+}
+
+bool use_atoms(const PacketSet& a) {
+  return a.atom_ref() != pred::kNoAtom && pred::atom_path_enabled();
+}
+
+/// A BDD-tier operation demotes the result if any operand carried atoms.
+void note_fallback(const PacketSet& a, const PacketSet& b) {
+  pred::atom_note_fallback(a.atom_ref() != pred::kNoAtom ||
+                           b.atom_ref() != pred::kNoAtom);
+}
 }  // namespace
+
+void PacketSet::materialize_ref() const {
+  TULKUN_ASSERT(store_ != nullptr && atom_ != pred::kNoAtom);
+  ref_ = store_->materialize(atom_);
+  has_ref_ = true;
+}
 
 PacketSet PacketSet::operator&(const PacketSet& o) const {
   auto& mgr = same_manager(*this, o);
-  return PacketSet(&mgr, mgr.land(ref_, o.ref_));
+  if (use_atoms(*this, o)) {
+    pred::atom_note_hit();
+    return from_atom(mgr_, store_, store_->intersect(atom_, o.atom_));
+  }
+  note_fallback(*this, o);
+  return from_ref(mgr_, store_, mgr.land(ref(), o.ref()));
 }
 
 PacketSet PacketSet::operator|(const PacketSet& o) const {
   auto& mgr = same_manager(*this, o);
-  return PacketSet(&mgr, mgr.lor(ref_, o.ref_));
+  if (use_atoms(*this, o)) {
+    pred::atom_note_hit();
+    return from_atom(mgr_, store_, store_->unite(atom_, o.atom_));
+  }
+  note_fallback(*this, o);
+  return from_ref(mgr_, store_, mgr.lor(ref(), o.ref()));
 }
 
 PacketSet PacketSet::operator-(const PacketSet& o) const {
   auto& mgr = same_manager(*this, o);
-  return PacketSet(&mgr, mgr.diff(ref_, o.ref_));
+  if (use_atoms(*this, o)) {
+    pred::atom_note_hit();
+    return from_atom(mgr_, store_, store_->subtract(atom_, o.atom_));
+  }
+  note_fallback(*this, o);
+  return from_ref(mgr_, store_, mgr.diff(ref(), o.ref()));
 }
 
 PacketSet PacketSet::operator~() const {
   TULKUN_ASSERT(mgr_ != nullptr);
-  return PacketSet(mgr_, mgr_->negate(ref_));
+  if (use_atoms(*this)) {
+    pred::atom_note_hit();
+    return from_atom(mgr_, store_, store_->complement(atom_));
+  }
+  pred::atom_note_fallback(atom_ != pred::kNoAtom);
+  return from_ref(mgr_, store_, mgr_->negate(ref()));
+}
+
+bool PacketSet::intersects(const PacketSet& o) const {
+  if (use_atoms(*this, o)) {
+    pred::atom_note_hit();
+    return store_->intersects(atom_, o.atom_);
+  }
+  return !(*this & o).empty();
 }
 
 bool PacketSet::subset_of(const PacketSet& o) const {
   auto& mgr = same_manager(*this, o);
-  return mgr.implies(ref_, o.ref_);
+  if (use_atoms(*this, o)) {
+    pred::atom_note_hit();
+    return store_->subset(atom_, o.atom_);
+  }
+  note_fallback(*this, o);
+  return mgr.implies(ref(), o.ref());
 }
 
 double PacketSet::count() const {
   TULKUN_ASSERT(mgr_ != nullptr);
-  return mgr_->sat_count(ref_);
+  if (use_atoms(*this)) {
+    return store_->header_count(atom_);
+  }
+  return mgr_->sat_count(ref());
 }
 
 double PacketSet::fraction() const {
@@ -134,12 +226,15 @@ double PacketSet::fraction() const {
 
 std::size_t PacketSet::bdd_nodes() const {
   TULKUN_ASSERT(mgr_ != nullptr);
-  return mgr_->node_count(ref_);
+  return mgr_->node_count(ref());
 }
 
 Ipv4Prefix dst_prefix_hull(const PacketSet& p) {
   TULKUN_ASSERT(p.valid());
   TULKUN_ASSERT(!p.empty());
+  if (p.atom_ref() != pred::kNoAtom && pred::atom_path_enabled()) {
+    return p.atom_store()->hull(p.atom_ref());
+  }
   const bdd::Manager& mgr = *p.manager();
   std::uint32_t addr = 0;
   std::uint8_t len = 0;

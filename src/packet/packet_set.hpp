@@ -1,9 +1,21 @@
-// PacketSet: a value-semantic set of packet headers backed by a BDD.
+// PacketSet: a value-semantic set of packet headers with a two-tier
+// representation.
 //
 // This is the predicate type used throughout Tulkun: LEC table keys, DVM
-// message payloads, invariant packet spaces. All sets sharing a
-// PacketSpace (one BDD manager) compose in O(BDD) time, and equality is
-// O(1) thanks to hash-consing.
+// message payloads, invariant packet spaces. Tier 1 is an interned
+// dst-interval atom set (pred::AtomStore) carried by every predicate that
+// is single-field dst-prefix-expressible; set operations between two
+// atom-backed sets run as interval merges with zero BDD work. Tier 2 is
+// the canonical ROBDD, built lazily on first ref() and required the moment
+// a genuinely multi-field predicate (src/port/proto/rewrite) enters an
+// operation — the dynamic demotion guard. Promotion happens on wrap():
+// BDDs arriving from the wire are converted back to atoms when dst-only.
+//
+// All sets sharing a PacketSpace (one BDD manager + one atom store)
+// compose in O(atoms) or O(BDD) time, and equality is O(1) on both tiers
+// thanks to hash-consing. The global pred::set_atom_path_enabled() switch
+// forces every operation onto the BDD tier (sets keep their atom ids, so
+// the toggle is safe mid-run in both directions).
 #pragma once
 
 #include <cstdint>
@@ -12,21 +24,24 @@
 
 #include "bdd/manager.hpp"
 #include "packet/fields.hpp"
+#include "pred/atom_set.hpp"
 
 namespace tulkun::packet {
 
 class PacketSet;
 
-/// Owns the BDD manager for one verification session's packet universe and
-/// provides constructors for field-level predicates.
+/// Owns the BDD manager and atom store for one verification session's
+/// packet universe and provides constructors for field-level predicates.
 class PacketSpace {
  public:
-  PacketSpace() : mgr_(std::make_unique<bdd::Manager>(Layout::kNumVars)) {}
+  PacketSpace()
+      : mgr_(std::make_unique<bdd::Manager>(Layout::kNumVars)),
+        atoms_(std::make_unique<pred::AtomStore>(*mgr_)) {}
 
   PacketSpace(const PacketSpace&) = delete;
   PacketSpace& operator=(const PacketSpace&) = delete;
-  // Movable: the manager lives behind a stable pointer, so PacketSets
-  // remain valid across moves of their space.
+  // Movable: the manager and store live behind stable pointers, so
+  // PacketSets remain valid across moves of their space.
   PacketSpace(PacketSpace&&) = default;
   PacketSpace& operator=(PacketSpace&&) = default;
 
@@ -46,11 +61,17 @@ class PacketSpace {
   [[nodiscard]] PacketSet field_range(Field f, std::uint32_t lo,
                                       std::uint32_t hi);
 
-  /// Wraps a raw BDD ref (used by the wire codec).
+  /// Packets whose destination address lies in a canonical half-open
+  /// interval list (the atom wire form; sorted, disjoint, non-adjacent).
+  [[nodiscard]] PacketSet from_intervals(std::vector<Interval> ivs);
+
+  /// Wraps a raw BDD ref (used by the wire codec). Attempts atom promotion
+  /// when the fast path is enabled.
   [[nodiscard]] PacketSet wrap(bdd::NodeRef ref);
 
   [[nodiscard]] bdd::Manager& manager() { return *mgr_; }
   [[nodiscard]] const bdd::Manager& manager() const { return *mgr_; }
+  [[nodiscard]] pred::AtomStore& atoms() { return *atoms_; }
 
  private:
   /// BDD with field bits equal to `value` over `width` bits at `offset`.
@@ -58,16 +79,23 @@ class PacketSpace {
                           std::uint32_t value);
 
   std::unique_ptr<bdd::Manager> mgr_;
+  std::unique_ptr<pred::AtomStore> atoms_;
 };
 
-/// An immutable set of packets. Cheap to copy (manager pointer + node ref).
+/// An immutable set of packets. Cheap to copy (three words + two ids).
 class PacketSet {
  public:
   PacketSet() = default;  // a detached, empty set usable only for reassignment
 
   [[nodiscard]] bool valid() const { return mgr_ != nullptr; }
-  [[nodiscard]] bool empty() const { return ref_ == bdd::kFalse; }
-  [[nodiscard]] bool is_all() const { return ref_ == bdd::kTrue; }
+  [[nodiscard]] bool empty() const {
+    if (atom_ != pred::kNoAtom) return atom_ == pred::kAtomEmpty;
+    return ref_ == bdd::kFalse;
+  }
+  [[nodiscard]] bool is_all() const {
+    if (atom_ != pred::kNoAtom) return atom_ == pred::kAtomAll;
+    return ref_ == bdd::kTrue;
+  }
 
   [[nodiscard]] PacketSet operator&(const PacketSet& o) const;
   [[nodiscard]] PacketSet operator|(const PacketSet& o) const;
@@ -79,39 +107,89 @@ class PacketSet {
   PacketSet& operator|=(const PacketSet& o) { return *this = *this | o; }
   PacketSet& operator-=(const PacketSet& o) { return *this = *this - o; }
 
-  [[nodiscard]] bool intersects(const PacketSet& o) const {
-    return !(*this & o).empty();
-  }
+  [[nodiscard]] bool intersects(const PacketSet& o) const;
   [[nodiscard]] bool subset_of(const PacketSet& o) const;
 
-  /// O(1): canonical BDDs make structural equality reference equality.
+  /// O(1): both tiers are hash-consed, so structural equality is id
+  /// equality whenever the representations match; mixed-tier comparisons
+  /// (rare: only after mid-run toggling) materialize.
   friend bool operator==(const PacketSet& a, const PacketSet& b) {
-    return a.mgr_ == b.mgr_ && a.ref_ == b.ref_;
+    if (a.mgr_ != b.mgr_) return false;
+    if (a.atom_ != pred::kNoAtom && b.atom_ != pred::kNoAtom) {
+      return a.atom_ == b.atom_;
+    }
+    return a.ref() == b.ref();
   }
 
-  /// Number of headers in the set (approximate beyond 2^53).
+  /// Number of headers in the set (exact on the atom tier; approximate
+  /// beyond 2^53 on the BDD tier).
   [[nodiscard]] double count() const;
 
   /// Fraction of the full header space covered, in [0,1].
   [[nodiscard]] double fraction() const;
 
-  /// BDD node count (used for message-size accounting).
+  /// BDD node count (used for message-size accounting). Materializes.
   [[nodiscard]] std::size_t bdd_nodes() const;
 
-  [[nodiscard]] bdd::NodeRef ref() const { return ref_; }
+  /// The canonical ROBDD, built on demand for atom-backed sets.
+  [[nodiscard]] bdd::NodeRef ref() const {
+    if (!has_ref_) materialize_ref();
+    return ref_;
+  }
+  /// Non-materializing observer for gc root collection: the ref this set
+  /// currently pins in the manager (kFalse when none). Lazily materialized
+  /// refs cannot be un-pinned (the set caches them), so every reachable
+  /// PacketSet must surface here when enumerating gc roots.
+  [[nodiscard]] bdd::NodeRef ref_if_materialized() const {
+    return has_ref_ ? ref_ : bdd::kFalse;
+  }
   [[nodiscard]] bdd::Manager* manager() const { return mgr_; }
+
+  /// Atom-tier id (pred::kNoAtom when the set is BDD-only).
+  [[nodiscard]] pred::AtomRef atom_ref() const { return atom_; }
+  [[nodiscard]] pred::AtomStore* atom_store() const { return store_; }
 
   /// Stable hash usable as an unordered_map key (manager-local).
   [[nodiscard]] std::size_t hash() const {
-    return std::hash<bdd::NodeRef>{}(ref_);
+    return std::hash<bdd::NodeRef>{}(ref());
   }
 
  private:
   friend class PacketSpace;
-  PacketSet(bdd::Manager* mgr, bdd::NodeRef ref) : mgr_(mgr), ref_(ref) {}
+  // NodeRef and AtomRef are both u32; named factories avoid ambiguity.
+  static PacketSet from_ref(bdd::Manager* mgr, pred::AtomStore* store,
+                            bdd::NodeRef ref) {
+    PacketSet p;
+    p.mgr_ = mgr;
+    p.store_ = store;
+    p.ref_ = ref;
+    p.has_ref_ = true;
+    return p;
+  }
+  static PacketSet from_atom(bdd::Manager* mgr, pred::AtomStore* store,
+                             pred::AtomRef atom) {
+    PacketSet p;
+    p.mgr_ = mgr;
+    p.store_ = store;
+    p.atom_ = atom;
+    p.has_ref_ = false;
+    return p;
+  }
+  static PacketSet from_both(bdd::Manager* mgr, pred::AtomStore* store,
+                             bdd::NodeRef ref, pred::AtomRef atom) {
+    PacketSet p = from_ref(mgr, store, ref);
+    p.atom_ = atom;
+    return p;
+  }
+  void materialize_ref() const;
 
   bdd::Manager* mgr_ = nullptr;
-  bdd::NodeRef ref_ = bdd::kFalse;
+  pred::AtomStore* store_ = nullptr;
+  // The BDD tier is lazy: atom-backed sets only build their ROBDD when a
+  // multi-field operand demotes the operation or a caller needs ref().
+  mutable bdd::NodeRef ref_ = bdd::kFalse;
+  mutable bool has_ref_ = true;  // a detached default set is "empty"
+  pred::AtomRef atom_ = pred::kNoAtom;
 };
 
 /// Hash functor for using PacketSet as an unordered container key.
@@ -122,12 +200,13 @@ struct PacketSetHash {
 };
 
 /// The destination-IP prefix hull of `p`: the longest IPv4 prefix that
-/// contains every packet in the set. Exact and O(prefix length): dst-IP
-/// bits are the topmost BDD variables, so the hull is the maximal chain of
-/// forced decisions from the root. Sets unconstrained on dst-IP (or
-/// constrained only below a union of prefixes) hull to 0.0.0.0/0; callers
-/// treat a /0 hull as "index gives no pruning" and fall back to scanning.
-/// Requires a non-empty, attached set.
+/// contains every packet in the set. Exact and O(prefix length) on both
+/// tiers: the atom tier takes the common prefix of its address extremes;
+/// the BDD tier walks the maximal chain of forced decisions from the root
+/// (dst-IP bits are the topmost variables). Sets unconstrained on dst-IP
+/// (or constrained only below a union of prefixes) hull to 0.0.0.0/0;
+/// callers treat a /0 hull as "index gives no pruning" and fall back to
+/// scanning. Requires a non-empty, attached set.
 [[nodiscard]] Ipv4Prefix dst_prefix_hull(const PacketSet& p);
 
 }  // namespace tulkun::packet

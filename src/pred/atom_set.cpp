@@ -1,0 +1,576 @@
+#include "pred/atom_set.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <bit>
+#include <cmath>
+#include <cstdlib>
+#include <string_view>
+
+#include "core/error.hpp"
+
+namespace tulkun::pred {
+
+namespace {
+
+constexpr std::uint64_t kAddrEnd = 1ull << 32;
+
+std::atomic<bool> g_atom_path_enabled{true};
+std::atomic<bool> g_lockstep_check{false};
+
+struct GlobalCounters {
+  std::atomic<std::uint64_t> atom_hits{0};
+  std::atomic<std::uint64_t> bdd_fallbacks{0};
+  std::atomic<std::uint64_t> demotions{0};
+  std::atomic<std::uint64_t> promotions{0};
+  std::atomic<std::uint64_t> promote_failures{0};
+  std::atomic<std::uint64_t> materializations{0};
+  std::atomic<std::uint64_t> atom_table_size{0};
+  std::atomic<std::uint64_t> arena_bytes{0};
+};
+
+GlobalCounters& counters() {
+  static GlobalCounters c;
+  return c;
+}
+
+/// splitmix64 finalizer: the usual cheap, well-mixed integer hash.
+std::uint64_t mix(std::uint64_t x) {
+  x += 0x9E3779B97F4A7C15ull;
+  x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9ull;
+  x = (x ^ (x >> 27)) * 0x94D049BB133111EBull;
+  return x ^ (x >> 31);
+}
+
+std::uint64_t hash_intervals(std::span<const Interval> ivs) {
+  std::uint64_t h = mix(ivs.size());
+  for (const auto& iv : ivs) {
+    h = mix(h ^ iv.lo);
+    h = mix(h ^ iv.hi);
+  }
+  return h;
+}
+
+bool equal_intervals(std::span<const Interval> a,
+                     std::span<const Interval> b) {
+  return a.size() == b.size() && std::equal(a.begin(), a.end(), b.begin());
+}
+
+std::vector<Interval> unite_intervals(std::span<const Interval> a,
+                                      std::span<const Interval> b) {
+  std::vector<Interval> out;
+  out.reserve(a.size() + b.size());
+  std::size_t i = 0;
+  std::size_t j = 0;
+  const auto push = [&out](Interval iv) {
+    if (!out.empty() && out.back().hi >= iv.lo) {
+      out.back().hi = std::max(out.back().hi, iv.hi);
+    } else {
+      out.push_back(iv);
+    }
+  };
+  while (i < a.size() || j < b.size()) {
+    if (j == b.size() || (i < a.size() && a[i].lo <= b[j].lo)) {
+      push(a[i++]);
+    } else {
+      push(b[j++]);
+    }
+  }
+  return out;
+}
+
+std::vector<Interval> intersect_intervals(std::span<const Interval> a,
+                                          std::span<const Interval> b) {
+  std::vector<Interval> out;
+  std::size_t i = 0;
+  std::size_t j = 0;
+  while (i < a.size() && j < b.size()) {
+    const std::uint64_t lo = std::max(a[i].lo, b[j].lo);
+    const std::uint64_t hi = std::min(a[i].hi, b[j].hi);
+    if (lo < hi) out.push_back({lo, hi});
+    if (a[i].hi <= b[j].hi) {
+      ++i;
+    } else {
+      ++j;
+    }
+  }
+  return out;
+}
+
+std::vector<Interval> subtract_intervals(std::span<const Interval> a,
+                                         std::span<const Interval> b) {
+  std::vector<Interval> out;
+  std::size_t j = 0;
+  for (const auto& iv : a) {
+    std::uint64_t lo = iv.lo;
+    while (j < b.size() && b[j].hi <= lo) ++j;
+    std::size_t k = j;
+    while (k < b.size() && b[k].lo < iv.hi) {
+      if (b[k].lo > lo) out.push_back({lo, b[k].lo});
+      lo = std::max(lo, b[k].hi);
+      if (lo >= iv.hi) break;
+      ++k;
+    }
+    if (lo < iv.hi) out.push_back({lo, iv.hi});
+  }
+  return out;
+}
+
+std::vector<Interval> complement_intervals(std::span<const Interval> a) {
+  std::vector<Interval> out;
+  std::uint64_t lo = 0;
+  for (const auto& iv : a) {
+    if (iv.lo > lo) out.push_back({lo, iv.lo});
+    lo = iv.hi;
+  }
+  if (lo < kAddrEnd) out.push_back({lo, kAddrEnd});
+  return out;
+}
+
+/// Single-path ROBDD of "top prefix_len dst bits == value", LSB upward so
+/// each mk() has its children ready (same shape as PacketSpace::exact_bits).
+bdd::NodeRef exact_dst_bits(bdd::Manager& mgr, std::uint32_t prefix_len,
+                            std::uint64_t value) {
+  bdd::NodeRef acc = bdd::kTrue;
+  for (std::uint32_t i = 0; i < prefix_len; ++i) {
+    const std::uint32_t var =
+        packet::Layout::kDstIpOffset + prefix_len - 1 - i;
+    const bool bit = (value >> i) & 1ull;
+    acc = bit ? mgr.mk(var, bdd::kFalse, acc)
+              : mgr.mk(var, acc, bdd::kFalse);
+  }
+  return acc;
+}
+
+/// Canonical ROBDD of a canonical interval list: each interval decomposes
+/// into maximal aligned power-of-two blocks (prefixes) OR'd together.
+bdd::NodeRef build_bdd(bdd::Manager& mgr, std::span<const Interval> ivs) {
+  bdd::NodeRef acc = bdd::kFalse;
+  for (const auto& iv : ivs) {
+    std::uint64_t cur = iv.lo;
+    while (cur < iv.hi) {
+      std::uint32_t block_bits = 0;
+      while (block_bits < 32) {
+        const std::uint64_t size = 1ull << (block_bits + 1);
+        if ((cur & (size - 1)) != 0 || cur + size > iv.hi) break;
+        ++block_bits;
+      }
+      acc = mgr.lor(
+          acc, exact_dst_bits(mgr, 32 - block_bits, cur >> block_bits));
+      cur += 1ull << block_bits;
+    }
+  }
+  return acc;
+}
+
+/// Total recursion-step bail-out for promote (defense in depth on top of
+/// the interval cap; see the path-count argument in promote()).
+constexpr std::size_t kMaxPromoteSteps = 1ull << 20;
+
+/// Collects the dst-address intervals of `r` in ascending order. `base` is
+/// the address with all decided bits set; `bit` is the next (MSB-first)
+/// dst bit. Returns false when the function depends on a non-dst variable
+/// or the output exceeds the interval cap.
+bool extract_intervals(const bdd::Manager& mgr, bdd::NodeRef r,
+                       std::uint64_t base, std::uint32_t bit,
+                       std::vector<Interval>& out, std::size_t& steps) {
+  if (++steps > kMaxPromoteSteps) return false;
+  if (r == bdd::kFalse) return true;
+  if (r == bdd::kTrue) {
+    const std::uint64_t size = 1ull << (32 - bit);
+    if (!out.empty() && out.back().hi == base) {
+      out.back().hi = base + size;
+    } else {
+      if (out.size() >= AtomStore::kMaxPromoteIntervals) return false;
+      out.push_back({base, base + size});
+    }
+    return true;
+  }
+  const bdd::Node& n = mgr.node(r);
+  if (n.var >= packet::Layout::kDstIpOffset + packet::Layout::kDstIpWidth) {
+    return false;  // constrained on src/port/proto: genuinely multi-field
+  }
+  const std::uint64_t half = 1ull << (31 - bit);
+  if (n.var > bit) {
+    // Bit `bit` is free: both half-spaces see the same function.
+    return extract_intervals(mgr, r, base, bit + 1, out, steps) &&
+           extract_intervals(mgr, r, base + half, bit + 1, out, steps);
+  }
+  return extract_intervals(mgr, n.low, base, bit + 1, out, steps) &&
+         extract_intervals(mgr, n.high, base + half, bit + 1, out, steps);
+}
+
+}  // namespace
+
+void set_atom_path_enabled(bool enabled) {
+  g_atom_path_enabled.store(enabled, std::memory_order_relaxed);
+}
+
+bool atom_path_enabled() {
+  return g_atom_path_enabled.load(std::memory_order_relaxed);
+}
+
+void set_atom_lockstep_check(bool enabled) {
+  g_lockstep_check.store(enabled, std::memory_order_relaxed);
+}
+
+bool atom_lockstep_check() {
+  return g_lockstep_check.load(std::memory_order_relaxed);
+}
+
+bool apply_atom_env_overrides() {
+  // Latch-once: only the first call reads the environment. Later calls
+  // (e.g. Harness construction inside a bench main) are no-ops, so an
+  // explicit --atoms flag applied after the first call stays in force.
+  static const bool present = [] {
+    const char* env = std::getenv("TULKUN_ATOMS");
+    if (env == nullptr) return false;
+    const std::string_view v(env);
+    set_atom_path_enabled(!(v == "0" || v == "off" || v == "false"));
+    return true;
+  }();
+  return present;
+}
+
+AtomCounters atom_counters_snapshot() {
+  auto& c = counters();
+  AtomCounters out;
+  out.atom_hits = c.atom_hits.load(std::memory_order_relaxed);
+  out.bdd_fallbacks = c.bdd_fallbacks.load(std::memory_order_relaxed);
+  out.demotions = c.demotions.load(std::memory_order_relaxed);
+  out.promotions = c.promotions.load(std::memory_order_relaxed);
+  out.promote_failures = c.promote_failures.load(std::memory_order_relaxed);
+  out.materializations = c.materializations.load(std::memory_order_relaxed);
+  out.atom_table_size = c.atom_table_size.load(std::memory_order_relaxed);
+  out.arena_bytes = c.arena_bytes.load(std::memory_order_relaxed);
+  return out;
+}
+
+void atom_counters_reset() {
+  auto& c = counters();
+  c.atom_hits.store(0, std::memory_order_relaxed);
+  c.bdd_fallbacks.store(0, std::memory_order_relaxed);
+  c.demotions.store(0, std::memory_order_relaxed);
+  c.promotions.store(0, std::memory_order_relaxed);
+  c.promote_failures.store(0, std::memory_order_relaxed);
+  c.materializations.store(0, std::memory_order_relaxed);
+}
+
+void atom_note_hit() {
+  counters().atom_hits.fetch_add(1, std::memory_order_relaxed);
+}
+
+void atom_note_fallback(bool had_atom_operand) {
+  auto& c = counters();
+  c.bdd_fallbacks.fetch_add(1, std::memory_order_relaxed);
+  if (had_atom_operand) c.demotions.fetch_add(1, std::memory_order_relaxed);
+}
+
+AtomStore::AtomStore(bdd::Manager& mgr)
+    : mgr_(&mgr),
+      op_cache_(kOpCacheSize),
+      memo_generation_(mgr.generation()),
+      memo_epoch_(mgr.epoch()) {
+  // Pre-interned: id 0 = empty, id 1 = the full address space.
+  sets_.push_back(Meta{0, 0, 0});
+  arena_.push_back({0, kAddrEnd});
+  sets_.push_back(Meta{0, 1, kAddrEnd});
+  boundaries_.insert(0);
+  boundaries_.insert(kAddrEnd);
+  reported_boundaries_ = boundaries_.size();
+  reported_arena_bytes_ = arena_bytes();
+  counters().atom_table_size.fetch_add(reported_boundaries_,
+                                       std::memory_order_relaxed);
+  counters().arena_bytes.fetch_add(reported_arena_bytes_,
+                                   std::memory_order_relaxed);
+}
+
+AtomStore::~AtomStore() {
+  counters().atom_table_size.fetch_sub(reported_boundaries_,
+                                       std::memory_order_relaxed);
+  counters().arena_bytes.fetch_sub(reported_arena_bytes_,
+                                   std::memory_order_relaxed);
+}
+
+AtomRef AtomStore::intern(std::vector<Interval>&& ivs) {
+  if (ivs.empty()) return kAtomEmpty;
+  if (ivs.size() == 1 && ivs[0].lo == 0 && ivs[0].hi == kAddrEnd) {
+    return kAtomAll;
+  }
+  const std::uint64_t h = hash_intervals(ivs);
+  auto& bucket = dedup_[h];
+  for (const AtomRef id : bucket) {
+    if (equal_intervals(intervals(id), ivs)) return id;
+  }
+
+  std::uint64_t addrs = 0;
+  std::uint64_t prev_hi = 0;
+  for (std::size_t i = 0; i < ivs.size(); ++i) {
+    TULKUN_ASSERT(ivs[i].lo < ivs[i].hi && ivs[i].hi <= kAddrEnd);
+    TULKUN_ASSERT(i == 0 || ivs[i].lo > prev_hi);  // sorted, non-adjacent
+    prev_hi = ivs[i].hi;
+    addrs += ivs[i].size();
+  }
+
+  Meta m;
+  m.offset = static_cast<std::uint32_t>(arena_.size());
+  m.len = static_cast<std::uint32_t>(ivs.size());
+  m.addrs = addrs;
+  arena_.insert(arena_.end(), ivs.begin(), ivs.end());
+  sets_.push_back(m);
+  const auto id = static_cast<AtomRef>(sets_.size() - 1);
+  bucket.push_back(id);
+  for (const auto& iv : ivs) {
+    boundaries_.insert(iv.lo);
+    boundaries_.insert(iv.hi);
+  }
+
+  // Push gauge deltas to the process-global counters.
+  auto& c = counters();
+  const std::uint64_t b = boundaries_.size();
+  if (b != reported_boundaries_) {
+    c.atom_table_size.fetch_add(b - reported_boundaries_,
+                                std::memory_order_relaxed);
+    reported_boundaries_ = b;
+  }
+  const std::uint64_t bytes = arena_bytes();
+  if (bytes != reported_arena_bytes_) {
+    c.arena_bytes.fetch_add(bytes - reported_arena_bytes_,
+                            std::memory_order_relaxed);
+    reported_arena_bytes_ = bytes;
+  }
+  return id;
+}
+
+AtomRef AtomStore::from_prefix(const packet::Ipv4Prefix& prefix) {
+  return from_range(prefix.range_lo(), prefix.range_hi());
+}
+
+AtomRef AtomStore::from_range(std::uint64_t lo, std::uint64_t hi) {
+  TULKUN_ASSERT(hi <= kAddrEnd);
+  if (lo >= hi) return kAtomEmpty;
+  return intern({{lo, hi}});
+}
+
+AtomRef AtomStore::from_intervals(std::vector<Interval> ivs) {
+  return intern(std::move(ivs));
+}
+
+AtomRef AtomStore::cached_op(Op op, AtomRef a, AtomRef b) {
+  const std::uint64_t ab = (static_cast<std::uint64_t>(a) << 32) | b;
+  const std::size_t idx =
+      mix(ab ^ (static_cast<std::uint64_t>(op) << 56)) & (kOpCacheSize - 1);
+  const OpEntry& e = op_cache_[idx];
+  if (e.ab == ab && e.op == op) return e.result;
+  return kNoAtom;
+}
+
+void AtomStore::cache_op(Op op, AtomRef a, AtomRef b, AtomRef result) {
+  const std::uint64_t ab = (static_cast<std::uint64_t>(a) << 32) | b;
+  const std::size_t idx =
+      mix(ab ^ (static_cast<std::uint64_t>(op) << 56)) & (kOpCacheSize - 1);
+  op_cache_[idx] = OpEntry{ab, op, result};
+}
+
+void AtomStore::lockstep_check_binary(Op op, AtomRef a, AtomRef b,
+                                      AtomRef result) {
+  if (!atom_lockstep_check()) return;
+  const bdd::NodeRef ra = materialize(a);
+  const bdd::NodeRef rb = materialize(b);
+  bdd::NodeRef expect = bdd::kFalse;
+  switch (op) {
+    case Op::Unite:
+      expect = mgr_->lor(ra, rb);
+      break;
+    case Op::Intersect:
+      expect = mgr_->land(ra, rb);
+      break;
+    case Op::Subtract:
+      expect = mgr_->diff(ra, rb);
+      break;
+    case Op::Complement:
+      expect = mgr_->negate(ra);
+      break;
+  }
+  TULKUN_ASSERT(materialize(result) == expect);
+}
+
+AtomRef AtomStore::unite(AtomRef a, AtomRef b) {
+  TULKUN_ASSERT(a < sets_.size() && b < sets_.size());
+  if (a == b || b == kAtomEmpty) return a;
+  if (a == kAtomEmpty) return b;
+  if (a == kAtomAll || b == kAtomAll) return kAtomAll;
+  if (a > b) std::swap(a, b);  // commutative: canonical operand order
+  if (const AtomRef c = cached_op(Op::Unite, a, b); c != kNoAtom) return c;
+  const AtomRef r = intern(unite_intervals(intervals(a), intervals(b)));
+  cache_op(Op::Unite, a, b, r);
+  lockstep_check_binary(Op::Unite, a, b, r);
+  return r;
+}
+
+AtomRef AtomStore::intersect(AtomRef a, AtomRef b) {
+  TULKUN_ASSERT(a < sets_.size() && b < sets_.size());
+  if (a == b || b == kAtomAll) return a;
+  if (a == kAtomAll) return b;
+  if (a == kAtomEmpty || b == kAtomEmpty) return kAtomEmpty;
+  if (a > b) std::swap(a, b);
+  if (const AtomRef c = cached_op(Op::Intersect, a, b); c != kNoAtom) {
+    return c;
+  }
+  const AtomRef r = intern(intersect_intervals(intervals(a), intervals(b)));
+  cache_op(Op::Intersect, a, b, r);
+  lockstep_check_binary(Op::Intersect, a, b, r);
+  return r;
+}
+
+AtomRef AtomStore::subtract(AtomRef a, AtomRef b) {
+  TULKUN_ASSERT(a < sets_.size() && b < sets_.size());
+  if (a == kAtomEmpty || b == kAtomAll || a == b) return kAtomEmpty;
+  if (b == kAtomEmpty) return a;
+  if (const AtomRef c = cached_op(Op::Subtract, a, b); c != kNoAtom) {
+    return c;
+  }
+  const AtomRef r = intern(subtract_intervals(intervals(a), intervals(b)));
+  cache_op(Op::Subtract, a, b, r);
+  lockstep_check_binary(Op::Subtract, a, b, r);
+  return r;
+}
+
+AtomRef AtomStore::complement(AtomRef a) {
+  TULKUN_ASSERT(a < sets_.size());
+  if (a == kAtomEmpty) return kAtomAll;
+  if (a == kAtomAll) return kAtomEmpty;
+  if (const AtomRef c = cached_op(Op::Complement, a, 0); c != kNoAtom) {
+    return c;
+  }
+  const AtomRef r = intern(complement_intervals(intervals(a)));
+  cache_op(Op::Complement, a, 0, r);
+  lockstep_check_binary(Op::Complement, a, 0, r);
+  return r;
+}
+
+bool AtomStore::intersects(AtomRef a, AtomRef b) const {
+  TULKUN_ASSERT(a < sets_.size() && b < sets_.size());
+  if (a == kAtomEmpty || b == kAtomEmpty) return false;
+  if (a == kAtomAll || b == kAtomAll || a == b) return true;
+  const auto as = intervals(a);
+  const auto bs = intervals(b);
+  std::size_t i = 0;
+  std::size_t j = 0;
+  while (i < as.size() && j < bs.size()) {
+    if (std::max(as[i].lo, bs[j].lo) < std::min(as[i].hi, bs[j].hi)) {
+      return true;
+    }
+    if (as[i].hi <= bs[j].hi) {
+      ++i;
+    } else {
+      ++j;
+    }
+  }
+  return false;
+}
+
+bool AtomStore::subset(AtomRef a, AtomRef b) const {
+  TULKUN_ASSERT(a < sets_.size() && b < sets_.size());
+  if (a == kAtomEmpty || a == b || b == kAtomAll) return true;
+  if (b == kAtomEmpty || a == kAtomAll) return false;
+  const auto as = intervals(a);
+  const auto bs = intervals(b);
+  std::size_t j = 0;
+  for (const auto& iv : as) {
+    while (j < bs.size() && bs[j].hi < iv.hi) ++j;
+    if (j == bs.size() || bs[j].lo > iv.lo || bs[j].hi < iv.hi) return false;
+  }
+  return true;
+}
+
+std::uint64_t AtomStore::addr_count(AtomRef a) const {
+  TULKUN_ASSERT(a < sets_.size());
+  return sets_[a].addrs;
+}
+
+double AtomStore::header_count(AtomRef a) const {
+  // Exact: the address count has at most 33 significant bits, and the
+  // non-dst header bits contribute a pure power-of-two scale.
+  return std::ldexp(
+      static_cast<double>(addr_count(a)),
+      packet::Layout::kNumVars - packet::Layout::kDstIpWidth);
+}
+
+packet::Ipv4Prefix AtomStore::hull(AtomRef a) const {
+  TULKUN_ASSERT(a < sets_.size() && a != kAtomEmpty);
+  if (a == kAtomAll) return packet::Ipv4Prefix{0, 0};
+  const auto ivs = intervals(a);
+  const auto lo = static_cast<std::uint32_t>(ivs.front().lo);
+  const auto hi = static_cast<std::uint32_t>(ivs.back().hi - 1);
+  // Longest common prefix of the extremes = longest prefix containing the
+  // set (identical to the forced-decision walk on the materialized BDD).
+  const auto len =
+      static_cast<std::uint8_t>(std::countl_zero<std::uint32_t>(lo ^ hi));
+  const std::uint32_t mask = len == 0 ? 0 : ~0u << (32 - len);
+  return packet::Ipv4Prefix{lo & mask, len};
+}
+
+std::span<const Interval> AtomStore::intervals(AtomRef a) const {
+  TULKUN_ASSERT(a < sets_.size());
+  const Meta& m = sets_[a];
+  return {arena_.data() + m.offset, m.len};
+}
+
+void AtomStore::check_memo_stamp() {
+  if (memo_generation_ == mgr_->generation() && memo_epoch_ == mgr_->epoch()) {
+    return;
+  }
+  // NodeRefs moved under us (reset or gc): both conversion memos are stale.
+  materialize_memo_.clear();
+  promote_memo_.clear();
+  memo_generation_ = mgr_->generation();
+  memo_epoch_ = mgr_->epoch();
+}
+
+bdd::NodeRef AtomStore::materialize(AtomRef a) {
+  TULKUN_ASSERT(a != kNoAtom && a < sets_.size());
+  if (a == kAtomEmpty) return bdd::kFalse;
+  if (a == kAtomAll) return bdd::kTrue;
+  check_memo_stamp();
+  if (const auto it = materialize_memo_.find(a);
+      it != materialize_memo_.end()) {
+    return it->second;
+  }
+  counters().materializations.fetch_add(1, std::memory_order_relaxed);
+  const bdd::NodeRef ref = build_bdd(*mgr_, intervals(a));
+  materialize_memo_.emplace(a, ref);
+  // Canonical both ways: this BDD's interval form is exactly `a`.
+  promote_memo_.emplace(ref, a);
+  return ref;
+}
+
+AtomRef AtomStore::promote(bdd::NodeRef ref) {
+  if (ref == bdd::kFalse) return kAtomEmpty;
+  if (ref == bdd::kTrue) return kAtomAll;
+  check_memo_stamp();
+  if (const auto it = promote_memo_.find(ref); it != promote_memo_.end()) {
+    return it->second;
+  }
+  // Work is bounded: every root-to-kTrue path appends or extends one
+  // interval, and a canonical ROBDD has no fully-tiled free subtrees, so
+  // the interval cap (plus the step cap as defense in depth) bounds the
+  // traversal at O(kMaxPromoteIntervals * depth).
+  std::vector<Interval> out;
+  std::size_t steps = 0;
+  AtomRef result = kNoAtom;
+  if (extract_intervals(*mgr_, ref, 0, 0, out, steps)) {
+    result = intern(std::move(out));
+    counters().promotions.fetch_add(1, std::memory_order_relaxed);
+    if (atom_lockstep_check()) {
+      TULKUN_ASSERT(build_bdd(*mgr_, intervals(result)) == ref);
+    }
+    materialize_memo_.emplace(result, ref);
+  } else {
+    counters().promote_failures.fetch_add(1, std::memory_order_relaxed);
+  }
+  promote_memo_.emplace(ref, result);
+  return result;
+}
+
+}  // namespace tulkun::pred

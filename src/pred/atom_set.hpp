@@ -1,0 +1,191 @@
+// Tier-1 predicate representation: interned interval-atom sets over the
+// destination-IP field (Delta-net style, lifted from src/baseline into a
+// first-class engine tier).
+//
+// Every dst-prefix-expressible predicate is a canonical set of disjoint,
+// sorted, non-adjacent half-open address intervals, hash-consed into an
+// AtomStore so equality is id equality — exactly the property the BDD tier
+// provides, at a fraction of the cost for the single-field common case.
+// The store keeps a global, incrementally-refined boundary table (the
+// "atom universe"): every interval endpoint ever interned refines it, and
+// its size is exported as the atom-table gauge.
+//
+// Each AtomStore is bound to one bdd::Manager (one PacketSpace):
+//   materialize(atom) -> NodeRef   builds the canonical ROBDD of the set;
+//   promote(ref)      -> AtomRef   recovers the interval form of a dst-only
+//                                  BDD (kNoAtom when genuinely multi-field).
+// Both directions are memoized per (manager generation, gc epoch), so the
+// lockstep conversion check in PacketSet costs one id compare after the
+// first crossing. Like bdd::Manager, a store is confined to one thread.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "bdd/manager.hpp"
+#include "core/interval_set.hpp"
+#include "packet/fields.hpp"
+
+namespace tulkun::pred {
+
+/// Dense id of an interned interval set. Ids are stable for the lifetime
+/// of the store (the store never garbage-collects: the interned universe
+/// of a device is small and churn re-uses existing ids).
+using AtomRef = std::uint32_t;
+
+inline constexpr AtomRef kAtomEmpty = 0;
+inline constexpr AtomRef kAtomAll = 1;
+/// "No atom representation": the predicate is multi-field (BDD tier only).
+inline constexpr AtomRef kNoAtom = 0xFFFFFFFFu;
+
+/// Process-global kill switch for the atom fast path, mirroring
+/// fib::set_prefix_index_enabled(). Off forces every set operation onto
+/// the BDD tier (sets keep their atom ids, so flipping mid-run is safe in
+/// both directions). Overridden by TULKUN_ATOMS=0/1 via
+/// apply_atom_env_overrides().
+void set_atom_path_enabled(bool enabled);
+[[nodiscard]] bool atom_path_enabled();
+
+/// Debug mode: every atom-tier operation also runs the BDD-tier op on the
+/// materialized operands and asserts the results agree (both directions of
+/// the tier conversion are lockstep-checked). Heavy; tests only.
+void set_atom_lockstep_check(bool enabled);
+[[nodiscard]] bool atom_lockstep_check();
+
+/// Applies the TULKUN_ATOMS environment override ("0"/"off"/"false"
+/// disables the atom path, anything else enables). No-op when unset, and
+/// only the FIRST call reads the environment (later calls return the
+/// cached presence without touching the switch, so explicit flags applied
+/// in between stay in force). Returns true when the variable was present.
+bool apply_atom_env_overrides();
+
+/// Process-global atom-tier counters (relaxed atomics, like
+/// fib::IndexCounters). Gauges (atom_table_size, arena_bytes) aggregate
+/// over all live stores; the rest are monotone event counts.
+struct AtomCounters {
+  std::uint64_t atom_hits = 0;         // set ops answered on the atom tier
+  std::uint64_t bdd_fallbacks = 0;     // set ops that ran on the BDD tier
+  std::uint64_t demotions = 0;         // fallbacks that had >=1 atom operand
+  std::uint64_t promotions = 0;        // successful BDD -> atom conversions
+  std::uint64_t promote_failures = 0;  // conversions that found multi-field
+  std::uint64_t materializations = 0;  // atom -> BDD conversions
+  std::uint64_t atom_table_size = 0;   // global refined boundary count
+  std::uint64_t arena_bytes = 0;       // interval arena footprint
+};
+[[nodiscard]] AtomCounters atom_counters_snapshot();
+/// Resets the event counters (gauges track live stores and are unaffected).
+void atom_counters_reset();
+
+/// Counter taps used by the PacketSet fast-path dispatch (hot; inlined
+/// callers pay one relaxed fetch_add).
+void atom_note_hit();
+void atom_note_fallback(bool had_atom_operand);
+
+/// The interned universe of dst-interval sets for one PacketSpace.
+class AtomStore {
+ public:
+  explicit AtomStore(bdd::Manager& mgr);
+  ~AtomStore();
+
+  AtomStore(const AtomStore&) = delete;
+  AtomStore& operator=(const AtomStore&) = delete;
+
+  /// Interns the address set of `prefix`.
+  [[nodiscard]] AtomRef from_prefix(const packet::Ipv4Prefix& prefix);
+  /// Interns the half-open address range [lo, hi), hi <= 2^32.
+  [[nodiscard]] AtomRef from_range(std::uint64_t lo, std::uint64_t hi);
+  /// Interns a canonical interval list (sorted, disjoint, non-adjacent,
+  /// non-empty, all within [0, 2^32]). Asserts canonicity.
+  [[nodiscard]] AtomRef from_intervals(std::vector<Interval> ivs);
+
+  [[nodiscard]] AtomRef unite(AtomRef a, AtomRef b);
+  [[nodiscard]] AtomRef intersect(AtomRef a, AtomRef b);
+  /// Set difference a \ b.
+  [[nodiscard]] AtomRef subtract(AtomRef a, AtomRef b);
+  [[nodiscard]] AtomRef complement(AtomRef a);
+
+  [[nodiscard]] bool intersects(AtomRef a, AtomRef b) const;
+  /// True iff a is a subset of b.
+  [[nodiscard]] bool subset(AtomRef a, AtomRef b) const;
+
+  /// Number of destination addresses in the set (exact; up to 2^32).
+  [[nodiscard]] std::uint64_t addr_count(AtomRef a) const;
+  /// Number of packet headers: addr_count * 2^(non-dst header bits).
+  /// Matches bdd::Manager::sat_count of the materialized set exactly
+  /// (both are integers with < 53 significant bits, scaled by the same
+  /// power of two).
+  [[nodiscard]] double header_count(AtomRef a) const;
+
+  /// The longest IPv4 prefix containing every address in the set; equals
+  /// packet::dst_prefix_hull of the materialized BDD. Requires non-empty.
+  [[nodiscard]] packet::Ipv4Prefix hull(AtomRef a) const;
+
+  [[nodiscard]] std::span<const Interval> intervals(AtomRef a) const;
+
+  /// Builds (memoized) the canonical ROBDD of the set in the bound manager.
+  [[nodiscard]] bdd::NodeRef materialize(AtomRef a);
+
+  /// Recovers (memoized) the interval form of a dst-only BDD; kNoAtom when
+  /// the function depends on any non-dst variable or decomposes into more
+  /// than kMaxPromoteIntervals intervals.
+  [[nodiscard]] AtomRef promote(bdd::NodeRef ref);
+
+  /// Interned set count (distinct interval sets seen by this store).
+  [[nodiscard]] std::size_t set_count() const { return sets_.size(); }
+  /// Global refined boundary count (the atom-table size gauge).
+  [[nodiscard]] std::size_t boundary_count() const {
+    return boundaries_.size();
+  }
+  [[nodiscard]] std::size_t arena_bytes() const {
+    return arena_.capacity() * sizeof(Interval);
+  }
+  [[nodiscard]] bdd::Manager& manager() const { return *mgr_; }
+
+  /// Promotion bail-out threshold: a dst-only BDD whose interval form
+  /// exceeds this many intervals stays on the BDD tier.
+  static constexpr std::size_t kMaxPromoteIntervals = 4096;
+
+ private:
+  struct Meta {
+    std::uint32_t offset = 0;  // first interval in arena_
+    std::uint32_t len = 0;     // interval count
+    std::uint64_t addrs = 0;   // total covered addresses
+  };
+  enum class Op : std::uint8_t { Unite, Intersect, Subtract, Complement };
+  struct OpEntry {
+    std::uint64_t ab = ~0ull;
+    Op op = Op::Unite;
+    AtomRef result = kNoAtom;
+  };
+  static constexpr std::size_t kOpCacheSize = 1 << 16;  // direct-mapped
+
+  [[nodiscard]] AtomRef intern(std::vector<Interval>&& ivs);
+  [[nodiscard]] AtomRef cached_op(Op op, AtomRef a, AtomRef b);
+  void cache_op(Op op, AtomRef a, AtomRef b, AtomRef result);
+  /// Clears the materialize/promote memos when the bound manager's
+  /// generation or gc epoch moved (NodeRefs are otherwise stable).
+  void check_memo_stamp();
+  void lockstep_check_binary(Op op, AtomRef a, AtomRef b, AtomRef result);
+
+  bdd::Manager* mgr_;
+  std::vector<Interval> arena_;  // all interned sets, back to back
+  std::vector<Meta> sets_;
+  std::unordered_map<std::uint64_t, std::vector<AtomRef>> dedup_;
+  std::vector<OpEntry> op_cache_;
+  std::unordered_set<std::uint64_t> boundaries_;  // global atom table
+
+  std::unordered_map<AtomRef, bdd::NodeRef> materialize_memo_;
+  std::unordered_map<bdd::NodeRef, AtomRef> promote_memo_;
+  std::uint64_t memo_generation_ = 0;
+  std::uint64_t memo_epoch_ = 0;
+
+  // Gauge deltas pushed to the process-global counters (subtracted back on
+  // destruction so the gauges track live stores).
+  std::uint64_t reported_boundaries_ = 0;
+  std::uint64_t reported_arena_bytes_ = 0;
+};
+
+}  // namespace tulkun::pred

@@ -31,6 +31,11 @@ void RuntimeMetrics::merge(const RuntimeMetrics& other) {
   frame_bytes += other.frame_bytes;
   transfer_cache_hits += other.transfer_cache_hits;
   transfer_cache_misses += other.transfer_cache_misses;
+  channel_roots += other.channel_roots;
+  channel_nodes_shipped += other.channel_nodes_shipped;
+  channel_resets += other.channel_resets;
+  gc_runs += other.gc_runs;
+  gc_reclaimed_nodes += other.gc_reclaimed_nodes;
   for (const double v : other.batch_size.values()) batch_size.add(v);
   for (const double v : other.queue_wait_seconds.values()) {
     queue_wait_seconds.add(v);
@@ -56,6 +61,15 @@ void print_metrics(std::ostream& os, const RuntimeMetrics& m) {
   os << "  transfer cache: " << m.transfer_cache_hits << " hits / "
      << m.transfer_cache_misses << " misses (hit rate "
      << m.transfer_cache_hit_rate() << ")\n";
+  if (m.channel_roots != 0) {
+    os << "  delta channels: " << m.channel_roots << " preds, "
+       << m.channel_nodes_shipped << " nodes shipped, " << m.channel_resets
+       << " resets\n";
+  }
+  if (m.gc_runs != 0) {
+    os << "  bdd gc: " << m.gc_runs << " runs, " << m.gc_reclaimed_nodes
+       << " nodes reclaimed\n";
+  }
   if (!m.queue_wait_seconds.empty()) {
     os << "  queue wait: p50 "
        << format_duration(m.queue_wait_seconds.quantile(0.5)) << ", p99 "

@@ -34,6 +34,15 @@ struct RuntimeMetrics {
   std::uint64_t frame_bytes = 0;
   std::uint64_t transfer_cache_hits = 0;
   std::uint64_t transfer_cache_misses = 0;
+  /// Node-ID delta streams (dvm::ChannelEncoders): predicates sent in delta
+  /// form, BDD nodes actually shipped, and stream resets (epoch/generation
+  /// moves or table-bound rollovers).
+  std::uint64_t channel_roots = 0;
+  std::uint64_t channel_nodes_shipped = 0;
+  std::uint64_t channel_resets = 0;
+  /// Per-device BDD garbage collection (bdd_gc_node_threshold > 0).
+  std::uint64_t gc_runs = 0;
+  std::uint64_t gc_reclaimed_nodes = 0;
   Samples batch_size;          // envelopes per frame
   Samples queue_wait_seconds;  // enqueue -> dequeue latency per job
 

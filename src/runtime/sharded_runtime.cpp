@@ -12,6 +12,12 @@ namespace {
 
 packet::PacketSet transfer(const packet::PacketSet& p,
                            packet::PacketSpace& target) {
+  if (pred::atom_path_enabled() && p.atom_ref() != pred::kNoAtom) {
+    // Atom-tier predicate: re-intern the interval list directly; neither
+    // space builds a BDD.
+    const auto ivs = p.atom_store()->intervals(p.atom_ref());
+    return target.from_intervals({ivs.begin(), ivs.end()});
+  }
   const auto bytes = bdd::serialize(*p.manager(), p.ref());
   return target.wrap(bdd::deserialize(target.manager(), bytes));
 }
@@ -52,6 +58,7 @@ ShardedRuntime::ShardedRuntime(const topo::Topology& topo,
     dev.space = std::make_unique<packet::PacketSpace>();
     dev.verifier = std::make_unique<verifier::OnDeviceVerifier>(
         d, topo, *dev.space, cfg);
+    dev.channels = std::make_unique<dvm::ChannelDecoders>(dev.space->manager());
     devices_.push_back(std::move(dev));
   }
 
@@ -187,6 +194,9 @@ RuntimeMetrics ShardedRuntime::metrics() const {
     out.merge(shard->local);
     out.transfer_cache_hits += shard->transfer_cache.hits();
     out.transfer_cache_misses += shard->transfer_cache.misses();
+    out.channel_roots += shard->channel_encoders.roots_encoded();
+    out.channel_nodes_shipped += shard->channel_encoders.nodes_shipped();
+    out.channel_resets += shard->channel_encoders.resets();
   }
   // Prefix-index effectiveness over this process (callers reset the global
   // counters at run start to scope them to one run).
@@ -196,6 +206,8 @@ RuntimeMetrics ShardedRuntime::metrics() const {
     const auto totals = dev.verifier->engine_totals();
     out.recompute_seconds += totals.recompute_seconds;
     out.emit_seconds += totals.emit_seconds;
+    out.gc_runs += dev.space->manager().gc_runs();
+    out.gc_reclaimed_nodes += dev.space->manager().gc_reclaimed();
   }
   return out;
 }
@@ -225,7 +237,9 @@ void ShardedRuntime::handle(Shard& shard, Job& job) {
       break;
     }
     case Job::Kind::Frame: {
-      const auto envs = dvm::decode_frame(job.bytes, *dev.space);
+      const auto envs = dvm::decode_frame(
+          job.bytes, *dev.space, dvm::default_decode_limits(),
+          dev.channels.get());
       for (const auto& env : envs) {
         auto msgs = dev.verifier->on_message(env);
         out.insert(out.end(), std::make_move_iterator(msgs.begin()),
@@ -246,12 +260,25 @@ void ShardedRuntime::handle(Shard& shard, Job& job) {
     Job next;
     next.kind = Job::Kind::Frame;
     next.dev = dst;
-    next.bytes = dvm::encode_frame(envs, &shard.transfer_cache);
+    next.bytes = dvm::encode_frame(envs, &shard.transfer_cache,
+                                   &shard.channel_encoders);
     shard.local.frames += 1;
     shard.local.envelopes += envs.size();
     shard.local.frame_bytes += next.bytes.size();
     shard.local.batch_size.add(static_cast<double>(envs.size()));
     enqueue(std::move(next));
+  }
+  by_dst.clear();  // outgoing refs die before a collection can move them
+  // Threshold-triggered mark/sweep of this device's BDD space. Root
+  // enumeration walks the whole verifier state, so it only happens when a
+  // collection is actually due. Every localized ref is reachable from the
+  // verifier or the channel decoder tables: outgoing envelopes were
+  // already flattened to bytes above.
+  if (dev.space->manager().gc_pending(cfg_.bdd_gc_node_threshold)) {
+    std::vector<bdd::NodeRef> roots;
+    dev.verifier->collect_refs(roots);
+    dev.channels->collect_refs(roots);
+    dev.space->manager().maybe_gc(roots, cfg_.bdd_gc_node_threshold);
   }
 }
 

@@ -28,6 +28,7 @@
 #include <vector>
 
 #include "bdd/serialize.hpp"
+#include "dvm/codec.hpp"
 #include "fib/update_stream.hpp"
 #include "planner/planner.hpp"
 #include "runtime/metrics.hpp"
@@ -116,6 +117,9 @@ class ShardedRuntime {
     DeviceId dev = kNoDevice;
     std::unique_ptr<packet::PacketSpace> space;
     std::unique_ptr<verifier::OnDeviceVerifier> verifier;
+    // Per-source node-ID delta decoders (bound to this device's manager);
+    // their stream tables are part of this device's gc roots.
+    std::unique_ptr<dvm::ChannelDecoders> channels;
   };
 
   struct Shard {
@@ -123,8 +127,12 @@ class ShardedRuntime {
     std::condition_variable cv;
     std::vector<Job> queue;  // MPSC: any thread pushes, shard thread drains
     std::thread thread;
-    // Written by the shard thread only (read after quiescence).
+    // Written by the shard thread only (read after quiescence). A device
+    // always runs on its home shard, so the per-(src, dst) channel
+    // encoders here see each source's messages in emission order — the
+    // FIFO discipline the delta streams require.
     bdd::SerializeCache transfer_cache;
+    dvm::ChannelEncoders channel_encoders;
     RuntimeMetrics local;
   };
 

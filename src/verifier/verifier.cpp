@@ -246,4 +246,22 @@ std::size_t OnDeviceVerifier::memory_bytes() const {
   return bytes;
 }
 
+void OnDeviceVerifier::collect_refs(std::vector<bdd::NodeRef>& out) const {
+  for (const fib::Rule* r : fib_.ordered()) {
+    if (r->extra_match) {
+      out.push_back(r->extra_match->ref_if_materialized());
+    }
+  }
+  lec_.collect_refs(out);
+  for (const auto& inst : installed_) {
+    out.push_back(inst.inv->packet_space.ref_if_materialized());
+    inst.engine->collect_refs(out);
+  }
+  for (const auto& mp : multipath_) {
+    out.push_back(mp.inv->a.space.ref_if_materialized());
+    out.push_back(mp.inv->b.space.ref_if_materialized());
+    mp.engine->collect_refs(out);
+  }
+}
+
 }  // namespace tulkun::verifier

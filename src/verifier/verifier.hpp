@@ -87,6 +87,12 @@ class OnDeviceVerifier {
   /// CIB predicates and counts) — the §9.4 memory metric.
   [[nodiscard]] std::size_t memory_bytes() const;
 
+  /// Appends every BDD ref reachable from this verifier's state (FIB extra
+  /// matches, LEC table, installed invariants, engine tables, violations).
+  /// Together with any codec channel tables, this is the complete gc root
+  /// set for a device whose space is private to the runtime.
+  void collect_refs(std::vector<bdd::NodeRef>& out) const;
+
  private:
   /// Re-resolves the active fault scene of each engine from the flooding
   /// agent's failed-link set.

@@ -1,0 +1,235 @@
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "bdd/manager.hpp"
+#include "bdd/serialize.hpp"
+
+namespace tulkun::bdd {
+namespace {
+
+// Parity over vars [lo, lo + width): a function with a non-trivial,
+// predictable node count.
+NodeRef parity(Manager& mgr, std::uint32_t width, std::uint32_t lo = 0) {
+  NodeRef acc = kFalse;
+  for (std::uint32_t v = lo; v < lo + width; ++v) {
+    acc = mgr.lxor(acc, mgr.var(v));
+  }
+  return acc;
+}
+
+TEST(ManagerGcTest, KeepsRootsAndReclaimsGarbage) {
+  Manager mgr(16);
+  const NodeRef keep = parity(mgr, 8);
+  const std::size_t keep_nodes = mgr.node_count(keep);
+  // Garbage: a pile of conjunctions we drop on the floor.
+  for (std::uint32_t v = 0; v + 1 < 16; ++v) {
+    (void)mgr.land(mgr.var(v), mgr.nvar(v + 1));
+  }
+  ASSERT_GT(mgr.live_node_count(), keep_nodes);
+
+  const std::uint64_t epoch_before = mgr.epoch();
+  const std::vector<NodeRef> roots{keep};
+  const std::size_t reclaimed = mgr.gc(roots);
+
+  EXPECT_GT(reclaimed, 0u);
+  EXPECT_EQ(mgr.live_node_count(), keep_nodes);
+  EXPECT_EQ(mgr.epoch(), epoch_before + 1);
+  EXPECT_EQ(mgr.gc_runs(), 1u);
+  EXPECT_EQ(mgr.gc_reclaimed(), reclaimed);
+  // The root's structure survived in place.
+  EXPECT_EQ(mgr.node_count(keep), keep_nodes);
+  EXPECT_DOUBLE_EQ(mgr.sat_count(keep), mgr.sat_count(keep));
+}
+
+TEST(ManagerGcTest, FreedSlotsAreReusedAndOpsStayCanonical) {
+  Manager mgr(16);
+  const NodeRef keep = parity(mgr, 6);
+  for (std::uint32_t v = 0; v < 10; ++v) {
+    (void)mgr.lor(mgr.var(v), mgr.var((v + 3) % 16));
+  }
+  const std::size_t arena_before = mgr.arena_size();
+  const std::vector<NodeRef> roots{keep};
+  (void)mgr.gc(roots);
+
+  // Rebuilding the same garbage fits in the freed slots: no arena growth.
+  for (std::uint32_t v = 0; v < 10; ++v) {
+    (void)mgr.lor(mgr.var(v), mgr.var((v + 3) % 16));
+  }
+  EXPECT_EQ(mgr.arena_size(), arena_before);
+
+  // Canonicity holds across the collection: the kept root is the unique
+  // representation, so rebuilding the same function yields the same ref.
+  EXPECT_EQ(parity(mgr, 6), keep);
+  // And ops on survivors are still correct (caches were cleared, not stale).
+  EXPECT_EQ(mgr.land(keep, mgr.negate(keep)), kFalse);
+  EXPECT_EQ(mgr.lor(keep, mgr.negate(keep)), kTrue);
+}
+
+TEST(ManagerGcTest, EmptyRootsReclaimEverything) {
+  Manager mgr(8);
+  (void)parity(mgr, 8);
+  ASSERT_GT(mgr.live_node_count(), 0u);
+  (void)mgr.gc({});
+  EXPECT_EQ(mgr.live_node_count(), 0u);
+  // Terminals are always live.
+  EXPECT_EQ(mgr.land(kTrue, kTrue), kTrue);
+}
+
+TEST(ManagerGcTest, MaybeGcPolicy) {
+  // One fixed threshold per manager, like the runtime's per-device knob
+  // (the first maybe_gc call latches the trigger floor).
+  constexpr std::size_t kThreshold = 64;
+  Manager mgr(16);
+  const NodeRef keep = parity(mgr, 4);
+  const std::vector<NodeRef> roots{keep};
+
+  // threshold 0 disables.
+  EXPECT_FALSE(mgr.gc_pending(0));
+  EXPECT_FALSE(mgr.maybe_gc(roots, 0));
+
+  // Below threshold: not pending, no collection.
+  ASSERT_LT(mgr.live_node_count(), kThreshold);
+  EXPECT_FALSE(mgr.gc_pending(kThreshold));
+  EXPECT_FALSE(mgr.maybe_gc(roots, kThreshold));
+  EXPECT_EQ(mgr.gc_runs(), 0u);
+
+  // Grow past the threshold.
+  for (std::uint32_t width = 2; mgr.live_node_count() < kThreshold; ++width) {
+    (void)parity(mgr, width);
+  }
+  ASSERT_TRUE(mgr.gc_pending(kThreshold));
+  EXPECT_TRUE(mgr.maybe_gc(roots, kThreshold));
+  EXPECT_EQ(mgr.gc_runs(), 1u);
+  // After the collection the trigger re-arms above the surviving live set,
+  // so an immediate retry does not thrash.
+  EXPECT_FALSE(mgr.gc_pending(kThreshold));
+  EXPECT_FALSE(mgr.maybe_gc(roots, kThreshold));
+  EXPECT_EQ(mgr.gc_runs(), 1u);
+}
+
+TEST(ManagerGcTest, ProcessGlobalTotalsAccumulate) {
+  const GcTotals before = gc_totals();
+  Manager mgr(8);
+  (void)parity(mgr, 8);
+  const std::size_t reclaimed = mgr.gc({});
+  const GcTotals after = gc_totals();
+  EXPECT_EQ(after.runs, before.runs + 1);
+  EXPECT_EQ(after.reclaimed_nodes, before.reclaimed_nodes + reclaimed);
+}
+
+// Cross-manager canonical comparison: serialize() bytes are canonical.
+bool same_function(const Manager& a, NodeRef ra, const Manager& b,
+                   NodeRef rb) {
+  return serialize(a, ra) == serialize(b, rb);
+}
+
+TEST(NodeChannelTest, RoundTripAndDeltaReuse) {
+  Manager sender(16);
+  Manager receiver(16);
+  NodeChannelEncoder enc(sender);
+  NodeChannelDecoder dec(receiver);
+
+  // Parity over vars 1..8 so a later predicate can branch above it (var 0
+  // is topmost) and share the whole structure.
+  const NodeRef p = parity(sender, 8, /*lo=*/1);
+  std::vector<std::uint8_t> wire;
+  enc.encode(p, wire);
+  const std::size_t first_size = wire.size();
+  EXPECT_EQ(enc.roots_encoded(), 1u);
+  EXPECT_EQ(enc.nodes_shipped(), sender.node_count(p));
+  EXPECT_EQ(enc.resets(), 1u);  // first use always resets
+
+  std::size_t pos = 0;
+  const NodeRef got = dec.decode(wire, pos);
+  EXPECT_EQ(pos, wire.size());
+  EXPECT_TRUE(same_function(sender, p, receiver, got));
+
+  // Re-sending the same root ships zero nodes: flags + n_new + root_id.
+  wire.clear();
+  enc.encode(p, wire);
+  EXPECT_EQ(wire.size(), 9u);
+  EXPECT_LT(wire.size(), first_size);
+  EXPECT_EQ(enc.nodes_shipped(), sender.node_count(p));
+
+  pos = 0;
+  EXPECT_TRUE(same_function(sender, p, receiver, dec.decode(wire, pos)));
+
+  // A structurally overlapping predicate ships only its new nodes:
+  // var(0) AND p is one fresh node on top of the already-shipped p.
+  const NodeRef q = sender.land(sender.var(0), p);
+  wire.clear();
+  enc.encode(q, wire);
+  EXPECT_EQ(enc.nodes_shipped(), sender.node_count(p) + 1);
+  pos = 0;
+  EXPECT_TRUE(same_function(sender, q, receiver, dec.decode(wire, pos)));
+}
+
+TEST(NodeChannelTest, ResetsWhenSenderEpochMoves) {
+  Manager sender(16);
+  Manager receiver(16);
+  NodeChannelEncoder enc(sender);
+  NodeChannelDecoder dec(receiver);
+
+  NodeRef p = parity(sender, 8);
+  std::vector<std::uint8_t> wire;
+  enc.encode(p, wire);
+  std::size_t pos = 0;
+  (void)dec.decode(wire, pos);
+  ASSERT_EQ(enc.resets(), 1u);
+  ASSERT_GT(dec.table_size(), 0u);
+
+  // A collection on the sender bumps its epoch; freed slots may be reissued
+  // for different nodes, so the next encode must start a fresh stream.
+  const std::vector<NodeRef> roots{p};
+  (void)sender.gc(roots);
+  wire.clear();
+  enc.encode(p, wire);
+  EXPECT_EQ(enc.resets(), 2u);
+  pos = 0;
+  const NodeRef got = dec.decode(wire, pos);
+  EXPECT_TRUE(same_function(sender, p, receiver, got));
+
+  // The reset cleared and repopulated the decoder table.
+  EXPECT_EQ(dec.table_size(), sender.node_count(p));
+}
+
+TEST(NodeChannelTest, DecoderTableSurvivesReceiverGcViaCollectRefs) {
+  Manager sender(16);
+  Manager receiver(16);
+  NodeChannelEncoder enc(sender);
+  NodeChannelDecoder dec(receiver);
+
+  const NodeRef p = parity(sender, 8);
+  std::vector<std::uint8_t> wire;
+  enc.encode(p, wire);
+  std::size_t pos = 0;
+  const NodeRef got = dec.decode(wire, pos);
+
+  // Collect the decoder table as roots; the rebuilt predicate must survive
+  // a receiver-side collection so later stream ids still resolve.
+  std::vector<NodeRef> roots;
+  dec.collect_refs(roots);
+  (void)receiver.gc(roots);
+  EXPECT_TRUE(same_function(sender, p, receiver, got));
+
+  // The stream keeps working: the sender references only already-shipped
+  // nodes, the receiver resolves them from its (still live) table.
+  wire.clear();
+  enc.encode(p, wire);
+  EXPECT_EQ(wire.size(), 9u);
+  pos = 0;
+  EXPECT_TRUE(same_function(sender, p, receiver, dec.decode(wire, pos)));
+}
+
+TEST(NodeChannelTest, MalformedStreamThrows) {
+  Manager receiver(16);
+  NodeChannelDecoder dec(receiver);
+  // Truncated: flags byte only.
+  const std::vector<std::uint8_t> bad{0x01};
+  std::size_t pos = 0;
+  EXPECT_THROW((void)dec.decode(bad, pos), Error);
+}
+
+}  // namespace
+}  // namespace tulkun::bdd

@@ -1,0 +1,205 @@
+// Wire-form selection tests for the predicate tiers: interval-atom form
+// for dst-only predicates, node-ID delta streams for BDD predicates on a
+// channel, and the self-contained blob fallback.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "dvm/codec.hpp"
+#include "pred/atom_set.hpp"
+
+namespace tulkun::dvm {
+namespace {
+
+// Restores the process-global atom switch on scope exit.
+class AtomToggleGuard {
+ public:
+  AtomToggleGuard() : was_(pred::atom_path_enabled()) {}
+  ~AtomToggleGuard() { pred::set_atom_path_enabled(was_); }
+
+ private:
+  bool was_;
+};
+
+Envelope update_env(packet::PacketSpace& space, packet::PacketSet pred,
+                    DeviceId src = 2, DeviceId dst = 5) {
+  UpdateMessage u;
+  u.invariant = 1;
+  u.up_node = 0;
+  u.down_node = 1;
+  CountEntry e;
+  e.pred = std::move(pred);
+  e.counts = count::CountSet::singleton(count::CountVec{1});
+  u.results.push_back(std::move(e));
+  return Envelope{src, dst, std::move(u)};
+}
+
+const packet::PacketSet& update_pred(const Envelope& env) {
+  return std::get<UpdateMessage>(env.msg).results.at(0).pred;
+}
+
+TEST(CodecChannelTest, AtomFormIsCompactAndSkipsReceiverBddWork) {
+  AtomToggleGuard guard;
+  packet::PacketSpace src;
+  packet::PacketSpace dst;
+  const auto prefix = packet::Ipv4Prefix::parse("10.0.0.0/24");
+
+  pred::set_atom_path_enabled(true);
+  const auto atom_bytes = encode(update_env(src, src.dst_prefix(prefix)));
+
+  pred::set_atom_path_enabled(false);
+  packet::PacketSpace src2;  // fresh space so the pred is built BDD-only
+  const auto blob_bytes = encode(update_env(src2, src2.dst_prefix(prefix)));
+
+  // Interval form: 1 tag + 4 count + 8 bytes per interval, vs a node list.
+  EXPECT_LT(atom_bytes.size(), blob_bytes.size());
+
+  pred::set_atom_path_enabled(true);
+  const Envelope back = decode(atom_bytes, dst);
+  EXPECT_EQ(update_pred(back), dst.dst_prefix(prefix));
+  // The receiver interned the interval list directly; no BDD was built.
+  EXPECT_NE(update_pred(back).atom_ref(), pred::kNoAtom);
+}
+
+TEST(CodecChannelTest, NonCanonicalIntervalListRejected) {
+  AtomToggleGuard guard;
+  pred::set_atom_path_enabled(true);
+  packet::PacketSpace src;
+  packet::PacketSpace dst;
+
+  // 10.0.0.0/24 ships as one interval: lo 0x0a000000, hi_incl 0x0a0000ff.
+  auto bytes = encode(
+      update_env(src, src.dst_prefix(packet::Ipv4Prefix::parse("10.0.0.0/24"))));
+  const std::vector<std::uint8_t> interval{
+      0x01, 0x00, 0x00, 0x00,              // n = 1
+      0x00, 0x00, 0x00, 0x0a,              // lo  (LE)
+      0xff, 0x00, 0x00, 0x0a,              // hi_incl (LE)
+  };
+  auto it = std::search(bytes.begin(), bytes.end(), interval.begin(),
+                        interval.end());
+  ASSERT_NE(it, bytes.end());
+  // Corrupt hi_incl below lo: an impossible (empty/backwards) interval.
+  *(it + 11) = 0x00;
+  EXPECT_THROW((void)decode(bytes, dst), CodecError);
+}
+
+TEST(CodecChannelTest, DeltaRoundTripAndReuse) {
+  packet::PacketSpace src;
+  packet::PacketSpace dst;
+  ChannelEncoders encs;
+  ChannelDecoders decs(dst.manager());
+
+  // A src-prefix predicate has no atom form, so with a channel configured
+  // it ships as a node-ID delta.
+  const auto pred = src.src_prefix(packet::Ipv4Prefix::parse("172.16.0.0/12"));
+  ASSERT_EQ(pred.atom_ref(), pred::kNoAtom);
+
+  const Envelope env = update_env(src, pred);
+  const auto first = encode(env, nullptr, &encs);
+  const Envelope back =
+      decode(first, dst, default_decode_limits(), &decs);
+  EXPECT_EQ(update_pred(back),
+            dst.src_prefix(packet::Ipv4Prefix::parse("172.16.0.0/12")));
+  EXPECT_GT(encs.roots_encoded(), 0u);
+  EXPECT_GT(encs.nodes_shipped(), 0u);
+
+  // Re-sending the same predicate ships zero nodes: the frame shrinks.
+  const auto second = encode(env, nullptr, &encs);
+  EXPECT_LT(second.size(), first.size());
+  const Envelope back2 =
+      decode(second, dst, default_decode_limits(), &decs);
+  EXPECT_EQ(update_pred(back2), update_pred(back));
+
+  // The decoder tables are gc roots on the receiving manager.
+  std::vector<bdd::NodeRef> roots;
+  decs.collect_refs(roots);
+  EXPECT_FALSE(roots.empty());
+}
+
+TEST(CodecChannelTest, DeltaPredicateWithoutChannelThrows) {
+  packet::PacketSpace src;
+  packet::PacketSpace dst;
+  ChannelEncoders encs;
+
+  const Envelope env = update_env(
+      src, src.src_prefix(packet::Ipv4Prefix::parse("172.16.0.0/12")));
+  const auto bytes = encode(env, nullptr, &encs);
+  // Decoding a delta-form predicate requires the matching channel state.
+  EXPECT_THROW((void)decode(bytes, dst), CodecError);
+}
+
+TEST(CodecChannelTest, ChannelsArePerSourceStream) {
+  packet::PacketSpace a;
+  packet::PacketSpace b;
+  packet::PacketSpace dst;
+  ChannelEncoders encs_a;
+  ChannelEncoders encs_b;
+  ChannelDecoders decs(dst.manager());
+
+  const auto pa = a.src_prefix(packet::Ipv4Prefix::parse("10.0.0.0/8"));
+  const auto pb = b.src_prefix(packet::Ipv4Prefix::parse("10.0.0.0/8"));
+  const auto fa = encode(update_env(a, pa, /*src=*/7), nullptr, &encs_a);
+  const auto fb = encode(update_env(b, pb, /*src=*/8), nullptr, &encs_b);
+
+  // Interleaved delivery from two sources decodes correctly because the
+  // receiver keys its decoder table by envelope source.
+  const Envelope ba = decode(fa, dst, default_decode_limits(), &decs);
+  const Envelope bb = decode(fb, dst, default_decode_limits(), &decs);
+  EXPECT_EQ(update_pred(ba), update_pred(bb));
+
+  const auto fa2 = encode(update_env(a, pa, /*src=*/7), nullptr, &encs_a);
+  EXPECT_LT(fa2.size(), fa.size());
+  const Envelope ba2 = decode(fa2, dst, default_decode_limits(), &decs);
+  EXPECT_EQ(update_pred(ba2), update_pred(ba));
+}
+
+TEST(CodecChannelTest, FrameLevelChannelPassthrough) {
+  packet::PacketSpace src;
+  packet::PacketSpace dst;
+  ChannelEncoders encs;
+  ChannelDecoders decs(dst.manager());
+
+  std::vector<Envelope> envs;
+  envs.push_back(update_env(
+      src, src.src_prefix(packet::Ipv4Prefix::parse("172.16.0.0/12"))));
+  envs.push_back(update_env(
+      src, src.dst_prefix(packet::Ipv4Prefix::parse("10.1.0.0/16"))));
+  LinkStateMessage l;
+  l.link = LinkId{0, 1};
+  l.seq = 3;
+  l.origin = 2;
+  envs.push_back(Envelope{2, 5, l});
+
+  const auto frame1 = encode_frame(envs, nullptr, &encs);
+  const auto out1 = decode_frame(frame1, dst, default_decode_limits(), &decs);
+  ASSERT_EQ(out1.size(), envs.size());
+  EXPECT_EQ(update_pred(out1[0]),
+            dst.src_prefix(packet::Ipv4Prefix::parse("172.16.0.0/12")));
+  EXPECT_EQ(update_pred(out1[1]),
+            dst.dst_prefix(packet::Ipv4Prefix::parse("10.1.0.0/16")));
+
+  // Repeating the frame reuses the stream: strictly fewer wire bytes.
+  const auto frame2 = encode_frame(envs, nullptr, &encs);
+  EXPECT_LT(frame2.size(), frame1.size());
+  const auto out2 = decode_frame(frame2, dst, default_decode_limits(), &decs);
+  ASSERT_EQ(out2.size(), envs.size());
+  EXPECT_EQ(update_pred(out2[0]), update_pred(out1[0]));
+}
+
+TEST(CodecChannelTest, BlobFallbackStillRoundTrips) {
+  AtomToggleGuard guard;
+  pred::set_atom_path_enabled(false);
+  packet::PacketSpace src;
+  packet::PacketSpace dst;
+
+  const auto prefix = packet::Ipv4Prefix::parse("10.2.0.0/16");
+  const Envelope back = decode(encode(update_env(src, src.dst_prefix(prefix))),
+                               dst);
+  EXPECT_EQ(update_pred(back), dst.dst_prefix(prefix));
+}
+
+}  // namespace
+}  // namespace tulkun::dvm

@@ -5,6 +5,8 @@
 #include <functional>
 #include <span>
 
+#include "pred/atom_set.hpp"
+
 namespace tulkun::dvm {
 namespace {
 
@@ -179,7 +181,10 @@ TEST_F(CodecTest, EmptyFrameRoundTrips) {
 
 TEST_F(CodecTest, FrameWithSerializeCacheMatchesUncached) {
   // Repeated predicates across envelopes hit the cache; the bytes must be
-  // identical either way.
+  // identical either way. The cache only serves the blob form, so pin the
+  // atom fast path off (dst-only predicates would ship as intervals).
+  const bool atoms_were_enabled = pred::atom_path_enabled();
+  pred::set_atom_path_enabled(false);
   auto envs = sample_envelopes(src);
   auto more = sample_envelopes(src);
   envs.insert(envs.end(), more.begin(), more.end());
@@ -188,6 +193,7 @@ TEST_F(CodecTest, FrameWithSerializeCacheMatchesUncached) {
   const auto plain = encode_frame(envs, nullptr);
   EXPECT_EQ(cached, plain);
   EXPECT_GT(cache.hits(), 0u);
+  pred::set_atom_path_enabled(atoms_were_enabled);
 }
 
 TEST_F(CodecTest, TruncatedInputsFailCleanly) {
@@ -284,10 +290,12 @@ TEST_F(CodecTest, HostileCountTupleHeaderRejected) {
   put_u32(bytes, 0);  // no withdrawn
   put_u32(bytes, 1);  // one result entry...
   {
-    // ...whose predicate is a valid serialization of "all packets".
+    // ...whose predicate is a valid blob-form serialization of "all
+    // packets" (tag 0 = kPredBlob, then length-prefixed node list).
     const auto pred = bdd::serialize(
         src.manager(),
         src.dst_prefix(packet::Ipv4Prefix::parse("0.0.0.0/0")).ref());
+    bytes.push_back(0);
     put_u32(bytes, static_cast<std::uint32_t>(pred.size()));
     bytes.insert(bytes.end(), pred.begin(), pred.end());
   }

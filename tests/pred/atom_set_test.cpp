@@ -1,0 +1,141 @@
+#include "pred/atom_set.hpp"
+
+#include <gtest/gtest.h>
+
+#include "packet/packet_set.hpp"
+
+namespace tulkun::pred {
+namespace {
+
+packet::Ipv4Prefix pfx(std::uint32_t addr, std::uint8_t len) {
+  return packet::Ipv4Prefix{addr, len};
+}
+
+class AtomStoreTest : public ::testing::Test {
+ protected:
+  bdd::Manager mgr{packet::Layout::kNumVars};
+  AtomStore store{mgr};
+};
+
+TEST_F(AtomStoreTest, TerminalsArePreInterned) {
+  EXPECT_EQ(store.addr_count(kAtomEmpty), 0u);
+  EXPECT_EQ(store.addr_count(kAtomAll), 1ull << 32);
+  EXPECT_TRUE(store.intervals(kAtomEmpty).empty());
+  ASSERT_EQ(store.intervals(kAtomAll).size(), 1u);
+  EXPECT_EQ(store.intervals(kAtomAll)[0], (Interval{0, 1ull << 32}));
+}
+
+TEST_F(AtomStoreTest, InterningIsCanonical) {
+  const AtomRef a = store.from_prefix(pfx(0x0a000000, 8));  // 10.0.0.0/8
+  const AtomRef b = store.from_prefix(pfx(0x0a000000, 8));
+  EXPECT_EQ(a, b);
+  EXPECT_EQ(store.addr_count(a), 1ull << 24);
+
+  // The same set reached through different operations interns to one id.
+  const AtomRef lo = store.from_range(0x0a000000, 0x0a800000);
+  const AtomRef hi = store.from_range(0x0a800000, 0x0b000000);
+  EXPECT_EQ(store.unite(lo, hi), a);
+  // Adjacent halves coalesce to a single interval.
+  EXPECT_EQ(store.intervals(a).size(), 1u);
+}
+
+TEST_F(AtomStoreTest, SetAlgebra) {
+  const AtomRef a = store.from_prefix(pfx(0x0a000000, 8));
+  const AtomRef b = store.from_prefix(pfx(0x0a100000, 12));  // 10.16/12 ⊂ a
+  const AtomRef c = store.from_prefix(pfx(0x14000000, 8));   // 20/8, disjoint
+
+  EXPECT_EQ(store.intersect(a, b), b);
+  EXPECT_EQ(store.intersect(a, c), kAtomEmpty);
+  EXPECT_EQ(store.unite(a, kAtomEmpty), a);
+  EXPECT_EQ(store.intersect(a, kAtomAll), a);
+  EXPECT_EQ(store.subtract(a, a), kAtomEmpty);
+  EXPECT_EQ(store.subtract(b, c), b);
+  EXPECT_EQ(store.addr_count(store.subtract(a, b)),
+            (1ull << 24) - (1ull << 20));
+  EXPECT_EQ(store.complement(kAtomEmpty), kAtomAll);
+  EXPECT_EQ(store.complement(store.complement(a)), a);
+
+  EXPECT_TRUE(store.intersects(a, b));
+  EXPECT_FALSE(store.intersects(a, c));
+  EXPECT_TRUE(store.subset(b, a));
+  EXPECT_FALSE(store.subset(a, b));
+  EXPECT_TRUE(store.subset(kAtomEmpty, c));
+  EXPECT_TRUE(store.subset(c, kAtomAll));
+}
+
+TEST_F(AtomStoreTest, HeaderCountMatchesBddSatCount) {
+  const AtomRef a = store.from_prefix(pfx(0x0a000000, 8));
+  const AtomRef odd = store.unite(a, store.from_range(17, 23));
+  for (const AtomRef r : {kAtomEmpty, kAtomAll, a, odd}) {
+    EXPECT_DOUBLE_EQ(store.header_count(r),
+                     mgr.sat_count(store.materialize(r)));
+  }
+}
+
+TEST_F(AtomStoreTest, HullMatchesLongestCommonPrefix) {
+  const AtomRef a = store.from_prefix(pfx(0x0a000000, 8));
+  EXPECT_EQ(store.hull(a), pfx(0x0a000000, 8));
+
+  // 10.0/9 ∪ 10.128/9 hulls back to 10/8; 10/8 ∪ 20/8 hulls to 0/3.
+  const AtomRef split = store.unite(store.from_prefix(pfx(0x0a000000, 9)),
+                                    store.from_prefix(pfx(0x0a800000, 9)));
+  EXPECT_EQ(store.hull(split), pfx(0x0a000000, 8));
+  const AtomRef wide = store.unite(a, store.from_prefix(pfx(0x14000000, 8)));
+  EXPECT_EQ(store.hull(wide), pfx(0x00000000, 3));
+  EXPECT_EQ(store.hull(kAtomAll), pfx(0, 0));
+}
+
+TEST_F(AtomStoreTest, MaterializePromoteRoundTrip) {
+  const AtomRef a = store.unite(store.from_prefix(pfx(0x0a000000, 8)),
+                                store.from_range(100, 200));
+  const bdd::NodeRef r = store.materialize(a);
+  EXPECT_EQ(store.promote(r), a);
+  // Memoized: a second materialize returns the identical ref.
+  EXPECT_EQ(store.materialize(a), r);
+  EXPECT_EQ(store.materialize(kAtomEmpty), bdd::kFalse);
+  EXPECT_EQ(store.materialize(kAtomAll), bdd::kTrue);
+  EXPECT_EQ(store.promote(bdd::kFalse), kAtomEmpty);
+  EXPECT_EQ(store.promote(bdd::kTrue), kAtomAll);
+}
+
+TEST_F(AtomStoreTest, PromoteRejectsMultiFieldPredicates) {
+  // A src-prefix constraint depends on non-dst variables.
+  packet::PacketSpace space;
+  const auto p = space.src_prefix(pfx(0x0a000000, 8));
+  EXPECT_EQ(space.atoms().promote(p.ref()), kNoAtom);
+  // dst ∧ src is still multi-field.
+  const auto both = p & space.dst_prefix(pfx(0x14000000, 8));
+  EXPECT_EQ(space.atoms().promote(both.ref()), kNoAtom);
+}
+
+TEST_F(AtomStoreTest, PromoteRecoversWireFormSets) {
+  const AtomRef a = store.from_intervals({{0, 16}, {32, 48}, {256, 4096}});
+  EXPECT_EQ(store.promote(store.materialize(a)), a);
+  EXPECT_EQ(store.addr_count(a), 16u + 16u + 3840u);
+}
+
+TEST_F(AtomStoreTest, GaugesTrackStore) {
+  const auto before = atom_counters_snapshot();
+  {
+    bdd::Manager m2{packet::Layout::kNumVars};
+    AtomStore other{m2};
+    (void)other.from_range(12345, 99999);
+    const auto during = atom_counters_snapshot();
+    EXPECT_GT(during.atom_table_size, before.atom_table_size);
+  }
+  // Destruction subtracts the store's gauge contribution back out.
+  const auto after = atom_counters_snapshot();
+  EXPECT_EQ(after.atom_table_size, before.atom_table_size);
+}
+
+TEST_F(AtomStoreTest, MemoSurvivesLockstepMode) {
+  set_atom_lockstep_check(true);
+  const AtomRef a = store.from_prefix(pfx(0xc0a80000, 16));
+  const AtomRef b = store.from_prefix(pfx(0xc0a80100, 24));
+  EXPECT_EQ(store.unite(a, b), a);
+  EXPECT_EQ(store.promote(store.materialize(a)), a);
+  set_atom_lockstep_check(false);
+}
+
+}  // namespace
+}  // namespace tulkun::pred

@@ -5,6 +5,7 @@
 #include <chrono>
 #include <future>
 
+#include "pred/atom_set.hpp"
 #include "spec/builtins.hpp"
 #include "testutil/figure2.hpp"
 
@@ -162,6 +163,10 @@ TEST_F(ShardedRuntimeTest, QuiescenceNeverMissesTheLastDecrement) {
 }
 
 TEST_F(ShardedRuntimeTest, MetricsObserveBatchingAndTransferCache) {
+  // Dst-only predicates ship as interval atoms and never touch the
+  // serialize cache; pin the cache behavior on the BDD wire path.
+  const bool atoms_were_enabled = pred::atom_path_enabled();
+  pred::set_atom_path_enabled(false);
   const auto plan = planner.plan(b.waypoint(fig.P1(), fig.S, fig.W, fig.D));
   ShardedRuntime rt(fig.topo, shards(2));
   rt.install(plan);
@@ -178,9 +183,14 @@ TEST_F(ShardedRuntimeTest, MetricsObserveBatchingAndTransferCache) {
   EXPECT_GT(m.frames, 0u);
   EXPECT_GE(m.envelopes, m.frames);  // frames coalesce >= 1 envelope each
   EXPECT_GT(m.frame_bytes, 0u);
-  // Every frame predicate went through the per-shard serialize cache.
-  EXPECT_GT(m.transfer_cache_hits + m.transfer_cache_misses, 0u);
+  // Every frame predicate went through the per-shard delta channels (which
+  // supersede the serialize cache on this path — the cache stays as the
+  // channel-less fallback used by DistributedRuntime).
+  EXPECT_GT(m.channel_roots, 0u);
+  EXPECT_GT(m.channel_nodes_shipped, 0u);
+  EXPECT_EQ(m.transfer_cache_hits + m.transfer_cache_misses, 0u);
   EXPECT_FALSE(m.queue_wait_seconds.empty());
+  pred::set_atom_path_enabled(atoms_were_enabled);
 }
 
 }  // namespace
