@@ -1,15 +1,60 @@
+// Planner benchmarks.
+//
 // Figure 13: planner latency to compute the k-link-failure-tolerant
 // DPVNets, k = 0..3 (k=3 only under --full; scene counts are capped and
 // flagged when the combinatorics exceed the cap, as discussed in
 // EXPERIMENTS.md).
+//
+// Planner scaling (BENCH_PLANNER.json): multi-tenant PlanService profiles
+// at 1k/5k concurrent intents — serial vs parallel commit walls, a modeled
+// 8-worker makespan (list scheduling over the measured per-invariant plan
+// times; see EXPERIMENTS.md for why the model is reported alongside the
+// real wall on few-core hosts), incremental replan latency under link
+// churn vs the full-replan baseline, union-DAG sharing, and DFA-cache
+// effectiveness. Digest equality between the serial and parallel services
+// is asserted and recorded.
+#include <algorithm>
 #include <chrono>
+#include <map>
+#include <numeric>
+#include <set>
+#include <thread>
 
 #include "common.hpp"
+#include "fib/update_stream.hpp"
+#include "planner/plan_digest.hpp"
+#include "planner/plan_service.hpp"
+#include "planner/union_net.hpp"
 #include "spec/builtins.hpp"
+#include "topo/generators.hpp"
+
+namespace {
+
+double median(std::vector<double> v) {
+  if (v.empty()) return 0.0;
+  std::sort(v.begin(), v.end());
+  return v[v.size() / 2];
+}
+
+/// List-scheduled makespan: tasks placed in id (FIFO) order onto the
+/// least-loaded of `workers` workers. With measured per-invariant plan
+/// times as input this models the parallel commit's critical path without
+/// needing `workers` physical cores.
+double modeled_makespan(const std::vector<double>& task_seconds,
+                        std::size_t workers) {
+  std::vector<double> load(workers, 0.0);
+  for (const double t : task_seconds) {
+    *std::min_element(load.begin(), load.end()) += t;
+  }
+  return *std::max_element(load.begin(), load.end());
+}
+
+}  // namespace
 
 int main(int argc, char** argv) {
   using namespace tulkun;
   const auto args = bench::Args::parse(argc, argv);
+  bench::JsonReport json;
   const std::uint32_t max_k = args.full ? 3 : 2;
   const std::size_t scene_cap = args.full ? 4096 : 512;
 
@@ -75,5 +120,223 @@ int main(int argc, char** argv) {
     }
     std::cout << "\n";
   }
+
+  // == Planner scaling: multi-tenant intent sets ==
+  //
+  // Data-center-scale intent counts on one mid-size WAN: per-(src, dst)
+  // shortest+1 reachability stamped out 1000/5000 times. "Serial" is the
+  // pre-PlanService behavior (replan everything, one thread); the modeled
+  // 8-worker makespan and the incremental flap latency are the two
+  // headline numbers of BENCH_PLANNER.json.
+  const std::size_t host_cores = std::thread::hardware_concurrency();
+  json.add("planner.host_cores", static_cast<std::uint64_t>(host_cores));
+  constexpr std::size_t kModelWorkers = 8;
+  for (const std::size_t n_intents : {std::size_t{1000}, std::size_t{5000}}) {
+    const std::string prof = "intents" + std::to_string(n_intents);
+    const std::string p = "planner." + prof + ".";
+    const int reps = args.full ? 5 : (n_intents >= 5000 ? 1 : 3);
+
+    const auto topo = topo::synthetic_wan("pl", 64, 128, args.seed);
+    fib::NetworkFib net(topo);
+    auto& space = net.space();
+    spec::Builtins b(topo, space);
+    std::vector<spec::Invariant> invs;
+    invs.reserve(n_intents);
+    const auto n = topo.device_count();
+    for (std::size_t i = 0; i < n_intents; ++i) {
+      const DeviceId dst = static_cast<DeviceId>(i % n);
+      DeviceId src = static_cast<DeviceId>((dst + 1 + i / n) % n);
+      if (src == dst) src = static_cast<DeviceId>((src + 1) % n);
+      invs.push_back(b.shortest_plus_reachability(
+          space.dst_prefix(topo.prefixes(dst).front()), src, dst, 1));
+    }
+
+    const auto fill = [&](planner::PlanService& svc) {
+      for (const auto& inv : invs) svc.add_invariant(inv);
+    };
+    const auto opts_for = [](std::size_t workers, bool incremental) {
+      planner::PlanServiceOptions popts;
+      popts.workers = workers;
+      popts.incremental = incremental;
+      return popts;
+    };
+
+    std::vector<double> serial_walls;
+    std::vector<double> parallel_walls;
+    for (int r = 0; r < reps; ++r) {
+      planner::PlanService svc(topo, space, opts_for(1, true));
+      fill(svc);
+      serial_walls.push_back(svc.commit().seconds);
+    }
+    for (int r = 0; r < reps; ++r) {
+      planner::PlanService svc(topo, space, opts_for(kModelWorkers, true));
+      fill(svc);
+      parallel_walls.push_back(svc.commit().seconds);
+    }
+    planner::PlanService serial(topo, space, opts_for(1, true));
+    fill(serial);  // kept alive: churn + union sections below
+    serial.commit();
+    planner::PlanService parallel(topo, space,
+                                  opts_for(kModelWorkers, true));
+    fill(parallel);
+    parallel.commit();
+
+    // Determinism check is part of the bench contract.
+    const bool digests_match = serial.digest() == parallel.digest();
+    if (!digests_match) {
+      std::cerr << "FATAL: serial/parallel plan digests diverge\n";
+      return 1;
+    }
+
+    std::vector<double> per_plan;
+    per_plan.reserve(n_intents);
+    for (const auto* plan : serial.plans()) {
+      per_plan.push_back(plan->plan_seconds);
+    }
+    const double serial_sum =
+        std::accumulate(per_plan.begin(), per_plan.end(), 0.0);
+    const double makespan = modeled_makespan(per_plan, kModelWorkers);
+
+    // Link churn: flap one link; the incremental service replans only the
+    // touching intents while the incremental=false service replays the
+    // whole set (each down/up commit is one full-replan sample). Links
+    // differ hugely in how many intents they carry, so we flap two
+    // deterministic representatives: the minimum-support link ("edge", an
+    // access link carrying only incident intents — the common real-world
+    // flap) and the median-support link ("core", a heavily shared trunk).
+    std::map<std::pair<DeviceId, DeviceId>, std::size_t> link_load;
+    for (const auto* plan : serial.plans()) {
+      std::set<std::pair<DeviceId, DeviceId>> on_plan;
+      const auto& dag = *plan->dag;
+      for (std::size_t id = 0; id < dag.node_count(); ++id) {
+        const auto& nd = dag.node(id);
+        for (const auto& e : nd.down) {
+          DeviceId a = nd.dev;
+          DeviceId c = dag.node(e.to).dev;
+          if (a > c) std::swap(a, c);
+          on_plan.insert({a, c});
+        }
+      }
+      for (const auto& l : on_plan) ++link_load[l];
+    }
+    std::vector<std::pair<std::size_t, std::pair<DeviceId, DeviceId>>> load;
+    for (const auto& [l, c] : link_load) load.push_back({c, l});
+    std::sort(load.begin(), load.end());
+    const LinkId edge_flap{load.front().second.first,
+                           load.front().second.second};
+    const LinkId core_flap{load[load.size() / 2].second.first,
+                           load[load.size() / 2].second.second};
+
+    struct FlapResult {
+      double inc_median = 0.0;
+      std::size_t replanned = 0;
+    };
+    const auto flap_cycle = [&](const LinkId& flap) {
+      FlapResult out;
+      std::vector<double> walls;
+      for (int r = 0; r < std::max(reps, 3); ++r) {
+        serial.set_link_state(flap, false);
+        auto delta = serial.commit();
+        out.replanned = delta.replanned.size();
+        walls.push_back(delta.seconds);
+        serial.set_link_state(flap, true);
+        walls.push_back(serial.commit().seconds);
+      }
+      out.inc_median = median(walls);
+      return out;
+    };
+    const auto edge = flap_cycle(edge_flap);
+    const auto core = flap_cycle(core_flap);
+
+    std::vector<double> full_walls;
+    {
+      planner::PlanService full(topo, space, opts_for(1, false));
+      fill(full);
+      full.commit();
+      for (int r = 0; r < (args.full ? 2 : 1); ++r) {
+        full.set_link_state(edge_flap, false);
+        full_walls.push_back(full.commit().seconds);
+        full.set_link_state(edge_flap, true);
+        full_walls.push_back(full.commit().seconds);
+      }
+    }
+    const double full_median = median(full_walls);
+
+    // Multi-tenant sharing: intern every plan DAG into one union store.
+    planner::UnionDpvNet un;
+    for (const auto* plan : serial.plans()) un.add(*plan);
+    const double sharing =
+        un.total_nodes() == 0
+            ? 1.0
+            : double(un.node_count()) / double(un.total_nodes());
+    const auto dfa = serial.dfa_cache().stats();
+
+    std::cout << "\n== Planner scaling (" << n_intents << " intents, wan64, "
+              << host_cores << " host cores) ==\n";
+    std::cout << "  serial commit:    " << format_duration(median(serial_walls))
+              << "   (sum of per-plan times "
+              << format_duration(serial_sum) << ")\n";
+    std::cout << "  parallel commit:  "
+              << format_duration(median(parallel_walls)) << "   ("
+              << kModelWorkers << " workers, real wall on this host)\n";
+    std::cout << "  modeled makespan: " << format_duration(makespan) << "   ("
+              << kModelWorkers << " workers, list-scheduled; speedup "
+              << (makespan > 0 ? serial_sum / makespan : 0) << "x)\n";
+    std::cout << "  edge-link flap:   " << format_duration(edge.inc_median)
+              << " incremental (" << edge.replanned << "/" << n_intents
+              << " intents) vs " << format_duration(full_median)
+              << " full (speedup "
+              << (edge.inc_median > 0 ? full_median / edge.inc_median : 0)
+              << "x)\n";
+    std::cout << "  core-link flap:   " << format_duration(core.inc_median)
+              << " incremental (" << core.replanned << "/" << n_intents
+              << " intents, speedup "
+              << (core.inc_median > 0 ? full_median / core.inc_median : 0)
+              << "x)\n";
+    std::cout << "  union DAG:        " << un.node_count() << " shared / "
+              << un.total_nodes() << " total nodes (ratio " << sharing
+              << ")\n";
+    std::cout << "  dfa cache:        " << dfa.hits << " hits, " << dfa.misses
+              << " misses\n";
+
+    json.add(p + "intents", static_cast<std::uint64_t>(n_intents));
+    json.add(p + "topo_devices", static_cast<std::uint64_t>(n));
+    json.add(p + "topo_links",
+             static_cast<std::uint64_t>(topo.link_count()));
+    json.add(p + "reps", static_cast<std::uint64_t>(reps));
+    json.add(p + "serial_wall_seconds_median", median(serial_walls));
+    json.add(p + "serial_plan_seconds_sum", serial_sum);
+    json.add(p + "parallel_wall_seconds_median", median(parallel_walls));
+    json.add(p + "parallel_workers",
+             static_cast<std::uint64_t>(kModelWorkers));
+    json.add(p + "modeled_makespan_8w_seconds", makespan);
+    json.add(p + "modeled_speedup_8w",
+             makespan > 0 ? serial_sum / makespan : 0.0);
+    json.add(p + "digest", serial.digest());
+    json.add(p + "digests_match",
+             static_cast<std::uint64_t>(digests_match ? 1 : 0));
+    json.add(p + "flap_full_replan_seconds_median", full_median);
+    json.add(p + "flap_edge_incremental_seconds_median", edge.inc_median);
+    json.add(p + "flap_edge_speedup",
+             edge.inc_median > 0 ? full_median / edge.inc_median : 0.0);
+    json.add(p + "flap_edge_replanned_intents",
+             static_cast<std::uint64_t>(edge.replanned));
+    json.add(p + "flap_core_incremental_seconds_median", core.inc_median);
+    json.add(p + "flap_core_speedup",
+             core.inc_median > 0 ? full_median / core.inc_median : 0.0);
+    json.add(p + "flap_core_replanned_intents",
+             static_cast<std::uint64_t>(core.replanned));
+    json.add(p + "union.shared_nodes",
+             static_cast<std::uint64_t>(un.node_count()));
+    json.add(p + "union.total_nodes",
+             static_cast<std::uint64_t>(un.total_nodes()));
+    json.add(p + "union.sharing_ratio", sharing);
+    json.add(p + "dfa.hits", dfa.hits);
+    json.add(p + "dfa.misses", dfa.misses);
+    json.add(p + "dfa.entries",
+             static_cast<std::uint64_t>(serial.dfa_cache().size()));
+  }
+
+  json.write(args.json_path);
   return 0;
 }

@@ -8,6 +8,13 @@
 //   --shards=N       worker-pool size of the sharded runtime sections
 //                    (0 = one worker per hardware thread; the TULKUN_SHARDS
 //                    environment variable sets the same knob, flags win)
+//   --plan-workers=N planning concurrency of the PlanService sections
+//                    (1 = serial, 0 = one per hardware thread; the
+//                    TULKUN_PLAN_WORKERS environment variable sets the same
+//                    knob, flags win; plans are byte-identical regardless)
+//   --plan-incremental=0|1  disable/enable incremental replanning on the
+//                    PlanService sections (default on; off = every commit
+//                    replans the full intent set)
 //   --atoms=0|1      disable/enable the atom-decomposition fast path
 //                    (default on; TULKUN_ATOMS=0 sets the same kill switch,
 //                    flags win)
@@ -128,6 +135,8 @@ struct Args {
   std::size_t fault_scenes = 8;
   std::uint64_t seed = 42;
   std::size_t shards = 0;  // 0 = hardware concurrency
+  std::size_t plan_workers = 1;    // PlanService concurrency (0 = hw threads)
+  bool plan_incremental = true;    // PlanService delta replanning
   std::size_t gc_nodes = 0;  // per-device bdd gc threshold (0 = off)
   double drop_fraction = 0.0;  // Drop-class share of incremental inserts
   std::string transport;   // empty = skip the distributed section
@@ -144,6 +153,11 @@ struct Args {
       char* end = nullptr;
       const unsigned long v = std::strtoul(env, &end, 10);
       if (end != env && *end == '\0') a.shards = v;
+    }
+    if (const char* env = std::getenv("TULKUN_PLAN_WORKERS")) {
+      char* end = nullptr;
+      const unsigned long v = std::strtoul(env, &end, 10);
+      if (end != env && *end == '\0') a.plan_workers = v;
     }
     for (int i = 1; i < argc; ++i) {
       const std::string arg = argv[i];
@@ -166,6 +180,10 @@ struct Args {
         a.seed = std::stoull(v);
       } else if (const char* v = value("--shards=")) {
         a.shards = std::stoul(v);
+      } else if (const char* v = value("--plan-workers=")) {
+        a.plan_workers = std::stoul(v);
+      } else if (const char* v = value("--plan-incremental=")) {
+        a.plan_incremental = std::string(v) != "0";
       } else if (const char* v = value("--atoms=")) {
         pred::set_atom_path_enabled(std::string(v) != "0");
       } else if (const char* v = value("--fib-index=")) {
@@ -188,7 +206,8 @@ struct Args {
         a.metrics_listen = v;
       } else if (arg == "--help") {
         std::cout << "flags: --full --updates=N --max-dst=N --scenes=N "
-                     "--seed=N --shards=N --atoms=0|1 --fib-index=0|1 "
+                     "--seed=N --shards=N --plan-workers=N "
+                     "--plan-incremental=0|1 --atoms=0|1 --fib-index=0|1 "
                      "--gc-nodes=N --drop=F "
                      "--transport=inproc|uds|tcp "
                      "--procs=N --json <path> --trace-out=FILE "
@@ -204,6 +223,8 @@ struct Args {
     opts.seed = seed;
     opts.max_destinations = max_destinations;
     opts.engine.runtime_shards = shards;
+    opts.plan_workers = plan_workers;
+    opts.plan_incremental = plan_incremental;
     opts.engine.bdd_gc_node_threshold = gc_nodes;
     opts.drop_fraction = drop_fraction;
     return opts;

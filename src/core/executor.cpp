@@ -1,0 +1,25 @@
+#include "core/executor.hpp"
+
+namespace tulkun::core {
+
+namespace {
+
+class SerialExecutor final : public Executor {
+ public:
+  [[nodiscard]] std::size_t concurrency() const noexcept override {
+    return 1;
+  }
+
+  void run_all(std::vector<std::function<void()>> tasks) override {
+    for (auto& t : tasks) t();
+  }
+};
+
+}  // namespace
+
+Executor& serial_executor() {
+  static SerialExecutor ex;
+  return ex;
+}
+
+}  // namespace tulkun::core

@@ -1,0 +1,34 @@
+// Minimal executor seam: lets lower layers (dpvnet construction) fan work
+// out onto a caller-provided pool without depending on who owns the
+// threads. planner::WorkerPool is the real implementation; the serial
+// executor runs tasks inline in submission order, which is also the
+// reference semantics every parallel implementation must reproduce
+// (deterministic outputs, lowest-index exception wins).
+#pragma once
+
+#include <cstddef>
+#include <functional>
+#include <vector>
+
+namespace tulkun::core {
+
+class Executor {
+ public:
+  virtual ~Executor() = default;
+
+  /// Worker count usable for sizing decisions (>= 1, includes the caller).
+  [[nodiscard]] virtual std::size_t concurrency() const noexcept = 0;
+
+  /// Runs every task to completion before returning. Tasks may run in any
+  /// order and concurrently; when one or more tasks throw, the exception
+  /// of the lowest-index throwing task is rethrown (so failure behavior is
+  /// deterministic regardless of scheduling). Implementations must support
+  /// nested run_all calls from inside tasks without deadlocking.
+  virtual void run_all(std::vector<std::function<void()>> tasks) = 0;
+};
+
+/// Process-wide inline executor: runs each task on the calling thread in
+/// submission order. Tasks submitted here throw straight through.
+[[nodiscard]] Executor& serial_executor();
+
+}  // namespace tulkun::core

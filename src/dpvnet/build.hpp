@@ -2,7 +2,9 @@
 #pragma once
 
 #include <cstddef>
+#include <functional>
 
+#include "core/executor.hpp"
 #include "dpvnet/dpvnet.hpp"
 #include "regex/dfa.hpp"
 
@@ -17,6 +19,14 @@ struct BuildOptions {
   /// §6 subset-scene reuse (ablation toggle: off forces a fresh
   /// enumeration per scene).
   bool scene_reuse = true;
+  /// Fans the shortest-length and fresh-enumeration phases out over this
+  /// executor; the merge stays serial so the result is byte-identical to
+  /// the inline build. Null = run everything inline.
+  core::Executor* executor = nullptr;
+  /// Memoized regex -> minimized-DFA hook (planner::DfaCache::builder());
+  /// null compiles each atom fresh. Must be thread-safe when `executor` is
+  /// set: atom compilation may move onto worker threads.
+  std::function<regex::Dfa(const spec::PathExpr&)> dfa_builder;
 };
 
 struct BuildStats {
@@ -42,6 +52,14 @@ struct BuildStats {
 /// Throws Error when an exist/subset atom is unbounded or caps are hit.
 [[nodiscard]] DpvNet build_dpvnet(const topo::Topology& topo,
                                   const spec::Invariant& inv,
+                                  const BuildOptions& opts = {},
+                                  BuildStats* stats = nullptr);
+
+/// Same, over caller-expanded scenes (plan pipelines expand once and feed
+/// both the planner's warning pass and construction).
+[[nodiscard]] DpvNet build_dpvnet(const topo::Topology& topo,
+                                  const spec::Invariant& inv,
+                                  const std::vector<spec::FaultScene>& scenes,
                                   const BuildOptions& opts = {},
                                   BuildStats* stats = nullptr);
 

@@ -18,7 +18,9 @@
 
 namespace tulkun::dpvnet::internal {
 
-std::vector<AtomAutomaton> prepare_atoms(const spec::Invariant& inv) {
+std::vector<AtomAutomaton> prepare_atoms(
+    const spec::Invariant& inv,
+    const std::function<regex::Dfa(const spec::PathExpr&)>& dfa_builder) {
   const auto atoms = inv.behavior.atoms();
   if (atoms.empty()) {
     throw Error("invariant '" + inv.name + "' has no behavior atoms");
@@ -49,13 +51,17 @@ std::vector<AtomAutomaton> prepare_atoms(const spec::Invariant& inv) {
     }
     AtomAutomaton aa;
     aa.atom = atom;
-    {
-      TLK_SPAN("planner.dfa");
-      aa.dfa = regex::Dfa::determinize(regex::build_nfa(pe.ast));
-    }
-    {
-      TLK_SPAN("planner.minimize");
-      aa.dfa = aa.dfa.minimize();
+    if (dfa_builder) {
+      aa.dfa = dfa_builder(pe);
+    } else {
+      {
+        TLK_SPAN("planner.dfa");
+        aa.dfa = regex::Dfa::determinize(regex::build_nfa(pe.ast));
+      }
+      {
+        TLK_SPAN("planner.minimize");
+        aa.dfa = aa.dfa.minimize();
+      }
     }
     aa.filters = pe.filters;
     aa.loop_free = pe.loop_free;

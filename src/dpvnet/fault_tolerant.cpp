@@ -1,11 +1,24 @@
 // Fault-scene expansion (§6): explicit scenes plus `any k` enumeration.
 #include <algorithm>
+#include <unordered_set>
 
 #include "dpvnet/build.hpp"
 
 namespace tulkun::dpvnet {
 
 namespace {
+
+/// Hash over the canonical (sorted) failed-link list of a scene.
+struct SceneHash {
+  std::size_t operator()(const spec::FaultScene& s) const noexcept {
+    std::size_t seed = s.failed.size();
+    for (const auto& l : s.failed) {
+      hash_combine(seed, l.from);
+      hash_combine(seed, l.to);
+    }
+    return seed;
+  }
+};
 
 /// All bidirectional links of the topology, canonicalized from < to.
 std::vector<LinkId> all_links(const topo::Topology& topo) {
@@ -57,9 +70,12 @@ std::vector<spec::FaultScene> expand_scenes(const topo::Topology& topo,
 
   // Deduplicate while preserving order (scene 0 first, then ascending size
   // because explicit scenes come before generated ones of growing k).
+  // Hash-set membership keeps this linear in the scene count; an `any k`
+  // spec overlapping its explicit scenes used to pay O(n^2) std::find here.
   std::vector<spec::FaultScene> dedup;
+  std::unordered_set<spec::FaultScene, SceneHash> seen;
   for (auto& s : out) {
-    if (std::find(dedup.begin(), dedup.end(), s) == dedup.end()) {
+    if (seen.insert(s).second) {
       dedup.push_back(std::move(s));
     }
   }

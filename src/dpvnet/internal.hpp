@@ -20,9 +20,11 @@ struct AtomAutomaton {
 
 /// Compiles every atom of the invariant's behavior; validates boundedness
 /// and the equal/subset composition restriction (§4.3: `equal` verifies
-/// locally and must be the sole atom; same for `subset`).
+/// locally and must be the sole atom; same for `subset`). `dfa_builder`
+/// (when non-null) supplies minimized DFAs instead of fresh compiles.
 [[nodiscard]] std::vector<AtomAutomaton> prepare_atoms(
-    const spec::Invariant& inv);
+    const spec::Invariant& inv,
+    const std::function<regex::Dfa(const spec::PathExpr&)>& dfa_builder = {});
 
 /// Normalized failed-link set of a scene (from < to).
 [[nodiscard]] std::unordered_set<LinkId> failed_set(

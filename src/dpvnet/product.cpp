@@ -361,14 +361,123 @@ std::uint32_t shortest_matching(const topo::Topology& topo,
 
 DpvNet build_dpvnet(const topo::Topology& topo, const spec::Invariant& inv,
                     const BuildOptions& opts, BuildStats* stats) {
+  return build_dpvnet(topo, inv,
+                      expand_scenes(topo, inv.faults, opts.max_scenes), opts,
+                      stats);
+}
+
+// Parallel-by-phases construction. A "unit" is one (atom, ingress) pair:
+// §6 reuse never crosses units, so units are fully independent. Within a
+// unit the reuse decision for a scene depends only on the scene subset
+// structure and each scene's `shortest` value — never on enumerated paths —
+// so the phases are:
+//   A (parallel)  per-unit shortest lengths for every scene;
+//   B (serial)    reuse-source decisions, identical to the serial walk;
+//   C (parallel)  fresh product enumerations, one task per (unit, scene);
+//   D (serial)    merge: intern paths into the shared pool and apply reuse
+//                 filters in exact (atom, ingress, scene, path) order;
+//   E (serial)    trie + DAWG compaction, unchanged.
+// Phase D visiting results in the serial order makes pool ids, atom masks,
+// trie shape, and hence DAG node numbering byte-identical to the inline
+// build regardless of worker scheduling. Exceptions from phase-C tasks
+// rethrow lowest-task-index first (core::Executor contract), which is the
+// same scene the serial walk would have failed on.
+DpvNet build_dpvnet(const topo::Topology& topo, const spec::Invariant& inv,
+                    const std::vector<spec::FaultScene>& scenes,
+                    const BuildOptions& opts, BuildStats* stats) {
   TLK_SPAN("planner.product");
-  const auto atoms = internal::prepare_atoms(inv);
+  const auto atoms = internal::prepare_atoms(inv, opts.dfa_builder);
   const std::size_t arity = atoms.size();
-  const auto scenes = expand_scenes(topo, inv.faults, opts.max_scenes);
   const std::size_t n_scenes = scenes.size();
+  core::Executor& exec =
+      opts.executor != nullptr ? *opts.executor : core::serial_executor();
 
   DpvNet dag(topo, arity, n_scenes);
 
+  // Failed-link sets are per-scene, shared by every unit.
+  std::vector<std::unordered_set<LinkId>> failed(n_scenes);
+  for (std::size_t si = 0; si < n_scenes; ++si) {
+    failed[si] = internal::failed_set(scenes[si]);
+  }
+
+  struct Unit {
+    std::size_t ai = 0;
+    DeviceId ingress = kNoDevice;
+  };
+  std::vector<Unit> units;
+  units.reserve(arity * inv.ingress_set.size());
+  for (std::size_t ai = 0; ai < arity; ++ai) {
+    for (const DeviceId ingress : inv.ingress_set) {
+      units.push_back(Unit{ai, ingress});
+    }
+  }
+
+  // Phase A: shortest matching length per (unit, scene).
+  std::vector<std::vector<std::uint32_t>> shortest(units.size());
+  {
+    std::vector<std::function<void()>> tasks;
+    tasks.reserve(units.size());
+    for (std::size_t ui = 0; ui < units.size(); ++ui) {
+      tasks.emplace_back([&, ui] {
+        const AtomAutomaton& atom = atoms[units[ui].ai];
+        auto& row = shortest[ui];
+        row.resize(n_scenes, kUnreachableLen);
+        for (std::size_t si = 0; si < n_scenes; ++si) {
+          row[si] =
+              shortest_matching(topo, atom.dfa, units[ui].ingress, failed[si]);
+        }
+      });
+    }
+    exec.run_all(std::move(tasks));
+  }
+
+  // Phase B: §6 reuse decisions — the largest earlier subset scene whose
+  // filter values (i.e. `shortest`, when symbolic filters exist) match.
+  constexpr std::size_t kFresh = ~std::size_t{0};
+  constexpr std::size_t kNoPaths = kFresh - 1;
+  std::vector<std::vector<std::size_t>> reuse_from(
+      units.size(), std::vector<std::size_t>(n_scenes, kNoPaths));
+  for (std::size_t ui = 0; ui < units.size(); ++ui) {
+    const AtomAutomaton& atom = atoms[units[ui].ai];
+    for (std::size_t si = 0; si < n_scenes; ++si) {
+      if (shortest[ui][si] == kUnreachableLen) continue;
+      std::size_t best = kFresh;
+      if (opts.scene_reuse) {
+        for (std::size_t sj = 0; sj < si; ++sj) {
+          if (!scenes[si].superset_of(scenes[sj])) continue;
+          if (atom.symbolic && shortest[ui][sj] != shortest[ui][si]) continue;
+          if (best == kFresh ||
+              scenes[sj].failed.size() > scenes[best].failed.size()) {
+            best = sj;
+          }
+        }
+      }
+      reuse_from[ui][si] = best;
+    }
+  }
+
+  // Phase C: fresh enumerations, one task per (unit, scene) in serial
+  // order (so a cap exception surfaces from the earliest serial scene).
+  std::vector<std::vector<std::vector<Path>>> enumerated(
+      units.size(), std::vector<std::vector<Path>>(n_scenes));
+  {
+    std::vector<std::function<void()>> tasks;
+    for (std::size_t ui = 0; ui < units.size(); ++ui) {
+      for (std::size_t si = 0; si < n_scenes; ++si) {
+        if (reuse_from[ui][si] != kFresh) continue;
+        tasks.emplace_back([&, ui, si] {
+          const AtomAutomaton& atom = atoms[units[ui].ai];
+          const ProductDistances dist(topo, atom.dfa, failed[si]);
+          Enumerator en(topo, atom, failed[si], dist, shortest[ui][si],
+                        opts.max_paths);
+          enumerated[ui][si] = en.run(units[ui].ingress);
+        });
+      }
+    }
+    exec.run_all(std::move(tasks));
+  }
+
+  // Phase D: serial merge in exact (atom, ingress, scene, path) order.
   PathPool pool;
   // path id -> per-atom scene masks (ordered map: deterministic trie
   // insertion order, hence deterministic node numbering).
@@ -376,84 +485,52 @@ DpvNet build_dpvnet(const topo::Topology& topo, const spec::Invariant& inv,
   std::size_t scenes_enumerated = 0;
   std::size_t scenes_reused = 0;
 
-  // Per (atom, ingress): results per processed scene, for §6 reuse.
-  struct SceneResult {
-    std::size_t scene = 0;
-    std::uint32_t shortest = 0;
-    std::vector<std::uint32_t> path_ids;
-  };
-
   // Tracks (scene, ingress) pairs where no atom had a valid path.
   std::map<std::pair<std::size_t, DeviceId>, std::size_t> empty_count;
 
-  for (std::size_t ai = 0; ai < arity; ++ai) {
-    const AtomAutomaton& atom = atoms[ai];
-    for (const DeviceId ingress : inv.ingress_set) {
-      std::vector<SceneResult> processed;
-      for (std::size_t si = 0; si < n_scenes; ++si) {
-        const auto failed = internal::failed_set(scenes[si]);
-        const std::uint32_t shortest =
-            shortest_matching(topo, atom.dfa, ingress, failed);
-
-        SceneResult result;
-        result.scene = si;
-        result.shortest = shortest;
-
-        if (shortest != kUnreachableLen) {
-          // §6 reuse: the largest processed subset scene whose filter
-          // values (i.e. `shortest`, when symbolic filters exist) match.
-          const SceneResult* best = nullptr;
-          if (opts.scene_reuse) {
-            for (const auto& prev : processed) {
-              if (!scenes[si].superset_of(scenes[prev.scene])) continue;
-              if (atom.symbolic && prev.shortest != shortest) continue;
-              if (best == nullptr || scenes[prev.scene].failed.size() >
-                                         scenes[best->scene].failed.size()) {
-                best = &prev;
-              }
+  for (std::size_t ui = 0; ui < units.size(); ++ui) {
+    const std::size_t ai = units[ui].ai;
+    const DeviceId ingress = units[ui].ingress;
+    std::vector<std::vector<std::uint32_t>> scene_pids(n_scenes);
+    for (std::size_t si = 0; si < n_scenes; ++si) {
+      std::vector<std::uint32_t>& pids = scene_pids[si];
+      const std::size_t src = reuse_from[ui][si];
+      if (src == kFresh) {
+        ++scenes_enumerated;
+        for (auto& p : enumerated[ui][si]) {
+          pids.push_back(pool.intern(std::move(p)));
+        }
+        enumerated[ui][si].clear();
+        if (pool.size() > opts.max_paths) {
+          throw Error("valid-path pool exceeds max_paths cap");
+        }
+      } else if (src != kNoPaths) {
+        ++scenes_reused;
+        for (const std::uint32_t pid : scene_pids[src]) {
+          const Path& p = pool.get(pid);
+          bool ok = true;
+          for (std::size_t h = 0; h + 1 < p.size(); ++h) {
+            if (link_failed(failed[si], p[h], p[h + 1])) {
+              ok = false;
+              break;
             }
           }
-          if (best != nullptr) {
-            ++scenes_reused;
-            for (const std::uint32_t pid : best->path_ids) {
-              const Path& p = pool.get(pid);
-              bool ok = true;
-              for (std::size_t h = 0; h + 1 < p.size(); ++h) {
-                if (link_failed(failed, p[h], p[h + 1])) {
-                  ok = false;
-                  break;
-                }
-              }
-              if (ok) result.path_ids.push_back(pid);
-            }
-          } else {
-            ++scenes_enumerated;
-            const ProductDistances dist(topo, atom.dfa, failed);
-            Enumerator en(topo, atom, failed, dist, shortest,
-                          opts.max_paths);
-            for (auto& p : en.run(ingress)) {
-              result.path_ids.push_back(pool.intern(std::move(p)));
-            }
-            if (pool.size() > opts.max_paths) {
-              throw Error("valid-path pool exceeds max_paths cap");
-            }
-          }
+          if (ok) pids.push_back(pid);
         }
+      }
 
-        if (result.path_ids.empty()) {
-          auto& cnt = empty_count[{si, ingress}];
-          ++cnt;
-          if (cnt == arity) dag.intolerable.emplace_back(si, ingress);
-        }
+      if (pids.empty()) {
+        auto& cnt = empty_count[{si, ingress}];
+        ++cnt;
+        if (cnt == arity) dag.intolerable.emplace_back(si, ingress);
+      }
 
-        for (const std::uint32_t pid : result.path_ids) {
-          auto [it, inserted] = atom_masks.try_emplace(pid);
-          if (inserted) {
-            it->second.assign(arity, SceneMask(n_scenes));
-          }
-          it->second[ai].set(si);
+      for (const std::uint32_t pid : pids) {
+        auto [it, inserted] = atom_masks.try_emplace(pid);
+        if (inserted) {
+          it->second.assign(arity, SceneMask(n_scenes));
         }
-        processed.push_back(std::move(result));
+        it->second[ai].set(si);
       }
     }
   }

@@ -5,6 +5,7 @@
 
 #include "core/rng.hpp"
 #include "obs/trace.hpp"
+#include "planner/plan_service.hpp"
 #include "pred/atom_set.hpp"
 #include "runtime/sharded_runtime.hpp"
 #include "spec/builtins.hpp"
@@ -122,17 +123,23 @@ spec::Invariant Harness::dst_invariant(packet::PacketSpace& space,
 }
 
 std::vector<planner::InvariantPlan> Harness::plan_all(
-    packet::PacketSpace& space, const planner::Planner& planner,
-    const spec::FaultSpec& faults, double* seconds) const {
+    packet::PacketSpace& space, const spec::FaultSpec& faults,
+    double* seconds) const {
   TLK_SPAN_ARG("harness.plan_all", dsts_.size());
   const auto t0 = std::chrono::steady_clock::now();
-  std::vector<planner::InvariantPlan> plans;
-  plans.reserve(dsts_.size());
+  planner::PlanServiceOptions sopts;
+  sopts.workers = opts_.plan_workers;
+  sopts.incremental = opts_.plan_incremental;
+  planner::PlanService service(topo_, space, sopts);
   for (const DeviceId dst : dsts_) {
     spec::Invariant inv = dst_invariant(space, dst);
     inv.faults = faults;
-    plans.push_back(planner.plan(std::move(inv)));
+    service.add_invariant(std::move(inv));
   }
+  service.commit();
+  std::vector<planner::InvariantPlan> plans;
+  plans.reserve(dsts_.size());
+  for (const auto* plan : service.plans()) plans.push_back(*plan);
   if (seconds != nullptr) *seconds = seconds_since(t0);
   return plans;
 }
@@ -141,9 +148,7 @@ Harness::TulkunRun Harness::start_tulkun(const spec::FaultSpec& faults) {
   TulkunRun tr;
   tr.space = std::make_unique<packet::PacketSpace>();
 
-  planner::PlannerOptions popts;
-  planner::Planner planner(topo_, *tr.space, popts);
-  const auto plans = plan_all(*tr.space, planner, faults, &tr.plan_seconds);
+  const auto plans = plan_all(*tr.space, faults, &tr.plan_seconds);
 
   runtime::SimConfig scfg;
   scfg.cpu_scale = opts_.cpu_scale;
@@ -392,10 +397,8 @@ Harness::DeviceOverhead Harness::measure_overhead_host(
 
   // Phase 1 (Fig 14): per-device initialization, measured standalone.
   auto space = std::make_unique<packet::PacketSpace>();
-  planner::Planner planner(topo_, *space);
   double plan_seconds = 0.0;
-  const auto plans = plan_all(*space, planner, spec::FaultSpec{},
-                              &plan_seconds);
+  const auto plans = plan_all(*space, spec::FaultSpec{}, &plan_seconds);
   const auto net = synthesize(
       topo_, SynthOptions{opts_.ecmp_width, spec_.extra_rules, opts_.seed});
 
@@ -469,10 +472,8 @@ Harness::DistributedRun Harness::run_distributed(std::size_t n_updates) {
   // Plan in a dedicated space; the runtime localizes each plan into every
   // device's private space through the wire codec.
   packet::PacketSpace plan_space;
-  planner::Planner planner(topo_, plan_space);
   double plan_seconds = 0.0;
-  const auto plans =
-      plan_all(plan_space, planner, spec::FaultSpec{}, &plan_seconds);
+  const auto plans = plan_all(plan_space, spec::FaultSpec{}, &plan_seconds);
 
   runtime::ShardedRuntime rt(topo_, opts_.engine);
   out.shards = rt.shard_count();
@@ -516,8 +517,7 @@ runtime::WorldBuilder Harness::world_builder(std::size_t n_updates) {
     // One space backs everything shipped in the world; devices localize
     // out of it through the wire codec exactly like ShardedRuntime does.
     auto space = std::make_shared<packet::PacketSpace>();
-    planner::Planner planner(topo_, *space);
-    world.plans = plan_all(*space, planner, spec::FaultSpec{}, nullptr);
+    world.plans = plan_all(*space, spec::FaultSpec{}, nullptr);
 
     auto net = synthesize(
         topo_, SynthOptions{opts_.ecmp_width, spec_.extra_rules, opts_.seed});
@@ -578,8 +578,7 @@ Harness::PlanLatency Harness::plan_latency(std::uint32_t k,
   out.scenes = faults.scenes.size() + 1;
 
   packet::PacketSpace space;
-  planner::Planner planner(topo_, space);
-  (void)plan_all(space, planner, faults, &out.seconds);
+  (void)plan_all(space, faults, &out.seconds);
   return out;
 }
 

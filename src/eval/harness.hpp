@@ -35,6 +35,13 @@ struct HarnessOptions {
   /// Per-device engine knobs, forwarded to the simulator's verifiers and
   /// to the sharded runtime (whose pool size is engine.runtime_shards).
   dvm::EngineConfig engine;
+  /// Planning concurrency for plan_all (PlanService workers, including the
+  /// calling thread; 1 = serial, 0 = one per hardware thread). Output is
+  /// byte-identical across worker counts.
+  std::size_t plan_workers = 1;
+  /// PlanService incremental mode (false replans everything per commit;
+  /// the plans of one batch commit are identical either way).
+  bool plan_incremental = true;
 };
 
 /// The §9.4 switch models, expressed as CPU slowdown factors relative to
@@ -145,9 +152,11 @@ class Harness {
   /// `.* <dst>`, loop-free, the dataset's length filter.
   [[nodiscard]] spec::Invariant dst_invariant(packet::PacketSpace& space,
                                               DeviceId dst) const;
+  /// Plans every destination invariant through a PlanService (parallel
+  /// when opts_.plan_workers != 1; plans are identical regardless).
   [[nodiscard]] std::vector<planner::InvariantPlan> plan_all(
-      packet::PacketSpace& space, const planner::Planner& planner,
-      const spec::FaultSpec& faults, double* seconds) const;
+      packet::PacketSpace& space, const spec::FaultSpec& faults,
+      double* seconds) const;
 
   struct TulkunRun {
     std::unique_ptr<packet::PacketSpace> space;

@@ -1,0 +1,94 @@
+#include "planner/dfa_cache.hpp"
+
+#include "obs/registry.hpp"
+#include "obs/trace.hpp"
+#include "regex/nfa.hpp"
+
+namespace tulkun::planner {
+
+namespace {
+
+void append_key(const regex::Ast& ast, std::string& out) {
+  using regex::AstKind;
+  switch (ast.kind) {
+    case AstKind::Symbols:
+      out += ast.symbols.negated ? "[^" : "[";
+      for (const auto s : ast.symbols.syms) {
+        out += std::to_string(s);
+        out += ' ';
+      }
+      out += ']';
+      return;
+    case AstKind::Epsilon:
+      out += 'e';
+      return;
+    case AstKind::Concat:
+      out += "C(";
+      break;
+    case AstKind::Union:
+      out += "U(";
+      break;
+    case AstKind::Star:
+      out += "*(";
+      break;
+    case AstKind::Plus:
+      out += "+(";
+      break;
+    case AstKind::Optional:
+      out += "?(";
+      break;
+  }
+  for (const auto& c : ast.children) append_key(c, out);
+  out += ')';
+}
+
+}  // namespace
+
+std::string DfaCache::canonical_key(const regex::Ast& ast) {
+  std::string out;
+  out.reserve(64);
+  append_key(ast, out);
+  return out;
+}
+
+std::shared_ptr<const regex::Dfa> DfaCache::minimized(const regex::Ast& ast) {
+  auto key = canonical_key(ast);
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    const auto it = map_.find(key);
+    if (it != map_.end()) {
+      ++stats_.hits;
+      obs::Registry::instance().counter("planner_dfa_cache_hits").add();
+      return it->second;
+    }
+    ++stats_.misses;
+    obs::Registry::instance().counter("planner_dfa_cache_misses").add();
+  }
+  // Build outside the lock: a racing miss compiles twice, first insert
+  // wins, and both results are identical (pure function of the AST).
+  std::shared_ptr<const regex::Dfa> built;
+  {
+    TLK_SPAN("planner.dfa");
+    auto dfa = regex::Dfa::determinize(regex::build_nfa(ast));
+    TLK_SPAN("planner.minimize");
+    built = std::make_shared<const regex::Dfa>(dfa.minimize());
+  }
+  std::lock_guard<std::mutex> lk(mu_);
+  return map_.try_emplace(std::move(key), std::move(built)).first->second;
+}
+
+std::function<regex::Dfa(const spec::PathExpr&)> DfaCache::builder() {
+  return [this](const spec::PathExpr& pe) { return *minimized(pe.ast); };
+}
+
+DfaCache::Stats DfaCache::stats() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return stats_;
+}
+
+std::size_t DfaCache::size() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return map_.size();
+}
+
+}  // namespace tulkun::planner

@@ -1,0 +1,52 @@
+// Memoized regex compilation: canonical regex AST -> minimized DFA.
+//
+// Thousands of concurrent intents routinely share path shapes (".* D" per
+// destination, waypoint templates), and the same regex is compiled up to
+// three times per plan today (validation, prepare_atoms, multipath sides).
+// The cache keys on a canonical serialization of the AST — not on
+// regex_text, which is advisory — and hands out shared immutable DFAs.
+// Thread-safe: planning workers hit it concurrently; a racing miss builds
+// twice and first-insert wins (the DFA is a pure function of the AST).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+
+#include "regex/dfa.hpp"
+#include "spec/ast.hpp"
+
+namespace tulkun::planner {
+
+class DfaCache {
+ public:
+  struct Stats {
+    std::uint64_t hits = 0;
+    std::uint64_t misses = 0;
+  };
+
+  /// Minimized DFA of `ast` (determinize + minimize), memoized.
+  [[nodiscard]] std::shared_ptr<const regex::Dfa> minimized(
+      const regex::Ast& ast);
+
+  /// Adapter matching dpvnet::BuildOptions::dfa_builder /
+  /// spec::DfaFn: returns a copy of the cached minimized DFA.
+  [[nodiscard]] std::function<regex::Dfa(const spec::PathExpr&)> builder();
+
+  [[nodiscard]] Stats stats() const;
+  [[nodiscard]] std::size_t size() const;
+
+  /// Canonical serialization of a regex AST (structure + symbol sets);
+  /// equal languages may key differently, equal ASTs never do.
+  [[nodiscard]] static std::string canonical_key(const regex::Ast& ast);
+
+ private:
+  mutable std::mutex mu_;
+  std::unordered_map<std::string, std::shared_ptr<const regex::Dfa>> map_;
+  Stats stats_;
+};
+
+}  // namespace tulkun::planner

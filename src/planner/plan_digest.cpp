@@ -1,0 +1,81 @@
+#include "planner/plan_digest.hpp"
+
+namespace tulkun::planner {
+
+namespace {
+
+constexpr std::uint64_t kFnvOffset = 14695981039346656037ULL;
+constexpr std::uint64_t kFnvPrime = 1099511628211ULL;
+
+void mix(std::uint64_t& h, std::uint64_t v) {
+  for (int i = 0; i < 8; ++i) {
+    h ^= (v >> (i * 8)) & 0xffULL;
+    h *= kFnvPrime;
+  }
+}
+
+void mix(std::uint64_t& h, const std::string& s) {
+  mix(h, s.size());
+  for (const char c : s) {
+    h ^= static_cast<unsigned char>(c);
+    h *= kFnvPrime;
+  }
+}
+
+void mix(std::uint64_t& h, const dpvnet::SceneMask& m, std::size_t n_scenes) {
+  std::uint64_t word = 0;
+  for (std::size_t i = 0; i < n_scenes; ++i) {
+    if (m.test(i)) word |= 1ULL << (i % 64);
+    if (i % 64 == 63 || i + 1 == n_scenes) {
+      mix(h, word);
+      word = 0;
+    }
+  }
+}
+
+}  // namespace
+
+std::uint64_t plan_digest(const InvariantPlan& plan) {
+  std::uint64_t h = kFnvOffset;
+  mix(h, plan.id);
+  mix(h, plan.inv.name);
+  const dpvnet::DpvNet& dag = *plan.dag;
+  const std::size_t n_scenes = dag.scene_count();
+  mix(h, dag.arity());
+  mix(h, n_scenes);
+  mix(h, dag.node_count());
+  for (NodeId id = 0; id < dag.node_count(); ++id) {
+    const auto& n = dag.node(id);
+    mix(h, n.dev);
+    mix(h, n.scenes, n_scenes);
+    mix(h, n.accept.size());
+    for (const auto& m : n.accept) mix(h, m, n_scenes);
+    mix(h, n.down.size());
+    for (const auto& e : n.down) {
+      mix(h, e.to);
+      mix(h, e.scenes, n_scenes);
+    }
+  }
+  mix(h, dag.sources().size());
+  for (const auto& [ingress, node] : dag.sources()) {
+    mix(h, ingress);
+    mix(h, node);
+  }
+  mix(h, dag.intolerable.size());
+  for (const auto& [scene, ingress] : dag.intolerable) {
+    mix(h, scene);
+    mix(h, ingress);
+  }
+  mix(h, plan.static_warnings.size());
+  for (const auto& w : plan.static_warnings) mix(h, w);
+  return h;
+}
+
+std::uint64_t plan_digest(const std::vector<const InvariantPlan*>& plans) {
+  std::uint64_t h = kFnvOffset;
+  mix(h, plans.size());
+  for (const auto* p : plans) mix(h, plan_digest(*p));
+  return h;
+}
+
+}  // namespace tulkun::planner

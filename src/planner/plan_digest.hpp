@@ -1,0 +1,26 @@
+// Canonical plan digests: equality certificates for the planner paths.
+//
+// The parallel and incremental planners both promise byte-identical output
+// to the serial batch walk; the digest is how tests (and operators) check
+// that promise cheaply. It covers exactly the device-visible payload of a
+// plan — DAG structure, scene/acceptance masks, sources, intolerable
+// pairs, static warnings — and excludes wall times, build statistics, and
+// the fault scenes' raw failed-link lists (an overlaid link used by no
+// valid path may appear in scene bookkeeping without changing anything a
+// device receives).
+#pragma once
+
+#include <cstdint>
+
+#include "planner/planner.hpp"
+
+namespace tulkun::planner {
+
+/// FNV-1a digest of one plan's device-visible payload.
+[[nodiscard]] std::uint64_t plan_digest(const InvariantPlan& plan);
+
+/// Combined digest over plans, order-sensitive (callers pass id order).
+[[nodiscard]] std::uint64_t plan_digest(
+    const std::vector<const InvariantPlan*>& plans);
+
+}  // namespace tulkun::planner

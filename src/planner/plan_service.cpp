@@ -1,0 +1,271 @@
+#include "planner/plan_service.hpp"
+
+#include <algorithm>
+#include <chrono>
+
+#include "obs/registry.hpp"
+#include "obs/trace.hpp"
+#include "planner/plan_digest.hpp"
+#include "spec/check.hpp"
+
+namespace tulkun::planner {
+
+namespace {
+
+LinkId canon(LinkId l) { return l.from < l.to ? l : l.reversed(); }
+
+/// Scenes with the overlay's downed links added to every failed set: a
+/// downed link is failed in every fault scenario the operator asked about.
+std::vector<spec::FaultScene> overlaid_scenes(
+    std::vector<spec::FaultScene> scenes,
+    const std::unordered_set<LinkId>& overlay) {
+  if (overlay.empty()) return scenes;
+  for (auto& s : scenes) {
+    auto links = s.failed;
+    links.insert(links.end(), overlay.begin(), overlay.end());
+    s = spec::FaultScene::of(std::move(links));
+  }
+  return scenes;
+}
+
+/// Same static diagnostics as Planner::plan (string-identical, so plans
+/// digest equal across the batch and service paths).
+std::vector<std::string> static_warnings(const dpvnet::DpvNet& dag,
+                                         const topo::Topology& topo) {
+  std::vector<std::string> out;
+  for (const auto& [ingress, src] : dag.sources()) {
+    if (src == kNoNode || !dag.node(src).scenes.test(0)) {
+      out.push_back("ingress " + topo.name(ingress) +
+                    " has no valid path in the failure-free topology");
+    }
+  }
+  for (const auto& [scene, ingress] : dag.intolerable) {
+    if (scene == 0) continue;  // already covered above
+    out.push_back("fault scene #" + std::to_string(scene) +
+                  " is intolerable for ingress " + topo.name(ingress));
+  }
+  return out;
+}
+
+/// Links traversed by any valid path in any scene: the plan's support.
+std::unordered_set<LinkId> dag_support(const dpvnet::DpvNet& dag) {
+  std::unordered_set<LinkId> out;
+  for (NodeId id = 0; id < dag.node_count(); ++id) {
+    const auto& n = dag.node(id);
+    for (const auto& e : n.down) {
+      out.insert(canon(LinkId{n.dev, dag.node(e.to).dev}));
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+PlanService::PlanService(const topo::Topology& topo,
+                         packet::PacketSpace& space, PlanServiceOptions opts)
+    : topo_(&topo), space_(&space), opts_(opts) {
+  if (opts_.workers != 1) {
+    pool_ = std::make_unique<WorkerPool>(opts_.workers);
+  }
+}
+
+InvariantId PlanService::add_invariant(spec::Invariant inv) {
+  const InvariantId id = next_id_++;
+  Intent intent;
+  intent.inv = std::move(inv);
+  intents_.emplace(id, std::move(intent));
+  return id;
+}
+
+bool PlanService::remove_invariant(InvariantId id) {
+  const auto it = intents_.find(id);
+  if (it == intents_.end()) return false;
+  index_remove(id, it->second);
+  intents_.erase(it);
+  pending_removed_.push_back(id);
+  return true;
+}
+
+void PlanService::index_add(InvariantId id, const Intent& intent) {
+  for (const auto& l : intent.support) support_index_[l].insert(id);
+  for (const auto& l : intent.overlay_at_plan) overlay_index_[l].insert(id);
+}
+
+void PlanService::index_remove(InvariantId id, const Intent& intent) {
+  for (const auto& l : intent.support) {
+    const auto it = support_index_.find(l);
+    if (it == support_index_.end()) continue;
+    it->second.erase(id);
+    if (it->second.empty()) support_index_.erase(it);
+  }
+  for (const auto& l : intent.overlay_at_plan) {
+    const auto it = overlay_index_.find(l);
+    if (it == overlay_index_.end()) continue;
+    it->second.erase(id);
+    if (it->second.empty()) overlay_index_.erase(it);
+  }
+}
+
+void PlanService::set_link_state(LinkId link, bool up) {
+  const LinkId l = canon(link);
+  if (up) {
+    if (overlay_.erase(l) == 0) return;  // was not down
+    // Only plans built while `l` was overlaid excluded paths through it.
+    const auto it = overlay_index_.find(l);
+    if (it == overlay_index_.end()) return;
+    for (const InvariantId id : it->second) {
+      const auto iit = intents_.find(id);
+      if (iit != intents_.end()) iit->second.dirty = true;
+    }
+  } else {
+    if (!overlay_.insert(l).second) return;  // already down
+    // A downed link changes only plans whose valid paths traverse it.
+    const auto it = support_index_.find(l);
+    if (it == support_index_.end()) return;
+    for (const InvariantId id : it->second) {
+      const auto iit = intents_.find(id);
+      if (iit == intents_.end()) continue;
+      if (iit->second.overlay_at_plan.contains(l)) continue;
+      iit->second.dirty = true;
+    }
+  }
+}
+
+bool PlanService::link_is_up(LinkId link) const {
+  return !overlay_.contains(canon(link));
+}
+
+std::size_t PlanService::dirty_count() const {
+  std::size_t n = 0;
+  for (const auto& [id, intent] : intents_) {
+    if (intent.dirty || intent.plan == nullptr) ++n;
+  }
+  return n;
+}
+
+PlanDelta PlanService::commit() {
+  TLK_SPAN("planner.commit");
+  const auto t0 = std::chrono::steady_clock::now();
+  PlanDelta delta;
+  delta.removed = std::move(pending_removed_);
+  pending_removed_.clear();
+
+  std::vector<std::pair<InvariantId, Intent*>> dirty;
+  for (auto& [id, intent] : intents_) {
+    if (!opts_.incremental || intent.dirty || intent.plan == nullptr) {
+      dirty.emplace_back(id, &intent);
+    } else {
+      ++delta.reused;
+    }
+  }
+
+  const auto dfa = cache_.builder();
+  core::Executor& exec =
+      pool_ != nullptr ? *pool_ : core::serial_executor();
+
+  // Phase 1 (serial): packet-space coverage validation — the BDD manager
+  // backing the packet space is single-threaded. Also warms the DfaCache
+  // so phase-2 workers mostly hit.
+  std::vector<std::vector<std::string>> coverage(dirty.size());
+  for (std::size_t i = 0; i < dirty.size(); ++i) {
+    coverage[i] =
+        spec::validate_coverage(dirty[i].second->inv, *topo_, *space_, dfa);
+  }
+
+  // Phase 2 (parallel): structural validation + DPVNet construction, one
+  // job per dirty intent; each construction fans its scene enumerations
+  // back onto the same pool (nested run_all).
+  struct Job {
+    std::vector<std::string> problems;
+    std::shared_ptr<InvariantPlan> plan;
+    std::unordered_set<LinkId> support;
+  };
+  std::vector<Job> jobs(dirty.size());
+  {
+    std::vector<std::function<void()>> tasks;
+    tasks.reserve(dirty.size());
+    for (std::size_t i = 0; i < dirty.size(); ++i) {
+      tasks.emplace_back([this, i, &dirty, &jobs, &exec, dfa] {
+        const auto tj = std::chrono::steady_clock::now();
+        const InvariantId id = dirty[i].first;
+        const spec::Invariant& inv = dirty[i].second->inv;
+        Job& job = jobs[i];
+        job.problems = spec::validate_structure(inv, *topo_, dfa);
+        if (!job.problems.empty()) return;
+
+        auto plan = std::make_shared<InvariantPlan>();
+        plan->id = id;
+        plan->inv = inv;
+        plan->scenes = dpvnet::expand_scenes(*topo_, inv.faults,
+                                             opts_.planner.build.max_scenes);
+        dpvnet::BuildOptions build = opts_.planner.build;
+        build.executor = &exec;
+        build.dfa_builder = dfa;
+        auto dag = std::make_shared<dpvnet::DpvNet>(
+            dpvnet::build_dpvnet(*topo_, inv,
+                                 overlaid_scenes(plan->scenes, overlay_),
+                                 build, &plan->stats));
+        plan->static_warnings = static_warnings(*dag, *topo_);
+        job.support = dag_support(*dag);
+        plan->dag = std::move(dag);
+        plan->plan_seconds = std::chrono::duration<double>(
+                                 std::chrono::steady_clock::now() - tj)
+                                 .count();
+        job.plan = std::move(plan);
+      });
+    }
+    exec.run_all(std::move(tasks));
+  }
+
+  // Phase 3 (serial, id order): abort on the first invalid invariant,
+  // else publish plans and refresh the dependency index.
+  for (std::size_t i = 0; i < dirty.size(); ++i) {
+    if (jobs[i].problems.empty() && coverage[i].empty()) continue;
+    std::string msg =
+        "invariant '" + dirty[i].second->inv.name + "' invalid:";
+    for (const auto& p : jobs[i].problems) msg += "\n  - " + p;
+    for (const auto& p : coverage[i]) msg += "\n  - " + p;
+    throw SpecError(msg);
+  }
+  for (std::size_t i = 0; i < dirty.size(); ++i) {
+    const InvariantId id = dirty[i].first;
+    Intent& intent = *dirty[i].second;
+    index_remove(id, intent);
+    intent.plan = std::move(jobs[i].plan);
+    intent.support = std::move(jobs[i].support);
+    intent.overlay_at_plan = overlay_;
+    intent.dirty = false;
+    index_add(id, intent);
+    delta.replanned.push_back(id);
+  }
+
+  obs::Registry::instance()
+      .counter("planner_commit_replanned")
+      .add(delta.replanned.size());
+  obs::Registry::instance()
+      .counter("planner_commit_reused")
+      .add(delta.reused);
+  delta.seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+          .count();
+  return delta;
+}
+
+const InvariantPlan* PlanService::plan(InvariantId id) const {
+  const auto it = intents_.find(id);
+  if (it == intents_.end()) return nullptr;
+  return it->second.plan.get();
+}
+
+std::vector<const InvariantPlan*> PlanService::plans() const {
+  std::vector<const InvariantPlan*> out;
+  out.reserve(intents_.size());
+  for (const auto& [id, intent] : intents_) {
+    if (intent.plan != nullptr) out.push_back(intent.plan.get());
+  }
+  return out;
+}
+
+std::uint64_t PlanService::digest() const { return plan_digest(plans()); }
+
+}  // namespace tulkun::planner

@@ -1,0 +1,127 @@
+// PlanService: the incremental, parallel, multi-tenant planner front end.
+//
+// The batch Planner recomputes every invariant from scratch on any change;
+// at data-center intent counts (thousands of concurrent invariants) that
+// makes a single link flap cost a full replan. PlanService keeps the
+// intent set resident and turns planning into a transaction:
+//
+//   add_invariant / remove_invariant   edit the intent set,
+//   set_link_state                     edits a link-state overlay,
+//   commit()                           replans exactly the dirty subset.
+//
+// Incremental: a dependency index maps each topology link to the plans
+// whose valid paths traverse it (the plan's "support"), so a link-down
+// dirties only the touching intents; a link-up dirties only intents that
+// were planned while that link was overlaid down. Regex work is shared
+// through a DfaCache keyed on canonical ASTs.
+//
+// Parallel: dirty intents are planned concurrently on a WorkerPool, and
+// each DPVNet construction additionally fans its per-scene enumerations
+// onto the same pool (nested run_all is deadlock-free: callers help). The
+// packet-space coverage check runs serially first — the BDD manager is
+// single-threaded — via the spec::validate_structure/validate_coverage
+// split.
+//
+// Determinism: ids are assigned in add order, construction merges results
+// in serial order (see build_dpvnet), and digest() covers the
+// device-visible payload, so serial, parallel, and incremental commits of
+// the same logical state produce byte-identical plans.
+//
+// Error handling: commit() is atomic — an invalid invariant aborts the
+// whole commit with SpecError (structural problems listed before coverage
+// problems) and publishes nothing.
+#pragma once
+
+#include <map>
+#include <memory>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "planner/dfa_cache.hpp"
+#include "planner/planner.hpp"
+#include "planner/worker_pool.hpp"
+
+namespace tulkun::planner {
+
+struct PlanServiceOptions {
+  PlannerOptions planner;
+  /// Total planning concurrency including the committing thread
+  /// (1 = serial; 0 = one per hardware thread).
+  std::size_t workers = 1;
+  /// When false every commit replans the full intent set (ablation /
+  /// digest-equivalence baseline).
+  bool incremental = true;
+};
+
+/// What one commit changed.
+struct PlanDelta {
+  std::vector<InvariantId> replanned;  // built or rebuilt this commit
+  std::vector<InvariantId> removed;    // retired since the last commit
+  std::size_t reused = 0;              // intents kept without replanning
+  double seconds = 0.0;                // commit wall time
+};
+
+class PlanService {
+ public:
+  PlanService(const topo::Topology& topo, packet::PacketSpace& space,
+              PlanServiceOptions opts = {});
+
+  /// Registers an invariant; returns its id (assigned in add order).
+  /// Planning is deferred to commit().
+  InvariantId add_invariant(spec::Invariant inv);
+
+  /// Retires an invariant; false when the id is unknown.
+  bool remove_invariant(InvariantId id);
+
+  /// Marks a topology link down (up = false) or back up for subsequent
+  /// commits. Downed links are excluded from every invariant's valid
+  /// paths, as if failed in every fault scene. Dirties only dependent
+  /// intents (via the support index).
+  void set_link_state(LinkId link, bool up);
+  [[nodiscard]] bool link_is_up(LinkId link) const;
+
+  /// Replans the dirty subset (or everything when incremental is off).
+  PlanDelta commit();
+
+  /// Published plan of `id` (null before its first commit / unknown id).
+  [[nodiscard]] const InvariantPlan* plan(InvariantId id) const;
+
+  /// All published plans in ascending id order.
+  [[nodiscard]] std::vector<const InvariantPlan*> plans() const;
+
+  /// Canonical digest over the published plans (see plan_digest.hpp).
+  [[nodiscard]] std::uint64_t digest() const;
+
+  [[nodiscard]] DfaCache& dfa_cache() { return cache_; }
+  [[nodiscard]] std::size_t intent_count() const { return intents_.size(); }
+  [[nodiscard]] std::size_t dirty_count() const;
+  [[nodiscard]] const PlanServiceOptions& options() const { return opts_; }
+
+ private:
+  struct Intent {
+    spec::Invariant inv;
+    std::shared_ptr<const InvariantPlan> plan;     // null until committed
+    bool dirty = true;
+    std::unordered_set<LinkId> support;            // links on valid paths
+    std::unordered_set<LinkId> overlay_at_plan;    // overlay when planned
+  };
+
+  void index_add(InvariantId id, const Intent& intent);
+  void index_remove(InvariantId id, const Intent& intent);
+
+  const topo::Topology* topo_;
+  packet::PacketSpace* space_;
+  PlanServiceOptions opts_;
+  DfaCache cache_;
+  std::unique_ptr<WorkerPool> pool_;  // null when workers == 1
+  std::map<InvariantId, Intent> intents_;
+  std::unordered_set<LinkId> overlay_;  // currently-down links (canonical)
+  /// Dependency index: link -> intents whose plan depends on it.
+  std::unordered_map<LinkId, std::unordered_set<InvariantId>> support_index_;
+  std::unordered_map<LinkId, std::unordered_set<InvariantId>> overlay_index_;
+  std::vector<InvariantId> pending_removed_;
+  InvariantId next_id_ = 1;
+};
+
+}  // namespace tulkun::planner

@@ -10,13 +10,13 @@ namespace tulkun::planner {
 InvariantPlan Planner::plan(spec::Invariant inv) const {
   TLK_SPAN("planner.plan");
   const auto t0 = std::chrono::steady_clock::now();
-  spec::ensure_valid(inv, *topo_, *space_);
+  spec::ensure_valid(inv, *topo_, *space_, opts_.build.dfa_builder);
 
   InvariantPlan out;
   out.id = next_id_++;
   out.scenes = dpvnet::expand_scenes(*topo_, inv.faults, opts_.build.max_scenes);
   auto dag = std::make_shared<dpvnet::DpvNet>(
-      dpvnet::build_dpvnet(*topo_, inv, opts_.build, &out.stats));
+      dpvnet::build_dpvnet(*topo_, inv, out.scenes, opts_.build, &out.stats));
 
   // Static diagnostics: ingresses with no valid path in the base scene.
   for (const auto& [ingress, src] : dag->sources()) {

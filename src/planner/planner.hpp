@@ -2,6 +2,7 @@
 // and decomposes verification into per-device counting tasks.
 #pragma once
 
+#include <atomic>
 #include <memory>
 #include <string>
 #include <vector>
@@ -81,7 +82,8 @@ class Planner {
   const topo::Topology* topo_;
   packet::PacketSpace* space_;
   PlannerOptions opts_;
-  mutable InvariantId next_id_ = 1;
+  // Atomic: PlanService workers allocate ids from one shared Planner.
+  mutable std::atomic<InvariantId> next_id_{1};
 };
 
 }  // namespace tulkun::planner

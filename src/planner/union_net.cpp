@@ -1,0 +1,92 @@
+#include "planner/union_net.hpp"
+
+#include <algorithm>
+
+namespace tulkun::planner {
+
+const UnionDpvNet::PlanRef& UnionDpvNet::add(const InvariantPlan& plan) {
+  const dpvnet::DpvNet& dag = *plan.dag;
+  constexpr std::uint32_t kNone = ~0U;
+  std::vector<std::uint32_t> global(dag.node_count(), kNone);
+
+  PlanRef ref;
+  ref.id = plan.id;
+  ref.nodes_total = dag.node_count();
+
+  // reverse_topological lists every node after its downstream neighbors,
+  // so children are interned before their parents reference them.
+  for (const NodeId id : dag.reverse_topological()) {
+    const auto& n = dag.node(id);
+    Key key;
+    key.dev = n.dev;
+    key.accept = n.accept;
+    key.down.reserve(n.down.size());
+    for (const auto& e : n.down) {
+      key.down.emplace_back(global[e.to], e.scenes);
+    }
+    std::sort(key.down.begin(), key.down.end(),
+              [](const auto& a, const auto& b) { return a.first < b.first; });
+    const auto it = interned_.find(key);
+    if (it != interned_.end()) {
+      global[id] = it->second;
+      continue;
+    }
+    const auto gid = static_cast<std::uint32_t>(nodes_.size());
+    Node node;
+    node.dev = key.dev;
+    node.accept = key.accept;
+    node.down = key.down;
+    nodes_.push_back(std::move(node));
+    interned_.emplace(std::move(key), gid);
+    global[id] = gid;
+    ++ref.nodes_new;
+  }
+  total_nodes_ += dag.node_count();
+
+  for (const auto& [ingress, src] : dag.sources()) {
+    ref.sources.emplace_back(ingress,
+                             src == kNoNode ? kNone : global[src]);
+  }
+
+  // Per-device slices: the plan's node ids grouped by device.
+  std::map<DeviceId, Slice> slices;
+  for (NodeId id = 0; id < dag.node_count(); ++id) {
+    auto [it, inserted] = slices.try_emplace(dag.node(id).dev);
+    if (inserted) {
+      it->second.invariant = plan.id;
+    }
+    it->second.nodes.push_back(global[id]);
+  }
+  for (auto& [dev, slice] : slices) {
+    slice.is_ingress =
+        std::find(plan.inv.ingress_set.begin(), plan.inv.ingress_set.end(),
+                  dev) != plan.inv.ingress_set.end();
+    std::sort(slice.nodes.begin(), slice.nodes.end());
+    by_device_[dev].push_back(std::move(slice));
+  }
+
+  refs_.push_back(std::move(ref));
+  return refs_.back();
+}
+
+std::vector<UnionDpvNet::DeviceTable> UnionDpvNet::device_tables() const {
+  std::vector<DeviceTable> out;
+  out.reserve(by_device_.size());
+  for (const auto& [dev, slices] : by_device_) {
+    DeviceTable table;
+    table.device = dev;
+    table.slices = slices;
+    for (const auto& s : slices) {
+      table.unique_nodes.insert(table.unique_nodes.end(), s.nodes.begin(),
+                                s.nodes.end());
+    }
+    std::sort(table.unique_nodes.begin(), table.unique_nodes.end());
+    table.unique_nodes.erase(
+        std::unique(table.unique_nodes.begin(), table.unique_nodes.end()),
+        table.unique_nodes.end());
+    out.push_back(std::move(table));
+  }
+  return out;
+}
+
+}  // namespace tulkun::planner

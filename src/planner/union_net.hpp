@@ -1,0 +1,100 @@
+// UnionDpvNet (multi-tenant sharing): one global node store for the DAGs
+// of thousands of concurrent invariants.
+//
+// Data-center intent sets are highly templated — per-tenant reachability
+// to the same service prefix, waypoint chains stamped out per pod — so
+// structurally equal DPVNet subgraphs recur across invariants. UnionDpvNet
+// interns plan DAGs bottom-up into a shared arena keyed on
+// (device, acceptance masks, (child, scene-mask) edges), the same
+// canonical key DAWG compaction uses within one plan, extended across
+// plans. Each plan keeps only a slice: its sources and per-device node-id
+// lists referencing shared storage.
+//
+// Distribution is intent-sliced: a device's table holds each unique
+// shared node once plus one slim slice per invariant touching the device,
+// so per-device payload scales with the structure the device actually
+// participates in, not with the total invariant count.
+#pragma once
+
+#include <map>
+#include <unordered_map>
+#include <vector>
+
+#include "planner/planner.hpp"
+
+namespace tulkun::planner {
+
+class UnionDpvNet {
+ public:
+  /// One shared node (the union-DAG analogue of dpvnet::DpvNode).
+  struct Node {
+    DeviceId dev = kNoDevice;
+    std::vector<dpvnet::SceneMask> accept;
+    /// Downstream edges: (global node id, scenes), sorted by id.
+    std::vector<std::pair<std::uint32_t, dpvnet::SceneMask>> down;
+  };
+
+  /// One invariant's view into the shared store.
+  struct PlanRef {
+    InvariantId id = 0;
+    /// Ingress -> global source node (kNoNode sentinel stays ~0u).
+    std::vector<std::pair<DeviceId, std::uint32_t>> sources;
+    std::size_t nodes_total = 0;  // nodes in the plan's own DAG
+    std::size_t nodes_new = 0;    // nodes this plan added to the store
+  };
+
+  /// A device's table: shared nodes once + a slim slice per invariant.
+  struct Slice {
+    InvariantId invariant = 0;
+    std::vector<std::uint32_t> nodes;  // global ids mapped to this device
+    bool is_ingress = false;
+  };
+  struct DeviceTable {
+    DeviceId device = kNoDevice;
+    std::vector<std::uint32_t> unique_nodes;  // sorted, deduplicated
+    std::vector<Slice> slices;                // in add order
+  };
+
+  /// Interns `plan`'s DAG (children before parents) and records its slice.
+  const PlanRef& add(const InvariantPlan& plan);
+
+  [[nodiscard]] const Node& node(std::uint32_t id) const {
+    return nodes_[id];
+  }
+  [[nodiscard]] std::size_t node_count() const { return nodes_.size(); }
+  /// Sum of per-plan DAG sizes; node_count()/total is the sharing ratio.
+  [[nodiscard]] std::size_t total_nodes() const { return total_nodes_; }
+  [[nodiscard]] std::size_t plan_count() const { return refs_.size(); }
+  [[nodiscard]] const std::vector<PlanRef>& refs() const { return refs_; }
+
+  /// Per-device distribution tables, ascending device id.
+  [[nodiscard]] std::vector<DeviceTable> device_tables() const;
+
+ private:
+  struct Key {
+    DeviceId dev = kNoDevice;
+    std::vector<dpvnet::SceneMask> accept;
+    std::vector<std::pair<std::uint32_t, dpvnet::SceneMask>> down;
+    friend bool operator==(const Key&, const Key&) = default;
+  };
+  struct KeyHash {
+    std::size_t operator()(const Key& k) const noexcept {
+      std::size_t seed = k.dev;
+      for (const auto& m : k.accept) hash_combine(seed, m.hash());
+      for (const auto& [to, m] : k.down) {
+        hash_combine(seed, to);
+        hash_combine(seed, m.hash());
+      }
+      return seed;
+    }
+  };
+
+  std::vector<Node> nodes_;
+  std::unordered_map<Key, std::uint32_t, KeyHash> interned_;
+  std::vector<PlanRef> refs_;
+  std::size_t total_nodes_ = 0;
+  /// device -> slices of every plan touching it (in add order).
+  std::map<DeviceId, std::vector<Slice>> by_device_;
+};
+
+}  // namespace tulkun::planner

@@ -1,0 +1,90 @@
+#include "planner/worker_pool.hpp"
+
+#include <algorithm>
+
+namespace tulkun::planner {
+
+WorkerPool::WorkerPool(std::size_t workers) {
+  if (workers == 0) {
+    workers = std::max<std::size_t>(1, std::thread::hardware_concurrency());
+  }
+  threads_.reserve(workers - 1);
+  for (std::size_t i = 0; i + 1 < workers; ++i) {
+    threads_.emplace_back([this] { worker(); });
+  }
+}
+
+WorkerPool::~WorkerPool() {
+  {
+    std::unique_lock<std::mutex> lk(mu_);
+    stop_ = true;
+  }
+  work_cv_.notify_all();
+  for (auto& t : threads_) t.join();
+}
+
+bool WorkerPool::run_one(std::unique_lock<std::mutex>& lk) {
+  for (std::size_t bi = 0; bi < active_.size(); ++bi) {
+    const auto batch = active_[bi];
+    if (batch->next >= batch->tasks.size()) continue;
+    const std::size_t idx = batch->next++;
+    if (batch->next >= batch->tasks.size()) {
+      // Fully claimed: stop offering it (completions still tracked).
+      active_.erase(active_.begin() + static_cast<std::ptrdiff_t>(bi));
+    }
+    lk.unlock();
+    std::exception_ptr err;
+    try {
+      batch->tasks[idx]();
+    } catch (...) {
+      err = std::current_exception();
+    }
+    lk.lock();
+    if (err && idx < batch->error_index) {
+      batch->error_index = idx;
+      batch->error = err;
+    }
+    if (--batch->unfinished == 0) done_cv_.notify_all();
+    return true;
+  }
+  return false;
+}
+
+void WorkerPool::worker() {
+  std::unique_lock<std::mutex> lk(mu_);
+  while (true) {
+    if (run_one(lk)) continue;
+    if (stop_) return;
+    work_cv_.wait(lk);
+  }
+}
+
+void WorkerPool::run_all(std::vector<std::function<void()>> tasks) {
+  if (threads_.empty() || tasks.size() <= 1) {
+    for (auto& t : tasks) t();
+    return;
+  }
+  auto batch = std::make_shared<Batch>();
+  batch->unfinished = tasks.size();
+  batch->tasks = std::move(tasks);
+
+  std::unique_lock<std::mutex> lk(mu_);
+  active_.push_back(batch);
+  work_cv_.notify_all();
+  done_cv_.notify_all();  // waiting callers may claim from this batch too
+  // Participate until this batch drains; helping with *any* claimable
+  // work (including batches nested under our own tasks) keeps a fixed
+  // pool deadlock-free.
+  while (batch->unfinished > 0) {
+    if (run_one(lk)) continue;
+    done_cv_.wait(lk, [&] {
+      if (batch->unfinished == 0) return true;
+      return std::any_of(active_.begin(), active_.end(), [](const auto& b) {
+        return b->next < b->tasks.size();
+      });
+    });
+  }
+  if (batch->error) std::rethrow_exception(batch->error);
+}
+
+}  // namespace tulkun::planner

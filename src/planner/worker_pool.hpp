@@ -1,0 +1,61 @@
+// Fixed-size planning worker pool (core::Executor implementation).
+//
+// run_all callers *participate*: the submitting thread claims and runs
+// queued tasks alongside the pool threads until its own batch completes.
+// That makes nested run_all calls (an invariant-level job fanning its
+// fault scenes back out onto the same pool) deadlock-free on a fixed pool:
+// a blocked parent is never idle while claimable work exists, so forward
+// progress only requires one runnable thread.
+#pragma once
+
+#include <condition_variable>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "core/executor.hpp"
+
+namespace tulkun::planner {
+
+class WorkerPool final : public core::Executor {
+ public:
+  /// `workers` is the total planning concurrency including the caller
+  /// (workers - 1 pool threads are spawned). 0 = one per hardware thread;
+  /// 1 = fully inline (no threads, serial reference behavior).
+  explicit WorkerPool(std::size_t workers = 0);
+  ~WorkerPool() override;
+
+  WorkerPool(const WorkerPool&) = delete;
+  WorkerPool& operator=(const WorkerPool&) = delete;
+
+  [[nodiscard]] std::size_t concurrency() const noexcept override {
+    return threads_.size() + 1;
+  }
+
+  void run_all(std::vector<std::function<void()>> tasks) override;
+
+ private:
+  struct Batch {
+    std::vector<std::function<void()>> tasks;
+    std::size_t next = 0;        // next unclaimed task index
+    std::size_t unfinished = 0;  // claimed-or-unclaimed tasks still pending
+    std::size_t error_index = ~std::size_t{0};
+    std::exception_ptr error;
+  };
+
+  /// Claims one task from the oldest batch with unclaimed work and runs it
+  /// (lock dropped during execution). Returns false when nothing was
+  /// claimable.
+  bool run_one(std::unique_lock<std::mutex>& lk);
+  void worker();
+
+  std::mutex mu_;
+  std::condition_variable work_cv_;  // workers: claimable work or stop
+  std::condition_variable done_cv_;  // callers: task completions / new work
+  std::vector<std::shared_ptr<Batch>> active_;
+  bool stop_ = false;
+  std::vector<std::thread> threads_;
+};
+
+}  // namespace tulkun::planner

@@ -69,7 +69,15 @@ void DeviceProcess::on_frame(net::PeerId /*from*/,
 
 void DeviceProcess::build_world() {
   devices_.clear();
-  world_ = builder_();
+  // The world (plans, initial tables, update steps) is a deterministic
+  // function of the dataset and identical in every epoch; planning it is
+  // the expensive part of recovery. Build it once and let epoch resets
+  // rebuild only the per-device verifier state — recovery applies the
+  // cached plan payload instead of replanning the network.
+  if (!world_built_) {
+    world_ = builder_();
+    world_built_ = true;
+  }
   step_rule_ids_.assign(world_.steps.size(), 0);
   for (DeviceId d = 0; d < topo_->device_count(); ++d) {
     if (owner_rank(d, cfg_.n_device_procs) != cfg_.rank) continue;

@@ -111,6 +111,7 @@ class DeviceProcess {
 
   // Worker-owned state (no lock needed).
   DistWorld world_;
+  bool world_built_ = false;  // plans/tables cached across epoch resets
   std::vector<OwnedDevice> devices_;
   std::vector<std::uint64_t> step_rule_ids_;
   bdd::SerializeCache transfer_cache_;

@@ -55,75 +55,75 @@ std::vector<regex::Symbol> first_symbols(const regex::Dfa& dfa,
   return out;
 }
 
-std::vector<std::string> validate(const Invariant& inv,
-                                  const topo::Topology& topo,
-                                  packet::PacketSpace& space) {
-  std::vector<std::string> problems;
+namespace {
+
+/// Minimized DFA of `pe` through the caller's memoized hook (or fresh).
+regex::Dfa atom_dfa(const PathExpr& pe, const DfaFn& dfa) {
+  if (dfa) return dfa(pe);
+  return regex::Dfa::determinize(regex::build_nfa(pe.ast)).minimize();
+}
+
+/// Boundedness / dead-regex problems of one atom; returns false when the
+/// atom is too broken for the downstream DFA-based checks to apply.
+bool atom_shape_ok(const Behavior* atom, std::vector<std::string>* problems) {
+  const PathExpr& pe = atom->path;
+  if ((atom->op == MatchOpKind::Exist || atom->op == MatchOpKind::Subset) &&
+      !pe.bounded()) {
+    if (problems != nullptr) {
+      problems->push_back("path expression '" + pe.regex_text +
+                          "' is unbounded: add loop_free or an upper length "
+                          "filter");
+    }
+    return false;
+  }
+  return true;
+}
+
+/// Destination <-> packet-space consistency: some device that can end a
+/// matching path must own a prefix intersecting the packet space.
+/// Negative atoms (satisfied by zero matching traces, e.g. isolation's
+/// exist == 0) intentionally name destinations the packets must NOT
+/// reach, so the coverage requirement does not apply.
+void atom_coverage_problems(const Behavior* atom, const Invariant& inv,
+                            const topo::Topology& topo,
+                            packet::PacketSpace& space, const regex::Dfa& dfa,
+                            std::vector<std::string>& problems) {
+  const PathExpr& pe = atom->path;
   const std::size_t n = topo.device_count();
-
-  if (inv.ingress_set.empty()) {
-    problems.push_back("empty ingress set");
+  const bool zero_satisfiable =
+      atom->op == MatchOpKind::Exist && atom->count.satisfied(0);
+  const auto dests = last_symbols(dfa, n);
+  if (dests.empty() || zero_satisfiable) return;
+  for (const auto dev : dests) {
+    for (const auto& prefix : topo.prefixes(dev)) {
+      if (inv.packet_space.intersects(space.dst_prefix(prefix))) return;
+    }
   }
+  problems.push_back(
+      "packet space '" + inv.packet_space_text +
+      "' does not reach any prefix attached to the destinations of '" +
+      pe.regex_text + "'");
+}
+
+/// Every ingress should be able to start a matching path.
+void atom_ingress_problems(const Behavior* atom, const Invariant& inv,
+                           const topo::Topology& topo, const regex::Dfa& dfa,
+                           std::vector<std::string>& problems) {
+  const std::size_t n = topo.device_count();
+  const auto firsts = first_symbols(dfa, n);
   for (const DeviceId ing : inv.ingress_set) {
-    if (ing >= n) problems.push_back("ingress device id out of range");
-  }
-
-  for (const Behavior* atom : inv.behavior.atoms()) {
-    const PathExpr& pe = atom->path;
-    if ((atom->op == MatchOpKind::Exist || atom->op == MatchOpKind::Subset) &&
-        !pe.bounded()) {
-      problems.push_back("path expression '" + pe.regex_text +
-                         "' is unbounded: add loop_free or an upper length "
-                         "filter");
-      continue;
-    }
-    const regex::Dfa dfa =
-        regex::Dfa::determinize(regex::build_nfa(pe.ast)).minimize();
-    if (dfa.start() == regex::Dfa::kDead) {
-      problems.push_back("path expression '" + pe.regex_text +
-                         "' matches no path at all");
-      continue;
-    }
-
-    // Destination <-> packet-space consistency: some device that can end a
-    // matching path must own a prefix intersecting the packet space.
-    // Negative atoms (satisfied by zero matching traces, e.g. isolation's
-    // exist == 0) intentionally name destinations the packets must NOT
-    // reach, so the coverage requirement does not apply.
-    const bool zero_satisfiable =
-        atom->op == MatchOpKind::Exist && atom->count.satisfied(0);
-    const auto dests = last_symbols(dfa, n);
-    if (!dests.empty() && !zero_satisfiable) {
-      bool covered = false;
-      for (const auto dev : dests) {
-        for (const auto& prefix : topo.prefixes(dev)) {
-          if (inv.packet_space.intersects(space.dst_prefix(prefix))) {
-            covered = true;
-            break;
-          }
-        }
-        if (covered) break;
-      }
-      if (!covered) {
-        problems.push_back(
-            "packet space '" + inv.packet_space_text +
-            "' does not reach any prefix attached to the destinations of '" +
-            pe.regex_text + "'");
-      }
-    }
-
-    // Every ingress should be able to start a matching path.
-    const auto firsts = first_symbols(dfa, n);
-    for (const DeviceId ing : inv.ingress_set) {
-      if (ing < n &&
-          std::find(firsts.begin(), firsts.end(), ing) == firsts.end()) {
-        problems.push_back("ingress " + topo.name(ing) +
-                           " cannot start any path matching '" +
-                           pe.regex_text + "'");
-      }
+    if (ing < n &&
+        std::find(firsts.begin(), firsts.end(), ing) == firsts.end()) {
+      problems.push_back("ingress " + topo.name(ing) +
+                         " cannot start any path matching '" +
+                         atom->path.regex_text + "'");
     }
   }
+}
 
+void scene_problems(const Invariant& inv, const topo::Topology& topo,
+                    std::vector<std::string>& problems) {
+  const std::size_t n = topo.device_count();
   for (const auto& scene : inv.faults.scenes) {
     for (const auto& link : scene.failed) {
       if (link.from >= n || link.to >= n ||
@@ -132,12 +132,79 @@ std::vector<std::string> validate(const Invariant& inv,
       }
     }
   }
+}
+
+void ingress_set_problems(const Invariant& inv, const topo::Topology& topo,
+                          std::vector<std::string>& problems) {
+  if (inv.ingress_set.empty()) {
+    problems.push_back("empty ingress set");
+  }
+  for (const DeviceId ing : inv.ingress_set) {
+    if (ing >= topo.device_count()) {
+      problems.push_back("ingress device id out of range");
+    }
+  }
+}
+
+}  // namespace
+
+std::vector<std::string> validate(const Invariant& inv,
+                                  const topo::Topology& topo,
+                                  packet::PacketSpace& space,
+                                  const DfaFn& dfa_fn) {
+  std::vector<std::string> problems;
+  ingress_set_problems(inv, topo, problems);
+  for (const Behavior* atom : inv.behavior.atoms()) {
+    if (!atom_shape_ok(atom, &problems)) continue;
+    const regex::Dfa dfa = atom_dfa(atom->path, dfa_fn);
+    if (dfa.start() == regex::Dfa::kDead) {
+      problems.push_back("path expression '" + atom->path.regex_text +
+                         "' matches no path at all");
+      continue;
+    }
+    atom_coverage_problems(atom, inv, topo, space, dfa, problems);
+    atom_ingress_problems(atom, inv, topo, dfa, problems);
+  }
+  scene_problems(inv, topo, problems);
+  return problems;
+}
+
+std::vector<std::string> validate_structure(const Invariant& inv,
+                                            const topo::Topology& topo,
+                                            const DfaFn& dfa_fn) {
+  std::vector<std::string> problems;
+  ingress_set_problems(inv, topo, problems);
+  for (const Behavior* atom : inv.behavior.atoms()) {
+    if (!atom_shape_ok(atom, &problems)) continue;
+    const regex::Dfa dfa = atom_dfa(atom->path, dfa_fn);
+    if (dfa.start() == regex::Dfa::kDead) {
+      problems.push_back("path expression '" + atom->path.regex_text +
+                         "' matches no path at all");
+      continue;
+    }
+    atom_ingress_problems(atom, inv, topo, dfa, problems);
+  }
+  scene_problems(inv, topo, problems);
+  return problems;
+}
+
+std::vector<std::string> validate_coverage(const Invariant& inv,
+                                           const topo::Topology& topo,
+                                           packet::PacketSpace& space,
+                                           const DfaFn& dfa_fn) {
+  std::vector<std::string> problems;
+  for (const Behavior* atom : inv.behavior.atoms()) {
+    if (!atom_shape_ok(atom, nullptr)) continue;
+    const regex::Dfa dfa = atom_dfa(atom->path, dfa_fn);
+    if (dfa.start() == regex::Dfa::kDead) continue;
+    atom_coverage_problems(atom, inv, topo, space, dfa, problems);
+  }
   return problems;
 }
 
 void ensure_valid(const Invariant& inv, const topo::Topology& topo,
-                  packet::PacketSpace& space) {
-  const auto problems = validate(inv, topo, space);
+                  packet::PacketSpace& space, const DfaFn& dfa_fn) {
+  const auto problems = validate(inv, topo, space, dfa_fn);
   if (problems.empty()) return;
   std::string msg = "invariant '" + inv.name + "' invalid:";
   for (const auto& p : problems) msg += "\n  - " + p;

@@ -9,6 +9,7 @@
 //  * explicit fault scenes may only name existing links.
 #pragma once
 
+#include <functional>
 #include <string>
 #include <vector>
 
@@ -28,13 +29,32 @@ namespace tulkun::spec {
 [[nodiscard]] std::vector<regex::Symbol> first_symbols(
     const regex::Dfa& dfa, std::size_t alphabet_size);
 
+/// Memoized regex -> minimized-DFA hook (planner::DfaCache bridges through
+/// this). Empty = compile fresh per call.
+using DfaFn = std::function<regex::Dfa(const PathExpr&)>;
+
 /// Collects human-readable problems; empty means the invariant is valid.
+/// `dfa` (when non-empty) supplies minimized DFAs instead of fresh builds.
 [[nodiscard]] std::vector<std::string> validate(const Invariant& inv,
                                                 const topo::Topology& topo,
-                                                packet::PacketSpace& space);
+                                                packet::PacketSpace& space,
+                                                const DfaFn& dfa = {});
+
+/// The topology/automaton subset of validate(): boundedness, dead regexes,
+/// ingress-can-start, fault-scene links. Touches no PacketSpace, so
+/// planning workers may run it concurrently (given a thread-safe `dfa`).
+[[nodiscard]] std::vector<std::string> validate_structure(
+    const Invariant& inv, const topo::Topology& topo, const DfaFn& dfa = {});
+
+/// The packet-space <-> destination-prefix coverage subset of validate():
+/// the only part that mutates `space`'s BDD manager. Callers parallelizing
+/// validation run this part serially.
+[[nodiscard]] std::vector<std::string> validate_coverage(
+    const Invariant& inv, const topo::Topology& topo,
+    packet::PacketSpace& space, const DfaFn& dfa = {});
 
 /// Throws SpecError listing all problems when validate() is non-empty.
 void ensure_valid(const Invariant& inv, const topo::Topology& topo,
-                  packet::PacketSpace& space);
+                  packet::PacketSpace& space, const DfaFn& dfa = {});
 
 }  // namespace tulkun::spec

@@ -1,0 +1,167 @@
+// Property test: the planner's serial, parallel, and incremental paths
+// must be observationally identical. Over randomized WAN topologies we
+// check that (a) commits with 1/4/8 workers publish byte-identical plans
+// (canonical digest + structural decompose equality) and (b) incremental
+// replanning after link churn matches a from-scratch replan of the same
+// logical state.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "dpvnet/build.hpp"
+#include "fib/update_stream.hpp"
+#include "planner/plan_service.hpp"
+#include "spec/builtins.hpp"
+#include "topo/generators.hpp"
+
+namespace tulkun::planner {
+namespace {
+
+constexpr std::uint64_t kSeeds[] = {1, 2, 3};
+
+std::vector<spec::Invariant> make_invariants(const topo::Topology& topo,
+                                             packet::PacketSpace& space,
+                                             std::uint64_t seed) {
+  spec::Builtins b(topo, space);
+  const auto n = topo.device_count();
+  std::vector<spec::Invariant> invs;
+  for (std::uint64_t i = 0; i < 6; ++i) {
+    const DeviceId d = static_cast<DeviceId>((3 * i + seed) % n);
+    DeviceId s = static_cast<DeviceId>((d + 1 + i) % n);
+    if (s == d) s = (s + 1) % n;
+    const auto p = space.dst_prefix(topo.prefixes(d).front());
+    auto inv = (i % 2 == 0)
+                   ? b.shortest_plus_reachability(p, s, d, 1)
+                   : b.multi_ingress_reachability(
+                         p, {s, static_cast<DeviceId>((s + 1) % n == d
+                                                          ? (s + 2) % n
+                                                          : (s + 1) % n)},
+                         d);
+    if (i < 2) inv.faults.any_k = 1;  // fault tolerance on a subset (cost)
+    invs.push_back(std::move(inv));
+  }
+  return invs;
+}
+
+PlanService make_service(const topo::Topology& topo,
+                         packet::PacketSpace& space, std::size_t workers,
+                         bool incremental = true) {
+  PlanServiceOptions opts;
+  opts.workers = workers;
+  opts.incremental = incremental;
+  return PlanService(topo, space, opts);
+}
+
+void expect_same_tasks(const std::vector<DeviceTask>& a,
+                       const std::vector<DeviceTask>& b) {
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].device, b[i].device);
+    EXPECT_EQ(a[i].is_ingress, b[i].is_ingress);
+    ASSERT_EQ(a[i].nodes.size(), b[i].nodes.size());
+    for (std::size_t j = 0; j < a[i].nodes.size(); ++j) {
+      EXPECT_EQ(a[i].nodes[j].node, b[i].nodes[j].node);
+      EXPECT_EQ(a[i].nodes[j].accepting, b[i].nodes[j].accepting);
+      EXPECT_EQ(a[i].nodes[j].downstream, b[i].nodes[j].downstream);
+      EXPECT_EQ(a[i].nodes[j].upstream, b[i].nodes[j].upstream);
+    }
+  }
+}
+
+TEST(PlanEquivalence, WorkerCountNeverChangesPublishedPlans) {
+  for (const auto seed : kSeeds) {
+    SCOPED_TRACE("seed=" + std::to_string(seed));
+    const auto topo = topo::synthetic_wan("w", 12, 18, seed);
+    fib::NetworkFib net(topo);
+    auto& space = net.space();
+    const auto invs = make_invariants(topo, space, seed);
+
+    auto serial = make_service(topo, space, 1);
+    auto par4 = make_service(topo, space, 4);
+    auto par8 = make_service(topo, space, 8);
+    for (auto* svc : {&serial, &par4, &par8}) {
+      for (const auto& inv : invs) svc->add_invariant(inv);
+      svc->commit();
+    }
+    EXPECT_EQ(serial.digest(), par4.digest());
+    EXPECT_EQ(serial.digest(), par8.digest());
+
+    // Digest equality should imply decompose equality; check it directly
+    // so a digest-collision bug cannot mask a structural divergence.
+    const auto sp = serial.plans();
+    const auto pp = par8.plans();
+    ASSERT_EQ(sp.size(), pp.size());
+    for (std::size_t i = 0; i < sp.size(); ++i) {
+      expect_same_tasks(Planner::decompose(*sp[i]->dag, sp[i]->inv),
+                        Planner::decompose(*pp[i]->dag, pp[i]->inv));
+    }
+  }
+}
+
+TEST(PlanEquivalence, IncrementalChurnMatchesFullReplan) {
+  for (const auto seed : kSeeds) {
+    SCOPED_TRACE("seed=" + std::to_string(seed));
+    const auto topo = topo::synthetic_wan("w", 12, 18, seed);
+    fib::NetworkFib net(topo);
+    auto& space = net.space();
+    const auto invs = make_invariants(topo, space, seed);
+
+    auto inc = make_service(topo, space, 1);
+    for (const auto& inv : invs) inc.add_invariant(inv);
+    inc.commit();
+    const auto d0 = inc.digest();
+
+    // Flap the first link of device 0 (always exists: WANs are connected).
+    const LinkId link{0, topo.neighbors(0).front().neighbor};
+    inc.set_link_state(link, false);
+    inc.commit();
+
+    // A fresh service planning everything under the same overlay must
+    // agree byte for byte with the incremental replan.
+    auto full = make_service(topo, space, 1, /*incremental=*/false);
+    full.set_link_state(link, false);
+    for (const auto& inv : invs) full.add_invariant(inv);
+    full.commit();
+    EXPECT_EQ(inc.digest(), full.digest());
+
+    // Bringing the link back restores the original state exactly.
+    inc.set_link_state(link, true);
+    inc.commit();
+    EXPECT_EQ(inc.digest(), d0);
+  }
+}
+
+// Regression for the hash-set scene dedup: order and uniqueness of
+// expand_scenes output are part of plan determinism.
+TEST(PlanEquivalence, ExpandScenesDedupKeepsSerialOrder) {
+  const auto topo = topo::synthetic_wan("w", 6, 8, 42);
+  spec::FaultSpec faults;
+  // An explicit scene that any_k=1 will also generate, plus an exact
+  // duplicate: both must collapse onto the first occurrence.
+  const LinkId l{0, topo.neighbors(0).front().neighbor};
+  faults.scenes.push_back(spec::FaultScene::of({l}));
+  faults.scenes.push_back(spec::FaultScene::of({l}));
+  faults.any_k = 1;
+  const auto scenes = dpvnet::expand_scenes(topo, faults, 1024);
+
+  ASSERT_FALSE(scenes.empty());
+  EXPECT_TRUE(scenes[0].failed.empty()) << "scene 0 must be no-failure";
+  // The explicit scene keeps its early position (index 1).
+  ASSERT_GE(scenes.size(), 2u);
+  EXPECT_EQ(scenes[1], spec::FaultScene::of({l}));
+  // All unique.
+  for (std::size_t i = 0; i < scenes.size(); ++i) {
+    for (std::size_t j = i + 1; j < scenes.size(); ++j) {
+      EXPECT_NE(scenes[i], scenes[j]) << "duplicate at " << i << "," << j;
+    }
+  }
+  // any_k=1 over 8 links: no-failure + 8 singletons, duplicates folded.
+  EXPECT_EQ(scenes.size(), 1 + topo.link_count());
+  // Ascending failure count (explicit first, then generated singletons).
+  for (std::size_t i = 1; i + 1 < scenes.size(); ++i) {
+    EXPECT_LE(scenes[i].failed.size(), scenes[i + 1].failed.size());
+  }
+}
+
+}  // namespace
+}  // namespace tulkun::planner

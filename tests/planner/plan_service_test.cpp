@@ -1,0 +1,210 @@
+#include "planner/plan_service.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <thread>
+
+#include "planner/plan_digest.hpp"
+#include "spec/builtins.hpp"
+#include "testutil/figure2.hpp"
+
+namespace tulkun::planner {
+namespace {
+
+using testutil::Figure2;
+
+class PlanServiceTest : public ::testing::Test {
+ protected:
+  Figure2 fig;
+  spec::Builtins b{fig.topo, fig.space()};
+
+  PlanService make(std::size_t workers = 1, bool incremental = true) {
+    PlanServiceOptions opts;
+    opts.workers = workers;
+    opts.incremental = incremental;
+    return PlanService(fig.topo, fig.space(), opts);
+  }
+
+  spec::Invariant reach_sd() {
+    return b.shortest_plus_reachability(fig.P1(), fig.S, fig.D, 1);
+  }
+  spec::Invariant reach_cd() {
+    return b.shortest_plus_reachability(fig.P1(), fig.C, fig.D, 1);
+  }
+};
+
+TEST_F(PlanServiceTest, CommitPlansEveryIntent) {
+  auto svc = make();
+  const auto id1 = svc.add_invariant(reach_sd());
+  const auto id2 = svc.add_invariant(b.waypoint(fig.P1(), fig.S, fig.W, fig.D));
+  EXPECT_EQ(svc.dirty_count(), 2u);
+  const auto delta = svc.commit();
+  EXPECT_EQ(delta.replanned, (std::vector<InvariantId>{id1, id2}));
+  EXPECT_EQ(delta.reused, 0u);
+  ASSERT_NE(svc.plan(id1), nullptr);
+  ASSERT_NE(svc.plan(id2), nullptr);
+  EXPECT_EQ(svc.plan(id1)->id, id1);
+  EXPECT_EQ(svc.dirty_count(), 0u);
+  EXPECT_NE(svc.digest(), 0u);
+}
+
+TEST_F(PlanServiceTest, RecommitReusesCleanPlans) {
+  auto svc = make();
+  svc.add_invariant(reach_sd());
+  svc.add_invariant(reach_cd());
+  svc.commit();
+  const auto d0 = svc.digest();
+  const auto delta = svc.commit();
+  EXPECT_TRUE(delta.replanned.empty());
+  EXPECT_EQ(delta.reused, 2u);
+  EXPECT_EQ(svc.digest(), d0);
+}
+
+TEST_F(PlanServiceTest, MatchesBatchPlannerByteForByte) {
+  Planner planner(fig.topo, fig.space());
+  std::vector<InvariantPlan> legacy;
+  legacy.push_back(planner.plan(reach_sd()));
+  legacy.push_back(planner.plan(b.waypoint(fig.P1(), fig.S, fig.W, fig.D)));
+  std::vector<const InvariantPlan*> legacy_ptrs;
+  for (const auto& p : legacy) legacy_ptrs.push_back(&p);
+
+  auto svc = make();
+  svc.add_invariant(reach_sd());
+  svc.add_invariant(b.waypoint(fig.P1(), fig.S, fig.W, fig.D));
+  svc.commit();
+  EXPECT_EQ(svc.digest(), plan_digest(legacy_ptrs));
+}
+
+TEST_F(PlanServiceTest, ParallelWorkersProduceIdenticalPlans) {
+  auto serial = make(1);
+  auto parallel = make(4);
+  for (auto* svc : {&serial, &parallel}) {
+    svc->add_invariant(reach_sd());
+    svc->add_invariant(reach_cd());
+    svc->add_invariant(b.waypoint(fig.P1(), fig.S, fig.W, fig.D));
+    svc->commit();
+  }
+  EXPECT_EQ(serial.digest(), parallel.digest());
+}
+
+TEST_F(PlanServiceTest, LinkFlapDirtiesOnlyTouchingPlans) {
+  auto svc = make();
+  const auto id_sd = svc.add_invariant(reach_sd());
+  const auto id_cd = svc.add_invariant(reach_cd());
+  svc.commit();
+
+  // Every S->D path crosses S-A; no C->D path does.
+  svc.set_link_state(LinkId{fig.S, fig.A}, false);
+  EXPECT_FALSE(svc.link_is_up(LinkId{fig.S, fig.A}));
+  EXPECT_EQ(svc.dirty_count(), 1u);
+  const auto delta = svc.commit();
+  EXPECT_EQ(delta.replanned, (std::vector<InvariantId>{id_sd}));
+  EXPECT_EQ(delta.reused, 1u);
+  // S is now cut off: the replanned intent reports it statically.
+  ASSERT_FALSE(svc.plan(id_sd)->static_warnings.empty());
+  EXPECT_NE(svc.plan(id_sd)->static_warnings[0].find("no valid path"),
+            std::string::npos);
+  EXPECT_TRUE(svc.plan(id_cd)->static_warnings.empty());
+}
+
+TEST_F(PlanServiceTest, LinkUpRestoresOriginalDigest) {
+  auto svc = make();
+  svc.add_invariant(reach_sd());
+  svc.add_invariant(reach_cd());
+  svc.commit();
+  const auto d0 = svc.digest();
+
+  svc.set_link_state(LinkId{fig.S, fig.A}, false);
+  svc.commit();
+  EXPECT_NE(svc.digest(), d0);
+
+  svc.set_link_state(LinkId{fig.S, fig.A}, true);
+  EXPECT_EQ(svc.dirty_count(), 1u);
+  svc.commit();
+  EXPECT_EQ(svc.digest(), d0);
+}
+
+TEST_F(PlanServiceTest, IncrementalMatchesFullReplanUnderOverlay) {
+  auto inc = make();
+  inc.add_invariant(reach_sd());
+  inc.add_invariant(reach_cd());
+  inc.commit();
+  inc.set_link_state(LinkId{fig.B, fig.D}, false);
+  inc.commit();
+
+  auto full = make(1, /*incremental=*/false);
+  full.set_link_state(LinkId{fig.B, fig.D}, false);
+  full.add_invariant(reach_sd());
+  full.add_invariant(reach_cd());
+  full.commit();
+
+  EXPECT_EQ(inc.digest(), full.digest());
+}
+
+TEST_F(PlanServiceTest, RemoveInvariantRetiresPlan) {
+  auto svc = make();
+  const auto id1 = svc.add_invariant(reach_sd());
+  const auto id2 = svc.add_invariant(reach_cd());
+  svc.commit();
+  EXPECT_TRUE(svc.remove_invariant(id1));
+  EXPECT_FALSE(svc.remove_invariant(999));
+  const auto delta = svc.commit();
+  EXPECT_EQ(delta.removed, (std::vector<InvariantId>{id1}));
+  EXPECT_EQ(svc.plan(id1), nullptr);
+  ASSERT_EQ(svc.plans().size(), 1u);
+  EXPECT_EQ(svc.plans()[0]->id, id2);
+}
+
+TEST_F(PlanServiceTest, CommitAbortsAtomicallyOnInvalidInvariant) {
+  auto svc = make();
+  svc.add_invariant(reach_sd());
+  svc.add_invariant(b.reachability(
+      fig.space().dst_prefix(packet::Ipv4Prefix::parse("99.0.0.0/8")), fig.S,
+      fig.D));
+  EXPECT_THROW(svc.commit(), SpecError);
+  EXPECT_TRUE(svc.plans().empty());  // nothing published
+}
+
+TEST_F(PlanServiceTest, DfaCacheSharesAcrossIntents) {
+  auto svc = make();
+  svc.add_invariant(reach_sd());
+  svc.add_invariant(b.shortest_plus_reachability(fig.P2(), fig.S, fig.D, 1));
+  svc.commit();
+  // Identical regex AST (".* D"): compiled once, hit afterwards.
+  EXPECT_EQ(svc.dfa_cache().size(), 1u);
+  EXPECT_GT(svc.dfa_cache().stats().hits, 0u);
+}
+
+// Regression: Planner::plan from several threads must not race on the id
+// counter. Isolation (exist == 0) skips the packet-space coverage check —
+// the only part of planning that touches the shared BDD manager — so a
+// shared const Planner is otherwise thread-safe.
+TEST_F(PlanServiceTest, ConcurrentBatchPlannerIdAllocationIsRaceFree) {
+  Planner planner(fig.topo, fig.space());
+  constexpr int kThreads = 4;
+  constexpr int kPerThread = 8;
+  std::vector<spec::Invariant> invs;
+  for (int i = 0; i < kThreads * kPerThread; ++i) {
+    invs.push_back(b.isolation(fig.P1(), fig.S, fig.D));
+  }
+  std::vector<std::vector<InvariantId>> ids(kThreads);
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      for (int i = 0; i < kPerThread; ++i) {
+        ids[t].push_back(planner.plan(invs[t * kPerThread + i]).id);
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  std::vector<InvariantId> all;
+  for (const auto& v : ids) all.insert(all.end(), v.begin(), v.end());
+  std::sort(all.begin(), all.end());
+  EXPECT_EQ(std::adjacent_find(all.begin(), all.end()), all.end())
+      << "duplicate invariant id allocated under concurrency";
+  EXPECT_EQ(all.size(), static_cast<std::size_t>(kThreads * kPerThread));
+}
+
+}  // namespace
+}  // namespace tulkun::planner

@@ -1,0 +1,111 @@
+#include "planner/union_net.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "spec/builtins.hpp"
+#include "testutil/figure2.hpp"
+
+namespace tulkun::planner {
+namespace {
+
+using testutil::Figure2;
+
+class UnionDpvNetTest : public ::testing::Test {
+ protected:
+  Figure2 fig;
+  spec::Builtins b{fig.topo, fig.space()};
+  Planner planner{fig.topo, fig.space()};
+};
+
+TEST_F(UnionDpvNetTest, IdenticalStructurePlansShareAllNodes) {
+  // Same (s, d) pair, different packet sets: the DAGs are structurally
+  // equal, so the second plan must intern onto the first's nodes.
+  const auto p1 = planner.plan(b.reachability(fig.P1(), fig.S, fig.D));
+  const auto p2 = planner.plan(b.reachability(fig.P2(), fig.S, fig.D));
+
+  UnionDpvNet u;
+  const auto r1 = u.add(p1);  // copy: refs_ may reallocate on the next add
+  const auto r2 = u.add(p2);
+
+  EXPECT_EQ(r1.nodes_total, p1.dag->node_count());
+  EXPECT_EQ(r1.nodes_new, p1.dag->node_count());
+  EXPECT_EQ(r2.nodes_total, p2.dag->node_count());
+  EXPECT_EQ(r2.nodes_new, 0u) << "structurally equal DAG re-added nodes";
+  EXPECT_EQ(u.node_count(), p1.dag->node_count());
+  EXPECT_EQ(u.total_nodes(), p1.dag->node_count() + p2.dag->node_count());
+  EXPECT_EQ(r1.sources, r2.sources);
+}
+
+TEST_F(UnionDpvNetTest, DifferentShapesAddNodes) {
+  const auto reach = planner.plan(b.reachability(fig.P1(), fig.S, fig.D));
+  const auto way = planner.plan(b.waypoint(fig.P1(), fig.S, fig.W, fig.D));
+
+  UnionDpvNet u;
+  u.add(reach);
+  const auto r = u.add(way);
+  EXPECT_GT(r.nodes_new, 0u);
+  EXPECT_EQ(u.plan_count(), 2u);
+  EXPECT_LE(u.node_count(), u.total_nodes());
+}
+
+TEST_F(UnionDpvNetTest, DeviceTablesSliceByInvariant) {
+  const auto p_sd = planner.plan(b.reachability(fig.P1(), fig.S, fig.D));
+  const auto p_cd = planner.plan(b.reachability(fig.P1(), fig.C, fig.D));
+
+  UnionDpvNet u;
+  u.add(p_sd);
+  u.add(p_cd);
+  const auto tables = u.device_tables();
+
+  const UnionDpvNet::DeviceTable* at_d = nullptr;
+  const UnionDpvNet::DeviceTable* at_s = nullptr;
+  DeviceId prev = 0;
+  for (const auto& t : tables) {
+    if (&t != &tables.front()) {
+      EXPECT_GT(t.device, prev);  // ascending device ids
+    }
+    prev = t.device;
+    if (t.device == fig.D) at_d = &t;
+    if (t.device == fig.S) at_s = &t;
+  }
+
+  // D terminates both invariants: one slice each, shared nodes stored once.
+  ASSERT_NE(at_d, nullptr);
+  ASSERT_EQ(at_d->slices.size(), 2u);
+  EXPECT_EQ(at_d->slices[0].invariant, p_sd.id);
+  EXPECT_EQ(at_d->slices[1].invariant, p_cd.id);
+  EXPECT_TRUE(std::is_sorted(at_d->unique_nodes.begin(),
+                             at_d->unique_nodes.end()));
+  std::size_t sliced = 0;
+  for (const auto& s : at_d->slices) sliced += s.nodes.size();
+  EXPECT_LE(at_d->unique_nodes.size(), sliced);
+
+  // S is only on the first invariant's paths.
+  ASSERT_NE(at_s, nullptr);
+  ASSERT_EQ(at_s->slices.size(), 1u);
+  EXPECT_EQ(at_s->slices[0].invariant, p_sd.id);
+  EXPECT_TRUE(at_s->slices[0].is_ingress);
+}
+
+TEST_F(UnionDpvNetTest, SourcesMapToGlobalNodes) {
+  const auto plan = planner.plan(b.reachability(fig.P1(), fig.S, fig.D));
+  UnionDpvNet u;
+  const auto r = u.add(plan);
+
+  ASSERT_EQ(r.sources.size(), plan.dag->sources().size());
+  for (std::size_t i = 0; i < r.sources.size(); ++i) {
+    const auto [dev, gid] = r.sources[i];
+    EXPECT_EQ(dev, plan.dag->sources()[i].first);
+    if (plan.dag->sources()[i].second == kNoNode) {
+      EXPECT_EQ(gid, ~std::uint32_t{0});
+      continue;
+    }
+    ASSERT_LT(gid, u.node_count());
+    EXPECT_EQ(u.node(gid).dev, dev);
+  }
+}
+
+}  // namespace
+}  // namespace tulkun::planner

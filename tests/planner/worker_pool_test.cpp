@@ -1,0 +1,98 @@
+#include "planner/worker_pool.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+
+namespace tulkun::planner {
+namespace {
+
+TEST(WorkerPoolTest, SingleWorkerRunsInline) {
+  WorkerPool pool(1);
+  EXPECT_EQ(pool.concurrency(), 1u);
+  std::vector<int> order;
+  std::vector<std::function<void()>> tasks;
+  for (int i = 0; i < 4; ++i) {
+    tasks.emplace_back([&order, i] { order.push_back(i); });
+  }
+  pool.run_all(std::move(tasks));
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3}));
+}
+
+TEST(WorkerPoolTest, RunsEveryTaskExactlyOnce) {
+  WorkerPool pool(4);
+  EXPECT_EQ(pool.concurrency(), 4u);
+  constexpr int kTasks = 64;
+  std::vector<std::atomic<int>> runs(kTasks);
+  std::vector<std::function<void()>> tasks;
+  for (int i = 0; i < kTasks; ++i) {
+    tasks.emplace_back([&runs, i] { runs[i].fetch_add(1); });
+  }
+  pool.run_all(std::move(tasks));
+  for (int i = 0; i < kTasks; ++i) EXPECT_EQ(runs[i].load(), 1);
+}
+
+TEST(WorkerPoolTest, NestedRunAllDoesNotDeadlock) {
+  WorkerPool pool(2);
+  std::atomic<int> inner_runs{0};
+  std::vector<std::function<void()>> outer;
+  for (int i = 0; i < 4; ++i) {
+    outer.emplace_back([&pool, &inner_runs] {
+      std::vector<std::function<void()>> inner;
+      for (int j = 0; j < 4; ++j) {
+        inner.emplace_back([&inner_runs] { inner_runs.fetch_add(1); });
+      }
+      pool.run_all(std::move(inner));
+    });
+  }
+  pool.run_all(std::move(outer));
+  EXPECT_EQ(inner_runs.load(), 16);
+}
+
+TEST(WorkerPoolTest, LowestIndexExceptionWins) {
+  WorkerPool pool(4);
+  std::vector<std::function<void()>> tasks;
+  tasks.emplace_back([] {});
+  tasks.emplace_back([] { throw std::runtime_error("task-1"); });
+  tasks.emplace_back([] {});
+  tasks.emplace_back([] { throw std::runtime_error("task-3"); });
+  try {
+    pool.run_all(std::move(tasks));
+    FAIL() << "expected an exception";
+  } catch (const std::runtime_error& e) {
+    EXPECT_STREQ(e.what(), "task-1");
+  }
+}
+
+TEST(WorkerPoolTest, ReusableAcrossBatches) {
+  WorkerPool pool(3);
+  std::atomic<int> total{0};
+  for (int round = 0; round < 8; ++round) {
+    std::vector<std::function<void()>> tasks;
+    for (int i = 0; i < 8; ++i) {
+      tasks.emplace_back([&total] { total.fetch_add(1); });
+    }
+    pool.run_all(std::move(tasks));
+  }
+  EXPECT_EQ(total.load(), 64);
+}
+
+TEST(SerialExecutorTest, RunsInSubmissionOrderAndThrowsThrough) {
+  auto& exec = core::serial_executor();
+  EXPECT_EQ(exec.concurrency(), 1u);
+  std::vector<int> order;
+  std::vector<std::function<void()>> tasks;
+  for (int i = 0; i < 3; ++i) {
+    tasks.emplace_back([&order, i] { order.push_back(i); });
+  }
+  exec.run_all(std::move(tasks));
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2}));
+
+  std::vector<std::function<void()>> bad;
+  bad.emplace_back([] { throw std::runtime_error("boom"); });
+  EXPECT_THROW(exec.run_all(std::move(bad)), std::runtime_error);
+}
+
+}  // namespace
+}  // namespace tulkun::planner
